@@ -1,0 +1,116 @@
+package dynautosar
+
+import (
+	"fmt"
+	"testing"
+
+	"dynautosar/internal/bsw"
+	"dynautosar/internal/core"
+	"dynautosar/internal/pirte"
+	"dynautosar/internal/sim"
+	"dynautosar/internal/vehicle"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// cost of the fault-protection monitors the built-in software puts on
+// critical virtual ports, and the cost of persisting installation
+// packages to NvM for restore-after-replacement.
+
+// BenchmarkAblation_Monitors measures the type III path with 0, 1 and 2
+// monitors in front of the SW-C port.
+func BenchmarkAblation_Monitors(b *testing.B) {
+	for _, setup := range []struct {
+		name string
+		mons []pirte.Monitor
+	}{
+		{"none", nil},
+		{"range", []pirte.Monitor{&pirte.RangeMonitor{Min: -300, Max: 300, Clamp: true}}},
+		{"range+rate", []pirte.Monitor{
+			&pirte.RangeMonitor{Min: -300, Max: 300, Clamp: true},
+			&pirte.RateMonitor{Window: 10 * sim.Millisecond, Max: 1 << 20},
+		}},
+	} {
+		b.Run(setup.name, func(b *testing.B) {
+			p, eng := benchPIRTE(b)
+			for _, m := range setup.mons {
+				if err := p.AddMonitor(4, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ctx := core.Context{
+				PIC: core.PIC{{Name: "in", ID: 0}, {Name: "out", ID: 1}},
+				PLC: core.PLC{{Kind: core.LinkNone, Plugin: 0}, {Kind: core.LinkVirtual, Plugin: 1, Virtual: 4}},
+			}
+			if err := p.Install(mustPkg(b, echoSrc, ctx, false)); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Advance simulated time so the sliding rate window
+				// behaves as in a running vehicle.
+				eng.RunFor(sim.Millisecond)
+				if err := p.DeliverToPlugin(0, int64(i%200)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_NvMPersistence measures plug-in installation on a
+// standalone PIRTE with and without NvM write-back of the package.
+func BenchmarkAblation_NvMPersistence(b *testing.B) {
+	for _, persist := range []bool{false, true} {
+		b.Run(fmt.Sprintf("nvm=%v", persist), func(b *testing.B) {
+			eng := sim.NewEngine()
+			cfg := vehicle.SWC2Config()
+			if persist {
+				cfg.NvM = bsw.NewNvM()
+			}
+			p, err := pirte.New(eng, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.SetSWCWriter(func(core.SWCPortID, []byte) error { return nil })
+			ctx := core.Context{
+				PIC: core.PIC{{Name: "in", ID: 0}, {Name: "out", ID: 1}},
+				PLC: core.PLC{{Kind: core.LinkNone, Plugin: 0}, {Kind: core.LinkNone, Plugin: 1}},
+			}
+			pkg := mustPkg(b, echoSrc, ctx, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.Install(pkg); err != nil {
+					b.Fatal(err)
+				}
+				if err := p.Uninstall("echo"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_VMBudget measures the budget guard's cost by running
+// the same loop under increasingly tight budgets that still admit it.
+func BenchmarkAblation_VMBudget(b *testing.B) {
+	for _, budget := range []int{20_000, 200_000, 2_000_000} {
+		b.Run(fmt.Sprintf("budget=%d", budget), func(b *testing.B) {
+			p, _ := benchPIRTE(b)
+			ctx := core.Context{
+				PIC: core.PIC{{Name: "n", ID: 0}, {Name: "out", ID: 1}},
+				PLC: core.PLC{{Kind: core.LinkNone, Plugin: 0}, {Kind: core.LinkNone, Plugin: 1}},
+			}
+			pkg := mustPkg(b, sumLoopSrc, ctx, false)
+			pkg.Binary.Manifest.Budget = budget
+			if err := p.Install(pkg); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.DeliverToPlugin(0, 1000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,612 @@
+// The benchmark harness regenerates the paper's evaluation artifacts
+// (Figures 1-3; the paper reports no quantitative tables) and the
+// extension experiments catalogued in DESIGN.md and EXPERIMENTS.md.
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks that run inside simulated time additionally report
+// sim-us/op, the simulated latency of the measured operation.
+package dynautosar
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"dynautosar/internal/can"
+	"dynautosar/internal/com"
+	"dynautosar/internal/core"
+	"dynautosar/internal/ecm"
+	"dynautosar/internal/pirte"
+	"dynautosar/internal/plugin"
+	"dynautosar/internal/server"
+	"dynautosar/internal/sim"
+	"dynautosar/internal/vehicle"
+	"dynautosar/internal/vm"
+)
+
+// --- shared helpers ----------------------------------------------------------
+
+type sinkConn struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (c *sinkConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.Write(p)
+}
+func (c *sinkConn) Read(p []byte) (int, error) { return 0, io.EOF }
+func (c *sinkConn) Close() error               { return nil }
+
+func mustPkg(b *testing.B, src string, ctx core.Context, external bool) plugin.Package {
+	b.Helper()
+	prog, err := vm.Assemble(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bin, err := plugin.FromProgram(prog, plugin.Manifest{Developer: "bench", External: external})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkg := plugin.Package{Binary: bin, Context: ctx}
+	if err := pkg.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	return pkg
+}
+
+// standalone PIRTE mirroring SW-C2 of the paper.
+func benchPIRTE(b *testing.B) (*pirte.PIRTE, *sim.Engine) {
+	b.Helper()
+	eng := sim.NewEngine()
+	cfg := vehicle.SWC2Config()
+	p, err := pirte.New(eng, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.SetSWCWriter(func(core.SWCPortID, []byte) error { return nil })
+	return p, eng
+}
+
+const echoSrc = `
+.plugin echo 1.0
+.port in required
+.port out provided
+on_message in:
+	ARG
+	PWR out
+	RET
+`
+
+// --- Figure 1: type-dependent port handling -----------------------------------
+
+// BenchmarkFig1_TypeIII measures one plug-in activation whose output
+// crosses a type III virtual port (format translation, monitor pass).
+func BenchmarkFig1_TypeIII(b *testing.B) {
+	p, _ := benchPIRTE(b)
+	ctx := core.Context{
+		PIC: core.PIC{{Name: "in", ID: 0}, {Name: "out", ID: 1}},
+		PLC: core.PLC{{Kind: core.LinkNone, Plugin: 0}, {Kind: core.LinkVirtual, Plugin: 1, Virtual: 4}},
+	}
+	if err := p.Install(mustPkg(b, echoSrc, ctx, false)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.DeliverToPlugin(0, int64(i&0xFF)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1_TypeII measures the mux path: recipient id attached to
+// the payload on the type II SW-C port.
+func BenchmarkFig1_TypeII(b *testing.B) {
+	p, _ := benchPIRTE(b)
+	ctx := core.Context{
+		PIC: core.PIC{{Name: "in", ID: 0}, {Name: "out", ID: 1}},
+		PLC: core.PLC{{Kind: core.LinkNone, Plugin: 0}, {Kind: core.LinkVirtualRemote, Plugin: 1, Virtual: 7, Remote: 9}},
+	}
+	if err := p.Install(mustPkg(b, echoSrc, ctx, false)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.DeliverToPlugin(0, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1_TypeI measures the type I message protocol: decode an
+// installation-sized external message and route it to a plug-in port.
+func BenchmarkFig1_TypeI(b *testing.B) {
+	p, _ := benchPIRTE(b)
+	ctx := core.Context{
+		PIC: core.PIC{{Name: "in", ID: 0}, {Name: "out", ID: 1}},
+		PLC: core.PLC{{Kind: core.LinkNone, Plugin: 0}, {Kind: core.LinkNone, Plugin: 1}},
+	}
+	if err := p.Install(mustPkg(b, echoSrc, ctx, false)); err != nil {
+		b.Fatal(err)
+	}
+	ext := core.Message{Type: core.MsgExternal, ECU: "ECU2", SWC: "SW-C2"}
+	payload := core.NewEnc(10)
+	payload.U16(0)
+	payload.I64(42)
+	ext.Payload = payload.Bytes()
+	frame, err := ext.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.OnSWCData(0, frame)
+	}
+}
+
+// BenchmarkFig1_PeerLink measures the direct plug-in-to-plug-in link.
+func BenchmarkFig1_PeerLink(b *testing.B) {
+	p, _ := benchPIRTE(b)
+	sinkCtx := core.Context{
+		PIC: core.PIC{{Name: "in", ID: 10}, {Name: "out", ID: 11}},
+		PLC: core.PLC{{Kind: core.LinkNone, Plugin: 10}, {Kind: core.LinkNone, Plugin: 11}},
+	}
+	if err := p.Install(mustPkg(b, strings.Replace(echoSrc, "echo", "sink", 1), sinkCtx, false)); err != nil {
+		b.Fatal(err)
+	}
+	srcCtx := core.Context{
+		PIC: core.PIC{{Name: "in", ID: 20}, {Name: "out", ID: 21}},
+		PLC: core.PLC{{Kind: core.LinkNone, Plugin: 20}, {Kind: core.LinkPeer, Plugin: 21, Peer: 10}},
+	}
+	if err := p.Install(mustPkg(b, strings.Replace(echoSrc, "echo", "source", 1), srcCtx, false)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.DeliverToPlugin(20, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 2: trusted server pipeline ----------------------------------------
+
+func paperBenchApp(b *testing.B) server.App {
+	b.Helper()
+	com, op, err := vehicle.PaperBinaries()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return server.App{
+		Name:     "RemoteControl",
+		Binaries: []plugin.Binary{com, op},
+		Confs: []server.SWConf{{
+			Model: "modelcar-v1",
+			Deployments: []server.Deployment{
+				{Plugin: "COM", ECU: vehicle.ECU1, SWC: vehicle.SWC1,
+					Connections: []server.PortConnection{
+						{Port: "WheelsExt", External: &server.ExternalSpec{Endpoint: vehicle.PhoneEndpoint, MessageID: "Wheels"}},
+						{Port: "SpeedExt", External: &server.ExternalSpec{Endpoint: vehicle.PhoneEndpoint, MessageID: "Speed"}},
+						{Port: "WheelsFwd", RemotePlugin: "OP", RemotePort: "WheelsIn"},
+						{Port: "SpeedFwd", RemotePlugin: "OP", RemotePort: "SpeedIn"},
+					}},
+				{Plugin: "OP", ECU: vehicle.ECU2, SWC: vehicle.SWC2,
+					Connections: []server.PortConnection{
+						{Port: "WheelsOut", Virtual: "WheelsReq"},
+						{Port: "SpeedOut", Virtual: "SpeedReq"},
+					}},
+			},
+		}},
+	}
+}
+
+func benchVehicleConf(id core.VehicleID) core.VehicleConf {
+	ecmCfg := vehicle.ECMConfig()
+	swc2Cfg := vehicle.SWC2Config()
+	return core.VehicleConf{
+		Vehicle: id, Model: "modelcar-v1",
+		SWCs: []core.SWCConf{
+			{ECU: vehicle.ECU1, SWC: vehicle.SWC1, MemoryQuota: ecmCfg.MemoryQuota,
+				MaxPlugins: ecmCfg.MaxPlugins, ECM: true, VirtualPorts: ecmCfg.VirtualPorts},
+			{ECU: vehicle.ECU2, SWC: vehicle.SWC2, MemoryQuota: swc2Cfg.MemoryQuota,
+				MaxPlugins: swc2Cfg.MaxPlugins, VirtualPorts: swc2Cfg.VirtualPorts},
+		},
+	}
+}
+
+// BenchmarkFig2_DeployPipeline measures the server-side deployment
+// pipeline: compatibility check, dependency ordering, context generation
+// and packaging for the paper's two-plug-in app.
+func BenchmarkFig2_DeployPipeline(b *testing.B) {
+	s := server.New()
+	if err := s.Store().AddUser("bench"); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Store().BindVehicle("bench", benchVehicleConf("VIN-B")); err != nil {
+		b.Fatal(err)
+	}
+	app := paperBenchApp(b)
+	vr, _ := s.Store().Vehicle("VIN-B")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report := s.CheckCompatibility(app, vr)
+		if err := report.Error(); err != nil {
+			b.Fatal(err)
+		}
+		order, err := server.InstallOrder(app, report.Conf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		contexts, err := s.GenerateContexts(app, vr, order)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range order {
+			bin, _ := app.Binary(d.Plugin)
+			pkg := plugin.Package{Binary: bin, Context: *contexts[d.Plugin]}
+			if _, err := pkg.MarshalBinary(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Figure 3: end-to-end signal chain ----------------------------------------
+
+// fig3Car assembles the model car with both plug-ins installed through
+// the ECM, ready to receive phone messages.
+func fig3Car(b *testing.B) (*vehicle.ModelCar, *sim.Engine) {
+	b.Helper()
+	eng := sim.NewEngine()
+	car, err := vehicle.NewModelCar(eng, "VIN-BENCH")
+	if err != nil {
+		b.Fatal(err)
+	}
+	car.ECM.SetDialer(ecm.DialerFunc(func(string) (io.ReadWriteCloser, error) {
+		return &sinkConn{}, nil
+	}))
+	if err := car.ECM.ConnectServer(&sinkConn{}, car.ID); err != nil {
+		b.Fatal(err)
+	}
+	opPkg, err := vehicle.OPPackage()
+	if err != nil {
+		b.Fatal(err)
+	}
+	comPkg, err := vehicle.COMPackage()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opMsg, err := vehicle.InstallMessage(opPkg, vehicle.ECU2, vehicle.SWC2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comMsg, err := vehicle.InstallMessage(comPkg, vehicle.ECU1, vehicle.SWC1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	car.ECM.HandleServerMessage(opMsg)
+	car.ECM.HandleServerMessage(comMsg)
+	eng.RunFor(time500ms)
+	if _, ok := car.SWC2PIRTE.Plugin("OP"); !ok {
+		b.Fatal("OP not installed")
+	}
+	return car, eng
+}
+
+const time500ms = 500 * sim.Millisecond
+
+// BenchmarkFig3_SignalChain measures the complete phone-to-actuator
+// chain: COM -> V0(+id) -> CAN -> V3 -> OP -> V4 -> built-in software.
+// sim-us/op is the simulated end-to-end latency per command.
+func BenchmarkFig3_SignalChain(b *testing.B) {
+	car, eng := fig3Car(b)
+	start := eng.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		want := int64(i%200 - 100)
+		car.ECM.HandleEndpointFrame(vehicle.PhoneEndpoint, "Wheels", want)
+		for car.Dynamics.WheelAngle() != want {
+			eng.RunFor(sim.Millisecond)
+		}
+	}
+	b.StopTimer()
+	elapsed := float64(eng.Now() - start)
+	b.ReportMetric(elapsed/float64(b.N), "sim-us/op")
+}
+
+// --- Ext A: installation latency ----------------------------------------------
+
+// padSource inflates a plug-in binary with constant data to the requested
+// approximate size.
+func padSource(target int) string {
+	var sb strings.Builder
+	sb.WriteString(".plugin padded 1.0\n.port in required\n.port out provided\n")
+	chunk := strings.Repeat("x", 250)
+	n := 0
+	for i := 0; n < target; i++ {
+		fmt.Fprintf(&sb, ".const c%d %q\n", i, chunk)
+		n += len(chunk)
+	}
+	sb.WriteString("on_message in:\n\tARG\n\tPWR out\n\tRET\n")
+	return sb.String()
+}
+
+// BenchmarkExtA_InstallLatency measures the end-to-end installation of a
+// plug-in on the remote ECU: ECM distribution, ISO-TP segmentation over
+// CAN, PIRTE install, ack back. sim-us/op is the simulated install
+// latency, which grows with binary size (frame count over the 500 kbit/s
+// bus).
+func BenchmarkExtA_InstallLatency(b *testing.B) {
+	for _, size := range []int{256, 4 << 10, 64 << 10} {
+		b.Run(fmt.Sprintf("size=%dB", size), func(b *testing.B) {
+			src := padSource(size)
+			ctx := core.Context{
+				PIC: core.PIC{{Name: "in", ID: 30}, {Name: "out", ID: 31}},
+				PLC: core.PLC{{Kind: core.LinkNone, Plugin: 30}, {Kind: core.LinkNone, Plugin: 31}},
+			}
+			pkg := mustPkg(b, src, ctx, false)
+			raw, err := pkg.MarshalBinary()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(raw)))
+
+			eng := sim.NewEngine()
+			car, err := vehicle.NewModelCar(eng, "VIN-A")
+			if err != nil {
+				b.Fatal(err)
+			}
+			car.ECM.SetDialer(ecm.DialerFunc(func(string) (io.ReadWriteCloser, error) {
+				return &sinkConn{}, nil
+			}))
+			if err := car.ECM.ConnectServer(&sinkConn{}, car.ID); err != nil {
+				b.Fatal(err)
+			}
+			var totalSim sim.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				msg := core.Message{Type: core.MsgInstall, Plugin: "padded",
+					ECU: vehicle.ECU2, SWC: vehicle.SWC2, Seq: uint32(i), Payload: raw}
+				start := eng.Now()
+				car.ECM.HandleServerMessage(msg)
+				for {
+					if _, ok := car.SWC2PIRTE.Plugin("padded"); ok {
+						break
+					}
+					eng.RunFor(10 * sim.Millisecond)
+				}
+				totalSim += sim.Duration(eng.Now() - start)
+				// Remove again for the next iteration (not timed as part
+				// of the interesting path, but cheap and simulated).
+				un := core.Message{Type: core.MsgUninstall, Plugin: "padded",
+					ECU: vehicle.ECU2, SWC: vehicle.SWC2, Seq: uint32(i)}
+				car.ECM.HandleServerMessage(un)
+				for {
+					if _, ok := car.SWC2PIRTE.Plugin("padded"); !ok {
+						break
+					}
+					eng.RunFor(10 * sim.Millisecond)
+				}
+			}
+			b.ReportMetric(float64(totalSim)/float64(b.N), "sim-us/op")
+		})
+	}
+}
+
+// --- Ext B: VM overhead ---------------------------------------------------------
+
+type nullHost struct{}
+
+func (nullHost) PortWrite(int, int64) error { return nil }
+func (nullHost) SetTimer(int, sim.Duration) {}
+func (nullHost) ClearTimer(int)             {}
+func (nullHost) Now() sim.Time              { return 0 }
+func (nullHost) Log(string, int64)          {}
+
+// sumLoopSrc sums 1..N in a VM loop (about 10 instructions per round).
+const sumLoopSrc = `
+.plugin sum 1.0
+.port n required
+.port out provided
+.globals 2
+on_message n:
+	ARG
+	STG 0
+	PUSH 0
+	STG 1
+loop:
+	LDG 0
+	JZ done
+	LDG 1
+	LDG 0
+	ADD
+	STG 1
+	LDG 0
+	PUSH 1
+	SUB
+	STG 0
+	JMP loop
+done:
+	LDG 1
+	PWR out
+	RET
+`
+
+// BenchmarkExtB_VMSumLoop measures interpreted execution of the summing
+// loop with N=1000.
+func BenchmarkExtB_VMSumLoop(b *testing.B) {
+	prog, err := vm.Assemble(sumLoopSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := vm.NewInstance(prog, nullHost{}, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := inst.Deliver(0, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(inst.Instructions)/float64(b.N), "vm-instr/op")
+}
+
+// BenchmarkExtB_NativeSumLoop is the native Go baseline of the same loop,
+// giving the interpretation overhead factor.
+func BenchmarkExtB_NativeSumLoop(b *testing.B) {
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		n := int64(1000)
+		acc := int64(0)
+		for n != 0 {
+			acc += n
+			n--
+		}
+		sink = acc
+	}
+	_ = sink
+}
+
+// --- Ext C: routing through the full vehicle ------------------------------------
+
+// BenchmarkExtC_CrossECURoundTrip measures a type II hop across the CAN
+// bus inside the assembled vehicle (COM on ECU1 to OP on ECU2 to the
+// actuator), isolating network cost from the Fig 3 chain.
+func BenchmarkExtC_CrossECURoundTrip(b *testing.B) {
+	car, eng := fig3Car(b)
+	start := eng.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		want := int64(i % 2000)
+		car.ECM.HandleEndpointFrame(vehicle.PhoneEndpoint, "Speed", want)
+		// Wait until the speed request reaches the actuator channel.
+		e2, _ := car.ECU(vehicle.ECU2)
+		for {
+			v, _ := e2.IoHwAb.Read(vehicle.ChanSpeedAct)
+			if v == want {
+				break
+			}
+			eng.RunFor(sim.Millisecond)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(eng.Now()-start)/float64(b.N), "sim-us/op")
+}
+
+// --- Ext D: context generation scaling -------------------------------------------
+
+// BenchmarkExtD_ContextGen sweeps the number of plug-in ports.
+func BenchmarkExtD_ContextGen(b *testing.B) {
+	for _, ports := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("ports=%d", ports), func(b *testing.B) {
+			var sb strings.Builder
+			sb.WriteString(".plugin wide 1.0\n")
+			for i := 0; i < ports; i++ {
+				fmt.Fprintf(&sb, ".port p%d provided\n", i)
+			}
+			sb.WriteString("on_message *:\n\tRET\n")
+			prog, err := vm.Assemble(sb.String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			bin, err := plugin.FromProgram(prog, plugin.Manifest{Developer: "bench"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var conns []server.PortConnection
+			for i := 0; i < ports; i++ {
+				conns = append(conns, server.PortConnection{
+					Port: fmt.Sprintf("p%d", i), Virtual: "WheelsReq",
+				})
+			}
+			app := server.App{
+				Name: "Wide", Binaries: []plugin.Binary{bin},
+				Confs: []server.SWConf{{Model: "modelcar-v1",
+					Deployments: []server.Deployment{{Plugin: "wide",
+						ECU: vehicle.ECU2, SWC: vehicle.SWC2, Connections: conns}}}},
+			}
+			s := server.New()
+			_ = s.Store().AddUser("bench")
+			if err := s.Store().BindVehicle("bench", benchVehicleConf("VIN-D")); err != nil {
+				b.Fatal(err)
+			}
+			vr, _ := s.Store().Vehicle("VIN-D")
+			order, err := server.InstallOrder(app, app.Confs[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.GenerateContexts(app, vr, order); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ext E: CAN substrate ---------------------------------------------------------
+
+// BenchmarkExtE_CANContention measures bus throughput with four
+// contending senders; sim-us/frame reflects the arbitration-serialised
+// wire time.
+func BenchmarkExtE_CANContention(b *testing.B) {
+	eng := sim.NewEngine()
+	bus := can.NewBus(eng, "CAN0", 500_000)
+	senders := []*can.Node{
+		bus.AttachNode("N0"), bus.AttachNode("N1"),
+		bus.AttachNode("N2"), bus.AttachNode("N3"),
+	}
+	rx := bus.AttachNode("RX")
+	delivered := 0
+	rx.OnReceive(can.MatchAll, func(can.Frame, sim.Time) { delivered++ })
+	start := eng.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := senders[i%len(senders)]
+		if err := n.Send(can.Frame{ID: uint32(0x100 + i%64), Data: []byte{byte(i)}}); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+	b.StopTimer()
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+	b.ReportMetric(float64(eng.Now()-start)/float64(b.N), "sim-us/frame")
+}
+
+// BenchmarkExtE_TransportSegmentation measures ISO-TP style transfer of a
+// 4 KiB payload.
+func BenchmarkExtE_TransportSegmentation(b *testing.B) {
+	payload := bytes.Repeat([]byte{0x5A}, 4096)
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		bus := can.NewBus(eng, "CAN0", 500_000)
+		// One fresh pair per iteration keeps reassembly state cold.
+		na := bus.AttachNode("A")
+		nb := bus.AttachNode("B")
+		tx := com.NewTransport(na, 0x600, false, can.Filter{ID: 0x601, Mask: ^uint32(0)})
+		rx := com.NewTransport(nb, 0x601, false, can.Filter{ID: 0x600, Mask: ^uint32(0)})
+		got := 0
+		rx.OnPayload(func(p []byte, _ sim.Time) { got = len(p) })
+		if err := tx.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+		if got != len(payload) {
+			b.Fatal("reassembly failed")
+		}
+	}
+}

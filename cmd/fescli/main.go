@@ -1,0 +1,232 @@
+// Fescli drives the trusted server's Web Services API from the shell and
+// can impersonate an external endpoint (the paper's smart phone).
+//
+//	fescli -server http://localhost:8080 adduser alice
+//	fescli bindvehicle alice vehicle-conf.json
+//	fescli upload app.json
+//	fescli apps
+//	fescli deploy alice VIN123 RemoteControl
+//	fescli status VIN123 RemoteControl
+//	fescli uninstall alice VIN123 RemoteControl
+//	fescli restore alice VIN123 ECU2
+//	fescli vehicle VIN123
+//	fescli paperapp > app.json
+//	fescli phone -listen :56789 Wheels=42 Speed=500
+//
+// The phone mode listens for the vehicle's ECM to dial in (the ECM opens
+// the link using the address in the plug-in's ECC), then sends the given
+// message=value pairs and prints every frame it receives. The paperapp
+// command emits the paper's RemoteControl application (COM + OP with the
+// model-car SW conf) as upload-ready JSON; pass an endpoint argument to
+// override the phone address recorded in the ECC
+// (default 127.0.0.1:56789).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"dynautosar/internal/ecm"
+	"dynautosar/internal/plugin"
+	"dynautosar/internal/server"
+	"dynautosar/internal/vehicle"
+)
+
+var serverURL string
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fescli: ")
+	flag.StringVar(&serverURL, "server", "http://localhost:8080", "Web Services base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("usage: fescli [-server URL] <adduser|bindvehicle|upload|apps|deploy|status|uninstall|restore|vehicle|phone> ...")
+	}
+	switch args[0] {
+	case "adduser":
+		need(args, 2, "adduser <id>")
+		post("/users", map[string]string{"id": args[1]})
+	case "bindvehicle":
+		need(args, 3, "bindvehicle <owner> <conf.json>")
+		var conf json.RawMessage
+		readJSONFile(args[2], &conf)
+		post("/vehicles", map[string]any{"owner": args[1], "conf": conf})
+	case "upload":
+		need(args, 2, "upload <app.json>")
+		var app json.RawMessage
+		readJSONFile(args[1], &app)
+		postRaw("/apps", app)
+	case "apps":
+		get("/apps")
+	case "deploy":
+		need(args, 4, "deploy <user> <vehicle> <app>")
+		post("/deploy", map[string]string{"user": args[1], "vehicle": args[2], "app": args[3]})
+	case "status":
+		need(args, 3, "status <vehicle> <app>")
+		get("/status?vehicle=" + args[1] + "&app=" + args[2])
+	case "uninstall":
+		need(args, 4, "uninstall <user> <vehicle> <app>")
+		post("/uninstall", map[string]string{"user": args[1], "vehicle": args[2], "app": args[3]})
+	case "restore":
+		need(args, 4, "restore <user> <vehicle> <ecu>")
+		post("/restore", map[string]string{"user": args[1], "vehicle": args[2], "ecu": args[3]})
+	case "vehicle":
+		need(args, 2, "vehicle <vin>")
+		get("/vehicles/" + args[1])
+	case "paperapp":
+		endpoint := "127.0.0.1:56789"
+		if len(args) > 1 {
+			endpoint = args[1]
+		}
+		emitPaperApp(endpoint)
+	case "phone":
+		phone(args[1:])
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}
+
+func need(args []string, n int, usage string) {
+	if len(args) < n {
+		log.Fatalf("usage: fescli %s", usage)
+	}
+}
+
+func readJSONFile(path string, v any) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+}
+
+func post(path string, body any) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	postRaw(path, raw)
+}
+
+func postRaw(path string, raw []byte) {
+	resp, err := http.Post(serverURL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	show(resp)
+}
+
+func get(path string) {
+	resp, err := http.Get(serverURL + path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	show(resp)
+}
+
+func show(resp *http.Response) {
+	body, _ := io.ReadAll(resp.Body)
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, body, "", "  ") == nil {
+		body = pretty.Bytes()
+	}
+	fmt.Printf("%s\n%s\n", resp.Status, body)
+	if resp.StatusCode >= 400 {
+		os.Exit(1)
+	}
+}
+
+// emitPaperApp prints the paper's RemoteControl app as upload-ready JSON,
+// with the ECC endpoint pointing at the given phone address.
+func emitPaperApp(endpoint string) {
+	com, op, err := vehicle.PaperBinaries()
+	if err != nil {
+		log.Fatal(err)
+	}
+	app := server.App{
+		Name:     "RemoteControl",
+		Binaries: []plugin.Binary{com, op},
+		Confs: []server.SWConf{{
+			Model: "modelcar-v1",
+			Deployments: []server.Deployment{
+				{Plugin: "COM", ECU: vehicle.ECU1, SWC: vehicle.SWC1,
+					Connections: []server.PortConnection{
+						{Port: "WheelsExt", External: &server.ExternalSpec{Endpoint: endpoint, MessageID: "Wheels"}},
+						{Port: "SpeedExt", External: &server.ExternalSpec{Endpoint: endpoint, MessageID: "Speed"}},
+						{Port: "WheelsFwd", RemotePlugin: "OP", RemotePort: "WheelsIn"},
+						{Port: "SpeedFwd", RemotePlugin: "OP", RemotePort: "SpeedIn"},
+					}},
+				{Plugin: "OP", ECU: vehicle.ECU2, SWC: vehicle.SWC2,
+					Connections: []server.PortConnection{
+						{Port: "WheelsOut", Virtual: "WheelsReq"},
+						{Port: "SpeedOut", Virtual: "SpeedReq"},
+					}},
+			},
+		}},
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(app); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// phone runs an external endpoint: it listens for the ECM, sends the
+// given message=value pairs once connected, and echoes received frames.
+func phone(args []string) {
+	fs := flag.NewFlagSet("phone", flag.ExitOnError)
+	listen := fs.String("listen", ":56789", "address the ECM will dial (must match the ECC endpoint)")
+	_ = fs.Parse(args)
+	sends := fs.Args()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("phone listening on %s; waiting for the vehicle's ECM", l.Addr())
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		log.Printf("ECM connected from %s", conn.RemoteAddr())
+		go func(c net.Conn) {
+			for {
+				id, v, err := ecm.ReadExtFrame(c)
+				if err != nil {
+					log.Printf("link closed: %v", err)
+					return
+				}
+				fmt.Printf("received %s = %d\n", id, v)
+			}
+		}(conn)
+		for _, s := range sends {
+			id, valStr, ok := strings.Cut(s, "=")
+			if !ok {
+				log.Fatalf("bad send %q, want message=value", s)
+			}
+			v, err := strconv.ParseInt(valStr, 10, 64)
+			if err != nil {
+				log.Fatalf("bad value in %q: %v", s, err)
+			}
+			if err := ecm.WriteExtFrame(conn, id, v); err != nil {
+				log.Fatalf("send: %v", err)
+			}
+			log.Printf("sent %s = %d", id, v)
+		}
+	}
+}

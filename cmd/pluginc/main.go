@@ -1,0 +1,81 @@
+// Pluginc compiles plug-in assembly into the binary program format stored
+// in the trusted server's APP database, and disassembles existing
+// binaries.
+//
+//	pluginc -o op.pvm op.asm        compile
+//	pluginc -d op.pvm               disassemble
+//	pluginc -manifest op.asm        print the derived manifest as JSON
+//
+// The assembly language is documented in internal/vm (Assemble).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dynautosar/internal/plugin"
+	"dynautosar/internal/vm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pluginc: ")
+	out := flag.String("o", "", "output file (default: <input>.pvm)")
+	disasm := flag.Bool("d", false, "disassemble a compiled program instead of compiling")
+	manifest := flag.Bool("manifest", false, "print the manifest derived from the program as JSON")
+	developer := flag.String("developer", "", "developer name recorded in the manifest")
+	external := flag.Bool("external", false, "mark the plug-in as externally communicating")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: pluginc [-o out.pvm | -d | -manifest] <file>")
+	}
+	input := flag.Arg(0)
+	data, err := os.ReadFile(input)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *disasm {
+		prog, err := vm.DecodeProgram(data)
+		if err != nil {
+			log.Fatalf("decoding %s: %v", input, err)
+		}
+		fmt.Print(vm.Disassemble(prog))
+		return
+	}
+
+	prog, err := vm.Assemble(string(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *manifest {
+		bin, err := plugin.FromProgram(prog, plugin.Manifest{
+			Developer: *developer, External: *external,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(bin.Manifest); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	encoded, err := vm.EncodeProgram(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := *out
+	if target == "" {
+		target = input + ".pvm"
+	}
+	if err := os.WriteFile(target, encoded, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %s: %d instructions, %d ports, %d bytes -> %s\n",
+		prog.Name, len(prog.Code), len(prog.Ports), len(encoded), target)
+}

@@ -1,0 +1,41 @@
+// Trusted-server runs the off-board trusted server of the dynamic
+// component model: the Web Services HTTP API for users, OEMs and plug-in
+// developers, and the Pusher TCP listener that the vehicles' ECMs dial
+// into (paper section 3.2).
+//
+//	trusted-server -http :8080 -push :9090
+//
+// Drive it with cmd/fescli and connect vehicles with cmd/vehicle.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/http"
+
+	"dynautosar/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.Ltime)
+	log.SetPrefix("trusted-server: ")
+	httpAddr := flag.String("http", ":8080", "Web Services listen address")
+	pushAddr := flag.String("push", ":9090", "Pusher listen address for vehicle ECMs")
+	flag.Parse()
+
+	srv := server.New()
+	srv.SetLogger(log.Printf)
+
+	pl, err := net.Listen("tcp", *pushAddr)
+	if err != nil {
+		log.Fatalf("pusher listen: %v", err)
+	}
+	log.Printf("pusher listening on %s", pl.Addr())
+	go srv.Pusher().Serve(pl)
+
+	log.Printf("web services listening on %s", *httpAddr)
+	if err := http.ListenAndServe(*httpAddr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Vehicle runs one simulated model car (the paper's two-RPi platform,
+// section 4) and connects its ECM to a trusted server over TCP. The
+// discrete-event simulation is pumped continuously, so installations
+// pushed by the server and messages from external endpoints (see
+// cmd/fescli's phone mode) act on the running vehicle.
+//
+//	vehicle -vin VIN123 -server localhost:9090
+//
+// The vehicle prints its configuration as JSON on startup; feed it to
+// `fescli bindvehicle` to register it with the server.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"dynautosar/internal/core"
+	"dynautosar/internal/ecm"
+	"dynautosar/internal/sim"
+	"dynautosar/internal/vehicle"
+)
+
+func main() {
+	log.SetFlags(log.Ltime)
+	vin := flag.String("vin", "VIN-SIM-1", "vehicle identification number")
+	serverAddr := flag.String("server", "localhost:9090", "trusted server pusher address")
+	confOut := flag.String("conf", "", "write the vehicle conf JSON to this file and continue (default: stdout)")
+	speedup := flag.Int("speedup", 10, "simulated milliseconds per real millisecond")
+	flag.Parse()
+	log.SetPrefix("vehicle " + *vin + ": ")
+
+	eng := sim.NewEngine()
+	car, err := vehicle.NewModelCar(eng, core.VehicleID(*vin))
+	if err != nil {
+		log.Fatal(err)
+	}
+	car.ECM.SetLogger(log.Printf)
+	// External endpoints named in ECCs are dialled over real TCP.
+	car.ECM.SetDialer(ecm.DialerFunc(func(endpoint string) (io.ReadWriteCloser, error) {
+		return net.DialTimeout("tcp", endpoint, 3*time.Second)
+	}))
+
+	// Emit the vehicle conf for the OEM upload.
+	conf, err := json.MarshalIndent(car.Conf(), "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *confOut != "" {
+		if err := os.WriteFile(*confOut, conf, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("vehicle conf written to %s", *confOut)
+	} else {
+		os.Stdout.Write(append(conf, '\n'))
+	}
+
+	conn, err := net.Dial("tcp", *serverAddr)
+	if err != nil {
+		log.Fatalf("dialling trusted server: %v", err)
+	}
+	if err := car.ECM.ConnectServer(conn, car.ID); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("connected to trusted server at %s", *serverAddr)
+
+	// Pump the simulation forever; the ECM injects external work at the
+	// engine's synchronisation points.
+	step := sim.Duration(*speedup) * sim.Millisecond
+	for {
+		eng.RunFor(step)
+		time.Sleep(time.Millisecond)
+	}
+}

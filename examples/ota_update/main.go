@@ -1,0 +1,177 @@
+// Ota_update demonstrates the paper's update semantics (section 5): a
+// plug-in is never patched in place — it is stopped, uninstalled and a
+// new version installed fresh, with no state carried over. The example
+// deploys a counting plug-in v1, lets it accumulate state, then updates
+// to v2 and shows the state reset plus the new behaviour, finishing with
+// a restore after a simulated ECU replacement.
+//
+// Run with: go run ./examples/ota_update
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"dynautosar/internal/core"
+	"dynautosar/internal/fes"
+	"dynautosar/internal/plugin"
+	"dynautosar/internal/server"
+	"dynautosar/internal/sim"
+	"dynautosar/internal/vehicle"
+	"dynautosar/internal/vm"
+)
+
+const phoneAddr = "10.0.0.42:4242"
+
+// v1 counts pokes and reports count*1.
+const counterV1 = `
+.plugin TripCounter 1.0
+.port Poke required
+.port Report provided
+.globals 1
+on_message Poke:
+	LDG 0
+	PUSH 1
+	ADD
+	STG 0
+	LDG 0
+	PWR Report
+	RET
+`
+
+// v2 counts pokes and reports count*100 (new calibration).
+const counterV2 = `
+.plugin TripCounter 2.0
+.port Poke required
+.port Report provided
+.globals 1
+on_message Poke:
+	LDG 0
+	PUSH 1
+	ADD
+	STG 0
+	LDG 0
+	PUSH 100
+	MUL
+	PWR Report
+	RET
+`
+
+func app(name core.AppName, src string) server.App {
+	prog, err := vm.Assemble(src)
+	must(err)
+	bin, err := plugin.FromProgram(prog, plugin.Manifest{Developer: "ota", External: true})
+	must(err)
+	return server.App{
+		Name:     name,
+		Binaries: []plugin.Binary{bin},
+		Confs: []server.SWConf{{
+			Model: "modelcar-v1",
+			Deployments: []server.Deployment{{
+				Plugin: "TripCounter", ECU: vehicle.ECU1, SWC: vehicle.SWC1,
+				Connections: []server.PortConnection{
+					{Port: "Poke", External: &server.ExternalSpec{Endpoint: phoneAddr, MessageID: "Poke"}},
+					{Port: "Report", External: &server.ExternalSpec{Endpoint: phoneAddr, MessageID: "Trip"}},
+				},
+			}},
+		}},
+	}
+}
+
+func main() {
+	srv := server.New()
+	must(srv.Store().AddUser("ota-op"))
+
+	eng := sim.NewEngine()
+	car, err := vehicle.NewModelCar(eng, "VIN-OTA")
+	must(err)
+	must(srv.Store().BindVehicle("ota-op", car.Conf()))
+
+	dir := fes.NewDirectory()
+	phone := fes.NewEndpoint(phoneAddr)
+	dir.Register(phone)
+	car.ECM.SetDialer(dir)
+
+	vehicleSide, serverSide := net.Pipe()
+	go srv.Pusher().ServeConn(serverSide)
+	must(car.ECM.ConnectServer(vehicleSide, car.ID))
+	waitFor(func() bool { return srv.Pusher().Connected(car.ID) })
+
+	must(srv.Store().UploadApp(app("TripCounter-v1", counterV1)))
+	must(srv.Store().UploadApp(app("TripCounter-v2", counterV2)))
+
+	// --- v1 ------------------------------------------------------------
+	fmt.Println("deploying TripCounter v1 ...")
+	must(srv.Deploy("ota-op", car.ID, "TripCounter-v1"))
+	pump(eng, func() bool { return srv.Status(car.ID, "TripCounter-v1").Complete() })
+	waitFor(func() bool { return phone.Connections() > 0 })
+
+	poke := func(n int) {
+		for i := 0; i < n; i++ {
+			must(phone.Send("Poke", 1))
+		}
+	}
+	poke(3)
+	pump(eng, func() bool { return len(phone.Received()) >= 3 })
+	last := phone.Received()[len(phone.Received())-1]
+	fmt.Printf("  after 3 pokes v1 reports trip = %d\n", last.Value)
+
+	// --- update: stop, uninstall, install fresh ------------------------
+	fmt.Println("updating to v2 (stop -> uninstall -> install fresh) ...")
+	must(srv.Uninstall("ota-op", car.ID, "TripCounter-v1"))
+	pump(eng, func() bool {
+		_, installed := srv.Store().InstalledApp(car.ID, "TripCounter-v1")
+		return !installed
+	})
+	must(srv.Deploy("ota-op", car.ID, "TripCounter-v2"))
+	pump(eng, func() bool { return srv.Status(car.ID, "TripCounter-v2").Complete() })
+	ip, _ := car.ECM.Plugin("TripCounter")
+	fmt.Printf("  installed version: %s\n", ip.Pkg.Binary.Manifest.Version)
+
+	before := len(phone.Received())
+	poke(1)
+	pump(eng, func() bool { return len(phone.Received()) > before })
+	last = phone.Received()[len(phone.Received())-1]
+	fmt.Printf("  first poke after update reports trip = %d (state reset, new gain)\n", last.Value)
+
+	// --- restore after ECU replacement ---------------------------------
+	fmt.Println("replacing ECU1 in the workshop; restoring ...")
+	must(car.ECM.Uninstall("TripCounter")) // the replacement ECU is empty
+	n, err := srv.Restore("ota-op", car.ID, vehicle.ECU1)
+	must(err)
+	pump(eng, func() bool {
+		_, ok := car.ECM.Plugin("TripCounter")
+		return ok
+	})
+	fmt.Printf("  restore re-sent %d package(s); TripCounter is back\n", n)
+	fmt.Println("done")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			log.Fatal("timed out")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func pump(eng *sim.Engine, cond func() bool) {
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			log.Fatal("simulation condition not reached")
+		}
+		eng.RunFor(10 * sim.Millisecond)
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -1,0 +1,137 @@
+// Package com implements the slice of the AUTOSAR communication stack the
+// dynamic component model relies on (paper section 2): bit-level packing
+// of signals into I-PDUs, periodic and event-triggered PDU transmission
+// over CAN, signal-level reception callbacks, and a segmenting transport
+// protocol (ISO-TP style) that carries payloads larger than one CAN frame
+// — most importantly the plug-in installation packages distributed by the
+// ECM (paper section 3.1.3).
+package com
+
+import (
+	"fmt"
+)
+
+// SignalDef describes the layout of one signal inside an I-PDU.
+type SignalDef struct {
+	Name string
+	// StartBit is the bit position of the least significant bit, counting
+	// bit 0 as the LSB of byte 0.
+	StartBit int
+	// Length is the signal width in bits, 1..64.
+	Length int
+	// BigEndian selects Motorola byte order for multi-byte signals;
+	// the default (false) is Intel order.
+	BigEndian bool
+}
+
+// Validate checks the layout against a PDU of pduLen bytes.
+func (d SignalDef) Validate(pduLen int) error {
+	if d.Name == "" {
+		return fmt.Errorf("com: signal with empty name")
+	}
+	if d.Length < 1 || d.Length > 64 {
+		return fmt.Errorf("com: signal %q has invalid length %d", d.Name, d.Length)
+	}
+	if d.StartBit < 0 || d.StartBit+d.Length > pduLen*8 {
+		return fmt.Errorf("com: signal %q (%d+%d bits) does not fit a %d-byte PDU",
+			d.Name, d.StartBit, d.Length, pduLen)
+	}
+	return nil
+}
+
+// MaxValue returns the largest raw value the signal can carry.
+func (d SignalDef) MaxValue() uint64 {
+	if d.Length >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(d.Length)) - 1
+}
+
+// Pack writes value into dst according to the layout. Bits outside the
+// signal are preserved, so several signals share one PDU buffer.
+func (d SignalDef) Pack(dst []byte, value uint64) error {
+	if err := d.Validate(len(dst)); err != nil {
+		return err
+	}
+	if value > d.MaxValue() {
+		return fmt.Errorf("com: value %d overflows signal %q (%d bits)", value, d.Name, d.Length)
+	}
+	if d.BigEndian {
+		// Motorola: most significant bits stored first (at the start bit
+		// end of the highest-addressed position). We store the value so
+		// that byte order is reversed relative to Intel.
+		for i := 0; i < d.Length; i++ {
+			bit := (value >> uint(d.Length-1-i)) & 1
+			pos := d.StartBit + i
+			bytePos := pos / 8
+			bitPos := 7 - pos%8
+			if bit == 1 {
+				dst[bytePos] |= 1 << uint(bitPos)
+			} else {
+				dst[bytePos] &^= 1 << uint(bitPos)
+			}
+		}
+		return nil
+	}
+	for i := 0; i < d.Length; i++ {
+		bit := (value >> uint(i)) & 1
+		pos := d.StartBit + i
+		bytePos := pos / 8
+		bitPos := pos % 8
+		if bit == 1 {
+			dst[bytePos] |= 1 << uint(bitPos)
+		} else {
+			dst[bytePos] &^= 1 << uint(bitPos)
+		}
+	}
+	return nil
+}
+
+// Unpack reads the signal value from src.
+func (d SignalDef) Unpack(src []byte) (uint64, error) {
+	if err := d.Validate(len(src)); err != nil {
+		return 0, err
+	}
+	var v uint64
+	if d.BigEndian {
+		for i := 0; i < d.Length; i++ {
+			pos := d.StartBit + i
+			bytePos := pos / 8
+			bitPos := 7 - pos%8
+			bit := (src[bytePos] >> uint(bitPos)) & 1
+			v |= uint64(bit) << uint(d.Length-1-i)
+		}
+		return v, nil
+	}
+	for i := 0; i < d.Length; i++ {
+		pos := d.StartBit + i
+		bytePos := pos / 8
+		bitPos := pos % 8
+		bit := (src[bytePos] >> uint(bitPos)) & 1
+		v |= uint64(bit) << uint(i)
+	}
+	return v, nil
+}
+
+// ToSigned reinterprets a raw signal value as a two's-complement signed
+// number of the signal's width.
+func (d SignalDef) ToSigned(raw uint64) int64 {
+	if d.Length >= 64 {
+		return int64(raw)
+	}
+	signBit := uint64(1) << uint(d.Length-1)
+	if raw&signBit != 0 {
+		return int64(raw | ^(signBit<<1 - 1))
+	}
+	return int64(raw)
+}
+
+// FromSigned converts a signed value into the raw two's-complement
+// representation of the signal's width.
+func (d SignalDef) FromSigned(v int64) uint64 {
+	if d.Length >= 64 {
+		return uint64(v)
+	}
+	mask := (uint64(1) << uint(d.Length)) - 1
+	return uint64(v) & mask
+}

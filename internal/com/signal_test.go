@@ -1,0 +1,133 @@
+package com
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackIntel(t *testing.T) {
+	buf := make([]byte, 8)
+	def := SignalDef{Name: "speed", StartBit: 4, Length: 12}
+	if err := def.Pack(buf, 0xABC); err != nil {
+		t.Fatal(err)
+	}
+	v, err := def.Unpack(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xABC {
+		t.Fatalf("Unpack = %03X", v)
+	}
+}
+
+func TestPackUnpackMotorola(t *testing.T) {
+	buf := make([]byte, 8)
+	def := SignalDef{Name: "angle", StartBit: 0, Length: 16, BigEndian: true}
+	if err := def.Pack(buf, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	// Motorola: MSB first in bit order from start bit.
+	if buf[0] != 0x12 || buf[1] != 0x34 {
+		t.Fatalf("buf = % X", buf[:2])
+	}
+	v, err := def.Unpack(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x1234 {
+		t.Fatalf("Unpack = %04X", v)
+	}
+}
+
+func TestPackPreservesNeighbours(t *testing.T) {
+	buf := make([]byte, 2)
+	lo := SignalDef{Name: "lo", StartBit: 0, Length: 8}
+	hi := SignalDef{Name: "hi", StartBit: 8, Length: 8}
+	if err := lo.Pack(buf, 0xAA); err != nil {
+		t.Fatal(err)
+	}
+	if err := hi.Pack(buf, 0x55); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := lo.Unpack(buf); v != 0xAA {
+		t.Fatalf("lo = %02X", v)
+	}
+	if v, _ := hi.Unpack(buf); v != 0x55 {
+		t.Fatalf("hi = %02X", v)
+	}
+	// Overwriting lo must not disturb hi.
+	if err := lo.Pack(buf, 0x00); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := hi.Unpack(buf); v != 0x55 {
+		t.Fatalf("hi after repack = %02X", v)
+	}
+}
+
+func TestPackRejectsOverflowAndBadLayout(t *testing.T) {
+	buf := make([]byte, 1)
+	def := SignalDef{Name: "nibble", StartBit: 0, Length: 4}
+	if err := def.Pack(buf, 16); err == nil {
+		t.Fatal("overflow accepted")
+	}
+	bad := SignalDef{Name: "wide", StartBit: 4, Length: 8}
+	if err := bad.Pack(buf, 1); err == nil {
+		t.Fatal("out-of-range layout accepted")
+	}
+	if err := (SignalDef{Name: "", StartBit: 0, Length: 4}).Validate(8); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := (SignalDef{Name: "z", StartBit: 0, Length: 0}).Validate(8); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	if err := (SignalDef{Name: "z", StartBit: 0, Length: 65}).Validate(9); err == nil {
+		t.Fatal("65-bit length accepted")
+	}
+}
+
+func TestSignedConversion(t *testing.T) {
+	def := SignalDef{Name: "temp", StartBit: 0, Length: 8}
+	raw := def.FromSigned(-40)
+	if raw != 0xD8 {
+		t.Fatalf("FromSigned(-40) = %02X", raw)
+	}
+	if got := def.ToSigned(raw); got != -40 {
+		t.Fatalf("ToSigned = %d", got)
+	}
+	if got := def.ToSigned(127); got != 127 {
+		t.Fatalf("ToSigned(127) = %d", got)
+	}
+	wide := SignalDef{Name: "w", StartBit: 0, Length: 64}
+	if got := wide.ToSigned(wide.FromSigned(-1)); got != -1 {
+		t.Fatalf("64-bit ToSigned = %d", got)
+	}
+}
+
+func TestQuickPackUnpackRoundTrip(t *testing.T) {
+	f := func(value uint64, start, length uint8, bigEndian bool) bool {
+		l := int(length)%64 + 1
+		s := int(start) % (64 - l + 1)
+		def := SignalDef{Name: "x", StartBit: s, Length: l, BigEndian: bigEndian}
+		value &= def.MaxValue()
+		buf := make([]byte, 8)
+		if err := def.Pack(buf, value); err != nil {
+			return false
+		}
+		got, err := def.Unpack(buf)
+		return err == nil && got == value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSignedRoundTrip(t *testing.T) {
+	f := func(v int32, length uint8) bool {
+		l := int(length)%33 + 32 // 32..64 bits always hold an int32
+		def := SignalDef{Name: "s", StartBit: 0, Length: l}
+		return def.ToSigned(def.FromSigned(int64(v))) == int64(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

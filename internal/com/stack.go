@@ -1,0 +1,213 @@
+package com
+
+import (
+	"fmt"
+
+	"dynautosar/internal/can"
+	"dynautosar/internal/sim"
+)
+
+// IPDUDef declares one interaction-layer PDU: its CAN identifier, length
+// and signal layout. A zero CycleTime makes the PDU event-triggered
+// (transmitted on every signal update); otherwise it is sent periodically
+// from its shadow buffer.
+type IPDUDef struct {
+	Name      string
+	CANID     uint32
+	Extended  bool
+	Length    int
+	Signals   []SignalDef
+	CycleTime sim.Duration
+}
+
+// Validate checks the definition.
+func (d IPDUDef) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("com: PDU with empty name")
+	}
+	if d.Length < 0 || d.Length > can.MaxData {
+		return fmt.Errorf("com: PDU %q has invalid length %d", d.Name, d.Length)
+	}
+	seen := make(map[string]bool, len(d.Signals))
+	for _, s := range d.Signals {
+		if err := s.Validate(d.Length); err != nil {
+			return fmt.Errorf("com: PDU %q: %v", d.Name, err)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("com: PDU %q: duplicate signal %q", d.Name, s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return nil
+}
+
+func (d IPDUDef) signal(name string) (SignalDef, bool) {
+	for _, s := range d.Signals {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return SignalDef{}, false
+}
+
+type txPDU struct {
+	def    IPDUDef
+	shadow []byte
+}
+
+type rxHandler struct {
+	signal SignalDef
+	fn     func(uint64, sim.Time)
+}
+
+type rxPDU struct {
+	def      IPDUDef
+	handlers []rxHandler
+	rawFns   []func([]byte, sim.Time)
+}
+
+// Stack is one ECU's COM instance, bound to one CAN node.
+type Stack struct {
+	eng  *sim.Engine
+	node *can.Node
+	tx   map[string]*txPDU
+	rx   map[uint32]*rxPDU
+}
+
+// NewStack creates a COM stack on the given CAN node.
+func NewStack(eng *sim.Engine, node *can.Node) *Stack {
+	return &Stack{
+		eng:  eng,
+		node: node,
+		tx:   make(map[string]*txPDU),
+		rx:   make(map[uint32]*rxPDU),
+	}
+}
+
+// DefineTx registers a transmit PDU. Periodic PDUs start their cycle
+// immediately.
+func (s *Stack) DefineTx(def IPDUDef) error {
+	if err := def.Validate(); err != nil {
+		return err
+	}
+	if _, dup := s.tx[def.Name]; dup {
+		return fmt.Errorf("com: tx PDU %q already defined", def.Name)
+	}
+	p := &txPDU{def: def, shadow: make([]byte, def.Length)}
+	s.tx[def.Name] = p
+	if def.CycleTime > 0 {
+		var cycle func()
+		cycle = func() {
+			s.transmit(p)
+			s.eng.After(def.CycleTime, cycle)
+		}
+		s.eng.After(def.CycleTime, cycle)
+	}
+	return nil
+}
+
+// DefineRx registers a receive PDU and hooks its CAN identifier.
+func (s *Stack) DefineRx(def IPDUDef) error {
+	if err := def.Validate(); err != nil {
+		return err
+	}
+	if _, dup := s.rx[def.CANID]; dup {
+		return fmt.Errorf("com: rx PDU for CAN id %03X already defined", def.CANID)
+	}
+	p := &rxPDU{def: def}
+	s.rx[def.CANID] = p
+	s.node.OnReceive(can.Filter{ID: def.CANID, Mask: ^uint32(0)}, func(f can.Frame, at sim.Time) {
+		s.dispatch(p, f, at)
+	})
+	return nil
+}
+
+// SendSignal updates the signal in the PDU's shadow buffer; event
+// triggered PDUs transmit immediately, periodic ones at the next cycle.
+func (s *Stack) SendSignal(pduName, sigName string, value uint64) error {
+	p, ok := s.tx[pduName]
+	if !ok {
+		return fmt.Errorf("com: unknown tx PDU %q", pduName)
+	}
+	def, ok := p.def.signal(sigName)
+	if !ok {
+		return fmt.Errorf("com: PDU %q has no signal %q", pduName, sigName)
+	}
+	if err := def.Pack(p.shadow, value); err != nil {
+		return err
+	}
+	if p.def.CycleTime == 0 {
+		return s.transmit(p)
+	}
+	return nil
+}
+
+// SendRaw transmits an event PDU with a verbatim payload, bypassing the
+// signal layer. The payload must not exceed the PDU length.
+func (s *Stack) SendRaw(pduName string, payload []byte) error {
+	p, ok := s.tx[pduName]
+	if !ok {
+		return fmt.Errorf("com: unknown tx PDU %q", pduName)
+	}
+	if len(payload) > p.def.Length {
+		return fmt.Errorf("com: payload of %d bytes exceeds PDU %q length %d",
+			len(payload), pduName, p.def.Length)
+	}
+	copy(p.shadow, payload)
+	for i := len(payload); i < len(p.shadow); i++ {
+		p.shadow[i] = 0
+	}
+	return s.transmit(p)
+}
+
+// OnSignal registers a callback invoked whenever the named signal arrives.
+func (s *Stack) OnSignal(canID uint32, sigName string, fn func(uint64, sim.Time)) error {
+	p, ok := s.rx[canID]
+	if !ok {
+		return fmt.Errorf("com: no rx PDU for CAN id %03X", canID)
+	}
+	def, ok := p.def.signal(sigName)
+	if !ok {
+		return fmt.Errorf("com: rx PDU %q has no signal %q", p.def.Name, sigName)
+	}
+	p.handlers = append(p.handlers, rxHandler{signal: def, fn: fn})
+	return nil
+}
+
+// OnPDU registers a callback for the raw bytes of every arrival of the
+// PDU.
+func (s *Stack) OnPDU(canID uint32, fn func([]byte, sim.Time)) error {
+	p, ok := s.rx[canID]
+	if !ok {
+		return fmt.Errorf("com: no rx PDU for CAN id %03X", canID)
+	}
+	p.rawFns = append(p.rawFns, fn)
+	return nil
+}
+
+func (s *Stack) transmit(p *txPDU) error {
+	return s.node.Send(can.Frame{
+		ID:       p.def.CANID,
+		Extended: p.def.Extended,
+		Data:     append([]byte(nil), p.shadow...),
+	})
+}
+
+func (s *Stack) dispatch(p *rxPDU, f can.Frame, at sim.Time) {
+	data := f.Data
+	if len(data) < p.def.Length {
+		padded := make([]byte, p.def.Length)
+		copy(padded, data)
+		data = padded
+	}
+	for _, fn := range p.rawFns {
+		fn(append([]byte(nil), data...), at)
+	}
+	for _, h := range p.handlers {
+		v, err := h.signal.Unpack(data)
+		if err != nil {
+			continue
+		}
+		h.fn(v, at)
+	}
+}

@@ -1,0 +1,138 @@
+package com
+
+import (
+	"testing"
+
+	"dynautosar/internal/can"
+	"dynautosar/internal/sim"
+)
+
+// twoStacks wires two COM stacks over one bus.
+func twoStacks(t *testing.T) (*sim.Engine, *Stack, *Stack) {
+	t.Helper()
+	eng := sim.NewEngine()
+	bus := can.NewBus(eng, "CAN0", 500_000)
+	a := NewStack(eng, bus.AttachNode("A"))
+	b := NewStack(eng, bus.AttachNode("B"))
+	return eng, a, b
+}
+
+var speedPDU = IPDUDef{
+	Name:   "VehSpeed",
+	CANID:  0x120,
+	Length: 8,
+	Signals: []SignalDef{
+		{Name: "Speed", StartBit: 0, Length: 16},
+		{Name: "Valid", StartBit: 16, Length: 1},
+	},
+}
+
+func TestEventTriggeredSignal(t *testing.T) {
+	eng, a, b := twoStacks(t)
+	if err := a.DefineTx(speedPDU); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DefineRx(speedPDU); err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	if err := b.OnSignal(0x120, "Speed", func(v uint64, _ sim.Time) { got = append(got, v) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendSignal("VehSpeed", "Speed", 88); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendSignal("VehSpeed", "Speed", 99); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(got) != 2 || got[0] != 88 || got[1] != 99 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestPeriodicPDUTransmitsShadow(t *testing.T) {
+	eng, a, b := twoStacks(t)
+	pdu := speedPDU
+	pdu.CycleTime = 10 * sim.Millisecond
+	if err := a.DefineTx(pdu); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DefineRx(speedPDU); err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	_ = b.OnSignal(0x120, "Speed", func(v uint64, _ sim.Time) { got = append(got, v) })
+	// Update the shadow once; the periodic machinery must keep sending it.
+	if err := a.SendSignal("VehSpeed", "Speed", 55); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(35 * sim.Millisecond))
+	if len(got) != 3 {
+		t.Fatalf("periodic deliveries = %d, want 3", len(got))
+	}
+	for _, v := range got {
+		if v != 55 {
+			t.Fatalf("got = %v", got)
+		}
+	}
+}
+
+func TestMultipleSignalsSharePDU(t *testing.T) {
+	eng, a, b := twoStacks(t)
+	_ = a.DefineTx(speedPDU)
+	_ = b.DefineRx(speedPDU)
+	var speed, valid uint64
+	_ = b.OnSignal(0x120, "Speed", func(v uint64, _ sim.Time) { speed = v })
+	_ = b.OnSignal(0x120, "Valid", func(v uint64, _ sim.Time) { valid = v })
+	_ = a.SendSignal("VehSpeed", "Speed", 123)
+	eng.Run()
+	_ = a.SendSignal("VehSpeed", "Valid", 1)
+	eng.Run()
+	if speed != 123 || valid != 1 {
+		t.Fatalf("speed=%d valid=%d", speed, valid)
+	}
+}
+
+func TestOnPDURaw(t *testing.T) {
+	eng, a, b := twoStacks(t)
+	_ = a.DefineTx(speedPDU)
+	_ = b.DefineRx(speedPDU)
+	var raw []byte
+	_ = b.OnPDU(0x120, func(p []byte, _ sim.Time) { raw = p })
+	_ = a.SendRaw("VehSpeed", []byte{1, 2, 3})
+	eng.Run()
+	if len(raw) != 8 || raw[0] != 1 || raw[1] != 2 || raw[2] != 3 || raw[3] != 0 {
+		t.Fatalf("raw = % X", raw)
+	}
+}
+
+func TestStackErrors(t *testing.T) {
+	_, a, _ := twoStacks(t)
+	if err := a.SendSignal("nope", "Speed", 1); err == nil {
+		t.Fatal("unknown PDU accepted")
+	}
+	_ = a.DefineTx(speedPDU)
+	if err := a.DefineTx(speedPDU); err == nil {
+		t.Fatal("duplicate tx PDU accepted")
+	}
+	if err := a.SendSignal("VehSpeed", "nope", 1); err == nil {
+		t.Fatal("unknown signal accepted")
+	}
+	if err := a.SendRaw("VehSpeed", make([]byte, 9)); err == nil {
+		t.Fatal("oversized raw accepted")
+	}
+	if err := a.OnSignal(0x999, "Speed", nil); err == nil {
+		t.Fatal("unknown rx id accepted")
+	}
+	bad := speedPDU
+	bad.Length = 9
+	if err := bad.Validate(); err == nil {
+		t.Fatal("oversized PDU accepted")
+	}
+	dup := speedPDU
+	dup.Signals = append(dup.Signals, dup.Signals[0])
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate signal accepted")
+	}
+}

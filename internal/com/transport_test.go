@@ -1,0 +1,167 @@
+package com
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dynautosar/internal/can"
+	"dynautosar/internal/sim"
+)
+
+// transportPair wires two transport endpoints A->B over one bus.
+func transportPair(t *testing.T) (*sim.Engine, *Transport, *Transport) {
+	t.Helper()
+	eng := sim.NewEngine()
+	bus := can.NewBus(eng, "CAN0", 500_000)
+	na := bus.AttachNode("A")
+	nb := bus.AttachNode("B")
+	ta := NewTransport(na, 0x600, false, can.Filter{ID: 0x601, Mask: ^uint32(0)})
+	tb := NewTransport(nb, 0x601, false, can.Filter{ID: 0x600, Mask: ^uint32(0)})
+	return eng, ta, tb
+}
+
+func TestSingleFrame(t *testing.T) {
+	eng, ta, tb := transportPair(t)
+	var got []byte
+	tb.OnPayload(func(p []byte, _ sim.Time) { got = p })
+	if err := ta.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if string(got) != "hello" {
+		t.Fatalf("got = %q", got)
+	}
+	if ta.Sent != 1 || tb.Reassembled != 1 {
+		t.Fatalf("counters: %d %d", ta.Sent, tb.Reassembled)
+	}
+}
+
+func TestMultiFrame(t *testing.T) {
+	eng, ta, tb := transportPair(t)
+	payload := bytes.Repeat([]byte{0xA5}, 100)
+	payload[0] = 1
+	payload[99] = 2
+	var got []byte
+	tb.OnPayload(func(p []byte, _ sim.Time) { got = p })
+	if err := ta.Send(payload); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("reassembly mismatch: %d bytes", len(got))
+	}
+}
+
+func TestEscapeFormLargePayload(t *testing.T) {
+	eng, ta, tb := transportPair(t)
+	payload := make([]byte, 10_000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	var got []byte
+	tb.OnPayload(func(p []byte, _ sim.Time) { got = p })
+	if err := ta.Send(payload); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("escape-form reassembly mismatch: got %d bytes", len(got))
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	eng, ta, tb := transportPair(t)
+	var fromA, fromB []byte
+	tb.OnPayload(func(p []byte, _ sim.Time) { fromA = p })
+	ta.OnPayload(func(p []byte, _ sim.Time) { fromB = p })
+	_ = ta.Send([]byte("to-b"))
+	_ = tb.Send([]byte("to-a"))
+	eng.Run()
+	if string(fromA) != "to-b" || string(fromB) != "to-a" {
+		t.Fatalf("fromA=%q fromB=%q", fromA, fromB)
+	}
+}
+
+func TestEmptyPayloadRejected(t *testing.T) {
+	_, ta, _ := transportPair(t)
+	if err := ta.Send(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}
+
+func TestSequenceErrorAborts(t *testing.T) {
+	eng := sim.NewEngine()
+	bus := can.NewBus(eng, "CAN0", 500_000)
+	raw := bus.AttachNode("RAW")
+	nb := bus.AttachNode("B")
+	tb := NewTransport(nb, 0x601, false, can.Filter{ID: 0x600, Mask: ^uint32(0)})
+	delivered := 0
+	tb.OnPayload(func([]byte, sim.Time) { delivered++ })
+	// First frame announcing 20 bytes, then a consecutive frame with the
+	// wrong sequence number.
+	_ = raw.Send(can.Frame{ID: 0x600, Data: []byte{0x10, 20, 1, 2, 3, 4, 5, 6}})
+	_ = raw.Send(can.Frame{ID: 0x600, Data: []byte{0x25, 7, 8, 9, 10, 11, 12, 13}})
+	eng.Run()
+	if delivered != 0 {
+		t.Fatal("corrupted stream delivered")
+	}
+	if tb.Aborted != 1 {
+		t.Fatalf("Aborted = %d", tb.Aborted)
+	}
+	// A consecutive frame without a first frame is also an abort.
+	_ = raw.Send(can.Frame{ID: 0x600, Data: []byte{0x21, 1}})
+	eng.Run()
+	if tb.Aborted != 2 {
+		t.Fatalf("Aborted = %d", tb.Aborted)
+	}
+}
+
+func TestFrameCountMatchesActualFrames(t *testing.T) {
+	for _, n := range []int{1, 7, 8, 13, 14, 100, 4095, 4096, 10_000} {
+		eng := sim.NewEngine()
+		bus := can.NewBus(eng, "CAN0", 500_000)
+		na := bus.AttachNode("A")
+		bus.AttachNode("B")
+		tr := NewTransport(na, 0x600, false, can.Filter{ID: 0x601, Mask: ^uint32(0)})
+		if err := tr.Send(make([]byte, n)); err != nil {
+			t.Fatal(err)
+		}
+		frames := 0
+		bus.Tap(func(can.Frame, sim.Time) { frames++ })
+		eng.Run()
+		if frames != FrameCount(n) {
+			t.Fatalf("n=%d: frames=%d, FrameCount=%d", n, frames, FrameCount(n))
+		}
+	}
+	if FrameCount(0) != 0 {
+		t.Fatal("FrameCount(0) != 0")
+	}
+}
+
+func TestQuickTransportRoundTrip(t *testing.T) {
+	f := func(payload []byte) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		if len(payload) > 20_000 {
+			payload = payload[:20_000]
+		}
+		eng := sim.NewEngine()
+		bus := can.NewBus(eng, "CAN0", 500_000)
+		na := bus.AttachNode("A")
+		nb := bus.AttachNode("B")
+		ta := NewTransport(na, 0x600, false, can.Filter{ID: 0x601, Mask: ^uint32(0)})
+		tb := NewTransport(nb, 0x601, false, can.Filter{ID: 0x600, Mask: ^uint32(0)})
+		var got []byte
+		tb.OnPayload(func(p []byte, _ sim.Time) { got = p })
+		if err := ta.Send(payload); err != nil {
+			return false
+		}
+		eng.Run()
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The configuration fingerprints exchanged between OEMs and the trusted
+// server (paper section 3.2.1): the HW conf describes the hardware
+// resources available to plug-ins, the SystemSW conf the exposed API in
+// terms of virtual ports of the available plug-in SW-Cs. Together they
+// form the Vehicle Conf against which APP compatibility is checked.
+
+// SWCConf describes one plug-in SW-C of a vehicle: its location, resource
+// quotas (HW conf) and exposed virtual ports (SystemSW conf).
+type SWCConf struct {
+	ECU ECUID `json:"ecu"`
+	SWC SWCID `json:"swc"`
+	// MemoryQuota is the total global words available to plug-ins.
+	MemoryQuota int `json:"memoryQuota"`
+	// MaxPlugins bounds the number of installed plug-ins (0 = unlimited).
+	MaxPlugins int `json:"maxPlugins"`
+	// ECM marks the SW-C hosting the external communication manager.
+	ECM bool `json:"ecm"`
+	// VirtualPorts is the static API exposed to plug-ins.
+	VirtualPorts []VirtualPortSpec `json:"virtualPorts"`
+}
+
+// VirtualPort looks up a virtual port by its OEM-facing name.
+func (c SWCConf) VirtualPort(name string) (VirtualPortSpec, bool) {
+	for _, v := range c.VirtualPorts {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return VirtualPortSpec{}, false
+}
+
+// VehicleConf is the complete configuration of one vehicle as known to
+// the trusted server.
+type VehicleConf struct {
+	Vehicle VehicleID `json:"vehicle"`
+	Model   string    `json:"model"`
+	SWCs    []SWCConf `json:"swcs"`
+}
+
+// SWC looks up the configuration of a plug-in SW-C.
+func (v VehicleConf) SWC(ecu ECUID, swc SWCID) (SWCConf, bool) {
+	for _, c := range v.SWCs {
+		if c.ECU == ecu && c.SWC == swc {
+			return c, true
+		}
+	}
+	return SWCConf{}, false
+}
+
+// ECMSWc returns the SW-C hosting the ECM.
+func (v VehicleConf) ECMSWc() (SWCConf, bool) {
+	for _, c := range v.SWCs {
+		if c.ECM {
+			return c, true
+		}
+	}
+	return SWCConf{}, false
+}
+
+// Validate checks structural consistency: unique SW-C locations, exactly
+// one ECM, valid virtual port specs.
+func (v VehicleConf) Validate() error {
+	if v.Vehicle == "" {
+		return fmt.Errorf("core: vehicle conf without vehicle id")
+	}
+	seen := make(map[string]bool, len(v.SWCs))
+	ecms := 0
+	for _, c := range v.SWCs {
+		key := string(c.ECU) + "/" + string(c.SWC)
+		if seen[key] {
+			return fmt.Errorf("core: vehicle conf: duplicate SW-C %s", key)
+		}
+		seen[key] = true
+		if c.ECM {
+			ecms++
+		}
+		names := make(map[string]bool, len(c.VirtualPorts))
+		ids := make(map[VirtualPortID]bool, len(c.VirtualPorts))
+		for _, vp := range c.VirtualPorts {
+			if err := vp.Validate(); err != nil {
+				return fmt.Errorf("core: vehicle conf: %s: %v", key, err)
+			}
+			if vp.Name != "" && names[vp.Name] {
+				return fmt.Errorf("core: vehicle conf: %s: duplicate virtual port name %q", key, vp.Name)
+			}
+			if ids[vp.ID] {
+				return fmt.Errorf("core: vehicle conf: %s: duplicate virtual port id %s", key, vp.ID)
+			}
+			names[vp.Name] = true
+			ids[vp.ID] = true
+		}
+	}
+	if ecms != 1 {
+		return fmt.Errorf("core: vehicle conf: %d ECM SW-Cs, want exactly 1", ecms)
+	}
+	return nil
+}
+
+// MarshalJSON helpers keep enum fields readable in the Web Services API.
+
+// vpsJSON is the JSON face of VirtualPortSpec.
+type vpsJSON struct {
+	ID        int    `json:"id"`
+	SWCPort   int    `json:"swcPort"`
+	Type      uint8  `json:"type"`
+	Direction uint8  `json:"direction"`
+	Name      string `json:"name"`
+	Format    string `json:"format"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (v VirtualPortSpec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(vpsJSON{
+		ID: int(v.ID), SWCPort: int(v.SWCPort), Type: uint8(v.Type),
+		Direction: uint8(v.Direction), Name: v.Name, Format: v.Format,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *VirtualPortSpec) UnmarshalJSON(b []byte) error {
+	var j vpsJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*v = VirtualPortSpec{
+		ID: VirtualPortID(j.ID), SWCPort: SWCPortID(j.SWCPort),
+		Type: PortType(j.Type), Direction: Direction(j.Direction),
+		Name: j.Name, Format: j.Format,
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"fmt"
+
+	"dynautosar/internal/core"
+)
+
+// The PLC of the paper's OP plug-in: four ports connected to the virtual
+// ports of SW-C2.
+func ExampleParsePLC() {
+	plc, err := core.ParsePLC("{P0-V3, P1-V3, P2-V4, P3-V5}")
+	if err != nil {
+		panic(err)
+	}
+	post, _ := plc.Lookup(3)
+	fmt.Println(post.Kind, "to", post.Virtual)
+	fmt.Println(plc)
+	// Output:
+	// virtual to V5
+	// {P0-V3, P1-V3, P2-V4, P3-V5}
+}
+
+// The PLC of the paper's COM plug-in: two PIRTE-direct ports and two mux
+// connections carrying the recipient ids of the far side.
+func ExamplePLCEntry() {
+	plc, _ := core.ParsePLC("{P0-, P1-, P2-V0.P0, P3-V0.P1}")
+	for _, post := range plc {
+		fmt.Println(post)
+	}
+	// Output:
+	// P0-
+	// P1-
+	// P2-V0.P0
+	// P3-V0.P1
+}
+
+// The ECC of the paper's COM plug-in routes two message ids from the
+// phone to plug-in ports on ECU1.
+func ExampleParseECC() {
+	ecc, _ := core.ParseECC("{{111.22.33.44:56789, ECU1, 'Wheels', P0}, {111.22.33.44:56789, ECU1, 'Speed', P1}}")
+	entry, _ := ecc.Route("Speed")
+	fmt.Println(entry.ECU, entry.Port)
+	fmt.Println(ecc.Endpoints())
+	// Output:
+	// ECU1 P1
+	// [111.22.33.44:56789]
+}
+
+// A PIC maps developer-chosen port names to SW-C-scope unique ids.
+func ExamplePIC() {
+	pic := core.PIC{{Name: "WheelsIn", ID: 0}, {Name: "SpeedIn", ID: 1}}
+	id, _ := pic.Lookup("SpeedIn")
+	fmt.Println(id)
+	fmt.Println(pic)
+	// Output:
+	// P1
+	// {WheelsIn:P0, SpeedIn:P1}
+}

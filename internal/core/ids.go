@@ -1,0 +1,126 @@
+// Package core defines the shared model of the dynamic AUTOSAR component
+// model: identifiers for ECUs, software components and ports; the three
+// special-purpose port types of the paper (type I, II, III); and the three
+// deployment contexts (PIC, PLC, ECC) together with their canonical textual
+// syntax and compact binary wire form.
+//
+// Everything else in the repository — the PIRTE, the ECM, the trusted
+// server — is written against these types, mirroring how the paper's
+// concepts are shared between the vehicle side (section 3.1) and the server
+// side (section 3.2).
+package core
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ECUID names an electronic control unit within one vehicle, e.g. "ECU1".
+type ECUID string
+
+// SWCID names a software component instance on an ECU, e.g. "SW-C2".
+// Plug-in SW-Cs and the ECM SW-C are identified the same way as ordinary
+// AUTOSAR SW-Cs; the boundary between static and dynamic software passes
+// through the SW-C level (paper section 3.1.1).
+type SWCID string
+
+// PluginName names a plug-in binary, e.g. "COM" or "OP". Plug-in names are
+// unique within one application (APP) and, once installed, within one
+// plug-in SW-C.
+type PluginName string
+
+// AppName names an application stored on the trusted server. An APP
+// typically consists of one or several plug-in binaries (paper section
+// 3.2.1).
+type AppName string
+
+// VehicleID names a vehicle known to the trusted server (e.g. a VIN).
+type VehicleID string
+
+// UserID names a user account on the trusted server.
+type UserID string
+
+// PluginPortID identifies a plug-in port within the scope of one plug-in
+// SW-C. The trusted server assigns SW-C-scope unique ids when it generates
+// the Port Initialization Context, so two plug-ins installed in the same
+// SW-C never collide (paper section 3.2.2).
+type PluginPortID int
+
+// String renders the id in the paper's "P<n>" notation.
+func (p PluginPortID) String() string { return "P" + strconv.Itoa(int(p)) }
+
+// VirtualPortID identifies a virtual port of a PIRTE. Virtual ports build
+// up the static API available to the plug-ins; they are created by the OEM
+// at design time and mapped 1:1 onto SW-C ports (paper section 3.1.2).
+type VirtualPortID int
+
+// String renders the id in the paper's "V<n>" notation.
+func (v VirtualPortID) String() string { return "V" + strconv.Itoa(int(v)) }
+
+// SWCPortID identifies a static AUTOSAR SW-C port, the ports visible to the
+// RTE. In the paper's figures these are the "S" ports.
+type SWCPortID int
+
+// String renders the id in the paper's "S<n>" notation.
+func (s SWCPortID) String() string { return "S" + strconv.Itoa(int(s)) }
+
+var (
+	pluginPortRe  = regexp.MustCompile(`^P(\d+)$`)
+	virtualPortRe = regexp.MustCompile(`^V(\d+)$`)
+	swcPortRe     = regexp.MustCompile(`^S(\d+)$`)
+)
+
+// ParsePluginPortID parses the "P<n>" notation.
+func ParsePluginPortID(s string) (PluginPortID, error) {
+	m := pluginPortRe.FindStringSubmatch(strings.TrimSpace(s))
+	if m == nil {
+		return 0, fmt.Errorf("core: %q is not a plug-in port id (want P<n>)", s)
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		return 0, fmt.Errorf("core: bad plug-in port id %q: %v", s, err)
+	}
+	return PluginPortID(n), nil
+}
+
+// ParseVirtualPortID parses the "V<n>" notation.
+func ParseVirtualPortID(s string) (VirtualPortID, error) {
+	m := virtualPortRe.FindStringSubmatch(strings.TrimSpace(s))
+	if m == nil {
+		return 0, fmt.Errorf("core: %q is not a virtual port id (want V<n>)", s)
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		return 0, fmt.Errorf("core: bad virtual port id %q: %v", s, err)
+	}
+	return VirtualPortID(n), nil
+}
+
+// ParseSWCPortID parses the "S<n>" notation.
+func ParseSWCPortID(s string) (SWCPortID, error) {
+	m := swcPortRe.FindStringSubmatch(strings.TrimSpace(s))
+	if m == nil {
+		return 0, fmt.Errorf("core: %q is not a SW-C port id (want S<n>)", s)
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		return 0, fmt.Errorf("core: bad SW-C port id %q: %v", s, err)
+	}
+	return SWCPortID(n), nil
+}
+
+// Address locates a plug-in port globally: vehicle-internal routing is
+// expressed as (ECU, SW-C, plug-in port). The ECC carries such addresses
+// for externally reachable ports (paper section 3.1.2).
+type Address struct {
+	ECU  ECUID
+	SWC  SWCID
+	Port PluginPortID
+}
+
+// String renders "ECU1/SW-C1:P0".
+func (a Address) String() string {
+	return fmt.Sprintf("%s/%s:%s", a.ECU, a.SWC, a.Port)
+}

@@ -1,0 +1,127 @@
+package core
+
+import "fmt"
+
+// PortType classifies the special-purpose SW-C ports introduced by the
+// dynamic component model (paper section 3.1.3). All three look the same to
+// the underlying RTE but carry different data and are handled differently
+// by the PIRTE.
+type PortType uint8
+
+const (
+	// TypeI ports connect each plug-in SW-C with the ECM SW-C. They carry
+	// external traffic: installation packages, acks, diagnostic messages
+	// and FES messages relayed by the ECM PIRTE.
+	TypeI PortType = iota + 1
+	// TypeII ports connect plug-in SW-Cs with each other. Any number of
+	// plug-in port pairs are multiplexed over one pair of type II ports by
+	// attaching the recipient plug-in port id to the data.
+	TypeII
+	// TypeIII ports are ordinary AUTOSAR SW-C ports used for communication
+	// with the built-in software (BSW and legacy ASW). No additional data
+	// is attached; virtual ports only translate formats.
+	TypeIII
+)
+
+// String implements fmt.Stringer using the paper's roman-numeral naming.
+func (t PortType) String() string {
+	switch t {
+	case TypeI:
+		return "type I"
+	case TypeII:
+		return "type II"
+	case TypeIII:
+		return "type III"
+	}
+	return fmt.Sprintf("PortType(%d)", uint8(t))
+}
+
+// Valid reports whether t is one of the three defined port types.
+func (t PortType) Valid() bool { return t >= TypeI && t <= TypeIII }
+
+// Direction tells whether a port produces or consumes data, matching the
+// AUTOSAR provided/required port split (paper section 2).
+type Direction uint8
+
+const (
+	// Provided ports are used by a component for its output.
+	Provided Direction = iota + 1
+	// Required ports expect input from the rest of the system.
+	Required
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Provided:
+		return "provided"
+	case Required:
+		return "required"
+	}
+	return fmt.Sprintf("Direction(%d)", uint8(d))
+}
+
+// Valid reports whether d is a defined direction.
+func (d Direction) Valid() bool { return d == Provided || d == Required }
+
+// Opposite returns the complementary direction; a provided port connects to
+// a required port and vice versa.
+func (d Direction) Opposite() Direction {
+	if d == Provided {
+		return Required
+	}
+	return Provided
+}
+
+// SWCPortSpec describes one static SW-C port of a plug-in SW-C as exposed
+// to the RTE. The OEM fixes these at design time; the PIRTE's static part
+// maps them to virtual ports (paper section 3.1.2).
+type SWCPortSpec struct {
+	ID        SWCPortID
+	Type      PortType
+	Direction Direction
+	// Signal names the RTE-level signal or data element this port carries,
+	// e.g. "WheelsReq". Only meaningful for type III ports; type I/II
+	// ports carry opaque dynamic payloads.
+	Signal string
+}
+
+// VirtualPortSpec describes one virtual port of a PIRTE: the static API
+// available to plug-ins. Each virtual port wraps exactly one SW-C port and
+// performs the type-dependent translation between plug-in data and the
+// SW-C port format.
+type VirtualPortSpec struct {
+	ID        VirtualPortID
+	SWCPort   SWCPortID
+	Type      PortType
+	Direction Direction
+	// Name is the OEM-facing name used in SystemSW conf uploads and in APP
+	// configurations, e.g. "WheelsReq" (paper section 4: V4).
+	Name string
+	// Format names the payload codec applied when translating between the
+	// plug-in byte representation and the SW-C signal representation,
+	// e.g. "i16be". Empty means pass-through.
+	Format string
+}
+
+// Validate checks internal consistency of the spec.
+func (v VirtualPortSpec) Validate() error {
+	if !v.Type.Valid() {
+		return fmt.Errorf("core: virtual port %s: invalid port type %d", v.ID, v.Type)
+	}
+	if !v.Direction.Valid() {
+		return fmt.Errorf("core: virtual port %s: invalid direction %d", v.ID, v.Direction)
+	}
+	if v.SWCPort < 0 {
+		return fmt.Errorf("core: virtual port %s: negative SW-C port id", v.ID)
+	}
+	return nil
+}
+
+// PluginPortSpec describes one port declared by a plug-in developer. The
+// developer chooses the Name; the trusted server assigns the SW-C-scope
+// unique ID when generating the PIC.
+type PluginPortSpec struct {
+	Name      string    `json:"name"`
+	Direction Direction `json:"direction"`
+}

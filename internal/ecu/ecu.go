@@ -1,0 +1,139 @@
+// Package ecu assembles one electronic control unit of the test platform:
+// an OSEK kernel, an RTE, a CAN controller with its COM stack, the basic
+// software services, and optionally a plug-in SW-C (PIRTE) or the ECM.
+// It mirrors the paper's platform where each Raspberry Pi ran ArcticCore
+// plus one plug-in SW-C (section 4).
+package ecu
+
+import (
+	"fmt"
+
+	"dynautosar/internal/bsw"
+	"dynautosar/internal/can"
+	"dynautosar/internal/com"
+	"dynautosar/internal/core"
+	"dynautosar/internal/ecm"
+	"dynautosar/internal/osek"
+	"dynautosar/internal/pirte"
+	"dynautosar/internal/rte"
+	"dynautosar/internal/sim"
+)
+
+// ECU is one node of the vehicle.
+type ECU struct {
+	ID     core.ECUID
+	Eng    *sim.Engine
+	Kernel *osek.Kernel
+	RTE    *rte.RTE
+	Node   *can.Node
+	Com    *com.Stack
+	IoHwAb *bsw.IoHwAb
+	NvM    *bsw.NvM
+	WdgM   *bsw.WdgM
+	EcuM   *bsw.EcuM
+
+	// PIRTE is the plug-in SW-C hosted on this ECU, nil when the ECU only
+	// runs built-in software.
+	PIRTE *pirte.PIRTE
+	// ECM is set on the gateway ECU.
+	ECM *ecm.ECM
+
+	transports []*com.Transport
+}
+
+// New creates an ECU attached to the bus.
+func New(eng *sim.Engine, id core.ECUID, bus *can.Bus) *ECU {
+	kernel := osek.New(eng, string(id))
+	node := bus.AttachNode(string(id))
+	e := &ECU{
+		ID:     id,
+		Eng:    eng,
+		Kernel: kernel,
+		RTE:    rte.New(kernel),
+		Node:   node,
+		Com:    com.NewStack(eng, node),
+		IoHwAb: bsw.NewIoHwAb(eng),
+		NvM:    bsw.NewNvM(),
+		WdgM:   bsw.NewWdgM(eng),
+		EcuM:   bsw.NewEcuM(),
+	}
+	return e
+}
+
+// Start moves the ECU state machine into Run.
+func (e *ECU) Start() error {
+	if err := e.EcuM.Transition(bsw.StateStartup); err != nil {
+		return err
+	}
+	return e.EcuM.Transition(bsw.StateRun)
+}
+
+// NewTransport creates a segmenting transport endpoint on this ECU's CAN
+// controller.
+func (e *ECU) NewTransport(txID uint32, rxID uint32) *com.Transport {
+	tr := com.NewTransport(e.Node, txID, false, can.Filter{ID: rxID, Mask: ^uint32(0)})
+	e.transports = append(e.transports, tr)
+	return tr
+}
+
+// HostPIRTE creates and attaches a plug-in SW-C with the given PIRTE
+// configuration. The configuration's ECU field must match this ECU.
+func (e *ECU) HostPIRTE(cfg pirte.Config) (*pirte.PIRTE, error) {
+	if cfg.ECU != e.ID {
+		return nil, fmt.Errorf("ecu: PIRTE config targets %s, hosting on %s", cfg.ECU, e.ID)
+	}
+	if e.PIRTE != nil {
+		return nil, fmt.Errorf("ecu: %s already hosts a plug-in SW-C", e.ID)
+	}
+	if cfg.NvM == nil {
+		cfg.NvM = e.NvM
+	}
+	p, err := pirte.New(e.Eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Attach(e.RTE); err != nil {
+		return nil, err
+	}
+	e.PIRTE = p
+	return p, nil
+}
+
+// HostECM upgrades this ECU's plug-in SW-C into the vehicle's ECM.
+func (e *ECU) HostECM(cfg pirte.Config) (*ecm.ECM, error) {
+	p, err := e.HostPIRTE(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.ECM = ecm.New(e.Eng, p)
+	return e.ECM, nil
+}
+
+// CanIDAllocatorHandle hands out CAN identifier pairs for cross-ECU
+// links; lower ids are allocated first so earlier links win arbitration.
+type CanIDAllocatorHandle struct{ next uint32 }
+
+// NewCanIDAllocator starts allocating at base.
+func NewCanIDAllocator(base uint32) *CanIDAllocatorHandle {
+	return &CanIDAllocatorHandle{next: base}
+}
+
+// Pair returns two fresh identifiers.
+func (a *CanIDAllocatorHandle) Pair() (uint32, uint32) {
+	tx := a.next
+	a.next += 2
+	return tx, tx + 1
+}
+
+// Connect realises a cross-ECU VFB connection between two SW-C ports: a
+// transport pair is allocated and bound into both RTEs.
+func Connect(alloc *CanIDAllocatorHandle, fromECU *ECU, fromSWC core.SWCID, fromPort core.SWCPortID,
+	toECU *ECU, toSWC core.SWCID, toPort core.SWCPortID) error {
+	txID, rxID := alloc.Pair()
+	out := fromECU.NewTransport(txID, rxID)
+	in := toECU.NewTransport(rxID, txID)
+	if err := fromECU.RTE.BindNetworkTx(string(fromSWC), fromPort.String(), out); err != nil {
+		return err
+	}
+	return toECU.RTE.BindNetworkRx(in, string(toSWC), toPort.String())
+}

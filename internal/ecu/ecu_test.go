@@ -1,0 +1,92 @@
+package ecu
+
+import (
+	"testing"
+
+	"dynautosar/internal/bsw"
+	"dynautosar/internal/can"
+	"dynautosar/internal/core"
+	"dynautosar/internal/pirte"
+	"dynautosar/internal/sim"
+	"dynautosar/internal/vfb"
+)
+
+func twoECUs(t *testing.T) (*sim.Engine, *ECU, *ECU) {
+	t.Helper()
+	eng := sim.NewEngine()
+	bus := can.NewBus(eng, "CAN0", 500_000)
+	return eng, New(eng, "ECU1", bus), New(eng, "ECU2", bus)
+}
+
+func TestStartTransitionsEcuM(t *testing.T) {
+	_, e1, _ := twoECUs(t)
+	if err := e1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if e1.EcuM.State() != bsw.StateRun {
+		t.Fatalf("state = %v", e1.EcuM.State())
+	}
+	if err := e1.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+}
+
+func TestHostPIRTEValidation(t *testing.T) {
+	_, e1, _ := twoECUs(t)
+	cfg := pirte.Config{ECU: "ECU9", SWC: "SW-CX"}
+	if _, err := e1.HostPIRTE(cfg); err == nil {
+		t.Fatal("mismatched ECU accepted")
+	}
+	cfg.ECU = "ECU1"
+	if _, err := e1.HostPIRTE(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.HostPIRTE(cfg); err == nil {
+		t.Fatal("second plug-in SW-C accepted")
+	}
+	// The ECU's NvM is wired in automatically.
+	if e1.PIRTE.Config().NvM != e1.NvM {
+		t.Fatal("PIRTE not bound to ECU NvM")
+	}
+}
+
+func TestConnectCrossECU(t *testing.T) {
+	eng, e1, e2 := twoECUs(t)
+	sr := vfb.Interface{Name: "SR", Kind: vfb.SenderReceiver}
+	prod := vfb.ComponentType{
+		Name:  "P",
+		Ports: []vfb.PortDef{{Name: "S0", Direction: core.Provided, Iface: sr}},
+	}
+	cons := vfb.ComponentType{
+		Name:  "C",
+		Ports: []vfb.PortDef{{Name: "S1", Direction: core.Required, Iface: sr}},
+	}
+	if err := e1.RTE.AddComponent("P", prod); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.RTE.AddComponent("C", cons); err != nil {
+		t.Fatal(err)
+	}
+	alloc := NewCanIDAllocator(0x500)
+	if err := Connect(alloc, e1, "P", 0, e2, "C", 1); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("hello across the bus")
+	if err := e1.RTE.Write("P", "S0", payload); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	got, ok := e2.RTE.Read("C", "S1")
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("cross-ECU read = %q, %v", got, ok)
+	}
+}
+
+func TestAllocatorPairs(t *testing.T) {
+	a := NewCanIDAllocator(0x100)
+	tx1, rx1 := a.Pair()
+	tx2, _ := a.Pair()
+	if tx1 != 0x100 || rx1 != 0x101 || tx2 != 0x102 {
+		t.Fatalf("pairs = %x %x %x", tx1, rx1, tx2)
+	}
+}

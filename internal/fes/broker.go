@@ -1,0 +1,89 @@
+package fes
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"dynautosar/internal/core"
+	"dynautosar/internal/ecm"
+	"dynautosar/internal/server"
+)
+
+// Broker is the federation point of a FES: vehicles publish messages to
+// it over their external links, and the broker relays them — through the
+// trusted server's pusher — to subscribed vehicles. This realises the
+// paper's federated embedded systems, "embedded systems in different
+// products that cooperate with each other", with the trusted server as
+// the rendezvous the architecture already provides.
+type Broker struct {
+	srv *server.Server
+
+	mu sync.Mutex
+	// links route a published message id to a subscriber vehicle and the
+	// message id it knows the payload under.
+	links map[string][]Link
+	// Relayed counts forwarded messages.
+	Relayed uint64
+}
+
+// Link is one federation subscription.
+type Link struct {
+	ToVehicle core.VehicleID
+	ToMessage string
+}
+
+// NewBroker creates a broker relaying through the server.
+func NewBroker(srv *server.Server) *Broker {
+	return &Broker{srv: srv, links: make(map[string][]Link)}
+}
+
+// AddLink subscribes a vehicle to a published message id.
+func (b *Broker) AddLink(fromMessage string, to Link) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.links[fromMessage] = append(b.links[fromMessage], to)
+}
+
+// accept serves one vehicle connection (the Directory calls this when an
+// ECM dials the broker's address).
+func (b *Broker) accept(conn io.ReadWriteCloser) {
+	go func() {
+		for {
+			id, v, err := ecm.ReadExtFrame(conn)
+			if err != nil {
+				return
+			}
+			b.Publish(id, v)
+		}
+	}()
+}
+
+// Publish relays a message to every subscribed vehicle.
+func (b *Broker) Publish(messageID string, value int64) {
+	b.mu.Lock()
+	links := append([]Link(nil), b.links[messageID]...)
+	b.mu.Unlock()
+	for _, l := range links {
+		if err := b.relay(l, value); err != nil {
+			continue
+		}
+		b.mu.Lock()
+		b.Relayed++
+		b.mu.Unlock()
+	}
+}
+
+// relay resolves the subscriber's message id to its in-vehicle
+// destination and pushes it.
+func (b *Broker) relay(l Link, value int64) error {
+	ecuID, port, ok := b.srv.ResolveExternal(l.ToVehicle, l.ToMessage)
+	if !ok {
+		return fmt.Errorf("fes: vehicle %s has no external binding for %q", l.ToVehicle, l.ToMessage)
+	}
+	payload := core.NewEnc(10)
+	payload.U16(uint16(port))
+	payload.I64(value)
+	msg := core.Message{Type: core.MsgExternal, ECU: ecuID, Payload: payload.Bytes()}
+	return b.srv.Pusher().Push(l.ToVehicle, msg)
+}

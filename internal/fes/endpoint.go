@@ -1,0 +1,161 @@
+// Package fes provides the federated-embedded-systems side of the paper:
+// external endpoints like the smart phone of section 4, a directory that
+// lets ECMs dial endpoints by the addresses in their ECCs, and a
+// federation broker that relays messages between vehicles through the
+// trusted server — the FES scenario the paper motivates in its
+// introduction.
+package fes
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"dynautosar/internal/ecm"
+)
+
+// Frame is one message on an external link.
+type Frame struct {
+	MessageID string
+	Value     int64
+}
+
+// Endpoint simulates an external resource (smart phone, road-side unit).
+// ECMs dial it through a Directory; the endpoint can send frames to every
+// connected vehicle and records everything it receives.
+type Endpoint struct {
+	// Address is the location written into ECCs, e.g. "111.22.33.44:56789".
+	Address string
+
+	mu       sync.Mutex
+	conns    []io.ReadWriteCloser
+	received []Frame
+	// onFrame, when set, observes every received frame.
+	onFrame func(Frame)
+}
+
+// NewEndpoint creates an endpoint with the given address.
+func NewEndpoint(address string) *Endpoint {
+	return &Endpoint{Address: address}
+}
+
+// OnFrame registers an observer for inbound frames.
+func (e *Endpoint) OnFrame(fn func(Frame)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onFrame = fn
+}
+
+// accept wires one new connection from an ECM and starts its read loop.
+func (e *Endpoint) accept(conn io.ReadWriteCloser) {
+	e.mu.Lock()
+	e.conns = append(e.conns, conn)
+	e.mu.Unlock()
+	go func() {
+		for {
+			id, v, err := ecm.ReadExtFrame(conn)
+			if err != nil {
+				return
+			}
+			e.mu.Lock()
+			e.received = append(e.received, Frame{MessageID: id, Value: v})
+			fn := e.onFrame
+			e.mu.Unlock()
+			if fn != nil {
+				fn(Frame{MessageID: id, Value: v})
+			}
+		}
+	}()
+}
+
+// Send writes a frame to every connected vehicle; the paper's phone
+// "sends the signals" this way.
+func (e *Endpoint) Send(messageID string, value int64) error {
+	e.mu.Lock()
+	conns := append([]io.ReadWriteCloser(nil), e.conns...)
+	e.mu.Unlock()
+	if len(conns) == 0 {
+		return fmt.Errorf("fes: endpoint %s has no connections", e.Address)
+	}
+	for _, c := range conns {
+		if err := ecm.WriteExtFrame(c, messageID, value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Received returns a copy of the frames received so far.
+func (e *Endpoint) Received() []Frame {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Frame(nil), e.received...)
+}
+
+// Connections returns the number of attached vehicles.
+func (e *Endpoint) Connections() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.conns)
+}
+
+// Close shuts all connections.
+func (e *Endpoint) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, c := range e.conns {
+		c.Close()
+	}
+	e.conns = nil
+}
+
+// Directory resolves endpoint addresses to simulated endpoints; it
+// implements ecm.Dialer with in-memory duplex pipes, standing in for the
+// IP network of the paper's platform.
+type Directory struct {
+	mu        sync.Mutex
+	endpoints map[string]*Endpoint
+	brokers   map[string]*Broker
+}
+
+// NewDirectory creates an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{
+		endpoints: make(map[string]*Endpoint),
+		brokers:   make(map[string]*Broker),
+	}
+}
+
+// Register adds an endpoint under its address.
+func (d *Directory) Register(e *Endpoint) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.endpoints[e.Address] = e
+}
+
+// RegisterBroker adds a federation broker under an address.
+func (d *Directory) RegisterBroker(address string, b *Broker) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.brokers[address] = b
+}
+
+// Dial implements ecm.Dialer.
+func (d *Directory) Dial(address string) (io.ReadWriteCloser, error) {
+	d.mu.Lock()
+	ep := d.endpoints[address]
+	br := d.brokers[address]
+	d.mu.Unlock()
+	switch {
+	case ep != nil:
+		ecmSide, epSide := net.Pipe()
+		ep.accept(epSide)
+		return ecmSide, nil
+	case br != nil:
+		ecmSide, brSide := net.Pipe()
+		br.accept(brSide)
+		return ecmSide, nil
+	}
+	return nil, fmt.Errorf("fes: unknown endpoint %q", address)
+}

@@ -1,0 +1,107 @@
+package osek
+
+import (
+	"fmt"
+
+	"dynautosar/internal/sim"
+)
+
+// AlarmID names a declared alarm.
+type AlarmID int
+
+// AlarmAction is what an alarm does when it expires: activate a task, set
+// an event on an extended task, or run a callback (OSEK alarm-callback).
+type AlarmAction struct {
+	Task     TaskID
+	Event    EventMask // zero: activate the task; non-zero: set the event
+	Callback func()    // if non-nil, overrides Task/Event
+}
+
+type alarm struct {
+	id      AlarmID
+	action  AlarmAction
+	cycle   sim.Duration
+	armed   bool
+	eventID sim.EventID
+}
+
+// DeclareAlarm registers an alarm with its action; it starts idle.
+func (k *Kernel) DeclareAlarm(action AlarmAction) AlarmID {
+	id := k.nextA
+	k.nextA++
+	k.alarms[id] = &alarm{id: id, action: action}
+	return id
+}
+
+// SetRelAlarm arms the alarm to expire offset from now, and then every
+// cycle if cycle > 0 (a cyclic alarm — the heartbeat of periodic
+// runnables).
+func (k *Kernel) SetRelAlarm(id AlarmID, offset, cycle sim.Duration) error {
+	a, ok := k.alarms[id]
+	if !ok {
+		return k.raise(fmt.Errorf("%w: alarm %d", ErrUnknown, id))
+	}
+	if a.armed {
+		return k.raise(fmt.Errorf("%w: alarm %d already armed", ErrState, id))
+	}
+	if offset < 0 || cycle < 0 {
+		return k.raise(fmt.Errorf("%w: alarm %d has negative timing", ErrState, id))
+	}
+	a.cycle = cycle
+	a.armed = true
+	a.eventID = k.eng.After(offset, func() { k.expire(a) })
+	return nil
+}
+
+// SetAbsAlarm arms the alarm to expire at the absolute time at.
+func (k *Kernel) SetAbsAlarm(id AlarmID, at sim.Time, cycle sim.Duration) error {
+	a, ok := k.alarms[id]
+	if !ok {
+		return k.raise(fmt.Errorf("%w: alarm %d", ErrUnknown, id))
+	}
+	if a.armed {
+		return k.raise(fmt.Errorf("%w: alarm %d already armed", ErrState, id))
+	}
+	a.cycle = cycle
+	a.armed = true
+	a.eventID = k.eng.Schedule(at, func() { k.expire(a) })
+	return nil
+}
+
+// CancelAlarm disarms the alarm.
+func (k *Kernel) CancelAlarm(id AlarmID) error {
+	a, ok := k.alarms[id]
+	if !ok {
+		return k.raise(fmt.Errorf("%w: alarm %d", ErrUnknown, id))
+	}
+	if !a.armed {
+		return k.raise(fmt.Errorf("%w: alarm %d not armed", ErrState, id))
+	}
+	k.eng.Cancel(a.eventID)
+	a.armed = false
+	return nil
+}
+
+// AlarmArmed reports whether the alarm is currently armed.
+func (k *Kernel) AlarmArmed(id AlarmID) bool {
+	a, ok := k.alarms[id]
+	return ok && a.armed
+}
+
+func (k *Kernel) expire(a *alarm) {
+	if a.cycle > 0 {
+		a.eventID = k.eng.After(a.cycle, func() { k.expire(a) })
+	} else {
+		a.armed = false
+	}
+	switch {
+	case a.action.Callback != nil:
+		a.action.Callback()
+	case a.action.Event != 0:
+		_ = k.SetEvent(a.action.Task, a.action.Event)
+	default:
+		// Activation overflow of a periodic task is reported through the
+		// error hook by ActivateTask itself (OSEK E_OS_LIMIT).
+		_ = k.ActivateTask(a.action.Task)
+	}
+}

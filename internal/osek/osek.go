@@ -1,0 +1,316 @@
+// Package osek implements an OSEK/VDX-like real-time kernel over the
+// discrete-event engine of internal/sim. It provides the slice of the
+// AUTOSAR basic software that the dynamic component model rests on
+// (paper section 2): statically declared tasks with fixed priorities,
+// preemptive scheduling, events for extended tasks, counters and alarms,
+// and category-2 interrupt injection.
+//
+// Fidelity notes. Task bodies execute atomically at the end of their
+// modelled execution time (WCET); preemption is simulated by accounting
+// remaining execution time, so activation-to-completion latencies behave
+// like a single-core fixed-priority preemptive schedule. Extended tasks
+// are modelled event-driven: instead of blocking in WaitEvent, a task
+// declares the event mask it waits for and the kernel invokes its handler
+// when events arrive — the observable activation pattern is the same while
+// staying coroutine-free.
+package osek
+
+import (
+	"errors"
+	"fmt"
+
+	"dynautosar/internal/sim"
+)
+
+// TaskID names a statically declared task.
+type TaskID int
+
+// Priority orders tasks; larger values preempt smaller ones.
+type Priority int
+
+// EventMask is a bit set of OSEK events.
+type EventMask uint32
+
+// Standard OSEK-flavoured errors.
+var (
+	ErrLimit    = errors.New("osek: E_OS_LIMIT: too many pending activations")
+	ErrUnknown  = errors.New("osek: E_OS_ID: unknown object")
+	ErrState    = errors.New("osek: E_OS_STATE: object in wrong state")
+	ErrNotOwner = errors.New("osek: E_OS_ACCESS: task does not accept events")
+)
+
+// TaskConfig declares one task at system generation time, mirroring the
+// static OIL configuration of an OSEK system.
+type TaskConfig struct {
+	// Name is used in traces and errors.
+	Name string
+	// Priority is the fixed task priority; higher runs first.
+	Priority Priority
+	// Body is invoked when an activation completes. For extended tasks
+	// leave Body nil and set EventHandler.
+	Body func()
+	// ExecTime is the modelled execution time of one activation; the CPU
+	// is occupied for this long (possibly split by preemption).
+	ExecTime sim.Duration
+	// MaxActivations bounds queued activations (OSEK multiple activation);
+	// zero means 1.
+	MaxActivations int
+	// WaitMask marks an extended task: the kernel keeps the task waiting
+	// on this event mask and activates it when matching events are set.
+	WaitMask EventMask
+	// EventHandler receives the events that woke an extended task.
+	EventHandler func(EventMask)
+}
+
+type task struct {
+	id      TaskID
+	cfg     TaskConfig
+	pending int // queued activations (basic tasks)
+	// set holds events set while the extended task was not yet dispatched.
+	set EventMask
+	// activations and preemptions accumulate statistics.
+	activations uint64
+}
+
+// activation is one queued or running job of a task.
+type activation struct {
+	t         *task
+	remaining sim.Duration
+	events    EventMask
+	enqueued  sim.Time
+}
+
+// Stats reports aggregate kernel counters.
+type Stats struct {
+	Activations uint64
+	Preemptions uint64
+	Idle        bool
+}
+
+// Kernel is one ECU's operating system instance. All kernels of a vehicle
+// share one sim.Engine, so their schedules interleave on a common
+// timeline. Kernel is not safe for concurrent use (see sim.Engine.Inject
+// for crossing from other goroutines).
+type Kernel struct {
+	eng  *sim.Engine
+	name string
+
+	tasks map[TaskID]*task
+	next  TaskID
+
+	ready   []*activation // priority-ordered, index 0 = highest
+	running *activation
+	sliceAt sim.Time    // when the running activation last got the CPU
+	complEv sim.EventID // completion event of the running activation
+	havingC bool        // whether complEv is live
+
+	preemptive bool
+	errorHook  func(error)
+	preHook    func(TaskID)
+	postHook   func(TaskID)
+
+	alarms map[AlarmID]*alarm
+	nextA  AlarmID
+
+	stats Stats
+}
+
+// New creates a kernel named name on the shared engine. OSEK full
+// preemptive scheduling is the default.
+func New(eng *sim.Engine, name string) *Kernel {
+	return &Kernel{
+		eng:        eng,
+		name:       name,
+		tasks:      make(map[TaskID]*task),
+		alarms:     make(map[AlarmID]*alarm),
+		preemptive: true,
+	}
+}
+
+// Name returns the kernel's name.
+func (k *Kernel) Name() string { return k.name }
+
+// Engine exposes the shared discrete-event engine.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() sim.Time { return k.eng.Now() }
+
+// SetPreemptive selects between full-preemptive (true, default) and
+// non-preemptive scheduling.
+func (k *Kernel) SetPreemptive(p bool) { k.preemptive = p }
+
+// OnError installs the OSEK ErrorHook.
+func (k *Kernel) OnError(fn func(error)) { k.errorHook = fn }
+
+// OnPreTask and OnPostTask install tracing hooks around task execution.
+func (k *Kernel) OnPreTask(fn func(TaskID))  { k.preHook = fn }
+func (k *Kernel) OnPostTask(fn func(TaskID)) { k.postHook = fn }
+
+// Stats returns aggregate counters.
+func (k *Kernel) Stats() Stats {
+	s := k.stats
+	s.Idle = k.running == nil && len(k.ready) == 0
+	return s
+}
+
+// DeclareTask registers a task and returns its id. Declaration is the
+// simulation analogue of the static OIL file.
+func (k *Kernel) DeclareTask(cfg TaskConfig) TaskID {
+	if cfg.MaxActivations <= 0 {
+		cfg.MaxActivations = 1
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("task%d", k.next)
+	}
+	id := k.next
+	k.next++
+	k.tasks[id] = &task{id: id, cfg: cfg}
+	return id
+}
+
+// ActivateTask queues one activation of a basic task.
+func (k *Kernel) ActivateTask(id TaskID) error {
+	t, ok := k.tasks[id]
+	if !ok {
+		return k.raise(fmt.Errorf("%w: task %d", ErrUnknown, id))
+	}
+	if t.cfg.WaitMask != 0 {
+		return k.raise(fmt.Errorf("%w: task %q is extended; use SetEvent", ErrState, t.cfg.Name))
+	}
+	if t.pending >= t.cfg.MaxActivations {
+		return k.raise(fmt.Errorf("%w: task %q", ErrLimit, t.cfg.Name))
+	}
+	t.pending++
+	k.enqueue(&activation{t: t, remaining: t.cfg.ExecTime, enqueued: k.Now()})
+	return nil
+}
+
+// SetEvent sets events on an extended task; if any of them intersect the
+// task's wait mask, an activation carrying the events is enqueued.
+func (k *Kernel) SetEvent(id TaskID, mask EventMask) error {
+	t, ok := k.tasks[id]
+	if !ok {
+		return k.raise(fmt.Errorf("%w: task %d", ErrUnknown, id))
+	}
+	if t.cfg.WaitMask == 0 {
+		return k.raise(fmt.Errorf("%w: task %q is basic", ErrNotOwner, t.cfg.Name))
+	}
+	t.set |= mask
+	if t.set&t.cfg.WaitMask == 0 {
+		return nil
+	}
+	got := t.set & t.cfg.WaitMask
+	t.set &^= got
+	k.enqueue(&activation{t: t, remaining: t.cfg.ExecTime, events: got, enqueued: k.Now()})
+	return nil
+}
+
+// InjectISR runs fn as a category-2 interrupt service routine: immediately,
+// above all task priorities, at the current simulated time.
+func (k *Kernel) InjectISR(fn func()) { fn() }
+
+// enqueue inserts the activation by priority (stable within equal
+// priority) and reschedules.
+func (k *Kernel) enqueue(a *activation) {
+	k.stats.Activations++
+	a.t.activations++
+	pos := len(k.ready)
+	for i, r := range k.ready {
+		if a.t.cfg.Priority > r.t.cfg.Priority {
+			pos = i
+			break
+		}
+	}
+	k.ready = append(k.ready, nil)
+	copy(k.ready[pos+1:], k.ready[pos:])
+	k.ready[pos] = a
+	k.reschedule()
+}
+
+// reschedule enforces the fixed-priority policy after any state change.
+func (k *Kernel) reschedule() {
+	if k.running == nil {
+		k.dispatchNext()
+		return
+	}
+	if !k.preemptive || len(k.ready) == 0 {
+		return
+	}
+	head := k.ready[0]
+	if head.t.cfg.Priority <= k.running.t.cfg.Priority {
+		return
+	}
+	// Preempt: account consumed time, push the running activation back.
+	consumed := sim.Duration(k.Now() - k.sliceAt)
+	if consumed > k.running.remaining {
+		consumed = k.running.remaining
+	}
+	k.running.remaining -= consumed
+	if k.havingC {
+		k.eng.Cancel(k.complEv)
+		k.havingC = false
+	}
+	k.stats.Preemptions++
+	preempted := k.running
+	k.running = nil
+	// Re-insert ahead of equal priorities: a preempted task resumes before
+	// later activations of the same priority.
+	pos := len(k.ready)
+	for i, r := range k.ready {
+		if preempted.t.cfg.Priority >= r.t.cfg.Priority {
+			pos = i
+			break
+		}
+	}
+	k.ready = append(k.ready, nil)
+	copy(k.ready[pos+1:], k.ready[pos:])
+	k.ready[pos] = preempted
+	k.dispatchNext()
+}
+
+// dispatchNext gives the CPU to the highest-priority ready activation.
+func (k *Kernel) dispatchNext() {
+	if k.running != nil || len(k.ready) == 0 {
+		return
+	}
+	a := k.ready[0]
+	copy(k.ready, k.ready[1:])
+	k.ready[len(k.ready)-1] = nil
+	k.ready = k.ready[:len(k.ready)-1]
+	k.running = a
+	k.sliceAt = k.Now()
+	k.complEv = k.eng.After(a.remaining, func() { k.complete(a) })
+	k.havingC = true
+}
+
+// complete runs the task body at the end of its execution time.
+func (k *Kernel) complete(a *activation) {
+	k.havingC = false
+	k.running = nil
+	t := a.t
+	if t.cfg.WaitMask == 0 {
+		t.pending--
+	}
+	if k.preHook != nil {
+		k.preHook(t.id)
+	}
+	switch {
+	case t.cfg.WaitMask != 0 && t.cfg.EventHandler != nil:
+		t.cfg.EventHandler(a.events)
+	case t.cfg.Body != nil:
+		t.cfg.Body()
+	}
+	if k.postHook != nil {
+		k.postHook(t.id)
+	}
+	k.reschedule()
+}
+
+// raise reports err through the ErrorHook (if any) and returns it.
+func (k *Kernel) raise(err error) error {
+	if k.errorHook != nil {
+		k.errorHook(err)
+	}
+	return err
+}

@@ -1,0 +1,308 @@
+package osek
+
+import (
+	"errors"
+	"testing"
+
+	"dynautosar/internal/sim"
+)
+
+func newKernel() (*sim.Engine, *Kernel) {
+	eng := sim.NewEngine()
+	return eng, New(eng, "ECU-test")
+}
+
+func TestActivateRunsBody(t *testing.T) {
+	eng, k := newKernel()
+	ran := 0
+	id := k.DeclareTask(TaskConfig{Name: "t", Priority: 1, Body: func() { ran++ }})
+	if err := k.ActivateTask(id); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if ran != 1 {
+		t.Fatalf("ran = %d", ran)
+	}
+}
+
+func TestPriorityOrderAtSameInstant(t *testing.T) {
+	eng, k := newKernel()
+	var order []string
+	low := k.DeclareTask(TaskConfig{Name: "low", Priority: 1, Body: func() { order = append(order, "low") }})
+	high := k.DeclareTask(TaskConfig{Name: "high", Priority: 9, Body: func() { order = append(order, "high") }})
+	mid := k.DeclareTask(TaskConfig{Name: "mid", Priority: 5, Body: func() { order = append(order, "mid") }})
+	_ = k.ActivateTask(low)
+	_ = k.ActivateTask(high)
+	_ = k.ActivateTask(mid)
+	eng.Run()
+	// With zero execution time, all three are pending at the same instant;
+	// the preemptive scheduler runs them strictly by priority.
+	want := []string{"high", "mid", "low"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestExecTimeDelaysBody(t *testing.T) {
+	eng, k := newKernel()
+	var doneAt sim.Time
+	id := k.DeclareTask(TaskConfig{
+		Name: "slow", Priority: 1, ExecTime: 500,
+		Body: func() { doneAt = eng.Now() },
+	})
+	_ = k.ActivateTask(id)
+	eng.Run()
+	if doneAt != 500 {
+		t.Fatalf("body ran at %v, want 500", doneAt)
+	}
+}
+
+func TestPreemption(t *testing.T) {
+	eng, k := newKernel()
+	var order []string
+	var doneLow, doneHigh sim.Time
+	low := k.DeclareTask(TaskConfig{
+		Name: "low", Priority: 1, ExecTime: 1000,
+		Body: func() { order = append(order, "low"); doneLow = eng.Now() },
+	})
+	high := k.DeclareTask(TaskConfig{
+		Name: "high", Priority: 9, ExecTime: 100,
+		Body: func() { order = append(order, "high"); doneHigh = eng.Now() },
+	})
+	_ = k.ActivateTask(low)
+	eng.After(200, func() { _ = k.ActivateTask(high) })
+	eng.Run()
+	if len(order) != 2 || order[0] != "high" || order[1] != "low" {
+		t.Fatalf("order = %v", order)
+	}
+	// High arrives at 200, runs 100 -> done at 300. Low had consumed 200 of
+	// 1000, resumes at 300 with 800 left -> done at 1100.
+	if doneHigh != 300 {
+		t.Fatalf("high done at %v, want 300", doneHigh)
+	}
+	if doneLow != 1100 {
+		t.Fatalf("low done at %v, want 1100", doneLow)
+	}
+	if got := k.Stats().Preemptions; got != 1 {
+		t.Fatalf("preemptions = %d", got)
+	}
+}
+
+func TestNonPreemptiveDefersHighPriority(t *testing.T) {
+	eng, k := newKernel()
+	k.SetPreemptive(false)
+	var doneHigh sim.Time
+	low := k.DeclareTask(TaskConfig{Name: "low", Priority: 1, ExecTime: 1000, Body: func() {}})
+	high := k.DeclareTask(TaskConfig{Name: "high", Priority: 9, ExecTime: 100,
+		Body: func() { doneHigh = eng.Now() }})
+	_ = k.ActivateTask(low)
+	eng.After(200, func() { _ = k.ActivateTask(high) })
+	eng.Run()
+	if doneHigh != 1100 {
+		t.Fatalf("non-preemptive: high done at %v, want 1100", doneHigh)
+	}
+}
+
+func TestMultipleActivationLimit(t *testing.T) {
+	eng, k := newKernel()
+	ran := 0
+	id := k.DeclareTask(TaskConfig{
+		Name: "q", Priority: 1, ExecTime: 10, MaxActivations: 2,
+		Body: func() { ran++ },
+	})
+	if err := k.ActivateTask(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.ActivateTask(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.ActivateTask(id); !errors.Is(err, ErrLimit) {
+		t.Fatalf("third activation: %v, want ErrLimit", err)
+	}
+	eng.Run()
+	if ran != 2 {
+		t.Fatalf("ran = %d", ran)
+	}
+}
+
+func TestExtendedTaskEvents(t *testing.T) {
+	eng, k := newKernel()
+	var got EventMask
+	ext := k.DeclareTask(TaskConfig{
+		Name: "ext", Priority: 3, WaitMask: 0b011,
+		EventHandler: func(m EventMask) { got |= m },
+	})
+	// Setting a non-waited event leaves the task dormant.
+	if err := k.SetEvent(ext, 0b100); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got != 0 {
+		t.Fatalf("handler ran for non-waited event, got %b", got)
+	}
+	if err := k.SetEvent(ext, 0b001); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got != 0b001 {
+		t.Fatalf("got = %b, want 001", got)
+	}
+	// ActivateTask on an extended task is an error.
+	if err := k.ActivateTask(ext); !errors.Is(err, ErrState) {
+		t.Fatalf("ActivateTask(ext) = %v", err)
+	}
+	// SetEvent on a basic task is an error.
+	basic := k.DeclareTask(TaskConfig{Name: "b", Priority: 1, Body: func() {}})
+	if err := k.SetEvent(basic, 1); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("SetEvent(basic) = %v", err)
+	}
+}
+
+func TestUnknownIDs(t *testing.T) {
+	_, k := newKernel()
+	if err := k.ActivateTask(99); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("ActivateTask(99) = %v", err)
+	}
+	if err := k.SetEvent(99, 1); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("SetEvent(99) = %v", err)
+	}
+	if err := k.SetRelAlarm(99, 0, 0); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("SetRelAlarm(99) = %v", err)
+	}
+	if err := k.CancelAlarm(99); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("CancelAlarm(99) = %v", err)
+	}
+}
+
+func TestErrorHook(t *testing.T) {
+	_, k := newKernel()
+	var hooked error
+	k.OnError(func(err error) { hooked = err })
+	_ = k.ActivateTask(42)
+	if !errors.Is(hooked, ErrUnknown) {
+		t.Fatalf("hooked = %v", hooked)
+	}
+}
+
+func TestCyclicAlarm(t *testing.T) {
+	eng, k := newKernel()
+	var times []sim.Time
+	id := k.DeclareTask(TaskConfig{Name: "tick", Priority: 1,
+		Body: func() { times = append(times, eng.Now()) }})
+	al := k.DeclareAlarm(AlarmAction{Task: id})
+	if err := k.SetRelAlarm(al, 100, 250); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(1000)
+	want := []sim.Time{100, 350, 600, 850}
+	if len(times) != len(want) {
+		t.Fatalf("ticks = %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", times, want)
+		}
+	}
+	if !k.AlarmArmed(al) {
+		t.Fatal("cyclic alarm disarmed itself")
+	}
+	if err := k.CancelAlarm(al); err != nil {
+		t.Fatal(err)
+	}
+	if k.AlarmArmed(al) {
+		t.Fatal("alarm still armed after cancel")
+	}
+}
+
+func TestOneShotAlarmAndCallback(t *testing.T) {
+	eng, k := newKernel()
+	fired := 0
+	al := k.DeclareAlarm(AlarmAction{Callback: func() { fired++ }})
+	if err := k.SetRelAlarm(al, 50, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Double-arming is rejected.
+	if err := k.SetRelAlarm(al, 60, 0); !errors.Is(err, ErrState) {
+		t.Fatalf("double arm = %v", err)
+	}
+	eng.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	if k.AlarmArmed(al) {
+		t.Fatal("one-shot alarm still armed")
+	}
+	// Cancelling an idle alarm is an error.
+	if err := k.CancelAlarm(al); !errors.Is(err, ErrState) {
+		t.Fatalf("cancel idle = %v", err)
+	}
+}
+
+func TestAbsAlarmAndEventAction(t *testing.T) {
+	eng, k := newKernel()
+	var woke EventMask
+	ext := k.DeclareTask(TaskConfig{Name: "e", Priority: 2, WaitMask: 0xF,
+		EventHandler: func(m EventMask) { woke |= m }})
+	al := k.DeclareAlarm(AlarmAction{Task: ext, Event: 0x4})
+	if err := k.SetAbsAlarm(al, 777, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if woke != 0x4 {
+		t.Fatalf("woke = %x", woke)
+	}
+	if eng.Now() != 777 {
+		t.Fatalf("now = %v", eng.Now())
+	}
+}
+
+func TestHooksAndStats(t *testing.T) {
+	eng, k := newKernel()
+	var pre, post []TaskID
+	k.OnPreTask(func(id TaskID) { pre = append(pre, id) })
+	k.OnPostTask(func(id TaskID) { post = append(post, id) })
+	a := k.DeclareTask(TaskConfig{Name: "a", Priority: 1, Body: func() {}})
+	b := k.DeclareTask(TaskConfig{Name: "b", Priority: 2, Body: func() {}})
+	_ = k.ActivateTask(a)
+	_ = k.ActivateTask(b)
+	eng.Run()
+	if len(pre) != 2 || len(post) != 2 {
+		t.Fatalf("hooks: pre=%v post=%v", pre, post)
+	}
+	st := k.Stats()
+	if st.Activations != 2 || !st.Idle {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestISRRunsImmediately(t *testing.T) {
+	_, k := newKernel()
+	ran := false
+	k.InjectISR(func() { ran = true })
+	if !ran {
+		t.Fatal("ISR deferred")
+	}
+}
+
+func TestPreemptedTaskResumesBeforeEqualPriority(t *testing.T) {
+	eng, k := newKernel()
+	var order []string
+	t1 := k.DeclareTask(TaskConfig{Name: "t1", Priority: 1, ExecTime: 1000,
+		Body: func() { order = append(order, "t1") }})
+	t2 := k.DeclareTask(TaskConfig{Name: "t2", Priority: 1, ExecTime: 100,
+		Body: func() { order = append(order, "t2") }})
+	hi := k.DeclareTask(TaskConfig{Name: "hi", Priority: 9, ExecTime: 10,
+		Body: func() { order = append(order, "hi") }})
+	_ = k.ActivateTask(t1)
+	eng.After(100, func() {
+		_ = k.ActivateTask(t2) // same priority: must wait for t1
+		_ = k.ActivateTask(hi) // preempts t1
+	})
+	eng.Run()
+	want := []string{"hi", "t1", "t2"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}

@@ -1,0 +1,124 @@
+// Package pirte implements the Plug-in Runtime Environment of the dynamic
+// component model (paper sections 3.1.2 and 3.1.3). A PIRTE lives inside
+// every plug-in SW-C and has a static and a dynamic part: the static part
+// maps the SW-C ports to virtual ports — the fixed API the OEM exposes to
+// plug-ins — while the dynamic part installs, links, supervises and drives
+// the plug-ins according to the PIC/PLC contexts shipped with each
+// installation package.
+package pirte
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dynautosar/internal/core"
+)
+
+// Formats name the payload codecs a virtual port applies when translating
+// between the plug-in's 64-bit words and the SW-C port byte format. "The
+// plug-in and SW-C ports can have completely different formats, as long as
+// the PIRTE is able to translate between these formats in its virtual
+// ports" (paper section 3.1.3).
+const (
+	// FormatI64 is the default: 8-byte big-endian two's complement.
+	FormatI64 = "i64be"
+	// FormatI32 is 4-byte big-endian.
+	FormatI32 = "i32be"
+	// FormatI16 is 2-byte big-endian, e.g. the wheel angle of the model
+	// car.
+	FormatI16 = "i16be"
+	// FormatI8 is a single signed byte.
+	FormatI8 = "i8"
+	// FormatU8 is a single unsigned byte.
+	FormatU8 = "u8"
+)
+
+// encodeValue renders a plug-in word in the named format.
+func encodeValue(format string, v int64) ([]byte, error) {
+	switch format {
+	case "", FormatI64:
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(v))
+		return b[:], nil
+	case FormatI32:
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(v))
+		return b[:], nil
+	case FormatI16:
+		var b [2]byte
+		binary.BigEndian.PutUint16(b[:], uint16(v))
+		return b[:], nil
+	case FormatI8:
+		return []byte{byte(int8(v))}, nil
+	case FormatU8:
+		return []byte{byte(uint8(v))}, nil
+	}
+	return nil, fmt.Errorf("pirte: unknown virtual port format %q", format)
+}
+
+// decodeValue parses bytes in the named format into a plug-in word.
+func decodeValue(format string, b []byte) (int64, error) {
+	switch format {
+	case "", FormatI64:
+		if len(b) < 8 {
+			return 0, fmt.Errorf("pirte: %s payload of %d bytes", FormatI64, len(b))
+		}
+		return int64(binary.BigEndian.Uint64(b)), nil
+	case FormatI32:
+		if len(b) < 4 {
+			return 0, fmt.Errorf("pirte: %s payload of %d bytes", FormatI32, len(b))
+		}
+		return int64(int32(binary.BigEndian.Uint32(b))), nil
+	case FormatI16:
+		if len(b) < 2 {
+			return 0, fmt.Errorf("pirte: %s payload of %d bytes", FormatI16, len(b))
+		}
+		return int64(int16(binary.BigEndian.Uint16(b))), nil
+	case FormatI8:
+		if len(b) < 1 {
+			return 0, fmt.Errorf("pirte: %s payload of %d bytes", FormatI8, len(b))
+		}
+		return int64(int8(b[0])), nil
+	case FormatU8:
+		if len(b) < 1 {
+			return 0, fmt.Errorf("pirte: %s payload of %d bytes", FormatU8, len(b))
+		}
+		return int64(b[0]), nil
+	}
+	return 0, fmt.Errorf("pirte: unknown virtual port format %q", format)
+}
+
+// Type II multiplexing: "the recipient id is attached to the data before
+// it is sent out on the type II SW-C port" (paper section 3.1.3). One pair
+// of static type II ports carries any number of plug-in port
+// conversations.
+
+// muxEncode wraps a value with its recipient plug-in port id.
+func muxEncode(recipient core.PluginPortID, value int64) []byte {
+	e := core.NewEnc(10)
+	e.U16(uint16(recipient))
+	e.I64(value)
+	return e.Bytes()
+}
+
+// muxDecode extracts the recipient id and value.
+func muxDecode(b []byte) (core.PluginPortID, int64, error) {
+	d := core.NewDec(b)
+	id := core.PluginPortID(d.U16())
+	v := d.I64()
+	if err := d.Err(); err != nil {
+		return 0, 0, fmt.Errorf("pirte: malformed type II payload: %v", err)
+	}
+	return id, v, nil
+}
+
+// extEncode wraps an external value with its plug-in port id for transport
+// inside a MsgExternal envelope (either direction).
+func extEncode(port core.PluginPortID, value int64) []byte {
+	return muxEncode(port, value)
+}
+
+// extDecode is the inverse of extEncode.
+func extDecode(b []byte) (core.PluginPortID, int64, error) {
+	return muxDecode(b)
+}

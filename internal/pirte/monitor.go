@@ -1,0 +1,69 @@
+package pirte
+
+import (
+	"dynautosar/internal/sim"
+)
+
+// Monitor is a fault protection element guarding a virtual port: "the
+// built-in software should monitor the exposed API and provide fault
+// protection mechanisms for the critical signals" (paper section 3.1.1).
+// Monitors run on outbound plug-in writes before the data reaches the
+// SW-C port.
+type Monitor interface {
+	// Check inspects (and possibly adjusts) the value; ok=false drops the
+	// write.
+	Check(value int64, now sim.Time) (adjusted int64, ok bool)
+}
+
+// RangeMonitor confines a signal to [Min, Max]. With Clamp set the value
+// is saturated, otherwise out-of-range writes are dropped.
+type RangeMonitor struct {
+	Min, Max int64
+	Clamp    bool
+	// Violations counts out-of-range writes observed.
+	Violations uint64
+}
+
+// Check implements Monitor.
+func (m *RangeMonitor) Check(v int64, _ sim.Time) (int64, bool) {
+	if v >= m.Min && v <= m.Max {
+		return v, true
+	}
+	m.Violations++
+	if !m.Clamp {
+		return v, false
+	}
+	if v < m.Min {
+		return m.Min, true
+	}
+	return m.Max, true
+}
+
+// RateMonitor allows at most Max writes per sliding Window; excess writes
+// are dropped, protecting the built-in software from plug-in babbling.
+type RateMonitor struct {
+	Window sim.Duration
+	Max    int
+	// Dropped counts suppressed writes.
+	Dropped uint64
+
+	stamps []sim.Time
+}
+
+// Check implements Monitor.
+func (m *RateMonitor) Check(v int64, now sim.Time) (int64, bool) {
+	cutoff := now.Add(-m.Window)
+	keep := m.stamps[:0]
+	for _, t := range m.stamps {
+		if t > cutoff {
+			keep = append(keep, t)
+		}
+	}
+	m.stamps = keep
+	if len(m.stamps) >= m.Max {
+		m.Dropped++
+		return v, false
+	}
+	m.stamps = append(m.stamps, now)
+	return v, true
+}

@@ -1,0 +1,597 @@
+package pirte
+
+import (
+	"errors"
+	"fmt"
+
+	"dynautosar/internal/bsw"
+	"dynautosar/internal/core"
+	"dynautosar/internal/osek"
+	"dynautosar/internal/plugin"
+	"dynautosar/internal/sim"
+	"dynautosar/internal/vm"
+)
+
+// FaultPolicy selects the PIRTE's reaction to a trapped plug-in.
+type FaultPolicy int
+
+const (
+	// FaultStop stops the faulty plug-in until an explicit Start.
+	FaultStop FaultPolicy = iota
+	// FaultRestart restarts the plug-in fresh (paper section 5: plug-ins
+	// are stopped and restarted fresh, no state transfer), up to
+	// RestartLimit times.
+	FaultRestart
+)
+
+// RestartLimit bounds automatic restarts under FaultRestart before a
+// plug-in is parked as faulted.
+const RestartLimit = 3
+
+// State is the life cycle state of an installed plug-in.
+type State int
+
+const (
+	// StateRunning is normal operation.
+	StateRunning State = iota + 1
+	// StateStopped means the plug-in is installed but halted.
+	StateStopped
+	// StateFaulted means the plug-in trapped and exhausted its restarts.
+	StateFaulted
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateStopped:
+		return "stopped"
+	case StateFaulted:
+		return "faulted"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Errors of the dynamic part.
+var (
+	ErrUnknownPlugin = errors.New("pirte: unknown plug-in")
+	ErrDuplicate     = errors.New("pirte: plug-in already installed")
+	ErrQuota         = errors.New("pirte: resource quota exceeded")
+	ErrPortClash     = errors.New("pirte: plug-in port id already in use")
+	ErrBadLink       = errors.New("pirte: PLC post incompatible with virtual port")
+)
+
+// Config describes one plug-in SW-C to its PIRTE: the static SW-C ports,
+// the virtual ports the OEM exposes (paper: provided "in the form of
+// provided and required SW-C ports, connected to the rest of the system
+// through the RTE", section 3.1.1), and the sandbox quotas.
+type Config struct {
+	ECU core.ECUID
+	SWC core.SWCID
+	// SWCPorts are the static ports of the plug-in SW-C.
+	SWCPorts []core.SWCPortSpec
+	// VirtualPorts is the static API available to plug-ins.
+	VirtualPorts []core.VirtualPortSpec
+	// DefaultBudget is the instruction budget per activation for plug-ins
+	// that do not request one; zero selects vm.DefaultBudget.
+	DefaultBudget int
+	// MemoryQuota bounds the total global words of all installed plug-ins
+	// (the VM "is assigned its own memory", section 3.1.1); zero means
+	// unlimited.
+	MemoryQuota int
+	// MaxPlugins bounds the number of installed plug-ins; zero means
+	// unlimited.
+	MaxPlugins int
+	// DispatchPriority is the OS priority of the plug-in dispatcher task;
+	// keep it below the built-in tasks for best-effort execution.
+	DispatchPriority osek.Priority
+	// DispatchCost is the modelled execution time per dispatched plug-in
+	// event.
+	DispatchCost sim.Duration
+	// FaultPolicy selects stop or restart-fresh on traps.
+	FaultPolicy FaultPolicy
+	// NvM, when set, persists installation packages so RestoreFromNvM can
+	// rebuild the plug-in population after an ECU restart.
+	NvM *bsw.NvM
+}
+
+// virtualPort is the static-part entry for one virtual port.
+type virtualPort struct {
+	spec core.VirtualPortSpec
+	swc  core.SWCPortSpec
+	mons []Monitor
+	// Writes and Drops count traffic through the port.
+	Writes uint64
+	Drops  uint64
+}
+
+type timerState struct {
+	armed  bool
+	period sim.Duration
+	ev     sim.EventID
+}
+
+// Installed is one plug-in under PIRTE management.
+type Installed struct {
+	Name      core.PluginName
+	Pkg       plugin.Package
+	inst      *vm.Instance
+	prog      *vm.Program
+	idToIndex map[core.PluginPortID]int
+	indexToID []core.PluginPortID
+	links     map[core.PluginPortID]core.PLCEntry
+	state     State
+	timers    [8]timerState
+	restarts  int
+	// LastFault records the most recent trap.
+	LastFault error
+}
+
+// State returns the plug-in's life cycle state.
+func (ip *Installed) State() State { return ip.state }
+
+// Stats exposes VM counters.
+func (ip *Installed) Stats() (activations, instructions, faults uint64) {
+	return ip.inst.Activations, ip.inst.Instructions, ip.inst.Faults
+}
+
+// event is one queued plug-in activation.
+type event struct {
+	kind  int // 0 init, 1 message, 2 timer
+	pl    *Installed
+	index int // port index or timer id
+	value int64
+}
+
+// PIRTE is the plug-in runtime environment of one plug-in SW-C.
+type PIRTE struct {
+	cfg Config
+	eng *sim.Engine
+
+	virtByID  map[core.VirtualPortID]*virtualPort
+	virtBySWC map[core.SWCPortID]*virtualPort
+	swcPorts  map[core.SWCPortID]core.SWCPortSpec
+
+	plugins   map[core.PluginName]*Installed
+	portOwner map[core.PluginPortID]*Installed
+
+	queue    []event
+	kernel   *osek.Kernel
+	dispatch osek.TaskID
+	attached bool
+	// writeSWC sends bytes out on a static SW-C port; wired by Attach (via
+	// the RTE) or by tests.
+	writeSWC func(core.SWCPortID, []byte) error
+	// typeIProvided is the SW-C port used for acks and outbound external
+	// wrapping; -1 when the SW-C has none.
+	typeIProvided core.SWCPortID
+
+	// typeIHook lets the ECM intercept type I messages (acks from remote
+	// SW-Cs, outbound external messages). Return true to consume.
+	typeIHook func(core.Message) bool
+	// externalOut is called by the ECM PIRTE subclass when a local plug-in
+	// writes to an ECC-routed port; nil elsewhere.
+	externalOut func(pl core.PluginName, port core.PluginPortID, value int64) bool
+	// directWrites buffers values written to unlinked ports for direct
+	// PIRTE reads (paper: "PIRTE1 will communicate with them directly").
+	directWrites map[core.PluginPortID]int64
+	// logf receives plug-in OpLog output and PIRTE diagnostics.
+	logf func(format string, args ...any)
+
+	seq uint32
+
+	// Stats.
+	Dispatched uint64
+	Faults     uint64
+}
+
+// New builds a PIRTE from its configuration. Call Attach (or
+// SetSWCWriter) before installing plug-ins that use SW-C ports.
+func New(eng *sim.Engine, cfg Config) (*PIRTE, error) {
+	p := &PIRTE{
+		cfg:           cfg,
+		eng:           eng,
+		virtByID:      make(map[core.VirtualPortID]*virtualPort),
+		virtBySWC:     make(map[core.SWCPortID]*virtualPort),
+		swcPorts:      make(map[core.SWCPortID]core.SWCPortSpec),
+		plugins:       make(map[core.PluginName]*Installed),
+		portOwner:     make(map[core.PluginPortID]*Installed),
+		directWrites:  make(map[core.PluginPortID]int64),
+		typeIProvided: -1,
+		logf:          func(string, ...any) {},
+	}
+	for _, sp := range cfg.SWCPorts {
+		if !sp.Type.Valid() || !sp.Direction.Valid() {
+			return nil, fmt.Errorf("pirte: SW-C port %s has invalid type or direction", sp.ID)
+		}
+		if _, dup := p.swcPorts[sp.ID]; dup {
+			return nil, fmt.Errorf("pirte: duplicate SW-C port %s", sp.ID)
+		}
+		p.swcPorts[sp.ID] = sp
+		if sp.Type == core.TypeI && sp.Direction == core.Provided && p.typeIProvided < 0 {
+			p.typeIProvided = sp.ID
+		}
+	}
+	for _, vs := range cfg.VirtualPorts {
+		if err := vs.Validate(); err != nil {
+			return nil, err
+		}
+		swc, ok := p.swcPorts[vs.SWCPort]
+		if !ok {
+			return nil, fmt.Errorf("pirte: virtual port %s maps to unknown SW-C port %s", vs.ID, vs.SWCPort)
+		}
+		if swc.Type != vs.Type {
+			return nil, fmt.Errorf("pirte: virtual port %s type %v != SW-C port %s type %v",
+				vs.ID, vs.Type, vs.SWCPort, swc.Type)
+		}
+		if _, dup := p.virtByID[vs.ID]; dup {
+			return nil, fmt.Errorf("pirte: duplicate virtual port %s", vs.ID)
+		}
+		vp := &virtualPort{spec: vs, swc: swc}
+		p.virtByID[vs.ID] = vp
+		p.virtBySWC[vs.SWCPort] = vp
+	}
+	return p, nil
+}
+
+// Config returns the configuration.
+func (p *PIRTE) Config() Config { return p.cfg }
+
+// SetLogger routes plug-in log output and PIRTE diagnostics.
+func (p *PIRTE) SetLogger(fn func(format string, args ...any)) {
+	if fn != nil {
+		p.logf = fn
+	}
+}
+
+// SetSWCWriter wires the outbound SW-C port path; Attach does this
+// automatically through the RTE.
+func (p *PIRTE) SetSWCWriter(fn func(core.SWCPortID, []byte) error) { p.writeSWC = fn }
+
+// SetTypeIHook installs the ECM's interceptor for inbound type I messages.
+func (p *PIRTE) SetTypeIHook(fn func(core.Message) bool) { p.typeIHook = fn }
+
+// SetExternalOut installs the ECM's handler for locally originated
+// external writes.
+func (p *PIRTE) SetExternalOut(fn func(core.PluginName, core.PluginPortID, int64) bool) {
+	p.externalOut = fn
+}
+
+// AddMonitor guards a virtual port with a fault protection monitor.
+func (p *PIRTE) AddMonitor(id core.VirtualPortID, m Monitor) error {
+	vp, ok := p.virtByID[id]
+	if !ok {
+		return fmt.Errorf("pirte: unknown virtual port %s", id)
+	}
+	vp.mons = append(vp.mons, m)
+	return nil
+}
+
+// VirtualPortStats returns traffic counters of a virtual port.
+func (p *PIRTE) VirtualPortStats(id core.VirtualPortID) (writes, drops uint64, ok bool) {
+	vp, found := p.virtByID[id]
+	if !found {
+		return 0, 0, false
+	}
+	return vp.Writes, vp.Drops, true
+}
+
+// Installed returns the installed plug-in names in no particular order.
+func (p *PIRTE) Installed() []core.PluginName {
+	names := make([]core.PluginName, 0, len(p.plugins))
+	for n := range p.plugins {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Plugin returns the managed state of an installed plug-in.
+func (p *PIRTE) Plugin(name core.PluginName) (*Installed, bool) {
+	ip, ok := p.plugins[name]
+	return ip, ok
+}
+
+// DirectRead returns the last value a plug-in wrote to an unlinked port,
+// the PIRTE-direct channel of the paper's COM example.
+func (p *PIRTE) DirectRead(port core.PluginPortID) (int64, bool) {
+	v, ok := p.directWrites[port]
+	return v, ok
+}
+
+// memoryInUse sums the global words of installed plug-ins.
+func (p *PIRTE) memoryInUse() int {
+	total := 0
+	for _, ip := range p.plugins {
+		total += int(ip.prog.Globals)
+	}
+	return total
+}
+
+// Install validates the package against the static configuration and the
+// quotas, creates the sandboxed VM instance, links the ports per the PLC
+// and runs the init handler. This is the dynamic part's core operation
+// (paper section 3.1.2).
+func (p *PIRTE) Install(pkg plugin.Package) error {
+	if err := pkg.Validate(); err != nil {
+		return err
+	}
+	name := pkg.Binary.Manifest.Name
+	if _, dup := p.plugins[name]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicate, name)
+	}
+	if p.cfg.MaxPlugins > 0 && len(p.plugins) >= p.cfg.MaxPlugins {
+		return fmt.Errorf("%w: plug-in limit %d reached", ErrQuota, p.cfg.MaxPlugins)
+	}
+	prog, err := pkg.Binary.Decode()
+	if err != nil {
+		return err
+	}
+	if p.cfg.MemoryQuota > 0 && p.memoryInUse()+int(prog.Globals) > p.cfg.MemoryQuota {
+		return fmt.Errorf("%w: memory quota %d words", ErrQuota, p.cfg.MemoryQuota)
+	}
+
+	// Port Initialization Context: bind SW-C-scope unique ids to the
+	// program's declared port indices.
+	idToIndex := make(map[core.PluginPortID]int, len(pkg.Context.PIC))
+	indexToID := make([]core.PluginPortID, len(prog.Ports))
+	for i, decl := range prog.Ports {
+		id, ok := pkg.Context.PIC.Lookup(decl.Name)
+		if !ok {
+			return fmt.Errorf("pirte: PIC misses port %q of plug-in %s", decl.Name, name)
+		}
+		if owner, taken := p.portOwner[id]; taken {
+			return fmt.Errorf("%w: %s (held by %s)", ErrPortClash, id, owner.Name)
+		}
+		idToIndex[id] = i
+		indexToID[i] = id
+	}
+
+	// Port Linking Context: validate every post against the virtual port
+	// table and the port directions.
+	links := make(map[core.PluginPortID]core.PLCEntry, len(pkg.Context.PLC))
+	for _, post := range pkg.Context.PLC {
+		idx, ok := idToIndex[post.Plugin]
+		if !ok {
+			return fmt.Errorf("pirte: PLC post %s refers to unassigned port", post.Plugin)
+		}
+		dir := prog.Ports[idx].Direction
+		switch post.Kind {
+		case core.LinkNone:
+			// PIRTE-direct; always legal.
+		case core.LinkVirtual:
+			vp, ok := p.virtByID[post.Virtual]
+			if !ok {
+				return fmt.Errorf("%w: %s -> missing %s", ErrBadLink, post.Plugin, post.Virtual)
+			}
+			switch vp.spec.Type {
+			case core.TypeII:
+				// Receive-association: the plug-in port is fed by the mux.
+				if dir != core.Required {
+					return fmt.Errorf("%w: %s is provided but %s is a type II inbound association",
+						ErrBadLink, post.Plugin, post.Virtual)
+				}
+			default:
+				if vp.swc.Direction != dir {
+					return fmt.Errorf("%w: %s (%v) vs %s (%v SW-C port)",
+						ErrBadLink, post.Plugin, dir, post.Virtual, vp.swc.Direction)
+				}
+			}
+		case core.LinkVirtualRemote:
+			vp, ok := p.virtByID[post.Virtual]
+			if !ok {
+				return fmt.Errorf("%w: %s -> missing %s", ErrBadLink, post.Plugin, post.Virtual)
+			}
+			if vp.spec.Type != core.TypeII {
+				return fmt.Errorf("%w: %s carries a remote id but %s is %v",
+					ErrBadLink, post.Plugin, post.Virtual, vp.spec.Type)
+			}
+			if vp.swc.Direction != core.Provided {
+				return fmt.Errorf("%w: %s targets inbound type II port %s",
+					ErrBadLink, post.Plugin, post.Virtual)
+			}
+		case core.LinkPeer:
+			if _, ok := p.portOwner[post.Peer]; !ok {
+				return fmt.Errorf("%w: peer %s of %s not installed", ErrBadLink, post.Peer, post.Plugin)
+			}
+		}
+		links[post.Plugin] = post
+	}
+
+	budget := pkg.Binary.Manifest.Budget
+	if budget == 0 {
+		budget = p.cfg.DefaultBudget
+	}
+	ip := &Installed{
+		Name:      name,
+		Pkg:       pkg,
+		prog:      prog,
+		idToIndex: idToIndex,
+		indexToID: indexToID,
+		links:     links,
+		state:     StateRunning,
+	}
+	inst, err := vm.NewInstance(prog, &host{p: p, ip: ip}, budget)
+	if err != nil {
+		return err
+	}
+	ip.inst = inst
+	p.plugins[name] = ip
+	for id := range idToIndex {
+		p.portOwner[id] = ip
+	}
+	p.persist(ip)
+	p.enqueue(event{kind: 0, pl: ip})
+	p.logf("pirte %s: installed %s %s (ports %v)", p.cfg.SWC, name,
+		pkg.Binary.Manifest.Version, pkg.Context.PIC)
+	return nil
+}
+
+// Uninstall stops and removes the plug-in, releasing its port ids and
+// timers.
+func (p *PIRTE) Uninstall(name core.PluginName) error {
+	ip, ok := p.plugins[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPlugin, name)
+	}
+	ip.inst.Stop()
+	p.clearTimers(ip)
+	for id, owner := range p.portOwner {
+		if owner == ip {
+			delete(p.portOwner, id)
+			delete(p.directWrites, id)
+		}
+	}
+	delete(p.plugins, name)
+	if p.cfg.NvM != nil {
+		p.cfg.NvM.DeleteBlock(p.nvmKey(name))
+	}
+	p.logf("pirte %s: uninstalled %s", p.cfg.SWC, name)
+	return nil
+}
+
+// Stop halts a plug-in; its events are rejected until Start.
+func (p *PIRTE) Stop(name core.PluginName) error {
+	ip, ok := p.plugins[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPlugin, name)
+	}
+	ip.inst.Stop()
+	p.clearTimers(ip)
+	ip.state = StateStopped
+	return nil
+}
+
+// Start (re)starts a stopped or faulted plug-in fresh: a new VM instance
+// with cleared globals, then the init handler — the paper's pragmatic
+// alternative to state transfer (section 5).
+func (p *PIRTE) Start(name core.PluginName) error {
+	ip, ok := p.plugins[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPlugin, name)
+	}
+	budget := ip.Pkg.Binary.Manifest.Budget
+	if budget == 0 {
+		budget = p.cfg.DefaultBudget
+	}
+	inst, err := vm.NewInstance(ip.prog, &host{p: p, ip: ip}, budget)
+	if err != nil {
+		return err
+	}
+	ip.inst = inst
+	ip.state = StateRunning
+	p.enqueue(event{kind: 0, pl: ip})
+	return nil
+}
+
+// persist stores the package in NvM for restore-after-replacement.
+func (p *PIRTE) persist(ip *Installed) {
+	if p.cfg.NvM == nil {
+		return
+	}
+	if raw, err := ip.Pkg.MarshalBinary(); err == nil {
+		p.cfg.NvM.WriteBlock(p.nvmKey(ip.Name), raw)
+	}
+}
+
+func (p *PIRTE) nvmKey(name core.PluginName) string {
+	return "pirte/" + string(p.cfg.SWC) + "/" + string(name)
+}
+
+// RestoreFromNvM reinstalls every persisted plug-in, used after a
+// simulated ECU reboot. Already-installed plug-ins are skipped.
+func (p *PIRTE) RestoreFromNvM() (int, error) {
+	if p.cfg.NvM == nil {
+		return 0, nil
+	}
+	prefix := "pirte/" + string(p.cfg.SWC) + "/"
+	restored := 0
+	for _, block := range p.cfg.NvM.Blocks() {
+		if len(block) <= len(prefix) || block[:len(prefix)] != prefix {
+			continue
+		}
+		raw, _ := p.cfg.NvM.ReadBlock(block)
+		var pkg plugin.Package
+		if err := pkg.UnmarshalBinary(raw); err != nil {
+			return restored, fmt.Errorf("pirte: corrupt NvM block %q: %v", block, err)
+		}
+		if _, dup := p.plugins[pkg.Binary.Manifest.Name]; dup {
+			continue
+		}
+		if err := p.Install(pkg); err != nil {
+			return restored, err
+		}
+		restored++
+	}
+	return restored, nil
+}
+
+// clearTimers disarms all timers of a plug-in.
+func (p *PIRTE) clearTimers(ip *Installed) {
+	for i := range ip.timers {
+		if ip.timers[i].armed {
+			p.eng.Cancel(ip.timers[i].ev)
+			ip.timers[i].armed = false
+		}
+	}
+}
+
+// enqueue adds a plug-in event and schedules dispatching. When the PIRTE
+// is attached to an RTE the event is processed by the best-effort
+// dispatcher task; standalone PIRTEs (unit tests, benchmarks) execute
+// synchronously.
+func (p *PIRTE) enqueue(ev event) {
+	if !p.attached {
+		p.execute(ev)
+		return
+	}
+	p.queue = append(p.queue, ev)
+	_ = p.kernel.ActivateTask(p.dispatch)
+}
+
+// execute runs one plug-in event in the VM and applies the fault policy.
+func (p *PIRTE) execute(ev event) {
+	if ev.pl.state != StateRunning {
+		return
+	}
+	p.Dispatched++
+	var err error
+	switch ev.kind {
+	case 0:
+		err = ev.pl.inst.Init()
+	case 1:
+		err = ev.pl.inst.Deliver(ev.index, ev.value)
+	case 2:
+		err = ev.pl.inst.Timer(ev.index)
+	}
+	if err == nil {
+		return
+	}
+	if errors.Is(err, vm.ErrNoHandler) || errors.Is(err, vm.ErrStopped) {
+		return // benign: nothing to run
+	}
+	p.Faults++
+	ev.pl.LastFault = err
+	p.logf("pirte %s: plug-in %s trapped: %v", p.cfg.SWC, ev.pl.Name, err)
+	switch p.cfg.FaultPolicy {
+	case FaultRestart:
+		if ev.pl.restarts < RestartLimit {
+			ev.pl.restarts++
+			p.clearTimers(ev.pl)
+			if rerr := p.Start(ev.pl.Name); rerr == nil {
+				return
+			}
+		}
+		fallthrough
+	default:
+		ev.pl.inst.Stop()
+		p.clearTimers(ev.pl)
+		ev.pl.state = StateFaulted
+	}
+}
+
+// nextSeq yields sequence numbers for locally originated messages.
+func (p *PIRTE) nextSeq() uint32 {
+	p.seq++
+	return p.seq
+}

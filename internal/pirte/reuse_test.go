@@ -1,0 +1,104 @@
+package pirte
+
+import (
+	"testing"
+
+	"dynautosar/internal/core"
+)
+
+// Uninstalling a plug-in must free its SW-C-scope port ids so a later
+// installation can reuse them — the invariant behind the server's
+// "knowledge about the already installed plug-ins" when assigning PICs.
+func TestUninstallFreesPortIDs(t *testing.T) {
+	p, _, _ := capturePIRTE(t, standardConfig())
+	if err := p.Install(mustPackage(t, opSrc, opContext(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Uninstall("OP"); err != nil {
+		t.Fatal(err)
+	}
+	// A different plug-in claiming the same ids must now succeed.
+	other := `
+.plugin OP2 1.0
+.port WheelsIn required
+.port SpeedIn required
+.port WheelsOut provided
+.port SpeedOut provided
+on_message WheelsIn:
+	ARG
+	PWR WheelsOut
+	RET
+on_message SpeedIn:
+	ARG
+	PWR SpeedOut
+	RET
+`
+	if err := p.Install(mustPackage(t, other, opContext(), nil)); err != nil {
+		t.Fatalf("ids not freed: %v", err)
+	}
+	if len(p.Installed()) != 1 {
+		t.Fatalf("installed = %v", p.Installed())
+	}
+}
+
+// A failed installation must not leak partial state: the ids probed
+// before the failing PLC post stay free.
+func TestFailedInstallLeavesNoState(t *testing.T) {
+	p, _, _ := capturePIRTE(t, standardConfig())
+	ctx := opContext()
+	// Poison the last PLC post so installation fails after the PIC pass.
+	ctx.PLC[3] = core.PLCEntry{Kind: core.LinkVirtual, Plugin: 3, Virtual: 99}
+	if err := p.Install(mustPackage(t, opSrc, ctx, nil)); err == nil {
+		t.Fatal("poisoned install succeeded")
+	}
+	if len(p.Installed()) != 0 {
+		t.Fatal("failed install left a plug-in")
+	}
+	// The original context must install cleanly afterwards.
+	if err := p.Install(mustPackage(t, opSrc, opContext(), nil)); err != nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+}
+
+// Stopping and restarting must not leak timers across the fresh instance.
+func TestRestartResetsGlobals(t *testing.T) {
+	p, _, captured := capturePIRTE(t, standardConfig())
+	src := `
+.plugin stateful 1.0
+.port in required
+.port out provided
+.globals 1
+on_message in:
+	LDG 0
+	PUSH 1
+	ADD
+	STG 0
+	LDG 0
+	PWR out
+	RET
+`
+	ctx := core.Context{
+		PIC: core.PIC{{Name: "in", ID: 90}, {Name: "out", ID: 91}},
+		PLC: core.PLC{{Kind: core.LinkVirtual, Plugin: 91, Virtual: 4}},
+	}
+	if err := p.Install(mustPackage(t, src, ctx, nil)); err != nil {
+		t.Fatal(err)
+	}
+	_ = p.DeliverToPlugin(90, 0)
+	_ = p.DeliverToPlugin(90, 0)
+	if v, _ := decodeValue(FormatI16, captured[4][1]); v != 2 {
+		t.Fatalf("count before restart = %d", v)
+	}
+	if err := p.Stop("stateful"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start("stateful"); err != nil {
+		t.Fatal(err)
+	}
+	_ = p.DeliverToPlugin(90, 0)
+	// Restart fresh: the counter restarts at 1 (paper section 5: stopped
+	// before update, then restarted fresh).
+	if v, _ := decodeValue(FormatI16, captured[4][2]); v != 1 {
+		t.Fatalf("count after restart = %d, want 1", v)
+	}
+}

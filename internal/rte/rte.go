@@ -1,0 +1,391 @@
+// Package rte realises the Virtual Function Bus on one ECU (paper section
+// 2): it owns the component instances, routes sender-receiver data between
+// their ports — locally in memory, or across ECUs through the COM
+// transport — dispatches client-server calls, and maps runnables onto OSEK
+// tasks triggered by timing events or data reception.
+//
+// The RTE is the layer the dynamic component model deliberately leaves
+// untouched: plug-in SW-Cs look like ordinary components to it, and all
+// dynamic behaviour stays inside the PIRTE above (paper section 3.1.1).
+package rte
+
+import (
+	"fmt"
+
+	"dynautosar/internal/com"
+	"dynautosar/internal/core"
+	"dynautosar/internal/osek"
+	"dynautosar/internal/sim"
+	"dynautosar/internal/vfb"
+)
+
+// defaultActivations bounds queued task activations for data-triggered
+// runnables.
+const defaultActivations = 16
+
+type portKey struct {
+	comp string
+	port string
+}
+
+func (k portKey) String() string { return k.comp + "." + k.port }
+
+type portState struct {
+	def   vfb.PortDef
+	last  []byte
+	fresh bool
+	queue [][]byte
+	// Overruns counts arrivals dropped because a bounded queue was full.
+	overruns uint64
+}
+
+type component struct {
+	name  string
+	typ   vfb.ComponentType
+	ports map[string]*portState
+	// dataTasks maps a required port to the tasks activated on arrival.
+	dataTasks map[string][]osek.TaskID
+	// servers maps operation name to its handler, for provided
+	// client-server ports.
+	servers map[string]vfb.RunnableSpec
+}
+
+// RTE is one ECU's runtime environment.
+type RTE struct {
+	kernel *osek.Kernel
+	comps  map[string]*component
+	// routes fan provided sender-receiver ports out to required ports.
+	routes map[portKey][]portKey
+	// csRoutes wire required client-server ports to the serving component.
+	csRoutes map[portKey]string
+	// netTx binds provided ports to transports toward other ECUs.
+	netTx map[portKey][]*com.Transport
+	// Writes and Deliveries count RTE activity.
+	Writes     uint64
+	Deliveries uint64
+}
+
+// New creates an RTE on the kernel.
+func New(kernel *osek.Kernel) *RTE {
+	return &RTE{
+		kernel:   kernel,
+		comps:    make(map[string]*component),
+		routes:   make(map[portKey][]portKey),
+		csRoutes: make(map[portKey]string),
+		netTx:    make(map[portKey][]*com.Transport),
+	}
+}
+
+// Kernel returns the OSEK kernel the RTE maps runnables onto.
+func (r *RTE) Kernel() *osek.Kernel { return r.kernel }
+
+// Now returns the current simulated time.
+func (r *RTE) Now() sim.Time { return r.kernel.Now() }
+
+// AddComponent instantiates a component type under the given instance
+// name, declaring OS tasks for its runnables.
+func (r *RTE) AddComponent(name string, typ vfb.ComponentType) error {
+	if err := typ.Validate(); err != nil {
+		return err
+	}
+	if _, dup := r.comps[name]; dup {
+		return fmt.Errorf("rte: component %q already present", name)
+	}
+	c := &component{
+		name:      name,
+		typ:       typ,
+		ports:     make(map[string]*portState, len(typ.Ports)),
+		dataTasks: make(map[string][]osek.TaskID),
+		servers:   make(map[string]vfb.RunnableSpec),
+	}
+	for _, p := range typ.Ports {
+		c.ports[p.Name] = &portState{def: p}
+	}
+	rt := &runtime{r: r, c: c}
+	for _, run := range typ.Runnables {
+		run := run
+		switch {
+		case len(run.OnInvoke) > 0:
+			for _, op := range run.OnInvoke {
+				if _, dup := c.servers[op]; dup {
+					return fmt.Errorf("rte: component %q: operation %q served twice", name, op)
+				}
+				c.servers[op] = run
+			}
+		default:
+			task := r.kernel.DeclareTask(osek.TaskConfig{
+				Name:           name + "." + run.Name,
+				Priority:       run.Priority,
+				ExecTime:       run.ExecTime,
+				MaxActivations: defaultActivations,
+				Body:           func() { run.Entry(rt) },
+			})
+			if run.Period > 0 {
+				alarm := r.kernel.DeclareAlarm(osek.AlarmAction{Task: task})
+				if err := r.kernel.SetRelAlarm(alarm, run.Period, run.Period); err != nil {
+					return err
+				}
+			}
+			for _, port := range run.OnData {
+				c.dataTasks[port] = append(c.dataTasks[port], task)
+			}
+		}
+	}
+	r.comps[name] = c
+	return nil
+}
+
+// Component returns the component type of an instance.
+func (r *RTE) Component(name string) (vfb.ComponentType, bool) {
+	c, ok := r.comps[name]
+	if !ok {
+		return vfb.ComponentType{}, false
+	}
+	return c.typ, true
+}
+
+// Runtime returns the vfb.Runtime handle of a component instance, the
+// interface handed to its runnables.
+func (r *RTE) Runtime(name string) (vfb.Runtime, error) {
+	c, ok := r.comps[name]
+	if !ok {
+		return nil, fmt.Errorf("rte: unknown component %q", name)
+	}
+	return &runtime{r: r, c: c}, nil
+}
+
+// Connect wires a provided port to a required port on this ECU. For
+// sender-receiver ports data written on from is delivered to to; for
+// client-server ports calls through to's required port reach from's
+// component.
+func (r *RTE) Connect(fromComp, fromPort, toComp, toPort string) error {
+	fc, ok := r.comps[fromComp]
+	if !ok {
+		return fmt.Errorf("rte: unknown component %q", fromComp)
+	}
+	tc, ok := r.comps[toComp]
+	if !ok {
+		return fmt.Errorf("rte: unknown component %q", toComp)
+	}
+	fp, ok := fc.ports[fromPort]
+	if !ok {
+		return fmt.Errorf("rte: %s has no port %q", fromComp, fromPort)
+	}
+	tp, ok := tc.ports[toPort]
+	if !ok {
+		return fmt.Errorf("rte: %s has no port %q", toComp, toPort)
+	}
+	if fp.def.Direction != core.Provided {
+		return fmt.Errorf("rte: %s.%s is not provided", fromComp, fromPort)
+	}
+	if tp.def.Direction != core.Required {
+		return fmt.Errorf("rte: %s.%s is not required", toComp, toPort)
+	}
+	if fp.def.Iface.Kind != tp.def.Iface.Kind {
+		return fmt.Errorf("rte: interface kind mismatch between %s.%s and %s.%s",
+			fromComp, fromPort, toComp, toPort)
+	}
+	if fp.def.Iface.Kind == vfb.ClientServer {
+		r.csRoutes[portKey{toComp, toPort}] = fromComp
+		return nil
+	}
+	key := portKey{fromComp, fromPort}
+	r.routes[key] = append(r.routes[key], portKey{toComp, toPort})
+	return nil
+}
+
+// AddComposite flattens a composite component and hosts all its atomic
+// instances and internal connections on this ECU.
+func (r *RTE) AddComposite(c vfb.Composite) error {
+	instances, conns, err := c.Flatten()
+	if err != nil {
+		return err
+	}
+	for _, inst := range instances {
+		if err := r.AddComponent(inst.Instance, inst.Type); err != nil {
+			return err
+		}
+	}
+	for _, conn := range conns {
+		if err := r.Connect(conn.FromInstance, conn.FromPort, conn.ToInstance, conn.ToPort); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BindNetworkTx routes writes on a provided sender-receiver port into a
+// COM transport, realising a cross-ECU VFB connection.
+func (r *RTE) BindNetworkTx(comp, port string, tr *com.Transport) error {
+	c, ok := r.comps[comp]
+	if !ok {
+		return fmt.Errorf("rte: unknown component %q", comp)
+	}
+	p, ok := c.ports[port]
+	if !ok {
+		return fmt.Errorf("rte: %s has no port %q", comp, port)
+	}
+	if p.def.Direction != core.Provided || p.def.Iface.Kind != vfb.SenderReceiver {
+		return fmt.Errorf("rte: %s.%s is not a provided sender-receiver port", comp, port)
+	}
+	key := portKey{comp, port}
+	r.netTx[key] = append(r.netTx[key], tr)
+	return nil
+}
+
+// BindNetworkRx delivers payloads reassembled by the transport to a
+// required sender-receiver port, completing a cross-ECU connection.
+func (r *RTE) BindNetworkRx(tr *com.Transport, comp, port string) error {
+	c, ok := r.comps[comp]
+	if !ok {
+		return fmt.Errorf("rte: unknown component %q", comp)
+	}
+	p, ok := c.ports[port]
+	if !ok {
+		return fmt.Errorf("rte: %s has no port %q", comp, port)
+	}
+	if p.def.Direction != core.Required || p.def.Iface.Kind != vfb.SenderReceiver {
+		return fmt.Errorf("rte: %s.%s is not a required sender-receiver port", comp, port)
+	}
+	tr.OnPayload(func(payload []byte, _ sim.Time) {
+		r.deliver(portKey{comp, port}, payload)
+	})
+	return nil
+}
+
+// Write implements the Rte_Write side of sender-receiver communication for
+// the named component instance.
+func (r *RTE) Write(comp, port string, data []byte) error {
+	c, ok := r.comps[comp]
+	if !ok {
+		return fmt.Errorf("rte: unknown component %q", comp)
+	}
+	p, ok := c.ports[port]
+	if !ok {
+		return fmt.Errorf("rte: %s has no port %q", comp, port)
+	}
+	if p.def.Direction != core.Provided || p.def.Iface.Kind != vfb.SenderReceiver {
+		return fmt.Errorf("rte: %s.%s is not a provided sender-receiver port", comp, port)
+	}
+	if p.def.Iface.MaxLen > 0 && len(data) > p.def.Iface.MaxLen {
+		return fmt.Errorf("rte: %s.%s: %d bytes exceed interface limit %d",
+			comp, port, len(data), p.def.Iface.MaxLen)
+	}
+	r.Writes++
+	key := portKey{comp, port}
+	owned := append([]byte(nil), data...)
+	for _, dst := range r.routes[key] {
+		r.deliver(dst, owned)
+	}
+	for _, tr := range r.netTx[key] {
+		if err := tr.Send(owned); err != nil {
+			return fmt.Errorf("rte: network write on %s.%s: %v", comp, port, err)
+		}
+	}
+	return nil
+}
+
+// Read implements Rte_Read/Rte_Receive for a required port.
+func (r *RTE) Read(comp, port string) ([]byte, bool) {
+	c, ok := r.comps[comp]
+	if !ok {
+		return nil, false
+	}
+	p, ok := c.ports[port]
+	if !ok {
+		return nil, false
+	}
+	if p.def.QueueLen > 0 {
+		if len(p.queue) == 0 {
+			return nil, false
+		}
+		head := p.queue[0]
+		p.queue = p.queue[1:]
+		return head, true
+	}
+	if !p.fresh {
+		return p.last, false
+	}
+	p.fresh = false
+	return p.last, true
+}
+
+// Call implements Rte_Call: a synchronous client-server invocation through
+// a required port.
+func (r *RTE) Call(comp, port, op string, arg []byte) ([]byte, error) {
+	c, ok := r.comps[comp]
+	if !ok {
+		return nil, fmt.Errorf("rte: unknown component %q", comp)
+	}
+	p, ok := c.ports[port]
+	if !ok {
+		return nil, fmt.Errorf("rte: %s has no port %q", comp, port)
+	}
+	if p.def.Direction != core.Required || p.def.Iface.Kind != vfb.ClientServer {
+		return nil, fmt.Errorf("rte: %s.%s is not a required client-server port", comp, port)
+	}
+	if !p.def.Iface.HasOperation(op) {
+		return nil, fmt.Errorf("rte: %s.%s does not declare operation %q", comp, port, op)
+	}
+	serverName, ok := r.csRoutes[portKey{comp, port}]
+	if !ok {
+		return nil, fmt.Errorf("rte: %s.%s is not connected to a server", comp, port)
+	}
+	server := r.comps[serverName]
+	spec, ok := server.servers[op]
+	if !ok {
+		return nil, fmt.Errorf("rte: server %q does not implement %q", serverName, op)
+	}
+	return spec.Handler(&runtime{r: r, c: server}, op, arg)
+}
+
+// Overruns returns dropped arrivals on a queued port, for diagnostics.
+func (r *RTE) Overruns(comp, port string) uint64 {
+	if c, ok := r.comps[comp]; ok {
+		if p, ok := c.ports[port]; ok {
+			return p.overruns
+		}
+	}
+	return 0
+}
+
+// deliver stores data at a required port and activates data-triggered
+// runnables.
+func (r *RTE) deliver(dst portKey, data []byte) {
+	c, ok := r.comps[dst.comp]
+	if !ok {
+		return
+	}
+	p, ok := c.ports[dst.port]
+	if !ok {
+		return
+	}
+	r.Deliveries++
+	if p.def.QueueLen > 0 {
+		if len(p.queue) >= p.def.QueueLen {
+			p.overruns++
+		} else {
+			p.queue = append(p.queue, append([]byte(nil), data...))
+		}
+	} else {
+		p.last = append([]byte(nil), data...)
+		p.fresh = true
+	}
+	for _, task := range c.dataTasks[dst.port] {
+		_ = r.kernel.ActivateTask(task)
+	}
+}
+
+// runtime implements vfb.Runtime for one component instance.
+type runtime struct {
+	r *RTE
+	c *component
+}
+
+func (rt *runtime) Write(port string, data []byte) error { return rt.r.Write(rt.c.name, port, data) }
+func (rt *runtime) Read(port string) ([]byte, bool)      { return rt.r.Read(rt.c.name, port) }
+func (rt *runtime) Call(port, op string, arg []byte) ([]byte, error) {
+	return rt.r.Call(rt.c.name, port, op, arg)
+}
+func (rt *runtime) Now() sim.Time     { return rt.r.Now() }
+func (rt *runtime) Component() string { return rt.c.name }

@@ -1,0 +1,330 @@
+package rte
+
+import (
+	"strings"
+	"testing"
+
+	"dynautosar/internal/can"
+	"dynautosar/internal/com"
+	"dynautosar/internal/core"
+	"dynautosar/internal/osek"
+	"dynautosar/internal/sim"
+	"dynautosar/internal/vfb"
+)
+
+func sr(maxLen int) vfb.Interface {
+	return vfb.Interface{Name: "SR", Kind: vfb.SenderReceiver, MaxLen: maxLen}
+}
+
+func newRTE() (*sim.Engine, *RTE) {
+	eng := sim.NewEngine()
+	k := osek.New(eng, "ECU1")
+	return eng, New(k)
+}
+
+// producerType writes its payload on "out" every millisecond.
+func producerType(payload []byte) vfb.ComponentType {
+	return vfb.ComponentType{
+		Name:  "Producer",
+		Ports: []vfb.PortDef{{Name: "out", Direction: core.Provided, Iface: sr(64)}},
+		Runnables: []vfb.RunnableSpec{{
+			Name: "tick", Period: sim.Millisecond, Priority: 2,
+			Entry: func(rt vfb.Runtime) { _ = rt.Write("out", payload) },
+		}},
+	}
+}
+
+func consumerType(got *[][]byte) vfb.ComponentType {
+	return vfb.ComponentType{
+		Name:  "Consumer",
+		Ports: []vfb.PortDef{{Name: "in", Direction: core.Required, Iface: sr(64)}},
+		Runnables: []vfb.RunnableSpec{{
+			Name: "onIn", OnData: []string{"in"}, Priority: 1,
+			Entry: func(rt vfb.Runtime) {
+				if v, ok := rt.Read("in"); ok {
+					*got = append(*got, v)
+				}
+			},
+		}},
+	}
+}
+
+func TestLocalSenderReceiverWithDataTrigger(t *testing.T) {
+	eng, r := newRTE()
+	var got [][]byte
+	if err := r.AddComponent("P", producerType([]byte("v1"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddComponent("C", consumerType(&got)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Connect("P", "out", "C", "in"); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(3500)) // 3 periods
+	if len(got) != 3 {
+		t.Fatalf("deliveries = %d, want 3", len(got))
+	}
+	if string(got[0]) != "v1" {
+		t.Fatalf("got[0] = %q", got[0])
+	}
+	if r.Writes != 3 || r.Deliveries != 3 {
+		t.Fatalf("Writes=%d Deliveries=%d", r.Writes, r.Deliveries)
+	}
+}
+
+func TestLastIsBestSemantics(t *testing.T) {
+	eng, r := newRTE()
+	recv := vfb.ComponentType{
+		Name:  "R",
+		Ports: []vfb.PortDef{{Name: "in", Direction: core.Required, Iface: sr(8)}},
+	}
+	send := vfb.ComponentType{
+		Name:  "S",
+		Ports: []vfb.PortDef{{Name: "out", Direction: core.Provided, Iface: sr(8)}},
+	}
+	_ = r.AddComponent("R", recv)
+	_ = r.AddComponent("S", send)
+	_ = r.Connect("S", "out", "R", "in")
+	_ = r.Write("S", "out", []byte{1})
+	_ = r.Write("S", "out", []byte{2})
+	eng.Run()
+	v, fresh := r.Read("R", "in")
+	if !fresh || v[0] != 2 {
+		t.Fatalf("Read = %v fresh=%v, want last value 2", v, fresh)
+	}
+	// Second read returns the same value but stale.
+	v, fresh = r.Read("R", "in")
+	if fresh || v[0] != 2 {
+		t.Fatalf("second Read = %v fresh=%v", v, fresh)
+	}
+}
+
+func TestQueuedPortSemantics(t *testing.T) {
+	eng, r := newRTE()
+	recv := vfb.ComponentType{
+		Name: "R",
+		Ports: []vfb.PortDef{
+			{Name: "in", Direction: core.Required, Iface: sr(8), QueueLen: 2},
+		},
+	}
+	send := vfb.ComponentType{
+		Name:  "S",
+		Ports: []vfb.PortDef{{Name: "out", Direction: core.Provided, Iface: sr(8)}},
+	}
+	_ = r.AddComponent("R", recv)
+	_ = r.AddComponent("S", send)
+	_ = r.Connect("S", "out", "R", "in")
+	for i := byte(1); i <= 3; i++ {
+		_ = r.Write("S", "out", []byte{i})
+	}
+	eng.Run()
+	// Queue depth 2: third arrival dropped.
+	if v, ok := r.Read("R", "in"); !ok || v[0] != 1 {
+		t.Fatalf("first = %v %v", v, ok)
+	}
+	if v, ok := r.Read("R", "in"); !ok || v[0] != 2 {
+		t.Fatalf("second = %v %v", v, ok)
+	}
+	if _, ok := r.Read("R", "in"); ok {
+		t.Fatal("queue should be empty")
+	}
+	if r.Overruns("R", "in") != 1 {
+		t.Fatalf("overruns = %d", r.Overruns("R", "in"))
+	}
+}
+
+func TestFanOutToMultipleReceivers(t *testing.T) {
+	eng, r := newRTE()
+	send := vfb.ComponentType{
+		Name:  "S",
+		Ports: []vfb.PortDef{{Name: "out", Direction: core.Provided, Iface: sr(8)}},
+	}
+	recv := vfb.ComponentType{
+		Name:  "R",
+		Ports: []vfb.PortDef{{Name: "in", Direction: core.Required, Iface: sr(8)}},
+	}
+	_ = r.AddComponent("S", send)
+	_ = r.AddComponent("R1", recv)
+	_ = r.AddComponent("R2", recv)
+	_ = r.Connect("S", "out", "R1", "in")
+	_ = r.Connect("S", "out", "R2", "in")
+	_ = r.Write("S", "out", []byte{9})
+	eng.Run()
+	for _, name := range []string{"R1", "R2"} {
+		if v, ok := r.Read(name, "in"); !ok || v[0] != 9 {
+			t.Fatalf("%s did not receive fan-out", name)
+		}
+	}
+}
+
+func TestClientServerCall(t *testing.T) {
+	_, r := newRTE()
+	iface := vfb.Interface{Name: "Calc", Kind: vfb.ClientServer, Operations: []string{"Add"}}
+	server := vfb.ComponentType{
+		Name:  "Server",
+		Ports: []vfb.PortDef{{Name: "svc", Direction: core.Provided, Iface: iface}},
+		Runnables: []vfb.RunnableSpec{{
+			Name: "serve", OnInvoke: []string{"Add"},
+			Handler: func(_ vfb.Runtime, op string, arg []byte) ([]byte, error) {
+				return []byte{arg[0] + arg[1]}, nil
+			},
+		}},
+	}
+	client := vfb.ComponentType{
+		Name:  "Client",
+		Ports: []vfb.PortDef{{Name: "calc", Direction: core.Required, Iface: iface}},
+	}
+	if err := r.AddComponent("Server", server); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddComponent("Client", client); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Connect("Server", "svc", "Client", "calc"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Call("Client", "calc", "Add", []byte{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0] != 5 {
+		t.Fatalf("Add = %v", res)
+	}
+	if _, err := r.Call("Client", "calc", "Sub", nil); err == nil {
+		t.Fatal("undeclared operation accepted")
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	_, r := newRTE()
+	send := vfb.ComponentType{
+		Name:  "S",
+		Ports: []vfb.PortDef{{Name: "out", Direction: core.Provided, Iface: sr(8)}},
+	}
+	recv := vfb.ComponentType{
+		Name:  "R",
+		Ports: []vfb.PortDef{{Name: "in", Direction: core.Required, Iface: sr(8)}},
+	}
+	_ = r.AddComponent("S", send)
+	_ = r.AddComponent("R", recv)
+	cases := []struct{ fc, fp, tc, tp string }{
+		{"X", "out", "R", "in"},
+		{"S", "nope", "R", "in"},
+		{"S", "out", "X", "in"},
+		{"S", "out", "R", "nope"},
+		{"R", "in", "S", "out"}, // wrong directions
+	}
+	for _, c := range cases {
+		if err := r.Connect(c.fc, c.fp, c.tc, c.tp); err == nil {
+			t.Errorf("Connect(%v) accepted", c)
+		}
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	_, r := newRTE()
+	send := vfb.ComponentType{
+		Name:  "S",
+		Ports: []vfb.PortDef{{Name: "out", Direction: core.Provided, Iface: sr(2)}},
+	}
+	_ = r.AddComponent("S", send)
+	if err := r.Write("S", "out", []byte{1, 2, 3}); err == nil || !strings.Contains(err.Error(), "exceed") {
+		t.Fatalf("oversized write: %v", err)
+	}
+	if err := r.Write("X", "out", nil); err == nil {
+		t.Fatal("unknown component accepted")
+	}
+	if err := r.Write("S", "nope", nil); err == nil {
+		t.Fatal("unknown port accepted")
+	}
+	if err := r.AddComponent("S", send); err == nil {
+		t.Fatal("duplicate component accepted")
+	}
+}
+
+func TestCrossECUConnectionOverCAN(t *testing.T) {
+	eng := sim.NewEngine()
+	bus := can.NewBus(eng, "CAN0", 500_000)
+	k1 := osek.New(eng, "ECU1")
+	k2 := osek.New(eng, "ECU2")
+	r1 := New(k1)
+	r2 := New(k2)
+
+	n1 := bus.AttachNode("ECU1")
+	n2 := bus.AttachNode("ECU2")
+	t12 := com.NewTransport(n1, 0x500, false, can.Filter{ID: 0x501, Mask: ^uint32(0)})
+	t21 := com.NewTransport(n2, 0x501, false, can.Filter{ID: 0x500, Mask: ^uint32(0)})
+
+	send := vfb.ComponentType{
+		Name:  "S",
+		Ports: []vfb.PortDef{{Name: "out", Direction: core.Provided, Iface: sr(0)}},
+	}
+	var got [][]byte
+	recv := consumerType(&got)
+	if err := r1.AddComponent("S", send); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.AddComponent("C", recv); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.BindNetworkTx("S", "out", t12); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.BindNetworkRx(t21, "C", "in"); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("cross-ecu payload exceeding one CAN frame: 0123456789")
+	if err := r1.Write("S", "out", payload); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(got) != 1 || string(got[0]) != string(payload) {
+		t.Fatalf("cross-ECU delivery = %q", got)
+	}
+}
+
+func TestAddComposite(t *testing.T) {
+	eng, r := newRTE()
+	var got [][]byte
+	composite := vfb.Composite{
+		Name: "App",
+		Children: map[string]vfb.ComponentType{
+			"prod": producerType([]byte("x")),
+			"cons": consumerType(&got),
+		},
+		Connections: []vfb.CompositeConnection{{From: "prod.out", To: "cons.in"}},
+	}
+	if err := r.AddComposite(composite); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(1500))
+	if len(got) != 1 {
+		t.Fatalf("composite wiring delivered %d", len(got))
+	}
+	if _, ok := r.Component("App/prod"); !ok {
+		t.Fatal("flattened instance missing")
+	}
+}
+
+func TestRuntimeHandle(t *testing.T) {
+	_, r := newRTE()
+	send := vfb.ComponentType{
+		Name:  "S",
+		Ports: []vfb.PortDef{{Name: "out", Direction: core.Provided, Iface: sr(8)}},
+	}
+	_ = r.AddComponent("S", send)
+	rt, err := r.Runtime("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Component() != "S" {
+		t.Fatalf("Component() = %q", rt.Component())
+	}
+	if err := rt.Write("out", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Runtime("X"); err == nil {
+		t.Fatal("unknown runtime accepted")
+	}
+}

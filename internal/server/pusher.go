@@ -1,0 +1,111 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"dynautosar/internal/core"
+)
+
+// Pusher is the module that interacts with the vehicles through their ECM
+// modules (paper Figure 2). Vehicles dial in — keeping the
+// resource-constrained embedded side free of firewall concerns (section
+// 3.2) — identify themselves with a hello, and the pusher then carries
+// installation packages down and acknowledgements up.
+type Pusher struct {
+	mu    sync.Mutex
+	conns map[core.VehicleID]io.ReadWriteCloser
+	// onMessage receives everything a vehicle sends after its hello.
+	onMessage func(core.VehicleID, core.Message)
+	// Pushed counts downstream messages.
+	Pushed uint64
+}
+
+// NewPusher creates a pusher delivering vehicle messages to onMessage.
+func NewPusher(onMessage func(core.VehicleID, core.Message)) *Pusher {
+	return &Pusher{
+		conns:     make(map[core.VehicleID]io.ReadWriteCloser),
+		onMessage: onMessage,
+	}
+}
+
+// Serve accepts vehicle connections from the listener until it is closed.
+func (p *Pusher) Serve(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go p.ServeConn(conn)
+	}
+}
+
+// ServeConn runs one vehicle connection: it must start with a hello
+// naming the vehicle; afterwards every message is handed to the
+// onMessage callback.
+func (p *Pusher) ServeConn(conn io.ReadWriteCloser) {
+	hello, err := core.ReadMessage(conn)
+	if err != nil || hello.Type != core.MsgHello {
+		conn.Close()
+		return
+	}
+	vehicle := core.VehicleID(hello.Payload)
+	p.mu.Lock()
+	if old, ok := p.conns[vehicle]; ok {
+		old.Close()
+	}
+	p.conns[vehicle] = conn
+	p.mu.Unlock()
+	for {
+		msg, err := core.ReadMessage(conn)
+		if err != nil {
+			p.mu.Lock()
+			if p.conns[vehicle] == conn {
+				delete(p.conns, vehicle)
+			}
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		if p.onMessage != nil {
+			p.onMessage(vehicle, msg)
+		}
+	}
+}
+
+// Connected reports whether a vehicle currently has a live connection.
+func (p *Pusher) Connected(vehicle core.VehicleID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.conns[vehicle]
+	return ok
+}
+
+// Push sends a message to the vehicle's ECM.
+func (p *Pusher) Push(vehicle core.VehicleID, msg core.Message) error {
+	p.mu.Lock()
+	conn, ok := p.conns[vehicle]
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("server: vehicle %s is not connected", vehicle)
+	}
+	if err := core.WriteMessage(conn, msg); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.Pushed++
+	p.mu.Unlock()
+	return nil
+}
+
+// CloseAll shuts every vehicle connection.
+func (p *Pusher) CloseAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for v, c := range p.conns {
+		c.Close()
+		delete(p.conns, v)
+	}
+}

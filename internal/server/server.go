@@ -1,0 +1,424 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"dynautosar/internal/core"
+	"dynautosar/internal/plugin"
+)
+
+// Server is the trusted server: store, pusher and the deployment engine.
+type Server struct {
+	store  *Store
+	pusher *Pusher
+
+	mu  sync.Mutex
+	seq uint32
+	// pending tracks in-flight operations by sequence number.
+	pending map[uint32]pendingOp
+	// failures collects nack reasons keyed by vehicle|app.
+	failures map[string][]string
+
+	logf func(format string, args ...any)
+}
+
+// pendingOp records what an awaited acknowledgement completes.
+type pendingOp struct {
+	vehicle core.VehicleID
+	app     core.AppName
+	plugin  core.PluginName
+	// kind is "install" or "uninstall".
+	kind string
+}
+
+// OpStatus reports the progress of a deployment or uninstallation.
+type OpStatus struct {
+	App      core.AppName `json:"app"`
+	Total    int          `json:"total"`
+	Acked    int          `json:"acked"`
+	Failures []string     `json:"failures"`
+}
+
+// Complete reports whether all operations acknowledged successfully.
+func (st OpStatus) Complete() bool { return st.Acked == st.Total && len(st.Failures) == 0 }
+
+// New creates a server with an empty store and a pusher.
+func New() *Server {
+	s := &Server{
+		store:    NewStore(),
+		pending:  make(map[uint32]pendingOp),
+		failures: make(map[string][]string),
+		logf:     func(string, ...any) {},
+	}
+	s.pusher = NewPusher(s.HandleVehicleMessage)
+	return s
+}
+
+// Store exposes the database (Web Services layer and tests).
+func (s *Server) Store() *Store { return s.store }
+
+// Pusher exposes the vehicle connection manager.
+func (s *Server) Pusher() *Pusher { return s.pusher }
+
+// SetLogger routes server diagnostics.
+func (s *Server) SetLogger(fn func(format string, args ...any)) {
+	if fn != nil {
+		s.logf = fn
+	}
+}
+
+func (s *Server) nextSeq() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return s.seq
+}
+
+// Deploy runs the full deployment pipeline of section 3.2.2 for app on
+// vehicle: compatibility check, dependency-ordered planning, context
+// generation, packaging and push. It returns after the packages are sent;
+// acknowledgements arrive asynchronously and are tracked in the
+// InstalledAPP table (query with Status).
+func (s *Server) Deploy(user core.UserID, vehicleID core.VehicleID, appName core.AppName) error {
+	vr, ok := s.store.Vehicle(vehicleID)
+	if !ok {
+		return fmt.Errorf("server: unknown vehicle %s", vehicleID)
+	}
+	if vr.Owner != user {
+		return fmt.Errorf("server: vehicle %s is not bound to user %s", vehicleID, user)
+	}
+	app, ok := s.store.App(appName)
+	if !ok {
+		return fmt.Errorf("server: unknown app %s", appName)
+	}
+	if _, dup := s.store.InstalledApp(vehicleID, appName); dup {
+		return fmt.Errorf("server: app %s already installed on %s", appName, vehicleID)
+	}
+
+	// Compatibility and dependency checks; failures are presented to the
+	// user as the reasons collected in the report.
+	report := s.CheckCompatibility(app, vr)
+	if err := report.Error(); err != nil {
+		return err
+	}
+	order, err := InstallOrder(app, report.Conf)
+	if err != nil {
+		return err
+	}
+	contexts, err := s.GenerateContexts(app, vr, order)
+	if err != nil {
+		return err
+	}
+
+	// Record the installation before pushing so arriving acks always find
+	// their row.
+	row := &InstalledApp{App: appName, Vehicle: vehicleID}
+	for _, d := range order {
+		ctx := contexts[d.Plugin]
+		row.Plugins = append(row.Plugins, InstalledPlugin{
+			Plugin: d.Plugin, ECU: d.ECU, SWC: d.SWC, PIC: ctx.PIC,
+		})
+	}
+	s.store.RecordInstallation(row)
+
+	// Package and push in dependency order.
+	for _, d := range order {
+		bin, _ := app.Binary(d.Plugin)
+		pkg := plugin.Package{Binary: bin, Context: *contexts[d.Plugin]}
+		raw, err := pkg.MarshalBinary()
+		if err != nil {
+			s.store.RemoveInstallation(vehicleID, appName)
+			return fmt.Errorf("server: packaging %s: %v", d.Plugin, err)
+		}
+		seq := s.nextSeq()
+		s.mu.Lock()
+		s.pending[seq] = pendingOp{vehicle: vehicleID, app: appName, plugin: d.Plugin, kind: "install"}
+		s.mu.Unlock()
+		msg := core.Message{
+			Type: core.MsgInstall, Plugin: d.Plugin,
+			ECU: d.ECU, SWC: d.SWC, Seq: seq, Payload: raw,
+		}
+		if err := s.pusher.Push(vehicleID, msg); err != nil {
+			s.store.RemoveInstallation(vehicleID, appName)
+			return fmt.Errorf("server: push to %s: %v", vehicleID, err)
+		}
+		s.logf("server: pushed {%d, '%s', %s, %s.pkg} to %s", core.MsgInstall, d.Plugin, d.ECU, d.Plugin, vehicleID)
+	}
+	return nil
+}
+
+// Uninstall removes an app from a vehicle after verifying that no other
+// installed app depends on its plug-ins; the InstalledAPP row is dropped
+// once every uninstallation has been acknowledged.
+func (s *Server) Uninstall(user core.UserID, vehicleID core.VehicleID, appName core.AppName) error {
+	vr, ok := s.store.Vehicle(vehicleID)
+	if !ok {
+		return fmt.Errorf("server: unknown vehicle %s", vehicleID)
+	}
+	if vr.Owner != user {
+		return fmt.Errorf("server: vehicle %s is not bound to user %s", vehicleID, user)
+	}
+	row, ok := s.store.InstalledApp(vehicleID, appName)
+	if !ok {
+		return fmt.Errorf("server: app %s is not installed on %s", appName, vehicleID)
+	}
+
+	// Dependency supervision: other apps requiring these plug-ins block
+	// the uninstall, and the user is told which ones.
+	removing := make(map[core.PluginName]bool, len(row.Plugins))
+	for _, p := range row.Plugins {
+		removing[p.Plugin] = true
+	}
+	var dependants []string
+	for _, other := range s.store.InstalledApps(vehicleID) {
+		if other.App == appName {
+			continue
+		}
+		app, ok := s.store.App(other.App)
+		if !ok {
+			continue
+		}
+		for _, b := range app.Binaries {
+			for _, req := range b.Manifest.Requires {
+				if removing[req] {
+					dependants = append(dependants,
+						fmt.Sprintf("%s (plug-in %s requires %s)", other.App, b.Manifest.Name, req))
+				}
+			}
+		}
+	}
+	if len(dependants) > 0 {
+		return fmt.Errorf("server: cannot uninstall %s: dependent apps must be uninstalled first: %v",
+			appName, dependants)
+	}
+
+	// Send uninstall messages in reverse install order.
+	for i := len(row.Plugins) - 1; i >= 0; i-- {
+		p := row.Plugins[i]
+		seq := s.nextSeq()
+		s.mu.Lock()
+		s.pending[seq] = pendingOp{vehicle: vehicleID, app: appName, plugin: p.Plugin, kind: "uninstall"}
+		s.mu.Unlock()
+		msg := core.Message{Type: core.MsgUninstall, Plugin: p.Plugin, ECU: p.ECU, SWC: p.SWC, Seq: seq}
+		if err := s.pusher.Push(vehicleID, msg); err != nil {
+			return fmt.Errorf("server: push to %s: %v", vehicleID, err)
+		}
+	}
+	return nil
+}
+
+// Restore re-installs the plug-ins previously installed on a replaced
+// ECU, reusing their recorded PICs so port ids stay stable (paper section
+// 3.2.2, the restore operation).
+func (s *Server) Restore(user core.UserID, vehicleID core.VehicleID, replaced core.ECUID) (int, error) {
+	vr, ok := s.store.Vehicle(vehicleID)
+	if !ok {
+		return 0, fmt.Errorf("server: unknown vehicle %s", vehicleID)
+	}
+	if vr.Owner != user {
+		return 0, fmt.Errorf("server: vehicle %s is not bound to user %s", vehicleID, user)
+	}
+	sent := 0
+	for _, row := range s.store.InstalledApps(vehicleID) {
+		app, ok := s.store.App(row.App)
+		if !ok {
+			continue
+		}
+		conf, ok := app.ConfFor(vr.Conf.Model)
+		if !ok {
+			continue
+		}
+		order, err := InstallOrder(app, conf)
+		if err != nil {
+			return sent, err
+		}
+		// Regenerate contexts with recorded PICs forced, so PLC remote
+		// ids match the surviving plug-ins.
+		contexts, err := s.GenerateContexts(app, vr, order)
+		if err != nil {
+			return sent, err
+		}
+		for _, d := range order {
+			if d.ECU != replaced {
+				continue
+			}
+			var recorded core.PIC
+			for _, p := range row.Plugins {
+				if p.Plugin == d.Plugin {
+					recorded = p.PIC
+				}
+			}
+			ctx := contexts[d.Plugin]
+			if recorded != nil {
+				ctx = remapContext(ctx, recorded)
+			}
+			bin, _ := app.Binary(d.Plugin)
+			pkg := plugin.Package{Binary: bin, Context: *ctx}
+			raw, err := pkg.MarshalBinary()
+			if err != nil {
+				return sent, fmt.Errorf("server: restore packaging %s: %v", d.Plugin, err)
+			}
+			seq := s.nextSeq()
+			s.mu.Lock()
+			s.pending[seq] = pendingOp{vehicle: vehicleID, app: row.App, plugin: d.Plugin, kind: "install"}
+			s.mu.Unlock()
+			msg := core.Message{Type: core.MsgInstall, Plugin: d.Plugin,
+				ECU: d.ECU, SWC: d.SWC, Seq: seq, Payload: raw}
+			if err := s.pusher.Push(vehicleID, msg); err != nil {
+				return sent, err
+			}
+			sent++
+		}
+	}
+	return sent, nil
+}
+
+// remapContext rewrites a freshly generated context to use the recorded
+// PIC's port ids.
+func remapContext(ctx *core.Context, recorded core.PIC) *core.Context {
+	remap := make(map[core.PluginPortID]core.PluginPortID, len(ctx.PIC))
+	for _, e := range ctx.PIC {
+		if id, ok := recorded.Lookup(e.Name); ok {
+			remap[e.ID] = id
+		}
+	}
+	out := &core.Context{PIC: recorded}
+	for _, p := range ctx.PLC {
+		np := p
+		if id, ok := remap[p.Plugin]; ok {
+			np.Plugin = id
+		}
+		if p.Kind == core.LinkPeer {
+			if id, ok := remap[p.Peer]; ok {
+				np.Peer = id
+			}
+		}
+		out.PLC = append(out.PLC, np)
+	}
+	for _, e := range ctx.ECC {
+		ne := e
+		if id, ok := remap[e.Port]; ok {
+			ne.Port = id
+		}
+		out.ECC = append(out.ECC, ne)
+	}
+	return out
+}
+
+// HandleVehicleMessage processes acknowledgements arriving from a
+// vehicle's ECM.
+func (s *Server) HandleVehicleMessage(vehicle core.VehicleID, msg core.Message) {
+	switch msg.Type {
+	case core.MsgAck, core.MsgNack:
+		s.mu.Lock()
+		op, ok := s.pending[msg.Seq]
+		if ok {
+			delete(s.pending, msg.Seq)
+		}
+		s.mu.Unlock()
+		if !ok {
+			s.logf("server: stray %v seq %d from %s", msg.Type, msg.Seq, vehicle)
+			return
+		}
+		s.applyAck(op, msg)
+	default:
+		s.logf("server: unexpected %v from %s", msg.Type, vehicle)
+	}
+}
+
+func failureKey(vehicle core.VehicleID, app core.AppName) string {
+	return string(vehicle) + "|" + string(app)
+}
+
+func (s *Server) applyAck(op pendingOp, msg core.Message) {
+	if msg.Type == core.MsgNack {
+		s.mu.Lock()
+		key := failureKey(op.vehicle, op.app)
+		s.failures[key] = append(s.failures[key],
+			fmt.Sprintf("%s: %s", op.plugin, string(msg.Payload)))
+		s.mu.Unlock()
+		s.logf("server: %s of %s on %s failed: %s", op.kind, op.plugin, op.vehicle, msg.Payload)
+		return
+	}
+	switch op.kind {
+	case "install":
+		if row, ok := s.store.InstalledApp(op.vehicle, op.app); ok {
+			for i := range row.Plugins {
+				if row.Plugins[i].Plugin == op.plugin {
+					row.Plugins[i].Acked = true
+				}
+			}
+		}
+	case "uninstall":
+		row, ok := s.store.InstalledApp(op.vehicle, op.app)
+		if !ok {
+			return
+		}
+		kept := row.Plugins[:0]
+		for _, p := range row.Plugins {
+			if p.Plugin != op.plugin {
+				kept = append(kept, p)
+			}
+		}
+		row.Plugins = kept
+		if len(row.Plugins) == 0 {
+			// "The InstalledAPP table is updated once successful
+			// uninstallation has been fully acknowledged."
+			s.store.RemoveInstallation(op.vehicle, op.app)
+		}
+	}
+}
+
+// ResolveExternal finds the in-vehicle destination of an external message
+// id on a vehicle by walking its installed apps' SW confs and recorded
+// PICs. Federation brokers use it to push FES traffic (see internal/fes).
+func (s *Server) ResolveExternal(vehicle core.VehicleID, messageID string) (core.ECUID, core.PluginPortID, bool) {
+	vr, ok := s.store.Vehicle(vehicle)
+	if !ok {
+		return "", 0, false
+	}
+	for _, row := range s.store.InstalledApps(vehicle) {
+		app, ok := s.store.App(row.App)
+		if !ok {
+			continue
+		}
+		conf, ok := app.ConfFor(vr.Conf.Model)
+		if !ok {
+			continue
+		}
+		for _, d := range conf.Deployments {
+			for _, conn := range d.Connections {
+				if conn.External == nil || conn.External.MessageID != messageID {
+					continue
+				}
+				for _, p := range row.Plugins {
+					if p.Plugin != d.Plugin {
+						continue
+					}
+					if id, ok := p.PIC.Lookup(conn.Port); ok {
+						return d.ECU, id, true
+					}
+				}
+			}
+		}
+	}
+	return "", 0, false
+}
+
+// Status reports the progress of the most recent operation on an app.
+func (s *Server) Status(vehicle core.VehicleID, app core.AppName) OpStatus {
+	st := OpStatus{App: app}
+	s.mu.Lock()
+	st.Failures = append(st.Failures, s.failures[failureKey(vehicle, app)]...)
+	s.mu.Unlock()
+	if row, ok := s.store.InstalledApp(vehicle, app); ok {
+		st.Total = len(row.Plugins)
+		for _, p := range row.Plugins {
+			if p.Acked {
+				st.Acked++
+			}
+		}
+	}
+	return st
+}

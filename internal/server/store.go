@@ -1,0 +1,303 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dynautosar/internal/core"
+	"dynautosar/internal/plugin"
+)
+
+// The data model of Figure 2: User and Vehicle on the user side, APP with
+// its binaries and SW confs on the developer side, Vehicle Conf (HW conf,
+// SystemSW conf, InstalledAPP) tying them together.
+
+// User is one account on the server.
+type User struct {
+	ID core.UserID `json:"id"`
+	// Vehicles bound to this user.
+	Vehicles []core.VehicleID `json:"vehicles"`
+}
+
+// VehicleRecord is the server's knowledge of one vehicle.
+type VehicleRecord struct {
+	ID core.VehicleID `json:"id"`
+	// Owner is the bound user.
+	Owner core.UserID `json:"owner"`
+	// Conf is the uploaded HW conf + SystemSW conf.
+	Conf core.VehicleConf `json:"conf"`
+}
+
+// App is one application in the APP database: binaries plus per-model SW
+// confs.
+type App struct {
+	Name     core.AppName    `json:"name"`
+	Binaries []plugin.Binary `json:"binaries"`
+	Confs    []SWConf        `json:"confs"`
+}
+
+// Binary returns the named plug-in binary of the app.
+func (a App) Binary(name core.PluginName) (plugin.Binary, bool) {
+	for _, b := range a.Binaries {
+		if b.Manifest.Name == name {
+			return b, true
+		}
+	}
+	return plugin.Binary{}, false
+}
+
+// ConfFor returns the SW conf matching a vehicle model.
+func (a App) ConfFor(model string) (SWConf, bool) {
+	for _, c := range a.Confs {
+		if c.Model == model {
+			return c, true
+		}
+	}
+	return SWConf{}, false
+}
+
+// InstalledPlugin records where one plug-in of an installed APP lives and
+// which port ids it received.
+type InstalledPlugin struct {
+	Plugin core.PluginName `json:"plugin"`
+	ECU    core.ECUID      `json:"ecu"`
+	SWC    core.SWCID      `json:"swc"`
+	PIC    core.PIC        `json:"pic"`
+	// Acked becomes true when the vehicle acknowledged the installation.
+	Acked bool `json:"acked"`
+}
+
+// InstalledApp is one row of the InstalledAPP table.
+type InstalledApp struct {
+	App     core.AppName      `json:"app"`
+	Vehicle core.VehicleID    `json:"vehicle"`
+	Plugins []InstalledPlugin `json:"plugins"`
+}
+
+// Complete reports whether every plug-in has been acknowledged.
+func (ia InstalledApp) Complete() bool {
+	for _, p := range ia.Plugins {
+		if !p.Acked {
+			return false
+		}
+	}
+	return true
+}
+
+// Store is the thread-safe in-memory database of the trusted server.
+type Store struct {
+	mu        sync.RWMutex
+	users     map[core.UserID]*User
+	vehicles  map[core.VehicleID]*VehicleRecord
+	apps      map[core.AppName]*App
+	installed map[core.VehicleID][]*InstalledApp
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{
+		users:     make(map[core.UserID]*User),
+		vehicles:  make(map[core.VehicleID]*VehicleRecord),
+		apps:      make(map[core.AppName]*App),
+		installed: make(map[core.VehicleID][]*InstalledApp),
+	}
+}
+
+// AddUser creates a user account (user setup, paper section 3.2.2).
+func (s *Store) AddUser(id core.UserID) error {
+	if id == "" {
+		return fmt.Errorf("server: empty user id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.users[id]; dup {
+		return fmt.Errorf("server: user %q exists", id)
+	}
+	s.users[id] = &User{ID: id}
+	return nil
+}
+
+// User returns a copy of the user record.
+func (s *Store) User(id core.UserID) (User, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	u, ok := s.users[id]
+	if !ok {
+		return User{}, false
+	}
+	cp := *u
+	cp.Vehicles = append([]core.VehicleID(nil), u.Vehicles...)
+	return cp, true
+}
+
+// BindVehicle registers a vehicle with its configuration and binds it to
+// a user, "allowing the server to keep track of specific
+// Vehicle-User-configurations".
+func (s *Store) BindVehicle(owner core.UserID, conf core.VehicleConf) error {
+	if err := conf.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.users[owner]
+	if !ok {
+		return fmt.Errorf("server: unknown user %q", owner)
+	}
+	if _, dup := s.vehicles[conf.Vehicle]; dup {
+		return fmt.Errorf("server: vehicle %q already bound", conf.Vehicle)
+	}
+	s.vehicles[conf.Vehicle] = &VehicleRecord{ID: conf.Vehicle, Owner: owner, Conf: conf}
+	u.Vehicles = append(u.Vehicles, conf.Vehicle)
+	return nil
+}
+
+// Vehicle returns a copy of the vehicle record.
+func (s *Store) Vehicle(id core.VehicleID) (VehicleRecord, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.vehicles[id]
+	if !ok {
+		return VehicleRecord{}, false
+	}
+	return *v, true
+}
+
+// UploadApp stores an application: validated binaries and SW confs
+// (upload operations, paper section 3.2.2).
+func (s *Store) UploadApp(app App) error {
+	if app.Name == "" {
+		return fmt.Errorf("server: app without a name")
+	}
+	if len(app.Binaries) == 0 {
+		return fmt.Errorf("server: app %q has no binaries", app.Name)
+	}
+	names := make(map[core.PluginName]bool, len(app.Binaries))
+	for _, b := range app.Binaries {
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("server: app %q: %v", app.Name, err)
+		}
+		if names[b.Manifest.Name] {
+			return fmt.Errorf("server: app %q has duplicate plug-in %s", app.Name, b.Manifest.Name)
+		}
+		names[b.Manifest.Name] = true
+	}
+	models := make(map[string]bool, len(app.Confs))
+	for _, c := range app.Confs {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("server: app %q: %v", app.Name, err)
+		}
+		if models[c.Model] {
+			return fmt.Errorf("server: app %q has duplicate conf for model %q", app.Name, c.Model)
+		}
+		models[c.Model] = true
+		for _, d := range c.Deployments {
+			if !names[d.Plugin] {
+				return fmt.Errorf("server: app %q: conf for %q deploys unknown plug-in %s",
+					app.Name, c.Model, d.Plugin)
+			}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.apps[app.Name]; dup {
+		return fmt.Errorf("server: app %q exists", app.Name)
+	}
+	cp := app
+	s.apps[app.Name] = &cp
+	return nil
+}
+
+// App returns a copy of an application record.
+func (s *Store) App(name core.AppName) (App, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.apps[name]
+	if !ok {
+		return App{}, false
+	}
+	return *a, true
+}
+
+// Apps lists the stored application names, sorted.
+func (s *Store) Apps() []core.AppName {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]core.AppName, 0, len(s.apps))
+	for n := range s.apps {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+// RecordInstallation adds an InstalledAPP row.
+func (s *Store) RecordInstallation(ia *InstalledApp) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.installed[ia.Vehicle] = append(s.installed[ia.Vehicle], ia)
+}
+
+// RemoveInstallation deletes the row of app on vehicle.
+func (s *Store) RemoveInstallation(vehicle core.VehicleID, app core.AppName) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rows := s.installed[vehicle]
+	kept := rows[:0]
+	for _, r := range rows {
+		if r.App != app {
+			kept = append(kept, r)
+		}
+	}
+	s.installed[vehicle] = kept
+}
+
+// InstalledApps returns the InstalledAPP rows of a vehicle.
+func (s *Store) InstalledApps(vehicle core.VehicleID) []*InstalledApp {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*InstalledApp(nil), s.installed[vehicle]...)
+}
+
+// InstalledApp returns one row.
+func (s *Store) InstalledApp(vehicle core.VehicleID, app core.AppName) (*InstalledApp, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, r := range s.installed[vehicle] {
+		if r.App == app {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// InstalledPlugins returns all plug-ins installed on a vehicle across
+// apps.
+func (s *Store) InstalledPlugins(vehicle core.VehicleID) []InstalledPlugin {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []InstalledPlugin
+	for _, r := range s.installed[vehicle] {
+		out = append(out, r.Plugins...)
+	}
+	return out
+}
+
+// UsedPortIDs returns the port ids already allocated on one SW-C of a
+// vehicle, the knowledge the PIC generator needs for SW-C-scope
+// uniqueness.
+func (s *Store) UsedPortIDs(vehicle core.VehicleID, ecu core.ECUID, swc core.SWCID) map[core.PluginPortID]bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	used := make(map[core.PluginPortID]bool)
+	for _, r := range s.installed[vehicle] {
+		for _, p := range r.Plugins {
+			if p.ECU == ecu && p.SWC == swc {
+				for _, e := range p.PIC {
+					used[e.ID] = true
+				}
+			}
+		}
+	}
+	return used
+}

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"dynautosar/internal/core"
+)
+
+// The Web Services module (paper Figure 2): the HTTP interface through
+// which vehicle users, OEMs and plug-in developers drive the three
+// operation groups of section 3.2.2 — user setup, upload, and
+// (re)deployment.
+//
+//	POST /users            {"id": "alice"}
+//	POST /vehicles         {"owner": "alice", "conf": {vehicle conf}}
+//	POST /apps             {"name": "...", "binaries": [...], "confs": [...]}
+//	POST /deploy           {"user": "...", "vehicle": "...", "app": "..."}
+//	POST /uninstall        {"user": "...", "vehicle": "...", "app": "..."}
+//	POST /restore          {"user": "...", "vehicle": "...", "ecu": "ECU2"}
+//	GET  /status?vehicle=V&app=A
+//	GET  /apps
+//	GET  /vehicles/{id}
+//
+// Binary program bytes travel base64-encoded inside the JSON (Go's
+// default []byte handling), so a plain HTTP client can drive the whole
+// life cycle.
+
+// Handler returns the HTTP handler of the Web Services module.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /users", s.handleAddUser)
+	mux.HandleFunc("POST /vehicles", s.handleBindVehicle)
+	mux.HandleFunc("POST /apps", s.handleUploadApp)
+	mux.HandleFunc("GET /apps", s.handleListApps)
+	mux.HandleFunc("POST /deploy", s.handleDeploy)
+	mux.HandleFunc("POST /uninstall", s.handleUninstall)
+	mux.HandleFunc("POST /restore", s.handleRestore)
+	mux.HandleFunc("GET /status", s.handleStatus)
+	mux.HandleFunc("GET /vehicles/{id}", s.handleVehicle)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleAddUser(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID core.UserID `json:"id"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.store.AddUser(req.ID); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "created"})
+}
+
+func (s *Server) handleBindVehicle(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Owner core.UserID      `json:"owner"`
+		Conf  core.VehicleConf `json:"conf"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.store.BindVehicle(req.Owner, req.Conf); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "bound"})
+}
+
+func (s *Server) handleUploadApp(w http.ResponseWriter, r *http.Request) {
+	var app App
+	if !decodeBody(w, r, &app) {
+		return
+	}
+	if err := s.store.UploadApp(app); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "uploaded"})
+}
+
+func (s *Server) handleListApps(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Apps())
+}
+
+type opRequest struct {
+	User    core.UserID    `json:"user"`
+	Vehicle core.VehicleID `json:"vehicle"`
+	App     core.AppName   `json:"app,omitempty"`
+	ECU     core.ECUID     `json:"ecu,omitempty"`
+}
+
+func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	var req opRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.Deploy(req.User, req.Vehicle, req.App); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "deploying"})
+}
+
+func (s *Server) handleUninstall(w http.ResponseWriter, r *http.Request) {
+	var req opRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.Uninstall(req.User, req.Vehicle, req.App); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "uninstalling"})
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	var req opRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	n, err := s.Restore(req.User, req.Vehicle, req.ECU)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]int{"restoring": n})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	vehicle := core.VehicleID(r.URL.Query().Get("vehicle"))
+	app := core.AppName(r.URL.Query().Get("app"))
+	if vehicle == "" || app == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("vehicle and app query parameters required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Status(vehicle, app))
+}
+
+func (s *Server) handleVehicle(w http.ResponseWriter, r *http.Request) {
+	id := core.VehicleID(r.PathValue("id"))
+	vr, ok := s.store.Vehicle(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown vehicle %s", id))
+		return
+	}
+	resp := struct {
+		VehicleRecord
+		Installed []*InstalledApp `json:"installed"`
+	}{vr, s.store.InstalledApps(id)}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// The JSON shape of uploaded binaries is fixed by the json tags on
+// plugin.Manifest and plugin.Binary; program bytes are base64 (Go's
+// default []byte encoding).

@@ -1,0 +1,206 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dynautosar/internal/core"
+)
+
+// webClient drives the Web Services API in tests.
+type webClient struct {
+	t   *testing.T
+	srv *httptest.Server
+}
+
+func newWebClient(t *testing.T, s *Server) *webClient {
+	t.Helper()
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return &webClient{t: t, srv: srv}
+}
+
+func (c *webClient) post(path string, body any) (*http.Response, map[string]any) {
+	c.t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := http.Post(c.srv.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func (c *webClient) get(path string, out any) *http.Response {
+	c.t.Helper()
+	resp, err := http.Get(c.srv.URL + path)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			c.t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestWebUserAndVehicleSetup(t *testing.T) {
+	s := New()
+	c := newWebClient(t, s)
+
+	resp, _ := c.post("/users", map[string]string{"id": "alice"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /users = %d", resp.StatusCode)
+	}
+	resp, body := c.post("/users", map[string]string{"id": "alice"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate user = %d (%v)", resp.StatusCode, body)
+	}
+
+	resp, _ = c.post("/vehicles", map[string]any{
+		"owner": "alice",
+		"conf":  modelCarConf("VIN-WEB"),
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /vehicles = %d", resp.StatusCode)
+	}
+
+	var got struct {
+		VehicleRecord
+		Installed []*InstalledApp `json:"installed"`
+	}
+	resp = c.get("/vehicles/VIN-WEB", &got)
+	if resp.StatusCode != http.StatusOK || got.ID != "VIN-WEB" || got.Owner != "alice" {
+		t.Fatalf("GET /vehicles = %d %+v", resp.StatusCode, got)
+	}
+	if got.Conf.Model != "modelcar-v1" || len(got.Conf.SWCs) != 2 {
+		t.Fatalf("conf round trip = %+v", got.Conf)
+	}
+	// Virtual port specs survive the JSON round trip.
+	swc2, ok := got.Conf.SWC("ECU2", "SW-C2")
+	if !ok {
+		t.Fatal("SW-C2 missing after round trip")
+	}
+	if vp, ok := swc2.VirtualPort("WheelsReq"); !ok || vp.ID != 4 || vp.Format != "i16be" {
+		t.Fatalf("WheelsReq after round trip = %+v", vp)
+	}
+
+	if resp := c.get("/vehicles/NOPE", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown vehicle = %d", resp.StatusCode)
+	}
+}
+
+func TestWebAppUploadAndList(t *testing.T) {
+	s := New()
+	c := newWebClient(t, s)
+	app := paperApp(t)
+
+	resp, body := c.post("/apps", app)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /apps = %d (%v)", resp.StatusCode, body)
+	}
+	var names []core.AppName
+	c.get("/apps", &names)
+	if len(names) != 1 || names[0] != "RemoteControl" {
+		t.Fatalf("GET /apps = %v", names)
+	}
+	// The stored binaries survived the JSON round trip bit-exactly.
+	stored, ok := s.Store().App("RemoteControl")
+	if !ok {
+		t.Fatal("app not stored")
+	}
+	for i, b := range stored.Binaries {
+		if err := b.Validate(); err != nil {
+			t.Fatalf("binary %d corrupted by JSON round trip: %v", i, err)
+		}
+	}
+	// Garbage upload is rejected.
+	resp, _ = c.post("/apps", map[string]string{"name": ""})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad upload = %d", resp.StatusCode)
+	}
+}
+
+func TestWebDeployFlow(t *testing.T) {
+	s := newServerWithVehicle(t, "VIN-WEB2")
+	if err := s.Store().UploadApp(paperApp(t)); err != nil {
+		t.Fatal(err)
+	}
+	car, eng := connectCar(t, s, "VIN-WEB2")
+	c := newWebClient(t, s)
+
+	resp, body := c.post("/deploy", opRequest{User: "alice", Vehicle: "VIN-WEB2", App: "RemoteControl"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /deploy = %d (%v)", resp.StatusCode, body)
+	}
+	pumpUntil(t, eng, func() bool {
+		var st OpStatus
+		c.get("/status?vehicle=VIN-WEB2&app=RemoteControl", &st)
+		return st.Complete()
+	})
+	if _, ok := car.ECM.Plugin("COM"); !ok {
+		t.Fatal("COM missing after web deploy")
+	}
+
+	// Restore over the web API.
+	_ = car.SWC2PIRTE.Uninstall("OP")
+	resp, rbody := c.post("/restore", opRequest{User: "alice", Vehicle: "VIN-WEB2", ECU: "ECU2"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /restore = %d (%v)", resp.StatusCode, rbody)
+	}
+	pumpUntil(t, eng, func() bool {
+		_, ok := car.SWC2PIRTE.Plugin("OP")
+		return ok
+	})
+
+	// Uninstall over the web API.
+	resp, _ = c.post("/uninstall", opRequest{User: "alice", Vehicle: "VIN-WEB2", App: "RemoteControl"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /uninstall = %d", resp.StatusCode)
+	}
+	pumpUntil(t, eng, func() bool {
+		_, ok := s.Store().InstalledApp("VIN-WEB2", "RemoteControl")
+		return !ok
+	})
+
+	// Error paths.
+	resp, _ = c.post("/deploy", opRequest{User: "alice", Vehicle: "VIN-WEB2", App: "Nope"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("deploy unknown app = %d", resp.StatusCode)
+	}
+	if resp := c.get("/status", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status without params = %d", resp.StatusCode)
+	}
+}
+
+func TestWebRejectsUnknownFields(t *testing.T) {
+	s := New()
+	c := newWebClient(t, s)
+	resp, _ := c.post("/users", map[string]string{"id": "x", "extra": "y"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestOpStatusString(t *testing.T) {
+	st := OpStatus{App: "A", Total: 2, Acked: 2}
+	if !st.Complete() {
+		t.Fatal("complete status not complete")
+	}
+	st.Failures = append(st.Failures, "x")
+	if st.Complete() {
+		t.Fatal("failed status complete")
+	}
+	_ = fmt.Sprintf("%+v", st)
+}

@@ -1,0 +1,218 @@
+// Package sim provides the discrete-event simulation engine underneath the
+// in-vehicle substrate: the OSEK kernels of all ECUs and the CAN buses of
+// one vehicle share a single engine, so cross-ECU timing (task activation,
+// frame arbitration, end-to-end signal latency) is globally ordered and
+// fully deterministic.
+//
+// Simulated time is measured in microseconds. Events scheduled for the
+// same instant fire in scheduling order, which makes test runs repeatable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is an absolute simulated time in microseconds since simulation
+// start.
+type Time int64
+
+// Duration is a span of simulated time in microseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000
+	Second      Duration = 1000 * 1000
+)
+
+// End is a Time after every schedulable event.
+const End Time = math.MaxInt64
+
+// String renders the time as seconds with microsecond resolution.
+func (t Time) String() string {
+	return fmt.Sprintf("%d.%06vs", int64(t)/int64(Second), int64(t)%int64(Second))
+}
+
+// Add returns the time offset by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID uint64
+
+type event struct {
+	at   Time
+	seq  uint64
+	id   EventID
+	fn   func()
+	dead bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event scheduler. The zero value is ready to use.
+// Engine is not safe for concurrent use; the whole in-vehicle simulation is
+// single-threaded by design, with external (real-time) inputs injected at
+// explicit synchronisation points (see Inject).
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	pending map[EventID]*event
+	// injected holds thread-unsafe callbacks handed over from other
+	// goroutines via Inject; they are drained at the next Step.
+	injected chan func()
+	stopped  bool
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{
+		pending:  make(map[EventID]*event),
+		injected: make(chan func(), 1024),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule registers fn to run at the absolute time at. Scheduling in the
+// past (or present) runs the event at the current time, after already
+// queued events for that time. The returned id can be passed to Cancel.
+func (e *Engine) Schedule(at Time, fn func()) EventID {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, id: EventID(e.seq), fn: fn}
+	heap.Push(&e.queue, ev)
+	e.pending[ev.id] = ev
+	return ev.id
+}
+
+// After registers fn to run d from now.
+func (e *Engine) After(d Duration, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Cancel marks the event dead; it will not fire. Cancelling an unknown or
+// already-fired event is a no-op.
+func (e *Engine) Cancel(id EventID) {
+	if ev, ok := e.pending[id]; ok {
+		ev.dead = true
+		delete(e.pending, id)
+	}
+}
+
+// Pending returns the number of live scheduled events.
+func (e *Engine) Pending() int { return len(e.pending) }
+
+// Inject hands a callback from another goroutine into the simulation; it
+// runs at the engine's current time when the main loop next drains injected
+// work. This is the single synchronisation point between the real-time
+// world (trusted server sockets, external endpoints) and simulated time —
+// exactly where the paper's ECM crosses from external communication into
+// RTE writes.
+func (e *Engine) Inject(fn func()) {
+	e.injected <- fn
+}
+
+// drainInjected runs all externally injected callbacks at the current time.
+func (e *Engine) drainInjected() {
+	for {
+		select {
+		case fn := <-e.injected:
+			fn()
+		default:
+			return
+		}
+	}
+}
+
+// Step executes the next event, advancing time to it. It reports whether
+// an event was executed.
+func (e *Engine) Step() bool {
+	e.drainInjected()
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		delete(e.pending, ev.id)
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the queue is exhausted or the next event
+// lies beyond t; time then advances to t. Injected callbacks are drained
+// between events.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped {
+		e.drainInjected()
+		if e.queue.Len() == 0 {
+			break
+		}
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Run executes events until none remain or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// Stop makes the current Run/RunUntil return after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) peek() *event {
+	for e.queue.Len() > 0 {
+		if e.queue[0].dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0]
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := e.Schedule(10, func() { fired = true })
+	e.Cancel(id)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	e.Cancel(id) // cancelling twice is a no-op
+}
+
+func TestRunUntilAdvancesTime(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(10, func() { count++ })
+	e.Schedule(100, func() { count++ })
+	e.RunUntil(50)
+	if count != 1 {
+		t.Fatalf("count = %d after RunUntil(50)", count)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now = %v, want 50", e.Now())
+	}
+	e.RunFor(Duration(100))
+	if count != 2 || e.Now() != 150 {
+		t.Fatalf("count = %d, Now = %v", count, e.Now())
+	}
+}
+
+func TestSchedulingInThePastRunsNow(t *testing.T) {
+	e := NewEngine()
+	var at Time = -1
+	e.Schedule(100, func() {
+		e.Schedule(10, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 100 {
+		t.Fatalf("past event ran at %v, want 100", at)
+	}
+}
+
+func TestAfterAndRecursiveScheduling(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		if ticks < 5 {
+			e.After(10*Millisecond, tick)
+		}
+	}
+	e.After(10*Millisecond, tick)
+	e.Run()
+	if ticks != 5 {
+		t.Fatalf("ticks = %d", ticks)
+	}
+	if e.Now() != Time(50*Millisecond) {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 (stopped)", count)
+	}
+	// Run can resume.
+	e.Run()
+	if count != 10 {
+		t.Fatalf("count after resume = %d", count)
+	}
+}
+
+func TestInject(t *testing.T) {
+	e := NewEngine()
+	done := make(chan struct{})
+	go func() {
+		e.Inject(func() {})
+		close(done)
+	}()
+	<-done
+	hit := false
+	e.Inject(func() { hit = true })
+	e.Step()
+	if !hit {
+		t.Fatal("injected callback not drained by Step")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := Time(1_500_000).String(); got != "1.500000s" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestQuickEventsFireInTimeOrder(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, off := range offsets {
+			at := Time(off)
+			e.Schedule(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i-1] > fired[i] {
+				return false
+			}
+		}
+		return len(fired) == len(offsets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

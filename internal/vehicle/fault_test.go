@@ -1,0 +1,144 @@
+package vehicle
+
+import (
+	"testing"
+
+	"dynautosar/internal/can"
+	"dynautosar/internal/core"
+	"dynautosar/internal/osek"
+	"dynautosar/internal/pirte"
+	"dynautosar/internal/sim"
+)
+
+// Failure injection: the dynamic installation path must survive a lossy
+// bus — CAN error frames corrupt transfers, the controller retransmits,
+// and the ISO-TP reassembly still completes. This exercises the
+// robustness the paper's platform gets from CAN's own fault confinement.
+func TestInstallSurvivesBusCorruption(t *testing.T) {
+	car, eng, server := newCar(t)
+	// Corrupt every 10th frame on the bus; retransmission must recover.
+	n := 0
+	car.Bus.SetFaultInjector(func(can.Frame) can.FaultAction {
+		n++
+		if n%10 == 0 {
+			return can.Corrupt
+		}
+		return can.Deliver
+	})
+	installPaperApp(t, car, eng, server)
+	if _, ok := car.SWC2PIRTE.Plugin("OP"); !ok {
+		t.Fatal("OP not installed despite retransmissions")
+	}
+	if car.Bus.Stats().FramesCorrupted == 0 {
+		t.Fatal("fault injector never fired; test is vacuous")
+	}
+	// The signal chain works on the lossy bus too.
+	car.ECM.HandleEndpointFrame(PhoneEndpoint, "Wheels", 33)
+	eng.RunFor(300 * sim.Millisecond)
+	if got := car.Dynamics.WheelAngle(); got != 33 {
+		t.Fatalf("wheel angle = %d on lossy bus", got)
+	}
+}
+
+// A trapped plug-in must not take the platform down: the dispatcher
+// parks it as faulted and the rest of the vehicle keeps operating.
+func TestFaultedPluginIsContained(t *testing.T) {
+	car, eng, server := newCar(t)
+	installPaperApp(t, car, eng, server)
+
+	// Install a crashing plug-in next to OP on SW-C2.
+	crashSrc := `
+.plugin Crasher 1.0
+.port in required
+on_message in:
+	PUSH 1
+	PUSH 0
+	DIV
+	RET
+`
+	pkg, err := buildPackage(crashSrc, false, core.Context{
+		PIC: core.PIC{{Name: "in", ID: 40}},
+		PLC: core.PLC{{Kind: core.LinkNone, Plugin: 40}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := InstallMessage(pkg, ECU2, SWC2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	car.ECM.HandleServerMessage(msg)
+	eng.RunFor(300 * sim.Millisecond)
+	if _, ok := car.SWC2PIRTE.Plugin("Crasher"); !ok {
+		t.Fatal("Crasher not installed")
+	}
+
+	// Trip it with a directly addressed external message (type II mux
+	// traffic is addressed by recipient id, so the crasher only sees what
+	// is sent to its own port).
+	trip := core.Message{Type: core.MsgExternal, ECU: ECU2, SWC: SWC2,
+		Payload: extPayload(40, 1)}
+	car.ECM.HandleServerMessage(trip)
+	eng.RunFor(300 * sim.Millisecond)
+	// The vehicle still works: drive the wheels through COM and OP.
+	car.ECM.HandleEndpointFrame(PhoneEndpoint, "Wheels", 7)
+	eng.RunFor(300 * sim.Millisecond)
+	ip, _ := car.SWC2PIRTE.Plugin("Crasher")
+	if ip.State() != pirte.StateFaulted {
+		t.Fatalf("Crasher state = %v, want faulted", ip.State())
+	}
+	// OP and the rest of the vehicle are unaffected.
+	if got := car.Dynamics.WheelAngle(); got != 7 {
+		t.Fatalf("wheel angle = %d; healthy plug-in disturbed by faulty one", got)
+	}
+	opIP, _ := car.SWC2PIRTE.Plugin("OP")
+	if opIP.State() != pirte.StateRunning {
+		t.Fatalf("OP state = %v", opIP.State())
+	}
+}
+
+// Best-effort execution (paper section 3.1.1): plug-ins run below the
+// built-in priorities, so heavy built-in load delays plug-in dispatch —
+// but neither side starves the other.
+func TestBestEffortSchedulingUnderLoad(t *testing.T) {
+	car, eng, server := newCar(t)
+	installPaperApp(t, car, eng, server)
+
+	// A high-priority built-in task hogging 9 of every 10 ms on ECU2.
+	e2, _ := car.ECU(ECU2)
+	ran := 0
+	hog := e2.Kernel.DeclareTask(osek.TaskConfig{
+		Name: "builtin-hog", Priority: 50, ExecTime: 9 * sim.Millisecond,
+		Body: func() { ran++ },
+	})
+	alarm := e2.Kernel.DeclareAlarm(osek.AlarmAction{Task: hog})
+	if err := e2.Kernel.SetRelAlarm(alarm, 0, 10*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	// The command still gets through — later, but without starving the
+	// built-in task.
+	start := eng.Now()
+	car.ECM.HandleEndpointFrame(PhoneEndpoint, "Wheels", 99)
+	for car.Dynamics.WheelAngle() != 99 {
+		eng.RunFor(10 * sim.Millisecond)
+		if eng.Now()-start > sim.Time(5*sim.Second) {
+			t.Fatal("plug-in starved under built-in load")
+		}
+	}
+	elapsed := sim.Duration(eng.Now() - start)
+	// The built-in task keeps its cycle despite the plug-in traffic.
+	eng.RunFor(50 * sim.Millisecond)
+	if ran < 3 {
+		t.Fatalf("built-in load ran only %d times", ran)
+	}
+	t.Logf("actuation under 90%% built-in load took %d us (hog ran %d times)", elapsed, ran)
+}
+
+// extPayload mirrors the MsgExternal payload encoding.
+func extPayload(port core.PluginPortID, value int64) []byte {
+	e := core.NewEnc(10)
+	e.U16(uint16(port))
+	e.I64(value)
+	return e.Bytes()
+}

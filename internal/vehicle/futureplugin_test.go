@@ -1,0 +1,65 @@
+package vehicle
+
+import (
+	"testing"
+
+	"dynautosar/internal/core"
+	"dynautosar/internal/sim"
+)
+
+// The paper points out "there may exist unused virtual ports, such as V6
+// in SW-C2, which are set up by the OEM for the use of future plug-ins".
+// This test is that future plug-in: a speed monitor subscribing to the
+// SpeedProv virtual port (V6), installed long after production, without
+// touching any built-in software.
+func TestFuturePluginUsesReservedV6(t *testing.T) {
+	car, eng, server := newCar(t)
+	installPaperApp(t, car, eng, server)
+
+	monitorSrc := `
+.plugin SpeedMonitor 1.0
+.port SpeedProv required
+.port MaxSeen provided
+.globals 1
+on_message SpeedProv:
+	ARG
+	LDG 0
+	MAX
+	STG 0
+	LDG 0
+	PWR MaxSeen
+	RET
+`
+	pkg, err := buildPackage(monitorSrc, false, core.Context{
+		PIC: core.PIC{{Name: "SpeedProv", ID: 10}, {Name: "MaxSeen", ID: 11}},
+		PLC: core.PLC{
+			// P10-V6: subscribe to the reserved SpeedProv virtual port.
+			{Kind: core.LinkVirtual, Plugin: 10, Virtual: 6},
+			{Kind: core.LinkNone, Plugin: 11},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := InstallMessage(pkg, ECU2, SWC2, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	car.ECM.HandleServerMessage(msg)
+	eng.RunFor(300 * sim.Millisecond)
+	if _, ok := car.SWC2PIRTE.Plugin("SpeedMonitor"); !ok {
+		t.Fatal("SpeedMonitor not installed")
+	}
+
+	// Drive the car; CarCtrl publishes the measured speed on SpeedProv
+	// every 50 ms, which now reaches the monitor through V6.
+	car.ECM.HandleEndpointFrame(PhoneEndpoint, "Speed", 600)
+	eng.RunFor(3 * sim.Second)
+	maxSeen, ok := car.SWC2PIRTE.DirectRead(11)
+	if !ok {
+		t.Fatal("monitor never observed the published speed")
+	}
+	if maxSeen < 500 || maxSeen > 600 {
+		t.Fatalf("max observed speed = %d, want close to 600", maxSeen)
+	}
+}

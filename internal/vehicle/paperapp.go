@@ -1,0 +1,178 @@
+package vehicle
+
+import (
+	"fmt"
+
+	"dynautosar/internal/core"
+	"dynautosar/internal/plugin"
+	"dynautosar/internal/vm"
+)
+
+// The remote-control application of the paper's section 4: the
+// communicator plug-in COM on the ECM (ECU1) listening to the smart
+// phone, and the operator plug-in OP on ECU2 forwarding the control
+// signals to the hardware. Sources are written in the plug-in assembly
+// of internal/vm; contexts reproduce the paper's PIC/PLC/ECC verbatim.
+
+// PhoneEndpoint is the external resource location from the paper's ECC.
+const PhoneEndpoint = "111.22.33.44:56789"
+
+// COMSource is the communicator plug-in. P0/P1 are fed by the ECM from
+// the phone ('Wheels'/'Speed'); the handlers format the data and relay it
+// through the provided ports P2/P3 into the type II mux.
+const COMSource = `
+.plugin COM 1.0
+.port WheelsExt required
+.port SpeedExt required
+.port WheelsFwd provided
+.port SpeedFwd provided
+.const started "communicator ready"
+
+on_init:
+	PUSH 0
+	LOG started
+	POP
+	RET
+on_message WheelsExt:
+	ARG
+	PWR WheelsFwd
+	RET
+on_message SpeedExt:
+	ARG
+	PWR SpeedFwd
+	RET
+`
+
+// OPSource is the operator plug-in. P0/P1 receive through the mux; the
+// handlers transform the signals into calls to the underlying software by
+// writing P2/P3, which the PLC connects to the WheelsReq/SpeedReq virtual
+// ports.
+const OPSource = `
+.plugin OP 1.0
+.port WheelsIn required
+.port SpeedIn required
+.port WheelsOut provided
+.port SpeedOut provided
+.globals 2
+.const started "operator ready"
+
+on_init:
+	PUSH 0
+	LOG started
+	POP
+	RET
+on_message WheelsIn:
+	ARG
+	PWR WheelsOut
+	RET
+on_message SpeedIn:
+	ARG
+	PWR SpeedOut
+	RET
+`
+
+// COMContext reproduces the paper's COM deployment: PLC
+// {P0-, P1-, P2-V0.P0, P3-V0.P1} and the Wheels/Speed ECC.
+func COMContext() core.Context {
+	return core.Context{
+		PIC: core.PIC{
+			{Name: "WheelsExt", ID: 0},
+			{Name: "SpeedExt", ID: 1},
+			{Name: "WheelsFwd", ID: 2},
+			{Name: "SpeedFwd", ID: 3},
+		},
+		PLC: core.PLC{
+			{Kind: core.LinkNone, Plugin: 0},
+			{Kind: core.LinkNone, Plugin: 1},
+			{Kind: core.LinkVirtualRemote, Plugin: 2, Virtual: 0, Remote: 0},
+			{Kind: core.LinkVirtualRemote, Plugin: 3, Virtual: 0, Remote: 1},
+		},
+		ECC: core.ECC{
+			{Endpoint: PhoneEndpoint, ECU: ECU1, MessageID: "Wheels", Port: 0},
+			{Endpoint: PhoneEndpoint, ECU: ECU1, MessageID: "Speed", Port: 1},
+		},
+	}
+}
+
+// OPContext reproduces the paper's OP deployment: PLC
+// {P0-V3, P1-V3, P2-V4, P3-V5}.
+func OPContext() core.Context {
+	return core.Context{
+		PIC: core.PIC{
+			{Name: "WheelsIn", ID: 0},
+			{Name: "SpeedIn", ID: 1},
+			{Name: "WheelsOut", ID: 2},
+			{Name: "SpeedOut", ID: 3},
+		},
+		PLC: core.PLC{
+			{Kind: core.LinkVirtual, Plugin: 0, Virtual: 3},
+			{Kind: core.LinkVirtual, Plugin: 1, Virtual: 3},
+			{Kind: core.LinkVirtual, Plugin: 2, Virtual: 4},
+			{Kind: core.LinkVirtual, Plugin: 3, Virtual: 5},
+		},
+	}
+}
+
+// buildPackage assembles a source into an installation package.
+func buildPackage(src string, external bool, ctx core.Context) (plugin.Package, error) {
+	prog, err := vm.Assemble(src)
+	if err != nil {
+		return plugin.Package{}, err
+	}
+	bin, err := plugin.FromProgram(prog, plugin.Manifest{
+		Developer:   "SICS",
+		Description: "paper section 4 example application",
+		External:    external,
+	})
+	if err != nil {
+		return plugin.Package{}, err
+	}
+	pkg := plugin.Package{Binary: bin, Context: ctx}
+	if err := pkg.Validate(); err != nil {
+		return plugin.Package{}, err
+	}
+	return pkg, nil
+}
+
+// COMPackage builds com.pkg.
+func COMPackage() (plugin.Package, error) { return buildPackage(COMSource, true, COMContext()) }
+
+// OPPackage builds op.pkg.
+func OPPackage() (plugin.Package, error) { return buildPackage(OPSource, false, OPContext()) }
+
+// InstallMessage wraps a package the way the server does: "{0, 'OP',
+// ECU2, op.pkg}" (paper section 4).
+func InstallMessage(pkg plugin.Package, ecu core.ECUID, swc core.SWCID, seq uint32) (core.Message, error) {
+	raw, err := pkg.MarshalBinary()
+	if err != nil {
+		return core.Message{}, err
+	}
+	return core.Message{
+		Type:    core.MsgInstall,
+		Plugin:  pkg.Binary.Manifest.Name,
+		ECU:     ecu,
+		SWC:     swc,
+		Seq:     seq,
+		Payload: raw,
+	}, nil
+}
+
+// PaperBinaries returns the two uploaded binaries (without contexts), the
+// artifact a developer stores in the server's APP database.
+func PaperBinaries() (com, op plugin.Binary, err error) {
+	comPkg, err := COMPackage()
+	if err != nil {
+		return plugin.Binary{}, plugin.Binary{}, err
+	}
+	opPkg, err := OPPackage()
+	if err != nil {
+		return plugin.Binary{}, plugin.Binary{}, err
+	}
+	return comPkg.Binary, opPkg.Binary, nil
+}
+
+// String renders a short platform description, useful in example output.
+func (m *ModelCar) String() string {
+	return fmt.Sprintf("model car %s: %d ECUs, bus %s @ %d bit/s",
+		m.ID, len(m.ECUs), m.Bus.Name(), m.Bus.Bitrate())
+}

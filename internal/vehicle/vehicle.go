@@ -1,0 +1,106 @@
+// Package vehicle assembles complete simulated vehicles: ECUs on a CAN
+// bus, plug-in SW-Cs with their PIRTEs, the ECM gateway, the built-in
+// application software and the (simulated) hardware the built-in software
+// drives. The ModelCar constructor reproduces the paper's two-RPi test
+// platform (section 4) port-for-port.
+package vehicle
+
+import (
+	"fmt"
+
+	"dynautosar/internal/can"
+	"dynautosar/internal/core"
+	"dynautosar/internal/ecm"
+	"dynautosar/internal/ecu"
+	"dynautosar/internal/sim"
+)
+
+// Vehicle is one simulated vehicle.
+type Vehicle struct {
+	ID     core.VehicleID
+	Model  string
+	Engine *sim.Engine
+	Bus    *can.Bus
+	ECUs   map[core.ECUID]*ecu.ECU
+	// ECM is the gateway; its ECU is recorded in ECMECU.
+	ECM    *ecm.ECM
+	ECMECU core.ECUID
+
+	alloc *ecu.CanIDAllocatorHandle
+
+	// conf accumulates the SW-C configurations for the server upload.
+	conf core.VehicleConf
+}
+
+// New creates an empty vehicle with one CAN bus.
+func New(eng *sim.Engine, id core.VehicleID, model string, bitrate int) *Vehicle {
+	return &Vehicle{
+		ID:     id,
+		Model:  model,
+		Engine: eng,
+		Bus:    can.NewBus(eng, "CAN0", bitrate),
+		ECUs:   make(map[core.ECUID]*ecu.ECU),
+		alloc:  ecu.NewCanIDAllocator(0x400),
+		conf:   core.VehicleConf{Vehicle: id, Model: model},
+	}
+}
+
+// AddECU attaches a new ECU to the bus.
+func (v *Vehicle) AddECU(id core.ECUID) (*ecu.ECU, error) {
+	if _, dup := v.ECUs[id]; dup {
+		return nil, fmt.Errorf("vehicle: ECU %s already present", id)
+	}
+	e := ecu.New(v.Engine, id, v.Bus)
+	v.ECUs[id] = e
+	return e, nil
+}
+
+// ECU returns a previously added ECU.
+func (v *Vehicle) ECU(id core.ECUID) (*ecu.ECU, bool) {
+	e, ok := v.ECUs[id]
+	return e, ok
+}
+
+// RecordSWCConf registers a plug-in SW-C in the vehicle configuration
+// uploaded to the trusted server.
+func (v *Vehicle) RecordSWCConf(c core.SWCConf) { v.conf.SWCs = append(v.conf.SWCs, c) }
+
+// Conf returns the vehicle configuration (HW conf + SystemSW conf).
+func (v *Vehicle) Conf() core.VehicleConf { return v.conf }
+
+// Alloc exposes the CAN identifier allocator for cross-ECU links.
+func (v *Vehicle) Alloc() *ecu.CanIDAllocatorHandle { return v.alloc }
+
+// Start moves every ECU into the Run state.
+func (v *Vehicle) Start() error {
+	for _, e := range v.ECUs {
+		if err := e.Start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ConnectSWCs wires a provided SW-C port to a required SW-C port across
+// ECUs.
+func (v *Vehicle) ConnectSWCs(fromECU core.ECUID, fromSWC core.SWCID, fromPort core.SWCPortID,
+	toECU core.ECUID, toSWC core.SWCID, toPort core.SWCPortID) error {
+	fe, ok := v.ECUs[fromECU]
+	if !ok {
+		return fmt.Errorf("vehicle: unknown ECU %s", fromECU)
+	}
+	te, ok := v.ECUs[toECU]
+	if !ok {
+		return fmt.Errorf("vehicle: unknown ECU %s", toECU)
+	}
+	return ecu.Connect(v.alloc, fe, fromSWC, fromPort, te, toSWC, toPort)
+}
+
+// SetECM records the gateway after it has been hosted on an ECU.
+func (v *Vehicle) SetECM(e *ecm.ECM, on core.ECUID) {
+	v.ECM = e
+	v.ECMECU = on
+}
+
+// RunFor advances the whole vehicle simulation.
+func (v *Vehicle) RunFor(d sim.Duration) { v.Engine.RunFor(d) }

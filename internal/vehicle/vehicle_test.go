@@ -1,0 +1,256 @@
+package vehicle
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"dynautosar/internal/core"
+	"dynautosar/internal/ecm"
+	"dynautosar/internal/sim"
+)
+
+// captureConn records written frames; reads report EOF.
+type captureConn struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (c *captureConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.Write(p)
+}
+func (c *captureConn) Read(p []byte) (int, error) { return 0, io.EOF }
+func (c *captureConn) Close() error               { return nil }
+
+func (c *captureConn) messages(t *testing.T) []core.Message {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := bytes.NewReader(c.buf.Bytes())
+	var out []core.Message
+	for r.Len() > 0 {
+		m, err := core.ReadMessage(r)
+		if err != nil {
+			t.Fatalf("decoding server stream: %v", err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// newCar assembles the model car with a capture server link and endpoint.
+func newCar(t *testing.T) (*ModelCar, *sim.Engine, *captureConn) {
+	t.Helper()
+	eng := sim.NewEngine()
+	car, err := NewModelCar(eng, "VIN-TEST-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := &captureConn{}
+	car.ECM.SetDialer(ecm.DialerFunc(func(string) (io.ReadWriteCloser, error) {
+		return &captureConn{}, nil
+	}))
+	if err := car.ECM.ConnectServer(server, car.ID); err != nil {
+		t.Fatal(err)
+	}
+	return car, eng, server
+}
+
+// installPaperApp pushes COM and OP through the ECM and waits for both
+// acknowledgements.
+func installPaperApp(t *testing.T, car *ModelCar, eng *sim.Engine, server *captureConn) {
+	t.Helper()
+	opPkg, err := OPPackage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	comPkg, err := COMPackage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opMsg, err := InstallMessage(opPkg, ECU2, SWC2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comMsg, err := InstallMessage(comPkg, ECU1, SWC1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	car.ECM.HandleServerMessage(opMsg)
+	car.ECM.HandleServerMessage(comMsg)
+	eng.RunFor(500 * sim.Millisecond)
+
+	acks := 0
+	for _, m := range server.messages(t) {
+		if m.Type == core.MsgAck {
+			acks++
+		}
+		if m.Type == core.MsgNack {
+			t.Fatalf("nack during install: %s (%s)", m.Plugin, m.Payload)
+		}
+	}
+	if acks != 2 {
+		t.Fatalf("acks = %d, want 2 (OP over CAN + COM local)", acks)
+	}
+}
+
+// TestFig3PaperSignalChain reproduces the complete walkthrough of the
+// paper's section 4: installation of com.pkg and op.pkg, then the signal
+// chain phone -> COM -> V0(+id) -> S0 -> RTE/CAN -> S3(SW-C2, here S2) ->
+// V3 -> OP -> V4/V5 -> built-in software -> actuators.
+func TestFig3PaperSignalChain(t *testing.T) {
+	car, eng, server := newCar(t)
+	installPaperApp(t, car, eng, server)
+
+	// OP installed on ECU2 with the paper's PLC.
+	ip, ok := car.SWC2PIRTE.Plugin("OP")
+	if !ok {
+		t.Fatal("OP not installed on SW-C2")
+	}
+	if got := ip.Pkg.Context.PLC.String(); got != "{P0-V3, P1-V3, P2-V4, P3-V5}" {
+		t.Fatalf("OP PLC = %s", got)
+	}
+	// COM installed in the ECM SW-C with the paper's PLC.
+	cp, ok := car.ECM.Plugin("COM")
+	if !ok {
+		t.Fatal("COM not installed on SW-C1")
+	}
+	if got := cp.Pkg.Context.PLC.String(); got != "{P0-, P1-, P2-V0.P0, P3-V0.P1}" {
+		t.Fatalf("COM PLC = %s", got)
+	}
+
+	// The phone turns the wheels.
+	car.ECM.HandleEndpointFrame(PhoneEndpoint, "Wheels", 42)
+	eng.RunFor(100 * sim.Millisecond)
+	if got := car.Dynamics.WheelAngle(); got != 42 {
+		t.Fatalf("wheel angle = %d, want 42", got)
+	}
+
+	// The phone commands a speed; the drive train ramps towards it.
+	car.ECM.HandleEndpointFrame(PhoneEndpoint, "Speed", 500)
+	eng.RunFor(2 * sim.Second)
+	if got := car.Dynamics.Speed(); got < 450 || got > 500 {
+		t.Fatalf("speed = %d, want ~500", got)
+	}
+	if len(car.Dynamics.History) == 0 {
+		t.Fatal("dynamics recorded no history")
+	}
+}
+
+func TestFig3FaultProtectionClampsWheelCommand(t *testing.T) {
+	car, eng, server := newCar(t)
+	installPaperApp(t, car, eng, server)
+	// 5000 is far outside the servo range; the OEM monitor on V4 clamps.
+	car.ECM.HandleEndpointFrame(PhoneEndpoint, "Wheels", 5000)
+	eng.RunFor(100 * sim.Millisecond)
+	if got := car.Dynamics.WheelAngle(); got != 300 {
+		t.Fatalf("wheel angle = %d, want clamp at 300", got)
+	}
+}
+
+func TestFig3UninstallViaServer(t *testing.T) {
+	car, eng, server := newCar(t)
+	installPaperApp(t, car, eng, server)
+	un := core.Message{Type: core.MsgUninstall, Plugin: "OP", ECU: ECU2, SWC: SWC2, Seq: 9}
+	car.ECM.HandleServerMessage(un)
+	eng.RunFor(200 * sim.Millisecond)
+	if _, ok := car.SWC2PIRTE.Plugin("OP"); ok {
+		t.Fatal("OP survived uninstall")
+	}
+	msgs := server.messages(t)
+	last := msgs[len(msgs)-1]
+	if last.Type != core.MsgAck || last.Seq != 9 {
+		t.Fatalf("uninstall ack = %+v", last)
+	}
+	// After uninstall the signal chain is dead.
+	car.ECM.HandleEndpointFrame(PhoneEndpoint, "Wheels", -100)
+	eng.RunFor(100 * sim.Millisecond)
+	if got := car.Dynamics.WheelAngle(); got == -100 {
+		t.Fatal("signal chain alive after uninstall")
+	}
+}
+
+func TestFig3StopAndRestartFresh(t *testing.T) {
+	car, eng, server := newCar(t)
+	installPaperApp(t, car, eng, server)
+	stop := core.Message{Type: core.MsgStop, Plugin: "OP", ECU: ECU2, SWC: SWC2, Seq: 11}
+	car.ECM.HandleServerMessage(stop)
+	eng.RunFor(100 * sim.Millisecond)
+	car.ECM.HandleEndpointFrame(PhoneEndpoint, "Wheels", 77)
+	eng.RunFor(100 * sim.Millisecond)
+	if got := car.Dynamics.WheelAngle(); got == 77 {
+		t.Fatal("stopped plug-in still actuates")
+	}
+	start := core.Message{Type: core.MsgStart, Plugin: "OP", ECU: ECU2, SWC: SWC2, Seq: 12}
+	car.ECM.HandleServerMessage(start)
+	eng.RunFor(100 * sim.Millisecond)
+	car.ECM.HandleEndpointFrame(PhoneEndpoint, "Wheels", 78)
+	eng.RunFor(100 * sim.Millisecond)
+	if got := car.Dynamics.WheelAngle(); got != 78 {
+		t.Fatalf("restarted plug-in: wheel angle = %d, want 78", got)
+	}
+}
+
+func TestVehicleConfMatchesPlatform(t *testing.T) {
+	car, _, _ := newCar(t)
+	conf := car.Conf()
+	if err := conf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ecmConf, ok := conf.ECMSWc()
+	if !ok || ecmConf.ECU != ECU1 || ecmConf.SWC != SWC1 {
+		t.Fatalf("ECM conf = %+v", ecmConf)
+	}
+	swc2, ok := conf.SWC(ECU2, SWC2)
+	if !ok {
+		t.Fatal("SW-C2 conf missing")
+	}
+	wheels, ok := swc2.VirtualPort("WheelsReq")
+	if !ok || wheels.ID != 4 || wheels.Format != "i16be" {
+		t.Fatalf("WheelsReq = %+v", wheels)
+	}
+	if _, ok := swc2.VirtualPort("SpeedProv"); !ok {
+		t.Fatal("unused V6 (SpeedProv) must still be exposed for future plug-ins")
+	}
+}
+
+func TestDynamicsFirstOrderLag(t *testing.T) {
+	eng := sim.NewEngine()
+	car, err := NewModelCar(eng, "VIN-DYN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := car.ECU(ECU2)
+	if _, err := e2.IoHwAb.Write(ChanSpeedAct, 1000); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(200 * sim.Millisecond) // 10 steps of 20 ms
+	mid := car.Dynamics.Speed()
+	if mid <= 0 || mid >= 1000 {
+		t.Fatalf("speed after 10 steps = %d, want ramping", mid)
+	}
+	eng.RunFor(3 * sim.Second)
+	if got := car.Dynamics.Speed(); got < 950 {
+		t.Fatalf("speed settled at %d", got)
+	}
+}
+
+func TestVehicleBuilderErrors(t *testing.T) {
+	eng := sim.NewEngine()
+	v := New(eng, "VIN-X", "custom", 500_000)
+	if _, err := v.AddECU("A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.AddECU("A"); err == nil {
+		t.Fatal("duplicate ECU accepted")
+	}
+	if err := v.ConnectSWCs("missing", "S", 0, "A", "S", 0); err == nil {
+		t.Fatal("unknown ECU accepted")
+	}
+	if _, ok := v.ECU("A"); !ok {
+		t.Fatal("ECU lookup failed")
+	}
+}

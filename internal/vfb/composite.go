@@ -1,0 +1,129 @@
+package vfb
+
+import (
+	"fmt"
+
+	"dynautosar/internal/core"
+)
+
+// Composite is a composition of component prototypes: SW-Cs can contain
+// other SW-Cs (paper section 2). A composite is a design-time artifact;
+// Flatten resolves it to the atomic instances and connections the RTE
+// actually hosts.
+type Composite struct {
+	Name string
+	// Children instantiates component types under instance names.
+	Children map[string]ComponentType
+	// Connections wire a provided port of one child to a required port of
+	// another, both given as "instance.port".
+	Connections []CompositeConnection
+	// Delegations expose a child port under a composite-level name, so a
+	// composite can itself be wired into a larger composition.
+	Delegations map[string]string // composite port -> "instance.port"
+}
+
+// CompositeConnection is one internal assembly connection.
+type CompositeConnection struct {
+	From string // "instance.port" of the provided side
+	To   string // "instance.port" of the required side
+}
+
+// FlatInstance is an atomic component instance produced by Flatten.
+type FlatInstance struct {
+	Instance string
+	Type     ComponentType
+}
+
+// FlatConnection is a resolved provided-to-required connection.
+type FlatConnection struct {
+	FromInstance, FromPort string
+	ToInstance, ToPort     string
+}
+
+// Flatten validates the composite and returns its atomic instances and
+// connections, with instance names prefixed by the composite name
+// ("Composite/child").
+func (c Composite) Flatten() ([]FlatInstance, []FlatConnection, error) {
+	if c.Name == "" {
+		return nil, nil, fmt.Errorf("vfb: composite with empty name")
+	}
+	if len(c.Children) == 0 {
+		return nil, nil, fmt.Errorf("vfb: composite %q has no children", c.Name)
+	}
+	var instances []FlatInstance
+	for inst, typ := range c.Children {
+		if err := typ.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("vfb: composite %q child %q: %v", c.Name, inst, err)
+		}
+		instances = append(instances, FlatInstance{Instance: c.Name + "/" + inst, Type: typ})
+	}
+	// Deterministic order for reproducible RTE generation.
+	for i := 0; i < len(instances); i++ {
+		for j := i + 1; j < len(instances); j++ {
+			if instances[j].Instance < instances[i].Instance {
+				instances[i], instances[j] = instances[j], instances[i]
+			}
+		}
+	}
+	var conns []FlatConnection
+	for _, conn := range c.Connections {
+		fi, fp, err := c.resolve(conn.From)
+		if err != nil {
+			return nil, nil, err
+		}
+		ti, tp, err := c.resolve(conn.To)
+		if err != nil {
+			return nil, nil, err
+		}
+		fromType := c.Children[fi]
+		fromPort, ok := fromType.Port(fp)
+		if !ok {
+			return nil, nil, fmt.Errorf("vfb: composite %q: connection from unknown port %q", c.Name, conn.From)
+		}
+		toType := c.Children[ti]
+		toPort, ok := toType.Port(tp)
+		if !ok {
+			return nil, nil, fmt.Errorf("vfb: composite %q: connection to unknown port %q", c.Name, conn.To)
+		}
+		if fromPort.Direction != core.Provided {
+			return nil, nil, fmt.Errorf("vfb: composite %q: %q is not a provided port", c.Name, conn.From)
+		}
+		if toPort.Direction != core.Required {
+			return nil, nil, fmt.Errorf("vfb: composite %q: %q is not a required port", c.Name, conn.To)
+		}
+		if fromPort.Iface.Kind != toPort.Iface.Kind {
+			return nil, nil, fmt.Errorf("vfb: composite %q: interface kind mismatch on %q -> %q",
+				c.Name, conn.From, conn.To)
+		}
+		conns = append(conns, FlatConnection{
+			FromInstance: c.Name + "/" + fi, FromPort: fp,
+			ToInstance: c.Name + "/" + ti, ToPort: tp,
+		})
+	}
+	for compositePort, target := range c.Delegations {
+		if compositePort == "" {
+			return nil, nil, fmt.Errorf("vfb: composite %q: empty delegation name", c.Name)
+		}
+		if _, _, err := c.resolve(target); err != nil {
+			return nil, nil, fmt.Errorf("vfb: composite %q: delegation %q: %v", c.Name, compositePort, err)
+		}
+	}
+	return instances, conns, nil
+}
+
+// resolve splits "instance.port" and checks the instance exists.
+func (c Composite) resolve(ref string) (instance, port string, err error) {
+	for i := 0; i < len(ref); i++ {
+		if ref[i] == '.' {
+			instance, port = ref[:i], ref[i+1:]
+			if _, ok := c.Children[instance]; !ok {
+				return "", "", fmt.Errorf("vfb: composite %q: unknown child %q", c.Name, instance)
+			}
+			if port == "" {
+				return "", "", fmt.Errorf("vfb: composite %q: empty port in %q", c.Name, ref)
+			}
+			return instance, port, nil
+		}
+	}
+	return "", "", fmt.Errorf("vfb: composite %q: malformed reference %q (want instance.port)", c.Name, ref)
+}

@@ -1,0 +1,325 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dynautosar/internal/core"
+)
+
+// Assemble translates plug-in assembly into a verified Program. The
+// cmd/pluginc tool and the in-repo example plug-ins (including the
+// paper's COM and OP) are written in this language:
+//
+//	; comment
+//	.plugin OP 1.0
+//	.port WheelsIn required
+//	.port WheelsOut provided
+//	.globals 2
+//	.const greeting "operator started"
+//
+//	on_init:
+//	        LOG greeting
+//	        RET
+//	on_message WheelsIn:
+//	        ARG
+//	        PWR WheelsOut
+//	        RET
+//	on_timer 0:
+//	        RET
+//
+// Handler markers (on_init / on_message <port|*> / on_timer <n>) open
+// entry points; other identifiers followed by a colon are labels for
+// JMP/JZ/JNZ/CALL. PRD/PWR take a declared port name, LOG a declared
+// constant name.
+func Assemble(src string) (*Program, error) {
+	p := &Program{Version: "0.0"}
+	constIdx := make(map[string]int)
+	labels := make(map[string]int32)
+	type fixup struct {
+		instr int
+		label string
+		line  int
+	}
+	var fixups []fixup
+
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("vm: asm line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+
+		// Directives.
+		if strings.HasPrefix(line, ".") {
+			fields := strings.Fields(line)
+			switch fields[0] {
+			case ".plugin":
+				if len(fields) < 2 {
+					return nil, errf(".plugin needs a name")
+				}
+				p.Name = fields[1]
+				if len(fields) >= 3 {
+					p.Version = fields[2]
+				}
+			case ".port":
+				if len(fields) != 3 {
+					return nil, errf(".port needs <name> <provided|required>")
+				}
+				var dir core.Direction
+				switch fields[2] {
+				case "provided":
+					dir = core.Provided
+				case "required":
+					dir = core.Required
+				default:
+					return nil, errf("unknown direction %q", fields[2])
+				}
+				p.Ports = append(p.Ports, PortDecl{Name: fields[1], Direction: dir})
+			case ".globals":
+				if len(fields) != 2 {
+					return nil, errf(".globals needs a count")
+				}
+				n, err := strconv.Atoi(fields[1])
+				if err != nil {
+					return nil, errf("bad global count %q", fields[1])
+				}
+				p.Globals = int32(n)
+			case ".const":
+				rest := strings.TrimSpace(strings.TrimPrefix(line, ".const"))
+				name, lit, ok := strings.Cut(rest, " ")
+				if !ok {
+					return nil, errf(".const needs <name> \"text\"")
+				}
+				lit = strings.TrimSpace(lit)
+				text, err := strconv.Unquote(lit)
+				if err != nil {
+					return nil, errf("bad constant literal %s: %v", lit, err)
+				}
+				if _, dup := constIdx[name]; dup {
+					return nil, errf("constant %q redefined", name)
+				}
+				constIdx[name] = len(p.Consts)
+				p.Consts = append(p.Consts, text)
+			default:
+				return nil, errf("unknown directive %s", fields[0])
+			}
+			continue
+		}
+
+		// Handler markers and labels.
+		if strings.HasSuffix(line, ":") {
+			head := strings.TrimSuffix(line, ":")
+			fields := strings.Fields(head)
+			entry := int32(len(p.Code))
+			switch fields[0] {
+			case "on_init":
+				p.Handlers = append(p.Handlers, Handler{Kind: HandlerInit, Entry: entry})
+			case "on_message":
+				if len(fields) != 2 {
+					return nil, errf("on_message needs a port name or *")
+				}
+				idx := int32(-1)
+				if fields[1] != "*" {
+					i, ok := p.PortIndex(fields[1])
+					if !ok {
+						return nil, errf("on_message for undeclared port %q", fields[1])
+					}
+					idx = int32(i)
+				}
+				p.Handlers = append(p.Handlers, Handler{Kind: HandlerMessage, Index: idx, Entry: entry})
+			case "on_timer":
+				if len(fields) != 2 {
+					return nil, errf("on_timer needs a timer id")
+				}
+				id, err := strconv.Atoi(fields[1])
+				if err != nil {
+					return nil, errf("bad timer id %q", fields[1])
+				}
+				p.Handlers = append(p.Handlers, Handler{Kind: HandlerTimer, Index: int32(id), Entry: entry})
+			default:
+				if len(fields) != 1 {
+					return nil, errf("malformed label %q", head)
+				}
+				if _, dup := labels[fields[0]]; dup {
+					return nil, errf("label %q redefined", fields[0])
+				}
+				labels[fields[0]] = entry
+			}
+			continue
+		}
+
+		// Instructions.
+		fields := strings.Fields(line)
+		op, ok := opByName(fields[0])
+		if !ok {
+			return nil, errf("unknown instruction %q", fields[0])
+		}
+		ins := Instr{Op: op}
+		if op.hasArg() {
+			if len(fields) != 2 {
+				return nil, errf("%s needs exactly one argument", op)
+			}
+			arg := fields[1]
+			switch op {
+			case OpJmp, OpJz, OpJnz, OpCall:
+				if target, isNum := parseInt(arg); isNum {
+					ins.Arg = int32(target)
+				} else {
+					fixups = append(fixups, fixup{instr: len(p.Code), label: arg, line: lineNo + 1})
+				}
+			case OpPrd, OpPwr:
+				i, ok := p.PortIndex(arg)
+				if !ok {
+					return nil, errf("%s on undeclared port %q", op, arg)
+				}
+				ins.Arg = int32(i)
+			case OpLog:
+				i, ok := constIdx[arg]
+				if !ok {
+					return nil, errf("LOG of undeclared constant %q", arg)
+				}
+				ins.Arg = int32(i)
+			default:
+				v, isNum := parseInt(arg)
+				if !isNum {
+					return nil, errf("bad numeric argument %q", arg)
+				}
+				if v > 1<<31-1 || v < -(1<<31) {
+					return nil, errf("immediate %d out of 32-bit range", v)
+				}
+				ins.Arg = int32(v)
+			}
+		} else if len(fields) != 1 {
+			return nil, errf("%s takes no argument", op)
+		}
+		p.Code = append(p.Code, ins)
+	}
+
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("vm: asm line %d: undefined label %q", f.line, f.label)
+		}
+		p.Code[f.instr].Arg = target
+	}
+	if err := p.Verify(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseInt accepts decimal and 0x-hex, with sign.
+func parseInt(s string) (int64, bool) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+var nameToOp = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		if name != "" {
+			m[name] = Op(op)
+		}
+	}
+	return m
+}()
+
+func opByName(name string) (Op, bool) {
+	op, ok := nameToOp[strings.ToUpper(name)]
+	return op, ok
+}
+
+// Disassemble renders the program as assembly that reassembles to an
+// equivalent program (handler entries, labels, ports and constants are
+// reconstructed).
+func Disassemble(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".plugin %s %s\n", p.Name, p.Version)
+	for _, d := range p.Ports {
+		dir := "required"
+		if d.Direction == core.Provided {
+			dir = "provided"
+		}
+		fmt.Fprintf(&b, ".port %s %s\n", d.Name, dir)
+	}
+	if p.Globals > 0 {
+		fmt.Fprintf(&b, ".globals %d\n", p.Globals)
+	}
+	for i, c := range p.Consts {
+		fmt.Fprintf(&b, ".const c%d %s\n", i, strconv.Quote(c))
+	}
+
+	// Collect jump targets needing labels.
+	labelAt := make(map[int32]string)
+	for _, ins := range p.Code {
+		switch ins.Op {
+		case OpJmp, OpJz, OpJnz, OpCall:
+			if _, ok := labelAt[ins.Arg]; !ok {
+				labelAt[ins.Arg] = fmt.Sprintf("L%d", len(labelAt))
+			}
+		}
+	}
+	handlersAt := make(map[int32][]Handler)
+	for _, h := range p.Handlers {
+		handlersAt[h.Entry] = append(handlersAt[h.Entry], h)
+	}
+
+	b.WriteString("\n")
+	for pc, ins := range p.Code {
+		for _, h := range handlersAt[int32(pc)] {
+			switch h.Kind {
+			case HandlerInit:
+				b.WriteString("on_init:\n")
+			case HandlerMessage:
+				if h.Index == -1 {
+					b.WriteString("on_message *:\n")
+				} else {
+					fmt.Fprintf(&b, "on_message %s:\n", p.Ports[h.Index].Name)
+				}
+			case HandlerTimer:
+				fmt.Fprintf(&b, "on_timer %d:\n", h.Index)
+			}
+		}
+		if lbl, ok := labelAt[int32(pc)]; ok {
+			fmt.Fprintf(&b, "%s:\n", lbl)
+		}
+		switch {
+		case ins.Op == OpPrd || ins.Op == OpPwr:
+			fmt.Fprintf(&b, "\t%s %s\n", ins.Op, p.Ports[ins.Arg].Name)
+		case ins.Op == OpLog:
+			fmt.Fprintf(&b, "\t%s c%d\n", ins.Op, ins.Arg)
+		case ins.Op == OpJmp || ins.Op == OpJz || ins.Op == OpJnz || ins.Op == OpCall:
+			fmt.Fprintf(&b, "\t%s %s\n", ins.Op, labelAt[ins.Arg])
+		case ins.Op.hasArg():
+			fmt.Fprintf(&b, "\t%s %d\n", ins.Op, ins.Arg)
+		default:
+			fmt.Fprintf(&b, "\t%s\n", ins.Op)
+		}
+	}
+	// Trailing handlers or labels pointing past the end cannot occur in a
+	// verified program, but emit them for robustness.
+	var tail []int32
+	for at := range handlersAt {
+		if int(at) >= len(p.Code) {
+			tail = append(tail, at)
+		}
+	}
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	for range tail {
+		b.WriteString("\tNOP\n")
+	}
+	return b.String()
+}

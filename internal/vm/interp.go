@@ -1,0 +1,381 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"dynautosar/internal/sim"
+)
+
+// Resource quotas of the sandbox. The plug-in SW-C assigns its VM "its own
+// memory, as well as computational and communication resources" (paper
+// section 3.1.1); these constants bound them.
+const (
+	// maxStack is the operand stack depth.
+	maxStack = 256
+	// maxFrames bounds the call depth.
+	maxFrames = 64
+	// maxTimers is the number of cyclic timers per plug-in.
+	maxTimers = 8
+	// DefaultBudget is the default instruction budget per activation.
+	DefaultBudget = 100_000
+)
+
+// Trap reasons. A trapped plug-in is considered faulty; the PIRTE reacts
+// according to its fault policy (stop, or stop and restart fresh).
+var (
+	ErrBudget         = errors.New("vm: instruction budget exhausted")
+	ErrStackOverflow  = errors.New("vm: operand stack overflow")
+	ErrStackUnderflow = errors.New("vm: operand stack underflow")
+	ErrCallDepth      = errors.New("vm: call depth exceeded")
+	ErrDivByZero      = errors.New("vm: division by zero")
+	ErrNoHandler      = errors.New("vm: no handler for event")
+	ErrStopped        = errors.New("vm: plug-in is stopped")
+)
+
+// Host is the PIRTE-facing interface of a running plug-in: everything a
+// plug-in can observe or affect goes through its ports, timers and log —
+// "the runnable of the component only accesses its ports" (paper section
+// 2), extended to the dynamic world.
+type Host interface {
+	// PortWrite delivers a value written to the plug-in port with the
+	// given declared index.
+	PortWrite(port int, value int64) error
+	// SetTimer arms cyclic timer id with the period.
+	SetTimer(id int, period sim.Duration)
+	// ClearTimer disarms timer id.
+	ClearTimer(id int)
+	// Now returns the current simulated time.
+	Now() sim.Time
+	// Log receives diagnostic output (OpLog).
+	Log(msg string, value int64)
+}
+
+// Instance is one installed plug-in: a verified program plus its runtime
+// state. Create it with NewInstance, drive it with Init, Deliver and
+// Timer.
+type Instance struct {
+	prog *Program
+	host Host
+	// budget is the instruction budget per activation.
+	budget int
+
+	globals []int64
+	// lastIn holds the last value delivered to each port, readable with
+	// OpPrd.
+	lastIn  []int64
+	stack   []int64
+	frames  []int32
+	stopped bool
+
+	// Activations and Instructions accumulate execution statistics.
+	Activations  uint64
+	Instructions uint64
+	// Faults counts trapped activations.
+	Faults uint64
+}
+
+// NewInstance verifies the program and creates a fresh instance with the
+// given budget (0 selects DefaultBudget).
+func NewInstance(prog *Program, host Host, budget int) (*Instance, error) {
+	if err := prog.Verify(); err != nil {
+		return nil, err
+	}
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	return &Instance{
+		prog:    prog,
+		host:    host,
+		budget:  budget,
+		globals: make([]int64, prog.Globals),
+		lastIn:  make([]int64, len(prog.Ports)),
+		stack:   make([]int64, 0, maxStack),
+		frames:  make([]int32, 0, maxFrames),
+	}, nil
+}
+
+// Program returns the underlying program.
+func (in *Instance) Program() *Program { return in.prog }
+
+// Stopped reports whether the instance has been stopped.
+func (in *Instance) Stopped() bool { return in.stopped }
+
+// Stop halts the plug-in: subsequent events return ErrStopped. The paper
+// mandates stop-before-update semantics (section 5); restarting fresh
+// means building a new Instance.
+func (in *Instance) Stop() { in.stopped = true }
+
+// Init runs the init handler, if declared.
+func (in *Instance) Init() error {
+	entry, ok := in.prog.Handler(HandlerInit, 0)
+	if !ok {
+		return nil
+	}
+	return in.run(entry, 0, -1)
+}
+
+// Deliver runs the message handler for the declared port index with the
+// value, recording it for OpPrd. Returns ErrNoHandler when the program
+// declares no handler for the port.
+func (in *Instance) Deliver(port int, value int64) error {
+	if port < 0 || port >= len(in.lastIn) {
+		return fmt.Errorf("vm: delivery to undeclared port %d", port)
+	}
+	if in.stopped {
+		return ErrStopped
+	}
+	in.lastIn[port] = value
+	entry, ok := in.prog.Handler(HandlerMessage, int32(port))
+	if !ok {
+		return fmt.Errorf("%w: message on port %d", ErrNoHandler, port)
+	}
+	return in.run(entry, value, port)
+}
+
+// Timer runs the handler of the expired timer.
+func (in *Instance) Timer(id int) error {
+	if in.stopped {
+		return ErrStopped
+	}
+	entry, ok := in.prog.Handler(HandlerTimer, int32(id))
+	if !ok {
+		return fmt.Errorf("%w: timer %d", ErrNoHandler, id)
+	}
+	return in.run(entry, 0, -1)
+}
+
+// run interprets code starting at entry until OpHalt, a top-level OpRet,
+// or a trap.
+func (in *Instance) run(entry int32, arg int64, port int) error {
+	if in.stopped {
+		return ErrStopped
+	}
+	in.Activations++
+	in.stack = in.stack[:0]
+	in.frames = in.frames[:0]
+	pc := entry
+	steps := 0
+	code := in.prog.Code
+
+	push := func(v int64) bool {
+		if len(in.stack) >= maxStack {
+			return false
+		}
+		in.stack = append(in.stack, v)
+		return true
+	}
+	var trap error
+	pop := func() int64 {
+		if len(in.stack) == 0 {
+			trap = ErrStackUnderflow
+			return 0
+		}
+		v := in.stack[len(in.stack)-1]
+		in.stack = in.stack[:len(in.stack)-1]
+		return v
+	}
+
+	for {
+		if steps >= in.budget {
+			in.Faults++
+			return fmt.Errorf("%w (after %d instructions)", ErrBudget, steps)
+		}
+		steps++
+		in.Instructions++
+		ins := code[pc]
+		next := pc + 1
+		switch ins.Op {
+		case OpNop:
+		case OpPush:
+			if !push(int64(ins.Arg)) {
+				trap = ErrStackOverflow
+			}
+		case OpPop:
+			pop()
+		case OpDup:
+			v := pop()
+			if trap == nil && (!push(v) || !push(v)) {
+				trap = ErrStackOverflow
+			}
+		case OpSwap:
+			b, a := pop(), pop()
+			if trap == nil {
+				push(b)
+				push(a)
+			}
+		case OpOver:
+			b, a := pop(), pop()
+			if trap == nil {
+				push(a)
+				push(b)
+				if !push(a) {
+					trap = ErrStackOverflow
+				}
+			}
+		case OpAdd:
+			b, a := pop(), pop()
+			push(a + b)
+		case OpSub:
+			b, a := pop(), pop()
+			push(a - b)
+		case OpMul:
+			b, a := pop(), pop()
+			push(a * b)
+		case OpDiv:
+			b, a := pop(), pop()
+			if trap == nil && b == 0 {
+				trap = ErrDivByZero
+			} else if trap == nil {
+				push(a / b)
+			}
+		case OpMod:
+			b, a := pop(), pop()
+			if trap == nil && b == 0 {
+				trap = ErrDivByZero
+			} else if trap == nil {
+				push(a % b)
+			}
+		case OpNeg:
+			push(-pop())
+		case OpAbs:
+			v := pop()
+			if v < 0 {
+				v = -v
+			}
+			push(v)
+		case OpMin:
+			b, a := pop(), pop()
+			if a < b {
+				push(a)
+			} else {
+				push(b)
+			}
+		case OpMax:
+			b, a := pop(), pop()
+			if a > b {
+				push(a)
+			} else {
+				push(b)
+			}
+		case OpAnd:
+			b, a := pop(), pop()
+			push(a & b)
+		case OpOr:
+			b, a := pop(), pop()
+			push(a | b)
+		case OpXor:
+			b, a := pop(), pop()
+			push(a ^ b)
+		case OpNot:
+			push(^pop())
+		case OpShl:
+			b, a := pop(), pop()
+			push(a << uint64(b&63))
+		case OpShr:
+			b, a := pop(), pop()
+			push(a >> uint64(b&63))
+		case OpEq:
+			b, a := pop(), pop()
+			push(boolWord(a == b))
+		case OpNe:
+			b, a := pop(), pop()
+			push(boolWord(a != b))
+		case OpLt:
+			b, a := pop(), pop()
+			push(boolWord(a < b))
+		case OpLe:
+			b, a := pop(), pop()
+			push(boolWord(a <= b))
+		case OpGt:
+			b, a := pop(), pop()
+			push(boolWord(a > b))
+		case OpGe:
+			b, a := pop(), pop()
+			push(boolWord(a >= b))
+		case OpJmp:
+			next = ins.Arg
+		case OpJz:
+			if pop() == 0 && trap == nil {
+				next = ins.Arg
+			}
+		case OpJnz:
+			if pop() != 0 && trap == nil {
+				next = ins.Arg
+			}
+		case OpCall:
+			if len(in.frames) >= maxFrames {
+				trap = ErrCallDepth
+			} else {
+				in.frames = append(in.frames, next)
+				next = ins.Arg
+			}
+		case OpRet:
+			if len(in.frames) == 0 {
+				return nil // top-level return ends the handler
+			}
+			next = in.frames[len(in.frames)-1]
+			in.frames = in.frames[:len(in.frames)-1]
+		case OpHalt:
+			return nil
+		case OpLdg:
+			if !push(in.globals[ins.Arg]) {
+				trap = ErrStackOverflow
+			}
+		case OpStg:
+			in.globals[ins.Arg] = pop()
+		case OpPrd:
+			if !push(in.lastIn[ins.Arg]) {
+				trap = ErrStackOverflow
+			}
+		case OpPwr:
+			v := pop()
+			if trap == nil {
+				if err := in.host.PortWrite(int(ins.Arg), v); err != nil {
+					in.Faults++
+					return fmt.Errorf("vm: port write failed: %w", err)
+				}
+			}
+		case OpArg:
+			if !push(arg) {
+				trap = ErrStackOverflow
+			}
+		case OpPort:
+			if !push(int64(port)) {
+				trap = ErrStackOverflow
+			}
+		case OpTset:
+			v := pop()
+			if trap == nil {
+				if v < 0 {
+					v = 0
+				}
+				in.host.SetTimer(int(ins.Arg), sim.Duration(v))
+			}
+		case OpTclr:
+			in.host.ClearTimer(int(ins.Arg))
+		case OpClock:
+			if !push(int64(in.host.Now())) {
+				trap = ErrStackOverflow
+			}
+		case OpLog:
+			var v int64
+			if len(in.stack) > 0 {
+				v = in.stack[len(in.stack)-1]
+			}
+			in.host.Log(in.prog.Consts[ins.Arg], v)
+		}
+		if trap != nil {
+			in.Faults++
+			return fmt.Errorf("%w at pc %d (%v)", trap, pc, ins.Op)
+		}
+		pc = next
+	}
+}
+
+func boolWord(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,203 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynautosar/internal/core"
+	"dynautosar/internal/sim"
+)
+
+// Property test: random straight-line arithmetic programs must produce
+// the same result in the VM as in a direct Go evaluation of the same
+// operation sequence. This pins the semantics of the arithmetic,
+// bitwise and stack subsets of the ISA.
+
+// safeOps are operations with a Go reference implementation below.
+var safeOps = []Op{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpMin, OpMax, OpSwap}
+
+// reference mirrors the VM semantics on a Go slice stack.
+func reference(ops []Op, pushes []int64) int64 {
+	stack := []int64{}
+	push := func(v int64) { stack = append(stack, v) }
+	pop := func() int64 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	pi := 0
+	for _, op := range ops {
+		if len(stack) < 2 {
+			push(pushes[pi%len(pushes)])
+			pi++
+			continue
+		}
+		switch op {
+		case OpAdd:
+			b, a := pop(), pop()
+			push(a + b)
+		case OpSub:
+			b, a := pop(), pop()
+			push(a - b)
+		case OpMul:
+			b, a := pop(), pop()
+			push(a * b)
+		case OpAnd:
+			b, a := pop(), pop()
+			push(a & b)
+		case OpOr:
+			b, a := pop(), pop()
+			push(a | b)
+		case OpXor:
+			b, a := pop(), pop()
+			push(a ^ b)
+		case OpMin:
+			b, a := pop(), pop()
+			if a < b {
+				push(a)
+			} else {
+				push(b)
+			}
+		case OpMax:
+			b, a := pop(), pop()
+			if a > b {
+				push(a)
+			} else {
+				push(b)
+			}
+		case OpSwap:
+			b, a := pop(), pop()
+			push(b)
+			push(a)
+		}
+	}
+	for len(stack) > 1 {
+		b, a := pop(), pop()
+		push(a + b)
+	}
+	if len(stack) == 0 {
+		return 0
+	}
+	return stack[0]
+}
+
+// buildProgram emits the same sequence as a VM program ending in a port
+// write of the collapsed stack.
+func buildProgram(ops []Op, pushes []int64) *Program {
+	var code []Instr
+	depth := 0
+	pi := 0
+	emitPush := func() {
+		v := pushes[pi%len(pushes)]
+		pi++
+		code = append(code, Instr{Op: OpPush, Arg: int32(v)})
+		depth++
+	}
+	for _, op := range ops {
+		if depth < 2 {
+			emitPush()
+			continue
+		}
+		code = append(code, Instr{Op: op})
+		if op != OpSwap {
+			depth--
+		}
+	}
+	if depth == 0 {
+		emitPush()
+	}
+	for depth > 1 {
+		code = append(code, Instr{Op: OpAdd})
+		depth--
+	}
+	code = append(code, Instr{Op: OpPwr, Arg: 1}, Instr{Op: OpRet})
+	return &Program{
+		Name:    "quick",
+		Version: "1.0",
+		Ports: []PortDecl{
+			{Name: "in", Direction: core.Required},
+			{Name: "out", Direction: core.Provided},
+		},
+		Handlers: []Handler{{Kind: HandlerMessage, Index: 0, Entry: 0}},
+		Code:     code,
+	}
+}
+
+type quickHost struct{ out []int64 }
+
+func (h *quickHost) PortWrite(_ int, v int64) error { h.out = append(h.out, v); return nil }
+func (h *quickHost) SetTimer(int, sim.Duration)     {}
+func (h *quickHost) ClearTimer(int)                 {}
+func (h *quickHost) Now() sim.Time                  { return 0 }
+func (h *quickHost) Log(string, int64)              {}
+
+func TestQuickArithmeticAgainstReference(t *testing.T) {
+	f := func(seed int64, opCount uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(opCount)%40 + 1
+		ops := make([]Op, n)
+		for i := range ops {
+			ops[i] = safeOps[r.Intn(len(safeOps))]
+		}
+		pushes := make([]int64, 4)
+		for i := range pushes {
+			pushes[i] = int64(int32(r.Uint32() >> 12)) // small immediates
+		}
+		prog := buildProgram(ops, pushes)
+		if err := prog.Verify(); err != nil {
+			t.Logf("verify: %v", err)
+			return false
+		}
+		h := &quickHost{}
+		inst, err := NewInstance(prog, h, 0)
+		if err != nil {
+			t.Logf("instance: %v", err)
+			return false
+		}
+		if err := inst.Deliver(0, 0); err != nil {
+			t.Logf("deliver: %v", err)
+			return false
+		}
+		want := reference(ops, pushes)
+		return len(h.out) == 1 && h.out[0] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEncodeDecodeRandomPrograms round-trips random (valid) programs
+// through the binary format.
+func TestQuickEncodeDecodeRandomPrograms(t *testing.T) {
+	f := func(seed int64, opCount uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(opCount)%40 + 1
+		ops := make([]Op, n)
+		for i := range ops {
+			ops[i] = safeOps[r.Intn(len(safeOps))]
+		}
+		pushes := []int64{1, 2, 3, 4}
+		prog := buildProgram(ops, pushes)
+		raw, err := EncodeProgram(prog)
+		if err != nil {
+			return false
+		}
+		back, err := DecodeProgram(raw)
+		if err != nil {
+			return false
+		}
+		if len(back.Code) != len(prog.Code) {
+			return false
+		}
+		for i := range back.Code {
+			if back.Code[i] != prog.Code[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
