@@ -1,17 +1,27 @@
-// Fescli drives the trusted server's Web Services API from the shell and
-// can impersonate an external endpoint (the paper's smart phone).
+// Fescli drives the trusted server's versioned deployment-service API
+// (/v1) from the shell through the typed api.Client, and can
+// impersonate an external endpoint (the paper's smart phone).
 //
 //	fescli -server http://localhost:8080 adduser alice
 //	fescli bindvehicle alice vehicle-conf.json
 //	fescli upload app.json
 //	fescli apps
-//	fescli deploy alice VIN123 RemoteControl
+//	fescli deploy alice VIN123 RemoteControl      (prints the operation)
+//	fescli operations list
+//	fescli operations get op-00000001
+//	fescli operations wait op-00000001
 //	fescli status VIN123 RemoteControl
 //	fescli uninstall alice VIN123 RemoteControl
 //	fescli restore alice VIN123 ECU2
 //	fescli vehicle VIN123
+//	fescli vehicles
 //	fescli paperapp > app.json
 //	fescli phone -listen :56789 Wheels=42 Speed=500
+//
+// Deploy, uninstall and restore are asynchronous: each returns an
+// operation id immediately; poll it with "operations get" or block on
+// completion with "operations wait". Errors surface the API's stable
+// machine-readable codes.
 //
 // The phone mode listens for the vehicle's ECM to dial in (the ECM opens
 // the link using the address in the plug-in's ECC), then sends the given
@@ -23,66 +33,95 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net"
-	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"dynautosar/internal/api"
+	"dynautosar/internal/core"
 	"dynautosar/internal/ecm"
 	"dynautosar/internal/plugin"
-	"dynautosar/internal/server"
 	"dynautosar/internal/vehicle"
 )
 
-var serverURL string
+var (
+	client *api.Client
+	page   api.Page
+)
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fescli: ")
-	flag.StringVar(&serverURL, "server", "http://localhost:8080", "Web Services base URL")
+	serverURL := flag.String("server", "http://localhost:8080", "deployment-service base URL")
+	flag.IntVar(&page.Size, "page-size", 0, "items per page on list commands (0 = server default)")
+	flag.StringVar(&page.Token, "page-token", "", "continue a listing from this nextPageToken")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("usage: fescli [-server URL] <adduser|bindvehicle|upload|apps|deploy|status|uninstall|restore|vehicle|phone> ...")
+		log.Fatal("usage: fescli [-server URL] <adduser|bindvehicle|upload|apps|deploy|status|uninstall|restore|operations|vehicle|vehicles|paperapp|phone> ...")
 	}
+	client = api.NewClient(*serverURL, nil)
+	ctx := context.Background()
+
 	switch args[0] {
 	case "adduser":
 		need(args, 2, "adduser <id>")
-		post("/users", map[string]string{"id": args[1]})
+		u, err := client.CreateUser(ctx, api.CreateUserRequest{ID: core.UserID(args[1])})
+		show(u, err)
 	case "bindvehicle":
 		need(args, 3, "bindvehicle <owner> <conf.json>")
-		var conf json.RawMessage
+		var conf core.VehicleConf
 		readJSONFile(args[2], &conf)
-		post("/vehicles", map[string]any{"owner": args[1], "conf": conf})
+		vr, err := client.BindVehicle(ctx, api.BindVehicleRequest{Owner: core.UserID(args[1]), Conf: conf})
+		show(vr, err)
 	case "upload":
 		need(args, 2, "upload <app.json>")
-		var app json.RawMessage
+		var app api.App
 		readJSONFile(args[1], &app)
-		postRaw("/apps", app)
+		ref, err := client.UploadApp(ctx, app)
+		show(ref, err)
 	case "apps":
-		get("/apps")
+		list, err := client.ListApps(ctx, page)
+		show(list, err)
 	case "deploy":
 		need(args, 4, "deploy <user> <vehicle> <app>")
-		post("/deploy", map[string]string{"user": args[1], "vehicle": args[2], "app": args[3]})
-	case "status":
-		need(args, 3, "status <vehicle> <app>")
-		get("/status?vehicle=" + args[1] + "&app=" + args[2])
+		op, err := client.Deploy(ctx, api.DeployRequest{
+			User: core.UserID(args[1]), Vehicle: core.VehicleID(args[2]), App: core.AppName(args[3]),
+		})
+		show(op, err)
 	case "uninstall":
 		need(args, 4, "uninstall <user> <vehicle> <app>")
-		post("/uninstall", map[string]string{"user": args[1], "vehicle": args[2], "app": args[3]})
+		op, err := client.Uninstall(ctx, api.UninstallRequest{
+			User: core.UserID(args[1]), Vehicle: core.VehicleID(args[2]), App: core.AppName(args[3]),
+		})
+		show(op, err)
 	case "restore":
 		need(args, 4, "restore <user> <vehicle> <ecu>")
-		post("/restore", map[string]string{"user": args[1], "vehicle": args[2], "ecu": args[3]})
+		op, err := client.Restore(ctx, api.RestoreRequest{
+			User: core.UserID(args[1]), Vehicle: core.VehicleID(args[2]), ECU: core.ECUID(args[3]),
+		})
+		show(op, err)
+	case "status":
+		need(args, 3, "status <vehicle> <app>")
+		st, err := client.Status(ctx, core.VehicleID(args[1]), core.AppName(args[2]))
+		show(st, err)
+	case "operations":
+		operations(ctx, args[1:])
 	case "vehicle":
 		need(args, 2, "vehicle <vin>")
-		get("/vehicles/" + args[1])
+		vd, err := client.GetVehicle(ctx, core.VehicleID(args[1]))
+		show(vd, err)
+	case "vehicles":
+		list, err := client.ListVehicles(ctx, page)
+		show(list, err)
 	case "paperapp":
 		endpoint := "127.0.0.1:56789"
 		if len(args) > 1 {
@@ -93,6 +132,33 @@ func main() {
 		phone(args[1:])
 	default:
 		log.Fatalf("unknown command %q", args[0])
+	}
+}
+
+// operations drives the async-operations resource: list, get, wait.
+func operations(ctx context.Context, args []string) {
+	if len(args) == 0 {
+		log.Fatal("usage: fescli operations <list|get ID|wait ID>")
+	}
+	switch args[0] {
+	case "list":
+		list, err := client.ListOperations(ctx, page)
+		show(list, err)
+	case "get":
+		need(args, 2, "operations get <id>")
+		op, err := client.GetOperation(ctx, args[1])
+		show(op, err)
+	case "wait":
+		need(args, 2, "operations wait <id>")
+		waitCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+		defer cancel()
+		op, err := client.WaitOperation(waitCtx, args[1], 100*time.Millisecond)
+		show(op, err)
+		if op.State == api.StateFailed {
+			os.Exit(1)
+		}
+	default:
+		log.Fatalf("unknown operations command %q", args[0])
 	}
 }
 
@@ -112,41 +178,20 @@ func readJSONFile(path string, v any) {
 	}
 }
 
-func post(path string, body any) {
-	raw, err := json.Marshal(body)
+// show prints a typed response as indented JSON, or the structured API
+// error (with its stable code) and a non-zero exit.
+func show(v any, err error) {
 	if err != nil {
+		var apiErr *api.Error
+		if errors.As(err, &apiErr) {
+			log.Fatalf("error [%s]: %s", apiErr.Code, apiErr.Message)
+		}
 		log.Fatal(err)
 	}
-	postRaw(path, raw)
-}
-
-func postRaw(path string, raw []byte) {
-	resp, err := http.Post(serverURL+path, "application/json", bytes.NewReader(raw))
-	if err != nil {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
 		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	show(resp)
-}
-
-func get(path string) {
-	resp, err := http.Get(serverURL + path)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	show(resp)
-}
-
-func show(resp *http.Response) {
-	body, _ := io.ReadAll(resp.Body)
-	var pretty bytes.Buffer
-	if json.Indent(&pretty, body, "", "  ") == nil {
-		body = pretty.Bytes()
-	}
-	fmt.Printf("%s\n%s\n", resp.Status, body)
-	if resp.StatusCode >= 400 {
-		os.Exit(1)
 	}
 }
 
@@ -157,32 +202,28 @@ func emitPaperApp(endpoint string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	app := server.App{
+	app := api.App{
 		Name:     "RemoteControl",
 		Binaries: []plugin.Binary{com, op},
-		Confs: []server.SWConf{{
+		Confs: []api.SWConf{{
 			Model: "modelcar-v1",
-			Deployments: []server.Deployment{
+			Deployments: []api.Deployment{
 				{Plugin: "COM", ECU: vehicle.ECU1, SWC: vehicle.SWC1,
-					Connections: []server.PortConnection{
-						{Port: "WheelsExt", External: &server.ExternalSpec{Endpoint: endpoint, MessageID: "Wheels"}},
-						{Port: "SpeedExt", External: &server.ExternalSpec{Endpoint: endpoint, MessageID: "Speed"}},
+					Connections: []api.PortConnection{
+						{Port: "WheelsExt", External: &api.ExternalSpec{Endpoint: endpoint, MessageID: "Wheels"}},
+						{Port: "SpeedExt", External: &api.ExternalSpec{Endpoint: endpoint, MessageID: "Speed"}},
 						{Port: "WheelsFwd", RemotePlugin: "OP", RemotePort: "WheelsIn"},
 						{Port: "SpeedFwd", RemotePlugin: "OP", RemotePort: "SpeedIn"},
 					}},
 				{Plugin: "OP", ECU: vehicle.ECU2, SWC: vehicle.SWC2,
-					Connections: []server.PortConnection{
+					Connections: []api.PortConnection{
 						{Port: "WheelsOut", Virtual: "WheelsReq"},
 						{Port: "SpeedOut", Virtual: "SpeedReq"},
 					}},
 			},
 		}},
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(app); err != nil {
-		log.Fatal(err)
-	}
+	show(app, nil)
 }
 
 // phone runs an external endpoint: it listens for the ECM, sends the

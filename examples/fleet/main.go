@@ -116,7 +116,7 @@ func main() {
 	fmt.Println("phone: SetSpeed = 1000 on the leader")
 	must(phone.Send("SetSpeed", 1000))
 	pump(engines, func() bool { return carB.Dynamics.Speed() > 850 })
-	fmt.Printf("  leader published; broker relayed %d message(s)\n", broker.Relayed)
+	fmt.Printf("  leader published; broker relayed %d message(s)\n", broker.RelayedCount())
 	fmt.Printf("  follower drive train at %d mm/s (command was 90%% of 1000)\n",
 		carB.Dynamics.Speed())
 	fmt.Println("done")

@@ -1,0 +1,3 @@
+module dynautosar
+
+go 1.23

@@ -1,0 +1,217 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"dynautosar/internal/core"
+)
+
+// Client is the typed Go client of the deployment service. It wraps any
+// DeploymentService — the HTTP transport against a /v1 server, or a
+// local implementation for in-process callers — and adds conveniences
+// such as operation polling. The embedded interface makes Client
+// itself satisfy DeploymentService, so code written against the
+// interface runs unchanged on either side of the wire.
+type Client struct {
+	DeploymentService
+}
+
+// NewClient builds a client speaking HTTP/JSON against the /v1 surface
+// at baseURL. A nil httpc uses http.DefaultClient.
+func NewClient(baseURL string, httpc *http.Client) *Client {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return &Client{DeploymentService: &httpTransport{base: strings.TrimRight(baseURL, "/"), hc: httpc}}
+}
+
+// NewLocalClient wraps an in-process service implementation.
+func NewLocalClient(svc DeploymentService) *Client { return &Client{DeploymentService: svc} }
+
+var _ DeploymentService = (*Client)(nil)
+
+// WaitOperation polls an operation until it reaches a terminal state or
+// the context expires. interval <= 0 uses a 50ms default.
+func (c *Client) WaitOperation(ctx context.Context, id string, interval time.Duration) (Operation, error) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		op, err := c.GetOperation(ctx, id)
+		if err != nil {
+			return op, err
+		}
+		if op.Done {
+			return op, nil
+		}
+		select {
+		case <-ctx.Done():
+			return op, Errorf(CodeUnavailable, "api: waiting for %s: %v", id, ctx.Err())
+		case <-t.C:
+		}
+	}
+}
+
+// httpTransport implements DeploymentService over the /v1 wire
+// protocol.
+type httpTransport struct {
+	base string
+	hc   *http.Client
+}
+
+func (t *httpTransport) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return Errorf(CodeInvalidArgument, "api: encoding request: %v", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, t.base+path, body)
+	if err != nil {
+		return Errorf(CodeInvalidArgument, "api: building request: %v", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.hc.Do(req)
+	if err != nil {
+		return Errorf(CodeUnavailable, "api: %s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeError(resp)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return Errorf(CodeInternal, "api: decoding %s %s response: %v", method, path, err)
+		}
+	}
+	return nil
+}
+
+// decodeError recovers the structured error from a failed response,
+// falling back to the status line for foreign bodies.
+func decodeError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env errorBody
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+		return env.Error
+	}
+	msg := strings.TrimSpace(string(raw))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return &Error{Code: CodeFromHTTPStatus(resp.StatusCode), Message: fmt.Sprintf("api: %s", msg)}
+}
+
+func pageQuery(page Page) string {
+	q := url.Values{}
+	if page.Size > 0 {
+		q.Set("pageSize", strconv.Itoa(page.Size))
+	}
+	if page.Token != "" {
+		q.Set("pageToken", page.Token)
+	}
+	if len(q) == 0 {
+		return ""
+	}
+	return "?" + q.Encode()
+}
+
+func (t *httpTransport) CreateUser(ctx context.Context, req CreateUserRequest) (User, error) {
+	var u User
+	err := t.do(ctx, http.MethodPost, "/v1/users", req, &u)
+	return u, err
+}
+
+func (t *httpTransport) GetUser(ctx context.Context, id core.UserID) (User, error) {
+	var u User
+	err := t.do(ctx, http.MethodGet, "/v1/users/"+url.PathEscape(string(id)), nil, &u)
+	return u, err
+}
+
+func (t *httpTransport) BindVehicle(ctx context.Context, req BindVehicleRequest) (VehicleRecord, error) {
+	var vr VehicleRecord
+	err := t.do(ctx, http.MethodPost, "/v1/vehicles", req, &vr)
+	return vr, err
+}
+
+func (t *httpTransport) GetVehicle(ctx context.Context, id core.VehicleID) (VehicleDetail, error) {
+	var vd VehicleDetail
+	err := t.do(ctx, http.MethodGet, "/v1/vehicles/"+url.PathEscape(string(id)), nil, &vd)
+	return vd, err
+}
+
+func (t *httpTransport) ListVehicles(ctx context.Context, page Page) (VehicleList, error) {
+	var list VehicleList
+	err := t.do(ctx, http.MethodGet, "/v1/vehicles"+pageQuery(page), nil, &list)
+	return list, err
+}
+
+func (t *httpTransport) UploadApp(ctx context.Context, app App) (AppRef, error) {
+	var ref AppRef
+	err := t.do(ctx, http.MethodPost, "/v1/apps", app, &ref)
+	return ref, err
+}
+
+func (t *httpTransport) GetApp(ctx context.Context, name core.AppName) (App, error) {
+	var app App
+	err := t.do(ctx, http.MethodGet, "/v1/apps/"+url.PathEscape(string(name)), nil, &app)
+	return app, err
+}
+
+func (t *httpTransport) ListApps(ctx context.Context, page Page) (AppList, error) {
+	var list AppList
+	err := t.do(ctx, http.MethodGet, "/v1/apps"+pageQuery(page), nil, &list)
+	return list, err
+}
+
+func (t *httpTransport) Deploy(ctx context.Context, req DeployRequest) (Operation, error) {
+	var op Operation
+	err := t.do(ctx, http.MethodPost, "/v1/deploy", req, &op)
+	return op, err
+}
+
+func (t *httpTransport) Uninstall(ctx context.Context, req UninstallRequest) (Operation, error) {
+	var op Operation
+	err := t.do(ctx, http.MethodPost, "/v1/uninstall", req, &op)
+	return op, err
+}
+
+func (t *httpTransport) Restore(ctx context.Context, req RestoreRequest) (Operation, error) {
+	var op Operation
+	err := t.do(ctx, http.MethodPost, "/v1/restore", req, &op)
+	return op, err
+}
+
+func (t *httpTransport) Status(ctx context.Context, vehicle core.VehicleID, app core.AppName) (OpStatus, error) {
+	var st OpStatus
+	q := url.Values{"vehicle": {string(vehicle)}, "app": {string(app)}}
+	err := t.do(ctx, http.MethodGet, "/v1/status?"+q.Encode(), nil, &st)
+	return st, err
+}
+
+func (t *httpTransport) GetOperation(ctx context.Context, id string) (Operation, error) {
+	var op Operation
+	err := t.do(ctx, http.MethodGet, "/v1/operations/"+url.PathEscape(id), nil, &op)
+	return op, err
+}
+
+func (t *httpTransport) ListOperations(ctx context.Context, page Page) (OperationList, error) {
+	var list OperationList
+	err := t.do(ctx, http.MethodGet, "/v1/operations"+pageQuery(page), nil, &list)
+	return list, err
+}

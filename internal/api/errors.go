@@ -1,0 +1,126 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// The structured error model of the v1 deployment-service API. Every
+// error that crosses the API boundary carries a stable machine-readable
+// code; the HTTP layer maps codes to status lines, and clients recover
+// the code from the wire without parsing message text.
+
+// ErrorCode is a stable machine-readable error category.
+type ErrorCode string
+
+const (
+	// CodeInvalidArgument: the request is malformed or fails validation.
+	CodeInvalidArgument ErrorCode = "invalid_argument"
+	// CodeNotFound: the referenced user, vehicle, app or operation
+	// does not exist.
+	CodeNotFound ErrorCode = "not_found"
+	// CodeAlreadyExists: the entity being created already exists
+	// (duplicate user, vehicle, app, or installation).
+	CodeAlreadyExists ErrorCode = "already_exists"
+	// CodePermissionDenied: the user does not own the vehicle.
+	CodePermissionDenied ErrorCode = "permission_denied"
+	// CodeFailedPrecondition: the system state rejects the operation
+	// (incompatible app, dependent apps, dependency cycles).
+	CodeFailedPrecondition ErrorCode = "failed_precondition"
+	// CodeResourceExhausted: the client exceeded its rate limit or a
+	// request-size limit.
+	CodeResourceExhausted ErrorCode = "resource_exhausted"
+	// CodeUnavailable: the vehicle is not connected or the transport
+	// failed; retrying later may succeed.
+	CodeUnavailable ErrorCode = "unavailable"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal ErrorCode = "internal"
+)
+
+// Error is the typed error of the deployment-service API.
+type Error struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+}
+
+// Error implements the error interface with the bare message, so
+// existing substring checks on error text keep working.
+func (e *Error) Error() string { return e.Message }
+
+// Errorf builds an *Error with a formatted message.
+func Errorf(code ErrorCode, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// AsError coerces any error into an *Error; untyped errors become
+// CodeInternal. A nil error stays nil.
+func AsError(err error) *Error {
+	if err == nil {
+		return nil
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e
+	}
+	return &Error{Code: CodeInternal, Message: err.Error()}
+}
+
+// CodeOf extracts the error code, CodeInternal for untyped errors and
+// "" for nil.
+func CodeOf(err error) ErrorCode {
+	if err == nil {
+		return ""
+	}
+	return AsError(err).Code
+}
+
+// HTTPStatus maps an error code to its HTTP status line.
+func HTTPStatus(code ErrorCode) int {
+	switch code {
+	case CodeInvalidArgument:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeAlreadyExists, CodeFailedPrecondition:
+		return http.StatusConflict
+	case CodePermissionDenied:
+		return http.StatusForbidden
+	case CodeResourceExhausted:
+		return http.StatusTooManyRequests
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// CodeFromHTTPStatus recovers a best-effort code from a bare HTTP
+// status, for responses that lack a structured body.
+func CodeFromHTTPStatus(status int) ErrorCode {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeInvalidArgument
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusConflict:
+		return CodeAlreadyExists
+	case http.StatusForbidden:
+		return CodePermissionDenied
+	case http.StatusTooManyRequests:
+		return CodeResourceExhausted
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	default:
+		return CodeInternal
+	}
+}
+
+// errorBody is the wire envelope of every v1 error response.
+type errorBody struct {
+	Error *Error `json:"error"`
+}
+
+// ErrorBody wraps an error in the v1 wire envelope, for handlers that
+// need to emit the structured body directly.
+func ErrorBody(err error) any { return errorBody{Error: AsError(err)} }

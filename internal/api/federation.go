@@ -1,0 +1,18 @@
+package api
+
+import "dynautosar/internal/core"
+
+// ExternalRouter is the narrow surface the federation layer
+// (internal/fes) needs from the trusted server: resolving an external
+// message id to its in-vehicle destination and pushing a value there.
+// Keeping it here decouples the broker from the server's wire plumbing,
+// so a broker can sit on any implementation — the in-process server
+// today, a remote shard tomorrow.
+type ExternalRouter interface {
+	// ResolveExternal finds the in-vehicle destination of an external
+	// message id by walking the vehicle's installed apps.
+	ResolveExternal(vehicle core.VehicleID, messageID string) (core.ECUID, core.PluginPortID, bool)
+	// PushExternal delivers a value to a resolved destination through
+	// the vehicle's ECM.
+	PushExternal(vehicle core.VehicleID, ecu core.ECUID, port core.PluginPortID, value int64) error
+}

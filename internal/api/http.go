@@ -1,0 +1,470 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"dynautosar/internal/core"
+)
+
+// The /v1 HTTP surface, generated over DeploymentService:
+//
+//	POST /v1/users                    create a user account
+//	GET  /v1/users/{id}               fetch a user
+//	POST /v1/vehicles                 bind a vehicle conf to a user
+//	GET  /v1/vehicles                 list vehicles (paginated)
+//	GET  /v1/vehicles/{id}            vehicle record + installed apps
+//	POST /v1/apps                     upload an application
+//	GET  /v1/apps                     list app names (paginated)
+//	GET  /v1/apps/{name}              fetch an application
+//	POST /v1/deploy                   start an async deployment -> Operation
+//	POST /v1/uninstall                start an async uninstallation -> Operation
+//	POST /v1/restore                  start an async ECU restore -> Operation
+//	GET  /v1/status?vehicle=V&app=A   per-app ack progress
+//	GET  /v1/operations               list operations (paginated)
+//	GET  /v1/operations/{id}          poll one operation
+//
+// List endpoints take ?pageSize= and ?pageToken=. Every error response
+// is the structured envelope {"error": {"code": ..., "message": ...}}.
+
+// HandlerOptions tunes the middleware around the v1 surface.
+type HandlerOptions struct {
+	// Logf receives one line per request and every handler diagnostic;
+	// nil disables logging.
+	Logf func(format string, args ...any)
+	// MaxBodyBytes caps request bodies; 0 means the 8 MiB default,
+	// negative disables the cap.
+	MaxBodyBytes int64
+	// RatePerSecond is the steady per-client request rate; 0 means the
+	// default (200/s), negative disables rate limiting.
+	RatePerSecond float64
+	// Burst is the per-client burst allowance; 0 means 2x the rate.
+	Burst float64
+	// ClientKey identifies a client for rate limiting; the default is
+	// the remote IP.
+	ClientKey func(*http.Request) string
+}
+
+const defaultMaxBody = 8 << 20
+
+func (o *HandlerOptions) withDefaults() HandlerOptions {
+	out := HandlerOptions{}
+	if o != nil {
+		out = *o
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	if out.MaxBodyBytes == 0 {
+		out.MaxBodyBytes = defaultMaxBody
+	}
+	if out.RatePerSecond == 0 {
+		out.RatePerSecond = 200
+	}
+	if out.Burst == 0 {
+		out.Burst = 2 * out.RatePerSecond
+	}
+	if out.ClientKey == nil {
+		out.ClientKey = func(r *http.Request) string {
+			host, _, err := net.SplitHostPort(r.RemoteAddr)
+			if err != nil {
+				return r.RemoteAddr
+			}
+			return host
+		}
+	}
+	return out
+}
+
+// NewHandler builds the /v1 HTTP handler over a DeploymentService with
+// the middleware chain: request logging, panic recovery, per-client
+// rate limiting and request-size limits.
+func NewHandler(svc DeploymentService, opts *HandlerOptions) http.Handler {
+	h := &handler{svc: svc, o: opts.withDefaults()}
+	if h.o.RatePerSecond > 0 {
+		h.limiter = newRateLimiter(h.o.RatePerSecond, h.o.Burst)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/users", h.createUser)
+	mux.HandleFunc("GET /v1/users/{id}", h.getUser)
+	mux.HandleFunc("POST /v1/vehicles", h.bindVehicle)
+	mux.HandleFunc("GET /v1/vehicles", h.listVehicles)
+	mux.HandleFunc("GET /v1/vehicles/{id}", h.getVehicle)
+	mux.HandleFunc("POST /v1/apps", h.uploadApp)
+	mux.HandleFunc("GET /v1/apps", h.listApps)
+	mux.HandleFunc("GET /v1/apps/{name}", h.getApp)
+	mux.HandleFunc("POST /v1/deploy", h.deploy)
+	mux.HandleFunc("POST /v1/uninstall", h.uninstall)
+	mux.HandleFunc("POST /v1/restore", h.restore)
+	mux.HandleFunc("GET /v1/status", h.status)
+	mux.HandleFunc("GET /v1/operations", h.listOperations)
+	mux.HandleFunc("GET /v1/operations/{id}", h.getOperation)
+	mux.HandleFunc("/v1/", h.notFound)
+
+	return h.logMW(h.recoverMW(h.rateMW(h.limitMW(mux))))
+}
+
+type handler struct {
+	svc     DeploymentService
+	o       HandlerOptions
+	limiter *rateLimiter
+}
+
+// statusRecorder captures the status line for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (h *handler) logMW(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		h.o.Logf("api: %s %s -> %d (%s)", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+func (h *handler) recoverMW(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				h.o.Logf("api: panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				h.writeError(w, Errorf(CodeInternal, "api: internal error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (h *handler) rateMW(next http.Handler) http.Handler {
+	if h.limiter == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !h.limiter.allow(h.o.ClientKey(r)) {
+			h.writeError(w, Errorf(CodeResourceExhausted, "api: rate limit exceeded"))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (h *handler) limitMW(next http.Handler) http.Handler {
+	if h.o.MaxBodyBytes < 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, h.o.MaxBodyBytes)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// WriteJSON writes v with the API content type; encode failures (the
+// status line is already gone) go to logf, which may be nil. Shared by
+// the v1 handler and the server's legacy shims so the write policy has
+// one home.
+func WriteJSON(w http.ResponseWriter, status int, v any, logf func(format string, args ...any)) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil && logf != nil {
+		logf("api: encoding response: %v", err)
+	}
+}
+
+// DecodeJSON strictly decodes a request body into v (unknown fields
+// rejected), returning a typed *Error on failure.
+func DecodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return Errorf(CodeResourceExhausted, "api: request body over %d bytes", tooLarge.Limit)
+		}
+		return Errorf(CodeInvalidArgument, "api: bad request body: %v", err)
+	}
+	return nil
+}
+
+func (h *handler) writeJSON(w http.ResponseWriter, status int, v any) {
+	WriteJSON(w, status, v, h.o.Logf)
+}
+
+func (h *handler) writeError(w http.ResponseWriter, err error) {
+	e := AsError(err)
+	h.writeJSON(w, HTTPStatus(e.Code), errorBody{Error: e})
+}
+
+func (h *handler) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := DecodeJSON(r, v); err != nil {
+		h.writeError(w, err)
+		return false
+	}
+	return true
+}
+
+func pageOf(r *http.Request) (Page, error) {
+	var p Page
+	if raw := r.URL.Query().Get("pageSize"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			return p, Errorf(CodeInvalidArgument, "api: bad pageSize %q", raw)
+		}
+		p.Size = n
+	}
+	p.Token = r.URL.Query().Get("pageToken")
+	return p, nil
+}
+
+func (h *handler) notFound(w http.ResponseWriter, r *http.Request) {
+	h.writeError(w, Errorf(CodeNotFound, "api: no such endpoint %s %s", r.Method, r.URL.Path))
+}
+
+func (h *handler) createUser(w http.ResponseWriter, r *http.Request) {
+	var req CreateUserRequest
+	if !h.decode(w, r, &req) {
+		return
+	}
+	u, err := h.svc.CreateUser(r.Context(), req)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusCreated, u)
+}
+
+func (h *handler) getUser(w http.ResponseWriter, r *http.Request) {
+	u, err := h.svc.GetUser(r.Context(), core.UserID(r.PathValue("id")))
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, u)
+}
+
+func (h *handler) bindVehicle(w http.ResponseWriter, r *http.Request) {
+	var req BindVehicleRequest
+	if !h.decode(w, r, &req) {
+		return
+	}
+	vr, err := h.svc.BindVehicle(r.Context(), req)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusCreated, vr)
+}
+
+func (h *handler) listVehicles(w http.ResponseWriter, r *http.Request) {
+	page, err := pageOf(r)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	list, err := h.svc.ListVehicles(r.Context(), page)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, list)
+}
+
+func (h *handler) getVehicle(w http.ResponseWriter, r *http.Request) {
+	vd, err := h.svc.GetVehicle(r.Context(), core.VehicleID(r.PathValue("id")))
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, vd)
+}
+
+func (h *handler) uploadApp(w http.ResponseWriter, r *http.Request) {
+	var app App
+	if !h.decode(w, r, &app) {
+		return
+	}
+	ref, err := h.svc.UploadApp(r.Context(), app)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusCreated, ref)
+}
+
+func (h *handler) listApps(w http.ResponseWriter, r *http.Request) {
+	page, err := pageOf(r)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	list, err := h.svc.ListApps(r.Context(), page)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, list)
+}
+
+func (h *handler) getApp(w http.ResponseWriter, r *http.Request) {
+	app, err := h.svc.GetApp(r.Context(), core.AppName(r.PathValue("name")))
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, app)
+}
+
+func (h *handler) deploy(w http.ResponseWriter, r *http.Request) {
+	var req DeployRequest
+	if !h.decode(w, r, &req) {
+		return
+	}
+	op, err := h.svc.Deploy(r.Context(), req)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusAccepted, op)
+}
+
+func (h *handler) uninstall(w http.ResponseWriter, r *http.Request) {
+	var req UninstallRequest
+	if !h.decode(w, r, &req) {
+		return
+	}
+	op, err := h.svc.Uninstall(r.Context(), req)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusAccepted, op)
+}
+
+func (h *handler) restore(w http.ResponseWriter, r *http.Request) {
+	var req RestoreRequest
+	if !h.decode(w, r, &req) {
+		return
+	}
+	op, err := h.svc.Restore(r.Context(), req)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusAccepted, op)
+}
+
+func (h *handler) status(w http.ResponseWriter, r *http.Request) {
+	vehicle := core.VehicleID(r.URL.Query().Get("vehicle"))
+	app := core.AppName(r.URL.Query().Get("app"))
+	if vehicle == "" || app == "" {
+		h.writeError(w, Errorf(CodeInvalidArgument, "api: vehicle and app query parameters required"))
+		return
+	}
+	st, err := h.svc.Status(r.Context(), vehicle, app)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, st)
+}
+
+func (h *handler) listOperations(w http.ResponseWriter, r *http.Request) {
+	page, err := pageOf(r)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	list, err := h.svc.ListOperations(r.Context(), page)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, list)
+}
+
+func (h *handler) getOperation(w http.ResponseWriter, r *http.Request) {
+	op, err := h.svc.GetOperation(r.Context(), r.PathValue("id"))
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, op)
+}
+
+// rateLimiter is a per-client token bucket with a hard cap on tracked
+// clients: idle buckets are pruned first, and if every bucket is still
+// active a random one is evicted, so memory stays bounded even under
+// fleet-scale distinct-client load (an evicted client merely restarts
+// with a fresh burst).
+type rateLimiter struct {
+	rate, burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+const maxBuckets = 4096
+
+func newRateLimiter(rate, burst float64) *rateLimiter {
+	return &rateLimiter{rate: rate, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+func (l *rateLimiter) allow(key string) bool {
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= maxBuckets {
+			l.prune(now)
+			for k := range l.buckets {
+				if len(l.buckets) < maxBuckets {
+					break
+				}
+				delete(l.buckets, k)
+			}
+		}
+		b = &bucket{tokens: l.burst}
+		l.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// prune drops buckets that have fully refilled; called with l.mu held.
+func (l *rateLimiter) prune(now time.Time) {
+	idle := time.Duration(float64(time.Second) * l.burst / l.rate)
+	for k, b := range l.buckets {
+		if now.Sub(b.last) > idle {
+			delete(l.buckets, k)
+		}
+	}
+}

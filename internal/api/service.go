@@ -1,0 +1,119 @@
+package api
+
+import (
+	"context"
+
+	"dynautosar/internal/core"
+)
+
+// Typed requests and responses of the v1 deployment-service API.
+
+// CreateUserRequest registers a user account (user setup, paper
+// section 3.2.2).
+type CreateUserRequest struct {
+	ID core.UserID `json:"id"`
+}
+
+// BindVehicleRequest registers a vehicle configuration and binds it to
+// its owner.
+type BindVehicleRequest struct {
+	Owner core.UserID      `json:"owner"`
+	Conf  core.VehicleConf `json:"conf"`
+}
+
+// DeployRequest asks for app to be deployed on vehicle.
+type DeployRequest struct {
+	User    core.UserID    `json:"user"`
+	Vehicle core.VehicleID `json:"vehicle"`
+	App     core.AppName   `json:"app"`
+}
+
+// UninstallRequest asks for app to be removed from vehicle.
+type UninstallRequest struct {
+	User    core.UserID    `json:"user"`
+	Vehicle core.VehicleID `json:"vehicle"`
+	App     core.AppName   `json:"app"`
+}
+
+// RestoreRequest asks for the plug-ins of a replaced ECU to be
+// re-installed with their recorded port ids.
+type RestoreRequest struct {
+	User    core.UserID    `json:"user"`
+	Vehicle core.VehicleID `json:"vehicle"`
+	ECU     core.ECUID     `json:"ecu"`
+}
+
+// AppRef names a stored application.
+type AppRef struct {
+	Name core.AppName `json:"name"`
+}
+
+// VehicleDetail is a vehicle record together with its InstalledAPP
+// rows.
+type VehicleDetail struct {
+	VehicleRecord
+	Installed []InstalledApp `json:"installed"`
+}
+
+// AppList is one page of application names.
+type AppList struct {
+	Apps          []core.AppName `json:"apps"`
+	NextPageToken string         `json:"nextPageToken,omitempty"`
+}
+
+// VehicleList is one page of vehicle records.
+type VehicleList struct {
+	Vehicles      []VehicleRecord `json:"vehicles"`
+	NextPageToken string          `json:"nextPageToken,omitempty"`
+}
+
+// OperationList is one page of operations, oldest first.
+type OperationList struct {
+	Operations    []Operation `json:"operations"`
+	NextPageToken string      `json:"nextPageToken,omitempty"`
+}
+
+// DeploymentService is the transport-agnostic core of the trusted
+// server's public surface: every operation group of paper section 3.2.2
+// (user setup, upload, (re)deployment) plus the async operations
+// resource. The server core implements it; the /v1 HTTP layer and the
+// typed client are generated over it, so in-process and remote callers
+// share one contract.
+//
+// Deploy, Uninstall and Restore are asynchronous: they validate cheap
+// preconditions, return an Operation immediately and complete it as
+// vehicle acknowledgements arrive. Errors carry stable codes (*Error).
+type DeploymentService interface {
+	// CreateUser registers an account.
+	CreateUser(ctx context.Context, req CreateUserRequest) (User, error)
+	// GetUser returns an account and its bound vehicles.
+	GetUser(ctx context.Context, id core.UserID) (User, error)
+
+	// BindVehicle registers a vehicle conf under its owner.
+	BindVehicle(ctx context.Context, req BindVehicleRequest) (VehicleRecord, error)
+	// GetVehicle returns a vehicle with its installed apps.
+	GetVehicle(ctx context.Context, id core.VehicleID) (VehicleDetail, error)
+	// ListVehicles pages through all vehicle records, ordered by id.
+	ListVehicles(ctx context.Context, page Page) (VehicleList, error)
+
+	// UploadApp stores a validated application.
+	UploadApp(ctx context.Context, app App) (AppRef, error)
+	// GetApp returns a stored application.
+	GetApp(ctx context.Context, name core.AppName) (App, error)
+	// ListApps pages through stored application names, sorted.
+	ListApps(ctx context.Context, page Page) (AppList, error)
+
+	// Deploy starts an async deployment and returns its operation.
+	Deploy(ctx context.Context, req DeployRequest) (Operation, error)
+	// Uninstall starts an async uninstallation.
+	Uninstall(ctx context.Context, req UninstallRequest) (Operation, error)
+	// Restore starts an async restore of a replaced ECU.
+	Restore(ctx context.Context, req RestoreRequest) (Operation, error)
+
+	// Status reports per-app ack progress on a vehicle.
+	Status(ctx context.Context, vehicle core.VehicleID, app core.AppName) (OpStatus, error)
+	// GetOperation returns one async operation by id.
+	GetOperation(ctx context.Context, id string) (Operation, error)
+	// ListOperations pages through operations, oldest first.
+	ListOperations(ctx context.Context, page Page) (OperationList, error)
+}

@@ -1,30 +1,33 @@
 package fes
 
 import (
-	"fmt"
 	"io"
 	"sync"
 
+	"dynautosar/internal/api"
 	"dynautosar/internal/core"
 	"dynautosar/internal/ecm"
-	"dynautosar/internal/server"
 )
 
 // Broker is the federation point of a FES: vehicles publish messages to
 // it over their external links, and the broker relays them — through the
-// trusted server's pusher — to subscribed vehicles. This realises the
-// paper's federated embedded systems, "embedded systems in different
-// products that cooperate with each other", with the trusted server as
-// the rendezvous the architecture already provides.
+// deployment service's external router — to subscribed vehicles. This
+// realises the paper's federated embedded systems, "embedded systems in
+// different products that cooperate with each other", with the trusted
+// server as the rendezvous the architecture already provides.
+//
+// The broker is written against api.ExternalRouter, not the server
+// implementation, so it can federate over an in-process server today
+// and a remote deployment-service shard tomorrow.
 type Broker struct {
-	srv *server.Server
+	router api.ExternalRouter
 
 	mu sync.Mutex
 	// links route a published message id to a subscriber vehicle and the
 	// message id it knows the payload under.
 	links map[string][]Link
-	// Relayed counts forwarded messages.
-	Relayed uint64
+	// relayed counts forwarded messages; read it with RelayedCount.
+	relayed uint64
 }
 
 // Link is one federation subscription.
@@ -33,9 +36,10 @@ type Link struct {
 	ToMessage string
 }
 
-// NewBroker creates a broker relaying through the server.
-func NewBroker(srv *server.Server) *Broker {
-	return &Broker{srv: srv, links: make(map[string][]Link)}
+// NewBroker creates a broker relaying through an external router
+// (typically *server.Server).
+func NewBroker(router api.ExternalRouter) *Broker {
+	return &Broker{router: router, links: make(map[string][]Link)}
 }
 
 // AddLink subscribes a vehicle to a published message id.
@@ -69,21 +73,25 @@ func (b *Broker) Publish(messageID string, value int64) {
 			continue
 		}
 		b.mu.Lock()
-		b.Relayed++
+		b.relayed++
 		b.mu.Unlock()
 	}
+}
+
+// RelayedCount returns the number of forwarded messages.
+func (b *Broker) RelayedCount() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.relayed
 }
 
 // relay resolves the subscriber's message id to its in-vehicle
 // destination and pushes it.
 func (b *Broker) relay(l Link, value int64) error {
-	ecuID, port, ok := b.srv.ResolveExternal(l.ToVehicle, l.ToMessage)
+	ecuID, port, ok := b.router.ResolveExternal(l.ToVehicle, l.ToMessage)
 	if !ok {
-		return fmt.Errorf("fes: vehicle %s has no external binding for %q", l.ToVehicle, l.ToMessage)
+		return api.Errorf(api.CodeNotFound,
+			"fes: vehicle %s has no external binding for %q", l.ToVehicle, l.ToMessage)
 	}
-	payload := core.NewEnc(10)
-	payload.U16(uint16(port))
-	payload.I64(value)
-	msg := core.Message{Type: core.MsgExternal, ECU: ecuID, Payload: payload.Bytes()}
-	return b.srv.Pusher().Push(l.ToVehicle, msg)
+	return b.router.PushExternal(l.ToVehicle, ecuID, port, value)
 }

@@ -217,8 +217,8 @@ func TestFederationBetweenVehicles(t *testing.T) {
 		v, ok := carB.ECM.DirectRead(outID)
 		return ok && v == 88
 	})
-	if broker.Relayed != 1 {
-		t.Fatalf("Relayed = %d", broker.Relayed)
+	if broker.RelayedCount() != 1 {
+		t.Fatalf("Relayed = %d", broker.RelayedCount())
 	}
 	// A's Reporter really ran (not a shortcut through the broker).
 	rep, _ := carA.ECM.Plugin("Reporter")
@@ -232,8 +232,8 @@ func TestBrokerUnknownSubscriberIsSafe(t *testing.T) {
 	broker := NewBroker(s)
 	broker.AddLink("X", Link{ToVehicle: "ghost", ToMessage: "X"})
 	broker.Publish("X", 1) // must not panic or relay
-	if broker.Relayed != 0 {
-		t.Fatalf("Relayed = %d", broker.Relayed)
+	if broker.RelayedCount() != 0 {
+		t.Fatalf("Relayed = %d", broker.RelayedCount())
 	}
 }
 

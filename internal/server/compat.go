@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 
+	"dynautosar/internal/api"
 	"dynautosar/internal/core"
 	"dynautosar/internal/plugin"
 )
@@ -25,12 +26,13 @@ func (r *CompatReport) fail(format string, args ...any) {
 	r.Reasons = append(r.Reasons, fmt.Sprintf(format, args...))
 }
 
-// Error renders the reasons as one error, nil when compatible.
+// Error renders the reasons as one error, nil when compatible; the
+// error carries the failed_precondition API code.
 func (r CompatReport) Error() error {
 	if r.OK {
 		return nil
 	}
-	return fmt.Errorf("server: incompatible: %v", r.Reasons)
+	return api.Errorf(api.CodeFailedPrecondition, "server: incompatible: %v", r.Reasons)
 }
 
 // CheckCompatibility matches an app against a vehicle: a SW conf for the
@@ -187,8 +189,8 @@ func portSpec(b plugin.Binary, port string) (core.PluginPortSpec, bool) {
 // before their dependants (stable topological order). Two kinds of edges
 // are honoured: manifest-level Requires, and same-SW-C remote
 // connections — the PIRTE links peer ports directly at install time, so
-// the target plug-in must already be present. It reports an error on
-// cycles.
+// the target plug-in must already be present. It reports a
+// failed_precondition error on cycles.
 func InstallOrder(app App, conf SWConf) ([]Deployment, error) {
 	byName := make(map[core.PluginName]Deployment, len(conf.Deployments))
 	for _, d := range conf.Deployments {
@@ -220,7 +222,7 @@ func InstallOrder(app App, conf SWConf) ([]Deployment, error) {
 	visit = func(name core.PluginName) error {
 		switch state[name] {
 		case 1:
-			return fmt.Errorf("server: cyclic plug-in dependency through %s", name)
+			return api.Errorf(api.CodeFailedPrecondition, "server: cyclic plug-in dependency through %s", name)
 		case 2:
 			return nil
 		}

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"fmt"
+
+	"dynautosar/internal/api"
+	"dynautosar/internal/core"
+)
+
+// The async-operation registry: every deployment-service mutation
+// ((un)install, restore) is tracked as an api.Operation built on the
+// existing ack/nack plumbing — POST /v1/deploy returns the operation id
+// immediately and GET /v1/operations/{id} reports progress as the
+// vehicle acknowledges each pushed package.
+
+// opRecord is the mutable server-side state of one operation; guarded
+// by Server.mu.
+type opRecord struct {
+	op api.Operation
+	// outstanding counts pushes not yet acknowledged.
+	outstanding int
+	// launched becomes true once the pipeline finished pushing (or
+	// failed); completion requires launched && outstanding == 0.
+	launched bool
+}
+
+// opRetention bounds the registry: once exceeded, the oldest completed
+// operations are evicted (in-flight ones are always kept). A var so
+// tests can shrink it.
+var opRetention = 4096
+
+// newOperation registers a fresh pending operation.
+func (s *Server) newOperation(kind api.OperationKind, user core.UserID, vehicle core.VehicleID, app core.AppName, ecu core.ECUID) *opRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.opSeq++
+	rec := &opRecord{op: api.Operation{
+		ID:      fmt.Sprintf("op-%08d", s.opSeq),
+		Kind:    kind,
+		User:    user,
+		Vehicle: vehicle,
+		App:     app,
+		ECU:     ecu,
+		State:   api.StatePending,
+	}}
+	s.ops[rec.op.ID] = rec
+	s.opOrder = append(s.opOrder, rec.op.ID)
+	s.pruneOpsLocked()
+	return rec
+}
+
+// pruneOpsLocked evicts the oldest completed operations once the
+// registry exceeds its retention bound; called with Server.mu held.
+func (s *Server) pruneOpsLocked() {
+	excess := len(s.opOrder) - opRetention
+	if excess <= 0 {
+		return
+	}
+	kept := s.opOrder[:0]
+	for _, id := range s.opOrder {
+		if excess > 0 {
+			if rec := s.ops[id]; rec == nil || rec.op.Done {
+				delete(s.ops, id)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	s.opOrder = kept
+}
+
+// finishLaunch records the outcome of the push pipeline: a launch error
+// fails the operation; otherwise it runs until the outstanding acks
+// drain (possibly already done).
+func (s *Server) finishLaunch(opID string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.ops[opID]
+	if rec == nil {
+		return
+	}
+	rec.launched = true
+	if err != nil {
+		rec.op.State = api.StateFailed
+		rec.op.Error = api.AsError(err)
+		rec.op.Done = true
+		s.maybeReleaseClaimLocked(rec)
+		return
+	}
+	if rec.outstanding == 0 {
+		s.completeLocked(rec)
+		return
+	}
+	rec.op.State = api.StateRunning
+}
+
+// settleAck charges one acknowledgement (failure != "" for a nack) to
+// the push's operation.
+func (s *Server) settleAck(op pendingOp, failure string) {
+	if op.opID == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.ops[op.opID]
+	if rec == nil {
+		return
+	}
+	if !rec.op.Done {
+		if failure != "" {
+			rec.op.Failures = append(rec.op.Failures, failure)
+		} else {
+			rec.op.Acked++
+		}
+		if rec.outstanding > 0 {
+			rec.outstanding--
+		}
+		if rec.launched && rec.outstanding == 0 {
+			s.completeLocked(rec)
+		}
+		return
+	}
+	// Terminal operations (e.g. a failed launch) no longer account for
+	// late acks, but a draining frame may free the uninstall claim.
+	s.maybeReleaseClaimLocked(rec)
+}
+
+// completeLocked moves a drained operation to its terminal state;
+// called with Server.mu held.
+func (s *Server) completeLocked(rec *opRecord) {
+	if len(rec.op.Failures) > 0 {
+		rec.op.State = api.StateFailed
+	} else {
+		rec.op.State = api.StateSucceeded
+	}
+	rec.op.Done = true
+	s.maybeReleaseClaimLocked(rec)
+}
+
+// maybeReleaseClaimLocked frees the per-(vehicle, app) uninstall claim
+// once the owning operation is terminal AND none of its frames are
+// still in flight — releasing earlier would let a retry push duplicate
+// MsgUninstall frames past ones the vehicle is about to apply. Called
+// with Server.mu held. A loser that never took the claim must not
+// release the winner's.
+func (s *Server) maybeReleaseClaimLocked(rec *opRecord) {
+	if rec.op.Kind != api.OpUninstall || !rec.op.Done {
+		return
+	}
+	key := failureKey(rec.op.Vehicle, rec.op.App)
+	if s.uninstalling[key] != rec.op.ID {
+		return
+	}
+	for _, p := range s.pending {
+		if p.opID == rec.op.ID {
+			return
+		}
+	}
+	delete(s.uninstalling, key)
+}
+
+// operationSnapshot returns a race-free copy of one operation.
+func (s *Server) operationSnapshot(id string) api.Operation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.ops[id]
+	if rec == nil {
+		return api.Operation{}
+	}
+	return snapshotOpLocked(rec)
+}
+
+func snapshotOpLocked(rec *opRecord) api.Operation {
+	op := rec.op
+	op.Failures = append([]string(nil), rec.op.Failures...)
+	return op
+}
+
+// Operation returns one async operation by id.
+func (s *Server) Operation(id string) (api.Operation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.ops[id]
+	if rec == nil {
+		return api.Operation{}, false
+	}
+	return snapshotOpLocked(rec), true
+}
+
+// Operations returns every operation, oldest first.
+func (s *Server) Operations() []api.Operation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]api.Operation, 0, len(s.opOrder))
+	for _, id := range s.opOrder {
+		if rec := s.ops[id]; rec != nil {
+			out = append(out, snapshotOpLocked(rec))
+		}
+	}
+	return out
+}

@@ -1,11 +1,11 @@
 package server
 
 import (
-	"fmt"
 	"io"
 	"net"
 	"sync"
 
+	"dynautosar/internal/api"
 	"dynautosar/internal/core"
 )
 
@@ -16,19 +16,56 @@ import (
 // installation packages down and acknowledgements up.
 type Pusher struct {
 	mu    sync.Mutex
-	conns map[core.VehicleID]io.ReadWriteCloser
+	conns map[core.VehicleID]*vehicleConn
+	// epochs counts link registrations per vehicle; each accepted hello
+	// bumps the epoch, tying every push to the link it travelled on.
+	epochs map[core.VehicleID]uint64
 	// onMessage receives everything a vehicle sends after its hello.
 	onMessage func(core.VehicleID, core.Message)
+	// onDisconnect fires with the dead link's epoch when an identified
+	// vehicle's link dies; pushes on that epoch can never be
+	// acknowledged.
+	onDisconnect func(core.VehicleID, uint64)
 	// Pushed counts downstream messages.
 	Pushed uint64
+}
+
+// vehicleConn pairs a vehicle link with its write lock, so concurrent
+// operations (parallel deploys, uninstalls, FES relays) never interleave
+// frame bytes on the wire.
+type vehicleConn struct {
+	rwc   io.ReadWriteCloser
+	wmu   sync.Mutex
+	epoch uint64
 }
 
 // NewPusher creates a pusher delivering vehicle messages to onMessage.
 func NewPusher(onMessage func(core.VehicleID, core.Message)) *Pusher {
 	return &Pusher{
-		conns:     make(map[core.VehicleID]io.ReadWriteCloser),
+		conns:     make(map[core.VehicleID]*vehicleConn),
+		epochs:    make(map[core.VehicleID]uint64),
 		onMessage: onMessage,
 	}
+}
+
+// SetDisconnectHandler registers fn to run whenever an identified
+// vehicle's connection is lost (including replacement by a newer one);
+// fn receives the epoch of the dead link.
+func (p *Pusher) SetDisconnectHandler(fn func(core.VehicleID, uint64)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.onDisconnect = fn
+}
+
+// Epoch returns the registration epoch of the vehicle's current link,
+// 0 when disconnected.
+func (p *Pusher) Epoch(vehicle core.VehicleID) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if vc, ok := p.conns[vehicle]; ok {
+		return vc.epoch
+	}
+	return 0
 }
 
 // Serve accepts vehicle connections from the listener until it is closed.
@@ -52,21 +89,42 @@ func (p *Pusher) ServeConn(conn io.ReadWriteCloser) {
 		return
 	}
 	vehicle := core.VehicleID(hello.Payload)
+	vc := &vehicleConn{rwc: conn}
+	// Close-and-replace is atomic: concurrent hellos can never leave an
+	// orphaned registered link, and Push/Connected never observe a gap
+	// between the old link and its successor. The dead link's epoch is
+	// then handed to the disconnect sweep, which touches only pushes
+	// tagged with that epoch or older — never ones on the fresh link.
 	p.mu.Lock()
-	if old, ok := p.conns[vehicle]; ok {
-		old.Close()
+	old, hadOld := p.conns[vehicle]
+	if hadOld {
+		old.rwc.Close()
 	}
-	p.conns[vehicle] = conn
+	p.epochs[vehicle]++
+	vc.epoch = p.epochs[vehicle]
+	p.conns[vehicle] = vc
+	onDisconnect := p.onDisconnect
 	p.mu.Unlock()
+	if hadOld && onDisconnect != nil {
+		onDisconnect(vehicle, old.epoch)
+	}
 	for {
 		msg, err := core.ReadMessage(conn)
 		if err != nil {
 			p.mu.Lock()
-			if p.conns[vehicle] == conn {
+			live := p.conns[vehicle] == vc
+			if live {
 				delete(p.conns, vehicle)
 			}
+			onDisconnect := p.onDisconnect
 			p.mu.Unlock()
 			conn.Close()
+			// Settle lost pushes only when this goroutine owned the
+			// live link; a replaced connection was already swept by the
+			// hello path with its own epoch.
+			if live && onDisconnect != nil {
+				onDisconnect(vehicle, vc.epoch)
+			}
 			return
 		}
 		if p.onMessage != nil {
@@ -83,15 +141,31 @@ func (p *Pusher) Connected(vehicle core.VehicleID) bool {
 	return ok
 }
 
-// Push sends a message to the vehicle's ECM.
+// Push sends a message to the vehicle's ECM on whatever link is
+// current (FES relays and other epoch-agnostic traffic).
 func (p *Pusher) Push(vehicle core.VehicleID, msg core.Message) error {
+	return p.PushOn(vehicle, 0, msg)
+}
+
+// PushOn sends a message on the vehicle's current link, additionally
+// requiring it to still be the given epoch when epoch != 0. Sequenced
+// operations push with the epoch they registered their pending entry
+// under, so a frame can never silently travel on a link newer than the
+// one its bookkeeping belongs to.
+func (p *Pusher) PushOn(vehicle core.VehicleID, epoch uint64, msg core.Message) error {
 	p.mu.Lock()
-	conn, ok := p.conns[vehicle]
+	vc, ok := p.conns[vehicle]
 	p.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("server: vehicle %s is not connected", vehicle)
+		return api.Errorf(api.CodeUnavailable, "server: vehicle %s is not connected", vehicle)
 	}
-	if err := core.WriteMessage(conn, msg); err != nil {
+	if epoch != 0 && vc.epoch != epoch {
+		return api.Errorf(api.CodeUnavailable, "server: vehicle %s reconnected during the operation", vehicle)
+	}
+	vc.wmu.Lock()
+	err := core.WriteMessage(vc.rwc, msg)
+	vc.wmu.Unlock()
+	if err != nil {
 		return err
 	}
 	p.mu.Lock()
@@ -105,7 +179,7 @@ func (p *Pusher) CloseAll() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for v, c := range p.conns {
-		c.Close()
+		c.rwc.Close()
 		delete(p.conns, v)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dynautosar/internal/api"
 	"dynautosar/internal/core"
 	"dynautosar/internal/plugin"
 )
@@ -15,10 +16,18 @@ type Server struct {
 
 	mu  sync.Mutex
 	seq uint32
-	// pending tracks in-flight operations by sequence number.
+	// pending tracks in-flight pushes by sequence number.
 	pending map[uint32]pendingOp
 	// failures collects nack reasons keyed by vehicle|app.
 	failures map[string][]string
+	// uninstalling claims one in-flight uninstall per vehicle|app (value
+	// is the owning operation id), the counterpart of the deploy path's
+	// atomic check-and-record.
+	uninstalling map[string]string
+	// ops is the async-operation registry (see ops.go).
+	ops     map[string]*opRecord
+	opOrder []string
+	opSeq   uint64
 
 	logf func(format string, args ...any)
 }
@@ -30,29 +39,57 @@ type pendingOp struct {
 	plugin  core.PluginName
 	// kind is "install" or "uninstall".
 	kind string
+	// opID ties the push to its async operation ("" for none).
+	opID string
+	// epoch is the vehicle-link registration the frame travelled on; the
+	// disconnect sweep settles only frames of the dead epoch or older.
+	epoch uint64
 }
-
-// OpStatus reports the progress of a deployment or uninstallation.
-type OpStatus struct {
-	App      core.AppName `json:"app"`
-	Total    int          `json:"total"`
-	Acked    int          `json:"acked"`
-	Failures []string     `json:"failures"`
-}
-
-// Complete reports whether all operations acknowledged successfully.
-func (st OpStatus) Complete() bool { return st.Acked == st.Total && len(st.Failures) == 0 }
 
 // New creates a server with an empty store and a pusher.
 func New() *Server {
 	s := &Server{
-		store:    NewStore(),
-		pending:  make(map[uint32]pendingOp),
-		failures: make(map[string][]string),
-		logf:     func(string, ...any) {},
+		store:        NewStore(),
+		pending:      make(map[uint32]pendingOp),
+		failures:     make(map[string][]string),
+		uninstalling: make(map[string]string),
+		ops:          make(map[string]*opRecord),
+		logf:         func(string, ...any) {},
 	}
 	s.pusher = NewPusher(s.HandleVehicleMessage)
+	s.pusher.SetDisconnectHandler(s.handleVehicleDisconnect)
 	return s
+}
+
+// handleVehicleDisconnect fails every in-flight push that travelled on
+// the dead link (epoch or older): the ECM writes each acknowledgement
+// exactly once to the link it arrived on — there is no replay buffer —
+// so those acks are gone for good and the owning operations terminate
+// instead of hanging. Terminal operations release their uninstall
+// claims, keeping retries possible. Pushes on a successor link carry a
+// newer epoch and are untouched.
+func (s *Server) handleVehicleDisconnect(vehicle core.VehicleID, epoch uint64) {
+	s.mu.Lock()
+	var lost []pendingOp
+	for seq, p := range s.pending {
+		if p.vehicle == vehicle && p.epoch <= epoch {
+			delete(s.pending, seq)
+			lost = append(lost, p)
+		}
+	}
+	// Record the losses where Status reads them too, so the per-app
+	// progress surface agrees with the failed operation instead of
+	// showing acked < total with no failures forever.
+	for _, p := range lost {
+		key := failureKey(p.vehicle, p.app)
+		s.failures[key] = append(s.failures[key],
+			fmt.Sprintf("%s: vehicle disconnected before acknowledgement", p.plugin))
+	}
+	s.mu.Unlock()
+	for _, p := range lost {
+		s.settleAck(p, fmt.Sprintf("%s: vehicle disconnected before acknowledgement", p.plugin))
+		s.logf("server: %s of %s on %s lost: vehicle disconnected", p.kind, p.plugin, vehicle)
+	}
 }
 
 // Store exposes the database (Web Services layer and tests).
@@ -68,33 +105,98 @@ func (s *Server) SetLogger(fn func(format string, args ...any)) {
 	}
 }
 
-func (s *Server) nextSeq() uint32 {
+// enqueuePending allocates the next sequence number, registers the
+// pending push and charges it to its operation, all atomically.
+func (s *Server) enqueuePending(p pendingOp) uint32 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
+	s.pending[s.seq] = p
+	if rec := s.ops[p.opID]; rec != nil {
+		rec.op.Total++
+		rec.outstanding++
+	}
 	return s.seq
+}
+
+// dropPending undoes enqueuePending when the frame never made it onto
+// the wire, so a failed push leaves neither a dangling entry nor
+// phantom totals on its operation.
+func (s *Server) dropPending(seq uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pending[seq]
+	if !ok {
+		return
+	}
+	delete(s.pending, seq)
+	if rec := s.ops[p.opID]; rec != nil && !rec.op.Done {
+		if rec.op.Total > 0 {
+			rec.op.Total--
+		}
+		if rec.outstanding > 0 {
+			rec.outstanding--
+		}
+	}
 }
 
 // Deploy runs the full deployment pipeline of section 3.2.2 for app on
 // vehicle: compatibility check, dependency-ordered planning, context
 // generation, packaging and push. It returns after the packages are sent;
 // acknowledgements arrive asynchronously and are tracked in the
-// InstalledAPP table (query with Status).
+// InstalledAPP table (query with Status) and in the operation registry.
 func (s *Server) Deploy(user core.UserID, vehicleID core.VehicleID, appName core.AppName) error {
+	if err := s.precheckDeploy(user, vehicleID, appName); err != nil {
+		return err
+	}
+	rec := s.newOperation(api.OpDeploy, user, vehicleID, appName, "")
+	err := s.deploy(rec.op.ID, user, vehicleID, appName)
+	s.finishLaunch(rec.op.ID, err)
+	return err
+}
+
+// DeployAsync validates the cheap preconditions synchronously, then
+// runs the deployment pipeline in the background; progress is reported
+// through the returned operation.
+func (s *Server) DeployAsync(user core.UserID, vehicleID core.VehicleID, appName core.AppName) (api.Operation, error) {
+	if err := s.precheckDeploy(user, vehicleID, appName); err != nil {
+		return api.Operation{}, err
+	}
+	rec := s.newOperation(api.OpDeploy, user, vehicleID, appName, "")
+	id := rec.op.ID
+	go func() {
+		s.finishLaunch(id, s.deploy(id, user, vehicleID, appName))
+	}()
+	return s.operationSnapshot(id), nil
+}
+
+// precheckDeploy runs the checks that should reject a deploy request
+// before an operation is created.
+func (s *Server) precheckDeploy(user core.UserID, vehicleID core.VehicleID, appName core.AppName) error {
 	vr, ok := s.store.Vehicle(vehicleID)
 	if !ok {
-		return fmt.Errorf("server: unknown vehicle %s", vehicleID)
+		return api.Errorf(api.CodeNotFound, "server: unknown vehicle %s", vehicleID)
 	}
 	if vr.Owner != user {
-		return fmt.Errorf("server: vehicle %s is not bound to user %s", vehicleID, user)
+		return api.Errorf(api.CodePermissionDenied, "server: vehicle %s is not bound to user %s", vehicleID, user)
 	}
-	app, ok := s.store.App(appName)
-	if !ok {
-		return fmt.Errorf("server: unknown app %s", appName)
+	if _, ok := s.store.App(appName); !ok {
+		return api.Errorf(api.CodeNotFound, "server: unknown app %s", appName)
 	}
 	if _, dup := s.store.InstalledApp(vehicleID, appName); dup {
-		return fmt.Errorf("server: app %s already installed on %s", appName, vehicleID)
+		return api.Errorf(api.CodeAlreadyExists, "server: app %s already installed on %s", appName, vehicleID)
 	}
+	return nil
+}
+
+// deploy is the deployment pipeline shared by the sync and async entry
+// points; pushes are charged to the operation opID.
+func (s *Server) deploy(opID string, user core.UserID, vehicleID core.VehicleID, appName core.AppName) error {
+	if err := s.precheckDeploy(user, vehicleID, appName); err != nil {
+		return err
+	}
+	vr, _ := s.store.Vehicle(vehicleID)
+	app, _ := s.store.App(appName)
 
 	// Compatibility and dependency checks; failures are presented to the
 	// user as the reasons collected in the report.
@@ -112,7 +214,8 @@ func (s *Server) Deploy(user core.UserID, vehicleID core.VehicleID, appName core
 	}
 
 	// Record the installation before pushing so arriving acks always find
-	// their row.
+	// their row; the atomic check-and-record keeps a concurrent duplicate
+	// deploy from double-installing.
 	row := &InstalledApp{App: appName, Vehicle: vehicleID}
 	for _, d := range order {
 		ctx := contexts[d.Plugin]
@@ -120,28 +223,30 @@ func (s *Server) Deploy(user core.UserID, vehicleID core.VehicleID, appName core
 			Plugin: d.Plugin, ECU: d.ECU, SWC: d.SWC, PIC: ctx.PIC,
 		})
 	}
-	s.store.RecordInstallation(row)
+	if err := s.store.TryRecordInstallation(row); err != nil {
+		return err
+	}
 
-	// Package and push in dependency order.
+	// Package and push in dependency order, pinned to the vehicle link
+	// that is current at launch.
+	epoch := s.pusher.Epoch(vehicleID)
 	for _, d := range order {
 		bin, _ := app.Binary(d.Plugin)
 		pkg := plugin.Package{Binary: bin, Context: *contexts[d.Plugin]}
 		raw, err := pkg.MarshalBinary()
 		if err != nil {
 			s.store.RemoveInstallation(vehicleID, appName)
-			return fmt.Errorf("server: packaging %s: %v", d.Plugin, err)
+			return api.Errorf(api.CodeInternal, "server: packaging %s: %v", d.Plugin, err)
 		}
-		seq := s.nextSeq()
-		s.mu.Lock()
-		s.pending[seq] = pendingOp{vehicle: vehicleID, app: appName, plugin: d.Plugin, kind: "install"}
-		s.mu.Unlock()
+		seq := s.enqueuePending(pendingOp{vehicle: vehicleID, app: appName, plugin: d.Plugin, kind: "install", opID: opID, epoch: epoch})
 		msg := core.Message{
 			Type: core.MsgInstall, Plugin: d.Plugin,
 			ECU: d.ECU, SWC: d.SWC, Seq: seq, Payload: raw,
 		}
-		if err := s.pusher.Push(vehicleID, msg); err != nil {
+		if err := s.pusher.PushOn(vehicleID, epoch, msg); err != nil {
+			s.dropPending(seq)
 			s.store.RemoveInstallation(vehicleID, appName)
-			return fmt.Errorf("server: push to %s: %v", vehicleID, err)
+			return api.Errorf(api.CodeUnavailable, "server: push to %s: %v", vehicleID, err)
 		}
 		s.logf("server: pushed {%d, '%s', %s, %s.pkg} to %s", core.MsgInstall, d.Plugin, d.ECU, d.Plugin, vehicleID)
 	}
@@ -152,16 +257,62 @@ func (s *Server) Deploy(user core.UserID, vehicleID core.VehicleID, appName core
 // installed app depends on its plug-ins; the InstalledAPP row is dropped
 // once every uninstallation has been acknowledged.
 func (s *Server) Uninstall(user core.UserID, vehicleID core.VehicleID, appName core.AppName) error {
+	if err := s.precheckUninstall(user, vehicleID, appName); err != nil {
+		return err
+	}
+	rec := s.newOperation(api.OpUninstall, user, vehicleID, appName, "")
+	err := s.uninstall(rec.op.ID, user, vehicleID, appName)
+	s.finishLaunch(rec.op.ID, err)
+	return err
+}
+
+// UninstallAsync is the operation-returning variant of Uninstall.
+func (s *Server) UninstallAsync(user core.UserID, vehicleID core.VehicleID, appName core.AppName) (api.Operation, error) {
+	if err := s.precheckUninstall(user, vehicleID, appName); err != nil {
+		return api.Operation{}, err
+	}
+	rec := s.newOperation(api.OpUninstall, user, vehicleID, appName, "")
+	id := rec.op.ID
+	go func() {
+		s.finishLaunch(id, s.uninstall(id, user, vehicleID, appName))
+	}()
+	return s.operationSnapshot(id), nil
+}
+
+func (s *Server) precheckUninstall(user core.UserID, vehicleID core.VehicleID, appName core.AppName) error {
 	vr, ok := s.store.Vehicle(vehicleID)
 	if !ok {
-		return fmt.Errorf("server: unknown vehicle %s", vehicleID)
+		return api.Errorf(api.CodeNotFound, "server: unknown vehicle %s", vehicleID)
 	}
 	if vr.Owner != user {
-		return fmt.Errorf("server: vehicle %s is not bound to user %s", vehicleID, user)
+		return api.Errorf(api.CodePermissionDenied, "server: vehicle %s is not bound to user %s", vehicleID, user)
 	}
+	if _, ok := s.store.InstalledApp(vehicleID, appName); !ok {
+		return api.Errorf(api.CodeNotFound, "server: app %s is not installed on %s", appName, vehicleID)
+	}
+	return nil
+}
+
+func (s *Server) uninstall(opID string, user core.UserID, vehicleID core.VehicleID, appName core.AppName) error {
+	if err := s.precheckUninstall(user, vehicleID, appName); err != nil {
+		return err
+	}
+	// Claim the uninstall before snapshotting the row, so concurrent
+	// requests cannot each push a full set of MsgUninstall frames. The
+	// claim is released when the operation reaches a terminal state
+	// (finishLaunch / completeLocked).
+	key := failureKey(vehicleID, appName)
+	s.mu.Lock()
+	if owner := s.uninstalling[key]; owner != "" && owner != opID {
+		s.mu.Unlock()
+		return api.Errorf(api.CodeAlreadyExists,
+			"server: uninstall of %s on %s already in progress", appName, vehicleID)
+	}
+	s.uninstalling[key] = opID
+	s.mu.Unlock()
 	row, ok := s.store.InstalledApp(vehicleID, appName)
 	if !ok {
-		return fmt.Errorf("server: app %s is not installed on %s", appName, vehicleID)
+		return api.Errorf(api.CodeNotFound, "server: app %s is not installed on %s", appName, vehicleID)
 	}
 
 	// Dependency supervision: other apps requiring these plug-ins block
@@ -189,20 +340,20 @@ func (s *Server) Uninstall(user core.UserID, vehicleID core.VehicleID, appName c
 		}
 	}
 	if len(dependants) > 0 {
-		return fmt.Errorf("server: cannot uninstall %s: dependent apps must be uninstalled first: %v",
-			appName, dependants)
+		return api.Errorf(api.CodeFailedPrecondition,
+			"server: cannot uninstall %s: dependent apps must be uninstalled first: %v", appName, dependants)
 	}
 
-	// Send uninstall messages in reverse install order.
+	// Send uninstall messages in reverse install order, pinned to the
+	// current vehicle link.
+	epoch := s.pusher.Epoch(vehicleID)
 	for i := len(row.Plugins) - 1; i >= 0; i-- {
 		p := row.Plugins[i]
-		seq := s.nextSeq()
-		s.mu.Lock()
-		s.pending[seq] = pendingOp{vehicle: vehicleID, app: appName, plugin: p.Plugin, kind: "uninstall"}
-		s.mu.Unlock()
+		seq := s.enqueuePending(pendingOp{vehicle: vehicleID, app: appName, plugin: p.Plugin, kind: "uninstall", opID: opID, epoch: epoch})
 		msg := core.Message{Type: core.MsgUninstall, Plugin: p.Plugin, ECU: p.ECU, SWC: p.SWC, Seq: seq}
-		if err := s.pusher.Push(vehicleID, msg); err != nil {
-			return fmt.Errorf("server: push to %s: %v", vehicleID, err)
+		if err := s.pusher.PushOn(vehicleID, epoch, msg); err != nil {
+			s.dropPending(seq)
+			return api.Errorf(api.CodeUnavailable, "server: push to %s: %v", vehicleID, err)
 		}
 	}
 	return nil
@@ -212,13 +363,47 @@ func (s *Server) Uninstall(user core.UserID, vehicleID core.VehicleID, appName c
 // ECU, reusing their recorded PICs so port ids stay stable (paper section
 // 3.2.2, the restore operation).
 func (s *Server) Restore(user core.UserID, vehicleID core.VehicleID, replaced core.ECUID) (int, error) {
+	if err := s.precheckRestore(user, vehicleID); err != nil {
+		return 0, err
+	}
+	rec := s.newOperation(api.OpRestore, user, vehicleID, "", replaced)
+	n, err := s.restore(rec.op.ID, user, vehicleID, replaced)
+	s.finishLaunch(rec.op.ID, err)
+	return n, err
+}
+
+// RestoreAsync is the operation-returning variant of Restore; the
+// number of re-installed plug-ins appears as the operation's Total.
+func (s *Server) RestoreAsync(user core.UserID, vehicleID core.VehicleID, replaced core.ECUID) (api.Operation, error) {
+	if err := s.precheckRestore(user, vehicleID); err != nil {
+		return api.Operation{}, err
+	}
+	rec := s.newOperation(api.OpRestore, user, vehicleID, "", replaced)
+	id := rec.op.ID
+	go func() {
+		_, err := s.restore(id, user, vehicleID, replaced)
+		s.finishLaunch(id, err)
+	}()
+	return s.operationSnapshot(id), nil
+}
+
+func (s *Server) precheckRestore(user core.UserID, vehicleID core.VehicleID) error {
 	vr, ok := s.store.Vehicle(vehicleID)
 	if !ok {
-		return 0, fmt.Errorf("server: unknown vehicle %s", vehicleID)
+		return api.Errorf(api.CodeNotFound, "server: unknown vehicle %s", vehicleID)
 	}
 	if vr.Owner != user {
-		return 0, fmt.Errorf("server: vehicle %s is not bound to user %s", vehicleID, user)
+		return api.Errorf(api.CodePermissionDenied, "server: vehicle %s is not bound to user %s", vehicleID, user)
 	}
+	return nil
+}
+
+func (s *Server) restore(opID string, user core.UserID, vehicleID core.VehicleID, replaced core.ECUID) (int, error) {
+	if err := s.precheckRestore(user, vehicleID); err != nil {
+		return 0, err
+	}
+	vr, _ := s.store.Vehicle(vehicleID)
+	epoch := s.pusher.Epoch(vehicleID)
 	sent := 0
 	for _, row := range s.store.InstalledApps(vehicleID) {
 		app, ok := s.store.App(row.App)
@@ -257,16 +442,14 @@ func (s *Server) Restore(user core.UserID, vehicleID core.VehicleID, replaced co
 			pkg := plugin.Package{Binary: bin, Context: *ctx}
 			raw, err := pkg.MarshalBinary()
 			if err != nil {
-				return sent, fmt.Errorf("server: restore packaging %s: %v", d.Plugin, err)
+				return sent, api.Errorf(api.CodeInternal, "server: restore packaging %s: %v", d.Plugin, err)
 			}
-			seq := s.nextSeq()
-			s.mu.Lock()
-			s.pending[seq] = pendingOp{vehicle: vehicleID, app: row.App, plugin: d.Plugin, kind: "install"}
-			s.mu.Unlock()
+			seq := s.enqueuePending(pendingOp{vehicle: vehicleID, app: row.App, plugin: d.Plugin, kind: "install", opID: opID, epoch: epoch})
 			msg := core.Message{Type: core.MsgInstall, Plugin: d.Plugin,
 				ECU: d.ECU, SWC: d.SWC, Seq: seq, Payload: raw}
-			if err := s.pusher.Push(vehicleID, msg); err != nil {
-				return sent, err
+			if err := s.pusher.PushOn(vehicleID, epoch, msg); err != nil {
+				s.dropPending(seq)
+				return sent, api.Errorf(api.CodeUnavailable, "server: push to %s: %v", vehicleID, err)
 			}
 			sent++
 		}
@@ -333,41 +516,41 @@ func failureKey(vehicle core.VehicleID, app core.AppName) string {
 
 func (s *Server) applyAck(op pendingOp, msg core.Message) {
 	if msg.Type == core.MsgNack {
+		reason := fmt.Sprintf("%s: %s", op.plugin, string(msg.Payload))
 		s.mu.Lock()
 		key := failureKey(op.vehicle, op.app)
-		s.failures[key] = append(s.failures[key],
-			fmt.Sprintf("%s: %s", op.plugin, string(msg.Payload)))
+		s.failures[key] = append(s.failures[key], reason)
 		s.mu.Unlock()
+		s.settleAck(op, reason)
 		s.logf("server: %s of %s on %s failed: %s", op.kind, op.plugin, op.vehicle, msg.Payload)
 		return
 	}
 	switch op.kind {
 	case "install":
-		if row, ok := s.store.InstalledApp(op.vehicle, op.app); ok {
-			for i := range row.Plugins {
-				if row.Plugins[i].Plugin == op.plugin {
-					row.Plugins[i].Acked = true
-				}
-			}
-		}
+		s.store.MarkInstallAcked(op.vehicle, op.app, op.plugin)
 	case "uninstall":
-		row, ok := s.store.InstalledApp(op.vehicle, op.app)
-		if !ok {
-			return
-		}
-		kept := row.Plugins[:0]
+		// "The InstalledAPP table is updated once successful
+		// uninstallation has been fully acknowledged."
+		s.store.DropUninstalledPlugin(op.vehicle, op.app, op.plugin)
+	}
+	s.settleAck(op, "")
+}
+
+// Status reports the progress of the most recent operation on an app.
+func (s *Server) Status(vehicle core.VehicleID, app core.AppName) OpStatus {
+	st := OpStatus{App: app}
+	s.mu.Lock()
+	st.Failures = append(st.Failures, s.failures[failureKey(vehicle, app)]...)
+	s.mu.Unlock()
+	if row, ok := s.store.InstalledApp(vehicle, app); ok {
+		st.Total = len(row.Plugins)
 		for _, p := range row.Plugins {
-			if p.Plugin != op.plugin {
-				kept = append(kept, p)
+			if p.Acked {
+				st.Acked++
 			}
-		}
-		row.Plugins = kept
-		if len(row.Plugins) == 0 {
-			// "The InstalledAPP table is updated once successful
-			// uninstallation has been fully acknowledged."
-			s.store.RemoveInstallation(op.vehicle, op.app)
 		}
 	}
+	return st
 }
 
 // ResolveExternal finds the in-vehicle destination of an external message
@@ -406,19 +589,16 @@ func (s *Server) ResolveExternal(vehicle core.VehicleID, messageID string) (core
 	return "", 0, false
 }
 
-// Status reports the progress of the most recent operation on an app.
-func (s *Server) Status(vehicle core.VehicleID, app core.AppName) OpStatus {
-	st := OpStatus{App: app}
-	s.mu.Lock()
-	st.Failures = append(st.Failures, s.failures[failureKey(vehicle, app)]...)
-	s.mu.Unlock()
-	if row, ok := s.store.InstalledApp(vehicle, app); ok {
-		st.Total = len(row.Plugins)
-		for _, p := range row.Plugins {
-			if p.Acked {
-				st.Acked++
-			}
-		}
-	}
-	return st
+// PushExternal delivers an external-message value to a resolved
+// in-vehicle destination through the vehicle's ECM. Together with
+// ResolveExternal it implements api.ExternalRouter for the federation
+// layer.
+func (s *Server) PushExternal(vehicle core.VehicleID, ecu core.ECUID, port core.PluginPortID, value int64) error {
+	payload := core.NewEnc(10)
+	payload.U16(uint16(port))
+	payload.I64(value)
+	msg := core.Message{Type: core.MsgExternal, ECU: ecu, Payload: payload.Bytes()}
+	return s.pusher.Push(vehicle, msg)
 }
+
+var _ api.ExternalRouter = (*Server)(nil)

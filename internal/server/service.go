@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+
+	"dynautosar/internal/api"
+	"dynautosar/internal/core"
+)
+
+// Service is the in-process adapter implementing api.DeploymentService
+// over the server core. The /v1 HTTP layer (api.NewHandler) and local
+// callers (api.NewLocalClient) both sit on this one implementation, so
+// every transport shares the same semantics and error codes.
+type Service struct {
+	s *Server
+}
+
+// NewService adapts a server to the deployment-service interface.
+func NewService(s *Server) *Service { return &Service{s: s} }
+
+// Service returns the server's deployment-service adapter.
+func (s *Server) Service() *Service { return NewService(s) }
+
+var _ api.DeploymentService = (*Service)(nil)
+
+func (sv *Service) CreateUser(_ context.Context, req api.CreateUserRequest) (api.User, error) {
+	if err := sv.s.store.AddUser(req.ID); err != nil {
+		return api.User{}, err
+	}
+	u, _ := sv.s.store.User(req.ID)
+	return u, nil
+}
+
+func (sv *Service) GetUser(_ context.Context, id core.UserID) (api.User, error) {
+	u, ok := sv.s.store.User(id)
+	if !ok {
+		return api.User{}, api.Errorf(api.CodeNotFound, "server: unknown user %q", id)
+	}
+	return u, nil
+}
+
+func (sv *Service) BindVehicle(_ context.Context, req api.BindVehicleRequest) (api.VehicleRecord, error) {
+	if err := sv.s.store.BindVehicle(req.Owner, req.Conf); err != nil {
+		return api.VehicleRecord{}, err
+	}
+	vr, _ := sv.s.store.Vehicle(req.Conf.Vehicle)
+	return vr, nil
+}
+
+func (sv *Service) GetVehicle(_ context.Context, id core.VehicleID) (api.VehicleDetail, error) {
+	vr, ok := sv.s.store.Vehicle(id)
+	if !ok {
+		return api.VehicleDetail{}, api.Errorf(api.CodeNotFound, "server: unknown vehicle %s", id)
+	}
+	return api.VehicleDetail{VehicleRecord: vr, Installed: sv.s.store.InstalledApps(id)}, nil
+}
+
+func (sv *Service) ListVehicles(_ context.Context, page api.Page) (api.VehicleList, error) {
+	items, next := api.Paginate(sv.s.store.Vehicles(), page,
+		func(v api.VehicleRecord) string { return string(v.ID) })
+	return api.VehicleList{Vehicles: items, NextPageToken: next}, nil
+}
+
+func (sv *Service) UploadApp(_ context.Context, app api.App) (api.AppRef, error) {
+	if err := sv.s.store.UploadApp(app); err != nil {
+		return api.AppRef{}, err
+	}
+	return api.AppRef{Name: app.Name}, nil
+}
+
+func (sv *Service) GetApp(_ context.Context, name core.AppName) (api.App, error) {
+	app, ok := sv.s.store.App(name)
+	if !ok {
+		return api.App{}, api.Errorf(api.CodeNotFound, "server: unknown app %s", name)
+	}
+	return app, nil
+}
+
+func (sv *Service) ListApps(_ context.Context, page api.Page) (api.AppList, error) {
+	items, next := api.Paginate(sv.s.store.Apps(), page,
+		func(n core.AppName) string { return string(n) })
+	return api.AppList{Apps: items, NextPageToken: next}, nil
+}
+
+func (sv *Service) Deploy(_ context.Context, req api.DeployRequest) (api.Operation, error) {
+	return sv.s.DeployAsync(req.User, req.Vehicle, req.App)
+}
+
+func (sv *Service) Uninstall(_ context.Context, req api.UninstallRequest) (api.Operation, error) {
+	return sv.s.UninstallAsync(req.User, req.Vehicle, req.App)
+}
+
+func (sv *Service) Restore(_ context.Context, req api.RestoreRequest) (api.Operation, error) {
+	return sv.s.RestoreAsync(req.User, req.Vehicle, req.ECU)
+}
+
+func (sv *Service) Status(_ context.Context, vehicle core.VehicleID, app core.AppName) (api.OpStatus, error) {
+	if _, ok := sv.s.store.Vehicle(vehicle); !ok {
+		return api.OpStatus{}, api.Errorf(api.CodeNotFound, "server: unknown vehicle %s", vehicle)
+	}
+	return sv.s.Status(vehicle, app), nil
+}
+
+func (sv *Service) GetOperation(_ context.Context, id string) (api.Operation, error) {
+	op, ok := sv.s.Operation(id)
+	if !ok {
+		return api.Operation{}, api.Errorf(api.CodeNotFound, "server: unknown operation %q", id)
+	}
+	return op, nil
+}
+
+func (sv *Service) ListOperations(_ context.Context, page api.Page) (api.OperationList, error) {
+	items, next := api.Paginate(sv.s.Operations(), page,
+		func(op api.Operation) string { return op.ID })
+	return api.OperationList{Operations: items, NextPageToken: next}, nil
+}

@@ -1,89 +1,18 @@
 package server
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 
+	"dynautosar/internal/api"
 	"dynautosar/internal/core"
-	"dynautosar/internal/plugin"
 )
 
-// The data model of Figure 2: User and Vehicle on the user side, APP with
-// its binaries and SW confs on the developer side, Vehicle Conf (HW conf,
-// SystemSW conf, InstalledAPP) tying them together.
-
-// User is one account on the server.
-type User struct {
-	ID core.UserID `json:"id"`
-	// Vehicles bound to this user.
-	Vehicles []core.VehicleID `json:"vehicles"`
-}
-
-// VehicleRecord is the server's knowledge of one vehicle.
-type VehicleRecord struct {
-	ID core.VehicleID `json:"id"`
-	// Owner is the bound user.
-	Owner core.UserID `json:"owner"`
-	// Conf is the uploaded HW conf + SystemSW conf.
-	Conf core.VehicleConf `json:"conf"`
-}
-
-// App is one application in the APP database: binaries plus per-model SW
-// confs.
-type App struct {
-	Name     core.AppName    `json:"name"`
-	Binaries []plugin.Binary `json:"binaries"`
-	Confs    []SWConf        `json:"confs"`
-}
-
-// Binary returns the named plug-in binary of the app.
-func (a App) Binary(name core.PluginName) (plugin.Binary, bool) {
-	for _, b := range a.Binaries {
-		if b.Manifest.Name == name {
-			return b, true
-		}
-	}
-	return plugin.Binary{}, false
-}
-
-// ConfFor returns the SW conf matching a vehicle model.
-func (a App) ConfFor(model string) (SWConf, bool) {
-	for _, c := range a.Confs {
-		if c.Model == model {
-			return c, true
-		}
-	}
-	return SWConf{}, false
-}
-
-// InstalledPlugin records where one plug-in of an installed APP lives and
-// which port ids it received.
-type InstalledPlugin struct {
-	Plugin core.PluginName `json:"plugin"`
-	ECU    core.ECUID      `json:"ecu"`
-	SWC    core.SWCID      `json:"swc"`
-	PIC    core.PIC        `json:"pic"`
-	// Acked becomes true when the vehicle acknowledged the installation.
-	Acked bool `json:"acked"`
-}
-
-// InstalledApp is one row of the InstalledAPP table.
-type InstalledApp struct {
-	App     core.AppName      `json:"app"`
-	Vehicle core.VehicleID    `json:"vehicle"`
-	Plugins []InstalledPlugin `json:"plugins"`
-}
-
-// Complete reports whether every plug-in has been acknowledged.
-func (ia InstalledApp) Complete() bool {
-	for _, p := range ia.Plugins {
-		if !p.Acked {
-			return false
-		}
-	}
-	return true
-}
+// The data model of Figure 2: User and Vehicle on the user side, APP
+// with its binaries and SW confs on the developer side, Vehicle Conf
+// (HW conf, SystemSW conf, InstalledAPP) tying them together. The
+// record types themselves are the wire types of internal/api; the Store
+// is the thread-safe in-memory database holding them.
 
 // Store is the thread-safe in-memory database of the trusted server.
 type Store struct {
@@ -107,12 +36,12 @@ func NewStore() *Store {
 // AddUser creates a user account (user setup, paper section 3.2.2).
 func (s *Store) AddUser(id core.UserID) error {
 	if id == "" {
-		return fmt.Errorf("server: empty user id")
+		return api.Errorf(api.CodeInvalidArgument, "server: empty user id")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.users[id]; dup {
-		return fmt.Errorf("server: user %q exists", id)
+		return api.Errorf(api.CodeAlreadyExists, "server: user %q exists", id)
 	}
 	s.users[id] = &User{ID: id}
 	return nil
@@ -136,16 +65,16 @@ func (s *Store) User(id core.UserID) (User, bool) {
 // Vehicle-User-configurations".
 func (s *Store) BindVehicle(owner core.UserID, conf core.VehicleConf) error {
 	if err := conf.Validate(); err != nil {
-		return err
+		return api.Errorf(api.CodeInvalidArgument, "%v", err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	u, ok := s.users[owner]
 	if !ok {
-		return fmt.Errorf("server: unknown user %q", owner)
+		return api.Errorf(api.CodeNotFound, "server: unknown user %q", owner)
 	}
 	if _, dup := s.vehicles[conf.Vehicle]; dup {
-		return fmt.Errorf("server: vehicle %q already bound", conf.Vehicle)
+		return api.Errorf(api.CodeAlreadyExists, "server: vehicle %q already bound", conf.Vehicle)
 	}
 	s.vehicles[conf.Vehicle] = &VehicleRecord{ID: conf.Vehicle, Owner: owner, Conf: conf}
 	u.Vehicles = append(u.Vehicles, conf.Vehicle)
@@ -163,37 +92,49 @@ func (s *Store) Vehicle(id core.VehicleID) (VehicleRecord, bool) {
 	return *v, true
 }
 
+// Vehicles returns all vehicle records, sorted by id.
+func (s *Store) Vehicles() []VehicleRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]VehicleRecord, 0, len(s.vehicles))
+	for _, v := range s.vehicles {
+		out = append(out, *v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // UploadApp stores an application: validated binaries and SW confs
 // (upload operations, paper section 3.2.2).
 func (s *Store) UploadApp(app App) error {
 	if app.Name == "" {
-		return fmt.Errorf("server: app without a name")
+		return api.Errorf(api.CodeInvalidArgument, "server: app without a name")
 	}
 	if len(app.Binaries) == 0 {
-		return fmt.Errorf("server: app %q has no binaries", app.Name)
+		return api.Errorf(api.CodeInvalidArgument, "server: app %q has no binaries", app.Name)
 	}
 	names := make(map[core.PluginName]bool, len(app.Binaries))
 	for _, b := range app.Binaries {
 		if err := b.Validate(); err != nil {
-			return fmt.Errorf("server: app %q: %v", app.Name, err)
+			return api.Errorf(api.CodeInvalidArgument, "server: app %q: %v", app.Name, err)
 		}
 		if names[b.Manifest.Name] {
-			return fmt.Errorf("server: app %q has duplicate plug-in %s", app.Name, b.Manifest.Name)
+			return api.Errorf(api.CodeInvalidArgument, "server: app %q has duplicate plug-in %s", app.Name, b.Manifest.Name)
 		}
 		names[b.Manifest.Name] = true
 	}
 	models := make(map[string]bool, len(app.Confs))
 	for _, c := range app.Confs {
 		if err := c.Validate(); err != nil {
-			return fmt.Errorf("server: app %q: %v", app.Name, err)
+			return api.Errorf(api.CodeInvalidArgument, "server: app %q: %v", app.Name, err)
 		}
 		if models[c.Model] {
-			return fmt.Errorf("server: app %q has duplicate conf for model %q", app.Name, c.Model)
+			return api.Errorf(api.CodeInvalidArgument, "server: app %q has duplicate conf for model %q", app.Name, c.Model)
 		}
 		models[c.Model] = true
 		for _, d := range c.Deployments {
 			if !names[d.Plugin] {
-				return fmt.Errorf("server: app %q: conf for %q deploys unknown plug-in %s",
+				return api.Errorf(api.CodeInvalidArgument, "server: app %q: conf for %q deploys unknown plug-in %s",
 					app.Name, c.Model, d.Plugin)
 			}
 		}
@@ -201,7 +142,7 @@ func (s *Store) UploadApp(app App) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.apps[app.Name]; dup {
-		return fmt.Errorf("server: app %q exists", app.Name)
+		return api.Errorf(api.CodeAlreadyExists, "server: app %q exists", app.Name)
 	}
 	cp := app
 	s.apps[app.Name] = &cp
@@ -238,6 +179,21 @@ func (s *Store) RecordInstallation(ia *InstalledApp) {
 	s.installed[ia.Vehicle] = append(s.installed[ia.Vehicle], ia)
 }
 
+// TryRecordInstallation adds an InstalledAPP row unless the app already
+// has one on the vehicle — the atomic check-and-record that keeps
+// concurrent duplicate deploys from double-installing.
+func (s *Store) TryRecordInstallation(ia *InstalledApp) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.installed[ia.Vehicle] {
+		if r.App == ia.App {
+			return api.Errorf(api.CodeAlreadyExists, "server: app %s already installed on %s", ia.App, ia.Vehicle)
+		}
+	}
+	s.installed[ia.Vehicle] = append(s.installed[ia.Vehicle], ia)
+	return nil
+}
+
 // RemoveInstallation deletes the row of app on vehicle.
 func (s *Store) RemoveInstallation(vehicle core.VehicleID, app core.AppName) {
 	s.mu.Lock()
@@ -252,23 +208,76 @@ func (s *Store) RemoveInstallation(vehicle core.VehicleID, app core.AppName) {
 	s.installed[vehicle] = kept
 }
 
-// InstalledApps returns the InstalledAPP rows of a vehicle.
-func (s *Store) InstalledApps(vehicle core.VehicleID) []*InstalledApp {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]*InstalledApp(nil), s.installed[vehicle]...)
+// snapshotRow copies a row so readers never share memory with the
+// ack path's mutations; called with s.mu held.
+func snapshotRow(r *InstalledApp) InstalledApp {
+	cp := *r
+	cp.Plugins = append([]InstalledPlugin(nil), r.Plugins...)
+	return cp
 }
 
-// InstalledApp returns one row.
-func (s *Store) InstalledApp(vehicle core.VehicleID, app core.AppName) (*InstalledApp, bool) {
+// InstalledApps returns copies of the InstalledAPP rows of a vehicle.
+func (s *Store) InstalledApps(vehicle core.VehicleID) []InstalledApp {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]InstalledApp, 0, len(s.installed[vehicle]))
+	for _, r := range s.installed[vehicle] {
+		out = append(out, snapshotRow(r))
+	}
+	return out
+}
+
+// InstalledApp returns a copy of one row.
+func (s *Store) InstalledApp(vehicle core.VehicleID, app core.AppName) (InstalledApp, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for _, r := range s.installed[vehicle] {
 		if r.App == app {
-			return r, true
+			return snapshotRow(r), true
 		}
 	}
-	return nil, false
+	return InstalledApp{}, false
+}
+
+// MarkInstallAcked records the vehicle's acknowledgement of one
+// plug-in installation.
+func (s *Store) MarkInstallAcked(vehicle core.VehicleID, app core.AppName, plugin core.PluginName) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.installed[vehicle] {
+		if r.App != app {
+			continue
+		}
+		for i := range r.Plugins {
+			if r.Plugins[i].Plugin == plugin {
+				r.Plugins[i].Acked = true
+			}
+		}
+	}
+}
+
+// DropUninstalledPlugin removes an acknowledged uninstallation from its
+// row, deleting the row once its last plug-in is gone.
+func (s *Store) DropUninstalledPlugin(vehicle core.VehicleID, app core.AppName, plugin core.PluginName) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rows := s.installed[vehicle]
+	for ri, r := range rows {
+		if r.App != app {
+			continue
+		}
+		kept := r.Plugins[:0]
+		for _, p := range r.Plugins {
+			if p.Plugin != plugin {
+				kept = append(kept, p)
+			}
+		}
+		r.Plugins = kept
+		if len(kept) == 0 {
+			s.installed[vehicle] = append(rows[:ri], rows[ri+1:]...)
+		}
+		return
+	}
 }
 
 // InstalledPlugins returns all plug-ins installed on a vehicle across

@@ -4,124 +4,37 @@
 // resolves dependencies, generates the PIC/PLC/ECC contexts and pushes
 // installation packages to the vehicles through the Pusher, tracking
 // their acknowledgements.
+//
+// The server's public surface is the versioned deployment-service API
+// of internal/api: the Service adapter implements api.DeploymentService
+// over this core, and Handler mounts the /v1 HTTP layer plus the
+// deprecated legacy paths.
 package server
 
-import (
-	"fmt"
+import "dynautosar/internal/api"
 
-	"dynautosar/internal/core"
+// The data model types live in internal/api — the canonical wire types
+// of the deployment service — and are re-exported here so the server
+// core and its existing callers keep their natural names.
+type (
+	// User is one account on the server.
+	User = api.User
+	// VehicleRecord is the server's knowledge of one vehicle.
+	VehicleRecord = api.VehicleRecord
+	// App is one application in the APP database.
+	App = api.App
+	// SWConf distributes an APP's plug-ins over one vehicle model.
+	SWConf = api.SWConf
+	// Deployment places one plug-in and declares its port connections.
+	Deployment = api.Deployment
+	// PortConnection wires one developer-named plug-in port.
+	PortConnection = api.PortConnection
+	// ExternalSpec names an off-board resource and its message id.
+	ExternalSpec = api.ExternalSpec
+	// InstalledPlugin records where one installed plug-in lives.
+	InstalledPlugin = api.InstalledPlugin
+	// InstalledApp is one row of the InstalledAPP table.
+	InstalledApp = api.InstalledApp
+	// OpStatus reports the progress of the most recent operation.
+	OpStatus = api.OpStatus
 )
-
-// SWConf describes, for one vehicle model, how an APP's plug-ins are
-// distributed over the vehicle and how their ports are connected (paper
-// section 3.2.1: "each APP comes with one or several configurations,
-// which describe for various vehicle models how the plug-ins should be
-// distributed in the vehicle and how the different plug-in ports should
-// be connected").
-type SWConf struct {
-	// Model selects the vehicle models this configuration fits.
-	Model string `json:"model"`
-	// Deployments place each plug-in of the APP on a plug-in SW-C.
-	Deployments []Deployment `json:"deployments"`
-}
-
-// Deployment places one plug-in and declares its port connections.
-type Deployment struct {
-	Plugin core.PluginName `json:"plugin"`
-	ECU    core.ECUID      `json:"ecu"`
-	SWC    core.SWCID      `json:"swc"`
-	// Connections wire the plug-in's ports; ports without a connection
-	// become PIRTE-direct ("P0-") posts.
-	Connections []PortConnection `json:"connections"`
-}
-
-// PortConnection wires one developer-named plug-in port. Exactly one of
-// the target fields is used:
-//
-//   - Virtual: a named virtual port on the same SW-C (type I/III), the
-//     paper's "connected to the SpeedReq virtual port" case;
-//   - RemotePlugin/RemotePort: a port of another plug-in; same SW-C
-//     becomes a peer link, another SW-C goes through the type II mux with
-//     the recipient id attached;
-//   - External: an off-board resource, generating an ECC entry.
-type PortConnection struct {
-	Port string `json:"port"`
-
-	Virtual string `json:"virtual,omitempty"`
-
-	RemotePlugin core.PluginName `json:"remotePlugin,omitempty"`
-	RemotePort   string          `json:"remotePort,omitempty"`
-
-	External *ExternalSpec `json:"external,omitempty"`
-}
-
-// ExternalSpec names an off-board resource and the message id used on its
-// link.
-type ExternalSpec struct {
-	Endpoint  string `json:"endpoint"`
-	MessageID string `json:"messageId"`
-}
-
-// Validate checks structural consistency of the configuration.
-func (c SWConf) Validate() error {
-	if c.Model == "" {
-		return fmt.Errorf("server: SW conf without vehicle model")
-	}
-	if len(c.Deployments) == 0 {
-		return fmt.Errorf("server: SW conf for %q has no deployments", c.Model)
-	}
-	seen := make(map[core.PluginName]bool, len(c.Deployments))
-	for _, d := range c.Deployments {
-		if d.Plugin == "" || d.ECU == "" || d.SWC == "" {
-			return fmt.Errorf("server: SW conf for %q: incomplete deployment %+v", c.Model, d)
-		}
-		if seen[d.Plugin] {
-			return fmt.Errorf("server: SW conf for %q deploys %s twice", c.Model, d.Plugin)
-		}
-		seen[d.Plugin] = true
-		ports := make(map[string]bool, len(d.Connections))
-		for _, conn := range d.Connections {
-			if conn.Port == "" {
-				return fmt.Errorf("server: SW conf for %q: connection without port on %s", c.Model, d.Plugin)
-			}
-			if ports[conn.Port] {
-				return fmt.Errorf("server: SW conf for %q: port %q of %s connected twice",
-					c.Model, conn.Port, d.Plugin)
-			}
-			ports[conn.Port] = true
-			targets := 0
-			if conn.Virtual != "" {
-				targets++
-			}
-			if conn.RemotePlugin != "" || conn.RemotePort != "" {
-				if conn.RemotePlugin == "" || conn.RemotePort == "" {
-					return fmt.Errorf("server: SW conf for %q: incomplete remote target on %s.%s",
-						c.Model, d.Plugin, conn.Port)
-				}
-				targets++
-			}
-			if conn.External != nil {
-				if conn.External.Endpoint == "" || conn.External.MessageID == "" {
-					return fmt.Errorf("server: SW conf for %q: incomplete external target on %s.%s",
-						c.Model, d.Plugin, conn.Port)
-				}
-				targets++
-			}
-			if targets != 1 {
-				return fmt.Errorf("server: SW conf for %q: port %s.%s needs exactly one target, has %d",
-					c.Model, d.Plugin, conn.Port, targets)
-			}
-		}
-	}
-	return nil
-}
-
-// Deployment returns the deployment of a plug-in.
-func (c SWConf) Deployment(name core.PluginName) (Deployment, bool) {
-	for _, d := range c.Deployments {
-		if d.Plugin == name {
-			return d, true
-		}
-	}
-	return Deployment{}, false
-}

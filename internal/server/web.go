@@ -1,10 +1,11 @@
 package server
 
 import (
-	"encoding/json"
-	"fmt"
 	"net/http"
+	"net/url"
+	"strings"
 
+	"dynautosar/internal/api"
 	"dynautosar/internal/core"
 )
 
@@ -13,50 +14,69 @@ import (
 // operation groups of section 3.2.2 — user setup, upload, and
 // (re)deployment.
 //
-//	POST /users            {"id": "alice"}
-//	POST /vehicles         {"owner": "alice", "conf": {vehicle conf}}
-//	POST /apps             {"name": "...", "binaries": [...], "confs": [...]}
-//	POST /deploy           {"user": "...", "vehicle": "...", "app": "..."}
-//	POST /uninstall        {"user": "...", "vehicle": "...", "app": "..."}
-//	POST /restore          {"user": "...", "vehicle": "...", "ecu": "ECU2"}
-//	GET  /status?vehicle=V&app=A
-//	GET  /apps
-//	GET  /vehicles/{id}
+// The supported surface is the versioned /v1 API (see internal/api for
+// the endpoint table); it is generated from api.DeploymentService over
+// the Service adapter and carries middleware (request logging, panic
+// recovery, body limits, per-client rate limiting), pagination, the
+// structured error model and the async operations resource.
+//
+// The original flat paths (POST /users, /vehicles, /apps, /deploy,
+// /uninstall, /restore, GET /apps, /status, /vehicles/{id}) survive as
+// DEPRECATED shims with their historical blocking semantics and status
+// codes; they answer with a Deprecation header pointing at the /v1
+// successor and will be removed once fleet tooling has migrated.
 //
 // Binary program bytes travel base64-encoded inside the JSON (Go's
 // default []byte handling), so a plain HTTP client can drive the whole
 // life cycle.
 
-// Handler returns the HTTP handler of the Web Services module.
+// Handler returns the HTTP handler of the Web Services module: the /v1
+// deployment-service API plus the deprecated legacy paths.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /users", s.handleAddUser)
-	mux.HandleFunc("POST /vehicles", s.handleBindVehicle)
-	mux.HandleFunc("POST /apps", s.handleUploadApp)
-	mux.HandleFunc("GET /apps", s.handleListApps)
-	mux.HandleFunc("POST /deploy", s.handleDeploy)
-	mux.HandleFunc("POST /uninstall", s.handleUninstall)
-	mux.HandleFunc("POST /restore", s.handleRestore)
-	mux.HandleFunc("GET /status", s.handleStatus)
-	mux.HandleFunc("GET /vehicles/{id}", s.handleVehicle)
+	mux.Handle("/v1/", api.NewHandler(NewService(s), &api.HandlerOptions{
+		Logf: func(format string, args ...any) { s.logf(format, args...) },
+	}))
+	mux.HandleFunc("POST /users", s.deprecated("/v1/users", s.handleAddUser))
+	mux.HandleFunc("POST /vehicles", s.deprecated("/v1/vehicles", s.handleBindVehicle))
+	mux.HandleFunc("POST /apps", s.deprecated("/v1/apps", s.handleUploadApp))
+	mux.HandleFunc("GET /apps", s.deprecated("/v1/apps", s.handleListApps))
+	mux.HandleFunc("POST /deploy", s.deprecated("/v1/deploy", s.handleDeploy))
+	mux.HandleFunc("POST /uninstall", s.deprecated("/v1/uninstall", s.handleUninstall))
+	mux.HandleFunc("POST /restore", s.deprecated("/v1/restore", s.handleRestore))
+	mux.HandleFunc("GET /status", s.deprecated("/v1/status", s.handleStatus))
+	mux.HandleFunc("GET /vehicles/{id}", s.deprecated("/v1/vehicles/{id}", s.handleVehicle))
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+// deprecated marks a legacy handler with the successor headers; an
+// {id} placeholder in the successor is filled from the request path so
+// the Link target is followable.
+func (s *Server) deprecated(successor string, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		succ := successor
+		if strings.Contains(succ, "{id}") {
+			succ = strings.ReplaceAll(succ, "{id}", url.PathEscape(r.PathValue("id")))
+		}
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+succ+">; rel=\"successor-version\"")
+		next(w, r)
+	}
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	api.WriteJSON(w, status, v, s.logf)
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+// writeErr emits the structured v1 error body, pinned to the legacy
+// endpoint's historical status code.
+func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, api.ErrorBody(err))
+}
+
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := api.DecodeJSON(r, v); err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
 		return false
 	}
 	return true
@@ -66,14 +86,14 @@ func (s *Server) handleAddUser(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		ID core.UserID `json:"id"`
 	}
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if err := s.store.AddUser(req.ID); err != nil {
-		writeErr(w, http.StatusConflict, err)
+		s.writeErr(w, http.StatusConflict, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]string{"status": "created"})
+	s.writeJSON(w, http.StatusCreated, map[string]string{"status": "created"})
 }
 
 func (s *Server) handleBindVehicle(w http.ResponseWriter, r *http.Request) {
@@ -81,30 +101,30 @@ func (s *Server) handleBindVehicle(w http.ResponseWriter, r *http.Request) {
 		Owner core.UserID      `json:"owner"`
 		Conf  core.VehicleConf `json:"conf"`
 	}
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if err := s.store.BindVehicle(req.Owner, req.Conf); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]string{"status": "bound"})
+	s.writeJSON(w, http.StatusCreated, map[string]string{"status": "bound"})
 }
 
 func (s *Server) handleUploadApp(w http.ResponseWriter, r *http.Request) {
 	var app App
-	if !decodeBody(w, r, &app) {
+	if !s.decodeBody(w, r, &app) {
 		return
 	}
 	if err := s.store.UploadApp(app); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]string{"status": "uploaded"})
+	s.writeJSON(w, http.StatusCreated, map[string]string{"status": "uploaded"})
 }
 
 func (s *Server) handleListApps(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.store.Apps())
+	s.writeJSON(w, http.StatusOK, s.store.Apps())
 }
 
 type opRequest struct {
@@ -116,63 +136,60 @@ type opRequest struct {
 
 func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 	var req opRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if err := s.Deploy(req.User, req.Vehicle, req.App); err != nil {
-		writeErr(w, http.StatusConflict, err)
+		s.writeErr(w, http.StatusConflict, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]string{"status": "deploying"})
+	s.writeJSON(w, http.StatusAccepted, map[string]string{"status": "deploying"})
 }
 
 func (s *Server) handleUninstall(w http.ResponseWriter, r *http.Request) {
 	var req opRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if err := s.Uninstall(req.User, req.Vehicle, req.App); err != nil {
-		writeErr(w, http.StatusConflict, err)
+		s.writeErr(w, http.StatusConflict, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]string{"status": "uninstalling"})
+	s.writeJSON(w, http.StatusAccepted, map[string]string{"status": "uninstalling"})
 }
 
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	var req opRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	n, err := s.Restore(req.User, req.Vehicle, req.ECU)
 	if err != nil {
-		writeErr(w, http.StatusConflict, err)
+		s.writeErr(w, http.StatusConflict, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]int{"restoring": n})
+	s.writeJSON(w, http.StatusAccepted, map[string]int{"restoring": n})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	vehicle := core.VehicleID(r.URL.Query().Get("vehicle"))
 	app := core.AppName(r.URL.Query().Get("app"))
 	if vehicle == "" || app == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("vehicle and app query parameters required"))
+		s.writeErr(w, http.StatusBadRequest,
+			api.Errorf(api.CodeInvalidArgument, "vehicle and app query parameters required"))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.Status(vehicle, app))
+	s.writeJSON(w, http.StatusOK, s.Status(vehicle, app))
 }
 
 func (s *Server) handleVehicle(w http.ResponseWriter, r *http.Request) {
 	id := core.VehicleID(r.PathValue("id"))
 	vr, ok := s.store.Vehicle(id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown vehicle %s", id))
+		s.writeErr(w, http.StatusNotFound, api.Errorf(api.CodeNotFound, "unknown vehicle %s", id))
 		return
 	}
-	resp := struct {
-		VehicleRecord
-		Installed []*InstalledApp `json:"installed"`
-	}{vr, s.store.InstalledApps(id)}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, api.VehicleDetail{VehicleRecord: vr, Installed: s.store.InstalledApps(id)})
 }
 
 // The JSON shape of uploaded binaries is fixed by the json tags on
