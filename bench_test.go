@@ -12,9 +12,12 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"net"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"dynautosar/internal/can"
 	"dynautosar/internal/com"
@@ -253,6 +256,142 @@ func BenchmarkFig2_DeployPipeline(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// --- Fleet-scale batch deployment ---------------------------------------------
+
+// benchAckLatency is the simulated per-push vehicle round-trip: the
+// time between a package arriving at the fake vehicle and its
+// acknowledgement. Real vehicles sit behind cellular links and an
+// embedded install step, so zero would flatter the sequential loop;
+// 1ms is already conservative.
+const benchAckLatency = time.Millisecond
+
+// benchFleetServer builds a server with a fleet of n bound, connected
+// fake vehicles that acknowledge every push after benchAckLatency, so
+// the benchmark measures the server-side fan-out against vehicles with
+// a realistic (if modest) round-trip instead of a full simulation.
+func benchFleetServer(b *testing.B, n int) (*server.Server, []core.VehicleID, func()) {
+	b.Helper()
+	s := server.New()
+	if err := s.Store().AddUser("fleet"); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Store().UploadApp(paperBenchApp(b)); err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]core.VehicleID, n)
+	conns := make([]net.Conn, n)
+	for i := range ids {
+		ids[i] = core.VehicleID(fmt.Sprintf("VIN-%05d", i))
+		if err := s.Store().BindVehicle("fleet", benchVehicleConf(ids[i])); err != nil {
+			b.Fatal(err)
+		}
+		vehicleSide, serverSide := net.Pipe()
+		conns[i] = vehicleSide
+		go s.Pusher().ServeConn(serverSide)
+		if err := core.WriteMessage(vehicleSide, core.Message{Type: core.MsgHello, Payload: []byte(ids[i])}); err != nil {
+			b.Fatal(err)
+		}
+		go func(c net.Conn) {
+			var wmu sync.Mutex
+			for {
+				msg, err := core.ReadMessage(c)
+				if err != nil {
+					return
+				}
+				if msg.Type == core.MsgInstall || msg.Type == core.MsgUninstall {
+					go func(seq uint32) {
+						time.Sleep(benchAckLatency)
+						wmu.Lock()
+						defer wmu.Unlock()
+						_ = core.WriteMessage(c, core.Message{Type: core.MsgAck, Seq: seq})
+					}(msg.Seq)
+				}
+			}
+		}(vehicleSide)
+	}
+	for _, id := range ids {
+		for !s.Pusher().Connected(id) {
+			runtime.Gosched()
+		}
+	}
+	teardown := func() {
+		for _, c := range conns {
+			c.Close()
+		}
+		s.Pusher().CloseAll()
+	}
+	return s, ids, teardown
+}
+
+// benchWaitOp spins until the operation settles (no sim engine in the
+// loop, just scheduler yields).
+func benchWaitOp(b *testing.B, s *server.Server, id string) server.OpStatus {
+	b.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		op, ok := s.Operation(id)
+		if !ok {
+			b.Fatalf("operation %s vanished", id)
+		}
+		if op.Done {
+			if op.State != "succeeded" {
+				b.Fatalf("operation %s = %+v", id, op)
+			}
+			return server.OpStatus{}
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("operation %s never settled", id)
+		}
+		runtime.Gosched()
+	}
+}
+
+// BenchmarkBatchDeploy compares the fleet-scale batch engine against
+// the client-side sequential loop it replaces, over the same fleet of
+// instantly-acking vehicles. "batch" posts one deploy:batch and waits
+// for the parent operation; "sequential" deploys vehicle after vehicle,
+// waiting for each vehicle's acknowledgements before moving on, which
+// is what a caller without the batch API has to do. ns/op is the time
+// to fully deploy the whole fleet.
+func BenchmarkBatchDeploy(b *testing.B) {
+	for _, n := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("batch/vehicles=%d", n), func(b *testing.B) {
+			b.ReportMetric(float64(n), "vehicles")
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, ids, teardown := benchFleetServer(b, n)
+				b.StartTimer()
+				op, err := s.BatchDeployAsync("fleet", ids, nil, "RemoteControl")
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchWaitOp(b, s, op.ID)
+				b.StopTimer()
+				teardown()
+				b.StartTimer()
+			}
+		})
+		b.Run(fmt.Sprintf("sequential/vehicles=%d", n), func(b *testing.B) {
+			b.ReportMetric(float64(n), "vehicles")
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, ids, teardown := benchFleetServer(b, n)
+				b.StartTimer()
+				for _, id := range ids {
+					op, err := s.DeployAsync("fleet", id, "RemoteControl")
+					if err != nil {
+						b.Fatal(err)
+					}
+					benchWaitOp(b, s, op.ID)
+				}
+				b.StopTimer()
+				teardown()
+				b.StartTimer()
+			}
+		})
 	}
 }
 

@@ -7,6 +7,9 @@
 //	fescli upload app.json
 //	fescli apps
 //	fescli deploy alice VIN123 RemoteControl      (prints the operation)
+//	fescli deploy -fleet alice RemoteControl VIN123 VIN124
+//	fescli deploy -fleet -model modelcar-v1 alice RemoteControl
+//	fescli uninstall -fleet alice RemoteControl VIN123 VIN124
 //	fescli operations list
 //	fescli operations get op-00000001
 //	fescli operations wait op-00000001
@@ -22,6 +25,14 @@
 // operation id immediately; poll it with "operations get" or block on
 // completion with "operations wait". Errors surface the API's stable
 // machine-readable codes.
+//
+// The -fleet flag turns deploy/uninstall into a batch over many
+// vehicles: explicit VINs after the app name, or — with none given —
+// the user's whole fleet, optionally filtered by -model. The server
+// answers with one parent operation whose children track each vehicle;
+// "operations wait" on the parent blocks until the whole batch settled
+// and its vehiclesSucceeded/vehiclesFailed fields carry the
+// partial-failure report.
 //
 // The phone mode listens for the vehicle's ECM to dial in (the ECM opens
 // the link using the address in the plug-in's ECC), then sends the given
@@ -92,17 +103,21 @@ func main() {
 		list, err := client.ListApps(ctx, page)
 		show(list, err)
 	case "deploy":
-		need(args, 4, "deploy <user> <vehicle> <app>")
-		op, err := client.Deploy(ctx, api.DeployRequest{
-			User: core.UserID(args[1]), Vehicle: core.VehicleID(args[2]), App: core.AppName(args[3]),
-		})
-		show(op, err)
+		fleetable("deploy", args[1:],
+			func(user core.UserID, vehicle core.VehicleID, app core.AppName) (api.Operation, error) {
+				return client.Deploy(ctx, api.DeployRequest{User: user, Vehicle: vehicle, App: app})
+			},
+			func(req api.BatchDeployRequest) (api.Operation, error) {
+				return client.BatchDeploy(ctx, req)
+			})
 	case "uninstall":
-		need(args, 4, "uninstall <user> <vehicle> <app>")
-		op, err := client.Uninstall(ctx, api.UninstallRequest{
-			User: core.UserID(args[1]), Vehicle: core.VehicleID(args[2]), App: core.AppName(args[3]),
-		})
-		show(op, err)
+		fleetable("uninstall", args[1:],
+			func(user core.UserID, vehicle core.VehicleID, app core.AppName) (api.Operation, error) {
+				return client.Uninstall(ctx, api.UninstallRequest{User: user, Vehicle: vehicle, App: app})
+			},
+			func(req api.BatchDeployRequest) (api.Operation, error) {
+				return client.BatchUninstall(ctx, api.BatchUninstallRequest(req))
+			})
 	case "restore":
 		need(args, 4, "restore <user> <vehicle> <ecu>")
 		op, err := client.Restore(ctx, api.RestoreRequest{
@@ -133,6 +148,46 @@ func main() {
 	default:
 		log.Fatalf("unknown command %q", args[0])
 	}
+}
+
+// fleetable runs a deploy/uninstall command in its single-vehicle or
+// -fleet batch form:
+//
+//	fescli <cmd> <user> <vehicle> <app>
+//	fescli <cmd> -fleet [-model M] <user> <app> [vin ...]
+func fleetable(cmd string, args []string,
+	single func(core.UserID, core.VehicleID, core.AppName) (api.Operation, error),
+	batch func(api.BatchDeployRequest) (api.Operation, error)) {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	fleet := fs.Bool("fleet", false, "batch over a fleet: explicit VINs, or the user's vehicles (filtered by -model)")
+	model := fs.String("model", "", "with -fleet and no VINs: select only the user's vehicles of this model")
+	_ = fs.Parse(args)
+	rest := fs.Args()
+	if !*fleet {
+		if *model != "" {
+			log.Fatalf("fescli %s: -model requires -fleet", cmd)
+		}
+		if len(rest) < 3 {
+			log.Fatalf("usage: fescli %s <user> <vehicle> <app>  |  fescli %s -fleet [-model M] <user> <app> [vin ...]", cmd, cmd)
+		}
+		op, err := single(core.UserID(rest[0]), core.VehicleID(rest[1]), core.AppName(rest[2]))
+		show(op, err)
+		return
+	}
+	if len(rest) < 2 {
+		log.Fatalf("usage: fescli %s -fleet [-model M] <user> <app> [vin ...]", cmd)
+	}
+	req := api.BatchDeployRequest{User: core.UserID(rest[0]), App: core.AppName(rest[1])}
+	for _, v := range rest[2:] {
+		req.Vehicles = append(req.Vehicles, core.VehicleID(v))
+	}
+	if len(req.Vehicles) == 0 {
+		req.Selector = &api.FleetSelector{Model: *model}
+	} else if *model != "" {
+		log.Fatalf("fescli %s -fleet: -model and explicit VINs are mutually exclusive", cmd)
+	}
+	op, err := batch(req)
+	show(op, err)
 }
 
 // operations drives the async-operations resource: list, get, wait.

@@ -185,6 +185,18 @@ func (t *httpTransport) Deploy(ctx context.Context, req DeployRequest) (Operatio
 	return op, err
 }
 
+func (t *httpTransport) BatchDeploy(ctx context.Context, req BatchDeployRequest) (Operation, error) {
+	var op Operation
+	err := t.do(ctx, http.MethodPost, "/v1/deploy:batch", req, &op)
+	return op, err
+}
+
+func (t *httpTransport) BatchUninstall(ctx context.Context, req BatchUninstallRequest) (Operation, error) {
+	var op Operation
+	err := t.do(ctx, http.MethodPost, "/v1/uninstall:batch", req, &op)
+	return op, err
+}
+
 func (t *httpTransport) Uninstall(ctx context.Context, req UninstallRequest) (Operation, error) {
 	var op Operation
 	err := t.do(ctx, http.MethodPost, "/v1/uninstall", req, &op)

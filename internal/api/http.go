@@ -23,7 +23,9 @@ import (
 //	GET  /v1/apps                     list app names (paginated)
 //	GET  /v1/apps/{name}              fetch an application
 //	POST /v1/deploy                   start an async deployment -> Operation
+//	POST /v1/deploy:batch             start a fleet-wide deployment -> parent Operation
 //	POST /v1/uninstall                start an async uninstallation -> Operation
+//	POST /v1/uninstall:batch          start a fleet-wide uninstallation -> parent Operation
 //	POST /v1/restore                  start an async ECU restore -> Operation
 //	GET  /v1/status?vehicle=V&app=A   per-app ack progress
 //	GET  /v1/operations               list operations (paginated)
@@ -100,7 +102,9 @@ func NewHandler(svc DeploymentService, opts *HandlerOptions) http.Handler {
 	mux.HandleFunc("GET /v1/apps", h.listApps)
 	mux.HandleFunc("GET /v1/apps/{name}", h.getApp)
 	mux.HandleFunc("POST /v1/deploy", h.deploy)
+	mux.HandleFunc("POST /v1/deploy:batch", h.batchDeploy)
 	mux.HandleFunc("POST /v1/uninstall", h.uninstall)
+	mux.HandleFunc("POST /v1/uninstall:batch", h.batchUninstall)
 	mux.HandleFunc("POST /v1/restore", h.restore)
 	mux.HandleFunc("GET /v1/status", h.status)
 	mux.HandleFunc("GET /v1/operations", h.listOperations)
@@ -334,6 +338,32 @@ func (h *handler) deploy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	op, err := h.svc.Deploy(r.Context(), req)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusAccepted, op)
+}
+
+func (h *handler) batchDeploy(w http.ResponseWriter, r *http.Request) {
+	var req BatchDeployRequest
+	if !h.decode(w, r, &req) {
+		return
+	}
+	op, err := h.svc.BatchDeploy(r.Context(), req)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusAccepted, op)
+}
+
+func (h *handler) batchUninstall(w http.ResponseWriter, r *http.Request) {
+	var req BatchUninstallRequest
+	if !h.decode(w, r, &req) {
+		return
+	}
+	op, err := h.svc.BatchUninstall(r.Context(), req)
 	if err != nil {
 		h.writeError(w, err)
 		return

@@ -35,6 +35,35 @@ type UninstallRequest struct {
 	App     core.AppName   `json:"app"`
 }
 
+// FleetSelector names a fleet by attributes instead of ids: the
+// vehicles of an owner and/or a model. An empty Owner defaults to the
+// requesting user; naming another user's fleet is refused.
+type FleetSelector struct {
+	Owner core.UserID `json:"owner,omitempty"`
+	Model string      `json:"model,omitempty"`
+}
+
+// BatchDeployRequest asks for app to be deployed across a fleet, named
+// either by an explicit vehicle list or by a selector (exactly one of
+// the two). The call returns one parent Operation with a child
+// operation per vehicle and partial-failure semantics: vehicles fail
+// individually without aborting the rest of the batch.
+type BatchDeployRequest struct {
+	User     core.UserID      `json:"user"`
+	Vehicles []core.VehicleID `json:"vehicles,omitempty"`
+	Selector *FleetSelector   `json:"selector,omitempty"`
+	App      core.AppName     `json:"app"`
+}
+
+// BatchUninstallRequest asks for app to be removed across a fleet, with
+// the same shape and semantics as BatchDeployRequest.
+type BatchUninstallRequest struct {
+	User     core.UserID      `json:"user"`
+	Vehicles []core.VehicleID `json:"vehicles,omitempty"`
+	Selector *FleetSelector   `json:"selector,omitempty"`
+	App      core.AppName     `json:"app"`
+}
+
 // RestoreRequest asks for the plug-ins of a replaced ECU to be
 // re-installed with their recorded port ids.
 type RestoreRequest struct {
@@ -109,6 +138,12 @@ type DeploymentService interface {
 	Uninstall(ctx context.Context, req UninstallRequest) (Operation, error)
 	// Restore starts an async restore of a replaced ECU.
 	Restore(ctx context.Context, req RestoreRequest) (Operation, error)
+
+	// BatchDeploy starts an async fleet-wide deployment and returns its
+	// parent operation; per-vehicle progress rides on child operations.
+	BatchDeploy(ctx context.Context, req BatchDeployRequest) (Operation, error)
+	// BatchUninstall starts an async fleet-wide uninstallation.
+	BatchUninstall(ctx context.Context, req BatchUninstallRequest) (Operation, error)
 
 	// Status reports per-app ack progress on a vehicle.
 	Status(ctx context.Context, vehicle core.VehicleID, app core.AppName) (OpStatus, error)

@@ -224,6 +224,10 @@ const (
 	OpDeploy    OperationKind = "deploy"
 	OpUninstall OperationKind = "uninstall"
 	OpRestore   OperationKind = "restore"
+	// OpBatchDeploy/OpBatchUninstall are fleet-scale parents: one child
+	// operation of the matching singular kind runs per target vehicle.
+	OpBatchDeploy    OperationKind = "deploy:batch"
+	OpBatchUninstall OperationKind = "uninstall:batch"
 )
 
 // OperationState is the lifecycle state of an async operation.
@@ -255,12 +259,31 @@ type Operation struct {
 	// acknowledgements.
 	Total int `json:"total"`
 	Acked int `json:"acked"`
-	// Failures lists nack reasons, one per failed plug-in.
+	// Failures lists nack reasons, one per failed plug-in; on a batch
+	// parent each entry is prefixed with the vehicle it belongs to.
 	Failures []string `json:"failures,omitempty"`
 	// Error is set when the operation failed before or during launch.
 	Error *Error `json:"error,omitempty"`
 	// Done reports whether the operation reached a terminal state.
 	Done bool `json:"done"`
+
+	// Batch fields. A batch parent fans out over Vehicles with one child
+	// operation each; a child points back through Parent. The parent's
+	// Total/Acked/Failures aggregate over every child, and the
+	// vehicle counters are its partial-failure report: the parent
+	// succeeds only when every child did.
+
+	// Vehicles is the resolved per-vehicle target list of a batch.
+	Vehicles []core.VehicleID `json:"vehicles,omitempty"`
+	// Parent is the owning batch operation id ("" for top-level).
+	Parent string `json:"parent,omitempty"`
+	// Children lists the per-vehicle child operation ids of a batch, in
+	// Vehicles order.
+	Children []string `json:"children,omitempty"`
+	// VehiclesSucceeded counts children that reached succeeded.
+	VehiclesSucceeded int `json:"vehiclesSucceeded,omitempty"`
+	// VehiclesFailed counts children that reached failed.
+	VehiclesFailed int `json:"vehiclesFailed,omitempty"`
 }
 
 // Page selects one page of a list endpoint. A zero Page asks for the

@@ -22,6 +22,12 @@ type opRecord struct {
 	// launched becomes true once the pipeline finished pushing (or
 	// failed); completion requires launched && outstanding == 0.
 	launched bool
+	// parent is the owning batch operation id ("" for top-level); every
+	// push charged to this record is mirrored onto the parent.
+	parent string
+	// openChildren counts non-terminal children of a batch parent; the
+	// parent completes when it drains.
+	openChildren int
 }
 
 // opRetention bounds the registry: once exceeded, the oldest completed
@@ -49,17 +55,70 @@ func (s *Server) newOperation(kind api.OperationKind, user core.UserID, vehicle 
 	return rec
 }
 
+// batchChild pairs one target vehicle of a batch with its child
+// operation.
+type batchChild struct {
+	vehicle core.VehicleID
+	opID    string
+}
+
+// newBatchOperation registers a running batch parent plus one pending
+// child per vehicle, all under one lock so no reader ever observes a
+// half-built batch. The parent needs no launch step of its own: it
+// completes when its last child reaches a terminal state.
+func (s *Server) newBatchOperation(kind, childKind api.OperationKind, user core.UserID, app core.AppName, fleet []core.VehicleID) (parentID string, children []batchChild) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.opSeq++
+	parentID = fmt.Sprintf("op-%08d", s.opSeq)
+	prec := &opRecord{
+		op: api.Operation{
+			ID:       parentID,
+			Kind:     kind,
+			User:     user,
+			App:      app,
+			State:    api.StateRunning,
+			Vehicles: append([]core.VehicleID(nil), fleet...),
+		},
+		launched:     true,
+		openChildren: len(fleet),
+	}
+	s.ops[parentID] = prec
+	s.opOrder = append(s.opOrder, parentID)
+	children = make([]batchChild, 0, len(fleet))
+	for _, v := range fleet {
+		s.opSeq++
+		cid := fmt.Sprintf("op-%08d", s.opSeq)
+		s.ops[cid] = &opRecord{
+			op: api.Operation{
+				ID: cid, Kind: childKind, User: user, Vehicle: v, App: app,
+				State: api.StatePending, Parent: parentID,
+			},
+			parent: parentID,
+		}
+		s.opOrder = append(s.opOrder, cid)
+		prec.op.Children = append(prec.op.Children, cid)
+		children = append(children, batchChild{vehicle: v, opID: cid})
+	}
+	s.pruneOpsLocked()
+	return parentID, children
+}
+
 // pruneOpsLocked evicts the oldest completed operations once the
 // registry exceeds its retention bound; called with Server.mu held.
+// Children of a still-running batch are kept even when individually
+// done — a client walking a live parent's Children must not find holes
+// — so the registry may exceed the bound while a larger-than-retention
+// batch is in flight.
 func (s *Server) pruneOpsLocked() {
 	excess := len(s.opOrder) - opRetention
-	if excess <= 0 {
+	if excess <= 0 || len(s.opOrder) < s.opPruneDefer {
 		return
 	}
 	kept := s.opOrder[:0]
 	for _, id := range s.opOrder {
 		if excess > 0 {
-			if rec := s.ops[id]; rec == nil || rec.op.Done {
+			if rec := s.ops[id]; rec == nil || s.evictableLocked(rec) {
 				delete(s.ops, id)
 				excess--
 				continue
@@ -68,6 +127,28 @@ func (s *Server) pruneOpsLocked() {
 		kept = append(kept, id)
 	}
 	s.opOrder = kept
+	if len(s.opOrder) > opRetention {
+		// Still over budget on unevictable entries: defer the next scan
+		// until the registry has grown a further 1/16 of the retention.
+		s.opPruneDefer = len(s.opOrder) + opRetention/16
+	} else {
+		s.opPruneDefer = 0
+	}
+}
+
+// evictableLocked reports whether an operation may leave the registry:
+// it is terminal and, for batch children, so is its parent. Called with
+// Server.mu held.
+func (s *Server) evictableLocked(rec *opRecord) bool {
+	if !rec.op.Done {
+		return false
+	}
+	if rec.parent != "" {
+		if prec := s.ops[rec.parent]; prec != nil && !prec.op.Done {
+			return false
+		}
+	}
+	return true
 }
 
 // finishLaunch records the outcome of the push pipeline: a launch error
@@ -86,6 +167,7 @@ func (s *Server) finishLaunch(opID string, err error) {
 		rec.op.Error = api.AsError(err)
 		rec.op.Done = true
 		s.maybeReleaseClaimLocked(rec)
+		s.noteChildTerminalLocked(rec)
 		return
 	}
 	if rec.outstanding == 0 {
@@ -108,10 +190,17 @@ func (s *Server) settleAck(op pendingOp, failure string) {
 		return
 	}
 	if !rec.op.Done {
+		prec := s.ops[rec.parent]
 		if failure != "" {
 			rec.op.Failures = append(rec.op.Failures, failure)
+			if prec != nil && !prec.op.Done {
+				prec.op.Failures = append(prec.op.Failures, string(op.vehicle)+": "+failure)
+			}
 		} else {
 			rec.op.Acked++
+			if prec != nil && !prec.op.Done {
+				prec.op.Acked++
+			}
 		}
 		if rec.outstanding > 0 {
 			rec.outstanding--
@@ -136,6 +225,42 @@ func (s *Server) completeLocked(rec *opRecord) {
 	}
 	rec.op.Done = true
 	s.maybeReleaseClaimLocked(rec)
+	s.noteChildTerminalLocked(rec)
+}
+
+// noteChildTerminalLocked rolls a just-terminal child into its batch
+// parent: the per-vehicle tallies, the partial-failure report, and
+// parent completion once the last child settles. Nack failures were
+// already mirrored ack by ack (settleAck), so only launch errors are
+// added here. Called with Server.mu held.
+func (s *Server) noteChildTerminalLocked(rec *opRecord) {
+	prec := s.ops[rec.parent]
+	if prec == nil || prec.op.Done {
+		return
+	}
+	if prec.openChildren > 0 {
+		prec.openChildren--
+	}
+	if rec.op.State == api.StateSucceeded {
+		prec.op.VehiclesSucceeded++
+	} else {
+		prec.op.VehiclesFailed++
+		if rec.op.Error != nil {
+			prec.op.Failures = append(prec.op.Failures,
+				fmt.Sprintf("%s: %s", rec.op.Vehicle, rec.op.Error.Message))
+		}
+	}
+	if prec.openChildren == 0 {
+		if prec.op.VehiclesFailed > 0 {
+			prec.op.State = api.StateFailed
+		} else {
+			prec.op.State = api.StateSucceeded
+		}
+		prec.op.Done = true
+		// The batch's children just became evictable; let the next
+		// operation creation prune immediately.
+		s.opPruneDefer = 0
+	}
 }
 
 // maybeReleaseClaimLocked frees the per-(vehicle, app) uninstall claim
@@ -174,6 +299,8 @@ func (s *Server) operationSnapshot(id string) api.Operation {
 func snapshotOpLocked(rec *opRecord) api.Operation {
 	op := rec.op
 	op.Failures = append([]string(nil), rec.op.Failures...)
+	op.Vehicles = append([]core.VehicleID(nil), rec.op.Vehicles...)
+	op.Children = append([]string(nil), rec.op.Children...)
 	return op
 }
 
@@ -186,6 +313,16 @@ func (s *Server) Operation(id string) (api.Operation, bool) {
 		return api.Operation{}, false
 	}
 	return snapshotOpLocked(rec), true
+}
+
+// OperationIDs returns the ids of every live operation, oldest first
+// (ids are zero-padded, so lexicographic order is creation order).
+// Listing endpoints paginate over this and fetch only the page's
+// records, instead of snapshotting the whole registry.
+func (s *Server) OperationIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.opOrder...)
 }
 
 // Operations returns every operation, oldest first.

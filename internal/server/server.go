@@ -28,6 +28,21 @@ type Server struct {
 	ops     map[string]*opRecord
 	opOrder []string
 	opSeq   uint64
+	// opPruneDefer suppresses prune scans until the registry grows past
+	// it: set when a scan leaves the registry over budget (a live
+	// batch's children are unevictable), cleared when a batch parent
+	// completes, so operation creation stays amortized O(1) instead of
+	// rescanning the whole registry per op for the life of the batch.
+	opPruneDefer int
+
+	// deployMu stripes a per-vehicle critical section over deploy
+	// planning + check-and-record: planning reads the vehicle's free
+	// port-id space, so two concurrent deploys of *different* apps to
+	// one vehicle must not both plan before either records (the atomic
+	// check-and-record only excludes same-app duplicates). Striped by
+	// the store's vehicle hash, so batch workers on different vehicles
+	// rarely meet.
+	deployMu [installedShardCount]sync.Mutex
 
 	logf func(format string, args ...any)
 }
@@ -115,6 +130,9 @@ func (s *Server) enqueuePending(p pendingOp) uint32 {
 	if rec := s.ops[p.opID]; rec != nil {
 		rec.op.Total++
 		rec.outstanding++
+		if prec := s.ops[rec.parent]; prec != nil && !prec.op.Done {
+			prec.op.Total++
+		}
 	}
 	return s.seq
 }
@@ -136,6 +154,9 @@ func (s *Server) dropPending(seq uint32) {
 		}
 		if rec.outstanding > 0 {
 			rec.outstanding--
+		}
+		if prec := s.ops[rec.parent]; prec != nil && !prec.op.Done && prec.op.Total > 0 {
+			prec.op.Total--
 		}
 	}
 }
@@ -170,18 +191,29 @@ func (s *Server) DeployAsync(user core.UserID, vehicleID core.VehicleID, appName
 	return s.operationSnapshot(id), nil
 }
 
-// precheckDeploy runs the checks that should reject a deploy request
-// before an operation is created.
-func (s *Server) precheckDeploy(user core.UserID, vehicleID core.VehicleID, appName core.AppName) error {
+// deployPrereqs validates vehicle, ownership and app existence and
+// returns the vehicle record — the single validator shared by the
+// precheck and the pipeline, so the two cannot drift.
+func (s *Server) deployPrereqs(user core.UserID, vehicleID core.VehicleID, appName core.AppName) (VehicleRecord, error) {
 	vr, ok := s.store.Vehicle(vehicleID)
 	if !ok {
-		return api.Errorf(api.CodeNotFound, "server: unknown vehicle %s", vehicleID)
+		return VehicleRecord{}, api.Errorf(api.CodeNotFound, "server: unknown vehicle %s", vehicleID)
 	}
 	if vr.Owner != user {
-		return api.Errorf(api.CodePermissionDenied, "server: vehicle %s is not bound to user %s", vehicleID, user)
+		return VehicleRecord{}, api.Errorf(api.CodePermissionDenied, "server: vehicle %s is not bound to user %s", vehicleID, user)
 	}
-	if _, ok := s.store.App(appName); !ok {
-		return api.Errorf(api.CodeNotFound, "server: unknown app %s", appName)
+	if !s.store.HasApp(appName) {
+		return VehicleRecord{}, api.Errorf(api.CodeNotFound, "server: unknown app %s", appName)
+	}
+	return vr, nil
+}
+
+// precheckDeploy runs the checks that should reject a deploy request
+// before an operation is created; the duplicate-install probe is only
+// advisory here — the pipeline's atomic check-and-record decides.
+func (s *Server) precheckDeploy(user core.UserID, vehicleID core.VehicleID, appName core.AppName) error {
+	if _, err := s.deployPrereqs(user, vehicleID, appName); err != nil {
+		return err
 	}
 	if _, dup := s.store.InstalledApp(vehicleID, appName); dup {
 		return api.Errorf(api.CodeAlreadyExists, "server: app %s already installed on %s", appName, vehicleID)
@@ -192,56 +224,73 @@ func (s *Server) precheckDeploy(user core.UserID, vehicleID core.VehicleID, appN
 // deploy is the deployment pipeline shared by the sync and async entry
 // points; pushes are charged to the operation opID.
 func (s *Server) deploy(opID string, user core.UserID, vehicleID core.VehicleID, appName core.AppName) error {
-	if err := s.precheckDeploy(user, vehicleID, appName); err != nil {
-		return err
-	}
-	vr, _ := s.store.Vehicle(vehicleID)
-	app, _ := s.store.App(appName)
+	return s.deployWith(opID, user, vehicleID, appName, nil)
+}
 
+// deployPlan is the vehicle-independent half of one deployment: the
+// dependency-ordered deployments, the generated port-id assignments and
+// the marshaled installation packages. A plan computed against a fresh
+// vehicle (no installed apps) applies verbatim to every other fresh
+// vehicle with an equal configuration — what lets a batch plan and
+// package once, then push many.
+type deployPlan struct {
+	// conf is the donor vehicle's configuration (already a deep copy,
+	// courtesy of Store.Vehicle).
+	conf core.VehicleConf
+	// fresh records that the donor vehicle had no installed apps, the
+	// precondition for reusing the plan elsewhere.
+	fresh bool
+	order []Deployment
+	pics  map[core.PluginName]core.PIC
+	raws  map[core.PluginName][]byte
+}
+
+// planDeploy runs the read-only part of the pipeline: compatibility
+// check, dependency-ordered planning, context generation and packaging.
+func (s *Server) planDeploy(app App, vr VehicleRecord) (*deployPlan, error) {
 	// Compatibility and dependency checks; failures are presented to the
 	// user as the reasons collected in the report.
 	report := s.CheckCompatibility(app, vr)
 	if err := report.Error(); err != nil {
-		return err
+		return nil, err
 	}
 	order, err := InstallOrder(app, report.Conf)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	contexts, err := s.GenerateContexts(app, vr, order)
 	if err != nil {
-		return err
+		return nil, err
 	}
-
-	// Record the installation before pushing so arriving acks always find
-	// their row; the atomic check-and-record keeps a concurrent duplicate
-	// deploy from double-installing.
-	row := &InstalledApp{App: appName, Vehicle: vehicleID}
-	for _, d := range order {
-		ctx := contexts[d.Plugin]
-		row.Plugins = append(row.Plugins, InstalledPlugin{
-			Plugin: d.Plugin, ECU: d.ECU, SWC: d.SWC, PIC: ctx.PIC,
-		})
+	plan := &deployPlan{
+		conf:  vr.Conf,
+		order: order,
+		pics:  make(map[core.PluginName]core.PIC, len(order)),
+		raws:  make(map[core.PluginName][]byte, len(order)),
 	}
-	if err := s.store.TryRecordInstallation(row); err != nil {
-		return err
-	}
-
-	// Package and push in dependency order, pinned to the vehicle link
-	// that is current at launch.
-	epoch := s.pusher.Epoch(vehicleID)
 	for _, d := range order {
 		bin, _ := app.Binary(d.Plugin)
 		pkg := plugin.Package{Binary: bin, Context: *contexts[d.Plugin]}
 		raw, err := pkg.MarshalBinary()
 		if err != nil {
-			s.store.RemoveInstallation(vehicleID, appName)
-			return api.Errorf(api.CodeInternal, "server: packaging %s: %v", d.Plugin, err)
+			return nil, api.Errorf(api.CodeInternal, "server: packaging %s: %v", d.Plugin, err)
 		}
+		plan.pics[d.Plugin] = contexts[d.Plugin].PIC
+		plan.raws[d.Plugin] = raw
+	}
+	return plan, nil
+}
+
+// pushPlan pushes the plan's packages to the vehicle, pinned to the
+// link that is current at launch; the installation row must already be
+// recorded so arriving acks always find it.
+func (s *Server) pushPlan(opID string, vehicleID core.VehicleID, appName core.AppName, plan *deployPlan) error {
+	epoch := s.pusher.Epoch(vehicleID)
+	for _, d := range plan.order {
 		seq := s.enqueuePending(pendingOp{vehicle: vehicleID, app: appName, plugin: d.Plugin, kind: "install", opID: opID, epoch: epoch})
 		msg := core.Message{
 			Type: core.MsgInstall, Plugin: d.Plugin,
-			ECU: d.ECU, SWC: d.SWC, Seq: seq, Payload: raw,
+			ECU: d.ECU, SWC: d.SWC, Seq: seq, Payload: plan.raws[d.Plugin],
 		}
 		if err := s.pusher.PushOn(vehicleID, epoch, msg); err != nil {
 			s.dropPending(seq)
@@ -251,6 +300,77 @@ func (s *Server) deploy(opID string, user core.UserID, vehicleID core.VehicleID,
 		s.logf("server: pushed {%d, '%s', %s, %s.pkg} to %s", core.MsgInstall, d.Plugin, d.ECU, d.Plugin, vehicleID)
 	}
 	return nil
+}
+
+// deployWith runs the full pipeline for one vehicle, consulting the
+// batch plan cache (nil for single deploys) before planning from
+// scratch.
+func (s *Server) deployWith(opID string, user core.UserID, vehicleID core.VehicleID, appName core.AppName, cache *planCache) error {
+	vr, err := s.deployPrereqs(user, vehicleID, appName)
+	if err != nil {
+		return err
+	}
+
+	// Plan and record under the vehicle's deploy stripe, then push
+	// outside it (pushes block on the vehicle link). The PICs are copied
+	// per row so rows of different vehicles never share a reused plan's
+	// memory; the atomic check-and-record rejects duplicate deploys of
+	// the same app.
+	stripe := &s.deployMu[shardIndex(vehicleID)]
+	stripe.Lock()
+	var plan *deployPlan
+	plan, err = s.planFor(vr, appName, cache)
+	if err == nil {
+		row := &InstalledApp{App: appName, Vehicle: vehicleID}
+		for _, d := range plan.order {
+			row.Plugins = append(row.Plugins, InstalledPlugin{
+				Plugin: d.Plugin, ECU: d.ECU, SWC: d.SWC,
+				PIC: append(core.PIC(nil), plan.pics[d.Plugin]...),
+			})
+		}
+		err = s.store.TryRecordInstallation(row)
+	}
+	stripe.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.pushPlan(opID, vehicleID, appName, plan)
+}
+
+// planFor returns the deployment plan for one vehicle: a cached fleet
+// plan when the vehicle is fresh and a structurally equal conf was
+// already planned, a fresh pipeline run otherwise. Plans transfer only
+// between fresh vehicles: installed apps change port-id assignment,
+// quota headroom and dependency resolution, so vehicles with history
+// always plan individually. Called with the vehicle's deploy stripe
+// held.
+func (s *Server) planFor(vr VehicleRecord, appName core.AppName, cache *planCache) (*deployPlan, error) {
+	fresh := !s.store.HasInstalledApps(vr.ID)
+	if cache != nil && fresh {
+		if plan := cache.lookup(vr.Conf); plan != nil {
+			return plan, nil
+		}
+	}
+	var app App
+	if cache != nil {
+		// One deep copy of the app per batch instead of one per vehicle.
+		a, ok := cache.appRecord(s.store, appName)
+		if !ok {
+			return nil, api.Errorf(api.CodeNotFound, "server: unknown app %s", appName)
+		}
+		app = a
+	} else {
+		app, _ = s.store.App(appName)
+	}
+	plan, err := s.planDeploy(app, vr)
+	if err != nil {
+		return nil, err
+	}
+	plan.fresh = fresh
+	if cache != nil && fresh {
+		cache.add(plan)
+	}
+	return plan, nil
 }
 
 // Uninstall removes an app from a vehicle after verifying that no other

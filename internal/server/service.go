@@ -94,6 +94,14 @@ func (sv *Service) Restore(_ context.Context, req api.RestoreRequest) (api.Opera
 	return sv.s.RestoreAsync(req.User, req.Vehicle, req.ECU)
 }
 
+func (sv *Service) BatchDeploy(_ context.Context, req api.BatchDeployRequest) (api.Operation, error) {
+	return sv.s.BatchDeployAsync(req.User, req.Vehicles, req.Selector, req.App)
+}
+
+func (sv *Service) BatchUninstall(_ context.Context, req api.BatchUninstallRequest) (api.Operation, error) {
+	return sv.s.BatchUninstallAsync(req.User, req.Vehicles, req.Selector, req.App)
+}
+
 func (sv *Service) Status(_ context.Context, vehicle core.VehicleID, app core.AppName) (api.OpStatus, error) {
 	if _, ok := sv.s.store.Vehicle(vehicle); !ok {
 		return api.OpStatus{}, api.Errorf(api.CodeNotFound, "server: unknown vehicle %s", vehicle)
@@ -110,7 +118,16 @@ func (sv *Service) GetOperation(_ context.Context, id string) (api.Operation, er
 }
 
 func (sv *Service) ListOperations(_ context.Context, page api.Page) (api.OperationList, error) {
-	items, next := api.Paginate(sv.s.Operations(), page,
-		func(op api.Operation) string { return op.ID })
+	// Page over the id list and snapshot only the requested page; with
+	// fleet-scale batches in the registry, snapshotting every operation
+	// (each with O(fleet) vehicle/child lists) per poll would be
+	// quadratic. An id evicted between the two steps is skipped.
+	ids, next := api.Paginate(sv.s.OperationIDs(), page, func(id string) string { return id })
+	items := make([]api.Operation, 0, len(ids))
+	for _, id := range ids {
+		if op, ok := sv.s.Operation(id); ok {
+			items = append(items, op)
+		}
+	}
 	return api.OperationList{Operations: items, NextPageToken: next}, nil
 }

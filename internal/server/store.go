@@ -6,6 +6,7 @@ import (
 
 	"dynautosar/internal/api"
 	"dynautosar/internal/core"
+	"dynautosar/internal/plugin"
 )
 
 // The data model of Figure 2: User and Vehicle on the user side, APP
@@ -13,24 +14,61 @@ import (
 // (HW conf, SystemSW conf, InstalledAPP) tying them together. The
 // record types themselves are the wire types of internal/api; the Store
 // is the thread-safe in-memory database holding them.
+//
+// The InstalledAPP table — the only part of the store that every
+// deploy/uninstall mutates — is sharded by vehicle id, so the parallel
+// workers of a batch deployment touching different vehicles never
+// serialize on one lock. Users, vehicles and apps stay under a single
+// RWMutex: they are read-mostly and their reads scale.
+
+// installedShardCount is the number of InstalledAPP shards; a power of
+// two so the shard pick is a mask.
+const installedShardCount = 64
+
+// installedShard holds the InstalledAPP rows of the vehicles hashing to
+// it, under its own lock.
+type installedShard struct {
+	mu   sync.RWMutex
+	rows map[core.VehicleID][]*InstalledApp
+}
 
 // Store is the thread-safe in-memory database of the trusted server.
 type Store struct {
-	mu        sync.RWMutex
-	users     map[core.UserID]*User
-	vehicles  map[core.VehicleID]*VehicleRecord
-	apps      map[core.AppName]*App
-	installed map[core.VehicleID][]*InstalledApp
+	mu       sync.RWMutex
+	users    map[core.UserID]*User
+	vehicles map[core.VehicleID]*VehicleRecord
+	apps     map[core.AppName]*App
+
+	installed [installedShardCount]installedShard
 }
 
 // NewStore creates an empty store.
 func NewStore() *Store {
-	return &Store{
-		users:     make(map[core.UserID]*User),
-		vehicles:  make(map[core.VehicleID]*VehicleRecord),
-		apps:      make(map[core.AppName]*App),
-		installed: make(map[core.VehicleID][]*InstalledApp),
+	s := &Store{
+		users:    make(map[core.UserID]*User),
+		vehicles: make(map[core.VehicleID]*VehicleRecord),
+		apps:     make(map[core.AppName]*App),
 	}
+	for i := range s.installed {
+		s.installed[i].rows = make(map[core.VehicleID][]*InstalledApp)
+	}
+	return s
+}
+
+// shardIndex hashes a vehicle id onto [0, installedShardCount) with
+// FNV-1a; shared by the store's shards and the server's per-vehicle
+// deploy stripes.
+func shardIndex(vehicle core.VehicleID) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(vehicle); i++ {
+		h = (h ^ uint32(vehicle[i])) * 16777619
+	}
+	return h & (installedShardCount - 1)
+}
+
+// shard picks the InstalledAPP shard of a vehicle.
+func (s *Store) shard(vehicle core.VehicleID) *installedShard {
+	return &s.installed[shardIndex(vehicle)]
 }
 
 // AddUser creates a user account (user setup, paper section 3.2.2).
@@ -76,9 +114,35 @@ func (s *Store) BindVehicle(owner core.UserID, conf core.VehicleConf) error {
 	if _, dup := s.vehicles[conf.Vehicle]; dup {
 		return api.Errorf(api.CodeAlreadyExists, "server: vehicle %q already bound", conf.Vehicle)
 	}
-	s.vehicles[conf.Vehicle] = &VehicleRecord{ID: conf.Vehicle, Owner: owner, Conf: conf}
+	// Copy on write: an in-process caller holding the conf must not be
+	// able to mutate the stored record afterwards.
+	s.vehicles[conf.Vehicle] = &VehicleRecord{ID: conf.Vehicle, Owner: owner, Conf: copyVehicleConf(conf)}
 	u.Vehicles = append(u.Vehicles, conf.Vehicle)
 	return nil
+}
+
+// copyVehicleConf deep-copies a vehicle conf: the SWCs slice and each
+// SW-C's VirtualPorts, so no caller shares backing arrays with the
+// store.
+func copyVehicleConf(c core.VehicleConf) core.VehicleConf {
+	if c.SWCs == nil {
+		return c
+	}
+	swcs := make([]core.SWCConf, len(c.SWCs))
+	for i, swc := range c.SWCs {
+		swc.VirtualPorts = append([]core.VirtualPortSpec(nil), swc.VirtualPorts...)
+		swcs[i] = swc
+	}
+	c.SWCs = swcs
+	return c
+}
+
+// snapshotVehicle copies a vehicle record including its nested conf
+// slices; called with s.mu held (read or write).
+func snapshotVehicle(v *VehicleRecord) VehicleRecord {
+	cp := *v
+	cp.Conf = copyVehicleConf(v.Conf)
+	return cp
 }
 
 // Vehicle returns a copy of the vehicle record.
@@ -89,7 +153,7 @@ func (s *Store) Vehicle(id core.VehicleID) (VehicleRecord, bool) {
 	if !ok {
 		return VehicleRecord{}, false
 	}
-	return *v, true
+	return snapshotVehicle(v), true
 }
 
 // Vehicles returns all vehicle records, sorted by id.
@@ -98,9 +162,29 @@ func (s *Store) Vehicles() []VehicleRecord {
 	defer s.mu.RUnlock()
 	out := make([]VehicleRecord, 0, len(s.vehicles))
 	for _, v := range s.vehicles {
-		out = append(out, *v)
+		out = append(out, snapshotVehicle(v))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SelectVehicles returns the ids of the vehicles owned by owner (any
+// owner when empty) whose model matches model (any model when empty),
+// sorted by id — the resolution of a fleet selector.
+func (s *Store) SelectVehicles(owner core.UserID, model string) []core.VehicleID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []core.VehicleID
+	for id, v := range s.vehicles {
+		if owner != "" && v.Owner != owner {
+			continue
+		}
+		if model != "" && v.Conf.Model != model {
+			continue
+		}
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -144,9 +228,68 @@ func (s *Store) UploadApp(app App) error {
 	if _, dup := s.apps[app.Name]; dup {
 		return api.Errorf(api.CodeAlreadyExists, "server: app %q exists", app.Name)
 	}
-	cp := app
+	// Copy on write: the uploader keeps its slices, the store keeps its
+	// own.
+	cp := copyApp(&app)
 	s.apps[app.Name] = &cp
 	return nil
+}
+
+// copyApp deep-copies an application record: binaries (program bytes and
+// manifest slices) and SW confs (deployments, connections, external
+// specs), so neither uploads nor reads share memory with the store.
+func copyApp(a *App) App {
+	cp := *a
+	if a.Binaries != nil {
+		cp.Binaries = make([]plugin.Binary, len(a.Binaries))
+		for i, b := range a.Binaries {
+			b.Program = append([]byte(nil), b.Program...)
+			b.Manifest.Ports = append([]core.PluginPortSpec(nil), b.Manifest.Ports...)
+			b.Manifest.Requires = append([]core.PluginName(nil), b.Manifest.Requires...)
+			b.Manifest.Conflicts = append([]core.PluginName(nil), b.Manifest.Conflicts...)
+			cp.Binaries[i] = b
+		}
+	}
+	if a.Confs != nil {
+		cp.Confs = make([]SWConf, len(a.Confs))
+		for i, c := range a.Confs {
+			cp.Confs[i] = copySWConf(c)
+		}
+	}
+	return cp
+}
+
+// copySWConf deep-copies one SW conf.
+func copySWConf(c SWConf) SWConf {
+	if c.Deployments == nil {
+		return c
+	}
+	deps := make([]Deployment, len(c.Deployments))
+	for i, d := range c.Deployments {
+		if d.Connections != nil {
+			conns := make([]PortConnection, len(d.Connections))
+			for j, conn := range d.Connections {
+				if conn.External != nil {
+					ext := *conn.External
+					conn.External = &ext
+				}
+				conns[j] = conn
+			}
+			d.Connections = conns
+		}
+		deps[i] = d
+	}
+	c.Deployments = deps
+	return c
+}
+
+// HasApp reports whether an application is stored, without paying for
+// the deep copy App makes.
+func (s *Store) HasApp(name core.AppName) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.apps[name]
+	return ok
 }
 
 // App returns a copy of an application record.
@@ -157,7 +300,7 @@ func (s *Store) App(name core.AppName) (App, bool) {
 	if !ok {
 		return App{}, false
 	}
-	return *a, true
+	return copyApp(a), true
 }
 
 // Apps lists the stored application names, sorted.
@@ -174,54 +317,76 @@ func (s *Store) Apps() []core.AppName {
 
 // RecordInstallation adds an InstalledAPP row.
 func (s *Store) RecordInstallation(ia *InstalledApp) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.installed[ia.Vehicle] = append(s.installed[ia.Vehicle], ia)
+	sh := s.shard(ia.Vehicle)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.rows[ia.Vehicle] = append(sh.rows[ia.Vehicle], ia)
 }
 
 // TryRecordInstallation adds an InstalledAPP row unless the app already
 // has one on the vehicle — the atomic check-and-record that keeps
 // concurrent duplicate deploys from double-installing.
 func (s *Store) TryRecordInstallation(ia *InstalledApp) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, r := range s.installed[ia.Vehicle] {
+	sh := s.shard(ia.Vehicle)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, r := range sh.rows[ia.Vehicle] {
 		if r.App == ia.App {
 			return api.Errorf(api.CodeAlreadyExists, "server: app %s already installed on %s", ia.App, ia.Vehicle)
 		}
 	}
-	s.installed[ia.Vehicle] = append(s.installed[ia.Vehicle], ia)
+	sh.rows[ia.Vehicle] = append(sh.rows[ia.Vehicle], ia)
 	return nil
 }
 
 // RemoveInstallation deletes the row of app on vehicle.
 func (s *Store) RemoveInstallation(vehicle core.VehicleID, app core.AppName) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rows := s.installed[vehicle]
+	sh := s.shard(vehicle)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rows := sh.rows[vehicle]
 	kept := rows[:0]
 	for _, r := range rows {
 		if r.App != app {
 			kept = append(kept, r)
 		}
 	}
-	s.installed[vehicle] = kept
+	// Nil out the tail so the removed rows are collectable instead of
+	// staying pinned by the backing array.
+	for i := len(kept); i < len(rows); i++ {
+		rows[i] = nil
+	}
+	if len(kept) == 0 {
+		delete(sh.rows, vehicle)
+		return
+	}
+	sh.rows[vehicle] = kept
 }
 
 // snapshotRow copies a row so readers never share memory with the
-// ack path's mutations; called with s.mu held.
+// ack path's mutations; called with the row's shard lock held.
 func snapshotRow(r *InstalledApp) InstalledApp {
 	cp := *r
 	cp.Plugins = append([]InstalledPlugin(nil), r.Plugins...)
 	return cp
 }
 
+// HasInstalledApps reports whether any InstalledAPP row exists for the
+// vehicle — the cheap freshness probe of the batch plan cache.
+func (s *Store) HasInstalledApps(vehicle core.VehicleID) bool {
+	sh := s.shard(vehicle)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.rows[vehicle]) > 0
+}
+
 // InstalledApps returns copies of the InstalledAPP rows of a vehicle.
 func (s *Store) InstalledApps(vehicle core.VehicleID) []InstalledApp {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]InstalledApp, 0, len(s.installed[vehicle]))
-	for _, r := range s.installed[vehicle] {
+	sh := s.shard(vehicle)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	out := make([]InstalledApp, 0, len(sh.rows[vehicle]))
+	for _, r := range sh.rows[vehicle] {
 		out = append(out, snapshotRow(r))
 	}
 	return out
@@ -229,9 +394,10 @@ func (s *Store) InstalledApps(vehicle core.VehicleID) []InstalledApp {
 
 // InstalledApp returns a copy of one row.
 func (s *Store) InstalledApp(vehicle core.VehicleID, app core.AppName) (InstalledApp, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, r := range s.installed[vehicle] {
+	sh := s.shard(vehicle)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, r := range sh.rows[vehicle] {
 		if r.App == app {
 			return snapshotRow(r), true
 		}
@@ -242,9 +408,10 @@ func (s *Store) InstalledApp(vehicle core.VehicleID, app core.AppName) (Installe
 // MarkInstallAcked records the vehicle's acknowledgement of one
 // plug-in installation.
 func (s *Store) MarkInstallAcked(vehicle core.VehicleID, app core.AppName, plugin core.PluginName) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, r := range s.installed[vehicle] {
+	sh := s.shard(vehicle)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, r := range sh.rows[vehicle] {
 		if r.App != app {
 			continue
 		}
@@ -259,9 +426,10 @@ func (s *Store) MarkInstallAcked(vehicle core.VehicleID, app core.AppName, plugi
 // DropUninstalledPlugin removes an acknowledged uninstallation from its
 // row, deleting the row once its last plug-in is gone.
 func (s *Store) DropUninstalledPlugin(vehicle core.VehicleID, app core.AppName, plugin core.PluginName) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rows := s.installed[vehicle]
+	sh := s.shard(vehicle)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rows := sh.rows[vehicle]
 	for ri, r := range rows {
 		if r.App != app {
 			continue
@@ -272,9 +440,19 @@ func (s *Store) DropUninstalledPlugin(vehicle core.VehicleID, app core.AppName, 
 				kept = append(kept, p)
 			}
 		}
+		// Zero the tail so dropped entries release their PIC slices.
+		for i := len(kept); i < len(r.Plugins); i++ {
+			r.Plugins[i] = InstalledPlugin{}
+		}
 		r.Plugins = kept
 		if len(kept) == 0 {
-			s.installed[vehicle] = append(rows[:ri], rows[ri+1:]...)
+			copy(rows[ri:], rows[ri+1:])
+			rows[len(rows)-1] = nil // unpin the removed row
+			if len(rows) == 1 {
+				delete(sh.rows, vehicle)
+			} else {
+				sh.rows[vehicle] = rows[:len(rows)-1]
+			}
 		}
 		return
 	}
@@ -283,10 +461,11 @@ func (s *Store) DropUninstalledPlugin(vehicle core.VehicleID, app core.AppName, 
 // InstalledPlugins returns all plug-ins installed on a vehicle across
 // apps.
 func (s *Store) InstalledPlugins(vehicle core.VehicleID) []InstalledPlugin {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sh := s.shard(vehicle)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	var out []InstalledPlugin
-	for _, r := range s.installed[vehicle] {
+	for _, r := range sh.rows[vehicle] {
 		out = append(out, r.Plugins...)
 	}
 	return out
@@ -296,10 +475,11 @@ func (s *Store) InstalledPlugins(vehicle core.VehicleID) []InstalledPlugin {
 // vehicle, the knowledge the PIC generator needs for SW-C-scope
 // uniqueness.
 func (s *Store) UsedPortIDs(vehicle core.VehicleID, ecu core.ECUID, swc core.SWCID) map[core.PluginPortID]bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sh := s.shard(vehicle)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	used := make(map[core.PluginPortID]bool)
-	for _, r := range s.installed[vehicle] {
+	for _, r := range sh.rows[vehicle] {
 		for _, p := range r.Plugins {
 			if p.ECU == ecu && p.SWC == swc {
 				for _, e := range p.PIC {
