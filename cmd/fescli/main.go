@@ -14,6 +14,7 @@
 //	fescli operations get op-00000001
 //	fescli operations wait op-00000001
 //	fescli status VIN123 RemoteControl
+//	fescli health                                 (readiness + recovery counters)
 //	fescli uninstall alice VIN123 RemoteControl
 //	fescli restore alice VIN123 ECU2
 //	fescli vehicle VIN123
@@ -77,7 +78,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("usage: fescli [-server URL] <adduser|bindvehicle|upload|apps|deploy|status|uninstall|restore|operations|vehicle|vehicles|paperapp|phone> ...")
+		log.Fatal("usage: fescli [-server URL] <adduser|bindvehicle|upload|apps|deploy|status|health|uninstall|restore|operations|vehicle|vehicles|paperapp|phone> ...")
 	}
 	client = api.NewClient(*serverURL, nil)
 	ctx := context.Background()
@@ -128,6 +129,9 @@ func main() {
 		need(args, 3, "status <vehicle> <app>")
 		st, err := client.Status(ctx, core.VehicleID(args[1]), core.AppName(args[2]))
 		show(st, err)
+	case "health":
+		h, err := client.Health(ctx)
+		show(h, err)
 	case "operations":
 		operations(ctx, args[1:])
 	case "vehicle":

@@ -3,16 +3,34 @@
 // developers, and the Pusher TCP listener that the vehicles' ECMs dial
 // into (paper section 3.2).
 //
-//	trusted-server -http :8080 -push :9090
+//	trusted-server -http :8080 -push :9090 -data-dir /var/lib/trusted-server
+//
+// With -data-dir set, every store mutation is persisted to a
+// write-ahead journal with snapshot compaction, and a restart recovers
+// the full state (users, vehicles, apps, installations, operations);
+// operations that were in flight when the process died are settled as
+// failed with the stable "interrupted" error code. Without it the
+// server runs memory-only, as before. GET /v1/healthz reports recovery
+// counters so orchestrators can gate traffic.
+//
+// SIGINT/SIGTERM shut down cleanly: the HTTP server drains, the pusher
+// listener stops, and the journal writes a final snapshot and closes —
+// a routine restart never relies on crash recovery.
 //
 // Drive it with cmd/fescli and connect vehicles with cmd/vehicle.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"dynautosar/internal/server"
 )
@@ -22,10 +40,20 @@ func main() {
 	log.SetPrefix("trusted-server: ")
 	httpAddr := flag.String("http", ":8080", "Web Services listen address")
 	pushAddr := flag.String("push", ":9090", "Pusher listen address for vehicle ECMs")
+	dataDir := flag.String("data-dir", "", "journal + snapshot directory for durable state (empty = memory-only)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
 	flag.Parse()
 
 	srv := server.New()
 	srv.SetLogger(log.Printf)
+	if *dataDir != "" {
+		if err := srv.OpenJournal(*dataDir); err != nil {
+			log.Fatalf("opening journal: %v", err)
+		}
+		st := srv.RecoveryStats()
+		log.Printf("durable state in %s: %d records replayed, %d operations interrupted, torn tail: %v",
+			*dataDir, st.Records, st.Interrupted, st.TornTail)
+	}
 
 	pl, err := net.Listen("tcp", *pushAddr)
 	if err != nil {
@@ -34,8 +62,36 @@ func main() {
 	log.Printf("pusher listening on %s", pl.Addr())
 	go srv.Pusher().Serve(pl)
 
-	log.Printf("web services listening on %s", *httpAddr)
-	if err := http.ListenAndServe(*httpAddr, srv.Handler()); err != nil {
+	httpSrv := &http.Server{Addr: *httpAddr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("web services listening on %s", *httpAddr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		// The listener died on its own; still flush the journal before
+		// exiting so no durable state is lost.
+		srv.Close()
 		log.Fatal(err)
+	case <-ctx.Done():
 	}
+	stop()
+	log.Printf("shutting down")
+
+	// Drain in order: stop accepting HTTP work, close the vehicle
+	// listener and links, then flush and close the journal.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("http drain: %v", err)
+	}
+	pl.Close()
+	if err := srv.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+		log.Printf("closing server: %v", err)
+	}
+	log.Printf("bye")
 }

@@ -16,7 +16,8 @@
 //     (internal/core);
 //   - the off-board trusted server with its data model, compatibility
 //     checking, context generation, Web Services API and Pusher
-//     (internal/server); and
+//     (internal/server), persisted through a write-ahead journal with
+//     snapshot compaction and crash recovery (internal/journal); and
 //   - federated-embedded-system support with external endpoints such as the
 //     paper's smart phone (internal/fes).
 //

@@ -216,6 +216,12 @@ func (t *httpTransport) Status(ctx context.Context, vehicle core.VehicleID, app 
 	return st, err
 }
 
+func (t *httpTransport) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := t.do(ctx, http.MethodGet, "/v1/healthz", nil, &h)
+	return h, err
+}
+
 func (t *httpTransport) GetOperation(ctx context.Context, id string) (Operation, error) {
 	var op Operation
 	err := t.do(ctx, http.MethodGet, "/v1/operations/"+url.PathEscape(id), nil, &op)

@@ -34,6 +34,11 @@ const (
 	// CodeUnavailable: the vehicle is not connected or the transport
 	// failed; retrying later may succeed.
 	CodeUnavailable ErrorCode = "unavailable"
+	// CodeInterrupted: the operation was in flight when the server went
+	// down and its outstanding acknowledgements are gone for good; the
+	// request must be re-issued. Surfaced by crash recovery on
+	// GET /v1/operations/{id}.
+	CodeInterrupted ErrorCode = "interrupted"
 	// CodeInternal: an unexpected server-side failure.
 	CodeInternal ErrorCode = "internal"
 )
@@ -90,6 +95,8 @@ func HTTPStatus(code ErrorCode) int {
 		return http.StatusTooManyRequests
 	case CodeUnavailable:
 		return http.StatusServiceUnavailable
+	case CodeInterrupted:
+		return http.StatusInternalServerError
 	default:
 		return http.StatusInternalServerError
 	}

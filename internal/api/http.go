@@ -28,6 +28,7 @@ import (
 //	POST /v1/uninstall:batch          start a fleet-wide uninstallation -> parent Operation
 //	POST /v1/restore                  start an async ECU restore -> Operation
 //	GET  /v1/status?vehicle=V&app=A   per-app ack progress
+//	GET  /v1/healthz                  readiness + recovery counters
 //	GET  /v1/operations               list operations (paginated)
 //	GET  /v1/operations/{id}          poll one operation
 //
@@ -107,6 +108,7 @@ func NewHandler(svc DeploymentService, opts *HandlerOptions) http.Handler {
 	mux.HandleFunc("POST /v1/uninstall:batch", h.batchUninstall)
 	mux.HandleFunc("POST /v1/restore", h.restore)
 	mux.HandleFunc("GET /v1/status", h.status)
+	mux.HandleFunc("GET /v1/healthz", h.healthz)
 	mux.HandleFunc("GET /v1/operations", h.listOperations)
 	mux.HandleFunc("GET /v1/operations/{id}", h.getOperation)
 	mux.HandleFunc("/v1/", h.notFound)
@@ -157,7 +159,10 @@ func (h *handler) rateMW(next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if !h.limiter.allow(h.o.ClientKey(r)) {
+		// Readiness probes are exempt: orchestrators gate traffic on
+		// /v1/healthz, and a probe sharing a NAT'd client key with API
+		// traffic must never see a healthy server answer 429.
+		if r.URL.Path != "/v1/healthz" && !h.limiter.allow(h.o.ClientKey(r)) {
 			h.writeError(w, Errorf(CodeResourceExhausted, "api: rate limit exceeded"))
 			return
 		}
@@ -410,6 +415,15 @@ func (h *handler) status(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.writeJSON(w, http.StatusOK, st)
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	hl, err := h.svc.Health(r.Context())
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, hl)
 }
 
 func (h *handler) listOperations(w http.ResponseWriter, r *http.Request) {

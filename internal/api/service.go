@@ -102,6 +102,32 @@ type OperationList struct {
 	NextPageToken string      `json:"nextPageToken,omitempty"`
 }
 
+// Health is the GET /v1/healthz body: the readiness signal orchestrators
+// gate traffic on, plus the durable-state recovery counters. A server
+// answers only after recovery completed, so a responding endpoint
+// reports "ok" — unless the journal has failed (disk gone, sync
+// errors), in which case Status is "degraded" and JournalError carries
+// the reason: the server still serves reads but no longer persists.
+type Health struct {
+	Status string `json:"status"`
+	// JournalError is the journal's sticky failure, "" while healthy.
+	JournalError string `json:"journalError,omitempty"`
+	// Journal reports whether durable state is enabled (-data-dir set).
+	Journal bool `json:"journal"`
+	// RecoveredRecords counts journal records replayed at start-up.
+	RecoveredRecords int `json:"recoveredRecords"`
+	// InterruptedOperations counts operations that were in flight at
+	// crash time and were settled as failed/interrupted during recovery.
+	InterruptedOperations int `json:"interruptedOperations"`
+	// SnapshotAge is the age of the newest snapshot in seconds, -1 when
+	// no snapshot exists (journal disabled or none taken yet).
+	SnapshotAge float64 `json:"snapshotAge"`
+	// TornTail reports that recovery dropped a truncated final record —
+	// the expected shape of a crash mid-append, kept visible for
+	// diagnostics.
+	TornTail bool `json:"tornTail,omitempty"`
+}
+
 // DeploymentService is the transport-agnostic core of the trusted
 // server's public surface: every operation group of paper section 3.2.2
 // (user setup, upload, (re)deployment) plus the async operations
@@ -147,6 +173,8 @@ type DeploymentService interface {
 
 	// Status reports per-app ack progress on a vehicle.
 	Status(ctx context.Context, vehicle core.VehicleID, app core.AppName) (OpStatus, error)
+	// Health reports readiness and the durable-state recovery counters.
+	Health(ctx context.Context) (Health, error)
 	// GetOperation returns one async operation by id.
 	GetOperation(ctx context.Context, id string) (Operation, error)
 	// ListOperations pages through operations, oldest first.

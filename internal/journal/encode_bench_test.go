@@ -1,0 +1,39 @@
+package journal
+
+import (
+	"testing"
+
+	"dynautosar/internal/api"
+	"dynautosar/internal/core"
+)
+
+func benchRow() api.InstalledApp {
+	return api.InstalledApp{App: "RemoteControl", Vehicle: "VIN-00042", Plugins: []api.InstalledPlugin{
+		{Plugin: "COM", ECU: "ECU1", SWC: "SWC1", PIC: core.PIC{{Name: "WheelsExt", ID: 0}, {Name: "SpeedExt", ID: 1}, {Name: "WheelsFwd", ID: 2}, {Name: "SpeedFwd", ID: 3}}},
+		{Plugin: "OP", ECU: "ECU2", SWC: "SWC2", PIC: core.PIC{{Name: "WheelsOut", ID: 0}, {Name: "SpeedOut", ID: 1}}},
+	}}
+}
+
+func benchOp() api.Operation {
+	return api.Operation{ID: "op-00000042", Kind: api.OpDeploy, User: "fleet", Vehicle: "VIN-00042", App: "RemoteControl", State: api.StateSucceeded, Total: 2, Acked: 2, Done: true, Parent: "op-00000001"}
+}
+
+func BenchmarkEncodeRecord(b *testing.B) {
+	cases := []struct {
+		name string
+		rec  Record
+	}{
+		{"install_recorded", InstallRecordedRec(benchRow())},
+		{"install_acked", InstallAckedRec("VIN-00042", "RemoteControl", "COM")},
+		{"op_settled", OpSettledRec(benchOp())},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := encodeRecord(c.rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,169 @@
+// Package journal is the durable-state subsystem of the trusted
+// server: an append-only write-ahead log of typed, versioned mutation
+// records plus periodic snapshot compaction. The server is the
+// authoritative record of which plug-in components run on which
+// vehicle, so its state is persisted the way Hufflen frames a
+// reconfigurable system — as the result of an ordered sequence of
+// reconfigurations: every store mutation appends one record, and
+// recovery replays the path (snapshot + log tail) instead of trusting
+// ambient in-memory state.
+//
+// The log is length-prefixed and checksummed per record, commits with
+// one fsync amortized over all concurrently appending writers (group
+// commit), and compacts by writing a full state image side-by-side and
+// truncating the old segment. Recovery tolerates a torn final record —
+// the expected shape of a crash mid-append.
+package journal
+
+import (
+	"time"
+
+	"dynautosar/internal/api"
+	"dynautosar/internal/core"
+)
+
+// recordVersion is the wire version stamped on every record and state
+// image; readers reject higher versions.
+const recordVersion = 1
+
+// Type discriminates the mutation a record carries.
+type Type string
+
+const (
+	// TypeUserAdded: a user account was created.
+	TypeUserAdded Type = "user_added"
+	// TypeVehicleBound: a vehicle conf was registered and bound.
+	TypeVehicleBound Type = "vehicle_bound"
+	// TypeAppUploaded: an application (binaries + SW confs) was stored.
+	TypeAppUploaded Type = "app_uploaded"
+	// TypeInstallRecorded: an InstalledAPP row was added.
+	TypeInstallRecorded Type = "install_recorded"
+	// TypeInstallAcked: the vehicle acknowledged one plug-in install.
+	TypeInstallAcked Type = "install_acked"
+	// TypeInstallRemoved: the row of an app on a vehicle was deleted.
+	TypeInstallRemoved Type = "install_removed"
+	// TypePluginDropped: one acknowledged uninstallation left its row.
+	TypePluginDropped Type = "plugin_dropped"
+	// TypeOpCreated: an async operation was registered.
+	TypeOpCreated Type = "op_created"
+	// TypeOpSettled: an async operation reached a terminal state.
+	TypeOpSettled Type = "op_settled"
+)
+
+// Record is one journaled mutation: the version, the type, and exactly
+// one payload field matching the type. The envelope is JSON on the
+// wire (binaries ride base64 in app records), framed and checksummed
+// by the log layer.
+type Record struct {
+	V    int  `json:"v"`
+	Type Type `json:"type"`
+
+	User    *UserAdded     `json:"user,omitempty"`
+	Vehicle *VehicleBound  `json:"vehicle,omitempty"`
+	App     *api.App       `json:"app,omitempty"`
+	Install *InstallChange `json:"install,omitempty"`
+	Op      *OpChange      `json:"op,omitempty"`
+}
+
+// UserAdded is the payload of TypeUserAdded.
+type UserAdded struct {
+	ID core.UserID `json:"id"`
+}
+
+// VehicleBound is the payload of TypeVehicleBound.
+type VehicleBound struct {
+	Owner core.UserID      `json:"owner"`
+	Conf  core.VehicleConf `json:"conf"`
+}
+
+// InstallChange is the payload of the four InstalledAPP-table record
+// types. Row is set for install_recorded; Plugin for install_acked and
+// plugin_dropped; install_removed needs only Vehicle and App.
+type InstallChange struct {
+	Vehicle core.VehicleID    `json:"vehicle"`
+	App     core.AppName      `json:"app"`
+	Plugin  core.PluginName   `json:"plugin,omitempty"`
+	Row     *api.InstalledApp `json:"row,omitempty"`
+}
+
+// OpChange is the payload of the operation record types: the full
+// operation snapshot at creation respectively settlement time. Settled
+// snapshots let recovery resurrect recently completed operations with
+// their final tallies; operations still open when the server died are
+// the ones recovery settles as INTERRUPTED.
+type OpChange struct {
+	Op api.Operation `json:"op"`
+}
+
+// UserAddedRec builds a TypeUserAdded record.
+func UserAddedRec(id core.UserID) Record {
+	return Record{V: recordVersion, Type: TypeUserAdded, User: &UserAdded{ID: id}}
+}
+
+// VehicleBoundRec builds a TypeVehicleBound record.
+func VehicleBoundRec(owner core.UserID, conf core.VehicleConf) Record {
+	return Record{V: recordVersion, Type: TypeVehicleBound, Vehicle: &VehicleBound{Owner: owner, Conf: conf}}
+}
+
+// AppUploadedRec builds a TypeAppUploaded record.
+func AppUploadedRec(app api.App) Record {
+	return Record{V: recordVersion, Type: TypeAppUploaded, App: &app}
+}
+
+// InstallRecordedRec builds a TypeInstallRecorded record.
+func InstallRecordedRec(row api.InstalledApp) Record {
+	return Record{V: recordVersion, Type: TypeInstallRecorded,
+		Install: &InstallChange{Vehicle: row.Vehicle, App: row.App, Row: &row}}
+}
+
+// InstallAckedRec builds a TypeInstallAcked record.
+func InstallAckedRec(vehicle core.VehicleID, app core.AppName, plugin core.PluginName) Record {
+	return Record{V: recordVersion, Type: TypeInstallAcked,
+		Install: &InstallChange{Vehicle: vehicle, App: app, Plugin: plugin}}
+}
+
+// InstallRemovedRec builds a TypeInstallRemoved record.
+func InstallRemovedRec(vehicle core.VehicleID, app core.AppName) Record {
+	return Record{V: recordVersion, Type: TypeInstallRemoved,
+		Install: &InstallChange{Vehicle: vehicle, App: app}}
+}
+
+// PluginDroppedRec builds a TypePluginDropped record.
+func PluginDroppedRec(vehicle core.VehicleID, app core.AppName, plugin core.PluginName) Record {
+	return Record{V: recordVersion, Type: TypePluginDropped,
+		Install: &InstallChange{Vehicle: vehicle, App: app, Plugin: plugin}}
+}
+
+// OpCreatedRec builds a TypeOpCreated record.
+func OpCreatedRec(op api.Operation) Record {
+	return Record{V: recordVersion, Type: TypeOpCreated, Op: &OpChange{Op: op}}
+}
+
+// OpSettledRec builds a TypeOpSettled record.
+func OpSettledRec(op api.Operation) Record {
+	return Record{V: recordVersion, Type: TypeOpSettled, Op: &OpChange{Op: op}}
+}
+
+// StateImage is the full store image a snapshot persists: everything
+// needed to rebuild the server without the log segments the snapshot
+// replaces. OpenOps are the operations not yet terminal at snapshot
+// time — the set recovery settles as INTERRUPTED if the log tail never
+// settles them. OpSeq carries the operation-id counter so ids minted
+// after recovery never collide with journaled ones.
+type StateImage struct {
+	V         int   `json:"v"`
+	TakenUnix int64 `json:"takenUnix"`
+
+	Users     []api.User          `json:"users"`
+	Vehicles  []api.VehicleRecord `json:"vehicles"`
+	Apps      []api.App           `json:"apps"`
+	Installed []api.InstalledApp  `json:"installed"`
+	OpenOps   []api.Operation     `json:"openOps"`
+	OpSeq     uint64              `json:"opSeq"`
+}
+
+// NewStateImage stamps an empty image with the current version and
+// time.
+func NewStateImage() *StateImage {
+	return &StateImage{V: recordVersion, TakenUnix: time.Now().Unix()}
+}

@@ -1,0 +1,17 @@
+//go:build linux
+
+package journal
+
+import (
+	"os"
+	"syscall"
+)
+
+// syncFile flushes a segment's appended data with fdatasync: the only
+// metadata an append changes is the file size, which fdatasync is
+// required to flush when it is needed to read the new data back —
+// cheaper and markedly less spiky than a full fsync on ext4-family
+// filesystems.
+func syncFile(f *os.File) error {
+	return syscall.Fdatasync(int(f.Fd()))
+}

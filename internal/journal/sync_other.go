@@ -1,0 +1,10 @@
+//go:build !linux
+
+package journal
+
+import "os"
+
+// syncFile falls back to a full fsync where fdatasync is unavailable.
+func syncFile(f *os.File) error {
+	return f.Sync()
+}

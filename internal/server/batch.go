@@ -78,13 +78,55 @@ func (s *Server) BatchDeployAsync(user core.UserID, vehicles []core.VehicleID, s
 	parentID, children := s.newBatchOperation(api.OpBatchDeploy, api.OpDeploy, user, appName, fleet)
 	go func() {
 		cache := &planCache{}
+		// inflight bounds the per-batch commit-wait/push goroutines the
+		// staged deploys hand off to, so a fleet-scale batch keeps a few
+		// hundred vehicles in the commit/push pipeline instead of one
+		// goroutine (pinning its plan and pending state) per vehicle.
+		inflight := make(chan struct{}, batchInflight)
 		s.runBatch(children, func(c batchChild) {
-			s.finishLaunch(c.opID, s.deployWith(c.opID, user, c.vehicle, appName, cache))
+			s.deployChild(c, user, appName, cache, inflight)
 		})
 		hits, misses := cache.stats()
 		s.logf("server: batch %s over %d vehicles: plan cache %d hits / %d misses", parentID, len(fleet), hits, misses)
 	}()
 	return s.operationSnapshot(parentID), nil
+}
+
+// batchInflight bounds, per batch, how many staged deploys may sit in
+// the commit-wait/push pipeline at once; a var so tests can shrink it.
+var batchInflight = 512
+
+// deployChild launches one batch child. The worker runs only the CPU
+// half (plan + check-and-record); with a journal attached, the
+// commit-wait and the pushes move to a per-vehicle goroutine, so the
+// bounded worker pool never parks in a group commit — the pool keeps
+// planning at CPU speed while records ride the shared fsync and pushes
+// fire as their commits land. The inflight semaphore applies
+// backpressure: once batchInflight children are between stage and
+// push-complete, the staging worker blocks, so a 100k-vehicle batch
+// never holds 100k plans and goroutines live at once. Operation
+// accounting is untouched: the child reaches finishLaunch exactly
+// once, after its pushes (or its failure).
+func (s *Server) deployChild(c batchChild, user core.UserID, appName core.AppName, cache *planCache, inflight chan struct{}) {
+	plan, ticket, err := s.stageDeploy(user, c.vehicle, appName, cache)
+	if err != nil {
+		s.finishLaunch(c.opID, err)
+		return
+	}
+	if s.jn == nil {
+		// Memory-only: the zero ticket is already resolved.
+		s.finishLaunch(c.opID, s.pushPlan(c.opID, c.vehicle, appName, plan))
+		return
+	}
+	inflight <- struct{}{}
+	go func() {
+		defer func() { <-inflight }()
+		if err := s.awaitInstallDurable(ticket, c.vehicle, appName); err != nil {
+			s.finishLaunch(c.opID, err)
+			return
+		}
+		s.finishLaunch(c.opID, s.pushPlan(c.opID, c.vehicle, appName, plan))
+	}()
 }
 
 // BatchUninstallAsync starts a fleet-wide uninstallation with the same

@@ -5,6 +5,7 @@ import (
 
 	"dynautosar/internal/api"
 	"dynautosar/internal/core"
+	"dynautosar/internal/journal"
 )
 
 // The async-operation registry: every deployment-service mutation
@@ -51,8 +52,37 @@ func (s *Server) newOperation(kind api.OperationKind, user core.UserID, vehicle 
 	}}
 	s.ops[rec.op.ID] = rec
 	s.opOrder = append(s.opOrder, rec.op.ID)
+	s.journalOpLocked(journal.OpCreatedRec, rec)
 	s.pruneOpsLocked()
 	return rec
+}
+
+// journalOpLocked enqueues an operation lifecycle record; called with
+// s.mu held. The ticket is dropped on purpose: operation bookkeeping
+// must never hold the global mutex across an fsync (that would defeat
+// group commit entirely), and the consequence of losing an unflushed
+// settle record in a crash is merely conservative — recovery reports
+// the operation as interrupted instead of settled. Store mutations,
+// which gate external side effects, do wait for durability.
+//
+// Batch children mostly stay off the journal: the parent's creation
+// record carries their identity, and recovery derives a successful
+// child from the store itself — a deploy child succeeded exactly when
+// its InstalledAPP row is fully acknowledged. Only a child's *failure*
+// is journaled (failures are the rare case and carry information the
+// store cannot re-derive, e.g. already_exists on a vehicle that had
+// the app from an earlier deploy — whose complete row would otherwise
+// read as success). One record per batch plus one per failed vehicle,
+// instead of two per vehicle, keeps fleet-scale deploys off the
+// journal's hot path.
+func (s *Server) journalOpLocked(build func(api.Operation) journal.Record, rec *opRecord) {
+	if s.jn == nil {
+		return
+	}
+	if rec.parent != "" && rec.op.State != api.StateFailed {
+		return
+	}
+	s.jn.Append(build(snapshotOpLocked(rec)))
 }
 
 // batchChild pairs one target vehicle of a batch with its child
@@ -100,6 +130,11 @@ func (s *Server) newBatchOperation(kind, childKind api.OperationKind, user core.
 		prec.op.Children = append(prec.op.Children, cid)
 		children = append(children, batchChild{vehicle: v, opID: cid})
 	}
+	// Only the parent is journaled — after the loop, so its snapshot
+	// carries the full children and vehicles lists. Recovery
+	// re-synthesizes the child operations from those (one record instead
+	// of fleet-size-plus-one per batch).
+	s.journalOpLocked(journal.OpCreatedRec, prec)
 	s.pruneOpsLocked()
 	return parentID, children
 }
@@ -166,6 +201,7 @@ func (s *Server) finishLaunch(opID string, err error) {
 		rec.op.State = api.StateFailed
 		rec.op.Error = api.AsError(err)
 		rec.op.Done = true
+		s.journalOpLocked(journal.OpSettledRec, rec)
 		s.maybeReleaseClaimLocked(rec)
 		s.noteChildTerminalLocked(rec)
 		return
@@ -224,6 +260,7 @@ func (s *Server) completeLocked(rec *opRecord) {
 		rec.op.State = api.StateSucceeded
 	}
 	rec.op.Done = true
+	s.journalOpLocked(journal.OpSettledRec, rec)
 	s.maybeReleaseClaimLocked(rec)
 	s.noteChildTerminalLocked(rec)
 }
@@ -257,6 +294,7 @@ func (s *Server) noteChildTerminalLocked(rec *opRecord) {
 			prec.op.State = api.StateSucceeded
 		}
 		prec.op.Done = true
+		s.journalOpLocked(journal.OpSettledRec, prec)
 		// The batch's children just became evictable; let the next
 		// operation creation prune immediately.
 		s.opPruneDefer = 0

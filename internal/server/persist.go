@@ -1,0 +1,485 @@
+package server
+
+import (
+	"sort"
+	"time"
+
+	"dynautosar/internal/api"
+	"dynautosar/internal/core"
+	"dynautosar/internal/journal"
+)
+
+// The durable-state glue between the server core and internal/journal:
+// OpenJournal recovers the store and the operation registry from a data
+// directory (snapshot + write-ahead-log tail), then routes every
+// subsequent mutation into the journal. Recovery replays the log as an
+// ordered sequence of reconfigurations; operations that were in flight
+// when the process died are settled as failed with the stable
+// INTERRUPTED error code, because their outstanding vehicle
+// acknowledgements can never arrive (the ECM writes each ack exactly
+// once to the link it arrived on).
+
+// RecoveryStats summarizes what OpenJournal replayed.
+type RecoveryStats struct {
+	// Journaled reports whether durable state is enabled.
+	Journaled bool
+	// SnapshotTime is when the loaded snapshot was taken (zero when the
+	// directory had none).
+	SnapshotTime time.Time
+	// Records counts log records replayed after the snapshot.
+	Records int
+	// Interrupted counts operations settled as INTERRUPTED.
+	Interrupted int
+	// TornTail reports that the final log record was truncated or
+	// corrupt and was dropped.
+	TornTail bool
+}
+
+// RecoveryStats returns what OpenJournal replayed; the zero value when
+// the server runs memory-only.
+func (s *Server) RecoveryStats() RecoveryStats { return s.recovery }
+
+// OpenJournal loads the durable state under dir and attaches the
+// journal, so every later mutation is persisted. It must be called
+// right after New, before the server takes traffic. An empty or fresh
+// directory yields an empty server with journaling on.
+func (s *Server) OpenJournal(dir string) error {
+	j, rec, err := journal.Open(dir, journal.Options{
+		Logf: func(format string, args ...any) { s.logf(format, args...) },
+	})
+	if err != nil {
+		return err
+	}
+	s.recoverFrom(rec)
+	j.SetSnapshotSource(s.stateImage)
+	s.jn = j
+	s.store.SetJournal(j)
+	s.logf("server: recovered %d users, %d vehicles, %d apps; replayed %d records, %d operations interrupted",
+		len(s.store.users), len(s.store.vehicles), len(s.store.apps), s.recovery.Records, s.recovery.Interrupted)
+	return nil
+}
+
+// Close shuts the server down cleanly: vehicle links are closed, a
+// final snapshot compacts the journal (so a routine restart replays an
+// empty tail instead of relying on crash recovery) and the journal is
+// flushed and closed. Safe to call on a memory-only server.
+func (s *Server) Close() error {
+	s.pusher.CloseAll()
+	if s.jn == nil {
+		return nil
+	}
+	if err := s.jn.Snapshot(); err != nil {
+		s.logf("server: final snapshot: %v", err)
+	}
+	return s.jn.Close()
+}
+
+// Journal exposes the attached journal (nil when memory-only); tests
+// use it to simulate crashes and force compaction.
+func (s *Server) Journal() *journal.Journal { return s.jn }
+
+// Health reports readiness plus the recovery counters of GET
+// /v1/healthz. The server only serves after recovery completed, so a
+// reachable endpoint answers "ok" — degrading to "degraded" if the
+// journal has failed since — and orchestrators gate traffic on both.
+func (s *Server) Health() api.Health {
+	h := api.Health{
+		Status:                "ok",
+		RecoveredRecords:      s.recovery.Records,
+		InterruptedOperations: s.recovery.Interrupted,
+		TornTail:              s.recovery.TornTail,
+		SnapshotAge:           -1,
+	}
+	if s.jn == nil {
+		return h
+	}
+	h.Journal = true
+	if err := s.jn.Err(); err != nil {
+		// Durability is gone (sticky commit failure): the server still
+		// serves, but orchestrators must stop routing traffic here.
+		h.Status = "degraded"
+		h.JournalError = err.Error()
+	}
+	if st := s.jn.Stats(); !st.LastSnapshot.IsZero() {
+		h.SnapshotAge = time.Since(st.LastSnapshot).Seconds()
+	}
+	return h
+}
+
+// recoverFrom rebuilds the server from a snapshot image and the
+// replayed log tail.
+func (s *Server) recoverFrom(rec *journal.Recovery) {
+	// open tracks operations created but not yet settled; settled keeps
+	// the terminal snapshots of recently completed ones so they survive
+	// a restart with their real outcome. Batch children have no records
+	// of their own — their outcome is derived from the store below.
+	open := make(map[string]api.Operation)
+	settled := make(map[string]api.Operation)
+	var maxSeq uint64
+	bump := func(id string) {
+		if n := opSeqOf(id); n > maxSeq {
+			maxSeq = n
+		}
+	}
+
+	if img := rec.Image; img != nil {
+		s.store.loadImage(img)
+		maxSeq = img.OpSeq
+		for _, op := range img.OpenOps {
+			open[op.ID] = op
+			bump(op.ID)
+		}
+		s.recovery.SnapshotTime = time.Unix(img.TakenUnix, 0)
+	}
+	for _, r := range rec.Records {
+		switch r.Type {
+		case journal.TypeOpCreated:
+			if r.Op == nil {
+				continue
+			}
+			op := r.Op.Op
+			bump(op.ID)
+			for _, cid := range op.Children {
+				bump(cid)
+			}
+			if _, done := settled[op.ID]; !done {
+				open[op.ID] = op
+			}
+		case journal.TypeOpSettled:
+			if r.Op == nil {
+				continue
+			}
+			op := r.Op.Op
+			bump(op.ID)
+			delete(open, op.ID)
+			settled[op.ID] = op
+		default:
+			s.store.applyRecord(r)
+		}
+	}
+
+	// Settle every top-level operation still open as INTERRUPTED: its
+	// pushes can never be acknowledged on this side of the restart.
+	final := make(map[string]api.Operation, len(open)+len(settled))
+	interrupted := 0
+	for id, op := range settled {
+		final[id] = op
+	}
+	for id, op := range open {
+		if op.Parent != "" {
+			continue // image-captured children are re-derived below
+		}
+		op.State = api.StateFailed
+		op.Done = true
+		op.Error = &api.Error{Code: api.CodeInterrupted,
+			Message: "server: operation interrupted by server restart"}
+		interrupted++
+		final[id] = op
+	}
+	// Rebuild the children of every INTERRUPTED batch from the parent's
+	// record and the recovered store: a deploy child succeeded exactly
+	// when its InstalledAPP row is fully acknowledged (success == all
+	// acks received); anything less is INTERRUPTED too, and a journaled
+	// child settle (failed children carry one — their reason is not
+	// derivable from the store) wins outright. The interrupted parent
+	// then recomputes its tallies from those outcomes.
+	//
+	// Children of a *settled* parent are not resurrected (beyond their
+	// journaled failures): the batch's history is closed, its tallies
+	// ride the parent's settle record, and re-deriving outcomes from a
+	// store that kept evolving after the batch (uninstalls, drops)
+	// would rewrite history. A hole behind a settled parent is already
+	// normal — registry retention evicts exactly those children.
+	for id, op := range final {
+		if len(op.Children) == 0 {
+			continue
+		}
+		if op.Error == nil || op.Error.Code != api.CodeInterrupted {
+			continue
+		}
+		succ, fail := 0, 0
+		for i, cid := range op.Children {
+			if child, done := settled[cid]; done {
+				if child.State == api.StateSucceeded {
+					succ++
+				} else {
+					fail++
+				}
+				final[cid] = child
+				continue
+			}
+			child, ok := open[cid]
+			if !ok {
+				child = api.Operation{
+					ID: cid, Kind: childKindOf(op.Kind), User: op.User, App: op.App, Parent: op.ID,
+				}
+				if i < len(op.Vehicles) {
+					child.Vehicle = op.Vehicles[i]
+				}
+			}
+			if s.deriveChildOutcome(&child) {
+				interrupted++
+			}
+			if child.State == api.StateSucceeded {
+				succ++
+			} else {
+				fail++
+			}
+			final[cid] = child
+		}
+		op.VehiclesSucceeded, op.VehiclesFailed = succ, fail
+		final[id] = op
+	}
+
+	ids := make([]string, 0, len(final))
+	for id := range final {
+		ids = append(ids, id)
+	}
+	// Ids are zero-padded, so lexicographic order is creation order.
+	sort.Strings(ids)
+	s.mu.Lock()
+	for _, id := range ids {
+		op := final[id]
+		s.ops[id] = &opRecord{op: op, launched: true, parent: op.Parent}
+		s.opOrder = append(s.opOrder, id)
+	}
+	s.opSeq = maxSeq
+	s.mu.Unlock()
+
+	s.recovery.Journaled = true
+	s.recovery.Records = len(rec.Records)
+	s.recovery.Interrupted = interrupted
+	s.recovery.TornTail = rec.TornTail
+}
+
+// deriveChildOutcome settles one child of an interrupted batch from the
+// store and reports whether it was interrupted: a fully acknowledged
+// deploy row proves success; everything else is interrupted, because
+// the acks that would have finished it can never arrive. "Success" here
+// is goal-state semantics: a vehicle whose row was already complete
+// before the batch (an earlier deploy of the same app) reads as
+// succeeded even if its child never ran — the claim the child's success
+// makes, "the app runs acknowledged on this vehicle", is true either
+// way (had the child run, it would have failed already_exists and
+// journaled that settle).
+func (s *Server) deriveChildOutcome(child *api.Operation) (wasInterrupted bool) {
+	child.Done = true
+	if child.Kind == api.OpDeploy {
+		if row, ok := s.store.InstalledApp(child.Vehicle, child.App); ok && row.Complete() {
+			child.State = api.StateSucceeded
+			child.Total, child.Acked = len(row.Plugins), len(row.Plugins)
+			return false
+		}
+	}
+	child.State = api.StateFailed
+	child.Error = &api.Error{Code: api.CodeInterrupted,
+		Message: "server: operation interrupted by server restart"}
+	return true
+}
+
+// childKindOf maps a batch kind onto its per-vehicle child kind.
+func childKindOf(kind api.OperationKind) api.OperationKind {
+	switch kind {
+	case api.OpBatchDeploy:
+		return api.OpDeploy
+	case api.OpBatchUninstall:
+		return api.OpUninstall
+	default:
+		return kind
+	}
+}
+
+// opSeqOf parses the numeric part of an operation id ("op-%08d"), 0
+// for foreign ids.
+func opSeqOf(id string) uint64 {
+	if len(id) < 4 || id[:3] != "op-" {
+		return 0
+	}
+	var n uint64
+	for i := 3; i < len(id); i++ {
+		c := id[i]
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + uint64(c-'0')
+	}
+	return n
+}
+
+// stateImage builds the snapshot image for journal compaction: the
+// full store plus the still-open operations and the id counter. It
+// runs on the journal's writer goroutine; no appender ever waits on
+// the journal while holding the locks it takes, so it cannot deadlock.
+// The store part and the operation part are captured a moment apart —
+// safe, because records enqueued in between land in the next segment
+// and record application is idempotent.
+func (s *Server) stateImage() *journal.StateImage {
+	img := journal.NewStateImage()
+	s.store.imageInto(img)
+	s.mu.Lock()
+	img.OpSeq = s.opSeq
+	for _, id := range s.opOrder {
+		if rec := s.ops[id]; rec != nil && !rec.op.Done {
+			img.OpenOps = append(img.OpenOps, snapshotOpLocked(rec))
+		}
+	}
+	s.mu.Unlock()
+	return img
+}
+
+// loadImage fills an empty store from a snapshot image; called before
+// the store serves traffic. The image was freshly unmarshaled, so its
+// slices are owned here and need no defensive copies.
+func (s *Store) loadImage(img *journal.StateImage) {
+	s.mu.Lock()
+	for i := range img.Users {
+		u := img.Users[i]
+		s.users[u.ID] = &u
+	}
+	for i := range img.Vehicles {
+		v := img.Vehicles[i]
+		s.vehicles[v.ID] = &v
+	}
+	for i := range img.Apps {
+		a := img.Apps[i]
+		s.apps[a.Name] = &a
+	}
+	s.mu.Unlock()
+	for i := range img.Installed {
+		row := img.Installed[i]
+		sh := s.shard(row.Vehicle)
+		sh.mu.Lock()
+		sh.rows[row.Vehicle] = append(sh.rows[row.Vehicle], &row)
+		sh.mu.Unlock()
+	}
+}
+
+// imageInto captures the store into a snapshot image, deterministic
+// order throughout (stable snapshots diff cleanly).
+func (s *Store) imageInto(img *journal.StateImage) {
+	s.mu.RLock()
+	img.Users = make([]api.User, 0, len(s.users))
+	for _, u := range s.users {
+		cp := *u
+		cp.Vehicles = append([]core.VehicleID(nil), u.Vehicles...)
+		img.Users = append(img.Users, cp)
+	}
+	img.Vehicles = make([]api.VehicleRecord, 0, len(s.vehicles))
+	for _, v := range s.vehicles {
+		img.Vehicles = append(img.Vehicles, snapshotVehicle(v))
+	}
+	img.Apps = make([]api.App, 0, len(s.apps))
+	for _, a := range s.apps {
+		img.Apps = append(img.Apps, copyApp(a))
+	}
+	s.mu.RUnlock()
+	sort.Slice(img.Users, func(i, k int) bool { return img.Users[i].ID < img.Users[k].ID })
+	sort.Slice(img.Vehicles, func(i, k int) bool { return img.Vehicles[i].ID < img.Vehicles[k].ID })
+	sort.Slice(img.Apps, func(i, k int) bool { return img.Apps[i].Name < img.Apps[k].Name })
+	for i := range s.installed {
+		sh := &s.installed[i]
+		sh.mu.RLock()
+		for _, rows := range sh.rows {
+			for _, r := range rows {
+				img.Installed = append(img.Installed, snapshotRow(r))
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(img.Installed, func(i, k int) bool {
+		a, b := &img.Installed[i], &img.Installed[k]
+		if a.Vehicle != b.Vehicle {
+			return a.Vehicle < b.Vehicle
+		}
+		return a.App < b.App
+	})
+}
+
+// applyRecord applies one replayed store mutation. Application is
+// idempotent: compaction may leave a record in the new segment whose
+// effect the snapshot image already contains (the image is always at
+// least as new as anything flushed before it), so every branch
+// tolerates finding its work already done — and the richer state
+// (e.g. a row with acks) always wins over a replayed older record.
+func (s *Store) applyRecord(rec journal.Record) {
+	switch rec.Type {
+	case journal.TypeUserAdded:
+		if rec.User == nil {
+			return
+		}
+		s.mu.Lock()
+		if _, ok := s.users[rec.User.ID]; !ok {
+			s.users[rec.User.ID] = &User{ID: rec.User.ID}
+		}
+		s.mu.Unlock()
+	case journal.TypeVehicleBound:
+		if rec.Vehicle == nil {
+			return
+		}
+		owner, conf := rec.Vehicle.Owner, rec.Vehicle.Conf
+		s.mu.Lock()
+		if _, dup := s.vehicles[conf.Vehicle]; !dup {
+			u, ok := s.users[owner]
+			if !ok {
+				// Defensive: the user record always precedes its
+				// vehicles in the log.
+				u = &User{ID: owner}
+				s.users[owner] = u
+			}
+			s.vehicles[conf.Vehicle] = &VehicleRecord{ID: conf.Vehicle, Owner: owner, Conf: conf}
+			u.Vehicles = append(u.Vehicles, conf.Vehicle)
+		}
+		s.mu.Unlock()
+	case journal.TypeAppUploaded:
+		if rec.App == nil {
+			return
+		}
+		s.mu.Lock()
+		if _, dup := s.apps[rec.App.Name]; !dup {
+			s.apps[rec.App.Name] = rec.App
+		}
+		s.mu.Unlock()
+	case journal.TypeInstallRecorded:
+		if rec.Install == nil || rec.Install.Row == nil {
+			return
+		}
+		row := rec.Install.Row
+		sh := s.shard(row.Vehicle)
+		sh.mu.Lock()
+		dup := false
+		for _, r := range sh.rows[row.Vehicle] {
+			if r.App == row.App {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			sh.rows[row.Vehicle] = append(sh.rows[row.Vehicle], row)
+		}
+		sh.mu.Unlock()
+	case journal.TypeInstallAcked:
+		if rec.Install == nil {
+			return
+		}
+		sh := s.shard(rec.Install.Vehicle)
+		sh.mu.Lock()
+		markAckedLocked(sh, rec.Install.Vehicle, rec.Install.App, rec.Install.Plugin)
+		sh.mu.Unlock()
+	case journal.TypeInstallRemoved:
+		if rec.Install == nil {
+			return
+		}
+		sh := s.shard(rec.Install.Vehicle)
+		sh.mu.Lock()
+		removeRowLocked(sh, rec.Install.Vehicle, rec.Install.App)
+		sh.mu.Unlock()
+	case journal.TypePluginDropped:
+		if rec.Install == nil {
+			return
+		}
+		sh := s.shard(rec.Install.Vehicle)
+		sh.mu.Lock()
+		dropPluginLocked(sh, rec.Install.Vehicle, rec.Install.App, rec.Install.Plugin)
+		sh.mu.Unlock()
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"dynautosar/internal/api"
 	"dynautosar/internal/core"
+	"dynautosar/internal/journal"
 	"dynautosar/internal/plugin"
 )
 
@@ -13,6 +14,12 @@ import (
 type Server struct {
 	store  *Store
 	pusher *Pusher
+
+	// jn is the durable-state journal (nil when running memory-only);
+	// see persist.go for the recovery path and DESIGN.md for the record
+	// and snapshot semantics. recovery summarizes what Open replayed.
+	jn       *journal.Journal
+	recovery RecoveryStats
 
 	mu  sync.Mutex
 	seq uint32
@@ -302,36 +309,65 @@ func (s *Server) pushPlan(opID string, vehicleID core.VehicleID, appName core.Ap
 	return nil
 }
 
+// stageDeploy runs the synchronous half of one deployment: plan and
+// record under the vehicle's deploy stripe (pushes happen outside it —
+// they block on the vehicle link). The PICs are copied per row so rows
+// of different vehicles never share a reused plan's memory; the atomic
+// check-and-record rejects duplicate deploys of the same app. The
+// returned ticket resolves when the installation record is durable;
+// waiting is the caller's, and happens outside the stripe — the row is
+// already visible to concurrent planners (their port-id reads include
+// it), so holding the stripe across a group commit would only
+// serialize unrelated deploys behind an fsync.
+func (s *Server) stageDeploy(user core.UserID, vehicleID core.VehicleID, appName core.AppName, cache *planCache) (*deployPlan, journal.Ticket, error) {
+	vr, err := s.deployPrereqs(user, vehicleID, appName)
+	if err != nil {
+		return nil, journal.Ticket{}, err
+	}
+	stripe := &s.deployMu[shardIndex(vehicleID)]
+	stripe.Lock()
+	defer stripe.Unlock()
+	plan, err := s.planFor(vr, appName, cache)
+	if err != nil {
+		return nil, journal.Ticket{}, err
+	}
+	row := &InstalledApp{App: appName, Vehicle: vehicleID}
+	for _, d := range plan.order {
+		row.Plugins = append(row.Plugins, InstalledPlugin{
+			Plugin: d.Plugin, ECU: d.ECU, SWC: d.SWC,
+			PIC: append(core.PIC(nil), plan.pics[d.Plugin]...),
+		})
+	}
+	ticket, err := s.store.tryRecordInstallation(row)
+	if err != nil {
+		return nil, journal.Ticket{}, err
+	}
+	return plan, ticket, nil
+}
+
+// awaitInstallDurable is the write-ahead gate shared by the single and
+// batch deploy paths: it blocks until a staged row's record is on disk,
+// rolling the row back (for the journal it never existed) when the
+// commit failed.
+func (s *Server) awaitInstallDurable(t journal.Ticket, vehicleID core.VehicleID, appName core.AppName) error {
+	if err := waitDurable(t); err != nil {
+		s.store.rollbackInstallation(vehicleID, appName)
+		return err
+	}
+	return nil
+}
+
 // deployWith runs the full pipeline for one vehicle, consulting the
 // batch plan cache (nil for single deploys) before planning from
 // scratch.
 func (s *Server) deployWith(opID string, user core.UserID, vehicleID core.VehicleID, appName core.AppName, cache *planCache) error {
-	vr, err := s.deployPrereqs(user, vehicleID, appName)
+	plan, ticket, err := s.stageDeploy(user, vehicleID, appName, cache)
 	if err != nil {
 		return err
 	}
-
-	// Plan and record under the vehicle's deploy stripe, then push
-	// outside it (pushes block on the vehicle link). The PICs are copied
-	// per row so rows of different vehicles never share a reused plan's
-	// memory; the atomic check-and-record rejects duplicate deploys of
-	// the same app.
-	stripe := &s.deployMu[shardIndex(vehicleID)]
-	stripe.Lock()
-	var plan *deployPlan
-	plan, err = s.planFor(vr, appName, cache)
-	if err == nil {
-		row := &InstalledApp{App: appName, Vehicle: vehicleID}
-		for _, d := range plan.order {
-			row.Plugins = append(row.Plugins, InstalledPlugin{
-				Plugin: d.Plugin, ECU: d.ECU, SWC: d.SWC,
-				PIC: append(core.PIC(nil), plan.pics[d.Plugin]...),
-			})
-		}
-		err = s.store.TryRecordInstallation(row)
-	}
-	stripe.Unlock()
-	if err != nil {
+	// Write-ahead gate: the packages go on the wire only after the
+	// installation record is on disk.
+	if err := s.awaitInstallDurable(ticket, vehicleID, appName); err != nil {
 		return err
 	}
 	return s.pushPlan(opID, vehicleID, appName, plan)

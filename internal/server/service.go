@@ -109,6 +109,10 @@ func (sv *Service) Status(_ context.Context, vehicle core.VehicleID, app core.Ap
 	return sv.s.Status(vehicle, app), nil
 }
 
+func (sv *Service) Health(_ context.Context) (api.Health, error) {
+	return sv.s.Health(), nil
+}
+
 func (sv *Service) GetOperation(_ context.Context, id string) (api.Operation, error) {
 	op, ok := sv.s.Operation(id)
 	if !ok {

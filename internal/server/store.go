@@ -6,6 +6,7 @@ import (
 
 	"dynautosar/internal/api"
 	"dynautosar/internal/core"
+	"dynautosar/internal/journal"
 	"dynautosar/internal/plugin"
 )
 
@@ -40,6 +41,40 @@ type Store struct {
 	apps     map[core.AppName]*App
 
 	installed [installedShardCount]installedShard
+
+	// jn receives one mutation record per store write (nil keeps the
+	// pure in-memory path). Records are enqueued while the mutation's
+	// lock is held — so the journal order is a linearization of the
+	// store's mutation order — and any durability wait happens after it
+	// is released, so no lock is ever held across an fsync.
+	//
+	// Durability policy: mutations that gate an external side effect or
+	// return errors (AddUser, BindVehicle, UploadApp, the
+	// check-and-record of a deploy) block until their record is on disk
+	// and roll back if it cannot be — write-ahead semantics: packages
+	// only go on the wire for durable rows. The void acknowledgement-
+	// path mutations (acks, removals, plugin drops) enqueue without
+	// waiting: the vehicle holds the ground truth they mirror, their
+	// records still commit with the next group commit (≤ one commit
+	// window later), and a crash inside that window merely under-reports
+	// — recovery shows an install unacked that the vehicle acked, never
+	// the reverse. Blocking the per-vehicle ECM read loop one fsync per
+	// ack would put two more commit hops on every deploy's critical
+	// path for no safety gain.
+	jn journal.Appender
+}
+
+// SetJournal routes mutation records to a journal backend. It must be
+// called before the store serves traffic (server.Open does).
+func (s *Store) SetJournal(a journal.Appender) { s.jn = a }
+
+// waitDurable resolves an appended record's ticket into a typed API
+// error; t may be the zero Ticket when journaling is off.
+func waitDurable(t journal.Ticket) error {
+	if err := t.Wait(); err != nil {
+		return api.Errorf(api.CodeInternal, "server: journal: %v", err)
+	}
+	return nil
 }
 
 // NewStore creates an empty store.
@@ -77,11 +112,22 @@ func (s *Store) AddUser(id core.UserID) error {
 		return api.Errorf(api.CodeInvalidArgument, "server: empty user id")
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, dup := s.users[id]; dup {
+		s.mu.Unlock()
 		return api.Errorf(api.CodeAlreadyExists, "server: user %q exists", id)
 	}
 	s.users[id] = &User{ID: id}
+	var t journal.Ticket
+	if s.jn != nil {
+		t = s.jn.Append(journal.UserAddedRec(id))
+	}
+	s.mu.Unlock()
+	if err := waitDurable(t); err != nil {
+		s.mu.Lock()
+		delete(s.users, id)
+		s.mu.Unlock()
+		return err
+	}
 	return nil
 }
 
@@ -106,18 +152,43 @@ func (s *Store) BindVehicle(owner core.UserID, conf core.VehicleConf) error {
 		return api.Errorf(api.CodeInvalidArgument, "%v", err)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	u, ok := s.users[owner]
 	if !ok {
+		s.mu.Unlock()
 		return api.Errorf(api.CodeNotFound, "server: unknown user %q", owner)
 	}
 	if _, dup := s.vehicles[conf.Vehicle]; dup {
+		s.mu.Unlock()
 		return api.Errorf(api.CodeAlreadyExists, "server: vehicle %q already bound", conf.Vehicle)
 	}
 	// Copy on write: an in-process caller holding the conf must not be
 	// able to mutate the stored record afterwards.
 	s.vehicles[conf.Vehicle] = &VehicleRecord{ID: conf.Vehicle, Owner: owner, Conf: copyVehicleConf(conf)}
 	u.Vehicles = append(u.Vehicles, conf.Vehicle)
+	var t journal.Ticket
+	if s.jn != nil {
+		// Append serializes synchronously, so the caller's conf needs no
+		// extra defensive copy for the record.
+		t = s.jn.Append(journal.VehicleBoundRec(owner, conf))
+	}
+	s.mu.Unlock()
+	if err := waitDurable(t); err != nil {
+		s.mu.Lock()
+		delete(s.vehicles, conf.Vehicle)
+		if u, ok := s.users[owner]; ok {
+			// Filter rather than pop: a concurrent bind for the same
+			// owner may have appended behind this one.
+			kept := u.Vehicles[:0]
+			for _, v := range u.Vehicles {
+				if v != conf.Vehicle {
+					kept = append(kept, v)
+				}
+			}
+			u.Vehicles = kept
+		}
+		s.mu.Unlock()
+		return err
+	}
 	return nil
 }
 
@@ -224,14 +295,27 @@ func (s *Store) UploadApp(app App) error {
 		}
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, dup := s.apps[app.Name]; dup {
+		s.mu.Unlock()
 		return api.Errorf(api.CodeAlreadyExists, "server: app %q exists", app.Name)
 	}
 	// Copy on write: the uploader keeps its slices, the store keeps its
 	// own.
 	cp := copyApp(&app)
 	s.apps[app.Name] = &cp
+	var t journal.Ticket
+	if s.jn != nil {
+		// Append serializes the record before returning, so handing it
+		// the stored copy is aliasing-safe and needs no second deep copy.
+		t = s.jn.Append(journal.AppUploadedRec(cp))
+	}
+	s.mu.Unlock()
+	if err := waitDurable(t); err != nil {
+		s.mu.Lock()
+		delete(s.apps, app.Name)
+		s.mu.Unlock()
+		return err
+	}
 	return nil
 }
 
@@ -319,37 +403,74 @@ func (s *Store) Apps() []core.AppName {
 func (s *Store) RecordInstallation(ia *InstalledApp) {
 	sh := s.shard(ia.Vehicle)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	sh.rows[ia.Vehicle] = append(sh.rows[ia.Vehicle], ia)
+	if s.jn != nil {
+		s.jn.Append(journal.InstallRecordedRec(snapshotRow(ia)))
+	}
+	sh.mu.Unlock()
 }
 
 // TryRecordInstallation adds an InstalledAPP row unless the app already
 // has one on the vehicle — the atomic check-and-record that keeps
-// concurrent duplicate deploys from double-installing.
+// concurrent duplicate deploys from double-installing. With a journal
+// attached the row is durable before the method returns, so the push
+// pipeline never sends packages whose installation a crash would
+// forget.
 func (s *Store) TryRecordInstallation(ia *InstalledApp) error {
+	t, err := s.tryRecordInstallation(ia)
+	if err != nil {
+		return err
+	}
+	if err := waitDurable(t); err != nil {
+		s.rollbackInstallation(ia.Vehicle, ia.App)
+		return err
+	}
+	return nil
+}
+
+// tryRecordInstallation is the enqueue half of TryRecordInstallation:
+// the row is inserted and its record enqueued, but the durability wait
+// is the caller's. The deploy path waits after releasing its per-
+// vehicle stripe, so concurrent deploys overlap their group commits
+// instead of serializing stripe-by-stripe.
+func (s *Store) tryRecordInstallation(ia *InstalledApp) (journal.Ticket, error) {
 	sh := s.shard(ia.Vehicle)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for _, r := range sh.rows[ia.Vehicle] {
 		if r.App == ia.App {
-			return api.Errorf(api.CodeAlreadyExists, "server: app %s already installed on %s", ia.App, ia.Vehicle)
+			return journal.Ticket{}, api.Errorf(api.CodeAlreadyExists, "server: app %s already installed on %s", ia.App, ia.Vehicle)
 		}
 	}
 	sh.rows[ia.Vehicle] = append(sh.rows[ia.Vehicle], ia)
-	return nil
+	if s.jn == nil {
+		return journal.Ticket{}, nil
+	}
+	return s.jn.Append(journal.InstallRecordedRec(snapshotRow(ia))), nil
 }
 
-// RemoveInstallation deletes the row of app on vehicle.
-func (s *Store) RemoveInstallation(vehicle core.VehicleID, app core.AppName) {
+// rollbackInstallation undoes a recorded row whose journal record never
+// became durable; no removal record is written — for the journal the
+// row never existed.
+func (s *Store) rollbackInstallation(vehicle core.VehicleID, app core.AppName) {
 	sh := s.shard(vehicle)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	removeRowLocked(sh, vehicle, app)
+	sh.mu.Unlock()
+}
+
+// removeRowLocked deletes the row of app on vehicle; called with the
+// shard lock held. It reports whether a row was removed.
+func removeRowLocked(sh *installedShard, vehicle core.VehicleID, app core.AppName) bool {
 	rows := sh.rows[vehicle]
 	kept := rows[:0]
 	for _, r := range rows {
 		if r.App != app {
 			kept = append(kept, r)
 		}
+	}
+	if len(kept) == len(rows) {
+		return false
 	}
 	// Nil out the tail so the removed rows are collectable instead of
 	// staying pinned by the backing array.
@@ -358,9 +479,20 @@ func (s *Store) RemoveInstallation(vehicle core.VehicleID, app core.AppName) {
 	}
 	if len(kept) == 0 {
 		delete(sh.rows, vehicle)
-		return
+		return true
 	}
 	sh.rows[vehicle] = kept
+	return true
+}
+
+// RemoveInstallation deletes the row of app on vehicle.
+func (s *Store) RemoveInstallation(vehicle core.VehicleID, app core.AppName) {
+	sh := s.shard(vehicle)
+	sh.mu.Lock()
+	if removeRowLocked(sh, vehicle, app) && s.jn != nil {
+		s.jn.Append(journal.InstallRemovedRec(vehicle, app))
+	}
+	sh.mu.Unlock()
 }
 
 // snapshotRow copies a row so readers never share memory with the
@@ -410,7 +542,16 @@ func (s *Store) InstalledApp(vehicle core.VehicleID, app core.AppName) (Installe
 func (s *Store) MarkInstallAcked(vehicle core.VehicleID, app core.AppName, plugin core.PluginName) {
 	sh := s.shard(vehicle)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	if markAckedLocked(sh, vehicle, app, plugin) && s.jn != nil {
+		s.jn.Append(journal.InstallAckedRec(vehicle, app, plugin))
+	}
+	sh.mu.Unlock()
+}
+
+// markAckedLocked flips the acked flag of one plug-in; called with the
+// shard lock held. It reports whether a row matched.
+func markAckedLocked(sh *installedShard, vehicle core.VehicleID, app core.AppName, plugin core.PluginName) bool {
+	marked := false
 	for _, r := range sh.rows[vehicle] {
 		if r.App != app {
 			continue
@@ -418,9 +559,11 @@ func (s *Store) MarkInstallAcked(vehicle core.VehicleID, app core.AppName, plugi
 		for i := range r.Plugins {
 			if r.Plugins[i].Plugin == plugin {
 				r.Plugins[i].Acked = true
+				marked = true
 			}
 		}
 	}
+	return marked
 }
 
 // DropUninstalledPlugin removes an acknowledged uninstallation from its
@@ -428,7 +571,15 @@ func (s *Store) MarkInstallAcked(vehicle core.VehicleID, app core.AppName, plugi
 func (s *Store) DropUninstalledPlugin(vehicle core.VehicleID, app core.AppName, plugin core.PluginName) {
 	sh := s.shard(vehicle)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	if dropPluginLocked(sh, vehicle, app, plugin) && s.jn != nil {
+		s.jn.Append(journal.PluginDroppedRec(vehicle, app, plugin))
+	}
+	sh.mu.Unlock()
+}
+
+// dropPluginLocked removes one plug-in from its row; called with the
+// shard lock held. It reports whether the row changed.
+func dropPluginLocked(sh *installedShard, vehicle core.VehicleID, app core.AppName, plugin core.PluginName) bool {
 	rows := sh.rows[vehicle]
 	for ri, r := range rows {
 		if r.App != app {
@@ -439,6 +590,9 @@ func (s *Store) DropUninstalledPlugin(vehicle core.VehicleID, app core.AppName, 
 			if p.Plugin != plugin {
 				kept = append(kept, p)
 			}
+		}
+		if len(kept) == len(r.Plugins) {
+			return false
 		}
 		// Zero the tail so dropped entries release their PIC slices.
 		for i := len(kept); i < len(r.Plugins); i++ {
@@ -454,8 +608,9 @@ func (s *Store) DropUninstalledPlugin(vehicle core.VehicleID, app core.AppName, 
 				sh.rows[vehicle] = rows[:len(rows)-1]
 			}
 		}
-		return
+		return true
 	}
+	return false
 }
 
 // InstalledPlugins returns all plug-ins installed on a vehicle across
