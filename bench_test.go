@@ -1,6 +1,6 @@
 // The benchmark harness regenerates the paper's evaluation artifacts
 // (Figures 1-3; the paper reports no quantitative tables) and the
-// extension experiments catalogued in DESIGN.md and EXPERIMENTS.md.
+// extension experiments catalogued in DESIGN.md.
 //
 //	go test -bench=. -benchmem
 //
@@ -314,7 +314,7 @@ func benchFleetServerLat(b *testing.B, s *server.Server, n int, ackLatency time.
 				if err != nil {
 					return
 				}
-				if msg.Type == core.MsgInstall || msg.Type == core.MsgUninstall {
+				if msg.Type == core.MsgInstall || msg.Type == core.MsgUninstall || msg.Type == core.MsgUpgrade {
 					go func(seq uint32) {
 						time.Sleep(ackLatency)
 						wmu.Lock()
@@ -468,6 +468,161 @@ func BenchmarkDeployJournaled(b *testing.B) {
 					}
 					b.StartTimer()
 				}
+			}
+		})
+	}
+}
+
+// --- Live upgrade -------------------------------------------------------------
+
+// benchUpgradeCounterV1/V2 are the vehicle-side replay benchmark's
+// plug-in pair: same state layout, new gain.
+const benchUpgradeCounterV1 = `
+.plugin Counter 1.0
+.port Poke required
+.port Report provided
+.globals 1
+on_message Poke:
+	LDG 0
+	PUSH 1
+	ADD
+	STG 0
+	LDG 0
+	PWR Report
+	RET
+`
+
+const benchUpgradeCounterV2 = `
+.plugin Counter 2.0
+.port Poke required
+.port Report provided
+.globals 1
+on_message Poke:
+	LDG 0
+	PUSH 1
+	ADD
+	STG 0
+	LDG 0
+	PUSH 100
+	MUL
+	PWR Report
+	RET
+`
+
+var benchUpgradeCounterCtx = core.Context{
+	PIC: core.PIC{{Name: "Poke", ID: 10}, {Name: "Report", ID: 11}},
+	PLC: core.PLC{{Kind: core.LinkNone, Plugin: 10}, {Kind: core.LinkNone, Plugin: 11}},
+}
+
+// BenchmarkUpgrade measures the live-upgrade subsystem against the
+// uninstall+deploy cycle it replaces, and the vehicle-side swap itself.
+//
+// inplace/uninstall-deploy: the same 64-vehicle acked fleet (5ms RTT)
+// moves RemoteControl to RemoteControl-v2 — once through one
+// upgrade:batch (a single MsgUpgrade round trip per plug-in, state
+// carried over), once through the old cycle (uninstall batch, wait,
+// deploy batch, wait: two full rounds and a window with no function
+// installed). ns/op is the whole fleet's transition time.
+//
+// replay: a real PIRTE hot-swap with N messages buffered during the
+// quiesce window; ns/op is swap + state transfer + replay, and
+// replay-msgs/s the buffered-traffic drain throughput (buffered=0
+// isolates the bare swap latency).
+func BenchmarkUpgrade(b *testing.B) {
+	const n = 64
+	upgradeFleet := func(b *testing.B) (*server.Server, []core.VehicleID, func()) {
+		b.Helper()
+		s, ids, teardown := benchFleetServerLat(b, server.New(), n, journaledAckLatency)
+		v2 := paperBenchApp(b)
+		v2.Name = "RemoteControl-v2"
+		if err := s.Store().UploadApp(v2); err != nil {
+			b.Fatal(err)
+		}
+		op, err := s.BatchDeployAsync("fleet", ids, nil, "RemoteControl")
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchWaitOp(b, s, op.ID)
+		return s, ids, teardown
+	}
+
+	b.Run(fmt.Sprintf("inplace/vehicles=%d", n), func(b *testing.B) {
+		b.ReportMetric(float64(n), "vehicles")
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s, ids, teardown := upgradeFleet(b)
+			b.StartTimer()
+			op, err := s.BatchUpgradeAsync("fleet", ids, nil, "RemoteControl", "RemoteControl-v2")
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchWaitOp(b, s, op.ID)
+			b.StopTimer()
+			teardown()
+			b.StartTimer()
+		}
+	})
+	b.Run(fmt.Sprintf("uninstall-deploy/vehicles=%d", n), func(b *testing.B) {
+		b.ReportMetric(float64(n), "vehicles")
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s, ids, teardown := upgradeFleet(b)
+			b.StartTimer()
+			uop, err := s.BatchUninstallAsync("fleet", ids, nil, "RemoteControl")
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchWaitOp(b, s, uop.ID)
+			dop, err := s.BatchDeployAsync("fleet", ids, nil, "RemoteControl-v2")
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchWaitOp(b, s, dop.ID)
+			b.StopTimer()
+			teardown()
+			b.StartTimer()
+		}
+	})
+
+	for _, buffered := range []int{0, 512} {
+		b.Run(fmt.Sprintf("replay/buffered=%d", buffered), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p, eng := benchPIRTE(b)
+				if err := p.Install(mustPkg(b, benchUpgradeCounterV1, benchUpgradeCounterCtx, false)); err != nil {
+					b.Fatal(err)
+				}
+				pkg := mustPkg(b, benchUpgradeCounterV2, benchUpgradeCounterCtx, false)
+				committed := false
+				if err := p.Upgrade("Counter", pkg, func(err error) {
+					if err == nil {
+						committed = true
+					}
+				}); err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < buffered; j++ {
+					if err := p.DeliverToPlugin(10, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				// The swap event executes here: rebind, state transfer,
+				// buffered-traffic replay.
+				eng.RunFor(pirte.DefaultUpgradeQuiesce + sim.Millisecond)
+				b.StopTimer()
+				if v, _ := p.DirectRead(11); buffered > 0 && v != int64(buffered)*100 {
+					b.Fatalf("report after replay = %d, want %d", v, buffered*100)
+				}
+				eng.RunFor(pirte.DefaultUpgradeProbe + sim.Millisecond)
+				if !committed {
+					b.Fatal("upgrade never committed")
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(buffered), "replayed/op")
+			if buffered > 0 && b.Elapsed() > 0 {
+				b.ReportMetric(float64(buffered)*float64(b.N)/b.Elapsed().Seconds(), "replay-msgs/s")
 			}
 		})
 	}

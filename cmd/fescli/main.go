@@ -9,6 +9,8 @@
 //	fescli deploy alice VIN123 RemoteControl      (prints the operation)
 //	fescli deploy -fleet alice RemoteControl VIN123 VIN124
 //	fescli deploy -fleet -model modelcar-v1 alice RemoteControl
+//	fescli upgrade alice VIN123 TripCounter-v1 TripCounter-v2
+//	fescli upgrade -fleet -model modelcar-v1 alice TripCounter-v1 TripCounter-v2
 //	fescli uninstall -fleet alice RemoteControl VIN123 VIN124
 //	fescli operations list
 //	fescli operations get op-00000001
@@ -22,10 +24,16 @@
 //	fescli paperapp > app.json
 //	fescli phone -listen :56789 Wheels=42 Speed=500
 //
-// Deploy, uninstall and restore are asynchronous: each returns an
-// operation id immediately; poll it with "operations get" or block on
-// completion with "operations wait". Errors surface the API's stable
+// Deploy, upgrade, uninstall and restore are asynchronous: each returns
+// an operation id immediately; poll it with "operations get" or block
+// on completion with "operations wait". Errors surface the API's stable
 // machine-readable codes.
+//
+// Upgrade hot-swaps an installed app to a new version on the running
+// vehicle: each plug-in is quiesced (its traffic buffered, not
+// dropped), its exported state transferred into the new version, and
+// health-probed — a failing probe rolls the vehicle back to the old
+// version and the operation reports the stable "rollback" error code.
 //
 // The -fleet flag turns deploy/uninstall into a batch over many
 // vehicles: explicit VINs after the app name, or — with none given —
@@ -78,7 +86,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("usage: fescli [-server URL] <adduser|bindvehicle|upload|apps|deploy|status|health|uninstall|restore|operations|vehicle|vehicles|paperapp|phone> ...")
+		log.Fatal("usage: fescli [-server URL] <adduser|bindvehicle|upload|apps|deploy|upgrade|status|health|uninstall|restore|operations|vehicle|vehicles|paperapp|phone> ...")
 	}
 	client = api.NewClient(*serverURL, nil)
 	ctx := context.Background()
@@ -119,6 +127,8 @@ func main() {
 			func(req api.BatchDeployRequest) (api.Operation, error) {
 				return client.BatchUninstall(ctx, api.BatchUninstallRequest(req))
 			})
+	case "upgrade":
+		upgrade(ctx, args[1:])
 	case "restore":
 		need(args, 4, "restore <user> <vehicle> <ecu>")
 		op, err := client.Restore(ctx, api.RestoreRequest{
@@ -191,6 +201,49 @@ func fleetable(cmd string, args []string,
 		log.Fatalf("fescli %s -fleet: -model and explicit VINs are mutually exclusive", cmd)
 	}
 	op, err := batch(req)
+	show(op, err)
+}
+
+// upgrade runs a live in-place upgrade in its single-vehicle or -fleet
+// batch form:
+//
+//	fescli upgrade <user> <vehicle> <fromApp> <toApp>
+//	fescli upgrade -fleet [-model M] <user> <fromApp> <toApp> [vin ...]
+func upgrade(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("upgrade", flag.ExitOnError)
+	fleet := fs.Bool("fleet", false, "batch over a fleet: explicit VINs, or the user's vehicles (filtered by -model)")
+	model := fs.String("model", "", "with -fleet and no VINs: select only the user's vehicles of this model")
+	_ = fs.Parse(args)
+	rest := fs.Args()
+	if !*fleet {
+		if *model != "" {
+			log.Fatal("fescli upgrade: -model requires -fleet")
+		}
+		if len(rest) < 4 {
+			log.Fatal("usage: fescli upgrade <user> <vehicle> <fromApp> <toApp>  |  fescli upgrade -fleet [-model M] <user> <fromApp> <toApp> [vin ...]")
+		}
+		op, err := client.Upgrade(ctx, api.UpgradeRequest{
+			User: core.UserID(rest[0]), Vehicle: core.VehicleID(rest[1]),
+			From: core.AppName(rest[2]), To: core.AppName(rest[3]),
+		})
+		show(op, err)
+		return
+	}
+	if len(rest) < 3 {
+		log.Fatal("usage: fescli upgrade -fleet [-model M] <user> <fromApp> <toApp> [vin ...]")
+	}
+	req := api.BatchUpgradeRequest{
+		User: core.UserID(rest[0]), From: core.AppName(rest[1]), To: core.AppName(rest[2]),
+	}
+	for _, v := range rest[3:] {
+		req.Vehicles = append(req.Vehicles, core.VehicleID(v))
+	}
+	if len(req.Vehicles) == 0 {
+		req.Selector = &api.FleetSelector{Model: *model}
+	} else if *model != "" {
+		log.Fatal("fescli upgrade -fleet: -model and explicit VINs are mutually exclusive")
+	}
+	op, err := client.BatchUpgrade(ctx, req)
 	show(op, err)
 }
 

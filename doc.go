@@ -10,7 +10,8 @@
 //     (internal/rte) and basic-software services (internal/bsw);
 //   - the paper's contribution: plug-in software components sandboxing a
 //     bytecode virtual machine (internal/vm), the Plug-in Runtime
-//     Environment with its static virtual-port map and dynamic port linking
+//     Environment with its static virtual-port map, dynamic port linking
+//     and live hot-swap upgrades with state transfer and rollback
 //     (internal/pirte), the External Communication Manager gateway
 //     (internal/ecm), and the PIC/PLC/ECC deployment contexts
 //     (internal/core);
@@ -22,8 +23,8 @@
 //     paper's smart phone (internal/fes).
 //
 // The package itself only carries documentation and the version constant;
-// see DESIGN.md for the module map and EXPERIMENTS.md for the reproduction
-// of every figure in the paper.
+// see DESIGN.md for the module map and bench_test.go for the reproduction
+// of the paper's evaluation figures and the extension experiments.
 package dynautosar
 
 // Version identifies this reproduction build.

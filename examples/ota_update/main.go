@@ -1,21 +1,27 @@
-// Ota_update demonstrates the paper's update semantics (section 5): a
-// plug-in is never patched in place — it is stopped, uninstalled and a
-// new version installed fresh, with no state carried over. The example
-// deploys a counting plug-in v1, lets it accumulate state, then updates
-// to v2 and shows the state reset plus the new behaviour, finishing with
-// a restore after a simulated ECU replacement.
+// Ota_update demonstrates over-the-air updates through the versioned
+// /v1 deployment-service client — including the live in-place upgrade
+// the paper's stop/uninstall/install-fresh semantics (section 5) could
+// not offer. A counting plug-in accumulates state; a live upgrade to v2
+// hot-swaps it with the counter carried over and traffic arriving
+// mid-swap buffered (delayed, never dropped); a deliberately broken v3
+// fails its health probe on the vehicle and is rolled back
+// automatically, the operation reporting the stable "rollback" error
+// code; and an ECU replacement is healed with a restore.
 //
 // Run with: go run ./examples/ota_update
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
 	"time"
 
+	"dynautosar/internal/api"
 	"dynautosar/internal/core"
 	"dynautosar/internal/fes"
+	"dynautosar/internal/pirte"
 	"dynautosar/internal/plugin"
 	"dynautosar/internal/server"
 	"dynautosar/internal/sim"
@@ -25,7 +31,7 @@ import (
 
 const phoneAddr = "10.0.0.42:4242"
 
-// v1 counts pokes and reports count*1.
+// v1 counts pokes and reports the raw count.
 const counterV1 = `
 .plugin TripCounter 1.0
 .port Poke required
@@ -41,7 +47,8 @@ on_message Poke:
 	RET
 `
 
-// v2 counts pokes and reports count*100 (new calibration).
+// v2 keeps the same state layout (slot 0 = trip count) and reports
+// count*100 — the prefix-compatible upgrade whose state transfers.
 const counterV2 = `
 .plugin TripCounter 2.0
 .port Poke required
@@ -59,21 +66,35 @@ on_message Poke:
 	RET
 `
 
-func app(name core.AppName, src string) server.App {
+// v3 is the broken release: it traps on the first poke, so the
+// vehicle's health probe fails and the PIRTE rolls back to v2.
+const counterV3 = `
+.plugin TripCounter 3.0
+.port Poke required
+.port Report provided
+.globals 1
+on_message Poke:
+	PUSH 1
+	PUSH 0
+	DIV
+	RET
+`
+
+func app(name core.AppName, src string) api.App {
 	prog, err := vm.Assemble(src)
 	must(err)
 	bin, err := plugin.FromProgram(prog, plugin.Manifest{Developer: "ota", External: true})
 	must(err)
-	return server.App{
+	return api.App{
 		Name:     name,
 		Binaries: []plugin.Binary{bin},
-		Confs: []server.SWConf{{
+		Confs: []api.SWConf{{
 			Model: "modelcar-v1",
-			Deployments: []server.Deployment{{
+			Deployments: []api.Deployment{{
 				Plugin: "TripCounter", ECU: vehicle.ECU1, SWC: vehicle.SWC1,
-				Connections: []server.PortConnection{
-					{Port: "Poke", External: &server.ExternalSpec{Endpoint: phoneAddr, MessageID: "Poke"}},
-					{Port: "Report", External: &server.ExternalSpec{Endpoint: phoneAddr, MessageID: "Trip"}},
+				Connections: []api.PortConnection{
+					{Port: "Poke", External: &api.ExternalSpec{Endpoint: phoneAddr, MessageID: "Poke"}},
+					{Port: "Report", External: &api.ExternalSpec{Endpoint: phoneAddr, MessageID: "Trip"}},
 				},
 			}},
 		}},
@@ -82,12 +103,19 @@ func app(name core.AppName, src string) server.App {
 
 func main() {
 	srv := server.New()
-	must(srv.Store().AddUser("ota-op"))
+	// The typed /v1 client, in-process: the same api.Client (and the
+	// same stable error codes) fescli speaks over HTTP.
+	client := api.NewLocalClient(srv.Service())
+	ctx := context.Background()
+
+	_, err := client.CreateUser(ctx, api.CreateUserRequest{ID: "ota-op"})
+	must(err)
 
 	eng := sim.NewEngine()
 	car, err := vehicle.NewModelCar(eng, "VIN-OTA")
 	must(err)
-	must(srv.Store().BindVehicle("ota-op", car.Conf()))
+	_, err = client.BindVehicle(ctx, api.BindVehicleRequest{Owner: "ota-op", Conf: car.Conf()})
+	must(err)
 
 	dir := fes.NewDirectory()
 	phone := fes.NewEndpoint(phoneAddr)
@@ -99,13 +127,16 @@ func main() {
 	must(car.ECM.ConnectServer(vehicleSide, car.ID))
 	waitFor(func() bool { return srv.Pusher().Connected(car.ID) })
 
-	must(srv.Store().UploadApp(app("TripCounter-v1", counterV1)))
-	must(srv.Store().UploadApp(app("TripCounter-v2", counterV2)))
+	for _, a := range []api.App{app("TripCounter-v1", counterV1), app("TripCounter-v2", counterV2), app("TripCounter-v3", counterV3)} {
+		_, err := client.UploadApp(ctx, a)
+		must(err)
+	}
 
 	// --- v1 ------------------------------------------------------------
 	fmt.Println("deploying TripCounter v1 ...")
-	must(srv.Deploy("ota-op", car.ID, "TripCounter-v1"))
-	pump(eng, func() bool { return srv.Status(car.ID, "TripCounter-v1").Complete() })
+	op, err := client.Deploy(ctx, api.DeployRequest{User: "ota-op", Vehicle: car.ID, App: "TripCounter-v1"})
+	must(err)
+	waitOp(ctx, client, eng, op.ID)
 	waitFor(func() bool { return phone.Connections() > 0 })
 
 	poke := func(n int) {
@@ -115,38 +146,80 @@ func main() {
 	}
 	poke(3)
 	pump(eng, func() bool { return len(phone.Received()) >= 3 })
-	last := phone.Received()[len(phone.Received())-1]
-	fmt.Printf("  after 3 pokes v1 reports trip = %d\n", last.Value)
+	fmt.Printf("  after 3 pokes v1 reports trip = %d\n", lastTrip(phone))
 
-	// --- update: stop, uninstall, install fresh ------------------------
-	fmt.Println("updating to v2 (stop -> uninstall -> install fresh) ...")
-	must(srv.Uninstall("ota-op", car.ID, "TripCounter-v1"))
-	pump(eng, func() bool {
-		_, installed := srv.Store().InstalledApp(car.ID, "TripCounter-v1")
-		return !installed
-	})
-	must(srv.Deploy("ota-op", car.ID, "TripCounter-v2"))
-	pump(eng, func() bool { return srv.Status(car.ID, "TripCounter-v2").Complete() })
+	// --- live upgrade: state carried over, traffic buffered -------------
+	fmt.Println("live upgrade to v2 (quiesce -> snapshot -> swap -> replay -> probe) ...")
+	op, err = client.Upgrade(ctx, api.UpgradeRequest{User: "ota-op", Vehicle: car.ID, From: "TripCounter-v1", To: "TripCounter-v2"})
+	must(err)
+	// Poke twice while the plug-in is quiescing: the messages are
+	// buffered on the vehicle and replayed into v2 after the swap.
+	pump(eng, func() bool { return upgrading(car) })
+	poke(2)
+	final := waitOp(ctx, client, eng, op.ID)
 	ip, _ := car.ECM.Plugin("TripCounter")
-	fmt.Printf("  installed version: %s\n", ip.Pkg.Binary.Manifest.Version)
+	fmt.Printf("  upgrade %s; running version %s\n", final.State, ip.Pkg.Binary.Manifest.Version)
+	pump(eng, func() bool { return len(phone.Received()) >= 5 })
+	fmt.Printf("  trip = %d (3 carried over + 2 buffered pokes, new gain 100 — nothing dropped)\n", lastTrip(phone))
 
-	before := len(phone.Received())
-	poke(1)
-	pump(eng, func() bool { return len(phone.Received()) > before })
-	last = phone.Received()[len(phone.Received())-1]
-	fmt.Printf("  first poke after update reports trip = %d (state reset, new gain)\n", last.Value)
+	// --- broken release: health probe fails, automatic rollback ---------
+	fmt.Println("upgrading to the broken v3 ...")
+	op, err = client.Upgrade(ctx, api.UpgradeRequest{User: "ota-op", Vehicle: car.ID, From: "TripCounter-v2", To: "TripCounter-v3"})
+	must(err)
+	pump(eng, func() bool { return upgrading(car) })
+	poke(1) // trips the probe: v3 traps, the PIRTE rolls back to v2
+	final = waitOp(ctx, client, eng, op.ID)
+	code := api.ErrorCode("")
+	if final.Error != nil {
+		code = final.Error.Code
+	}
+	ip, _ = car.ECM.Plugin("TripCounter")
+	fmt.Printf("  upgrade %s with code %q; vehicle runs %s again, trip preserved = %d\n",
+		final.State, code, ip.Pkg.Binary.Manifest.Version, lastTrip(phone))
 
-	// --- restore after ECU replacement ---------------------------------
+	// --- restore after ECU replacement ----------------------------------
 	fmt.Println("replacing ECU1 in the workshop; restoring ...")
 	must(car.ECM.Uninstall("TripCounter")) // the replacement ECU is empty
-	n, err := srv.Restore("ota-op", car.ID, vehicle.ECU1)
+	op, err = client.Restore(ctx, api.RestoreRequest{User: "ota-op", Vehicle: car.ID, ECU: vehicle.ECU1})
 	must(err)
 	pump(eng, func() bool {
 		_, ok := car.ECM.Plugin("TripCounter")
 		return ok
 	})
-	fmt.Printf("  restore re-sent %d package(s); TripCounter is back\n", n)
+	fmt.Println("  restore re-sent the package; TripCounter is back")
 	fmt.Println("done")
+}
+
+// upgrading reports whether the counter's hot-swap transaction is open.
+func upgrading(car *vehicle.ModelCar) bool {
+	ip, ok := car.ECM.Plugin("TripCounter")
+	return ok && (ip.State() == pirte.StateUpgrading || car.ECM.Upgrading("TripCounter"))
+}
+
+// lastTrip returns the most recent Trip report the phone received.
+func lastTrip(phone *fes.Endpoint) int64 {
+	recv := phone.Received()
+	if len(recv) == 0 {
+		return -1
+	}
+	return recv[len(recv)-1].Value
+}
+
+// waitOp pumps the vehicle simulation while polling the operation.
+func waitOp(ctx context.Context, client *api.Client, eng *sim.Engine, id string) api.Operation {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		op, err := client.GetOperation(ctx, id)
+		must(err)
+		if op.Done {
+			return op
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("operation %s never settled", id)
+		}
+		eng.RunFor(10 * sim.Millisecond)
+		time.Sleep(100 * time.Microsecond)
+	}
 }
 
 func must(err error) {

@@ -197,6 +197,18 @@ func (t *httpTransport) BatchUninstall(ctx context.Context, req BatchUninstallRe
 	return op, err
 }
 
+func (t *httpTransport) Upgrade(ctx context.Context, req UpgradeRequest) (Operation, error) {
+	var op Operation
+	err := t.do(ctx, http.MethodPost, "/v1/upgrade", req, &op)
+	return op, err
+}
+
+func (t *httpTransport) BatchUpgrade(ctx context.Context, req BatchUpgradeRequest) (Operation, error) {
+	var op Operation
+	err := t.do(ctx, http.MethodPost, "/v1/upgrade:batch", req, &op)
+	return op, err
+}
+
 func (t *httpTransport) Uninstall(ctx context.Context, req UninstallRequest) (Operation, error) {
 	var op Operation
 	err := t.do(ctx, http.MethodPost, "/v1/uninstall", req, &op)

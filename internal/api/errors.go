@@ -39,6 +39,11 @@ const (
 	// request must be re-issued. Surfaced by crash recovery on
 	// GET /v1/operations/{id}.
 	CodeInterrupted ErrorCode = "interrupted"
+	// CodeRolledBack: a live upgrade was automatically rolled back — the
+	// new version failed its vehicle-side health probe (or the swap
+	// could not complete) and the old version is running again. The
+	// stable detail clients branch on when polling an upgrade operation.
+	CodeRolledBack ErrorCode = "rollback"
 	// CodeInternal: an unexpected server-side failure.
 	CodeInternal ErrorCode = "internal"
 )
@@ -87,7 +92,7 @@ func HTTPStatus(code ErrorCode) int {
 		return http.StatusBadRequest
 	case CodeNotFound:
 		return http.StatusNotFound
-	case CodeAlreadyExists, CodeFailedPrecondition:
+	case CodeAlreadyExists, CodeFailedPrecondition, CodeRolledBack:
 		return http.StatusConflict
 	case CodePermissionDenied:
 		return http.StatusForbidden

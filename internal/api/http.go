@@ -26,6 +26,8 @@ import (
 //	POST /v1/deploy:batch             start a fleet-wide deployment -> parent Operation
 //	POST /v1/uninstall                start an async uninstallation -> Operation
 //	POST /v1/uninstall:batch          start a fleet-wide uninstallation -> parent Operation
+//	POST /v1/upgrade                  start a live in-place upgrade -> Operation
+//	POST /v1/upgrade:batch            start a fleet-wide live upgrade -> parent Operation
 //	POST /v1/restore                  start an async ECU restore -> Operation
 //	GET  /v1/status?vehicle=V&app=A   per-app ack progress
 //	GET  /v1/healthz                  readiness + recovery counters
@@ -106,6 +108,8 @@ func NewHandler(svc DeploymentService, opts *HandlerOptions) http.Handler {
 	mux.HandleFunc("POST /v1/deploy:batch", h.batchDeploy)
 	mux.HandleFunc("POST /v1/uninstall", h.uninstall)
 	mux.HandleFunc("POST /v1/uninstall:batch", h.batchUninstall)
+	mux.HandleFunc("POST /v1/upgrade", h.upgrade)
+	mux.HandleFunc("POST /v1/upgrade:batch", h.batchUpgrade)
 	mux.HandleFunc("POST /v1/restore", h.restore)
 	mux.HandleFunc("GET /v1/status", h.status)
 	mux.HandleFunc("GET /v1/healthz", h.healthz)
@@ -369,6 +373,32 @@ func (h *handler) batchUninstall(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	op, err := h.svc.BatchUninstall(r.Context(), req)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusAccepted, op)
+}
+
+func (h *handler) upgrade(w http.ResponseWriter, r *http.Request) {
+	var req UpgradeRequest
+	if !h.decode(w, r, &req) {
+		return
+	}
+	op, err := h.svc.Upgrade(r.Context(), req)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusAccepted, op)
+}
+
+func (h *handler) batchUpgrade(w http.ResponseWriter, r *http.Request) {
+	var req BatchUpgradeRequest
+	if !h.decode(w, r, &req) {
+		return
+	}
+	op, err := h.svc.BatchUpgrade(r.Context(), req)
 	if err != nil {
 		h.writeError(w, err)
 		return

@@ -64,6 +64,28 @@ type BatchUninstallRequest struct {
 	App      core.AppName     `json:"app"`
 }
 
+// UpgradeRequest asks for the installed app From to be live-upgraded in
+// place to the stored app To on a running vehicle: the vehicle quiesces
+// each plug-in (buffering its traffic), transfers exported state into
+// the new version, health-probes it and rolls back to From on failure.
+type UpgradeRequest struct {
+	User    core.UserID    `json:"user"`
+	Vehicle core.VehicleID `json:"vehicle"`
+	From    core.AppName   `json:"from"`
+	To      core.AppName   `json:"to"`
+}
+
+// BatchUpgradeRequest asks for a live upgrade across a fleet, with the
+// same fleet-naming shape and partial-failure semantics as
+// BatchDeployRequest.
+type BatchUpgradeRequest struct {
+	User     core.UserID      `json:"user"`
+	Vehicles []core.VehicleID `json:"vehicles,omitempty"`
+	Selector *FleetSelector   `json:"selector,omitempty"`
+	From     core.AppName     `json:"from"`
+	To       core.AppName     `json:"to"`
+}
+
 // RestoreRequest asks for the plug-ins of a replaced ECU to be
 // re-installed with their recorded port ids.
 type RestoreRequest struct {
@@ -162,6 +184,10 @@ type DeploymentService interface {
 	Deploy(ctx context.Context, req DeployRequest) (Operation, error)
 	// Uninstall starts an async uninstallation.
 	Uninstall(ctx context.Context, req UninstallRequest) (Operation, error)
+	// Upgrade starts an async live in-place upgrade; a vehicle-side
+	// rollback settles the operation failed with the stable "rollback"
+	// error code.
+	Upgrade(ctx context.Context, req UpgradeRequest) (Operation, error)
 	// Restore starts an async restore of a replaced ECU.
 	Restore(ctx context.Context, req RestoreRequest) (Operation, error)
 
@@ -170,6 +196,8 @@ type DeploymentService interface {
 	BatchDeploy(ctx context.Context, req BatchDeployRequest) (Operation, error)
 	// BatchUninstall starts an async fleet-wide uninstallation.
 	BatchUninstall(ctx context.Context, req BatchUninstallRequest) (Operation, error)
+	// BatchUpgrade starts an async fleet-wide live upgrade.
+	BatchUpgrade(ctx context.Context, req BatchUpgradeRequest) (Operation, error)
 
 	// Status reports per-app ack progress on a vehicle.
 	Status(ctx context.Context, vehicle core.VehicleID, app core.AppName) (OpStatus, error)

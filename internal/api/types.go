@@ -4,7 +4,11 @@
 // structured error model with stable codes, the DeploymentService
 // interface that the server core implements, a /v1 HTTP handler
 // generated over that interface, and a typed client usable both
-// in-process and over HTTP.
+// in-process and over HTTP. Deployment mutations — deploy, uninstall,
+// live upgrade, restore, and their fleet-scale batch forms — are
+// asynchronous: each returns an Operation that settles as the vehicle
+// acknowledges, with failures carrying stable codes (a vehicle-side
+// upgrade rollback surfaces as "rollback").
 package api
 
 import (
@@ -224,10 +228,17 @@ const (
 	OpDeploy    OperationKind = "deploy"
 	OpUninstall OperationKind = "uninstall"
 	OpRestore   OperationKind = "restore"
-	// OpBatchDeploy/OpBatchUninstall are fleet-scale parents: one child
-	// operation of the matching singular kind runs per target vehicle.
+	// OpUpgrade is a live in-place upgrade: the installed App is
+	// hot-swapped to ToApp on the running vehicle with state carried
+	// over, rolling back to App if the new version fails its health
+	// probe.
+	OpUpgrade OperationKind = "upgrade"
+	// OpBatchDeploy/OpBatchUninstall/OpBatchUpgrade are fleet-scale
+	// parents: one child operation of the matching singular kind runs
+	// per target vehicle.
 	OpBatchDeploy    OperationKind = "deploy:batch"
 	OpBatchUninstall OperationKind = "uninstall:batch"
+	OpBatchUpgrade   OperationKind = "upgrade:batch"
 )
 
 // OperationState is the lifecycle state of an async operation.
@@ -253,8 +264,11 @@ type Operation struct {
 	User    core.UserID    `json:"user"`
 	Vehicle core.VehicleID `json:"vehicle"`
 	App     core.AppName   `json:"app,omitempty"`
-	ECU     core.ECUID     `json:"ecu,omitempty"`
-	State   OperationState `json:"state"`
+	// ToApp is the target of an upgrade operation; App is the version
+	// being replaced.
+	ToApp core.AppName   `json:"toApp,omitempty"`
+	ECU   core.ECUID     `json:"ecu,omitempty"`
+	State OperationState `json:"state"`
 	// Total counts pushed packages; Acked counts successful
 	// acknowledgements.
 	Total int `json:"total"`

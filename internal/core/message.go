@@ -32,6 +32,13 @@ const (
 	// MsgHello is sent by the ECM when it dials the trusted server,
 	// identifying the vehicle.
 	MsgHello MsgType = 7
+	// MsgUpgrade requests a live in-place upgrade of the named plug-in:
+	// the payload carries the replacement installation package, and the
+	// target PIRTE quiesces, snapshots state, swaps, replays buffered
+	// traffic and health-probes the new version before acknowledging —
+	// or rolls back to the old version and nacks with a "rollback: "
+	// prefixed reason.
+	MsgUpgrade MsgType = 8
 )
 
 // String implements fmt.Stringer.
@@ -53,6 +60,8 @@ func (t MsgType) String() string {
 		return "nack"
 	case MsgHello:
 		return "hello"
+	case MsgUpgrade:
+		return "upgrade"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }

@@ -2,11 +2,15 @@
 // section 3.1.1): a plug-in SW-C — it embeds a full PIRTE — extended with
 // the communication module that talks to the outside world. The ECM is
 // the vehicle's single gateway: it dials the pre-defined trusted server,
-// receives installation packages and distributes them to the target
-// plug-in SW-Cs over type I ports, collects and forwards acknowledgements,
-// extracts External Connection Contexts, opens links to external
-// endpoints (the paper's smart phone) and routes their messages into the
-// vehicle.
+// receives installation packages and life cycle commands (install,
+// uninstall, stop, start, and the live-upgrade hot-swap) and distributes
+// them to the target plug-in SW-Cs over type I ports, collects and
+// forwards acknowledgements, extracts External Connection Contexts,
+// opens links to external endpoints (the paper's smart phone) and routes
+// their messages into the vehicle. During a live upgrade the ECM swaps
+// the plug-in's ECC routing to the new version's atomically with the
+// swap and restores the old routing when a rollback nack passes back
+// through.
 package ecm
 
 import (
@@ -57,6 +61,13 @@ type ECM struct {
 
 	// eccReg is the registry of extracted External Connection Contexts.
 	eccReg []eccRecord
+	// eccSwaps stashes, per in-flight plug-in upgrade, the ECC records
+	// the upgrade replaced, so a failure nack restores the old routing.
+	// Keyed by plugin|ecu and bound to the staging request's sequence
+	// number: only the staged request's own ack/nack resolves the stash
+	// — a rejected duplicate or compensation frame (different seq) must
+	// not destroy an in-flight upgrade's stash.
+	eccSwaps map[string]eccSwapStash
 
 	mu         sync.Mutex
 	serverConn io.ReadWriteCloser
@@ -79,6 +90,7 @@ func New(eng *sim.Engine, p *pirte.PIRTE) *ECM {
 		eng:       eng,
 		routes:    make(map[routeKey]core.SWCPortID),
 		endpoints: make(map[string]io.ReadWriteCloser),
+		eccSwaps:  make(map[string]eccSwapStash),
 		logf:      func(string, ...any) {},
 	}
 	p.SetTypeIHook(e.onTypeI)
@@ -179,6 +191,39 @@ func (e *ECM) HandleServerMessage(msg core.Message) {
 			return
 		}
 		e.distribute(msg)
+	case core.MsgUpgrade:
+		var pkg plugin.Package
+		if err := pkg.UnmarshalBinary(msg.Payload); err != nil {
+			e.replyServer(msg.Nack(fmt.Sprintf("bad package: %v", err)))
+			return
+		}
+		if pkg.Binary.Manifest.Name != msg.Plugin {
+			// Must be caught before the ECC swap is staged: the stash
+			// and its cleanup paths are keyed by msg.Plugin, so a
+			// mismatched manifest would leave a phantom ECC record no
+			// rollback or uninstall could remove.
+			e.replyServer(msg.Nack(fmt.Sprintf("package names plug-in %s, message targets %s",
+				pkg.Binary.Manifest.Name, msg.Plugin)))
+			return
+		}
+		// Swap the plug-in's ECC routing to the new version's, stashing
+		// the old records: a rollback nack restores them when it passes
+		// back through replyServer.
+		e.stageECCSwap(msg, pkg)
+		if msg.ECU == cfg.ECU && msg.SWC == cfg.SWC {
+			req := msg
+			if err := e.Upgrade(msg.Plugin, pkg, func(err error) {
+				if err != nil {
+					e.replyServer(req.Nack(err.Error()))
+					return
+				}
+				e.replyServer(req.Ack())
+			}); err != nil {
+				e.replyServer(msg.Nack(err.Error()))
+			}
+			return
+		}
+		e.distribute(msg)
 	case core.MsgUninstall, core.MsgStop, core.MsgStart:
 		if msg.ECU == cfg.ECU && msg.SWC == cfg.SWC {
 			var err error
@@ -215,8 +260,12 @@ func (e *ECM) HandleServerMessage(msg core.Message) {
 	}
 }
 
-// replyServer forwards an ack/nack to the server, counting it.
+// replyServer forwards an ack/nack to the server, counting it; an
+// ack/nack settling an upgrade's ECC swap resolves the stash first.
 func (e *ECM) replyServer(msg core.Message) {
+	if msg.Type == core.MsgAck || msg.Type == core.MsgNack {
+		e.resolveECCSwap(msg, msg.Type == core.MsgNack)
+	}
 	if err := e.writeServer(msg); err != nil {
 		e.logf("ecm: server reply failed: %v", err)
 		return
@@ -224,6 +273,84 @@ func (e *ECM) replyServer(msg core.Message) {
 	if msg.Type == core.MsgAck || msg.Type == core.MsgNack {
 		e.AcksForwarded++
 	}
+}
+
+// eccSwapStash is the pre-upgrade ECC state of one staged swap, bound
+// to the request that staged it.
+type eccSwapStash struct {
+	seq uint32
+	old []eccRecord
+}
+
+// eccSwapKey identifies one plug-in upgrade's ECC swap.
+func eccSwapKey(plugin core.PluginName, ecu core.ECUID) string {
+	return string(plugin) + "|" + string(ecu)
+}
+
+// stageECCSwap replaces a plug-in's ECC records with the upgrade
+// package's and stashes the old ones for a possible restore. Links to
+// endpoints the new ECC names are opened eagerly, like on install. A
+// second upgrade frame while one swap is staged (the PIRTE rejects it)
+// keeps the first stash untouched — its nack carries a different seq
+// and therefore cannot resolve the staged swap.
+func (e *ECM) stageECCSwap(msg core.Message, pkg plugin.Package) {
+	key := eccSwapKey(msg.Plugin, msg.ECU)
+	if _, dup := e.eccSwaps[key]; dup {
+		return
+	}
+	var old []eccRecord
+	kept := e.eccReg[:0]
+	for _, rec := range e.eccReg {
+		if rec.plugin == msg.Plugin && rec.ecu == msg.ECU {
+			old = append(old, rec)
+			continue
+		}
+		kept = append(kept, rec)
+	}
+	e.eccReg = kept
+	e.eccSwaps[key] = eccSwapStash{seq: msg.Seq, old: old}
+	if len(pkg.Context.ECC) > 0 {
+		// Registered under msg.Plugin — the key every cleanup path
+		// (resolveECCSwap, dropECC) filters by; the caller verified it
+		// matches the package manifest.
+		e.eccReg = append(e.eccReg, eccRecord{
+			plugin:  msg.Plugin,
+			ecu:     msg.ECU,
+			entries: pkg.Context.ECC,
+		})
+		for _, ep := range pkg.Context.ECC.Endpoints() {
+			if err := e.connectEndpoint(ep); err != nil {
+				e.logf("ecm: endpoint %s unreachable: %v", ep, err)
+			}
+		}
+	}
+}
+
+// resolveECCSwap closes a staged ECC swap when the staging request's
+// own ack or nack passes through (matched by sequence number): any
+// failure puts the old version's records back — the swap was staged
+// eagerly, so a rejection that never reached the probe must restore
+// too — and a commit drops the stash. Acks and nacks of other frames
+// for the same plug-in (rejected duplicates, compensation downgrades)
+// carry different sequence numbers and leave the stash alone.
+func (e *ECM) resolveECCSwap(msg core.Message, failed bool) {
+	key := eccSwapKey(msg.Plugin, msg.ECU)
+	stash, ok := e.eccSwaps[key]
+	if !ok || stash.seq != msg.Seq {
+		return
+	}
+	delete(e.eccSwaps, key)
+	if !failed {
+		return
+	}
+	kept := e.eccReg[:0]
+	for _, rec := range e.eccReg {
+		if rec.plugin == msg.Plugin && rec.ecu == msg.ECU {
+			continue
+		}
+		kept = append(kept, rec)
+	}
+	e.eccReg = append(kept, stash.old...)
 }
 
 // distribute relays a message to the target plug-in SW-C through the

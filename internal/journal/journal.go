@@ -381,7 +381,7 @@ var encodeBufs = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &
 // payload with strings needing escapes, goes through encoding/json.
 // Either way the payload parses back to the same Record.
 func encodeRecord(rec Record) (payload []byte, pooled *[]byte, err error) {
-	if rec.Install != nil && rec.User == nil && rec.Vehicle == nil && rec.App == nil && rec.Op == nil {
+	if rec.Install != nil && rec.User == nil && rec.Vehicle == nil && rec.App == nil && rec.Op == nil && rec.Upgrade == nil {
 		if b, bp, ok := encodeInstallRecord(rec); ok {
 			return b, bp, nil
 		}

@@ -12,7 +12,12 @@
 // one fsync amortized over all concurrently appending writers (group
 // commit), and compacts by writing a full state image side-by-side and
 // truncating the old segment. Recovery tolerates a torn final record —
-// the expected shape of a crash mid-append.
+// the expected shape of a crash mid-append. Multi-step protocols ride
+// the log as transactions: a live upgrade writes its intent
+// (upgrade_started) ahead of any vehicle traffic and settles with
+// exactly one of upgrade_committed (the row swap) or
+// upgrade_rolled_back, so a crash at any point recovers to exactly one
+// of the two app versions.
 package journal
 
 import (
@@ -48,6 +53,24 @@ const (
 	TypeOpCreated Type = "op_created"
 	// TypeOpSettled: an async operation reached a terminal state.
 	TypeOpSettled Type = "op_settled"
+
+	// The live-upgrade transaction records. upgrade_started is written
+	// ahead of the first MsgUpgrade push; the InstalledAPP row is not
+	// touched until upgrade_committed atomically replaces the old app's
+	// row with the new one. A crash between started and a settle record
+	// therefore recovers to exactly the old version; a crash after
+	// upgrade_committed recovers to exactly the new one — never neither,
+	// never a mix.
+
+	// TypeUpgradeStarted: an upgrade was planned and its pushes are
+	// about to go on the wire.
+	TypeUpgradeStarted Type = "upgrade_started"
+	// TypeUpgradeCommitted: every plug-in swap was acknowledged; the
+	// record carries the new row that replaced the old app's.
+	TypeUpgradeCommitted Type = "upgrade_committed"
+	// TypeUpgradeRolledBack: the vehicle rolled back (or the pushes
+	// failed) and the old row stands untouched.
+	TypeUpgradeRolledBack Type = "upgrade_rolled_back"
 )
 
 // Record is one journaled mutation: the version, the type, and exactly
@@ -63,6 +86,7 @@ type Record struct {
 	App     *api.App       `json:"app,omitempty"`
 	Install *InstallChange `json:"install,omitempty"`
 	Op      *OpChange      `json:"op,omitempty"`
+	Upgrade *UpgradeChange `json:"upgrade,omitempty"`
 }
 
 // UserAdded is the payload of TypeUserAdded.
@@ -132,6 +156,36 @@ func InstallRemovedRec(vehicle core.VehicleID, app core.AppName) Record {
 func PluginDroppedRec(vehicle core.VehicleID, app core.AppName, plugin core.PluginName) Record {
 	return Record{V: recordVersion, Type: TypePluginDropped,
 		Install: &InstallChange{Vehicle: vehicle, App: app, Plugin: plugin}}
+}
+
+// UpgradeChange is the payload of the upgrade record types: the
+// vehicle, the two app identities, the replacement row (committed
+// only) and the failure reason (rolled back only).
+type UpgradeChange struct {
+	Vehicle core.VehicleID    `json:"vehicle"`
+	FromApp core.AppName      `json:"fromApp"`
+	ToApp   core.AppName      `json:"toApp"`
+	Row     *api.InstalledApp `json:"row,omitempty"`
+	Reason  string            `json:"reason,omitempty"`
+}
+
+// UpgradeStartedRec builds a TypeUpgradeStarted record.
+func UpgradeStartedRec(vehicle core.VehicleID, fromApp, toApp core.AppName) Record {
+	return Record{V: recordVersion, Type: TypeUpgradeStarted,
+		Upgrade: &UpgradeChange{Vehicle: vehicle, FromApp: fromApp, ToApp: toApp}}
+}
+
+// UpgradeCommittedRec builds a TypeUpgradeCommitted record carrying the
+// new row that replaces the old app's.
+func UpgradeCommittedRec(vehicle core.VehicleID, fromApp core.AppName, row api.InstalledApp) Record {
+	return Record{V: recordVersion, Type: TypeUpgradeCommitted,
+		Upgrade: &UpgradeChange{Vehicle: vehicle, FromApp: fromApp, ToApp: row.App, Row: &row}}
+}
+
+// UpgradeRolledBackRec builds a TypeUpgradeRolledBack record.
+func UpgradeRolledBackRec(vehicle core.VehicleID, fromApp, toApp core.AppName, reason string) Record {
+	return Record{V: recordVersion, Type: TypeUpgradeRolledBack,
+		Upgrade: &UpgradeChange{Vehicle: vehicle, FromApp: fromApp, ToApp: toApp, Reason: reason}}
 }
 
 // OpCreatedRec builds a TypeOpCreated record.

@@ -1,0 +1,19 @@
+// Package pirte implements the Plug-in Runtime Environment of the
+// dynamic component model (paper sections 3.1.2 and 3.1.3). A PIRTE
+// lives inside every plug-in SW-C and has a static and a dynamic part:
+// the static part maps the SW-C ports to virtual ports — the fixed API
+// the OEM exposes to plug-ins — while the dynamic part installs, links,
+// supervises and drives the sandboxed plug-ins according to the
+// PIC/PLC contexts shipped with each installation package.
+//
+// Beyond the paper's install/uninstall/stop/start life cycle, the
+// PIRTE hot-swaps plug-ins in place (upgrade.go): an Upgrade quiesces
+// the target — buffering its inbound port traffic instead of dropping
+// it — exports the old version's state through the versioned
+// plugin.State hook, swaps in the new binary, replays the buffered
+// traffic and health-probes the new version for a configurable window.
+// A fault within the window rolls everything back to the old version
+// (state, port bindings, NvM record) and re-delivers the traffic the
+// doomed version consumed, so messages are delayed by a failed upgrade
+// but never lost.
+package pirte

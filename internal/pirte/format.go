@@ -1,10 +1,3 @@
-// Package pirte implements the Plug-in Runtime Environment of the dynamic
-// component model (paper sections 3.1.2 and 3.1.3). A PIRTE lives inside
-// every plug-in SW-C and has a static and a dynamic part: the static part
-// maps the SW-C ports to virtual ports — the fixed API the OEM exposes to
-// plug-ins — while the dynamic part installs, links, supervises and drives
-// the plug-ins according to the PIC/PLC contexts shipped with each
-// installation package.
 package pirte
 
 import (

@@ -38,6 +38,10 @@ const (
 	StateStopped
 	// StateFaulted means the plug-in trapped and exhausted its restarts.
 	StateFaulted
+	// StateUpgrading means the plug-in is quiescing for a live upgrade:
+	// inbound port traffic is buffered (delayed, not dropped) until the
+	// replacement version is swapped in. See upgrade.go.
+	StateUpgrading
 )
 
 // String implements fmt.Stringer.
@@ -49,17 +53,20 @@ func (s State) String() string {
 		return "stopped"
 	case StateFaulted:
 		return "faulted"
+	case StateUpgrading:
+		return "upgrading"
 	}
 	return fmt.Sprintf("State(%d)", int(s))
 }
 
 // Errors of the dynamic part.
 var (
-	ErrUnknownPlugin = errors.New("pirte: unknown plug-in")
-	ErrDuplicate     = errors.New("pirte: plug-in already installed")
-	ErrQuota         = errors.New("pirte: resource quota exceeded")
-	ErrPortClash     = errors.New("pirte: plug-in port id already in use")
-	ErrBadLink       = errors.New("pirte: PLC post incompatible with virtual port")
+	ErrUnknownPlugin     = errors.New("pirte: unknown plug-in")
+	ErrDuplicate         = errors.New("pirte: plug-in already installed")
+	ErrQuota             = errors.New("pirte: resource quota exceeded")
+	ErrPortClash         = errors.New("pirte: plug-in port id already in use")
+	ErrBadLink           = errors.New("pirte: PLC post incompatible with virtual port")
+	ErrUpgradeInProgress = errors.New("pirte: upgrade already in progress")
 )
 
 // Config describes one plug-in SW-C to its PIRTE: the static SW-C ports,
@@ -94,6 +101,15 @@ type Config struct {
 	// NvM, when set, persists installation packages so RestoreFromNvM can
 	// rebuild the plug-in population after an ECU restart.
 	NvM *bsw.NvM
+	// UpgradeQuiesce is the live-upgrade quiesce window: the simulated
+	// time between an upgrade request and the swap, during which inbound
+	// traffic for the plug-in is buffered; zero selects
+	// DefaultUpgradeQuiesce.
+	UpgradeQuiesce sim.Duration
+	// UpgradeProbe is the live-upgrade health-probe window: a fault of
+	// the new version within it rolls the plug-in back to the old
+	// version; zero selects DefaultUpgradeProbe.
+	UpgradeProbe sim.Duration
 }
 
 // virtualPort is the static-part entry for one virtual port.
@@ -124,6 +140,8 @@ type Installed struct {
 	state     State
 	timers    [8]timerState
 	restarts  int
+	// upgrade is the in-flight live-upgrade transaction, nil otherwise.
+	upgrade *upgradeState
 	// LastFault records the most recent trap.
 	LastFault error
 }
@@ -136,11 +154,15 @@ func (ip *Installed) Stats() (activations, instructions, faults uint64) {
 	return ip.inst.Activations, ip.inst.Instructions, ip.inst.Faults
 }
 
-// event is one queued plug-in activation.
+// event is one queued plug-in activation. Message events carry the
+// SW-C-scope port id, resolved to the program's port index at execution
+// time: a live upgrade may swap the plug-in's port layout between
+// enqueue and dispatch, and the id is the stable name across versions.
 type event struct {
 	kind  int // 0 init, 1 message, 2 timer
 	pl    *Installed
-	index int // port index or timer id
+	index int               // timer id (kind 2)
+	port  core.PluginPortID // target port (kind 1)
 	value int64
 }
 
@@ -184,6 +206,12 @@ type PIRTE struct {
 	// Stats.
 	Dispatched uint64
 	Faults     uint64
+	// Upgrades counts committed live upgrades, UpgradeRollbacks the ones
+	// rolled back to the old version, and UpgradeDelayed the port
+	// messages buffered (delayed, not dropped) during quiesce windows.
+	Upgrades         uint64
+	UpgradeRollbacks uint64
+	UpgradeDelayed   uint64
 }
 
 // New builds a PIRTE from its configuration. Call Attach (or
@@ -331,71 +359,9 @@ func (p *PIRTE) Install(pkg plugin.Package) error {
 		return fmt.Errorf("%w: memory quota %d words", ErrQuota, p.cfg.MemoryQuota)
 	}
 
-	// Port Initialization Context: bind SW-C-scope unique ids to the
-	// program's declared port indices.
-	idToIndex := make(map[core.PluginPortID]int, len(pkg.Context.PIC))
-	indexToID := make([]core.PluginPortID, len(prog.Ports))
-	for i, decl := range prog.Ports {
-		id, ok := pkg.Context.PIC.Lookup(decl.Name)
-		if !ok {
-			return fmt.Errorf("pirte: PIC misses port %q of plug-in %s", decl.Name, name)
-		}
-		if owner, taken := p.portOwner[id]; taken {
-			return fmt.Errorf("%w: %s (held by %s)", ErrPortClash, id, owner.Name)
-		}
-		idToIndex[id] = i
-		indexToID[i] = id
-	}
-
-	// Port Linking Context: validate every post against the virtual port
-	// table and the port directions.
-	links := make(map[core.PluginPortID]core.PLCEntry, len(pkg.Context.PLC))
-	for _, post := range pkg.Context.PLC {
-		idx, ok := idToIndex[post.Plugin]
-		if !ok {
-			return fmt.Errorf("pirte: PLC post %s refers to unassigned port", post.Plugin)
-		}
-		dir := prog.Ports[idx].Direction
-		switch post.Kind {
-		case core.LinkNone:
-			// PIRTE-direct; always legal.
-		case core.LinkVirtual:
-			vp, ok := p.virtByID[post.Virtual]
-			if !ok {
-				return fmt.Errorf("%w: %s -> missing %s", ErrBadLink, post.Plugin, post.Virtual)
-			}
-			switch vp.spec.Type {
-			case core.TypeII:
-				// Receive-association: the plug-in port is fed by the mux.
-				if dir != core.Required {
-					return fmt.Errorf("%w: %s is provided but %s is a type II inbound association",
-						ErrBadLink, post.Plugin, post.Virtual)
-				}
-			default:
-				if vp.swc.Direction != dir {
-					return fmt.Errorf("%w: %s (%v) vs %s (%v SW-C port)",
-						ErrBadLink, post.Plugin, dir, post.Virtual, vp.swc.Direction)
-				}
-			}
-		case core.LinkVirtualRemote:
-			vp, ok := p.virtByID[post.Virtual]
-			if !ok {
-				return fmt.Errorf("%w: %s -> missing %s", ErrBadLink, post.Plugin, post.Virtual)
-			}
-			if vp.spec.Type != core.TypeII {
-				return fmt.Errorf("%w: %s carries a remote id but %s is %v",
-					ErrBadLink, post.Plugin, post.Virtual, vp.spec.Type)
-			}
-			if vp.swc.Direction != core.Provided {
-				return fmt.Errorf("%w: %s targets inbound type II port %s",
-					ErrBadLink, post.Plugin, post.Virtual)
-			}
-		case core.LinkPeer:
-			if _, ok := p.portOwner[post.Peer]; !ok {
-				return fmt.Errorf("%w: peer %s of %s not installed", ErrBadLink, post.Peer, post.Plugin)
-			}
-		}
-		links[post.Plugin] = post
+	idToIndex, indexToID, links, err := p.bindContext(prog, pkg)
+	if err != nil {
+		return err
 	}
 
 	budget := pkg.Binary.Manifest.Budget
@@ -427,6 +393,82 @@ func (p *PIRTE) Install(pkg plugin.Package) error {
 	return nil
 }
 
+// bindContext validates a package's PIC and PLC against the static
+// configuration and the current port population: ids must be free,
+// every post must fit the virtual-port table and the port directions.
+// Shared by Install and the live-upgrade swap (which releases the old
+// version's ids first).
+func (p *PIRTE) bindContext(prog *vm.Program, pkg plugin.Package) (map[core.PluginPortID]int, []core.PluginPortID, map[core.PluginPortID]core.PLCEntry, error) {
+	name := pkg.Binary.Manifest.Name
+	// Port Initialization Context: bind SW-C-scope unique ids to the
+	// program's declared port indices.
+	idToIndex := make(map[core.PluginPortID]int, len(pkg.Context.PIC))
+	indexToID := make([]core.PluginPortID, len(prog.Ports))
+	for i, decl := range prog.Ports {
+		id, ok := pkg.Context.PIC.Lookup(decl.Name)
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("pirte: PIC misses port %q of plug-in %s", decl.Name, name)
+		}
+		if owner, taken := p.portOwner[id]; taken {
+			return nil, nil, nil, fmt.Errorf("%w: %s (held by %s)", ErrPortClash, id, owner.Name)
+		}
+		idToIndex[id] = i
+		indexToID[i] = id
+	}
+
+	// Port Linking Context: validate every post against the virtual port
+	// table and the port directions.
+	links := make(map[core.PluginPortID]core.PLCEntry, len(pkg.Context.PLC))
+	for _, post := range pkg.Context.PLC {
+		idx, ok := idToIndex[post.Plugin]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("pirte: PLC post %s refers to unassigned port", post.Plugin)
+		}
+		dir := prog.Ports[idx].Direction
+		switch post.Kind {
+		case core.LinkNone:
+			// PIRTE-direct; always legal.
+		case core.LinkVirtual:
+			vp, ok := p.virtByID[post.Virtual]
+			if !ok {
+				return nil, nil, nil, fmt.Errorf("%w: %s -> missing %s", ErrBadLink, post.Plugin, post.Virtual)
+			}
+			switch vp.spec.Type {
+			case core.TypeII:
+				// Receive-association: the plug-in port is fed by the mux.
+				if dir != core.Required {
+					return nil, nil, nil, fmt.Errorf("%w: %s is provided but %s is a type II inbound association",
+						ErrBadLink, post.Plugin, post.Virtual)
+				}
+			default:
+				if vp.swc.Direction != dir {
+					return nil, nil, nil, fmt.Errorf("%w: %s (%v) vs %s (%v SW-C port)",
+						ErrBadLink, post.Plugin, dir, post.Virtual, vp.swc.Direction)
+				}
+			}
+		case core.LinkVirtualRemote:
+			vp, ok := p.virtByID[post.Virtual]
+			if !ok {
+				return nil, nil, nil, fmt.Errorf("%w: %s -> missing %s", ErrBadLink, post.Plugin, post.Virtual)
+			}
+			if vp.spec.Type != core.TypeII {
+				return nil, nil, nil, fmt.Errorf("%w: %s carries a remote id but %s is %v",
+					ErrBadLink, post.Plugin, post.Virtual, vp.spec.Type)
+			}
+			if vp.swc.Direction != core.Provided {
+				return nil, nil, nil, fmt.Errorf("%w: %s targets inbound type II port %s",
+					ErrBadLink, post.Plugin, post.Virtual)
+			}
+		case core.LinkPeer:
+			if _, ok := p.portOwner[post.Peer]; !ok {
+				return nil, nil, nil, fmt.Errorf("%w: peer %s of %s not installed", ErrBadLink, post.Peer, post.Plugin)
+			}
+		}
+		links[post.Plugin] = post
+	}
+	return idToIndex, indexToID, links, nil
+}
+
 // Uninstall stops and removes the plug-in, releasing its port ids and
 // timers.
 func (p *PIRTE) Uninstall(name core.PluginName) error {
@@ -434,14 +476,12 @@ func (p *PIRTE) Uninstall(name core.PluginName) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownPlugin, name)
 	}
+	if ip.upgrade != nil {
+		return fmt.Errorf("%w: %s", ErrUpgradeInProgress, name)
+	}
 	ip.inst.Stop()
 	p.clearTimers(ip)
-	for id, owner := range p.portOwner {
-		if owner == ip {
-			delete(p.portOwner, id)
-			delete(p.directWrites, id)
-		}
-	}
+	p.releasePorts(ip)
 	delete(p.plugins, name)
 	if p.cfg.NvM != nil {
 		p.cfg.NvM.DeleteBlock(p.nvmKey(name))
@@ -450,11 +490,24 @@ func (p *PIRTE) Uninstall(name core.PluginName) error {
 	return nil
 }
 
+// releasePorts unbinds every port id owned by the plug-in.
+func (p *PIRTE) releasePorts(ip *Installed) {
+	for id, owner := range p.portOwner {
+		if owner == ip {
+			delete(p.portOwner, id)
+			delete(p.directWrites, id)
+		}
+	}
+}
+
 // Stop halts a plug-in; its events are rejected until Start.
 func (p *PIRTE) Stop(name core.PluginName) error {
 	ip, ok := p.plugins[name]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownPlugin, name)
+	}
+	if ip.upgrade != nil {
+		return fmt.Errorf("%w: %s", ErrUpgradeInProgress, name)
 	}
 	ip.inst.Stop()
 	p.clearTimers(ip)
@@ -469,6 +522,9 @@ func (p *PIRTE) Start(name core.PluginName) error {
 	ip, ok := p.plugins[name]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownPlugin, name)
+	}
+	if ip.upgrade != nil {
+		return fmt.Errorf("%w: %s", ErrUpgradeInProgress, name)
 	}
 	budget := ip.Pkg.Binary.Manifest.Budget
 	if budget == 0 {
@@ -550,7 +606,16 @@ func (p *PIRTE) enqueue(ev event) {
 }
 
 // execute runs one plug-in event in the VM and applies the fault policy.
+// Message traffic for a quiescing plug-in is buffered — delayed, never
+// dropped — and replayed into the replacement version at swap time;
+// faults within the health-probe window of a just-swapped plug-in roll
+// it back instead of engaging the fault policy (see upgrade.go).
 func (p *PIRTE) execute(ev event) {
+	if up := ev.pl.upgrade; up != nil && up.phase == phaseQuiesce && ev.kind == 1 {
+		up.buffered = append(up.buffered, portValue{port: ev.port, value: ev.value})
+		p.UpgradeDelayed++
+		return
+	}
 	if ev.pl.state != StateRunning {
 		return
 	}
@@ -560,7 +625,22 @@ func (p *PIRTE) execute(ev event) {
 	case 0:
 		err = ev.pl.inst.Init()
 	case 1:
-		err = ev.pl.inst.Deliver(ev.index, ev.value)
+		if up := ev.pl.upgrade; up != nil && up.phase == phaseProbe {
+			// Log probation traffic — before the index lookup, so a
+			// message for a port the new version dropped is still
+			// re-delivered to the restored old version on rollback
+			// (which does declare it) instead of being lost.
+			up.replay = append(up.replay, portValue{port: ev.port, value: ev.value})
+		}
+		idx, ok := ev.pl.idToIndex[ev.port]
+		if !ok {
+			// Undeliverable to the current version; if an upgrade is on
+			// probation the replay log above preserves it for rollback.
+			p.logf("pirte %s: port %s not declared by %s, message not delivered",
+				p.cfg.SWC, ev.port, ev.pl.Name)
+			return
+		}
+		err = ev.pl.inst.Deliver(idx, ev.value)
 	case 2:
 		err = ev.pl.inst.Timer(ev.index)
 	}
@@ -573,6 +653,10 @@ func (p *PIRTE) execute(ev event) {
 	p.Faults++
 	ev.pl.LastFault = err
 	p.logf("pirte %s: plug-in %s trapped: %v", p.cfg.SWC, ev.pl.Name, err)
+	if up := ev.pl.upgrade; up != nil && up.phase == phaseProbe {
+		p.rollbackUpgrade(ev.pl, err)
+		return
+	}
 	switch p.cfg.FaultPolicy {
 	case FaultRestart:
 		if ev.pl.restarts < RestartLimit {

@@ -144,14 +144,16 @@ func (p *PIRTE) writeTypeII(vid core.VirtualPortID, recipient core.PluginPortID,
 	return p.writeOut(vp.spec.SWCPort, muxEncode(recipient, value))
 }
 
-// deliverToPort queues a value for the plug-in owning the port id.
+// deliverToPort queues a value for the plug-in owning the port id. The
+// event carries the id, not the program's port index: a live upgrade
+// may swap the owner's port layout between enqueue and dispatch, and
+// the SW-C-scope id is the stable name across versions.
 func (p *PIRTE) deliverToPort(id core.PluginPortID, value int64) error {
 	owner, ok := p.portOwner[id]
 	if !ok {
 		return fmt.Errorf("pirte: delivery to unowned port %s", id)
 	}
-	idx := owner.idToIndex[id]
-	p.enqueue(event{kind: 1, pl: owner, index: idx, value: value})
+	p.enqueue(event{kind: 1, pl: owner, port: id, value: value})
 	return nil
 }
 
@@ -270,6 +272,25 @@ func (p *PIRTE) handleTypeI(msg core.Message) {
 			return
 		}
 		p.reply(msg.Ack())
+	case core.MsgUpgrade:
+		var pkg plugin.Package
+		if err := pkg.UnmarshalBinary(msg.Payload); err != nil {
+			p.reply(msg.Nack(fmt.Sprintf("bad package: %v", err)))
+			return
+		}
+		// The swap is asynchronous (quiesce window, health probe); the
+		// ack or the "rollback: "-prefixed nack travels once the upgrade
+		// settles.
+		req := msg
+		if err := p.Upgrade(msg.Plugin, pkg, func(err error) {
+			if err != nil {
+				p.reply(req.Nack(err.Error()))
+				return
+			}
+			p.reply(req.Ack())
+		}); err != nil {
+			p.reply(msg.Nack(err.Error()))
+		}
 	case core.MsgStop:
 		if err := p.Stop(msg.Plugin); err != nil {
 			p.reply(msg.Nack(err.Error()))

@@ -1,0 +1,501 @@
+package pirte
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dynautosar/internal/core"
+	"dynautosar/internal/plugin"
+	"dynautosar/internal/sim"
+)
+
+// The hot-swap engine's behavioural locks: quiesce buffering (traffic
+// delayed, never dropped), versioned state transfer, probe-window
+// rollback with full re-delivery, and the in-flight exclusivity rules.
+
+// counterSrcV1 counts pokes and reports the raw count.
+const counterSrcV1 = `
+.plugin Counter 1.0
+.port Poke required
+.port Report provided
+.globals 1
+on_message Poke:
+	LDG 0
+	PUSH 1
+	ADD
+	STG 0
+	LDG 0
+	PWR Report
+	RET
+`
+
+// counterSrcV2 keeps the same state layout but reports count*100.
+const counterSrcV2 = `
+.plugin Counter 2.0
+.port Poke required
+.port Report provided
+.globals 1
+on_message Poke:
+	LDG 0
+	PUSH 1
+	ADD
+	STG 0
+	LDG 0
+	PUSH 100
+	MUL
+	PWR Report
+	RET
+`
+
+// counterSrcBad traps on every poke — the upgrade that must roll back.
+const counterSrcBad = `
+.plugin Counter 3.0
+.port Poke required
+.port Report provided
+.globals 1
+on_message Poke:
+	PUSH 1
+	PUSH 0
+	DIV
+	RET
+`
+
+// counterSrcLateBad handles pokes normally but traps on the value 13 —
+// a fault that surfaces mid-probation, after a clean replay.
+const counterSrcLateBad = `
+.plugin Counter 4.0
+.port Poke required
+.port Report provided
+.globals 1
+on_message Poke:
+	ARG
+	PUSH 13
+	EQ
+	JZ good
+	PUSH 1
+	PUSH 0
+	DIV
+good:
+	LDG 0
+	PUSH 1
+	ADD
+	STG 0
+	LDG 0
+	PUSH 100
+	MUL
+	PWR Report
+	RET
+`
+
+// counterCtx binds Poke/Report as PIRTE-direct posts, so Report values
+// land in DirectRead.
+func counterCtx() core.Context {
+	return core.Context{
+		PIC: core.PIC{{Name: "Poke", ID: 10}, {Name: "Report", ID: 11}},
+		PLC: core.PLC{{Kind: core.LinkNone, Plugin: 10}, {Kind: core.LinkNone, Plugin: 11}},
+	}
+}
+
+// upgradeHarness installs counter v1 and pokes it three times.
+func upgradeHarness(t *testing.T) (*PIRTE, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	p, err := New(eng, standardConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetSWCWriter(func(core.SWCPortID, []byte) error { return nil })
+	if err := p.Install(mustPackage(t, counterSrcV1, counterCtx(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.DeliverToPlugin(10, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, _ := p.DirectRead(11); v != 3 {
+		t.Fatalf("v1 count = %d, want 3", v)
+	}
+	return p, eng
+}
+
+func TestUpgradeTransfersStateAndBuffersTraffic(t *testing.T) {
+	p, eng := upgradeHarness(t)
+	done := make(chan error, 1)
+	if err := p.Upgrade("Counter", mustPackage(t, counterSrcV2, counterCtx(), nil), func(err error) { done <- err }); err != nil {
+		t.Fatal(err)
+	}
+	ip, _ := p.Plugin("Counter")
+	if ip.State() != StateUpgrading || !p.Upgrading("Counter") {
+		t.Fatalf("state during quiesce = %v", ip.State())
+	}
+	// Traffic during the quiesce window buffers: delayed, not dropped,
+	// and not visible to either version yet.
+	for i := 0; i < 2; i++ {
+		if err := p.DeliverToPlugin(10, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, _ := p.DirectRead(11); v != 3 {
+		t.Fatalf("report moved during quiesce: %d", v)
+	}
+	if p.UpgradeDelayed != 2 {
+		t.Fatalf("UpgradeDelayed = %d, want 2", p.UpgradeDelayed)
+	}
+	// The swap replays the buffer into the new version with the state
+	// prefix carried over: 3 transferred + 2 replayed = 5, new gain 100.
+	eng.RunFor(DefaultUpgradeQuiesce + sim.Millisecond)
+	if v, _ := p.DirectRead(11); v != 500 {
+		t.Fatalf("after swap+replay report = %d, want 500", v)
+	}
+	// Live traffic during probation reaches the new version directly.
+	if err := p.DeliverToPlugin(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.DirectRead(11); v != 600 {
+		t.Fatalf("probation report = %d, want 600", v)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("done fired before the probe window: %v", err)
+	default:
+	}
+	// The probe window elapses without a fault: committed.
+	eng.RunFor(DefaultUpgradeProbe + sim.Millisecond)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("commit reported %v", err)
+		}
+	default:
+		t.Fatal("done never fired")
+	}
+	if p.Upgrades != 1 || p.UpgradeRollbacks != 0 {
+		t.Fatalf("counters = %d commits, %d rollbacks", p.Upgrades, p.UpgradeRollbacks)
+	}
+	if got := ip.Pkg.Binary.Manifest.Version; got != "2.0" {
+		t.Fatalf("running version = %s", got)
+	}
+	if ip.State() != StateRunning || p.Upgrading("Counter") {
+		t.Fatalf("state after commit = %v", ip.State())
+	}
+}
+
+func TestUpgradeReplayFaultRollsBackWithNoLoss(t *testing.T) {
+	p, eng := upgradeHarness(t)
+	done := make(chan error, 1)
+	if err := p.Upgrade("Counter", mustPackage(t, counterSrcBad, counterCtx(), nil), func(err error) { done <- err }); err != nil {
+		t.Fatal(err)
+	}
+	// Two messages buffer during quiesce; the first replayed one traps
+	// the new version.
+	for i := 0; i < 2; i++ {
+		if err := p.DeliverToPlugin(10, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunFor(DefaultUpgradeQuiesce + sim.Millisecond)
+	var err error
+	select {
+	case err = <-done:
+	default:
+		t.Fatal("rollback never reported")
+	}
+	if err == nil || !strings.HasPrefix(err.Error(), "rollback: ") {
+		t.Fatalf("done = %v, want a rollback error", err)
+	}
+	// The old version is back with its exact state, and both buffered
+	// messages were re-delivered to it: 3 + 2 = 5, old gain 1.
+	ip, _ := p.Plugin("Counter")
+	if got := ip.Pkg.Binary.Manifest.Version; got != "1.0" {
+		t.Fatalf("running version after rollback = %s", got)
+	}
+	if ip.State() != StateRunning {
+		t.Fatalf("state after rollback = %v", ip.State())
+	}
+	if v, _ := p.DirectRead(11); v != 5 {
+		t.Fatalf("report after rollback = %d, want 5 (no message lost)", v)
+	}
+	if p.UpgradeRollbacks != 1 || p.Upgrades != 0 {
+		t.Fatalf("counters = %d commits, %d rollbacks", p.Upgrades, p.UpgradeRollbacks)
+	}
+	// The restored version keeps working.
+	if err := p.DeliverToPlugin(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.DirectRead(11); v != 6 {
+		t.Fatalf("post-rollback delivery = %d, want 6", v)
+	}
+}
+
+func TestUpgradeProbeFaultRollsBackMidProbation(t *testing.T) {
+	p, eng := upgradeHarness(t)
+	done := make(chan error, 1)
+	if err := p.Upgrade("Counter", mustPackage(t, counterSrcLateBad, counterCtx(), nil), func(err error) { done <- err }); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(DefaultUpgradeQuiesce + sim.Millisecond)
+	// The new version survives replay (none buffered) and one clean
+	// probation message...
+	if err := p.DeliverToPlugin(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.DirectRead(11); v != 400 {
+		t.Fatalf("probation report = %d, want 400", v)
+	}
+	// ...then traps on the poison value inside the probe window.
+	if err := p.DeliverToPlugin(10, 13); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	select {
+	case err = <-done:
+	default:
+		t.Fatal("rollback never reported")
+	}
+	if err == nil || !strings.HasPrefix(err.Error(), "rollback: ") {
+		t.Fatalf("done = %v", err)
+	}
+	// Rollback restored the pre-upgrade state (3) and re-delivered the
+	// probation traffic (the clean poke and the poison one, harmless to
+	// v1): 3 + 2 = 5 at the old gain.
+	if v, _ := p.DirectRead(11); v != 5 {
+		t.Fatalf("report after mid-probation rollback = %d, want 5", v)
+	}
+	ip, _ := p.Plugin("Counter")
+	if got := ip.Pkg.Binary.Manifest.Version; got != "1.0" {
+		t.Fatalf("running version = %s", got)
+	}
+	// The cancelled probe timer must not fire a phantom commit later.
+	eng.RunFor(DefaultUpgradeProbe * 2)
+	if p.Upgrades != 0 || p.UpgradeRollbacks != 1 {
+		t.Fatalf("counters = %d commits, %d rollbacks", p.Upgrades, p.UpgradeRollbacks)
+	}
+}
+
+func TestUpgradeExclusivityAndLifecycleGuards(t *testing.T) {
+	p, eng := upgradeHarness(t)
+	if err := p.Upgrade("Counter", mustPackage(t, counterSrcV2, counterCtx(), nil), nil); err != nil {
+		t.Fatal(err)
+	}
+	// A second upgrade, a stop, a start and an uninstall are all
+	// refused while the transaction is in flight.
+	if err := p.Upgrade("Counter", mustPackage(t, counterSrcV2, counterCtx(), nil), nil); !errors.Is(err, ErrUpgradeInProgress) {
+		t.Fatalf("double upgrade = %v", err)
+	}
+	if err := p.Stop("Counter"); !errors.Is(err, ErrUpgradeInProgress) {
+		t.Fatalf("stop during upgrade = %v", err)
+	}
+	if err := p.Start("Counter"); !errors.Is(err, ErrUpgradeInProgress) {
+		t.Fatalf("start during upgrade = %v", err)
+	}
+	if err := p.Uninstall("Counter"); !errors.Is(err, ErrUpgradeInProgress) {
+		t.Fatalf("uninstall during upgrade = %v", err)
+	}
+	if err := p.Upgrade("Ghost", mustPackage(t, counterSrcV2, counterCtx(), nil), nil); !errors.Is(err, ErrUnknownPlugin) {
+		t.Fatalf("upgrade of unknown plug-in = %v", err)
+	}
+	// After commit the guards lift.
+	eng.RunFor(DefaultUpgradeQuiesce + DefaultUpgradeProbe + 2*sim.Millisecond)
+	if p.Upgrading("Counter") {
+		t.Fatal("still upgrading after the windows elapsed")
+	}
+	if err := p.Stop("Counter"); err != nil {
+		t.Fatalf("stop after commit = %v", err)
+	}
+}
+
+// counterSrcV1Aux is v1 with an extra Aux port that bumps the counter
+// by 10 — a port the broken v5 below no longer declares.
+const counterSrcV1Aux = `
+.plugin Counter 1.0
+.port Poke required
+.port Report provided
+.port Aux required
+.globals 1
+on_message Poke:
+	LDG 0
+	PUSH 1
+	ADD
+	STG 0
+	LDG 0
+	PWR Report
+	RET
+on_message Aux:
+	LDG 0
+	PUSH 10
+	ADD
+	STG 0
+	LDG 0
+	PWR Report
+	RET
+`
+
+// counterSrcNoAuxBad drops the Aux port and traps on Poke.
+const counterSrcNoAuxBad = `
+.plugin Counter 5.0
+.port Poke required
+.port Report provided
+.globals 1
+on_message Poke:
+	PUSH 1
+	PUSH 0
+	DIV
+	RET
+`
+
+// TestUpgradeRollbackPreservesDroppedPortTraffic: a message buffered
+// for a port the new version no longer declares cannot be delivered to
+// it — but a rollback must still re-deliver it to the restored old
+// version, which does declare the port.
+func TestUpgradeRollbackPreservesDroppedPortTraffic(t *testing.T) {
+	eng := sim.NewEngine()
+	p, err := New(eng, standardConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetSWCWriter(func(core.SWCPortID, []byte) error { return nil })
+	ctx := core.Context{
+		PIC: core.PIC{{Name: "Poke", ID: 10}, {Name: "Report", ID: 11}, {Name: "Aux", ID: 12}},
+		PLC: core.PLC{{Kind: core.LinkNone, Plugin: 10}, {Kind: core.LinkNone, Plugin: 11}, {Kind: core.LinkNone, Plugin: 12}},
+	}
+	if err := p.Install(mustPackage(t, counterSrcV1Aux, ctx, nil)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.DeliverToPlugin(10, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	if err := p.Upgrade("Counter", mustPackage(t, counterSrcNoAuxBad, counterCtx(), nil), func(err error) { done <- err }); err != nil {
+		t.Fatal(err)
+	}
+	// Quiesce-window traffic: one message for the soon-dropped Aux port,
+	// one Poke that will trap the new version during replay.
+	if err := p.DeliverToPlugin(12, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeliverToPlugin(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(DefaultUpgradeQuiesce + sim.Millisecond)
+	if err := <-done; err == nil || !strings.HasPrefix(err.Error(), "rollback: ") {
+		t.Fatalf("done = %v, want rollback", err)
+	}
+	// The restored v1 got both messages: 3 + 10 (Aux) + 1 (Poke) = 14.
+	if v, _ := p.DirectRead(11); v != 14 {
+		t.Fatalf("report after rollback = %d, want 14 (dropped-port message re-delivered)", v)
+	}
+}
+
+// TestUpgradeRejectsStoppedPlugin: a deliberately halted plug-in must
+// not be silently restarted by an upgrade's swap or rollback.
+func TestUpgradeRejectsStoppedPlugin(t *testing.T) {
+	p, _ := upgradeHarness(t)
+	if err := p.Stop("Counter"); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Upgrade("Counter", mustPackage(t, counterSrcV2, counterCtx(), nil), nil)
+	if err == nil || !strings.Contains(err.Error(), "while stopped") {
+		t.Fatalf("upgrade of stopped plug-in = %v", err)
+	}
+	ip, _ := p.Plugin("Counter")
+	if ip.State() != StateStopped {
+		t.Fatalf("state = %v, want stopped", ip.State())
+	}
+}
+
+// TestUpgradePreservesDirectReadLatches: the PIRTE-direct last-value
+// latches are observable state and must survive both a quiet commit
+// (no traffic to re-latch them) and a swap-failure rollback.
+func TestUpgradePreservesDirectReadLatches(t *testing.T) {
+	t.Run("across-commit", func(t *testing.T) {
+		p, eng := upgradeHarness(t) // latch: Report(11) == 3
+		done := make(chan error, 1)
+		if err := p.Upgrade("Counter", mustPackage(t, counterSrcV2, counterCtx(), nil), func(err error) { done <- err }); err != nil {
+			t.Fatal(err)
+		}
+		eng.RunFor(DefaultUpgradeQuiesce + DefaultUpgradeProbe + 2*sim.Millisecond)
+		if err := <-done; err != nil {
+			t.Fatalf("commit = %v", err)
+		}
+		if v, ok := p.DirectRead(11); !ok || v != 3 {
+			t.Fatalf("latch after quiet commit = %d ok=%v, want 3", v, ok)
+		}
+	})
+	t.Run("across-swap-failure-rollback", func(t *testing.T) {
+		p, eng := upgradeHarness(t)
+		// Install OP so the doomed package's PIC can clash with a
+		// foreign owner, failing the swap before any traffic flows.
+		if err := p.Install(mustPackage(t, opSrc, opContext(), nil)); err != nil {
+			t.Fatal(err)
+		}
+		clashCtx := core.Context{
+			PIC: core.PIC{{Name: "Poke", ID: 0}, {Name: "Report", ID: 11}}, // 0 is OP's
+			PLC: core.PLC{{Kind: core.LinkNone, Plugin: 0}, {Kind: core.LinkNone, Plugin: 11}},
+		}
+		done := make(chan error, 1)
+		if err := p.Upgrade("Counter", mustPackage(t, counterSrcV2, clashCtx, nil), func(err error) { done <- err }); err != nil {
+			t.Fatal(err)
+		}
+		eng.RunFor(DefaultUpgradeQuiesce + sim.Millisecond)
+		if err := <-done; err == nil || !strings.HasPrefix(err.Error(), "rollback: ") {
+			t.Fatalf("done = %v, want rollback", err)
+		}
+		if v, ok := p.DirectRead(11); !ok || v != 3 {
+			t.Fatalf("latch after swap-failure rollback = %d ok=%v, want 3", v, ok)
+		}
+	})
+}
+
+func TestUpgradeRejectsForeignPackage(t *testing.T) {
+	p, _ := upgradeHarness(t)
+	foreign := mustPackage(t, opSrc, opContext(), nil)
+	if err := p.Upgrade("Counter", foreign, nil); err == nil || !strings.Contains(err.Error(), "names plug-in") {
+		t.Fatalf("foreign package = %v", err)
+	}
+}
+
+// TestUpgradeStateWireRoundTrip locks the versioned state-transfer
+// encoding: what one PIRTE exports, another decodes bit-for-bit.
+func TestUpgradeStateWireRoundTrip(t *testing.T) {
+	st := plugin.State{SchemaV: plugin.StateSchemaVersion, Plugin: "Counter", Version: "1.0", Words: []int64{3, -7, 1 << 40}}
+	raw, err := st.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back plugin.State
+	if err := back.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	if back.Plugin != st.Plugin || back.Version != st.Version || len(back.Words) != 3 ||
+		back.Words[0] != 3 || back.Words[1] != -7 || back.Words[2] != 1<<40 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	// Prefix transfer: a larger target keeps the tail zeroed, a smaller
+	// one drops it.
+	big := make([]int64, 5)
+	if n := st.TransferInto(big); n != 3 || big[3] != 0 {
+		t.Fatalf("transfer into larger = %d %v", n, big)
+	}
+	small := make([]int64, 2)
+	if n := st.TransferInto(small); n != 2 || small[1] != -7 {
+		t.Fatalf("transfer into smaller = %d %v", n, small)
+	}
+	// The runtime hook gates on the schema version.
+	future := st
+	future.SchemaV = plugin.StateSchemaVersion + 1
+	if _, err := future.RestoreInto(sliceRestorer(big)); err == nil {
+		t.Fatal("RestoreInto accepted a newer schema")
+	}
+	if n, err := st.RestoreInto(sliceRestorer(big)); err != nil || n != 3 {
+		t.Fatalf("RestoreInto = %d, %v", n, err)
+	}
+}
+
+// sliceRestorer adapts a raw slice to plugin.GlobalsRestorer.
+type sliceRestorer []int64
+
+func (s sliceRestorer) RestoreGlobals(words []int64) int { return copy(s, words) }

@@ -1,8 +1,11 @@
 // Package plugin defines the artifacts that move through the plug-in life
 // cycle (paper sections 3.1.2 and 3.2): the manifest a developer uploads
-// with a binary, the binary itself (an encoded VM program), and the
+// with a binary, the binary itself (an encoded VM program), the
 // installation package — binary plus generated PIC/PLC/ECC context — that
-// the trusted server pushes to a vehicle.
+// the trusted server pushes to a vehicle, and the versioned State a
+// running plug-in exports during a live upgrade so the replacement
+// version starts with the old one's accumulated data (see state.go for
+// the prefix-compatibility contract).
 package plugin
 
 import (

@@ -1,0 +1,115 @@
+package plugin
+
+import (
+	"fmt"
+
+	"dynautosar/internal/core"
+)
+
+// The versioned state-transfer hook of the live-upgrade protocol. A
+// plug-in's durable runtime state is its VM global words; during a
+// hot-swap the PIRTE exports them from the old version as a State,
+// transfers them into the new version and keeps the snapshot around
+// until the health probe passes, so a rollback can restore the old
+// version bit-for-bit.
+//
+// The transfer contract is prefix compatibility: a plug-in that wants
+// its state to survive upgrades must keep the meaning of its existing
+// global slots stable across versions and only append new ones. The
+// new version starts with the common prefix transferred and any extra
+// slots zeroed; slots the new version no longer declares are dropped.
+
+// StateSchemaVersion is the wire version of the State encoding;
+// decoders reject higher versions.
+const StateSchemaVersion = 1
+
+// State is the exported, versioned runtime state of one plug-in.
+type State struct {
+	// SchemaV is the encoding version (StateSchemaVersion).
+	SchemaV int
+	// Plugin names the exporting plug-in.
+	Plugin core.PluginName
+	// Version is the manifest version of the binary that produced the
+	// state, recorded so operators can audit which version a transferred
+	// word layout came from.
+	Version string
+	// Words are the exported global words.
+	Words []int64
+}
+
+// CaptureState wraps exported VM globals into a State stamped with the
+// producing binary's identity.
+func CaptureState(m Manifest, words []int64) State {
+	return State{SchemaV: StateSchemaVersion, Plugin: m.Name, Version: m.Version, Words: words}
+}
+
+// TransferInto copies the state into a target global array following
+// the prefix-compatibility contract, returning the number of words
+// transferred.
+func (s State) TransferInto(target []int64) int {
+	return copy(target, s.Words)
+}
+
+// GlobalsRestorer is the VM-instance side of the transfer hook
+// (vm.Instance implements it).
+type GlobalsRestorer interface {
+	// RestoreGlobals loads the common prefix and reports how many words
+	// were transferred.
+	RestoreGlobals(words []int64) int
+}
+
+// RestoreInto is the runtime state-transfer hook: it gates on the
+// schema version, then loads the state's word prefix into a live
+// instance. Every hot-swap (forward transfer and rollback) goes
+// through here, so a state produced by a newer, incompatible encoding
+// can never be silently misinterpreted.
+func (s State) RestoreInto(r GlobalsRestorer) (int, error) {
+	if s.SchemaV > StateSchemaVersion {
+		return 0, fmt.Errorf("plugin: state schema v%d of %s is newer than supported v%d",
+			s.SchemaV, s.Plugin, StateSchemaVersion)
+	}
+	return r.RestoreGlobals(s.Words), nil
+}
+
+// MarshalBinary encodes the state for transport or persistence.
+func (s State) MarshalBinary() ([]byte, error) {
+	e := core.NewEnc(32 + 8*len(s.Words))
+	e.U8(uint8(s.SchemaV))
+	e.Str(string(s.Plugin))
+	e.Str(s.Version)
+	e.U32(uint32(len(s.Words)))
+	for _, w := range s.Words {
+		e.I64(w)
+	}
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a state produced by MarshalBinary.
+func (s *State) UnmarshalBinary(b []byte) error {
+	d := core.NewDec(b)
+	v := int(d.U8())
+	if v > StateSchemaVersion {
+		return fmt.Errorf("plugin: state schema v%d is newer than supported v%d", v, StateSchemaVersion)
+	}
+	s.SchemaV = v
+	s.Plugin = core.PluginName(d.Str())
+	s.Version = d.Str()
+	n := int(d.U32())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n < 0 || n > d.Remaining()/8 {
+		return fmt.Errorf("plugin: state claims %d words, %d bytes remain", n, d.Remaining())
+	}
+	s.Words = make([]int64, n)
+	for i := range s.Words {
+		s.Words[i] = d.I64()
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("plugin: %d trailing bytes after state", d.Remaining())
+	}
+	return nil
+}

@@ -75,7 +75,7 @@ func (s *Server) BatchDeployAsync(user core.UserID, vehicles []core.VehicleID, s
 	if err != nil {
 		return api.Operation{}, err
 	}
-	parentID, children := s.newBatchOperation(api.OpBatchDeploy, api.OpDeploy, user, appName, fleet)
+	parentID, children := s.newBatchOperation(api.OpBatchDeploy, api.OpDeploy, user, appName, "", fleet)
 	go func() {
 		cache := &planCache{}
 		// inflight bounds the per-batch commit-wait/push goroutines the
@@ -140,7 +140,7 @@ func (s *Server) BatchUninstallAsync(user core.UserID, vehicles []core.VehicleID
 	if err != nil {
 		return api.Operation{}, err
 	}
-	parentID, children := s.newBatchOperation(api.OpBatchUninstall, api.OpUninstall, user, appName, fleet)
+	parentID, children := s.newBatchOperation(api.OpBatchUninstall, api.OpUninstall, user, appName, "", fleet)
 	go func() {
 		s.runBatch(children, func(c batchChild) {
 			s.finishLaunch(c.opID, s.uninstall(c.opID, user, c.vehicle, appName))
@@ -183,6 +183,11 @@ type planCache struct {
 	plans []*deployPlan
 	// hits and misses instrument the package-once/push-many reuse.
 	hits, misses int
+	// upgrades caches live-upgrade transition plans the same way; a
+	// plan transfers between vehicles of equal conf AND structurally
+	// equal old rows (see upgrade.go).
+	upgrades         []*upgradePlan
+	upHits, upMisses int
 }
 
 // appRecord fetches the batch's app once and hands the same record to

@@ -40,6 +40,15 @@ func (r CompatReport) Error() error {
 // SW-C quotas and virtual ports, and dependencies/conflicts must resolve
 // against the already installed plug-ins.
 func (s *Server) CheckCompatibility(app App, vr VehicleRecord) CompatReport {
+	return s.checkCompatibility(app, vr, "")
+}
+
+// checkCompatibility is CheckCompatibility with the plug-ins of one
+// installed app excluded from the installed population — the re-check a
+// live upgrade runs: the replaced app's plug-ins vacate their quotas
+// and conflict slots, so the new version is judged against the vehicle
+// as it will be mid-swap, not as it is now.
+func (s *Server) checkCompatibility(app App, vr VehicleRecord, exclude core.AppName) CompatReport {
 	report := CompatReport{OK: true}
 	conf, ok := app.ConfFor(vr.Conf.Model)
 	if !ok {
@@ -55,7 +64,13 @@ func (s *Server) CheckCompatibility(app App, vr VehicleRecord) CompatReport {
 		}
 	}
 
-	installed := s.store.InstalledPlugins(vr.ID)
+	var installed []InstalledPlugin
+	for _, row := range s.store.InstalledApps(vr.ID) {
+		if exclude != "" && row.App == exclude {
+			continue
+		}
+		installed = append(installed, row.Plugins...)
+	}
 	installedNames := make(map[core.PluginName]bool, len(installed))
 	for _, p := range installed {
 		installedNames[p.Plugin] = true

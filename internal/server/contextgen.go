@@ -19,6 +19,16 @@ type generatedContexts map[core.PluginName]*core.Context
 // GenerateContexts builds the PIC, PLC and ECC for every deployment of
 // the ordered plan against a vehicle.
 func (s *Server) GenerateContexts(app App, vr VehicleRecord, order []Deployment) (generatedContexts, error) {
+	return s.generateContexts(app, vr, order, nil)
+}
+
+// generateContexts is GenerateContexts with per-plug-in forced port-id
+// assignments: a port whose name appears in forced[plugin] receives
+// that id instead of a fresh one. Live upgrades force the old version's
+// recorded ids so same-named ports keep their SW-C-scope identity —
+// links from other plug-ins, ECC routes and in-flight traffic survive
+// the swap — while genuinely new ports still allocate fresh ids.
+func (s *Server) generateContexts(app App, vr VehicleRecord, order []Deployment, forced map[core.PluginName]core.PIC) (generatedContexts, error) {
 	out := make(generatedContexts, len(order))
 
 	// Pass 1: PICs. Ids are unique within each SW-C, skipping ids held by
@@ -36,6 +46,13 @@ func (s *Server) GenerateContexts(app App, vr VehicleRecord, order []Deployment)
 		}
 		var pic core.PIC
 		for _, spec := range bin.Manifest.Ports {
+			if f := forced[d.Plugin]; f != nil {
+				if id, ok := f.Lookup(spec.Name); ok {
+					used[key][id] = true
+					pic = append(pic, core.PICEntry{Name: spec.Name, ID: id})
+					continue
+				}
+			}
 			id := nextID[key]
 			for used[key][id] {
 				id++

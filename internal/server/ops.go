@@ -36,8 +36,9 @@ type opRecord struct {
 // tests can shrink it.
 var opRetention = 4096
 
-// newOperation registers a fresh pending operation.
-func (s *Server) newOperation(kind api.OperationKind, user core.UserID, vehicle core.VehicleID, app core.AppName, ecu core.ECUID) *opRecord {
+// newOperation registers a fresh pending operation; toApp is the
+// upgrade target ("" for every other kind).
+func (s *Server) newOperation(kind api.OperationKind, user core.UserID, vehicle core.VehicleID, app, toApp core.AppName, ecu core.ECUID) *opRecord {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.opSeq++
@@ -47,6 +48,7 @@ func (s *Server) newOperation(kind api.OperationKind, user core.UserID, vehicle 
 		User:    user,
 		Vehicle: vehicle,
 		App:     app,
+		ToApp:   toApp,
 		ECU:     ecu,
 		State:   api.StatePending,
 	}}
@@ -96,7 +98,7 @@ type batchChild struct {
 // child per vehicle, all under one lock so no reader ever observes a
 // half-built batch. The parent needs no launch step of its own: it
 // completes when its last child reaches a terminal state.
-func (s *Server) newBatchOperation(kind, childKind api.OperationKind, user core.UserID, app core.AppName, fleet []core.VehicleID) (parentID string, children []batchChild) {
+func (s *Server) newBatchOperation(kind, childKind api.OperationKind, user core.UserID, app, toApp core.AppName, fleet []core.VehicleID) (parentID string, children []batchChild) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.opSeq++
@@ -107,6 +109,7 @@ func (s *Server) newBatchOperation(kind, childKind api.OperationKind, user core.
 			Kind:     kind,
 			User:     user,
 			App:      app,
+			ToApp:    toApp,
 			State:    api.StateRunning,
 			Vehicles: append([]core.VehicleID(nil), fleet...),
 		},
@@ -121,7 +124,7 @@ func (s *Server) newBatchOperation(kind, childKind api.OperationKind, user core.
 		cid := fmt.Sprintf("op-%08d", s.opSeq)
 		s.ops[cid] = &opRecord{
 			op: api.Operation{
-				ID: cid, Kind: childKind, User: user, Vehicle: v, App: app,
+				ID: cid, Kind: childKind, User: user, Vehicle: v, App: app, ToApp: toApp,
 				State: api.StatePending, Parent: parentID,
 			},
 			parent: parentID,
@@ -214,8 +217,15 @@ func (s *Server) finishLaunch(opID string, err error) {
 }
 
 // settleAck charges one acknowledgement (failure != "" for a nack) to
-// the push's operation.
+// the push's operation and wakes any pipeline waiting on the push.
 func (s *Server) settleAck(op pendingOp, failure string) {
+	if op.notify != nil {
+		// Buffered for every push sharing it and each push settles
+		// exactly once, so the send never blocks. Sent before the
+		// accounting below: a woken waiter serializes behind s.mu
+		// anyway, so it always observes the settled counts.
+		op.notify <- ackOutcome{plugin: op.plugin, failure: failure}
+	}
 	if op.opID == "" {
 		return
 	}

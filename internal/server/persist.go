@@ -211,7 +211,7 @@ func (s *Server) recoverFrom(rec *journal.Recovery) {
 			child, ok := open[cid]
 			if !ok {
 				child = api.Operation{
-					ID: cid, Kind: childKindOf(op.Kind), User: op.User, App: op.App, Parent: op.ID,
+					ID: cid, Kind: childKindOf(op.Kind), User: op.User, App: op.App, ToApp: op.ToApp, Parent: op.ID,
 				}
 				if i < len(op.Vehicles) {
 					child.Vehicle = op.Vehicles[i]
@@ -271,6 +271,17 @@ func (s *Server) deriveChildOutcome(child *api.Operation) (wasInterrupted bool) 
 			return false
 		}
 	}
+	// An upgrade child succeeded exactly when its commit record replaced
+	// the old row with the new app's: the row swap is the transaction's
+	// one visible effect. Anything less recovers to the old version and
+	// reads as interrupted.
+	if child.Kind == api.OpUpgrade {
+		if row, ok := s.store.InstalledApp(child.Vehicle, child.ToApp); ok && row.Complete() {
+			child.State = api.StateSucceeded
+			child.Total, child.Acked = len(row.Plugins), len(row.Plugins)
+			return false
+		}
+	}
 	child.State = api.StateFailed
 	child.Error = &api.Error{Code: api.CodeInterrupted,
 		Message: "server: operation interrupted by server restart"}
@@ -284,6 +295,8 @@ func childKindOf(kind api.OperationKind) api.OperationKind {
 		return api.OpDeploy
 	case api.OpBatchUninstall:
 		return api.OpUninstall
+	case api.OpBatchUpgrade:
+		return api.OpUpgrade
 	default:
 		return kind
 	}
@@ -481,5 +494,34 @@ func (s *Store) applyRecord(rec journal.Record) {
 		sh.mu.Lock()
 		dropPluginLocked(sh, rec.Install.Vehicle, rec.Install.App, rec.Install.Plugin)
 		sh.mu.Unlock()
+	case journal.TypeUpgradeCommitted:
+		// The commit point of a live upgrade: the old app's row is
+		// replaced by the fully acknowledged new one. Idempotent — a
+		// snapshot may already contain the new row, in which case the
+		// old one is gone too and both branches are no-ops.
+		if rec.Upgrade == nil || rec.Upgrade.Row == nil {
+			return
+		}
+		row := rec.Upgrade.Row
+		sh := s.shard(row.Vehicle)
+		sh.mu.Lock()
+		removeRowLocked(sh, row.Vehicle, rec.Upgrade.FromApp)
+		dup := false
+		for _, r := range sh.rows[row.Vehicle] {
+			if r.App == row.App {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			sh.rows[row.Vehicle] = append(sh.rows[row.Vehicle], row)
+		}
+		sh.mu.Unlock()
+	case journal.TypeUpgradeStarted, journal.TypeUpgradeRolledBack:
+		// Row-neutral markers: an upgrade that never reached its commit
+		// record resolves to the old row, which is exactly what the
+		// store already holds. The started record is the write-ahead
+		// intent (audit + crash diagnosis), the rolled-back record the
+		// closure; neither mutates the table.
 	}
 }

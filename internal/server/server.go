@@ -31,6 +31,11 @@ type Server struct {
 	// is the owning operation id), the counterpart of the deploy path's
 	// atomic check-and-record.
 	uninstalling map[string]string
+	// upgrading claims both app names of an in-flight live upgrade per
+	// vehicle (value is the owning operation id), so concurrent upgrades
+	// and deploys touching either side are refused instead of
+	// interleaving their swaps (see upgrade.go).
+	upgrading map[string]string
 	// ops is the async-operation registry (see ops.go).
 	ops     map[string]*opRecord
 	opOrder []string
@@ -59,13 +64,24 @@ type pendingOp struct {
 	vehicle core.VehicleID
 	app     core.AppName
 	plugin  core.PluginName
-	// kind is "install" or "uninstall".
+	// kind is "install", "uninstall" or "upgrade".
 	kind string
 	// opID ties the push to its async operation ("" for none).
 	opID string
 	// epoch is the vehicle-link registration the frame travelled on; the
 	// disconnect sweep settles only frames of the dead epoch or older.
 	epoch uint64
+	// notify, when set, receives this push's settlement exactly once —
+	// the upgrade pipeline blocks on its swaps' outcomes instead of
+	// polling the operation. Must be buffered for every push sharing it.
+	notify chan ackOutcome
+}
+
+// ackOutcome is one settled push as seen by a waiting pipeline.
+type ackOutcome struct {
+	plugin core.PluginName
+	// failure is the nack/loss reason, "" on success.
+	failure string
 }
 
 // New creates a server with an empty store and a pusher.
@@ -177,7 +193,7 @@ func (s *Server) Deploy(user core.UserID, vehicleID core.VehicleID, appName core
 	if err := s.precheckDeploy(user, vehicleID, appName); err != nil {
 		return err
 	}
-	rec := s.newOperation(api.OpDeploy, user, vehicleID, appName, "")
+	rec := s.newOperation(api.OpDeploy, user, vehicleID, appName, "", "")
 	err := s.deploy(rec.op.ID, user, vehicleID, appName)
 	s.finishLaunch(rec.op.ID, err)
 	return err
@@ -190,7 +206,7 @@ func (s *Server) DeployAsync(user core.UserID, vehicleID core.VehicleID, appName
 	if err := s.precheckDeploy(user, vehicleID, appName); err != nil {
 		return api.Operation{}, err
 	}
-	rec := s.newOperation(api.OpDeploy, user, vehicleID, appName, "")
+	rec := s.newOperation(api.OpDeploy, user, vehicleID, appName, "", "")
 	id := rec.op.ID
 	go func() {
 		s.finishLaunch(id, s.deploy(id, user, vehicleID, appName))
@@ -324,6 +340,12 @@ func (s *Server) stageDeploy(user core.UserID, vehicleID core.VehicleID, appName
 	if err != nil {
 		return nil, journal.Ticket{}, err
 	}
+	// A deploy of an app that is a side of an in-flight live upgrade
+	// would race the upgrade's atomic row commit; refuse it up front.
+	if s.upgradeTarget(vehicleID, appName) {
+		return nil, journal.Ticket{}, api.Errorf(api.CodeAlreadyExists,
+			"server: app %s on %s is part of an in-flight upgrade", appName, vehicleID)
+	}
 	stripe := &s.deployMu[shardIndex(vehicleID)]
 	stripe.Lock()
 	defer stripe.Unlock()
@@ -416,7 +438,7 @@ func (s *Server) Uninstall(user core.UserID, vehicleID core.VehicleID, appName c
 	if err := s.precheckUninstall(user, vehicleID, appName); err != nil {
 		return err
 	}
-	rec := s.newOperation(api.OpUninstall, user, vehicleID, appName, "")
+	rec := s.newOperation(api.OpUninstall, user, vehicleID, appName, "", "")
 	err := s.uninstall(rec.op.ID, user, vehicleID, appName)
 	s.finishLaunch(rec.op.ID, err)
 	return err
@@ -427,7 +449,7 @@ func (s *Server) UninstallAsync(user core.UserID, vehicleID core.VehicleID, appN
 	if err := s.precheckUninstall(user, vehicleID, appName); err != nil {
 		return api.Operation{}, err
 	}
-	rec := s.newOperation(api.OpUninstall, user, vehicleID, appName, "")
+	rec := s.newOperation(api.OpUninstall, user, vehicleID, appName, "", "")
 	id := rec.op.ID
 	go func() {
 		s.finishLaunch(id, s.uninstall(id, user, vehicleID, appName))
@@ -452,6 +474,12 @@ func (s *Server) precheckUninstall(user core.UserID, vehicleID core.VehicleID, a
 func (s *Server) uninstall(opID string, user core.UserID, vehicleID core.VehicleID, appName core.AppName) error {
 	if err := s.precheckUninstall(user, vehicleID, appName); err != nil {
 		return err
+	}
+	// An uninstall racing a live upgrade of the same app would fight the
+	// upgrade's row commit; refuse it while the upgrade is in flight.
+	if s.upgradeTarget(vehicleID, appName) {
+		return api.Errorf(api.CodeFailedPrecondition,
+			"server: app %s on %s is part of an in-flight upgrade", appName, vehicleID)
 	}
 	// Claim the uninstall before snapshotting the row, so concurrent
 	// requests cannot each push a full set of MsgUninstall frames. The
@@ -522,7 +550,7 @@ func (s *Server) Restore(user core.UserID, vehicleID core.VehicleID, replaced co
 	if err := s.precheckRestore(user, vehicleID); err != nil {
 		return 0, err
 	}
-	rec := s.newOperation(api.OpRestore, user, vehicleID, "", replaced)
+	rec := s.newOperation(api.OpRestore, user, vehicleID, "", "", replaced)
 	n, err := s.restore(rec.op.ID, user, vehicleID, replaced)
 	s.finishLaunch(rec.op.ID, err)
 	return n, err
@@ -534,7 +562,7 @@ func (s *Server) RestoreAsync(user core.UserID, vehicleID core.VehicleID, replac
 	if err := s.precheckRestore(user, vehicleID); err != nil {
 		return api.Operation{}, err
 	}
-	rec := s.newOperation(api.OpRestore, user, vehicleID, "", replaced)
+	rec := s.newOperation(api.OpRestore, user, vehicleID, "", "", replaced)
 	id := rec.op.ID
 	go func() {
 		_, err := s.restore(id, user, vehicleID, replaced)
@@ -688,6 +716,11 @@ func (s *Server) applyAck(op pendingOp, msg core.Message) {
 		// "The InstalledAPP table is updated once successful
 		// uninstallation has been fully acknowledged."
 		s.store.DropUninstalledPlugin(op.vehicle, op.app, op.plugin)
+	case "upgrade":
+		// The store is untouched per swap: the row replacement commits
+		// atomically once every plug-in of the upgrade acknowledged
+		// (see upgrade.go), so a partial upgrade never leaks a mixed
+		// row.
 	}
 	s.settleAck(op, "")
 }

@@ -90,6 +90,14 @@ func (sv *Service) Uninstall(_ context.Context, req api.UninstallRequest) (api.O
 	return sv.s.UninstallAsync(req.User, req.Vehicle, req.App)
 }
 
+func (sv *Service) Upgrade(_ context.Context, req api.UpgradeRequest) (api.Operation, error) {
+	return sv.s.UpgradeAsync(req.User, req.Vehicle, req.From, req.To)
+}
+
+func (sv *Service) BatchUpgrade(_ context.Context, req api.BatchUpgradeRequest) (api.Operation, error) {
+	return sv.s.BatchUpgradeAsync(req.User, req.Vehicles, req.Selector, req.From, req.To)
+}
+
 func (sv *Service) Restore(_ context.Context, req api.RestoreRequest) (api.Operation, error) {
 	return sv.s.RestoreAsync(req.User, req.Vehicle, req.ECU)
 }

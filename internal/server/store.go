@@ -31,6 +31,11 @@ const installedShardCount = 64
 type installedShard struct {
 	mu   sync.RWMutex
 	rows map[core.VehicleID][]*InstalledApp
+	// reserved holds the planned replacement rows of in-flight live
+	// upgrades, keyed vehicle|app: their port ids count as used (so a
+	// concurrent deploy cannot claim them between upgrade planning and
+	// commit) without the row being visible as installed.
+	reserved map[string]*InstalledApp
 }
 
 // Store is the thread-safe in-memory database of the trusted server.
@@ -86,6 +91,7 @@ func NewStore() *Store {
 	}
 	for i := range s.installed {
 		s.installed[i].rows = make(map[core.VehicleID][]*InstalledApp)
+		s.installed[i].reserved = make(map[string]*InstalledApp)
 	}
 	return s
 }
@@ -627,14 +633,15 @@ func (s *Store) InstalledPlugins(vehicle core.VehicleID) []InstalledPlugin {
 }
 
 // UsedPortIDs returns the port ids already allocated on one SW-C of a
-// vehicle, the knowledge the PIC generator needs for SW-C-scope
+// vehicle — installed rows plus the planned rows of in-flight live
+// upgrades — the knowledge the PIC generator needs for SW-C-scope
 // uniqueness.
 func (s *Store) UsedPortIDs(vehicle core.VehicleID, ecu core.ECUID, swc core.SWCID) map[core.PluginPortID]bool {
 	sh := s.shard(vehicle)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	used := make(map[core.PluginPortID]bool)
-	for _, r := range sh.rows[vehicle] {
+	mark := func(r *InstalledApp) {
 		for _, p := range r.Plugins {
 			if p.ECU == ecu && p.SWC == swc {
 				for _, e := range p.PIC {
@@ -643,5 +650,81 @@ func (s *Store) UsedPortIDs(vehicle core.VehicleID, ecu core.ECUID, swc core.SWC
 			}
 		}
 	}
+	for _, r := range sh.rows[vehicle] {
+		mark(r)
+	}
+	for _, r := range sh.reserved {
+		if r.Vehicle == vehicle {
+			mark(r)
+		}
+	}
 	return used
+}
+
+// --- live-upgrade row transactions -------------------------------------------
+
+// upgradeKey names a reservation: the planned new row of an upgrade on
+// a vehicle.
+func upgradeKey(vehicle core.VehicleID, app core.AppName) string {
+	return string(vehicle) + "|" + string(app)
+}
+
+// ReserveUpgrade registers the planned replacement row of a live
+// upgrade: its port ids become unavailable to concurrent deploy
+// planning, but the row is not installed. Reservations are transient —
+// never journaled — because a crash interrupts the upgrade anyway and
+// recovery resolves to the old row.
+func (s *Store) ReserveUpgrade(row *InstalledApp) {
+	sh := s.shard(row.Vehicle)
+	sh.mu.Lock()
+	sh.reserved[upgradeKey(row.Vehicle, row.App)] = row
+	sh.mu.Unlock()
+}
+
+// ReleaseUpgrade drops a reservation without committing (rollback or
+// failed launch).
+func (s *Store) ReleaseUpgrade(vehicle core.VehicleID, app core.AppName) {
+	sh := s.shard(vehicle)
+	sh.mu.Lock()
+	delete(sh.reserved, upgradeKey(vehicle, app))
+	sh.mu.Unlock()
+}
+
+// CommitUpgrade atomically replaces the old app's row with the fully
+// acknowledged replacement row and releases its reservation — the
+// store-side commit point of a live upgrade: before it the vehicle's
+// record is exactly the old version, after it exactly the new one. The
+// commit is refused if the old row vanished or the new app's row
+// appeared concurrently (both indicate an interleaved operation the
+// upgrade lost to).
+func (s *Store) CommitUpgrade(fromApp core.AppName, row *InstalledApp) error {
+	sh := s.shard(row.Vehicle)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.reserved, upgradeKey(row.Vehicle, row.App))
+	var old *InstalledApp
+	for _, r := range sh.rows[row.Vehicle] {
+		if r.App == fromApp {
+			old = r
+		}
+		if r.App == row.App {
+			return api.Errorf(api.CodeAlreadyExists,
+				"server: app %s appeared on %s during the upgrade", row.App, row.Vehicle)
+		}
+	}
+	if old == nil {
+		return api.Errorf(api.CodeFailedPrecondition,
+			"server: app %s disappeared from %s during the upgrade", fromApp, row.Vehicle)
+	}
+	removeRowLocked(sh, row.Vehicle, fromApp)
+	sh.rows[row.Vehicle] = append(sh.rows[row.Vehicle], row)
+	if s.jn != nil {
+		// Ack-path policy: enqueue without waiting — the vehicle already
+		// committed the swap and holds the ground truth; the record rides
+		// the next group commit. A crash inside that window under-reports
+		// (recovery shows the old version while the vehicle runs the
+		// new), the same conservative-loss shape as lost ack records.
+		s.jn.Append(journal.UpgradeCommittedRec(row.Vehicle, fromApp, snapshotRow(row)))
+	}
+	return nil
 }

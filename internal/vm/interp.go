@@ -98,6 +98,23 @@ func NewInstance(prog *Program, host Host, budget int) (*Instance, error) {
 // Program returns the underlying program.
 func (in *Instance) Program() *Program { return in.prog }
 
+// ExportGlobals snapshots the instance's global words — the whole
+// observable state a plug-in accumulates between activations. The hot
+// path of live upgrades: the PIRTE exports the old version's globals
+// and restores them into the new one.
+func (in *Instance) ExportGlobals() []int64 {
+	return append([]int64(nil), in.globals...)
+}
+
+// RestoreGlobals loads exported state into this instance, copying the
+// common prefix: a newer program with more globals keeps its extra
+// slots zeroed (fresh fields), a program with fewer drops the tail.
+// Returns how many words were transferred.
+func (in *Instance) RestoreGlobals(words []int64) int {
+	n := copy(in.globals, words)
+	return n
+}
+
 // Stopped reports whether the instance has been stopped.
 func (in *Instance) Stopped() bool { return in.stopped }
 
