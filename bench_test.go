@@ -177,6 +177,59 @@ func BenchmarkFig1_PeerLink(b *testing.B) {
 	}
 }
 
+// --- Sustained data plane -------------------------------------------------------
+
+// BenchmarkSustainedDataPlane is the headline number of the per-message
+// path: N installed plug-ins subscribe to one type III virtual port
+// (the paper's inbound fan-out), every arrival activates all of them,
+// and each activation writes its result back out through a monitored
+// virtual port. Steady state must be allocation-free and map-free:
+// the benchmark reports msgs/s (plug-in activations per second) and
+// allocs/op, and CI pins 0 allocs/op.
+func BenchmarkSustainedDataPlane(b *testing.B) {
+	for _, plugins := range []int{1, 8} {
+		b.Run(fmt.Sprintf("plugins=%d", plugins), func(b *testing.B) {
+			p, _ := benchPIRTE(b)
+			if err := p.AddMonitor(4, &pirte.RangeMonitor{Min: -1 << 40, Max: 1 << 40, Clamp: true}); err != nil {
+				b.Fatal(err)
+			}
+			// V6 is SW-C2's inbound type III virtual port (SpeedProv on
+			// SW-C port 6), V4 the outbound one (WheelsReq, monitored).
+			// Every plug-in takes V6 traffic in and echoes through V4's
+			// monitor and format translation.
+			for i := 0; i < plugins; i++ {
+				src := strings.Replace(echoSrc, "echo", fmt.Sprintf("fan%d", i), 1)
+				ctx := core.Context{
+					PIC: core.PIC{
+						{Name: "in", ID: core.PluginPortID(2 * i)},
+						{Name: "out", ID: core.PluginPortID(2*i + 1)},
+					},
+					PLC: core.PLC{
+						{Kind: core.LinkVirtual, Plugin: core.PluginPortID(2 * i), Virtual: 6},
+						{Kind: core.LinkVirtual, Plugin: core.PluginPortID(2*i + 1), Virtual: 4},
+					},
+				}
+				if err := p.Install(mustPkg(b, src, ctx, false)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// One inbound type III frame on SW-C port 6 (i16be payload).
+			var frame [2]byte
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				frame[1] = byte(i)
+				p.OnSWCData(6, frame[:])
+			}
+			b.StopTimer()
+			if p.Dispatched == 0 {
+				b.Fatal("no plug-in activations dispatched")
+			}
+			b.ReportMetric(float64(plugins)*float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+		})
+	}
+}
+
 // --- Figure 2: trusted server pipeline ----------------------------------------
 
 func paperBenchApp(b *testing.B) server.App {

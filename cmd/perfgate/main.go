@@ -1,0 +1,242 @@
+// Command perfgate runs the repository's tier-1 benchmarks, emits the
+// results as comparable JSON, and gates changes against a committed
+// baseline (BENCH_BASELINE.json at the repo root).
+//
+//	perfgate run  [-bench regex] [-benchtime 1s] [-pkg .] -out new.json
+//	perfgate compare -baseline BENCH_BASELINE.json -new new.json [-max-regress 0.10]
+//
+// It parses standard `go test -bench` output (the same format benchstat
+// consumes; benchstat itself is not vendored, so the comparison is
+// built in). Comparison rules:
+//
+//   - allocs/op is machine-independent and gated strictly: a benchmark
+//     whose baseline reports 0 allocs/op must stay at 0, and any
+//     increase fails the gate.
+//   - vm-instr/op (the interpreter's deterministic instruction count)
+//     fails on any increase beyond the regression budget.
+//   - ns/op is gated at -max-regress (default 10%) only when the
+//     baseline was recorded on the same CPU model; across machines the
+//     wall-clock comparison is reported but informational, because a
+//     shared-runner ratio against a workstation baseline is noise.
+//
+// Exit status 1 means the gate failed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// tier1Bench selects the benchmarks the gate watches: the paper's
+// figure benchmarks, the VM overhead pair and the sustained data plane.
+const tier1Bench = "BenchmarkFig1|BenchmarkFig3|BenchmarkExtB|BenchmarkSustainedDataPlane"
+
+// File is the JSON shape of one benchmark run.
+type File struct {
+	GOOS       string                        `json:"goos"`
+	GOARCH     string                        `json:"goarch"`
+	CPU        string                        `json:"cpu"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		cmdRun(os.Args[2:])
+	case "compare":
+		cmdCompare(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: perfgate run|compare [flags]")
+	os.Exit(2)
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	bench := fs.String("bench", tier1Bench, "benchmark regex to run")
+	// Time-based by default: a single -benchtime=1x iteration measures
+	// cold-start (pools, interner, ring all empty), not the steady state
+	// the baseline pins.
+	benchtime := fs.String("benchtime", "1s", "go test -benchtime value")
+	count := fs.Int("count", 1, "go test -count value")
+	pkg := fs.String("pkg", ".", "package to benchmark")
+	out := fs.String("out", "", "output JSON path (default stdout)")
+	fs.Parse(args)
+
+	cmd := exec.Command("go", "test",
+		"-bench", *bench,
+		"-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count),
+		"-benchmem",
+		"-run", "^$",
+		*pkg)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: go test: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+	os.Stderr.Write(raw) // keep the raw lines visible in logs
+
+	f := parseBench(string(raw))
+	blob, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "perfgate: wrote %d benchmarks to %s\n", len(f.Benchmarks), *out)
+}
+
+// parseBench extracts `Benchmark<Name>(-P) iters <value unit>...` lines.
+func parseBench(out string) File {
+	f := File{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: map[string]map[string]float64{},
+	}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
+			f.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix so runs on machines with
+		// different core counts stay comparable.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		metrics := map[string]float64{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) > 0 {
+			f.Benchmarks[name] = metrics
+		}
+	}
+	return f
+}
+
+func cmdCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	basePath := fs.String("baseline", "BENCH_BASELINE.json", "baseline JSON")
+	newPath := fs.String("new", "", "fresh run JSON")
+	maxRegress := fs.Float64("max-regress", 0.10, "allowed fractional ns/op regression")
+	fs.Parse(args)
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "perfgate compare: -new is required")
+		os.Exit(2)
+	}
+
+	base := readFile(*basePath)
+	fresh := readFile(*newPath)
+	sameCPU := base.CPU != "" && base.CPU == fresh.CPU
+	if !sameCPU {
+		fmt.Printf("perfgate: baseline CPU %q != current %q; ns/op is informational, allocs/op and vm-instr/op still gate\n",
+			base.CPU, fresh.CPU)
+	}
+
+	failed := false
+	fail := func(format string, args ...any) {
+		failed = true
+		fmt.Printf("FAIL  "+format+"\n", args...)
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bm := base.Benchmarks[name]
+		nm, ok := fresh.Benchmarks[name]
+		if !ok {
+			fail("%s: missing from the fresh run", name)
+			continue
+		}
+		if ba, ok := bm["allocs/op"]; ok {
+			na := nm["allocs/op"]
+			switch {
+			case ba == 0 && na > 0:
+				fail("%s: allocs/op %v, baseline pins 0", name, na)
+			case na > ba:
+				fail("%s: allocs/op grew %v -> %v", name, ba, na)
+			}
+		}
+		if bi, ok := bm["vm-instr/op"]; ok && bi > 0 {
+			if ni := nm["vm-instr/op"]; ni > bi*(1+*maxRegress) {
+				fail("%s: vm-instr/op grew %.0f -> %.0f", name, bi, ni)
+			}
+		}
+		if bns, ok := bm["ns/op"]; ok && bns > 0 {
+			nns := nm["ns/op"]
+			ratio := nns / bns
+			verdict := "ok  "
+			if ratio > 1+*maxRegress {
+				if sameCPU {
+					fail("%s: ns/op regressed %.1f -> %.1f (%.2fx > %.2fx budget)",
+						name, bns, nns, ratio, 1+*maxRegress)
+					continue
+				}
+				verdict = "warn"
+			}
+			fmt.Printf("%s  %-45s ns/op %10.1f -> %10.1f  (%.2fx)\n", verdict, name, bns, nns, ratio)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("perfgate: gate passed")
+}
+
+func readFile(path string) File {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
+		os.Exit(1)
+	}
+	var f File
+	if err := json.Unmarshal(blob, &f); err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return f
+}

@@ -66,7 +66,9 @@ func (f Frame) Bits() int {
 	return bits
 }
 
-// clone returns a deep copy so queued frames are immune to caller reuse.
+// clone returns a deep copy so retained frames are immune to caller
+// reuse; the data plane itself queues frames inline (see pending) and
+// only bus taps pay for a copy.
 func (f Frame) clone() Frame {
 	c := f
 	if f.Data != nil {
@@ -145,10 +147,22 @@ type rxHandler struct {
 	fn     func(Frame, sim.Time)
 }
 
+// pending is one queued transmission. The payload lives inline — CAN
+// frames carry at most MaxData bytes — so queueing never touches the
+// heap, regardless of burst size.
 type pending struct {
-	frame Frame
-	node  *Node
-	seq   uint64
+	id   uint32
+	seq  uint64
+	dlc  uint8
+	ext  bool
+	rtr  bool
+	data [MaxData]byte
+}
+
+// frameOver reconstructs the Frame around a caller-owned buffer.
+func (p *pending) frameOver(buf []byte) Frame {
+	n := copy(buf[:p.dlc], p.data[:p.dlc])
+	return Frame{ID: p.id, Extended: p.ext, RTR: p.rtr, Data: buf[:n]}
 }
 
 // Node is one CAN controller attached to a bus.
@@ -181,7 +195,8 @@ func (n *Node) OnReceive(filter Filter, fn func(Frame, sim.Time)) {
 }
 
 // Send queues the frame for transmission. Frames from one node with equal
-// ids keep FIFO order; across nodes the bus arbitrates by id.
+// ids keep FIFO order; across nodes the bus arbitrates by id. The payload
+// is copied into the queue slot, so callers may reuse their buffer.
 func (n *Node) Send(f Frame) error {
 	if err := f.Validate(); err != nil {
 		return err
@@ -190,7 +205,9 @@ func (n *Node) Send(f Frame) error {
 		return ErrBusOff
 	}
 	n.bus.seq++
-	n.queue = append(n.queue, pending{frame: f.clone(), node: n, seq: n.bus.seq})
+	p := pending{id: f.ID, seq: n.bus.seq, dlc: uint8(len(f.Data)), ext: f.Extended, rtr: f.RTR}
+	copy(p.data[:], f.Data)
+	n.queue = append(n.queue, p)
 	n.bus.kick()
 	return nil
 }
@@ -204,6 +221,16 @@ type Bus struct {
 	busy    bool
 	seq     uint64
 	stats   Stats
+	// Reusable in-flight transmission state: one frame is on the wire
+	// at a time, so a single scratch slot (plus the preallocated finish
+	// closure below) keeps the kick/finish cycle off the heap.
+	txPending pending
+	txNode    *Node
+	txStart   sim.Time
+	finishFn  func()
+	// rxBuf is the scratch payload handed to receive handlers; it is
+	// valid only for the duration of the callback.
+	rxBuf [MaxData]byte
 	// fault decides the fate of each transmission; nil means Deliver.
 	fault func(Frame) FaultAction
 	// taps observe every delivered frame (bus analysers, test sniffers).
@@ -248,33 +275,42 @@ func (b *Bus) FrameTime(f Frame) sim.Duration {
 	return sim.Duration(us)
 }
 
-// kick starts an arbitration round if the bus is idle.
+// kick starts an arbitration round if the bus is idle. The in-flight
+// state lives on the Bus and the completion closure is allocated once,
+// so a steady frame stream schedules without heap traffic.
 func (b *Bus) kick() {
 	if b.busy {
 		return
 	}
-	winner := b.arbitrate()
-	if winner == nil {
+	winner, node, ok := b.arbitrate()
+	if !ok {
 		return
 	}
 	b.busy = true
-	f := winner.frame
-	node := winner.node
-	dur := b.FrameTime(f)
-	start := b.eng.Now()
-	b.eng.After(dur, func() {
-		b.busy = false
-		b.stats.BusyTime += sim.Duration(b.eng.Now() - start)
-		b.finish(node, f)
-		b.kick()
-	})
+	b.txPending = winner
+	b.txNode = node
+	b.txStart = b.eng.Now()
+	if b.finishFn == nil {
+		b.finishFn = func() {
+			b.busy = false
+			b.stats.BusyTime += sim.Duration(b.eng.Now() - b.txStart)
+			// Copy the in-flight state out of the shared slot first: the
+			// fault injector or a receive handler may call Send, whose
+			// kick() claims the now-idle bus and overwrites txPending.
+			done := b.txPending
+			b.finish(b.txNode, &done)
+			b.kick()
+		}
+	}
+	var buf [MaxData]byte
+	b.eng.After(b.FrameTime(winner.frameOver(buf[:])), b.finishFn)
 }
 
 // arbitrate removes and returns the highest-priority pending frame across
 // all non-bus-off nodes: lowest id wins, ties resolved by enqueue order.
 // All queued frames compete, modelling controllers with multiple transmit
 // mailboxes whose internal arbitration also picks the lowest id first.
-func (b *Bus) arbitrate() *pending {
+func (b *Bus) arbitrate() (pending, *Node, bool) {
 	var best *pending
 	var bestNode *Node
 	var bestIdx int
@@ -284,8 +320,8 @@ func (b *Bus) arbitrate() *pending {
 		}
 		for i := range n.queue {
 			p := &n.queue[i]
-			if best == nil || p.frame.ID < best.frame.ID ||
-				(p.frame.ID == best.frame.ID && p.seq < best.seq) {
+			if best == nil || p.id < best.id ||
+				(p.id == best.id && p.seq < best.seq) {
 				best = p
 				bestNode = n
 				bestIdx = i
@@ -293,15 +329,20 @@ func (b *Bus) arbitrate() *pending {
 		}
 	}
 	if best == nil {
-		return nil
+		return pending{}, nil, false
 	}
 	p := *best
 	bestNode.queue = append(bestNode.queue[:bestIdx], bestNode.queue[bestIdx+1:]...)
-	return &p
+	return p, bestNode, true
 }
 
-// finish applies fault injection and delivers or retransmits.
-func (b *Bus) finish(node *Node, f Frame) {
+// finish applies fault injection and delivers or retransmits. Receive
+// handlers see a Frame over the bus's scratch buffer, valid only for
+// the duration of the callback; every in-tree receiver (the COM stack,
+// transports) consumes or copies synchronously. Taps still get a
+// private copy — they are analysers that may retain.
+func (b *Bus) finish(node *Node, p *pending) {
+	f := p.frameOver(b.rxBuf[:])
 	action := Deliver
 	if b.fault != nil {
 		action = b.fault(f)
@@ -314,7 +355,9 @@ func (b *Bus) finish(node *Node, f Frame) {
 		if node.state != BusOff {
 			// Automatic retransmission with seq 0: the frame keeps its
 			// place ahead of anything queued later with the same id.
-			node.queue = append([]pending{{frame: f, node: node, seq: 0}}, node.queue...)
+			requeued := *p
+			requeued.seq = 0
+			node.queue = append([]pending{requeued}, node.queue...)
 		}
 		return
 	case Lose:
@@ -339,7 +382,7 @@ func (b *Bus) finish(node *Node, f Frame) {
 		for _, h := range rx.rx {
 			if h.filter.Match(f.ID) {
 				rx.Received++
-				h.fn(f.clone(), now)
+				h.fn(f, now)
 			}
 		}
 	}

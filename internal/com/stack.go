@@ -64,6 +64,11 @@ type rxPDU struct {
 	def      IPDUDef
 	handlers []rxHandler
 	rawFns   []func([]byte, sim.Time)
+	// scratch is the reusable dispatch buffer: arrivals shorter than the
+	// PDU are padded into it, and raw callbacks receive it directly —
+	// valid only for the duration of the callback, like the CAN layer's
+	// receive buffer it usually aliases.
+	scratch []byte
 }
 
 // Stack is one ECU's COM instance, bound to one CAN node.
@@ -114,7 +119,7 @@ func (s *Stack) DefineRx(def IPDUDef) error {
 	if _, dup := s.rx[def.CANID]; dup {
 		return fmt.Errorf("com: rx PDU for CAN id %03X already defined", def.CANID)
 	}
-	p := &rxPDU{def: def}
+	p := &rxPDU{def: def, scratch: make([]byte, def.Length)}
 	s.rx[def.CANID] = p
 	s.node.OnReceive(can.Filter{ID: def.CANID, Mask: ^uint32(0)}, func(f can.Frame, at sim.Time) {
 		s.dispatch(p, f, at)
@@ -186,22 +191,29 @@ func (s *Stack) OnPDU(canID uint32, fn func([]byte, sim.Time)) error {
 }
 
 func (s *Stack) transmit(p *txPDU) error {
+	// Send copies the payload into its queue slot, so the shadow buffer
+	// goes out directly — no per-transmission allocation.
 	return s.node.Send(can.Frame{
 		ID:       p.def.CANID,
 		Extended: p.def.Extended,
-		Data:     append([]byte(nil), p.shadow...),
+		Data:     p.shadow,
 	})
 }
 
 func (s *Stack) dispatch(p *rxPDU, f can.Frame, at sim.Time) {
 	data := f.Data
 	if len(data) < p.def.Length {
-		padded := make([]byte, p.def.Length)
-		copy(padded, data)
-		data = padded
+		// Pad short frames in the reusable scratch buffer.
+		n := copy(p.scratch, data)
+		for i := n; i < len(p.scratch); i++ {
+			p.scratch[i] = 0
+		}
+		data = p.scratch
 	}
 	for _, fn := range p.rawFns {
-		fn(append([]byte(nil), data...), at)
+		// Raw callbacks get the transient buffer; they must consume or
+		// copy before returning (all in-tree consumers unpack in place).
+		fn(data, at)
 	}
 	for _, h := range p.handlers {
 		v, err := h.signal.Unpack(data)

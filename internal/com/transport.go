@@ -67,17 +67,21 @@ func (t *Transport) OnPayload(fn func([]byte, sim.Time)) {
 	t.onPayload = append(t.onPayload, fn)
 }
 
-// Send segments and queues the payload for transmission.
+// Send segments and queues the payload for transmission. Every segment
+// is staged in one stack-local frame buffer — the CAN layer copies on
+// Send — so a multi-kilobyte package transfer allocates nothing here.
 func (t *Transport) Send(payload []byte) error {
 	if len(payload) == 0 {
 		return fmt.Errorf("com: transport: empty payload")
 	}
+	var buf [can.MaxData]byte
 	send := func(data []byte) error {
 		return t.node.Send(can.Frame{ID: t.txID, Extended: t.extended, Data: data})
 	}
 	if len(payload) <= 7 {
-		frame := append([]byte{byte(pciSingle<<4) | byte(len(payload))}, payload...)
-		if err := send(frame); err != nil {
+		buf[0] = byte(pciSingle<<4) | byte(len(payload))
+		n := copy(buf[1:], payload)
+		if err := send(buf[:1+n]); err != nil {
 			return err
 		}
 		t.Sent++
@@ -85,19 +89,19 @@ func (t *Transport) Send(payload []byte) error {
 	}
 	var rest []byte
 	if len(payload) <= 4095 {
-		hdr := []byte{byte(pciFirst<<4) | byte(len(payload)>>8), byte(len(payload))}
-		first := append(hdr, payload[:6]...)
-		if err := send(first); err != nil {
+		buf[0] = byte(pciFirst<<4) | byte(len(payload)>>8)
+		buf[1] = byte(len(payload))
+		copy(buf[2:], payload[:6])
+		if err := send(buf[:8]); err != nil {
 			return err
 		}
 		rest = payload[6:]
 	} else {
-		var hdr [6]byte
-		hdr[0] = pciFirst << 4
-		hdr[1] = 0
-		binary.BigEndian.PutUint32(hdr[2:], uint32(len(payload)))
-		first := append(hdr[:], payload[:2]...)
-		if err := send(first); err != nil {
+		buf[0] = pciFirst << 4
+		buf[1] = 0
+		binary.BigEndian.PutUint32(buf[2:6], uint32(len(payload)))
+		copy(buf[6:], payload[:2])
+		if err := send(buf[:8]); err != nil {
 			return err
 		}
 		rest = payload[2:]
@@ -108,8 +112,9 @@ func (t *Transport) Send(payload []byte) error {
 		if n > 7 {
 			n = 7
 		}
-		frame := append([]byte{byte(pciConsec<<4) | (seq & 0xF)}, rest[:n]...)
-		if err := send(frame); err != nil {
+		buf[0] = byte(pciConsec<<4) | (seq & 0xF)
+		copy(buf[1:], rest[:n])
+		if err := send(buf[:1+n]); err != nil {
 			return err
 		}
 		rest = rest[n:]

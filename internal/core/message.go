@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
 )
 
 // MsgType identifies the kind of a message exchanged between the trusted
@@ -85,48 +86,90 @@ type Message struct {
 // comfortably fits, while corrupt length prefixes are rejected early.
 const maxMessageSize = 16 << 20
 
-// MarshalBinary encodes the envelope.
-func (m Message) MarshalBinary() ([]byte, error) {
-	e := NewEnc(32 + len(m.Payload))
+// AppendBinary appends the framed encoding of m to dst and returns the
+// extended slice — the allocation-free form of MarshalBinary for hot
+// paths that own a reusable buffer (the ECM ack path, the pushers).
+// The frame is built in place: eight header bytes are reserved, the
+// body encoded after them, and length and checksum backfilled.
+func (m Message) AppendBinary(dst []byte) ([]byte, error) {
+	base := len(dst)
+	e := Enc{buf: append(dst, 0, 0, 0, 0, 0, 0, 0, 0)}
 	e.U8(uint8(m.Type))
 	e.Str(string(m.Plugin))
 	e.Str(string(m.ECU))
 	e.Str(string(m.SWC))
 	e.U32(m.Seq)
 	e.Blob(m.Payload)
-	body := e.Bytes()
-	out := NewEnc(8 + len(body))
-	out.U32(uint32(len(body)))
-	out.U32(Checksum(body))
-	return append(out.Bytes(), body...), nil
+	out := e.Bytes()
+	body := out[base+8:]
+	hdr := Enc{buf: out[base : base : base+8]}
+	hdr.U32(uint32(len(body)))
+	hdr.U32(Checksum(body))
+	return out, nil
+}
+
+// MarshalBinary encodes the envelope.
+func (m Message) MarshalBinary() ([]byte, error) {
+	return m.AppendBinary(make([]byte, 0, 40+len(m.Payload)))
 }
 
 // UnmarshalBinary decodes a full frame produced by MarshalBinary,
 // verifying the length prefix and checksum.
 func (m *Message) UnmarshalBinary(b []byte) error {
+	body, err := frameBody(b)
+	if err != nil {
+		return err
+	}
+	return m.decodeBody(body)
+}
+
+// frameBody validates a frame's length prefix and checksum and returns
+// the body — the one copy of the framing contract shared by the plain
+// and interned decoders.
+func frameBody(b []byte) ([]byte, error) {
 	if len(b) < 8 {
-		return fmt.Errorf("core: wire: message frame of %d bytes is too short", len(b))
+		return nil, fmt.Errorf("core: wire: message frame of %d bytes is too short", len(b))
 	}
 	d := NewDec(b[:8])
 	n := d.U32()
 	sum := d.U32()
 	if int(n) != len(b)-8 {
-		return fmt.Errorf("core: wire: frame length %d does not match body of %d bytes", n, len(b)-8)
+		return nil, fmt.Errorf("core: wire: frame length %d does not match body of %d bytes", n, len(b)-8)
 	}
 	body := b[8:]
 	if got := Checksum(body); got != sum {
-		return fmt.Errorf("core: wire: message checksum mismatch (got %08x want %08x)", got, sum)
+		return nil, fmt.Errorf("core: wire: message checksum mismatch (got %08x want %08x)", got, sum)
 	}
-	return m.decodeBody(body)
+	return body, nil
+}
+
+// UnmarshalBinaryInterned decodes like UnmarshalBinary but resolves the
+// envelope's identifier strings through the interner, so steady-state
+// decoding of recurring senders does not allocate. The interner is not
+// safe for concurrent use; give each single-threaded decoder its own.
+func (m *Message) UnmarshalBinaryInterned(b []byte, in *Interner) error {
+	body, err := frameBody(b)
+	if err != nil {
+		return err
+	}
+	return m.decodeBodyWith(body, in)
 }
 
 // decodeBody decodes the frame body (after length and checksum).
-func (m *Message) decodeBody(b []byte) error {
+func (m *Message) decodeBody(b []byte) error { return m.decodeBodyWith(b, nil) }
+
+func (m *Message) decodeBodyWith(b []byte, in *Interner) error {
 	d := NewDec(b)
 	m.Type = MsgType(d.U8())
-	m.Plugin = PluginName(d.Str())
-	m.ECU = ECUID(d.Str())
-	m.SWC = SWCID(d.Str())
+	if in != nil {
+		m.Plugin = PluginName(in.Intern(d.StrBytes()))
+		m.ECU = ECUID(in.Intern(d.StrBytes()))
+		m.SWC = SWCID(in.Intern(d.StrBytes()))
+	} else {
+		m.Plugin = PluginName(d.Str())
+		m.ECU = ECUID(d.Str())
+		m.SWC = SWCID(d.Str())
+	}
 	m.Seq = d.U32()
 	m.Payload = d.Blob()
 	if err := d.Err(); err != nil {
@@ -138,14 +181,53 @@ func (m *Message) decodeBody(b []byte) error {
 	return nil
 }
 
-// WriteMessage frames and writes one message to w: a 4-byte length, a
-// 4-byte CRC-32 of the body, then the body.
-func WriteMessage(w io.Writer, m Message) error {
-	b, err := m.MarshalBinary()
-	if err != nil {
-		return err
+// Interner canonicalises recurring small strings decoded from the wire
+// so the hot decode paths stop allocating one string per identifier per
+// message. Lookups on cached content are allocation-free; the cache is
+// capped, falling back to plain allocation when full.
+type Interner struct {
+	m map[string]string
+}
+
+// maxInternEntries bounds an interner; identifiers are ECU/SW-C/plug-in
+// names, so real populations are tiny and the cap only guards against
+// adversarial churn.
+const maxInternEntries = 1024
+
+// Intern returns the canonical string for the byte content.
+func (in *Interner) Intern(b []byte) string {
+	if s, ok := in.m[string(b)]; ok { // compiler avoids the conversion alloc
+		return s
 	}
-	_, err = w.Write(b)
+	s := string(b)
+	if len(in.m) < maxInternEntries {
+		if in.m == nil {
+			in.m = make(map[string]string)
+		}
+		in.m[s] = s
+	}
+	return s
+}
+
+// frameBufPool recycles encode buffers across WriteMessage calls: the
+// server pushers and the ECM ack path frame thousands of messages per
+// second, and io.Writer's contract (the writer must not retain p after
+// returning) makes the buffer reusable the moment Write returns.
+var frameBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 256); return &b },
+}
+
+// WriteMessage frames and writes one message to w: a 4-byte length, a
+// 4-byte CRC-32 of the body, then the body. The encoding buffer is
+// pooled; steady-state writers allocate nothing.
+func WriteMessage(w io.Writer, m Message) error {
+	bp := frameBufPool.Get().(*[]byte)
+	b, err := m.AppendBinary((*bp)[:0])
+	if err == nil {
+		_, err = w.Write(b)
+	}
+	*bp = b[:0]
+	frameBufPool.Put(bp)
 	return err
 }
 

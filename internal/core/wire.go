@@ -143,6 +143,20 @@ func (d *Dec) Str() string {
 	return s
 }
 
+// StrBytes decodes a 16-bit length-prefixed string as raw bytes. The
+// returned slice aliases the decoder's buffer — it is the zero-copy
+// sibling of Str for callers that intern or copy themselves.
+func (d *Dec) StrBytes() []byte {
+	n := int(d.U16())
+	if d.err != nil || d.off+n > len(d.buf) {
+		d.fail("string")
+		return nil
+	}
+	b := d.buf[d.off : d.off+n : d.off+n]
+	d.off += n
+	return b
+}
+
 // Blob decodes a 32-bit length-prefixed byte slice. The returned slice
 // aliases the decoder's buffer.
 func (d *Dec) Blob() []byte {

@@ -74,6 +74,11 @@ type ECM struct {
 	dialer     Dialer
 	endpoints  map[string]io.ReadWriteCloser
 
+	// frameBuf is the reusable type I frame encoder of the distribution
+	// and external-relay paths; both run on the simulation goroutine and
+	// the RTE copies on write, so one scratch buffer suffices.
+	frameBuf []byte
+
 	logf func(format string, args ...any)
 
 	// Stats.
@@ -361,11 +366,12 @@ func (e *ECM) distribute(msg core.Message) {
 		e.replyServer(msg.Nack(fmt.Sprintf("no route to %s/%s", msg.ECU, msg.SWC)))
 		return
 	}
-	raw, err := msg.MarshalBinary()
+	raw, err := msg.AppendBinary(e.frameBuf[:0])
 	if err != nil {
 		e.replyServer(msg.Nack(err.Error()))
 		return
 	}
+	e.frameBuf = raw[:0]
 	if err := e.WriteSWCPort(via, raw); err != nil {
 		e.replyServer(msg.Nack(fmt.Sprintf("distribution failed: %v", err)))
 		return
@@ -507,17 +513,19 @@ func (e *ECM) routeInbound(ecu core.ECUID, port core.PluginPortID, value int64) 
 		if key.ecu != ecu {
 			continue
 		}
+		var payload [10]byte
 		msg := core.Message{
 			Type:    core.MsgExternal,
 			ECU:     ecu,
 			SWC:     key.swc,
-			Payload: extEncodePayload(port, value),
+			Payload: extEncodePayloadTo(&payload, port, value),
 		}
-		raw, err := msg.MarshalBinary()
+		raw, err := msg.AppendBinary(e.frameBuf[:0])
 		if err != nil {
 			e.logf("ecm: %v", err)
 			return
 		}
+		e.frameBuf = raw[:0]
 		if err := e.WriteSWCPort(via, raw); err != nil {
 			e.logf("ecm: external forward failed: %v", err)
 		}

@@ -1,6 +1,7 @@
 package ecm
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 
@@ -51,13 +52,19 @@ func ReadExtFrame(r io.Reader) (messageID string, value int64, err error) {
 	return messageID, value, nil
 }
 
-// extEncodePayload wraps (port, value) for MsgExternal envelopes; it
-// matches the PIRTE's encoding so both ends of a type I relay agree.
+// extEncodePayloadTo wraps (port, value) for MsgExternal envelopes into
+// the caller's scratch buffer; it matches the PIRTE's encoding so both
+// ends of a type I relay agree.
+func extEncodePayloadTo(buf *[10]byte, port core.PluginPortID, value int64) []byte {
+	binary.BigEndian.PutUint16(buf[:2], uint16(port))
+	binary.BigEndian.PutUint64(buf[2:], uint64(value))
+	return buf[:]
+}
+
+// extEncodePayload is the allocating form for cold paths.
 func extEncodePayload(port core.PluginPortID, value int64) []byte {
-	e := core.NewEnc(10)
-	e.U16(uint16(port))
-	e.I64(value)
-	return e.Bytes()
+	var b [10]byte
+	return append([]byte(nil), extEncodePayloadTo(&b, port, value)...)
 }
 
 // extDecodePayload is the inverse of extEncodePayload.

@@ -93,11 +93,9 @@ func (p *PIRTE) Attach(r *rte.RTE) error {
 
 // dispatchOne pops and executes one queued plug-in event.
 func (p *PIRTE) dispatchOne() {
-	if len(p.queue) == 0 {
+	ev, ok := p.queue.pop()
+	if !ok {
 		return
 	}
-	ev := p.queue[0]
-	copy(p.queue, p.queue[1:])
-	p.queue = p.queue[:len(p.queue)-1]
 	p.execute(ev)
 }

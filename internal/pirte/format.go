@@ -26,27 +26,40 @@ const (
 	FormatU8 = "u8"
 )
 
-// encodeValue renders a plug-in word in the named format.
-func encodeValue(format string, v int64) ([]byte, error) {
+// encodeValueTo renders a plug-in word in the named format into the
+// caller's scratch buffer; the returned slice aliases it and is only
+// valid until the next encode. Receivers on the write path (the RTE)
+// copy on delivery, so the data plane encodes without allocating.
+func encodeValueTo(buf *[8]byte, format string, v int64) ([]byte, error) {
 	switch format {
 	case "", FormatI64:
-		var b [8]byte
-		binary.BigEndian.PutUint64(b[:], uint64(v))
-		return b[:], nil
+		binary.BigEndian.PutUint64(buf[:], uint64(v))
+		return buf[:8], nil
 	case FormatI32:
-		var b [4]byte
-		binary.BigEndian.PutUint32(b[:], uint32(v))
-		return b[:], nil
+		binary.BigEndian.PutUint32(buf[:4], uint32(v))
+		return buf[:4], nil
 	case FormatI16:
-		var b [2]byte
-		binary.BigEndian.PutUint16(b[:], uint16(v))
-		return b[:], nil
+		binary.BigEndian.PutUint16(buf[:2], uint16(v))
+		return buf[:2], nil
 	case FormatI8:
-		return []byte{byte(int8(v))}, nil
+		buf[0] = byte(int8(v))
+		return buf[:1], nil
 	case FormatU8:
-		return []byte{byte(uint8(v))}, nil
+		buf[0] = byte(uint8(v))
+		return buf[:1], nil
 	}
 	return nil, fmt.Errorf("pirte: unknown virtual port format %q", format)
+}
+
+// encodeValue renders a plug-in word in the named format into a fresh
+// buffer (cold paths and tests).
+func encodeValue(format string, v int64) ([]byte, error) {
+	var b [8]byte
+	out, err := encodeValueTo(&b, format, v)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), out...), nil
 }
 
 // decodeValue parses bytes in the named format into a plug-in word.
@@ -86,12 +99,18 @@ func decodeValue(format string, b []byte) (int64, error) {
 // of static type II ports carries any number of plug-in port
 // conversations.
 
+// muxEncodeTo wraps a value with its recipient plug-in port id in the
+// caller's scratch buffer (same aliasing contract as encodeValueTo).
+func muxEncodeTo(buf *[10]byte, recipient core.PluginPortID, value int64) []byte {
+	binary.BigEndian.PutUint16(buf[:2], uint16(recipient))
+	binary.BigEndian.PutUint64(buf[2:], uint64(value))
+	return buf[:]
+}
+
 // muxEncode wraps a value with its recipient plug-in port id.
 func muxEncode(recipient core.PluginPortID, value int64) []byte {
-	e := core.NewEnc(10)
-	e.U16(uint16(recipient))
-	e.I64(value)
-	return e.Bytes()
+	var b [10]byte
+	return append([]byte(nil), muxEncodeTo(&b, recipient, value)...)
 }
 
 // muxDecode extracts the recipient id and value.

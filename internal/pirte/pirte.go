@@ -117,9 +117,20 @@ type virtualPort struct {
 	spec core.VirtualPortSpec
 	swc  core.SWCPortSpec
 	mons []Monitor
+	// subs is the precomputed inbound fan-out list: every installed
+	// plug-in port linked to this virtual port (rebuilt on install,
+	// uninstall and upgrade), so type III arrivals walk a slice instead
+	// of scanning every plug-in's link table.
+	subs []subscriber
 	// Writes and Drops count traffic through the port.
 	Writes uint64
 	Drops  uint64
+}
+
+// subscriber is one fan-out target of a virtual port.
+type subscriber struct {
+	ip *Installed
+	id core.PluginPortID
 }
 
 type timerState struct {
@@ -130,13 +141,15 @@ type timerState struct {
 
 // Installed is one plug-in under PIRTE management.
 type Installed struct {
-	Name      core.PluginName
-	Pkg       plugin.Package
-	inst      *vm.Instance
-	prog      *vm.Program
-	idToIndex map[core.PluginPortID]int
+	Name core.PluginName
+	Pkg  plugin.Package
+	inst *vm.Instance
+	prog *vm.Program
+	// indexToID and links are dense, indexed by the program's declared
+	// port index — the data plane never touches a map. The reverse
+	// id-to-index direction lives in the PIRTE-wide route table.
 	indexToID []core.PluginPortID
-	links     map[core.PluginPortID]core.PLCEntry
+	links     []core.PLCEntry
 	state     State
 	timers    [8]timerState
 	restarts  int
@@ -175,10 +188,14 @@ type PIRTE struct {
 	virtBySWC map[core.SWCPortID]*virtualPort
 	swcPorts  map[core.SWCPortID]core.SWCPortSpec
 
-	plugins   map[core.PluginName]*Installed
-	portOwner map[core.PluginPortID]*Installed
+	plugins map[core.PluginName]*Installed
+	// routes is the dense routing table of the data plane, indexed by
+	// SW-C-scope plug-in port id: owner, program port index and the
+	// PIRTE-direct last-value latch, one cache line away instead of
+	// three map lookups. Grown on demand up to maxPortID.
+	routes []portRoute
 
-	queue    []event
+	queue    eventRing
 	kernel   *osek.Kernel
 	dispatch osek.TaskID
 	attached bool
@@ -195,13 +212,19 @@ type PIRTE struct {
 	// externalOut is called by the ECM PIRTE subclass when a local plug-in
 	// writes to an ECC-routed port; nil elsewhere.
 	externalOut func(pl core.PluginName, port core.PluginPortID, value int64) bool
-	// directWrites buffers values written to unlinked ports for direct
-	// PIRTE reads (paper: "PIRTE1 will communicate with them directly").
-	directWrites map[core.PluginPortID]int64
 	// logf receives plug-in OpLog output and PIRTE diagnostics.
 	logf func(format string, args ...any)
 
 	seq uint32
+
+	// Reusable scratch of the per-message path (the PIRTE runs on the
+	// single simulation goroutine): virtual-port format encoding, type
+	// II multiplexing, outbound type I frames, and the string interner
+	// of inbound type I decoding.
+	encBuf   [8]byte
+	muxBuf   [10]byte
+	frameBuf []byte
+	intern   core.Interner
 
 	// Stats.
 	Dispatched uint64
@@ -224,8 +247,6 @@ func New(eng *sim.Engine, cfg Config) (*PIRTE, error) {
 		virtBySWC:     make(map[core.SWCPortID]*virtualPort),
 		swcPorts:      make(map[core.SWCPortID]core.SWCPortSpec),
 		plugins:       make(map[core.PluginName]*Installed),
-		portOwner:     make(map[core.PluginPortID]*Installed),
-		directWrites:  make(map[core.PluginPortID]int64),
 		typeIProvided: -1,
 		logf:          func(string, ...any) {},
 	}
@@ -323,8 +344,65 @@ func (p *PIRTE) Plugin(name core.PluginName) (*Installed, bool) {
 // DirectRead returns the last value a plug-in wrote to an unlinked port,
 // the PIRTE-direct channel of the paper's COM example.
 func (p *PIRTE) DirectRead(port core.PluginPortID) (int64, bool) {
-	v, ok := p.directWrites[port]
-	return v, ok
+	r := p.route(port)
+	if r == nil || !r.hasDirect {
+		return 0, false
+	}
+	return r.direct, true
+}
+
+// portRoute is one entry of the dense port routing table.
+type portRoute struct {
+	// owner is the plug-in currently bound to the id (nil = free).
+	owner *Installed
+	// index is the owner program's declared port index.
+	index int32
+	// direct and hasDirect form the PIRTE-direct last-value latch of
+	// unlinked ports.
+	direct    int64
+	hasDirect bool
+}
+
+// maxPortID bounds the SW-C-scope port id space; the wire form of the
+// PIC carries ids as 16-bit values, so nothing beyond it can ship.
+const maxPortID = 1 << 16
+
+// route returns the routing entry of a port id, nil when the id was
+// never bound.
+func (p *PIRTE) route(id core.PluginPortID) *portRoute {
+	if id < 0 || int(id) >= len(p.routes) {
+		return nil
+	}
+	return &p.routes[id]
+}
+
+// ensureRoute grows the table to cover id and returns its entry.
+func (p *PIRTE) ensureRoute(id core.PluginPortID) *portRoute {
+	if int(id) >= len(p.routes) {
+		grown := make([]portRoute, id+1)
+		copy(grown, p.routes)
+		p.routes = grown
+	}
+	return &p.routes[id]
+}
+
+// rebuildSubs recomputes every virtual port's inbound fan-out list from
+// the installed population; called on install, uninstall and the
+// upgrade swap/rollback paths (all cold).
+func (p *PIRTE) rebuildSubs() {
+	for _, vp := range p.virtByID {
+		vp.subs = vp.subs[:0]
+	}
+	for _, ip := range p.plugins {
+		for idx, post := range ip.links {
+			if post.Kind != core.LinkVirtual {
+				continue
+			}
+			if vp, ok := p.virtByID[post.Virtual]; ok {
+				vp.subs = append(vp.subs, subscriber{ip: ip, id: ip.indexToID[idx]})
+			}
+		}
+	}
 }
 
 // memoryInUse sums the global words of installed plug-ins.
@@ -359,7 +437,7 @@ func (p *PIRTE) Install(pkg plugin.Package) error {
 		return fmt.Errorf("%w: memory quota %d words", ErrQuota, p.cfg.MemoryQuota)
 	}
 
-	idToIndex, indexToID, links, err := p.bindContext(prog, pkg)
+	indexToID, links, err := p.bindContext(prog, pkg)
 	if err != nil {
 		return err
 	}
@@ -372,7 +450,6 @@ func (p *PIRTE) Install(pkg plugin.Package) error {
 		Name:      name,
 		Pkg:       pkg,
 		prog:      prog,
-		idToIndex: idToIndex,
 		indexToID: indexToID,
 		links:     links,
 		state:     StateRunning,
@@ -383,9 +460,8 @@ func (p *PIRTE) Install(pkg plugin.Package) error {
 	}
 	ip.inst = inst
 	p.plugins[name] = ip
-	for id := range idToIndex {
-		p.portOwner[id] = ip
-	}
+	p.bindRoutes(ip)
+	p.rebuildSubs()
 	p.persist(ip)
 	p.enqueue(event{kind: 0, pl: ip})
 	p.logf("pirte %s: installed %s %s (ports %v)", p.cfg.SWC, name,
@@ -397,32 +473,47 @@ func (p *PIRTE) Install(pkg plugin.Package) error {
 // configuration and the current port population: ids must be free,
 // every post must fit the virtual-port table and the port directions.
 // Shared by Install and the live-upgrade swap (which releases the old
-// version's ids first).
-func (p *PIRTE) bindContext(prog *vm.Program, pkg plugin.Package) (map[core.PluginPortID]int, []core.PluginPortID, map[core.PluginPortID]core.PLCEntry, error) {
+// version's ids first). It returns the dense per-index id and link
+// tables; the caller publishes them into the route table via bindRoutes.
+func (p *PIRTE) bindContext(prog *vm.Program, pkg plugin.Package) ([]core.PluginPortID, []core.PLCEntry, error) {
 	name := pkg.Binary.Manifest.Name
 	// Port Initialization Context: bind SW-C-scope unique ids to the
 	// program's declared port indices.
-	idToIndex := make(map[core.PluginPortID]int, len(pkg.Context.PIC))
 	indexToID := make([]core.PluginPortID, len(prog.Ports))
 	for i, decl := range prog.Ports {
 		id, ok := pkg.Context.PIC.Lookup(decl.Name)
 		if !ok {
-			return nil, nil, nil, fmt.Errorf("pirte: PIC misses port %q of plug-in %s", decl.Name, name)
+			return nil, nil, fmt.Errorf("pirte: PIC misses port %q of plug-in %s", decl.Name, name)
 		}
-		if owner, taken := p.portOwner[id]; taken {
-			return nil, nil, nil, fmt.Errorf("%w: %s (held by %s)", ErrPortClash, id, owner.Name)
+		if id < 0 || id >= maxPortID {
+			return nil, nil, fmt.Errorf("pirte: port id %s of plug-in %s out of range", id, name)
 		}
-		idToIndex[id] = i
+		if r := p.route(id); r != nil && r.owner != nil {
+			return nil, nil, fmt.Errorf("%w: %s (held by %s)", ErrPortClash, id, r.owner.Name)
+		}
+		for _, prev := range indexToID[:i] {
+			if prev == id {
+				return nil, nil, fmt.Errorf("%w: %s (bound twice by %s)", ErrPortClash, id, name)
+			}
+		}
 		indexToID[i] = id
+	}
+	lookup := func(id core.PluginPortID) (int, bool) {
+		for i, bound := range indexToID {
+			if bound == id {
+				return i, true
+			}
+		}
+		return 0, false
 	}
 
 	// Port Linking Context: validate every post against the virtual port
 	// table and the port directions.
-	links := make(map[core.PluginPortID]core.PLCEntry, len(pkg.Context.PLC))
+	links := make([]core.PLCEntry, len(prog.Ports))
 	for _, post := range pkg.Context.PLC {
-		idx, ok := idToIndex[post.Plugin]
+		idx, ok := lookup(post.Plugin)
 		if !ok {
-			return nil, nil, nil, fmt.Errorf("pirte: PLC post %s refers to unassigned port", post.Plugin)
+			return nil, nil, fmt.Errorf("pirte: PLC post %s refers to unassigned port", post.Plugin)
 		}
 		dir := prog.Ports[idx].Direction
 		switch post.Kind {
@@ -431,42 +522,52 @@ func (p *PIRTE) bindContext(prog *vm.Program, pkg plugin.Package) (map[core.Plug
 		case core.LinkVirtual:
 			vp, ok := p.virtByID[post.Virtual]
 			if !ok {
-				return nil, nil, nil, fmt.Errorf("%w: %s -> missing %s", ErrBadLink, post.Plugin, post.Virtual)
+				return nil, nil, fmt.Errorf("%w: %s -> missing %s", ErrBadLink, post.Plugin, post.Virtual)
 			}
 			switch vp.spec.Type {
 			case core.TypeII:
 				// Receive-association: the plug-in port is fed by the mux.
 				if dir != core.Required {
-					return nil, nil, nil, fmt.Errorf("%w: %s is provided but %s is a type II inbound association",
+					return nil, nil, fmt.Errorf("%w: %s is provided but %s is a type II inbound association",
 						ErrBadLink, post.Plugin, post.Virtual)
 				}
 			default:
 				if vp.swc.Direction != dir {
-					return nil, nil, nil, fmt.Errorf("%w: %s (%v) vs %s (%v SW-C port)",
+					return nil, nil, fmt.Errorf("%w: %s (%v) vs %s (%v SW-C port)",
 						ErrBadLink, post.Plugin, dir, post.Virtual, vp.swc.Direction)
 				}
 			}
 		case core.LinkVirtualRemote:
 			vp, ok := p.virtByID[post.Virtual]
 			if !ok {
-				return nil, nil, nil, fmt.Errorf("%w: %s -> missing %s", ErrBadLink, post.Plugin, post.Virtual)
+				return nil, nil, fmt.Errorf("%w: %s -> missing %s", ErrBadLink, post.Plugin, post.Virtual)
 			}
 			if vp.spec.Type != core.TypeII {
-				return nil, nil, nil, fmt.Errorf("%w: %s carries a remote id but %s is %v",
+				return nil, nil, fmt.Errorf("%w: %s carries a remote id but %s is %v",
 					ErrBadLink, post.Plugin, post.Virtual, vp.spec.Type)
 			}
 			if vp.swc.Direction != core.Provided {
-				return nil, nil, nil, fmt.Errorf("%w: %s targets inbound type II port %s",
+				return nil, nil, fmt.Errorf("%w: %s targets inbound type II port %s",
 					ErrBadLink, post.Plugin, post.Virtual)
 			}
 		case core.LinkPeer:
-			if _, ok := p.portOwner[post.Peer]; !ok {
-				return nil, nil, nil, fmt.Errorf("%w: peer %s of %s not installed", ErrBadLink, post.Peer, post.Plugin)
+			if r := p.route(post.Peer); r == nil || r.owner == nil {
+				return nil, nil, fmt.Errorf("%w: peer %s of %s not installed", ErrBadLink, post.Peer, post.Plugin)
 			}
 		}
-		links[post.Plugin] = post
+		links[idx] = post
 	}
-	return idToIndex, indexToID, links, nil
+	return indexToID, links, nil
+}
+
+// bindRoutes publishes a plug-in's port ids into the routing table. The
+// latch state starts clear; the upgrade path re-applies preserved
+// latches after rebinding.
+func (p *PIRTE) bindRoutes(ip *Installed) {
+	for i, id := range ip.indexToID {
+		r := p.ensureRoute(id)
+		*r = portRoute{owner: ip, index: int32(i)}
+	}
 }
 
 // Uninstall stops and removes the plug-in, releasing its port ids and
@@ -483,6 +584,7 @@ func (p *PIRTE) Uninstall(name core.PluginName) error {
 	p.clearTimers(ip)
 	p.releasePorts(ip)
 	delete(p.plugins, name)
+	p.rebuildSubs()
 	if p.cfg.NvM != nil {
 		p.cfg.NvM.DeleteBlock(p.nvmKey(name))
 	}
@@ -490,12 +592,12 @@ func (p *PIRTE) Uninstall(name core.PluginName) error {
 	return nil
 }
 
-// releasePorts unbinds every port id owned by the plug-in.
+// releasePorts unbinds every port id owned by the plug-in, clearing
+// the PIRTE-direct latches with them.
 func (p *PIRTE) releasePorts(ip *Installed) {
-	for id, owner := range p.portOwner {
-		if owner == ip {
-			delete(p.portOwner, id)
-			delete(p.directWrites, id)
+	for _, id := range ip.indexToID {
+		if r := p.route(id); r != nil && r.owner == ip {
+			*r = portRoute{}
 		}
 	}
 }
@@ -601,7 +703,7 @@ func (p *PIRTE) enqueue(ev event) {
 		p.execute(ev)
 		return
 	}
-	p.queue = append(p.queue, ev)
+	p.queue.push(ev)
 	_ = p.kernel.ActivateTask(p.dispatch)
 }
 
@@ -632,15 +734,15 @@ func (p *PIRTE) execute(ev event) {
 			// (which does declare it) instead of being lost.
 			up.replay = append(up.replay, portValue{port: ev.port, value: ev.value})
 		}
-		idx, ok := ev.pl.idToIndex[ev.port]
-		if !ok {
+		rt := p.route(ev.port)
+		if rt == nil || rt.owner != ev.pl {
 			// Undeliverable to the current version; if an upgrade is on
 			// probation the replay log above preserves it for rollback.
 			p.logf("pirte %s: port %s not declared by %s, message not delivered",
 				p.cfg.SWC, ev.port, ev.pl.Name)
 			return
 		}
-		err = ev.pl.inst.Deliver(idx, ev.value)
+		err = ev.pl.inst.Deliver(int(rt.index), ev.value)
 	case 2:
 		err = ev.pl.inst.Timer(ev.index)
 	}

@@ -1,0 +1,85 @@
+package pirte
+
+// eventRing is the dispatch queue of an attached PIRTE: a power-of-two
+// ring buffer that reuses its backing array across bursts instead of
+// leaving a trail of append garbage, and — unlike the plain slice it
+// replaced — sheds oversized capacity once a burst has drained, so one
+// pathological traffic spike does not pin its high-water backing array
+// for the life of the vehicle.
+type eventRing struct {
+	buf []event
+	// head and tail are monotonically increasing positions; the index
+	// into buf is position & (len(buf)-1).
+	head, tail uint64
+	// peak is the high-water occupancy since the last drain.
+	peak int
+}
+
+// ringMinCap is the smallest (and initial) capacity; a drained ring
+// never sheds below it.
+const ringMinCap = 64
+
+// len returns the number of queued events.
+func (r *eventRing) len() int { return int(r.tail - r.head) }
+
+// push appends an event, growing the ring when full.
+func (r *eventRing) push(ev event) {
+	if r.buf == nil {
+		r.buf = make([]event, ringMinCap)
+	}
+	if r.len() == len(r.buf) {
+		r.resize(len(r.buf) * 2)
+	}
+	r.buf[r.tail&uint64(len(r.buf)-1)] = ev
+	r.tail++
+	if l := r.len(); l > r.peak {
+		r.peak = l
+	}
+}
+
+// pop removes and returns the oldest event. The vacated slot is zeroed
+// so the queue never keeps a drained event's *Installed alive.
+func (r *eventRing) pop() (event, bool) {
+	if r.head == r.tail {
+		return event{}, false
+	}
+	idx := r.head & uint64(len(r.buf)-1)
+	ev := r.buf[idx]
+	r.buf[idx] = event{}
+	r.head++
+	if r.head == r.tail {
+		r.shed()
+	}
+	return ev, true
+}
+
+// shed runs on drain: when the burst that just finished peaked at a
+// quarter of the current capacity or less, the backing array shrinks to
+// fit (never below ringMinCap). Steady traffic at the current scale
+// keeps its array; only capacity stranded by a one-off spike is
+// returned to the collector.
+func (r *eventRing) shed() {
+	if len(r.buf) > ringMinCap && r.peak*4 <= len(r.buf) {
+		want := ringMinCap
+		for want < r.peak*2 {
+			want *= 2
+		}
+		r.buf = make([]event, want)
+		r.head, r.tail = 0, 0
+	}
+	r.peak = 0
+}
+
+// resize moves the queued events into a fresh power-of-two array.
+func (r *eventRing) resize(n int) {
+	buf := make([]event, n)
+	cnt := r.len()
+	for i := 0; i < cnt; i++ {
+		buf[i] = r.buf[(r.head+uint64(i))&uint64(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head, r.tail = 0, uint64(cnt)
+}
+
+// cap exposes the backing capacity for the shed regression test.
+func (r *eventRing) capacity() int { return len(r.buf) }

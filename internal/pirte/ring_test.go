@@ -1,0 +1,101 @@
+package pirte
+
+import (
+	"testing"
+)
+
+// The dispatch queue used to be a plain slice whose backing array grew
+// with the largest burst ever seen and then stayed that size for the
+// life of the PIRTE. The ring buffer must (a) preserve FIFO order,
+// (b) reuse its array across steady bursts, and (c) shed oversized
+// capacity once a spike has drained.
+
+func TestRingFIFOAndReuse(t *testing.T) {
+	var r eventRing
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 40; i++ {
+			r.push(event{kind: 1, value: int64(round*100 + i)})
+		}
+		for i := 0; i < 40; i++ {
+			ev, ok := r.pop()
+			if !ok || ev.value != int64(round*100+i) {
+				t.Fatalf("round %d: pop %d = %v,%v", round, i, ev.value, ok)
+			}
+		}
+		if _, ok := r.pop(); ok {
+			t.Fatal("pop on empty ring succeeded")
+		}
+		if r.capacity() != ringMinCap {
+			t.Fatalf("steady small bursts changed capacity to %d", r.capacity())
+		}
+	}
+}
+
+func TestRingInterleavedPushPop(t *testing.T) {
+	var r eventRing
+	next, want := int64(0), int64(0)
+	for i := 0; i < 10_000; i++ {
+		r.push(event{value: next})
+		next++
+		if i%3 == 0 {
+			ev, ok := r.pop()
+			if !ok || ev.value != want {
+				t.Fatalf("i=%d: pop = %v,%v want %d", i, ev.value, ok, want)
+			}
+			want++
+		}
+	}
+	for want < next {
+		ev, ok := r.pop()
+		if !ok || ev.value != want {
+			t.Fatalf("drain: pop = %v,%v want %d", ev.value, ok, want)
+		}
+		want++
+	}
+}
+
+// TestRingShedsAfterBurst is the regression pin for the capacity leak:
+// a 100k-event spike must not leave a 100k-slot backing array alive
+// once the queue has drained and traffic is back to normal.
+func TestRingShedsAfterBurst(t *testing.T) {
+	var r eventRing
+	const spike = 100_000
+	for i := 0; i < spike; i++ {
+		r.push(event{value: int64(i)})
+	}
+	grown := r.capacity()
+	if grown < spike {
+		t.Fatalf("capacity %d cannot hold the spike", grown)
+	}
+	for i := 0; i < spike; i++ {
+		if _, ok := r.pop(); !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+	}
+	// The drain itself may keep the array (peak matched capacity); a
+	// small follow-up burst establishes the new scale and its drain
+	// must shed.
+	for i := 0; i < 10; i++ {
+		r.push(event{value: int64(i)})
+	}
+	for i := 0; i < 10; i++ {
+		r.pop()
+	}
+	if c := r.capacity(); c > ringMinCap {
+		t.Fatalf("capacity %d still pinned after spike drained (want <= %d)", c, ringMinCap)
+	}
+
+	// Steady bursts at a moderate scale keep their array: shedding is
+	// for stranded capacity, not a constant realloc tax.
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 1000; i++ {
+			r.push(event{value: int64(i)})
+		}
+		for i := 0; i < 1000; i++ {
+			r.pop()
+		}
+	}
+	if c := r.capacity(); c < 1000 || c > 4096 {
+		t.Fatalf("steady 1000-bursts settled at capacity %d", c)
+	}
+}

@@ -19,17 +19,17 @@ type host struct {
 	ip *Installed
 }
 
-// PortWrite routes a plug-in write according to its PLC post.
+// PortWrite routes a plug-in write according to its PLC post. The link
+// table is dense, indexed by the program's declared port index: the
+// data plane pays one slice load, no map lookups.
 func (h *host) PortWrite(index int, value int64) error {
-	if index < 0 || index >= len(h.ip.indexToID) {
+	if index < 0 || index >= len(h.ip.links) {
 		return fmt.Errorf("pirte: plug-in %s wrote to undeclared port index %d", h.ip.Name, index)
 	}
-	id := h.ip.indexToID[index]
-	post, linked := h.ip.links[id]
-	if !linked || post.Kind == core.LinkNone {
-		return h.p.directWrite(h.ip, id, value)
-	}
+	post := &h.ip.links[index]
 	switch post.Kind {
+	case core.LinkNone:
+		return h.p.directWrite(h.ip, h.ip.indexToID[index], value)
 	case core.LinkVirtual:
 		return h.p.writeVirtual(post.Virtual, value)
 	case core.LinkVirtualRemote:
@@ -37,7 +37,7 @@ func (h *host) PortWrite(index int, value int64) error {
 	case core.LinkPeer:
 		return h.p.deliverToPort(post.Peer, value)
 	}
-	return fmt.Errorf("pirte: port %s has invalid link kind", id)
+	return fmt.Errorf("pirte: port %s has invalid link kind", h.ip.indexToID[index])
 }
 
 // SetTimer arms a cyclic timer feeding the dispatch queue.
@@ -101,12 +101,17 @@ func (p *PIRTE) directWrite(ip *Installed, id core.PluginPortID, value int64) er
 			ECU:     p.cfg.ECU,
 			SWC:     p.cfg.SWC,
 			Seq:     p.nextSeq(),
-			Payload: extEncode(id, value),
+			Payload: muxEncodeTo(&p.muxBuf, id, value),
 		}
 		return p.sendTypeI(msg)
 	}
-	p.directWrites[id] = value
-	return nil
+	// Fast path for owned ports: latch the value in the routing entry.
+	if r := p.route(id); r != nil && r.owner == ip {
+		r.direct = value
+		r.hasDirect = true
+		return nil
+	}
+	return fmt.Errorf("pirte: direct write to unbound port %s", id)
 }
 
 // writeVirtual sends a value out through a type I or type III virtual
@@ -125,7 +130,7 @@ func (p *PIRTE) writeVirtual(vid core.VirtualPortID, value int64) error {
 		}
 		value = adjusted
 	}
-	data, err := encodeValue(vp.spec.Format, value)
+	data, err := encodeValueTo(&p.encBuf, vp.spec.Format, value)
 	if err != nil {
 		return err
 	}
@@ -141,7 +146,7 @@ func (p *PIRTE) writeTypeII(vid core.VirtualPortID, recipient core.PluginPortID,
 		return fmt.Errorf("pirte: write to unknown virtual port %s", vid)
 	}
 	vp.Writes++
-	return p.writeOut(vp.spec.SWCPort, muxEncode(recipient, value))
+	return p.writeOut(vp.spec.SWCPort, muxEncodeTo(&p.muxBuf, recipient, value))
 }
 
 // deliverToPort queues a value for the plug-in owning the port id. The
@@ -149,11 +154,11 @@ func (p *PIRTE) writeTypeII(vid core.VirtualPortID, recipient core.PluginPortID,
 // may swap the owner's port layout between enqueue and dispatch, and
 // the SW-C-scope id is the stable name across versions.
 func (p *PIRTE) deliverToPort(id core.PluginPortID, value int64) error {
-	owner, ok := p.portOwner[id]
-	if !ok {
+	r := p.route(id)
+	if r == nil || r.owner == nil {
 		return fmt.Errorf("pirte: delivery to unowned port %s", id)
 	}
-	p.enqueue(event{kind: 1, pl: owner, port: id, value: value})
+	p.enqueue(event{kind: 1, pl: r.owner, port: id, value: value})
 	return nil
 }
 
@@ -181,15 +186,18 @@ func (p *PIRTE) WriteSWCPort(sid core.SWCPortID, data []byte) error {
 	return p.writeOut(sid, data)
 }
 
-// sendTypeI frames and sends a message on the type I provided port.
+// sendTypeI frames and sends a message on the type I provided port,
+// encoding into the PIRTE's reusable frame buffer (the RTE copies on
+// write, so the buffer is free again when writeOut returns).
 func (p *PIRTE) sendTypeI(msg core.Message) error {
 	if p.typeIProvided < 0 {
 		return fmt.Errorf("pirte: %s has no type I provided port", p.cfg.SWC)
 	}
-	raw, err := msg.MarshalBinary()
+	raw, err := msg.AppendBinary(p.frameBuf[:0])
 	if err != nil {
 		return err
 	}
+	p.frameBuf = raw[:0]
 	return p.writeOut(p.typeIProvided, raw)
 }
 
@@ -203,8 +211,10 @@ func (p *PIRTE) OnSWCData(sid core.SWCPortID, data []byte) {
 	}
 	switch spec.Type {
 	case core.TypeI:
+		// Interned decode: the envelope's identifier strings resolve to
+		// cached values, so steady-state type I traffic does not allocate.
 		var msg core.Message
-		if err := msg.UnmarshalBinary(data); err != nil {
+		if err := msg.UnmarshalBinaryInterned(data, &p.intern); err != nil {
 			p.logf("pirte %s: bad type I frame on %s: %v", p.cfg.SWC, sid, err)
 			return
 		}
@@ -229,15 +239,12 @@ func (p *PIRTE) OnSWCData(sid core.SWCPortID, data []byte) {
 			p.logf("pirte %s: %v", p.cfg.SWC, err)
 			return
 		}
-		// Fan out to every plug-in port linked to this virtual port.
+		// Fan out over the precomputed subscriber list — the install-time
+		// index replaces the per-arrival scan of every plug-in's links.
 		delivered := false
-		for _, ip := range p.plugins {
-			for id, post := range ip.links {
-				if post.Kind == core.LinkVirtual && post.Virtual == vp.spec.ID {
-					if err := p.deliverToPort(id, value); err == nil {
-						delivered = true
-					}
-				}
+		for i := range vp.subs {
+			if err := p.deliverToPort(vp.subs[i].id, value); err == nil {
+				delivered = true
 			}
 		}
 		if !delivered {

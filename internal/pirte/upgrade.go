@@ -67,9 +67,8 @@ type upgradeState struct {
 	oldPkg       plugin.Package
 	oldProg      *vm.Program
 	oldState     plugin.State
-	oldIdToIndex map[core.PluginPortID]int
 	oldIndexToID []core.PluginPortID
-	oldLinks     map[core.PluginPortID]core.PLCEntry
+	oldLinks     []core.PLCEntry
 	// oldDirect snapshots the plug-in's PIRTE-direct last-value latches:
 	// releasing the ports wipes them, but they are part of the observable
 	// state and carry over to whichever version survives.
@@ -121,14 +120,13 @@ func (p *PIRTE) Upgrade(name core.PluginName, pkg plugin.Package, done func(erro
 		oldPkg:       ip.Pkg,
 		oldProg:      ip.prog,
 		oldState:     plugin.CaptureState(ip.Pkg.Binary.Manifest, ip.inst.ExportGlobals()),
-		oldIdToIndex: ip.idToIndex,
 		oldIndexToID: ip.indexToID,
 		oldLinks:     ip.links,
 		oldDirect:    make(map[core.PluginPortID]int64),
 	}
-	for id := range ip.idToIndex {
-		if v, ok := p.directWrites[id]; ok {
-			up.oldDirect[id] = v
+	for _, id := range ip.indexToID {
+		if r := p.route(id); r != nil && r.hasDirect {
+			up.oldDirect[id] = r.direct
 		}
 	}
 	ip.upgrade = up
@@ -215,7 +213,7 @@ func (p *PIRTE) applyUpgradePackage(ip *Installed, pkg plugin.Package) error {
 		return fmt.Errorf("%w: memory quota %d words", ErrQuota, p.cfg.MemoryQuota)
 	}
 	p.releasePorts(ip)
-	idToIndex, indexToID, links, err := p.bindContext(prog, pkg)
+	indexToID, links, err := p.bindContext(prog, pkg)
 	if err != nil {
 		return err
 	}
@@ -229,21 +227,23 @@ func (p *PIRTE) applyUpgradePackage(ip *Installed, pkg plugin.Package) error {
 	}
 	ip.Pkg = pkg
 	ip.prog = prog
-	ip.idToIndex = idToIndex
 	ip.indexToID = indexToID
 	ip.links = links
 	ip.inst = inst
 	ip.restarts = 0
 	ip.LastFault = nil
-	for id := range idToIndex {
-		p.portOwner[id] = ip
+	p.bindRoutes(ip)
+	for _, id := range indexToID {
 		// Direct-read latches survive the swap for ports the new version
 		// still binds — they are last-observed values, part of the state
 		// that carries over.
 		if v, ok := ip.upgrade.oldDirect[id]; ok {
-			p.directWrites[id] = v
+			r := p.route(id)
+			r.direct = v
+			r.hasDirect = true
 		}
 	}
+	p.rebuildSubs()
 	p.persist(ip)
 	return nil
 }
@@ -266,15 +266,17 @@ func (p *PIRTE) rollbackUpgrade(ip *Installed, cause error) {
 	p.releasePorts(ip)
 	ip.Pkg = up.oldPkg
 	ip.prog = up.oldProg
-	ip.idToIndex = up.oldIdToIndex
 	ip.indexToID = up.oldIndexToID
 	ip.links = up.oldLinks
-	for id := range ip.idToIndex {
-		p.portOwner[id] = ip
+	p.bindRoutes(ip)
+	for _, id := range ip.indexToID {
 		if v, ok := up.oldDirect[id]; ok {
-			p.directWrites[id] = v
+			r := p.route(id)
+			r.direct = v
+			r.hasDirect = true
 		}
 	}
+	p.rebuildSubs()
 	budget := up.oldPkg.Binary.Manifest.Budget
 	if budget == 0 {
 		budget = p.cfg.DefaultBudget

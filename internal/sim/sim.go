@@ -79,6 +79,10 @@ type Engine struct {
 	seq     uint64
 	queue   eventQueue
 	pending map[EventID]*event
+	// free recycles fired and cancelled event nodes: a steady stream of
+	// timers and frame completions (the data plane at full rate) then
+	// schedules without touching the heap.
+	free []*event
 	// injected holds thread-unsafe callbacks handed over from other
 	// goroutines via Inject; they are drained at the next Step.
 	injected chan func()
@@ -104,10 +108,26 @@ func (e *Engine) Schedule(at Time, fn func()) EventID {
 		at = e.now
 	}
 	e.seq++
-	ev := &event{at: at, seq: e.seq, id: EventID(e.seq), fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = event{at: at, seq: e.seq, id: EventID(e.seq), fn: fn}
+	} else {
+		ev = &event{at: at, seq: e.seq, id: EventID(e.seq), fn: fn}
+	}
 	heap.Push(&e.queue, ev)
 	e.pending[ev.id] = ev
 	return ev.id
+}
+
+// recycle returns a popped event node to the free list. The node's id
+// was already removed from pending (or was dead), so no live EventID
+// can reach it again.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // After registers fn to run d from now.
@@ -159,11 +179,14 @@ func (e *Engine) Step() bool {
 	for e.queue.Len() > 0 {
 		ev := heap.Pop(&e.queue).(*event)
 		if ev.dead {
+			e.recycle(ev)
 			continue
 		}
 		delete(e.pending, ev.id)
 		e.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -209,7 +232,7 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) peek() *event {
 	for e.queue.Len() > 0 {
 		if e.queue[0].dead {
-			heap.Pop(&e.queue)
+			e.recycle(heap.Pop(&e.queue).(*event))
 			continue
 		}
 		return e.queue[0]

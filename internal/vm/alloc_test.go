@@ -1,0 +1,72 @@
+package vm
+
+import (
+	"testing"
+
+	"dynautosar/internal/sim"
+)
+
+// TestAllocFreeDeliver pins the interpreter's steady state at zero heap
+// allocations per activation: the operand stack and call frames live
+// inline in the Instance and the dispatch loop never escapes anything.
+func TestAllocFreeDeliver(t *testing.T) {
+	prog := mustAssemble(t, `
+.plugin hot 1.0
+.port n required
+.port out provided
+.globals 2
+on_message n:
+	ARG
+	STG 0
+	PUSH 0
+	STG 1
+loop:
+	LDG 0
+	JZ done
+	LDG 1
+	LDG 0
+	ADD
+	STG 1
+	LDG 0
+	PUSH 1
+	SUB
+	STG 0
+	JMP loop
+done:
+	LDG 1
+	PWR out
+	RET
+`)
+	host := &latchHost{}
+	inst, err := NewInstance(prog, host, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliver := func() {
+		if err := inst.Deliver(0, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deliver()
+	if allocs := testing.AllocsPerRun(200, deliver); allocs != 0 {
+		t.Errorf("Deliver: %v allocs/op in steady state, want 0", allocs)
+	}
+	if host.port != 1 || host.value != 5050 {
+		t.Fatalf("sum loop wrote %d to port %d", host.value, host.port)
+	}
+}
+
+// latchHost records the last port write without allocating.
+type latchHost struct {
+	port  int
+	value int64
+}
+
+func (h *latchHost) PortWrite(p int, v int64) error {
+	h.port, h.value = p, v
+	return nil
+}
+func (h *latchHost) SetTimer(int, sim.Duration) {}
+func (h *latchHost) ClearTimer(int)             {}
+func (h *latchHost) Now() sim.Time              { return 0 }
+func (h *latchHost) Log(string, int64)          {}

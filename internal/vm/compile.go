@@ -1,0 +1,460 @@
+package vm
+
+import "fmt"
+
+// This file translates verified programs into the internal form the
+// interpreter executes: a direct-threaded instruction stream with fused
+// superinstructions, per-block budget costs and O(1) handler entry
+// tables. The translation runs once per Program (lazily, cached) and
+// never changes observable semantics — fuse_test.go pins equivalence of
+// the fused and unfused forms, traps and budget accounting included.
+
+// cop is a compiled opcode. The low range mirrors the architectural ops
+// 1:1; the high range holds superinstructions produced by the peephole
+// fusion pass.
+type cop uint8
+
+const (
+	// 1:1 translations of the architectural ISA (same order as Op).
+	cNop cop = iota
+	cPush
+	cPop
+	cDup
+	cSwap
+	cOver
+	cAdd
+	cSub
+	cMul
+	cDiv
+	cMod
+	cNeg
+	cAbs
+	cMin
+	cMax
+	cAnd
+	cOr
+	cXor
+	cNot
+	cShl
+	cShr
+	cEq
+	cNe
+	cLt
+	cLe
+	cGt
+	cGe
+	cJmp
+	cJz
+	cJnz
+	cCall
+	cRet
+	cHalt
+	cLdg
+	cStg
+	cPrd
+	cPwr
+	cArg
+	cPort
+	cTset
+	cTclr
+	cClock
+	cLog
+
+	// Superinstructions: each stands for the two architectural
+	// instructions named in its comment and costs 2 budget units.
+
+	// cAddI/cSubI/cMulI: Push k; Add/Sub/Mul — arithmetic with an
+	// immediate, no stack traffic.
+	cAddI
+	cSubI
+	cMulI
+	// cPushStg: Push k; Stg g — store an immediate to a global.
+	cPushStg
+	// cLdgLdg: Ldg a; Ldg b — push two globals.
+	cLdgLdg
+	// cLdgPush: Ldg g; Push k.
+	cLdgPush
+	// cLdgJz/cLdgJnz: Ldg g; Jz/Jnz t — branch on a global without
+	// touching the stack.
+	cLdgJz
+	cLdgJnz
+	// cLdgPwr: Ldg g; Pwr p — write a global straight to a port.
+	cLdgPwr
+	// cAddStg/cSubStg/cMulStg: Add/Sub/Mul; Stg g — binary op whose
+	// result goes straight to a global.
+	cAddStg
+	cSubStg
+	cMulStg
+	// cArgStg: Arg; Stg g — store the message value to a global.
+	cArgStg
+	// cArgPwr: Arg; Pwr p — echo the message value to a port.
+	cArgPwr
+	// cCmpJz/cCmpJnz: <compare>; Jz/Jnz t — fused compare-and-branch;
+	// arg is the target, arg2 the architectural comparison op.
+	cCmpJz
+	cCmpJnz
+
+	// Quad superinstructions (cost 4): the two dominant accumulator
+	// patterns, with no operand-stack traffic at all.
+
+	// cGAddG: Ldg x; Ldg y; Add; Stg z — g[z] = g[x] + g[y].
+	// x and y are packed into arg (12 bits each), z sits in b.
+	cGAddG
+	// cGIncI: Ldg x; Push k; Add|Sub; Stg x — g[x] += k (Sub stores -k).
+	cGIncI
+
+	// cPad fills the second slot of a fused pair; it is never executed
+	// (fusion is suppressed when the slot is a jump target).
+	cPad
+)
+
+var copNames = [...]string{
+	cNop: "NOP", cPush: "PUSH", cPop: "POP", cDup: "DUP", cSwap: "SWAP",
+	cOver: "OVER", cAdd: "ADD", cSub: "SUB", cMul: "MUL", cDiv: "DIV",
+	cMod: "MOD", cNeg: "NEG", cAbs: "ABS", cMin: "MIN", cMax: "MAX",
+	cAnd: "AND", cOr: "OR", cXor: "XOR", cNot: "NOT", cShl: "SHL",
+	cShr: "SHR", cEq: "EQ", cNe: "NE", cLt: "LT", cLe: "LE", cGt: "GT",
+	cGe: "GE", cJmp: "JMP", cJz: "JZ", cJnz: "JNZ", cCall: "CALL",
+	cRet: "RET", cHalt: "HALT", cLdg: "LDG", cStg: "STG", cPrd: "PRD",
+	cPwr: "PWR", cArg: "ARG", cPort: "PORT", cTset: "TSET", cTclr: "TCLR",
+	cClock: "CLOCK", cLog: "LOG",
+	cAddI: "ADD.I", cSubI: "SUB.I", cMulI: "MUL.I", cPushStg: "PUSH.STG",
+	cLdgLdg: "LDG.LDG", cLdgPush: "LDG.PUSH", cLdgJz: "LDG.JZ",
+	cLdgJnz: "LDG.JNZ", cLdgPwr: "LDG.PWR", cAddStg: "ADD.STG",
+	cSubStg: "SUB.STG", cMulStg: "MUL.STG", cArgStg: "ARG.STG",
+	cArgPwr: "ARG.PWR", cCmpJz: "CMP.JZ",
+	cCmpJnz: "CMP.JNZ", cGAddG: "G.ADD.G", cGIncI: "G.INC.I",
+	cPad: "PAD",
+}
+
+// String implements fmt.Stringer.
+func (c cop) String() string {
+	if int(c) < len(copNames) && copNames[c] != "" {
+		return copNames[c]
+	}
+	return fmt.Sprintf("cop(%d)", uint8(c))
+}
+
+// cinstr is one compiled instruction, packed to 8 bytes so each
+// dispatch is a single load. Fused superinstructions keep the program
+// counter numbering of the architectural code: the pair's first slot
+// holds the superinstruction, the second a cPad the interpreter steps
+// over, so jump targets stay valid without relocation. Superinstruction
+// operands are laid out so the one value that may need 32 bits (an
+// immediate or a jump target) lives in arg; the other operand — a
+// global slot (<=4096), port, timer or comparison op — always fits b.
+type cinstr struct {
+	op   cop
+	cost uint8  // architectural instructions represented (1, 2 or 4)
+	b    uint16 // secondary operand of superinstructions
+	arg  int32
+}
+
+// width is the number of code slots the instruction occupies; every
+// fused constituent is one architectural instruction, so width == cost.
+func (c cinstr) width() int32 { return int32(c.cost) }
+
+// compiled is the executable form of a Program.
+type compiled struct {
+	code []cinstr
+	// blockCost[i] is the architectural instruction count of the
+	// straight-line run starting at i, up to and including its first
+	// control transfer. The interpreter checks the budget once per
+	// block (at handler entry and at every control transfer) instead of
+	// once per instruction; a block that no longer fits the remaining
+	// budget switches the loop into per-instruction accounting so the
+	// trap fires at exactly the architectural instruction it always did.
+	blockCost []int32
+	// O(1) handler entry tables (-1 = no handler). msgEntry has the
+	// catch-all fallback already applied per port.
+	initEntry  int32
+	msgEntry   []int32
+	timerEntry [maxTimers]int32
+}
+
+// compiledForm returns the cached compiled form, translating on first
+// use. Safe for concurrent instances sharing one Program.
+func (p *Program) compiledForm() *compiled {
+	p.compileOnce.Do(func() { p.comp = compileProgram(p, true) })
+	return p.comp
+}
+
+// compileProgram translates a verified program. fuse=false skips the
+// peephole pass (used by the equivalence tests as the reference form).
+func compileProgram(p *Program, fuse bool) *compiled {
+	n := len(p.Code)
+	c := &compiled{
+		code:      make([]cinstr, n),
+		blockCost: make([]int32, n),
+		initEntry: -1,
+		msgEntry:  make([]int32, len(p.Ports)),
+	}
+
+	// Jump targets (and call return sites) may not disappear into the
+	// second slot of a fused pair.
+	target := make([]bool, n+1)
+	for i, ins := range p.Code {
+		switch ins.Op {
+		case OpJmp, OpJz, OpJnz:
+			target[ins.Arg] = true
+		case OpCall:
+			target[ins.Arg] = true
+			target[i+1] = true // return site
+		}
+	}
+	for _, h := range p.Handlers {
+		target[h.Entry] = true
+	}
+
+	for i := 0; i < n; {
+		if fuse && i+3 < n && !target[i+1] && !target[i+2] && !target[i+3] {
+			if sup, ok := fuseQuad(p.Code[i], p.Code[i+1], p.Code[i+2], p.Code[i+3]); ok {
+				c.code[i] = sup
+				for j := 1; j < 4; j++ {
+					c.code[i+j] = cinstr{op: cPad, cost: 1}
+				}
+				i += 4
+				continue
+			}
+		}
+		if fuse && i+1 < n && !target[i+1] {
+			if sup, ok := fusePair(p.Code[i], p.Code[i+1]); ok {
+				c.code[i] = sup
+				c.code[i+1] = cinstr{op: cPad, cost: 1}
+				i += 2
+				continue
+			}
+		}
+		ins := p.Code[i]
+		c.code[i] = cinstr{op: cop(ins.Op), cost: 1, arg: ins.Arg}
+		i++
+	}
+
+	// Per-block architectural cost, walking backwards so each
+	// instruction sees its successor's remaining block cost.
+	for i := n - 1; i >= 0; i-- {
+		ci := c.code[i]
+		if ci.op == cPad {
+			continue // unreachable slot; cost belongs to the pair head
+		}
+		cost := int32(ci.cost)
+		if !endsBlock(ci.op) {
+			if succ := int32(i) + ci.width(); succ < int32(n) {
+				cost += c.blockCost[succ]
+			}
+		}
+		c.blockCost[i] = cost
+	}
+
+	// Handler tables, preserving Program.Handler's first-match and
+	// catch-all semantics.
+	for i := range c.msgEntry {
+		c.msgEntry[i] = -1
+	}
+	for i := range c.timerEntry {
+		c.timerEntry[i] = -1
+	}
+	msgAny := int32(-1)
+	for _, h := range p.Handlers {
+		switch h.Kind {
+		case HandlerInit:
+			// Init() looks up (HandlerInit, 0): first declaration with
+			// index 0 wins, others are dead — exactly Program.Handler.
+			if h.Index == 0 && c.initEntry < 0 {
+				c.initEntry = h.Entry
+			}
+		case HandlerMessage:
+			if h.Index == -1 {
+				// The catch-all fallback is reassigned per declaration in
+				// Program.Handler, so the LAST one wins.
+				msgAny = h.Entry
+			} else if c.msgEntry[h.Index] < 0 {
+				c.msgEntry[h.Index] = h.Entry
+			}
+		case HandlerTimer:
+			if c.timerEntry[h.Index] < 0 {
+				c.timerEntry[h.Index] = h.Entry
+			}
+		}
+	}
+	if msgAny >= 0 {
+		for i, e := range c.msgEntry {
+			if e < 0 {
+				c.msgEntry[i] = msgAny
+			}
+		}
+	}
+	return c
+}
+
+// endsBlock reports whether the compiled op transfers control (and
+// therefore performs the per-block budget check itself).
+func endsBlock(op cop) bool {
+	switch op {
+	case cJmp, cJz, cJnz, cCall, cRet, cHalt,
+		cLdgJz, cLdgJnz, cCmpJz, cCmpJnz:
+		return true
+	}
+	return false
+}
+
+// fuseQuad matches the two four-instruction accumulator rules. Like the
+// pair rules, every constituent before the final Stg is a pure stack
+// operation, so a budget trap that suppresses the whole quad is
+// observationally identical to trapping mid-sequence.
+func fuseQuad(a, b, c, d Instr) (cinstr, bool) {
+	if a.Op != OpLdg || d.Op != OpStg {
+		return cinstr{}, false
+	}
+	switch {
+	case b.Op == OpLdg && c.Op == OpAdd:
+		// g[d] = g[a] + g[b]; slot indices are verified < 4096.
+		return cinstr{op: cGAddG, cost: 4, arg: a.Arg<<12 | b.Arg, b: uint16(d.Arg)}, true
+	case b.Op == OpPush && (c.Op == OpAdd || c.Op == OpSub) && a.Arg == d.Arg:
+		k := b.Arg
+		if c.Op == OpSub {
+			if k == -k { // math.MinInt32 has no negation
+				return cinstr{}, false
+			}
+			k = -k
+		}
+		return cinstr{op: cGIncI, cost: 4, arg: k, b: uint16(a.Arg)}, true
+	}
+	return cinstr{}, false
+}
+
+// fusePair matches one peephole rule. Every rule's first constituent is
+// a pure stack operation — this is a hard requirement: when the budget
+// expires between the halves of a pair the interpreter suppresses the
+// whole pair, which is only equivalent to the unfused execution if the
+// first half touched nothing but the (discarded) operand stack. A
+// Stg;Ldg rule would violate it, which is why there is none.
+func fusePair(a, b Instr) (cinstr, bool) {
+	switch a.Op {
+	case OpPush:
+		switch b.Op {
+		case OpAdd:
+			return cinstr{op: cAddI, cost: 2, arg: a.Arg}, true
+		case OpSub:
+			return cinstr{op: cSubI, cost: 2, arg: a.Arg}, true
+		case OpMul:
+			return cinstr{op: cMulI, cost: 2, arg: a.Arg}, true
+		case OpStg:
+			return cinstr{op: cPushStg, cost: 2, arg: a.Arg, b: uint16(b.Arg)}, true
+		}
+	case OpLdg:
+		switch b.Op {
+		case OpLdg:
+			return cinstr{op: cLdgLdg, cost: 2, arg: a.Arg, b: uint16(b.Arg)}, true
+		case OpPush:
+			// The 32-bit immediate goes in arg, the global slot in b.
+			return cinstr{op: cLdgPush, cost: 2, arg: b.Arg, b: uint16(a.Arg)}, true
+		case OpJz:
+			// The jump target goes in arg, the global slot in b.
+			return cinstr{op: cLdgJz, cost: 2, arg: b.Arg, b: uint16(a.Arg)}, true
+		case OpJnz:
+			return cinstr{op: cLdgJnz, cost: 2, arg: b.Arg, b: uint16(a.Arg)}, true
+		case OpPwr:
+			return cinstr{op: cLdgPwr, cost: 2, arg: a.Arg, b: uint16(b.Arg)}, true
+		}
+	case OpArg:
+		switch b.Op {
+		case OpStg:
+			return cinstr{op: cArgStg, cost: 2, arg: b.Arg}, true
+		case OpPwr:
+			return cinstr{op: cArgPwr, cost: 2, arg: b.Arg}, true
+		}
+	case OpAdd:
+		if b.Op == OpStg {
+			return cinstr{op: cAddStg, cost: 2, arg: b.Arg}, true
+		}
+	case OpSub:
+		if b.Op == OpStg {
+			return cinstr{op: cSubStg, cost: 2, arg: b.Arg}, true
+		}
+	case OpMul:
+		if b.Op == OpStg {
+			return cinstr{op: cMulStg, cost: 2, arg: b.Arg}, true
+		}
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		switch b.Op {
+		case OpJz:
+			return cinstr{op: cCmpJz, cost: 2, arg: b.Arg, b: uint16(a.Op)}, true
+		case OpJnz:
+			return cinstr{op: cCmpJnz, cost: 2, arg: b.Arg, b: uint16(a.Op)}, true
+		}
+	}
+	return cinstr{}, false
+}
+
+// prefixTrap reports the trap the first k architectural constituents of
+// a fused instruction would raise at stack depth sp, for the case where
+// the instruction budget expires mid-instruction: the per-instruction
+// scheme would have executed those k pure constituents first, and a trap
+// one of them raises beats the budget trap.
+func prefixTrap(op cop, k, sp int) error {
+	switch op {
+	case cAddI, cSubI, cMulI, cPushStg, cLdgLdg, cLdgPush,
+		cLdgJz, cLdgJnz, cLdgPwr, cArgStg, cArgPwr:
+		// First constituent pushes one word.
+		if sp >= maxStack {
+			return ErrStackOverflow
+		}
+	case cAddStg, cSubStg, cMulStg, cCmpJz, cCmpJnz:
+		// First constituent is a binary op.
+		if sp < 2 {
+			return ErrStackUnderflow
+		}
+	case cGAddG, cGIncI:
+		// Constituents 1 and 2 push; 3 (Add/Sub) then has depth >= 2.
+		if sp >= maxStack {
+			return ErrStackOverflow
+		}
+		if k >= 2 && sp+1 >= maxStack {
+			return ErrStackOverflow
+		}
+	}
+	return nil
+}
+
+// trapAttempt returns how many architectural constituents of the
+// instruction the per-instruction interpreter would have attempted
+// (counting the trapping one) before raising the trap the fused
+// execution just raised at stack depth sp. The budget and Instructions
+// accounting charges exactly that many instructions, keeping trap
+// statistics identical to the unfused form.
+func trapAttempt(op cop, sp int) int {
+	switch op {
+	case cAddI, cSubI, cMulI:
+		if sp >= maxStack {
+			return 1 // the Push overflowed
+		}
+		return 2 // the Push succeeded, the binary op underflowed
+	case cLdgLdg, cLdgPush, cGAddG, cGIncI:
+		if sp >= maxStack {
+			return 1 // the first push overflowed
+		}
+		return 2 // the second push overflowed
+	}
+	// Every other rule (and every architectural op) traps on its first
+	// constituent.
+	return 1
+}
+
+// compare evaluates an architectural comparison op for the fused
+// compare-and-branch forms.
+func compare(op Op, a, b int64) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	}
+	return a >= b // OpGe; fusePair admits no other op
+}

@@ -1,0 +1,393 @@
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dynautosar/internal/core"
+	"dynautosar/internal/sim"
+)
+
+// Golden equivalence tests of the superinstruction fusion pass: a fused
+// program must be observationally identical to its unfused form — host
+// calls, globals, return values, trap identity and budget accounting,
+// Instructions statistics included (trapAttempt charges a trapping
+// fused op at exactly the constituent the per-instruction form would
+// have reached).
+
+// traceHost records every observable host interaction.
+type traceHost struct {
+	events []string
+	// failPort, when >= 0, makes PortWrite to that port fail, to pin
+	// the error-exit accounting of fused port writes.
+	failPort int
+}
+
+func newTraceHost() *traceHost { return &traceHost{failPort: -1} }
+
+func (h *traceHost) PortWrite(p int, v int64) error {
+	if p == h.failPort {
+		return fmt.Errorf("synthetic failure on port %d", p)
+	}
+	h.events = append(h.events, fmt.Sprintf("pwr %d %d", p, v))
+	return nil
+}
+func (h *traceHost) SetTimer(id int, d sim.Duration) {
+	h.events = append(h.events, fmt.Sprintf("tset %d %d", id, d))
+}
+func (h *traceHost) ClearTimer(id int) {
+	h.events = append(h.events, fmt.Sprintf("tclr %d", id))
+}
+func (h *traceHost) Now() sim.Time { return 42 }
+func (h *traceHost) Log(msg string, v int64) {
+	h.events = append(h.events, fmt.Sprintf("log %s %d", msg, v))
+}
+
+// runBoth executes the same delivery on a fused and an unfused instance
+// and cross-checks every observable.
+func runBoth(t *testing.T, prog *Program, budget int, port int, value int64, failPort int) {
+	t.Helper()
+	fusedHost, plainHost := newTraceHost(), newTraceHost()
+	fusedHost.failPort, plainHost.failPort = failPort, failPort
+
+	fused, err := NewInstance(prog, fusedHost, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewInstance(prog, plainHost, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.comp = compileProgram(prog, false) // reference: no fusion
+
+	ferr := fused.Deliver(port, value)
+	perr := plain.Deliver(port, value)
+
+	if (ferr == nil) != (perr == nil) {
+		t.Fatalf("budget %d: fused err %v, unfused err %v", budget, ferr, perr)
+	}
+	if ferr != nil {
+		fw, pw := rootSentinel(ferr), rootSentinel(perr)
+		if fw != pw {
+			t.Fatalf("budget %d: fused trap %v, unfused trap %v", budget, ferr, perr)
+		}
+	}
+	if got, want := fmt.Sprint(fusedHost.events), fmt.Sprint(plainHost.events); got != want {
+		t.Fatalf("budget %d: host traces diverge\nfused:   %s\nunfused: %s", budget, got, want)
+	}
+	fg, pg := fused.ExportGlobals(), plain.ExportGlobals()
+	if fmt.Sprint(fg) != fmt.Sprint(pg) {
+		t.Fatalf("budget %d: globals diverge: fused %v, unfused %v", budget, fg, pg)
+	}
+	if fused.Instructions != plain.Instructions {
+		t.Fatalf("budget %d: instruction counts diverge: fused %d, unfused %d (err %v)",
+			budget, fused.Instructions, plain.Instructions, ferr)
+	}
+}
+
+// rootSentinel maps a trap error to its package sentinel.
+func rootSentinel(err error) error {
+	for _, s := range []error{ErrBudget, ErrStackOverflow, ErrStackUnderflow,
+		ErrCallDepth, ErrDivByZero, ErrNoHandler, ErrStopped} {
+		if errorsIs(err, s) {
+			return s
+		}
+	}
+	return nil
+}
+
+func errorsIs(err, target error) bool {
+	for err != nil {
+		if err == target {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// fusionSources exercises every peephole rule plus the patterns fusion
+// must refuse (jump target in the second slot).
+var fusionSources = map[string]string{
+	"sum-loop": `
+.plugin sum 1.0
+.port n required
+.port out provided
+.globals 2
+on_message n:
+	ARG
+	STG 0
+	PUSH 0
+	STG 1
+loop:
+	LDG 0
+	JZ done
+	LDG 1
+	LDG 0
+	ADD
+	STG 1
+	LDG 0
+	PUSH 1
+	SUB
+	STG 0
+	JMP loop
+done:
+	LDG 1
+	PWR out
+	RET
+`,
+	"echo": `
+.plugin echo 1.0
+.port in required
+.port out provided
+on_message in:
+	ARG
+	PWR out
+	RET
+`,
+	"counter": `
+.plugin counter 1.0
+.port in required
+.port out provided
+.globals 1
+on_message in:
+	LDG 0
+	PUSH 1
+	ADD
+	STG 0
+	LDG 0
+	PWR out
+	RET
+`,
+	"cmp-branch": `
+.plugin cmp 1.0
+.port in required
+.port out provided
+.globals 1
+on_message in:
+	ARG
+	PUSH 10
+	LT
+	JNZ small
+	PUSH 1
+	PWR out
+	RET
+small:
+	PUSH 0
+	PWR out
+	RET
+`,
+	"target-into-pair": `
+.plugin tp 1.0
+.port in required
+.port out provided
+.globals 2
+on_message in:
+	ARG
+	JZ second
+	LDG 0
+second:
+	PUSH 7
+	ADD
+	STG 1
+	LDG 1
+	PWR out
+	RET
+`,
+	"stg-ldg": `
+.plugin sl 1.0
+.port in required
+.port out provided
+.globals 3
+on_message in:
+	ARG
+	STG 0
+	LDG 0
+	STG 1
+	LDG 1
+	PUSH 3
+	MUL
+	STG 2
+	LDG 2
+	PWR out
+	RET
+`,
+	"call-ret": `
+.plugin cr 1.0
+.port in required
+.port out provided
+.globals 1
+on_message in:
+	ARG
+	STG 0
+	CALL bump
+	CALL bump
+	LDG 0
+	PWR out
+	RET
+bump:
+	LDG 0
+	PUSH 2
+	ADD
+	STG 0
+	RET
+`,
+	"div-trap": `
+.plugin dt 1.0
+.port in required
+.port out provided
+on_message in:
+	PUSH 100
+	ARG
+	DIV
+	PWR out
+	RET
+`,
+}
+
+func TestFusionEquivalence(t *testing.T) {
+	for name, src := range fusionSources {
+		t.Run(name, func(t *testing.T) {
+			prog := mustAssemble(t, src)
+			for _, value := range []int64{0, 1, 7, 1000, -3} {
+				// Sweep budgets across the whole range so the trap lands on
+				// every architectural instruction at least once, including
+				// mid-pair and mid-quad positions.
+				for budget := 1; budget <= 64; budget++ {
+					runBoth(t, prog, budget, 0, value, -1)
+				}
+				runBoth(t, prog, 0, 0, value, -1) // default budget, no trap
+				runBoth(t, prog, 0, 0, value, 1)  // failing port write
+			}
+		})
+	}
+}
+
+// TestFusionFires pins that the pass actually produces superinstructions
+// for the canonical hot loops — a silent fusion regression would pass
+// the equivalence tests while losing the performance.
+func TestFusionFires(t *testing.T) {
+	prog := mustAssemble(t, fusionSources["sum-loop"])
+	comp := prog.compiledForm()
+	counts := map[cop]int{}
+	for _, ins := range comp.code {
+		counts[ins.op]++
+	}
+	for _, want := range []cop{cGAddG, cGIncI, cLdgJz, cArgStg, cPushStg, cLdgPwr} {
+		if counts[want] == 0 {
+			t.Errorf("sum loop compiled without %v (got %v)", want, counts)
+		}
+	}
+
+	echo := mustAssemble(t, fusionSources["echo"])
+	found := false
+	for _, ins := range echo.compiledForm().code {
+		if ins.op == cArgPwr {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("echo handler compiled without ARG.PWR")
+	}
+}
+
+// TestHandlerTablesMatchLookup pins the compiled O(1) handler tables
+// against Program.Handler for the corner cases the table build must
+// reproduce: the LAST catch-all message handler wins, the init entry
+// requires index 0, and exact port matches beat the catch-all.
+func TestHandlerTablesMatchLookup(t *testing.T) {
+	code := []Instr{
+		{Op: OpRet}, {Op: OpRet}, {Op: OpRet}, {Op: OpRet}, {Op: OpRet},
+	}
+	prog := &Program{
+		Name: "handlers", Version: "1.0",
+		Ports: []PortDecl{
+			{Name: "a", Direction: core.Required},
+			{Name: "b", Direction: core.Required},
+		},
+		Handlers: []Handler{
+			{Kind: HandlerMessage, Index: -1, Entry: 1},
+			{Kind: HandlerMessage, Index: 0, Entry: 2},
+			{Kind: HandlerMessage, Index: -1, Entry: 3}, // last catch-all wins
+			{Kind: HandlerInit, Index: 5, Entry: 4},     // index != 0: dead for Init()
+		},
+		Code: code,
+	}
+	if err := prog.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	comp := prog.compiledForm()
+	for port := int32(0); port < 2; port++ {
+		want, wantOK := prog.Handler(HandlerMessage, port)
+		got := comp.msgEntry[port]
+		if !wantOK {
+			want = -1
+		}
+		if got != want {
+			t.Errorf("port %d: compiled entry %d, Program.Handler %d", port, got, want)
+		}
+	}
+	if want, ok := prog.Handler(HandlerInit, 0); ok || comp.initEntry != -1 {
+		t.Errorf("init entry = %d, Program.Handler = %d,%v (index!=0 must stay dead)",
+			comp.initEntry, want, ok)
+	}
+}
+
+// TestFusionRandomPrograms cross-checks fused against unfused execution
+// over randomly generated (verified) programs with branches, calls and
+// traps, across tight budgets.
+func TestFusionRandomPrograms(t *testing.T) {
+	allOps := []Op{
+		OpNop, OpPush, OpPop, OpDup, OpSwap, OpOver, OpAdd, OpSub, OpMul,
+		OpDiv, OpMod, OpNeg, OpAbs, OpMin, OpMax, OpAnd, OpOr, OpXor,
+		OpNot, OpShl, OpShr, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpJmp,
+		OpJz, OpJnz, OpCall, OpRet, OpLdg, OpStg, OpPrd, OpPwr, OpArg,
+		OpPort, OpClock, OpLog,
+	}
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 400; iter++ {
+		n := 8 + r.Intn(40)
+		code := make([]Instr, n)
+		for i := range code {
+			op := allOps[r.Intn(len(allOps))]
+			ins := Instr{Op: op}
+			switch op {
+			case OpJmp, OpJz, OpJnz, OpCall:
+				ins.Arg = int32(r.Intn(n))
+			case OpLdg, OpStg:
+				ins.Arg = int32(r.Intn(4))
+			case OpPrd, OpPwr:
+				ins.Arg = int32(r.Intn(2))
+			case OpLog:
+				ins.Arg = 0
+			case OpPush:
+				ins.Arg = int32(r.Intn(21) - 10)
+			}
+			code[i] = ins
+		}
+		code = append(code, Instr{Op: OpRet})
+		prog := &Program{
+			Name:    "rand",
+			Version: "1.0",
+			Globals: 4,
+			Consts:  []string{"c"},
+			Ports: []PortDecl{
+				{Name: "in", Direction: core.Required},
+				{Name: "out", Direction: core.Provided},
+			},
+			Handlers: []Handler{{Kind: HandlerMessage, Index: 0, Entry: int32(r.Intn(len(code)))}},
+			Code:     code,
+		}
+		if err := prog.Verify(); err != nil {
+			t.Fatalf("iter %d: generated invalid program: %v", iter, err)
+		}
+		for _, budget := range []int{1, 2, 3, 5, 9, 17, 60, 500} {
+			runBoth(t, prog, budget, 0, int64(r.Intn(7)-3), -1)
+		}
+	}
+}

@@ -56,6 +56,7 @@ type Host interface {
 // Timer.
 type Instance struct {
 	prog *Program
+	comp *compiled
 	host Host
 	// budget is the instruction budget per activation.
 	budget int
@@ -63,9 +64,12 @@ type Instance struct {
 	globals []int64
 	// lastIn holds the last value delivered to each port, readable with
 	// OpPrd.
-	lastIn  []int64
-	stack   []int64
-	frames  []int32
+	lastIn []int64
+	// stack is the operand stack; slot 0 is a guard the cached
+	// top-of-stack value spills into when the stack is logically empty,
+	// so pushes and pops run branch-free (see run).
+	stack   [maxStack + 1]int64
+	frames  [maxFrames]int32
 	stopped bool
 
 	// Activations and Instructions accumulate execution statistics.
@@ -86,12 +90,11 @@ func NewInstance(prog *Program, host Host, budget int) (*Instance, error) {
 	}
 	return &Instance{
 		prog:    prog,
+		comp:    prog.compiledForm(),
 		host:    host,
 		budget:  budget,
 		globals: make([]int64, prog.Globals),
 		lastIn:  make([]int64, len(prog.Ports)),
-		stack:   make([]int64, 0, maxStack),
-		frames:  make([]int32, 0, maxFrames),
 	}, nil
 }
 
@@ -125,8 +128,8 @@ func (in *Instance) Stop() { in.stopped = true }
 
 // Init runs the init handler, if declared.
 func (in *Instance) Init() error {
-	entry, ok := in.prog.Handler(HandlerInit, 0)
-	if !ok {
+	entry := in.comp.initEntry
+	if entry < 0 {
 		return nil
 	}
 	return in.run(entry, 0, -1)
@@ -143,8 +146,8 @@ func (in *Instance) Deliver(port int, value int64) error {
 		return ErrStopped
 	}
 	in.lastIn[port] = value
-	entry, ok := in.prog.Handler(HandlerMessage, int32(port))
-	if !ok {
+	entry := in.comp.msgEntry[port]
+	if entry < 0 {
 		return fmt.Errorf("%w: message on port %d", ErrNoHandler, port)
 	}
 	return in.run(entry, value, port)
@@ -155,236 +158,617 @@ func (in *Instance) Timer(id int) error {
 	if in.stopped {
 		return ErrStopped
 	}
-	entry, ok := in.prog.Handler(HandlerTimer, int32(id))
-	if !ok {
+	if id < 0 || id >= maxTimers || in.comp.timerEntry[id] < 0 {
 		return fmt.Errorf("%w: timer %d", ErrNoHandler, id)
 	}
-	return in.run(entry, 0, -1)
+	return in.run(in.comp.timerEntry[id], 0, -1)
 }
 
-// run interprets code starting at entry until OpHalt, a top-level OpRet,
-// or a trap.
+// run interprets compiled code starting at entry until a halt, a
+// top-level return, or a trap.
+//
+// The loop is the data plane's innermost ring and is built to dispatch,
+// not to bookkeep: the program counter, stack pointer and the cached
+// top-of-stack value live in locals; common instruction pairs were fused
+// into superinstructions at compile time (one dispatch, no intermediate
+// stack traffic); and the instruction-budget comparison runs once per
+// basic block — each control transfer pre-checks that the whole next
+// block fits the remaining budget, and only when it no longer does is
+// the `careful` per-instruction accounting switched on, which then traps
+// at exactly the architectural instruction the per-instruction scheme
+// would have (fuse_test.go pins this equivalence).
 func (in *Instance) run(entry int32, arg int64, port int) error {
 	if in.stopped {
 		return ErrStopped
 	}
 	in.Activations++
-	in.stack = in.stack[:0]
-	in.frames = in.frames[:0]
+	comp := in.comp
+	code := comp.code
+	blockCost := comp.blockCost
+	globals := in.globals
+	stack := &in.stack
+	budget := in.budget
+
 	pc := entry
+	sp := 0       // logical stack depth; elements below the top sit at stack[1..sp-1]
+	var tos int64 // cached top of stack, authoritative when sp > 0
+	fp := 0
 	steps := 0
-	code := in.prog.Code
+	careful := blockCost[entry] > int32(budget)
 
-	push := func(v int64) bool {
-		if len(in.stack) >= maxStack {
-			return false
-		}
-		in.stack = append(in.stack, v)
-		return true
-	}
 	var trap error
-	pop := func() int64 {
-		if len(in.stack) == 0 {
-			trap = ErrStackUnderflow
-			return 0
-		}
-		v := in.stack[len(in.stack)-1]
-		in.stack = in.stack[:len(in.stack)-1]
-		return v
-	}
-
 	for {
-		if steps >= in.budget {
-			in.Faults++
-			return fmt.Errorf("%w (after %d instructions)", ErrBudget, steps)
-		}
-		steps++
-		in.Instructions++
 		ins := code[pc]
-		next := pc + 1
-		switch ins.Op {
-		case OpNop:
-		case OpPush:
-			if !push(int64(ins.Arg)) {
-				trap = ErrStackOverflow
-			}
-		case OpPop:
-			pop()
-		case OpDup:
-			v := pop()
-			if trap == nil && (!push(v) || !push(v)) {
-				trap = ErrStackOverflow
-			}
-		case OpSwap:
-			b, a := pop(), pop()
-			if trap == nil {
-				push(b)
-				push(a)
-			}
-		case OpOver:
-			b, a := pop(), pop()
-			if trap == nil {
-				push(a)
-				push(b)
-				if !push(a) {
-					trap = ErrStackOverflow
+		if careful && steps+int(ins.cost) > budget {
+			// Architecturally the budget expires after exactly `budget`
+			// executed instructions. The constituents of a fused op before
+			// that point are pure stack ops, so skipping them is
+			// unobservable — except for a trap one of them would have
+			// raised itself, which takes precedence over the budget trap
+			// and is charged at the trapping constituent's position.
+			in.Faults++
+			if k := budget - steps; k > 0 {
+				if pt := prefixTrap(ins.op, k, sp); pt != nil {
+					in.Instructions += uint64(steps + trapAttempt(ins.op, sp))
+					return fmt.Errorf("%w at pc %d (%v)", pt, pc, ins.op)
 				}
 			}
-		case OpAdd:
-			b, a := pop(), pop()
-			push(a + b)
-		case OpSub:
-			b, a := pop(), pop()
-			push(a - b)
-		case OpMul:
-			b, a := pop(), pop()
-			push(a * b)
-		case OpDiv:
-			b, a := pop(), pop()
-			if trap == nil && b == 0 {
+			in.Instructions += uint64(budget)
+			return fmt.Errorf("%w (after %d instructions)", ErrBudget, budget)
+		}
+		steps += int(ins.cost)
+		next := pc + 1
+		switch ins.op {
+		case cNop:
+		case cPush:
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			stack[sp] = tos
+			tos = int64(ins.arg)
+			sp++
+		case cPop:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos = stack[sp]
+		case cDup:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			stack[sp] = tos
+			sp++
+		case cSwap:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			stack[sp-1], tos = tos, stack[sp-1]
+		case cOver:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			v := stack[sp-1]
+			stack[sp] = tos
+			tos = v
+			sp++
+		case cAdd:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos += stack[sp]
+		case cSub:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos = stack[sp] - tos
+		case cMul:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos *= stack[sp]
+		case cDiv:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			if tos == 0 {
 				trap = ErrDivByZero
-			} else if trap == nil {
-				push(a / b)
+				break
 			}
-		case OpMod:
-			b, a := pop(), pop()
-			if trap == nil && b == 0 {
+			sp--
+			tos = stack[sp] / tos
+		case cMod:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			if tos == 0 {
 				trap = ErrDivByZero
-			} else if trap == nil {
-				push(a % b)
+				break
 			}
-		case OpNeg:
-			push(-pop())
-		case OpAbs:
-			v := pop()
-			if v < 0 {
-				v = -v
+			sp--
+			tos = stack[sp] % tos
+		case cNeg:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
 			}
-			push(v)
-		case OpMin:
-			b, a := pop(), pop()
-			if a < b {
-				push(a)
-			} else {
-				push(b)
+			tos = -tos
+		case cAbs:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
 			}
-		case OpMax:
-			b, a := pop(), pop()
-			if a > b {
-				push(a)
-			} else {
-				push(b)
+			if tos < 0 {
+				tos = -tos
 			}
-		case OpAnd:
-			b, a := pop(), pop()
-			push(a & b)
-		case OpOr:
-			b, a := pop(), pop()
-			push(a | b)
-		case OpXor:
-			b, a := pop(), pop()
-			push(a ^ b)
-		case OpNot:
-			push(^pop())
-		case OpShl:
-			b, a := pop(), pop()
-			push(a << uint64(b&63))
-		case OpShr:
-			b, a := pop(), pop()
-			push(a >> uint64(b&63))
-		case OpEq:
-			b, a := pop(), pop()
-			push(boolWord(a == b))
-		case OpNe:
-			b, a := pop(), pop()
-			push(boolWord(a != b))
-		case OpLt:
-			b, a := pop(), pop()
-			push(boolWord(a < b))
-		case OpLe:
-			b, a := pop(), pop()
-			push(boolWord(a <= b))
-		case OpGt:
-			b, a := pop(), pop()
-			push(boolWord(a > b))
-		case OpGe:
-			b, a := pop(), pop()
-			push(boolWord(a >= b))
-		case OpJmp:
-			next = ins.Arg
-		case OpJz:
-			if pop() == 0 && trap == nil {
-				next = ins.Arg
+		case cMin:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
 			}
-		case OpJnz:
-			if pop() != 0 && trap == nil {
-				next = ins.Arg
+			sp--
+			if a := stack[sp]; a < tos {
+				tos = a
 			}
-		case OpCall:
-			if len(in.frames) >= maxFrames {
+		case cMax:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			if a := stack[sp]; a > tos {
+				tos = a
+			}
+		case cAnd:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos &= stack[sp]
+		case cOr:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos |= stack[sp]
+		case cXor:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos ^= stack[sp]
+		case cNot:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			tos = ^tos
+		case cShl:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos = stack[sp] << uint64(tos&63)
+		case cShr:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos = stack[sp] >> uint64(tos&63)
+		case cEq:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos = boolWord(stack[sp] == tos)
+		case cNe:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos = boolWord(stack[sp] != tos)
+		case cLt:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos = boolWord(stack[sp] < tos)
+		case cLe:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos = boolWord(stack[sp] <= tos)
+		case cGt:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos = boolWord(stack[sp] > tos)
+		case cGe:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos = boolWord(stack[sp] >= tos)
+		case cJmp:
+			next = ins.arg
+			if blockCost[next] > int32(budget-steps) {
+				careful = true
+			}
+		case cJz:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			v := tos
+			sp--
+			tos = stack[sp]
+			if v == 0 {
+				next = ins.arg
+			}
+			if blockCost[next] > int32(budget-steps) {
+				careful = true
+			}
+		case cJnz:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			v := tos
+			sp--
+			tos = stack[sp]
+			if v != 0 {
+				next = ins.arg
+			}
+			if blockCost[next] > int32(budget-steps) {
+				careful = true
+			}
+		case cCall:
+			if fp >= maxFrames {
 				trap = ErrCallDepth
-			} else {
-				in.frames = append(in.frames, next)
-				next = ins.Arg
+				break
 			}
-		case OpRet:
-			if len(in.frames) == 0 {
+			in.frames[fp] = next
+			fp++
+			next = ins.arg
+			if blockCost[next] > int32(budget-steps) {
+				careful = true
+			}
+		case cRet:
+			if fp == 0 {
+				in.Instructions += uint64(steps)
 				return nil // top-level return ends the handler
 			}
-			next = in.frames[len(in.frames)-1]
-			in.frames = in.frames[:len(in.frames)-1]
-		case OpHalt:
+			fp--
+			next = in.frames[fp]
+			if blockCost[next] > int32(budget-steps) {
+				careful = true
+			}
+		case cHalt:
+			in.Instructions += uint64(steps)
 			return nil
-		case OpLdg:
-			if !push(in.globals[ins.Arg]) {
+		case cLdg:
+			if sp >= maxStack {
 				trap = ErrStackOverflow
+				break
 			}
-		case OpStg:
-			in.globals[ins.Arg] = pop()
-		case OpPrd:
-			if !push(in.lastIn[ins.Arg]) {
+			stack[sp] = tos
+			tos = globals[ins.arg]
+			sp++
+		case cStg:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			globals[ins.arg] = tos
+			sp--
+			tos = stack[sp]
+		case cPrd:
+			if sp >= maxStack {
 				trap = ErrStackOverflow
+				break
 			}
-		case OpPwr:
-			v := pop()
-			if trap == nil {
-				if err := in.host.PortWrite(int(ins.Arg), v); err != nil {
-					in.Faults++
-					return fmt.Errorf("vm: port write failed: %w", err)
-				}
+			stack[sp] = tos
+			tos = in.lastIn[ins.arg]
+			sp++
+		case cPwr:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
 			}
-		case OpArg:
-			if !push(arg) {
+			v := tos
+			sp--
+			tos = stack[sp]
+			if err := in.host.PortWrite(int(ins.arg), v); err != nil {
+				in.Instructions += uint64(steps)
+				in.Faults++
+				return fmt.Errorf("vm: port write failed: %w", err)
+			}
+		case cArg:
+			if sp >= maxStack {
 				trap = ErrStackOverflow
+				break
 			}
-		case OpPort:
-			if !push(int64(port)) {
+			stack[sp] = tos
+			tos = arg
+			sp++
+		case cPort:
+			if sp >= maxStack {
 				trap = ErrStackOverflow
+				break
 			}
-		case OpTset:
-			v := pop()
-			if trap == nil {
-				if v < 0 {
-					v = 0
-				}
-				in.host.SetTimer(int(ins.Arg), sim.Duration(v))
+			stack[sp] = tos
+			tos = int64(port)
+			sp++
+		case cTset:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
 			}
-		case OpTclr:
-			in.host.ClearTimer(int(ins.Arg))
-		case OpClock:
-			if !push(int64(in.host.Now())) {
+			v := tos
+			sp--
+			tos = stack[sp]
+			if v < 0 {
+				v = 0
+			}
+			in.host.SetTimer(int(ins.arg), sim.Duration(v))
+		case cTclr:
+			in.host.ClearTimer(int(ins.arg))
+		case cClock:
+			if sp >= maxStack {
 				trap = ErrStackOverflow
+				break
 			}
-		case OpLog:
+			stack[sp] = tos
+			tos = int64(in.host.Now())
+			sp++
+		case cLog:
 			var v int64
-			if len(in.stack) > 0 {
-				v = in.stack[len(in.stack)-1]
+			if sp > 0 {
+				v = tos
 			}
-			in.host.Log(in.prog.Consts[ins.Arg], v)
+			in.host.Log(in.prog.Consts[ins.arg], v)
+
+		// --- superinstructions -------------------------------------------
+
+		case cAddI:
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			tos += int64(ins.arg)
+			next = pc + 2
+		case cSubI:
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			tos -= int64(ins.arg)
+			next = pc + 2
+		case cMulI:
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			tos *= int64(ins.arg)
+			next = pc + 2
+		case cPushStg:
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			globals[ins.b] = int64(ins.arg)
+			next = pc + 2
+		case cLdgLdg:
+			if sp+2 > maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			stack[sp] = tos
+			stack[sp+1] = globals[ins.arg]
+			tos = globals[ins.b]
+			sp += 2
+			next = pc + 2
+		case cLdgPush:
+			if sp+2 > maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			stack[sp] = tos
+			stack[sp+1] = globals[ins.b]
+			tos = int64(ins.arg)
+			sp += 2
+			next = pc + 2
+		case cLdgJz:
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			if globals[ins.b] == 0 {
+				next = ins.arg
+			} else {
+				next = pc + 2
+			}
+			if blockCost[next] > int32(budget-steps) {
+				careful = true
+			}
+		case cLdgJnz:
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			if globals[ins.b] != 0 {
+				next = ins.arg
+			} else {
+				next = pc + 2
+			}
+			if blockCost[next] > int32(budget-steps) {
+				careful = true
+			}
+		case cLdgPwr:
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			if err := in.host.PortWrite(int(ins.b), globals[ins.arg]); err != nil {
+				in.Instructions += uint64(steps)
+				in.Faults++
+				return fmt.Errorf("vm: port write failed: %w", err)
+			}
+			next = pc + 2
+		case cAddStg:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			globals[ins.arg] = stack[sp] + tos
+			sp--
+			tos = stack[sp]
+			next = pc + 2
+		case cSubStg:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			globals[ins.arg] = stack[sp] - tos
+			sp--
+			tos = stack[sp]
+			next = pc + 2
+		case cMulStg:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			globals[ins.arg] = stack[sp] * tos
+			sp--
+			tos = stack[sp]
+			next = pc + 2
+		case cArgStg:
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			globals[ins.arg] = arg
+			next = pc + 2
+		case cArgPwr:
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			if err := in.host.PortWrite(int(ins.arg), arg); err != nil {
+				in.Instructions += uint64(steps)
+				in.Faults++
+				return fmt.Errorf("vm: port write failed: %w", err)
+			}
+			next = pc + 2
+		case cCmpJz:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			b := tos
+			sp -= 2
+			a := stack[sp+1]
+			tos = stack[sp]
+			if !compare(Op(ins.b), a, b) {
+				next = ins.arg
+			} else {
+				next = pc + 2
+			}
+			if blockCost[next] > int32(budget-steps) {
+				careful = true
+			}
+		case cCmpJnz:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			b := tos
+			sp -= 2
+			a := stack[sp+1]
+			tos = stack[sp]
+			if compare(Op(ins.b), a, b) {
+				next = ins.arg
+			} else {
+				next = pc + 2
+			}
+			if blockCost[next] > int32(budget-steps) {
+				careful = true
+			}
+		case cGAddG:
+			// Transiently pushes two words architecturally; trap parity
+			// requires the same headroom.
+			if sp+2 > maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			globals[ins.b] = globals[ins.arg>>12] + globals[ins.arg&0xfff]
+			next = pc + 4
+		case cGIncI:
+			if sp+2 > maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			globals[ins.b] += int64(ins.arg)
+			next = pc + 4
+		default: // cPad — unreachable in compiled code; step over
 		}
 		if trap != nil {
+			// Charge only the constituents the per-instruction form would
+			// have attempted; every trap check precedes the case's
+			// mutations, so sp still holds the pre-instruction depth.
+			steps += trapAttempt(ins.op, sp) - int(ins.cost)
+			in.Instructions += uint64(steps)
 			in.Faults++
-			return fmt.Errorf("%w at pc %d (%v)", trap, pc, ins.Op)
+			return fmt.Errorf("%w at pc %d (%v)", trap, pc, ins.op)
 		}
 		pc = next
 	}

@@ -16,6 +16,7 @@ package vm
 
 import (
 	"fmt"
+	"sync"
 
 	"dynautosar/internal/core"
 )
@@ -198,6 +199,11 @@ type Program struct {
 	Consts   []string
 	Handlers []Handler
 	Code     []Instr
+
+	// comp caches the compiled (fused, direct-threaded) form shared by
+	// all instances of this program; see compile.go.
+	compileOnce sync.Once
+	comp        *compiled
 }
 
 // PortIndex returns the index of the named declared port.

@@ -474,10 +474,15 @@ func TestVerifyRejections(t *testing.T) {
 		func(p *Program) { p.Ports = []PortDecl{{Name: ""}} },
 	}
 	for i, mutate := range cases {
-		clone := *base
-		clone.Ports = append([]PortDecl(nil), base.Ports...)
-		clone.Handlers = append([]Handler(nil), base.Handlers...)
-		clone.Code = append([]Instr(nil), base.Code...)
+		clone := Program{
+			Name:     base.Name,
+			Version:  base.Version,
+			Globals:  base.Globals,
+			Consts:   append([]string(nil), base.Consts...),
+			Ports:    append([]PortDecl(nil), base.Ports...),
+			Handlers: append([]Handler(nil), base.Handlers...),
+			Code:     append([]Instr(nil), base.Code...),
+		}
 		mutate(&clone)
 		if err := clone.Verify(); err == nil {
 			t.Errorf("case %d: verifier accepted mutated program", i)
