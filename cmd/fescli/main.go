@@ -12,6 +12,9 @@
 //	fescli upgrade alice VIN123 TripCounter-v1 TripCounter-v2
 //	fescli upgrade -fleet -model modelcar-v1 alice TripCounter-v1 TripCounter-v2
 //	fescli uninstall -fleet alice RemoteControl VIN123 VIN124
+//	fescli verify alice VIN123 deploy RemoteControl
+//	fescli verify alice VIN123 uninstall RemoteControl
+//	fescli verify alice VIN123 upgrade TripCounter-v1 TripCounter-v2
 //	fescli operations list
 //	fescli operations get op-00000001
 //	fescli operations wait op-00000001
@@ -28,6 +31,13 @@
 // an operation id immediately; poll it with "operations get" or block
 // on completion with "operations wait". Errors surface the API's stable
 // machine-readable codes.
+//
+// Verify dry-runs an operation through the server's static plan
+// verifier (POST /v1/verify): the plan is computed exactly as the live
+// pipeline would compute it, every intermediate configuration along the
+// reconfiguration path is checked, and nothing is pushed or reserved.
+// The report lists the step path on success; a rejected plan prints the
+// "unsafe_plan" counterexample and exits non-zero.
 //
 // Upgrade hot-swaps an installed app to a new version on the running
 // vehicle: each plug-in is quiesced (its traffic buffered, not
@@ -86,7 +96,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("usage: fescli [-server URL] <adduser|bindvehicle|upload|apps|deploy|upgrade|status|health|uninstall|restore|operations|vehicle|vehicles|paperapp|phone> ...")
+		log.Fatal("usage: fescli [-server URL] <adduser|bindvehicle|upload|apps|deploy|upgrade|verify|status|health|uninstall|restore|operations|vehicle|vehicles|paperapp|phone> ...")
 	}
 	client = api.NewClient(*serverURL, nil)
 	ctx := context.Background()
@@ -129,6 +139,8 @@ func main() {
 			})
 	case "upgrade":
 		upgrade(ctx, args[1:])
+	case "verify":
+		verifyCmd(ctx, args[1:])
 	case "restore":
 		need(args, 4, "restore <user> <vehicle> <ecu>")
 		op, err := client.Restore(ctx, api.RestoreRequest{
@@ -245,6 +257,38 @@ func upgrade(ctx context.Context, args []string) {
 	}
 	op, err := client.BatchUpgrade(ctx, req)
 	show(op, err)
+}
+
+// verifyCmd dry-runs an operation through the static plan verifier:
+//
+//	fescli verify <user> <vehicle> deploy <app>
+//	fescli verify <user> <vehicle> uninstall <app>
+//	fescli verify <user> <vehicle> upgrade <fromApp> <toApp>
+//
+// The verdict prints as JSON; a rejected plan exits non-zero with the
+// counterexample in the report's error message.
+func verifyCmd(ctx context.Context, args []string) {
+	usage := "verify <user> <vehicle> <deploy|uninstall> <app>  |  fescli verify <user> <vehicle> upgrade <fromApp> <toApp>"
+	if len(args) < 4 {
+		log.Fatalf("usage: fescli %s", usage)
+	}
+	req := api.VerifyRequest{
+		User:    core.UserID(args[0]),
+		Vehicle: core.VehicleID(args[1]),
+		Kind:    api.OperationKind(args[2]),
+		App:     core.AppName(args[3]),
+	}
+	if req.Kind == api.OpUpgrade {
+		if len(args) < 5 {
+			log.Fatalf("usage: fescli %s", usage)
+		}
+		req.To = core.AppName(args[4])
+	}
+	report, err := client.Verify(ctx, req)
+	show(report, err)
+	if !report.OK {
+		os.Exit(1)
+	}
 }
 
 // operations drives the async-operations resource: list, get, wait.

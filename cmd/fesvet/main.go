@@ -1,0 +1,299 @@
+// Fesvet is the repository's own static checker: a small multichecker
+// in the spirit of go/analysis, built on the standard library's go/ast
+// so it runs without external tooling. It enforces project disciplines
+// that gofmt and go vet cannot express:
+//
+//   - deepcopy: exported Store accessors must not return internal state
+//     by reference. The store's concurrency model depends on every read
+//     handing out a copy (snapshotRow/copyApp/copyVehicleConf); an
+//     accessor returning a receiver-rooted slice, map or pointer leaks
+//     memory that the ack path mutates under a different lock.
+//
+//   - sleepban: no time.Sleep in internal/server non-test code. The
+//     server synchronizes on channels, timers and acknowledgements;
+//     a sleep in the pipeline is a latent race dressed as a fix.
+//
+// Usage:
+//
+//	fesvet ./internal/...
+//	fesvet internal/server internal/api
+//
+// Findings print as file:line:col: analyzer: message; any finding makes
+// the exit status non-zero. CI runs fesvet over ./internal/... .
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// finding is one reported violation.
+type finding struct {
+	pos      token.Position
+	analyzer string
+	msg      string
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fesvet: ")
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var dirs []string
+	for _, a := range args {
+		expanded, err := expand(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dirs = append(dirs, expanded...)
+	}
+	fset := token.NewFileSet()
+	var findings []finding
+	for _, dir := range dirs {
+		fs, err := checkDir(fset, dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].pos, findings[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for _, f := range findings {
+		fmt.Printf("%s: %s: %s\n", f.pos, f.analyzer, f.msg)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// expand resolves one argument into directories: a plain path names
+// itself, a path ending in /... walks its subtree for directories that
+// contain Go files.
+func expand(arg string) ([]string, error) {
+	root, recursive := strings.CutSuffix(arg, "/...")
+	if root == "" || root == "." {
+		root = "."
+	}
+	if !recursive {
+		return []string{arg}, nil
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			dir := filepath.Dir(path)
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+// checkDir parses every Go file of one directory and applies the
+// analyzers.
+func checkDir(fset *token.FileSet, dir string) ([]finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var findings []finding
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		file, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, checkFile(fset, file, path)...)
+	}
+	return findings, nil
+}
+
+// checkFile applies every analyzer that matches the file.
+func checkFile(fset *token.FileSet, file *ast.File, path string) []finding {
+	var findings []finding
+	findings = append(findings, deepcopy(fset, file)...)
+	if strings.Contains(filepath.ToSlash(path), "internal/server/") && !strings.HasSuffix(path, "_test.go") {
+		findings = append(findings, sleepban(fset, file)...)
+	}
+	return findings
+}
+
+// deepcopy flags exported methods on Store (or *Store) that return an
+// expression rooted at the receiver — s.field, s.field[i], &s.field —
+// instead of a copy. Locals, calls (snapshotRow, copyApp, append) and
+// computed values pass; a bare receiver-rooted slice, map or pointer is
+// exactly the aliasing bug the store's locking discipline forbids.
+func deepcopy(fset *token.FileSet, file *ast.File) []finding {
+	var findings []finding
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Recv == nil || len(fn.Recv.List) == 0 || fn.Body == nil {
+			continue
+		}
+		if !fn.Name.IsExported() || receiverTypeName(fn.Recv.List[0].Type) != "Store" {
+			continue
+		}
+		recv := ""
+		if names := fn.Recv.List[0].Names; len(names) > 0 {
+			recv = names[0].Name
+		}
+		if recv == "" || recv == "_" {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			// Function literals capture the receiver too; keep walking
+			// into them — a leak through a closure is still a leak.
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				if receiverRooted(res, recv) {
+					findings = append(findings, finding{
+						pos:      fset.Position(res.Pos()),
+						analyzer: "deepcopy",
+						msg: fmt.Sprintf("Store.%s returns receiver-rooted state %s without copying; return a snapshot (snapshotRow/copyApp pattern)",
+							fn.Name.Name, exprString(res)),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// receiverTypeName unwraps *T / T to the named receiver type.
+func receiverTypeName(t ast.Expr) string {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// receiverRooted reports whether expr is a selector/index/address chain
+// whose root is the receiver identifier.
+func receiverRooted(expr ast.Expr, recv string) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e.Name == recv
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			if e.Op != token.AND {
+				return false
+			}
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// exprString renders a receiver-rooted chain for the message.
+func exprString(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	}
+	return "?"
+}
+
+// sleepban flags time.Sleep calls. Applied to internal/server non-test
+// files only; a renamed time import is resolved through the file's
+// import table.
+func sleepban(fset *token.FileSet, file *ast.File) []finding {
+	timeName := "time"
+	imported := false
+	for _, imp := range file.Imports {
+		if imp.Path.Value != `"time"` {
+			continue
+		}
+		imported = true
+		if imp.Name != nil {
+			timeName = imp.Name.Name
+		}
+	}
+	if !imported || timeName == "_" || timeName == "." {
+		return nil
+	}
+	var findings []finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Sleep" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == timeName {
+			findings = append(findings, finding{
+				pos:      fset.Position(call.Pos()),
+				analyzer: "sleepban",
+				msg:      "time.Sleep in internal/server non-test code; synchronize on channels, timers or acknowledgements instead",
+			})
+		}
+		return true
+	})
+	return findings
+}

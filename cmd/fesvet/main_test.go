@@ -1,0 +1,202 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func runDeepcopy(t *testing.T, src string) []finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "store.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return deepcopy(fset, file)
+}
+
+func TestDeepcopyFlagsReceiverRootedReturns(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the expected message, "" = no finding
+	}{
+		{
+			name: "direct field",
+			src: `package server
+type Store struct{ rows []int }
+func (s *Store) Rows() []int { return s.rows }`,
+			want: "s.rows",
+		},
+		{
+			name: "indexed field",
+			src: `package server
+type Store struct{ shards [4]shard }
+type shard struct{}
+func (s *Store) Shard(i int) *shard { return &s.shards[i] }`,
+			want: "&s.shards[...]",
+		},
+		{
+			name: "nested selector",
+			src: `package server
+type Store struct{ inner struct{ m map[string]int } }
+func (s *Store) Map() map[string]int { return s.inner.m }`,
+			want: "s.inner.m",
+		},
+		{
+			name: "leak through closure",
+			src: `package server
+type Store struct{ rows []int }
+func (s *Store) Rows() []int {
+	f := func() []int { return s.rows }
+	return f()
+}`,
+			want: "s.rows",
+		},
+		{
+			name: "copy via call is fine",
+			src: `package server
+type Store struct{ rows []int }
+func (s *Store) Rows() []int { return append([]int(nil), s.rows...) }`,
+			want: "",
+		},
+		{
+			name: "local is fine",
+			src: `package server
+type Store struct{ rows []int }
+func (s *Store) Rows() []int {
+	out := make([]int, len(s.rows))
+	copy(out, s.rows)
+	return out
+}`,
+			want: "",
+		},
+		{
+			name: "computed value is fine",
+			src: `package server
+type Store struct{ rows []int }
+func (s *Store) Count() int { return len(s.rows) }`,
+			want: "",
+		},
+		{
+			name: "unexported method exempt",
+			src: `package server
+type Store struct{ rows []int }
+func (s *Store) rowsRef() []int { return s.rows }`,
+			want: "",
+		},
+		{
+			name: "other receiver type exempt",
+			src: `package server
+type Journal struct{ buf []byte }
+func (j *Journal) Buf() []byte { return j.buf }`,
+			want: "",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			findings := runDeepcopy(t, tc.src)
+			if tc.want == "" {
+				if len(findings) != 0 {
+					t.Fatalf("unexpected findings: %v", findings)
+				}
+				return
+			}
+			if len(findings) != 1 {
+				t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+			}
+			if !strings.Contains(findings[0].msg, tc.want) {
+				t.Fatalf("finding %q does not mention %q", findings[0].msg, tc.want)
+			}
+		})
+	}
+}
+
+func runSleepban(t *testing.T, src string) []finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "server.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sleepban(fset, file)
+}
+
+func TestSleepbanFlagsTimeSleep(t *testing.T) {
+	got := runSleepban(t, `package server
+import "time"
+func wait() { time.Sleep(time.Second) }`)
+	if len(got) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(got), got)
+	}
+	if !strings.Contains(got[0].msg, "time.Sleep") {
+		t.Fatalf("unexpected message %q", got[0].msg)
+	}
+}
+
+func TestSleepbanResolvesRenamedImport(t *testing.T) {
+	got := runSleepban(t, `package server
+import clock "time"
+func wait() { clock.Sleep(clock.Second) }`)
+	if len(got) != 1 {
+		t.Fatalf("renamed time import not resolved: %v", got)
+	}
+}
+
+func TestSleepbanIgnoresOtherSleeps(t *testing.T) {
+	got := runSleepban(t, `package server
+import "time"
+type fakeClock struct{}
+func (fakeClock) Sleep(d time.Duration) {}
+func wait() {
+	var c fakeClock
+	c.Sleep(time.Second)
+	_ = time.Now()
+}`)
+	if len(got) != 0 {
+		t.Fatalf("unexpected findings: %v", got)
+	}
+}
+
+func TestSleepbanNoTimeImport(t *testing.T) {
+	got := runSleepban(t, `package server
+type timeLike struct{}
+func (timeLike) Sleep() {}
+func wait() {
+	var time timeLike
+	time.Sleep()
+}`)
+	if len(got) != 0 {
+		t.Fatalf("findings without a time import: %v", got)
+	}
+}
+
+func TestCheckFileScopesSleepbanToServer(t *testing.T) {
+	src := `package other
+import "time"
+func wait() { time.Sleep(time.Second) }`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "internal/batch/wait.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := checkFile(fset, file, "internal/batch/wait.go"); len(got) != 0 {
+		t.Fatalf("sleepban applied outside internal/server: %v", got)
+	}
+	file2, err := parser.ParseFile(fset, "internal/server/wait_test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := checkFile(fset, file2, "internal/server/wait_test.go"); len(got) != 0 {
+		t.Fatalf("sleepban applied to a test file: %v", got)
+	}
+	file3, err := parser.ParseFile(fset, "internal/server/wait.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := checkFile(fset, file3, "internal/server/wait.go"); len(got) != 1 {
+		t.Fatalf("sleepban missed internal/server non-test file: %v", got)
+	}
+}

@@ -6,6 +6,14 @@
 //	pluginc -d op.pvm               disassemble
 //	pluginc -manifest op.asm        print the derived manifest as JSON
 //
+// Compiled programs are statically verified by default (internal/verify):
+// the abstract interpreter proves every handler respects the VM's stack
+// and call-depth bounds, every jump lands on an instruction and control
+// never runs past the end of the code. A rejected program prints the
+// counterexample (handler, pc, path) and exits non-zero; -no-verify
+// skips the check for debugging deliberately broken programs — the
+// trusted server runs the same verifier at upload and will refuse them.
+//
 // The assembly language is documented in internal/vm (Assemble).
 package main
 
@@ -17,6 +25,7 @@ import (
 	"os"
 
 	"dynautosar/internal/plugin"
+	"dynautosar/internal/verify"
 	"dynautosar/internal/vm"
 )
 
@@ -28,9 +37,10 @@ func main() {
 	manifest := flag.Bool("manifest", false, "print the manifest derived from the program as JSON")
 	developer := flag.String("developer", "", "developer name recorded in the manifest")
 	external := flag.Bool("external", false, "mark the plug-in as externally communicating")
+	noVerify := flag.Bool("no-verify", false, "skip static bytecode verification (the server will still verify at upload)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: pluginc [-o out.pvm | -d | -manifest] <file>")
+		log.Fatal("usage: pluginc [-o out.pvm | -d | -manifest] [-no-verify] <file>")
 	}
 	input := flag.Arg(0)
 	data, err := os.ReadFile(input)
@@ -50,6 +60,11 @@ func main() {
 	prog, err := vm.Assemble(string(data))
 	if err != nil {
 		log.Fatal(err)
+	}
+	if !*noVerify {
+		if err := verify.VerifyProgram(prog); err != nil {
+			log.Fatalf("%s: %v", input, err)
+		}
 	}
 	if *manifest {
 		bin, err := plugin.FromProgram(prog, plugin.Manifest{

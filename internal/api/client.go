@@ -215,6 +215,12 @@ func (t *httpTransport) Uninstall(ctx context.Context, req UninstallRequest) (Op
 	return op, err
 }
 
+func (t *httpTransport) Verify(ctx context.Context, req VerifyRequest) (VerifyReport, error) {
+	var report VerifyReport
+	err := t.do(ctx, http.MethodPost, "/v1/verify", req, &report)
+	return report, err
+}
+
 func (t *httpTransport) Restore(ctx context.Context, req RestoreRequest) (Operation, error) {
 	var op Operation
 	err := t.do(ctx, http.MethodPost, "/v1/restore", req, &op)

@@ -44,6 +44,13 @@ const (
 	// could not complete) and the old version is running again. The
 	// stable detail clients branch on when polling an upgrade operation.
 	CodeRolledBack ErrorCode = "rollback"
+	// CodeUnsafePlan: the static plan verifier rejected the operation —
+	// some intermediate configuration along the reconfiguration path
+	// violates a declared invariant (link compatibility, orphaned
+	// ports, port-id collisions, the quiesce buffering bound, or
+	// safe-state reachability). The message carries the minimal
+	// counterexample path; nothing was pushed to the vehicle.
+	CodeUnsafePlan ErrorCode = "unsafe_plan"
 	// CodeInternal: an unexpected server-side failure.
 	CodeInternal ErrorCode = "internal"
 )
@@ -92,7 +99,7 @@ func HTTPStatus(code ErrorCode) int {
 		return http.StatusBadRequest
 	case CodeNotFound:
 		return http.StatusNotFound
-	case CodeAlreadyExists, CodeFailedPrecondition, CodeRolledBack:
+	case CodeAlreadyExists, CodeFailedPrecondition, CodeRolledBack, CodeUnsafePlan:
 		return http.StatusConflict
 	case CodePermissionDenied:
 		return http.StatusForbidden

@@ -29,6 +29,7 @@ import (
 //	POST /v1/upgrade                  start a live in-place upgrade -> Operation
 //	POST /v1/upgrade:batch            start a fleet-wide live upgrade -> parent Operation
 //	POST /v1/restore                  start an async ECU restore -> Operation
+//	POST /v1/verify                   dry-run the static plan verifier -> VerifyReport
 //	GET  /v1/status?vehicle=V&app=A   per-app ack progress
 //	GET  /v1/healthz                  readiness + recovery counters
 //	GET  /v1/operations               list operations (paginated)
@@ -111,6 +112,7 @@ func NewHandler(svc DeploymentService, opts *HandlerOptions) http.Handler {
 	mux.HandleFunc("POST /v1/upgrade", h.upgrade)
 	mux.HandleFunc("POST /v1/upgrade:batch", h.batchUpgrade)
 	mux.HandleFunc("POST /v1/restore", h.restore)
+	mux.HandleFunc("POST /v1/verify", h.verify)
 	mux.HandleFunc("GET /v1/status", h.status)
 	mux.HandleFunc("GET /v1/healthz", h.healthz)
 	mux.HandleFunc("GET /v1/operations", h.listOperations)
@@ -430,6 +432,21 @@ func (h *handler) restore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.writeJSON(w, http.StatusAccepted, op)
+}
+
+func (h *handler) verify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if !h.decode(w, r, &req) {
+		return
+	}
+	report, err := h.svc.Verify(r.Context(), req)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	// A rejected plan is a successful dry-run: the verdict travels in
+	// the 200 body, not in the status line.
+	h.writeJSON(w, http.StatusOK, report)
 }
 
 func (h *handler) status(w http.ResponseWriter, r *http.Request) {

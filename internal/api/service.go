@@ -86,6 +86,31 @@ type BatchUpgradeRequest struct {
 	To       core.AppName     `json:"to"`
 }
 
+// VerifyRequest asks the static plan verifier to dry-run an operation:
+// plan it exactly as Deploy/Uninstall/Upgrade would, walk every
+// intermediate configuration of the reconfiguration path, and report —
+// without pushing anything to the vehicle or reserving any state. Kind
+// selects the operation; App names the app to deploy or uninstall (the
+// installed app for upgrades), To the upgrade target.
+type VerifyRequest struct {
+	User    core.UserID    `json:"user"`
+	Vehicle core.VehicleID `json:"vehicle"`
+	Kind    OperationKind  `json:"kind"`
+	App     core.AppName   `json:"app"`
+	To      core.AppName   `json:"to,omitempty"`
+}
+
+// VerifyReport is the verdict of a verification dry-run. OK reports
+// that every intermediate configuration satisfies the invariant
+// catalogue; Steps lists the plan's step path. On rejection Error
+// carries the stable code (usually "unsafe_plan") and the minimal
+// counterexample path in its message.
+type VerifyReport struct {
+	OK    bool     `json:"ok"`
+	Steps []string `json:"steps,omitempty"`
+	Error *Error   `json:"error,omitempty"`
+}
+
 // RestoreRequest asks for the plug-ins of a replaced ECU to be
 // re-installed with their recorded port ids.
 type RestoreRequest struct {
@@ -190,6 +215,13 @@ type DeploymentService interface {
 	Upgrade(ctx context.Context, req UpgradeRequest) (Operation, error)
 	// Restore starts an async restore of a replaced ECU.
 	Restore(ctx context.Context, req RestoreRequest) (Operation, error)
+
+	// Verify dry-runs an operation through the static plan verifier and
+	// returns the verdict; nothing is pushed or reserved. The report is
+	// returned with a nil error even when the plan is rejected — the
+	// rejection travels inside the report — so callers can distinguish
+	// "unsafe plan" from "request failed".
+	Verify(ctx context.Context, req VerifyRequest) (VerifyReport, error)
 
 	// BatchDeploy starts an async fleet-wide deployment and returns its
 	// parent operation; per-vehicle progress rides on child operations.

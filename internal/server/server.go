@@ -285,6 +285,12 @@ func (s *Server) planDeploy(app App, vr VehicleRecord) (*deployPlan, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Static verification: every intermediate configuration along the
+	// install path must satisfy the invariant catalogue, or nothing is
+	// packaged, recorded or pushed.
+	if err := s.verifyDeploy(app, vr, order, contexts); err != nil {
+		return nil, err
+	}
 	plan := &deployPlan{
 		conf:  vr.Conf,
 		order: order,
@@ -501,31 +507,18 @@ func (s *Server) uninstall(opID string, user core.UserID, vehicleID core.Vehicle
 
 	// Dependency supervision: other apps requiring these plug-ins block
 	// the uninstall, and the user is told which ones.
-	removing := make(map[core.PluginName]bool, len(row.Plugins))
-	for _, p := range row.Plugins {
-		removing[p.Plugin] = true
-	}
-	var dependants []string
-	for _, other := range s.store.InstalledApps(vehicleID) {
-		if other.App == appName {
-			continue
-		}
-		app, ok := s.store.App(other.App)
-		if !ok {
-			continue
-		}
-		for _, b := range app.Binaries {
-			for _, req := range b.Manifest.Requires {
-				if removing[req] {
-					dependants = append(dependants,
-						fmt.Sprintf("%s (plug-in %s requires %s)", other.App, b.Manifest.Name, req))
-				}
-			}
-		}
-	}
-	if len(dependants) > 0 {
+	if dependants := s.uninstallDependants(vehicleID, appName, row); len(dependants) > 0 {
 		return api.Errorf(api.CodeFailedPrecondition,
 			"server: cannot uninstall %s: dependent apps must be uninstalled first: %v", appName, dependants)
+	}
+
+	// Static verification of the removal path: every intermediate state
+	// (plug-ins leave in reverse install order) must keep the surviving
+	// population consistent, or nothing is pushed.
+	if vr, ok := s.store.Vehicle(vehicleID); ok {
+		if err := s.verifyUninstall(vr, row); err != nil {
+			return err
+		}
 	}
 
 	// Send uninstall messages in reverse install order, pinned to the

@@ -98,6 +98,10 @@ func (sv *Service) BatchUpgrade(_ context.Context, req api.BatchUpgradeRequest) 
 	return sv.s.BatchUpgradeAsync(req.User, req.Vehicles, req.Selector, req.From, req.To)
 }
 
+func (sv *Service) Verify(_ context.Context, req api.VerifyRequest) (api.VerifyReport, error) {
+	return sv.s.VerifyOperation(req.User, req.Vehicle, req.Kind, req.App, req.To)
+}
+
 func (sv *Service) Restore(_ context.Context, req api.RestoreRequest) (api.Operation, error) {
 	return sv.s.RestoreAsync(req.User, req.Vehicle, req.ECU)
 }

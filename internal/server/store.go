@@ -8,6 +8,7 @@ import (
 	"dynautosar/internal/core"
 	"dynautosar/internal/journal"
 	"dynautosar/internal/plugin"
+	"dynautosar/internal/verify"
 )
 
 // The data model of Figure 2: User and Vehicle on the user side, APP
@@ -276,7 +277,10 @@ func (s *Store) UploadApp(app App) error {
 	}
 	names := make(map[core.PluginName]bool, len(app.Binaries))
 	for _, b := range app.Binaries {
-		if err := b.Validate(); err != nil {
+		// VerifyBinary subsumes b.Validate(): structural validation plus
+		// the abstract-interpretation proof that no handler can trap on
+		// stack bounds, call depth or control falling off the code.
+		if err := verify.VerifyBinary(b); err != nil {
 			return api.Errorf(api.CodeInvalidArgument, "server: app %q: %v", app.Name, err)
 		}
 		if names[b.Manifest.Name] {
@@ -659,6 +663,22 @@ func (s *Store) UsedPortIDs(vehicle core.VehicleID, ecu core.ECUID, swc core.SWC
 		}
 	}
 	return used
+}
+
+// ReservedUpgradeRows returns copies of the planned replacement rows of
+// in-flight live upgrades on a vehicle — the port-id claims that
+// concurrent planning (and the plan verifier) must steer around.
+func (s *Store) ReservedUpgradeRows(vehicle core.VehicleID) []InstalledApp {
+	sh := s.shard(vehicle)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	var out []InstalledApp
+	for _, r := range sh.reserved {
+		if r.Vehicle == vehicle {
+			out = append(out, snapshotRow(r))
+		}
+	}
+	return out
 }
 
 // --- live-upgrade row transactions -------------------------------------------

@@ -287,7 +287,13 @@ func (s *Server) planUpgrade(vr VehicleRecord, oldRow InstalledApp, fromApp, toA
 		plan.pics[d.Plugin] = contexts[d.Plugin].PIC
 		plan.raws[d.Plugin] = raw
 	}
-	if err := s.planCompensation(plan, vr, fromApp); err != nil {
+	oldContexts, err := s.planCompensation(plan, vr, fromApp)
+	if err != nil {
+		return nil, err
+	}
+	// Static verification: the forward swap path and the rollback path
+	// are both walked state by state before the plan is staged.
+	if err := s.verifyUpgrade(vr, fromApp, app, plan, contexts, oldContexts); err != nil {
 		return nil, err
 	}
 	return plan, nil
@@ -295,20 +301,21 @@ func (s *Server) planUpgrade(vr VehicleRecord, oldRow InstalledApp, fromApp, toA
 
 // planCompensation packages the old app against its own recorded
 // contexts, so a partially acknowledged upgrade can push the old
-// version back onto plug-ins that already swapped.
-func (s *Server) planCompensation(plan *upgradePlan, vr VehicleRecord, fromApp core.AppName) error {
+// version back onto plug-ins that already swapped. It returns the
+// regenerated old contexts for the plan verifier's rollback walk.
+func (s *Server) planCompensation(plan *upgradePlan, vr VehicleRecord, fromApp core.AppName) (generatedContexts, error) {
 	app, ok := s.store.App(fromApp)
 	if !ok {
-		return api.Errorf(api.CodeNotFound, "server: unknown app %s", fromApp)
+		return nil, api.Errorf(api.CodeNotFound, "server: unknown app %s", fromApp)
 	}
 	conf, ok := app.ConfFor(vr.Conf.Model)
 	if !ok {
-		return api.Errorf(api.CodeFailedPrecondition,
+		return nil, api.Errorf(api.CodeFailedPrecondition,
 			"server: no SW conf of %s matches model %q", fromApp, vr.Conf.Model)
 	}
 	order, err := InstallOrder(app, conf)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	forced := make(map[core.PluginName]core.PIC, len(plan.oldRow.Plugins))
 	for _, p := range plan.oldRow.Plugins {
@@ -316,7 +323,7 @@ func (s *Server) planCompensation(plan *upgradePlan, vr VehicleRecord, fromApp c
 	}
 	contexts, err := s.generateContexts(app, vr, order, forced)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	plan.oldOrder = order
 	plan.oldRaws = make(map[core.PluginName][]byte, len(order))
@@ -325,11 +332,11 @@ func (s *Server) planCompensation(plan *upgradePlan, vr VehicleRecord, fromApp c
 		pkg := plugin.Package{Binary: bin, Context: *contexts[d.Plugin]}
 		raw, err := pkg.MarshalBinary()
 		if err != nil {
-			return api.Errorf(api.CodeInternal, "server: packaging compensation %s: %v", d.Plugin, err)
+			return nil, api.Errorf(api.CodeInternal, "server: packaging compensation %s: %v", d.Plugin, err)
 		}
 		plan.oldRaws[d.Plugin] = raw
 	}
-	return nil
+	return contexts, nil
 }
 
 // stageUpgrade runs the synchronous half under the vehicle's deploy

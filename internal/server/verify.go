@@ -1,0 +1,290 @@
+package server
+
+import (
+	"fmt"
+
+	"dynautosar/internal/api"
+	"dynautosar/internal/core"
+	"dynautosar/internal/verify"
+)
+
+// The server-side face of internal/verify's plan verifier: every
+// deploy, uninstall and upgrade plan is modelled as a verify.Plan —
+// the untouched installed population (with contexts regenerated from
+// the recorded port ids, so the verifier sees real links), the ordered
+// steps the pipeline would push, and the port reservations of
+// concurrent in-flight upgrades — and rejected with the stable
+// "unsafe_plan" code before anything reaches the vehicle.
+
+// unsafePlan wraps a verifier rejection in the API error clients see;
+// the message is the minimal counterexample path.
+func unsafePlan(err error) error {
+	return api.Errorf(api.CodeUnsafePlan, "%v", err)
+}
+
+// verifyDeploy models a planned deployment as install steps over the
+// installed population and runs the plan verifier. Called by
+// planDeploy once contexts are generated, before packaging.
+func (s *Server) verifyDeploy(app App, vr VehicleRecord, order []Deployment, contexts generatedContexts) error {
+	p := &verify.Plan{
+		Kind:      verify.PlanDeploy,
+		Vehicle:   vr.ID,
+		Conf:      vr.Conf,
+		Installed: s.installedStates(vr, nil),
+		Reserved:  s.portReservations(vr.ID),
+	}
+	for _, d := range order {
+		p.Steps = append(p.Steps, verify.Step{
+			Kind:   verify.StepInstall,
+			Plugin: d.Plugin,
+			New:    contextState(d.Plugin, d.ECU, d.SWC, app, contexts[d.Plugin]),
+		})
+	}
+	if err := verify.VerifyPlan(p); err != nil {
+		return unsafePlan(err)
+	}
+	return nil
+}
+
+// verifyUninstall models an uninstallation as remove steps in reverse
+// install order — exactly the order uninstall() pushes MsgUninstall —
+// and runs the plan verifier over the intermediate states.
+func (s *Server) verifyUninstall(vr VehicleRecord, row InstalledApp) error {
+	p := &verify.Plan{
+		Kind:      verify.PlanUninstall,
+		Vehicle:   vr.ID,
+		Conf:      vr.Conf,
+		Installed: s.installedStates(vr, map[core.AppName]bool{row.App: true}),
+		Reserved:  s.portReservations(vr.ID),
+	}
+	olds := s.rowStates(vr, row)
+	for i := len(olds) - 1; i >= 0; i-- {
+		p.Steps = append(p.Steps, verify.Step{
+			Kind:   verify.StepRemove,
+			Plugin: olds[i].Plugin,
+			Old:    olds[i],
+		})
+	}
+	if err := verify.VerifyPlan(p); err != nil {
+		return unsafePlan(err)
+	}
+	return nil
+}
+
+// verifyUpgrade models a live upgrade as swap steps (forward path and
+// the verifier's implied compensation path) and runs the plan
+// verifier. Called by planUpgrade after both directions are planned,
+// before the plan is handed to staging.
+func (s *Server) verifyUpgrade(vr VehicleRecord, fromApp core.AppName, newApp App, plan *upgradePlan, newCtx, oldCtx generatedContexts) error {
+	oldApp, _ := s.store.App(fromApp)
+	oldByName := make(map[core.PluginName]Deployment, len(plan.oldOrder))
+	for _, d := range plan.oldOrder {
+		oldByName[d.Plugin] = d
+	}
+	p := &verify.Plan{
+		Kind:      verify.PlanUpgrade,
+		Vehicle:   vr.ID,
+		Conf:      vr.Conf,
+		Installed: s.installedStates(vr, map[core.AppName]bool{fromApp: true}),
+		Reserved:  s.portReservations(vr.ID),
+	}
+	for _, d := range plan.order {
+		od := oldByName[d.Plugin] // 1:1 placement match, checked by planUpgrade
+		p.Steps = append(p.Steps, verify.Step{
+			Kind:   verify.StepSwap,
+			Plugin: d.Plugin,
+			New:    contextState(d.Plugin, d.ECU, d.SWC, newApp, newCtx[d.Plugin]),
+			Old:    contextState(d.Plugin, od.ECU, od.SWC, oldApp, oldCtx[d.Plugin]),
+		})
+	}
+	if err := verify.VerifyPlan(p); err != nil {
+		return unsafePlan(err)
+	}
+	return nil
+}
+
+// contextState builds one verifier plug-in state from a generated (or
+// regenerated) context and the app's manifest. A nil context leaves
+// PIC/PLC empty, which the verifier treats as unknown.
+func contextState(name core.PluginName, ecu core.ECUID, swc core.SWCID, app App, ctx *core.Context) *verify.PluginState {
+	st := &verify.PluginState{Plugin: name, ECU: ecu, SWC: swc}
+	if bin, ok := app.Binary(name); ok {
+		st.Ports = bin.Manifest.Ports
+		st.Requires = bin.Manifest.Requires
+	}
+	if ctx != nil {
+		st.PIC = ctx.PIC
+		st.PLC = ctx.PLC
+	}
+	return st
+}
+
+// rowStates rebuilds the verifier states of one installed row. The
+// app's contexts are regenerated with the recorded port ids forced —
+// the restore path's trick — so the states carry real PLCs; a row
+// whose app, conf or regeneration is unavailable falls back to
+// PIC-only states (its port-id claims hold, its link checks skip).
+func (s *Server) rowStates(vr VehicleRecord, row InstalledApp) []*verify.PluginState {
+	var contexts generatedContexts
+	app, ok := s.store.App(row.App)
+	if ok {
+		if conf, ok := app.ConfFor(vr.Conf.Model); ok {
+			if order, err := InstallOrder(app, conf); err == nil {
+				forced := make(map[core.PluginName]core.PIC, len(row.Plugins))
+				for _, p := range row.Plugins {
+					forced[p.Plugin] = p.PIC
+				}
+				if ctxs, err := s.generateContexts(app, vr, order, forced); err == nil {
+					contexts = ctxs
+				}
+			}
+		}
+	}
+	out := make([]*verify.PluginState, 0, len(row.Plugins))
+	for _, p := range row.Plugins {
+		st := &verify.PluginState{
+			Plugin: p.Plugin, ECU: p.ECU, SWC: p.SWC,
+			PIC: append(core.PIC(nil), p.PIC...),
+		}
+		if bin, ok := app.Binary(p.Plugin); ok {
+			st.Ports = bin.Manifest.Ports
+			st.Requires = bin.Manifest.Requires
+		}
+		if ctx := contexts[p.Plugin]; ctx != nil {
+			st.PLC = ctx.PLC
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// installedStates collects the verifier states of every installed row
+// on the vehicle except the excluded apps (the ones the plan itself
+// touches, which travel as step states instead).
+func (s *Server) installedStates(vr VehicleRecord, exclude map[core.AppName]bool) []verify.PluginState {
+	var out []verify.PluginState
+	for _, row := range s.store.InstalledApps(vr.ID) {
+		if exclude[row.App] {
+			continue
+		}
+		for _, st := range s.rowStates(vr, row) {
+			out = append(out, *st)
+		}
+	}
+	return out
+}
+
+// portReservations converts the planned rows of in-flight live
+// upgrades into the verifier's reservation shape.
+func (s *Server) portReservations(vehicle core.VehicleID) []verify.PortReservation {
+	var out []verify.PortReservation
+	for _, row := range s.store.ReservedUpgradeRows(vehicle) {
+		for _, p := range row.Plugins {
+			out = append(out, verify.PortReservation{
+				ECU: p.ECU, SWC: p.SWC, Owner: p.Plugin, IDs: p.PIC.IDs(),
+			})
+		}
+	}
+	return out
+}
+
+// uninstallDependants lists the installed apps whose plug-ins declare a
+// manifest dependency on a plug-in of the row being removed — the
+// dependency-supervision check shared by uninstall() and the verify
+// dry-run.
+func (s *Server) uninstallDependants(vehicleID core.VehicleID, appName core.AppName, row InstalledApp) []string {
+	removing := make(map[core.PluginName]bool, len(row.Plugins))
+	for _, p := range row.Plugins {
+		removing[p.Plugin] = true
+	}
+	var dependants []string
+	for _, other := range s.store.InstalledApps(vehicleID) {
+		if other.App == appName {
+			continue
+		}
+		app, ok := s.store.App(other.App)
+		if !ok {
+			continue
+		}
+		for _, b := range app.Binaries {
+			for _, req := range b.Manifest.Requires {
+				if removing[req] {
+					dependants = append(dependants,
+						fmt.Sprintf("%s (plug-in %s requires %s)", other.App, b.Manifest.Name, req))
+				}
+			}
+		}
+	}
+	return dependants
+}
+
+// VerifyOperation dry-runs one operation through the static plan
+// verifier: the plan is computed exactly as the live pipeline computes
+// it — including the verifier hooks — but nothing is recorded,
+// reserved or pushed. Prerequisite failures (unknown entities,
+// ownership, duplicates) surface as hard errors; planning and
+// verification rejections travel inside the report, so callers can
+// tell "unsafe plan" from "request failed".
+func (s *Server) VerifyOperation(user core.UserID, vehicleID core.VehicleID, kind api.OperationKind, appName, toApp core.AppName) (api.VerifyReport, error) {
+	switch kind {
+	case api.OpDeploy:
+		if err := s.precheckDeploy(user, vehicleID, appName); err != nil {
+			return api.VerifyReport{}, err
+		}
+		vr, _ := s.store.Vehicle(vehicleID)
+		app, _ := s.store.App(appName)
+		plan, err := s.planDeploy(app, vr)
+		if err != nil {
+			return api.VerifyReport{Error: api.AsError(err)}, nil
+		}
+		report := api.VerifyReport{OK: true}
+		for _, d := range plan.order {
+			report.Steps = append(report.Steps, fmt.Sprintf("install %s on %s/%s", d.Plugin, d.ECU, d.SWC))
+		}
+		return report, nil
+
+	case api.OpUninstall:
+		if err := s.precheckUninstall(user, vehicleID, appName); err != nil {
+			return api.VerifyReport{}, err
+		}
+		vr, _ := s.store.Vehicle(vehicleID)
+		row, ok := s.store.InstalledApp(vehicleID, appName)
+		if !ok {
+			return api.VerifyReport{}, api.Errorf(api.CodeNotFound, "server: app %s is not installed on %s", appName, vehicleID)
+		}
+		if dependants := s.uninstallDependants(vehicleID, appName, row); len(dependants) > 0 {
+			return api.VerifyReport{Error: api.AsError(api.Errorf(api.CodeFailedPrecondition,
+				"server: cannot uninstall %s: dependent apps must be uninstalled first: %v", appName, dependants))}, nil
+		}
+		if err := s.verifyUninstall(vr, row); err != nil {
+			return api.VerifyReport{Error: api.AsError(err)}, nil
+		}
+		report := api.VerifyReport{OK: true}
+		for i := len(row.Plugins) - 1; i >= 0; i-- {
+			p := row.Plugins[i]
+			report.Steps = append(report.Steps, fmt.Sprintf("remove %s from %s/%s", p.Plugin, p.ECU, p.SWC))
+		}
+		return report, nil
+
+	case api.OpUpgrade:
+		if err := s.precheckUpgrade(user, vehicleID, appName, toApp); err != nil {
+			return api.VerifyReport{}, err
+		}
+		vr, _ := s.store.Vehicle(vehicleID)
+		oldRow, ok := s.store.InstalledApp(vehicleID, appName)
+		if !ok {
+			return api.VerifyReport{}, api.Errorf(api.CodeNotFound, "server: app %s is not installed on %s", appName, vehicleID)
+		}
+		plan, err := s.planUpgrade(vr, oldRow, appName, toApp)
+		if err != nil {
+			return api.VerifyReport{Error: api.AsError(err)}, nil
+		}
+		report := api.VerifyReport{OK: true}
+		for _, d := range plan.order {
+			report.Steps = append(report.Steps, fmt.Sprintf("swap %s on %s/%s", d.Plugin, d.ECU, d.SWC))
+		}
+		return report, nil
+	}
+	return api.VerifyReport{}, api.Errorf(api.CodeInvalidArgument,
+		"server: operation kind %q is not verifiable (want deploy, uninstall or upgrade)", kind)
+}

@@ -1,0 +1,291 @@
+package verify_test
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dynautosar/internal/core"
+	"dynautosar/internal/plugin"
+	"dynautosar/internal/sim"
+	"dynautosar/internal/verify"
+	"dynautosar/internal/vm"
+)
+
+func expectBytecodeErr(t *testing.T, err error, reason string) *verify.BytecodeError {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("program accepted, want rejection mentioning %q", reason)
+	}
+	var be *verify.BytecodeError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v (%T) is not a *BytecodeError", err, err)
+	}
+	if !strings.Contains(be.Reason, reason) {
+		t.Fatalf("reason %q does not mention %q (full: %v)", be.Reason, reason, be)
+	}
+	return be
+}
+
+func initOnly(code ...vm.Instr) *vm.Program {
+	return &vm.Program{
+		Name:     "t",
+		Handlers: []vm.Handler{{Kind: vm.HandlerInit, Entry: 0}},
+		Code:     code,
+	}
+}
+
+// TestBytecodeUnderflow: popping from a possibly-empty stack is
+// rejected with the offending pc.
+func TestBytecodeUnderflow(t *testing.T) {
+	be := expectBytecodeErr(t, verify.VerifyProgram(initOnly(
+		vm.Instr{Op: vm.OpPush, Arg: 1}, // depth 1
+		vm.Instr{Op: vm.OpAdd},          // needs 2
+		vm.Instr{Op: vm.OpHalt},
+	)), "underflow")
+	if be.PC != 1 || be.Handler != "init handler" {
+		t.Errorf("counterexample pc=%d handler=%q, want pc=1 init handler", be.PC, be.Handler)
+	}
+}
+
+// TestBytecodeUnderflowThroughCall: a subroutine that pops more than
+// the caller provides is caught, with the CALL site recorded.
+func TestBytecodeUnderflowThroughCall(t *testing.T) {
+	be := expectBytecodeErr(t, verify.VerifyProgram(initOnly(
+		vm.Instr{Op: vm.OpCall, Arg: 2}, // pc 0: empty stack at call
+		vm.Instr{Op: vm.OpHalt},         // pc 1
+		vm.Instr{Op: vm.OpAdd},          // pc 2: subroutine needs 2
+		vm.Instr{Op: vm.OpRet},          // pc 3
+	)), "underflow")
+	if be.PC != 2 {
+		t.Errorf("counterexample pc=%d, want the subroutine's ADD at 2", be.PC)
+	}
+	if len(be.Calls) != 1 || be.Calls[0] != 0 {
+		t.Errorf("counterexample calls=%v, want the CALL at pc 0", be.Calls)
+	}
+}
+
+// TestBytecodeOverflow: an unbounded push loop must be provably able
+// to exceed MaxStack.
+func TestBytecodeOverflow(t *testing.T) {
+	expectBytecodeErr(t, verify.VerifyProgram(initOnly(
+		vm.Instr{Op: vm.OpPush, Arg: 1},
+		vm.Instr{Op: vm.OpJmp, Arg: 0},
+	)), "overflow")
+}
+
+// TestBytecodeBoundedLoopAccepted: a loop that pops as much as it
+// pushes stays at constant depth and is accepted.
+func TestBytecodeBoundedLoopAccepted(t *testing.T) {
+	err := verify.VerifyProgram(initOnly(
+		vm.Instr{Op: vm.OpPush, Arg: 10}, // pc 0: counter
+		vm.Instr{Op: vm.OpPush, Arg: 1},  // pc 1
+		vm.Instr{Op: vm.OpSub},           // pc 2: counter-1
+		vm.Instr{Op: vm.OpDup},           // pc 3
+		vm.Instr{Op: vm.OpJnz, Arg: 1},   // pc 4: loop while non-zero
+		vm.Instr{Op: vm.OpPop},           // pc 5
+		vm.Instr{Op: vm.OpHalt},          // pc 6
+	))
+	if err != nil {
+		t.Fatalf("balanced loop rejected: %v", err)
+	}
+}
+
+// TestBytecodeRecursionRejected: a self-calling subroutine would
+// exhaust the frame bound.
+func TestBytecodeRecursionRejected(t *testing.T) {
+	expectBytecodeErr(t, verify.VerifyProgram(initOnly(
+		vm.Instr{Op: vm.OpCall, Arg: 2},
+		vm.Instr{Op: vm.OpHalt},
+		vm.Instr{Op: vm.OpCall, Arg: 2},
+		vm.Instr{Op: vm.OpRet},
+	)), "recursive")
+}
+
+// chainProgram builds a handler calling a chain of n nested
+// subroutines: sub i calls sub i+1, the last returns immediately.
+func chainProgram(n int) *vm.Program {
+	code := []vm.Instr{
+		{Op: vm.OpCall, Arg: 2},
+		{Op: vm.OpHalt},
+	}
+	for i := 0; i < n-1; i++ {
+		entry := int32(2 + 2*i)
+		code = append(code,
+			vm.Instr{Op: vm.OpCall, Arg: entry + 2},
+			vm.Instr{Op: vm.OpRet},
+		)
+	}
+	code = append(code, vm.Instr{Op: vm.OpRet})
+	return initOnly(code...)
+}
+
+// TestBytecodeCallDepth: call chains deeper than vm.MaxFrames are
+// rejected; a chain at exactly the bound is accepted.
+func TestBytecodeCallDepth(t *testing.T) {
+	if err := verify.VerifyProgram(chainProgram(vm.MaxFrames)); err != nil {
+		t.Fatalf("chain at the frame bound rejected: %v", err)
+	}
+	expectBytecodeErr(t, verify.VerifyProgram(chainProgram(vm.MaxFrames+1)), "frame bound")
+}
+
+// TestBytecodeFallOffEnd: control running past the last instruction is
+// rejected even when no stack bound is violated.
+func TestBytecodeFallOffEnd(t *testing.T) {
+	expectBytecodeErr(t, verify.VerifyProgram(initOnly(
+		vm.Instr{Op: vm.OpPush, Arg: 1},
+		vm.Instr{Op: vm.OpPop},
+	)), "past the end")
+}
+
+// TestBytecodePwrOnRequiredPort: writing a required (input) port is a
+// manifest mismatch caught statically.
+func TestBytecodePwrOnRequiredPort(t *testing.T) {
+	p := &vm.Program{
+		Name:     "t",
+		Ports:    []vm.PortDecl{{Name: "in", Direction: core.Required}},
+		Handlers: []vm.Handler{{Kind: vm.HandlerInit, Entry: 0}},
+		Code: []vm.Instr{
+			{Op: vm.OpPush, Arg: 1},
+			{Op: vm.OpPwr, Arg: 0},
+			{Op: vm.OpHalt},
+		},
+	}
+	be := expectBytecodeErr(t, verify.VerifyProgram(p), "required (input) port")
+	if be.PC != 1 {
+		t.Errorf("counterexample pc=%d, want 1", be.PC)
+	}
+}
+
+// TestBytecodeStructuralErrorsComeFromProgramVerify: out-of-range jump
+// targets are already structural errors; VerifyProgram must surface
+// them, not panic past them.
+func TestBytecodeStructuralErrorsComeFromProgramVerify(t *testing.T) {
+	err := verify.VerifyProgram(initOnly(vm.Instr{Op: vm.OpJmp, Arg: 99}))
+	if err == nil || !strings.Contains(err.Error(), "jump target") {
+		t.Fatalf("invalid jump target not rejected: %v", err)
+	}
+}
+
+// TestVerifyBinary: a packaged binary round-trips through manifest
+// validation and program verification.
+func TestVerifyBinary(t *testing.T) {
+	p := &vm.Program{
+		Name:     "ok",
+		Ports:    []vm.PortDecl{{Name: "out", Direction: core.Provided}},
+		Handlers: []vm.Handler{{Kind: vm.HandlerInit, Entry: 0}},
+		Code: []vm.Instr{
+			{Op: vm.OpPush, Arg: 7},
+			{Op: vm.OpPwr, Arg: 0},
+			{Op: vm.OpHalt},
+		},
+	}
+	bin, err := plugin.FromProgram(p, plugin.Manifest{Developer: "dev"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.VerifyBinary(bin); err != nil {
+		t.Fatalf("valid binary rejected: %v", err)
+	}
+}
+
+// diffHost is the execution side of the differential test.
+type diffHost struct{}
+
+func (diffHost) PortWrite(int, int64) error { return nil }
+func (diffHost) SetTimer(int, sim.Duration) {}
+func (diffHost) ClearTimer(int)             {}
+func (diffHost) Now() sim.Time              { return 0 }
+func (diffHost) Log(string, int64)          {}
+
+// genProgram builds one random program with structurally valid
+// arguments: jumps stay in range, globals/ports/timers/consts are
+// indexed within bounds. Whether the program respects the stack and
+// control bounds is up to the generated opcode sequence — exactly what
+// the verifier must decide.
+func genProgram(rng *rand.Rand) *vm.Program {
+	ops := []vm.Op{
+		vm.OpNop, vm.OpPush, vm.OpPush, vm.OpPush, vm.OpPop, vm.OpDup, vm.OpSwap, vm.OpOver,
+		vm.OpAdd, vm.OpSub, vm.OpMul, vm.OpMin, vm.OpMax, vm.OpAnd, vm.OpOr, vm.OpXor,
+		vm.OpNot, vm.OpNeg, vm.OpAbs, vm.OpEq, vm.OpLt,
+		vm.OpJmp, vm.OpJz, vm.OpJnz, vm.OpCall,
+		vm.OpLdg, vm.OpStg, vm.OpPrd, vm.OpPwr, vm.OpArg, vm.OpPort, vm.OpClock,
+		vm.OpHalt, vm.OpRet,
+	}
+	n := 3 + rng.Intn(12)
+	code := make([]vm.Instr, n)
+	for i := range code {
+		op := ops[rng.Intn(len(ops))]
+		var arg int32
+		switch op {
+		case vm.OpPush:
+			arg = int32(rng.Intn(1000) - 500)
+		case vm.OpJmp, vm.OpJz, vm.OpJnz, vm.OpCall:
+			arg = int32(rng.Intn(n))
+		case vm.OpLdg, vm.OpStg:
+			arg = int32(rng.Intn(4))
+		case vm.OpPrd, vm.OpPwr:
+			arg = int32(rng.Intn(2))
+		}
+		code[i] = vm.Instr{Op: op, Arg: arg}
+	}
+	return &vm.Program{
+		Name:    "fuzz",
+		Globals: 4,
+		Ports: []vm.PortDecl{
+			{Name: "in", Direction: core.Required},
+			{Name: "out", Direction: core.Provided},
+		},
+		Handlers: []vm.Handler{
+			{Kind: vm.HandlerInit, Entry: 0},
+			{Kind: vm.HandlerMessage, Index: -1, Entry: 0},
+		},
+		Code: code,
+	}
+}
+
+// TestDifferentialNoStackTraps: every randomly generated program the
+// verifier accepts must execute without ever raising a stack or
+// call-depth trap. Budget exhaustion and arithmetic faults remain
+// legitimate dynamic errors; a stack trap in an accepted program is a
+// soundness bug in the verifier.
+func TestDifferentialNoStackTraps(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	accepted, rejected := 0, 0
+	for i := 0; i < 4000; i++ {
+		prog := genProgram(rng)
+		if err := verify.VerifyProgram(prog); err != nil {
+			rejected++
+			continue
+		}
+		accepted++
+		in, err := vm.NewInstance(prog, diffHost{}, 4096)
+		if err != nil {
+			t.Fatalf("accepted program failed to instantiate: %v", err)
+		}
+		for _, run := range []func() error{
+			in.Init,
+			func() error { return in.Deliver(0, int64(i)) },
+			func() error { return in.Deliver(1, -1) },
+		} {
+			err := run()
+			for _, trap := range []error{vm.ErrStackOverflow, vm.ErrStackUnderflow, vm.ErrCallDepth} {
+				if errors.Is(err, trap) {
+					t.Fatalf("verifier soundness bug: accepted program trapped with %v\n%s",
+						err, vm.Disassemble(prog))
+				}
+			}
+		}
+	}
+	// The test must not be vacuous in either direction: the generator
+	// has to produce a healthy population of both accepted and rejected
+	// programs for the property to mean anything.
+	if accepted < 100 {
+		t.Fatalf("only %d/4000 generated programs accepted; generator too hostile for a meaningful property", accepted)
+	}
+	if rejected < 100 {
+		t.Fatalf("only %d/4000 generated programs rejected; generator too tame for a meaningful property", rejected)
+	}
+	t.Logf("differential: %d accepted, %d rejected", accepted, rejected)
+}

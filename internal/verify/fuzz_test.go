@@ -1,0 +1,185 @@
+package verify_test
+
+import (
+	"errors"
+	"testing"
+
+	"dynautosar/internal/core"
+	"dynautosar/internal/verify"
+	"dynautosar/internal/vm"
+)
+
+// FuzzVerifyBytecode feeds arbitrary bytes through the binary decoder
+// into the verifier. Three properties: the verifier never panics, a
+// structurally invalid program never reaches the abstract interpreter
+// uncaught, and — the differential property — any program the verifier
+// accepts runs without stack or call-depth traps.
+func FuzzVerifyBytecode(f *testing.F) {
+	seed := func(p *vm.Program) {
+		enc, err := vm.EncodeProgram(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	seed(&vm.Program{
+		Name:     "ok",
+		Ports:    []vm.PortDecl{{Name: "out", Direction: core.Provided}},
+		Handlers: []vm.Handler{{Kind: vm.HandlerInit, Entry: 0}},
+		Code: []vm.Instr{
+			{Op: vm.OpPush, Arg: 7},
+			{Op: vm.OpPwr, Arg: 0},
+			{Op: vm.OpHalt},
+		},
+	})
+	seed(&vm.Program{
+		Name:    "loop",
+		Globals: 2,
+		Handlers: []vm.Handler{
+			{Kind: vm.HandlerInit, Entry: 0},
+			{Kind: vm.HandlerMessage, Index: -1, Entry: 0},
+		},
+		Code: []vm.Instr{
+			{Op: vm.OpPush, Arg: 5},
+			{Op: vm.OpPush, Arg: 1},
+			{Op: vm.OpSub},
+			{Op: vm.OpDup},
+			{Op: vm.OpJnz, Arg: 1},
+			{Op: vm.OpStg, Arg: 0},
+			{Op: vm.OpHalt},
+		},
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, err := vm.DecodeProgram(data)
+		if err != nil {
+			return
+		}
+		if err := verify.VerifyProgram(prog); err != nil {
+			return
+		}
+		in, err := vm.NewInstance(prog, diffHost{}, 2048)
+		if err != nil {
+			// Accepted by the verifier but rejected at instantiation:
+			// instantiation re-runs Program.Verify, so this would be an
+			// inconsistency between the two gates.
+			t.Fatalf("verified program failed to instantiate: %v", err)
+		}
+		for _, run := range []func() error{
+			in.Init,
+			func() error { return in.Deliver(0, 42) },
+		} {
+			err := run()
+			for _, trap := range []error{vm.ErrStackOverflow, vm.ErrStackUnderflow, vm.ErrCallDepth} {
+				if errors.Is(err, trap) {
+					t.Fatalf("verifier soundness bug: accepted program trapped with %v\n%s",
+						err, vm.Disassemble(prog))
+				}
+			}
+		}
+	})
+}
+
+// FuzzVerifyPlan decodes arbitrary bytes into a small reconfiguration
+// plan — plug-in placements, port assignments, links and step kinds all
+// driven by the input — and checks that the plan verifier always
+// terminates with a verdict, never a panic, and that every rejection
+// carries a classified invariant.
+func FuzzVerifyPlan(f *testing.F) {
+	f.Add([]byte{1, 0x12, 0x03, 0x21, 0x47, 2, 0x55})
+	f.Add([]byte{3, 0x01, 0x80, 0xff, 0x10, 0x23, 0x31, 0x42})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+		conf := testConf()
+		kinds := []verify.PlanKind{verify.PlanDeploy, verify.PlanUninstall, verify.PlanUpgrade}
+		plan := &verify.Plan{
+			Kind: kinds[int(next())%len(kinds)], Vehicle: "VIN-FUZZ", Conf: conf,
+		}
+		names := []core.PluginName{"A", "B", "C", "D"}
+		genState := func(name core.PluginName) *verify.PluginState {
+			b := next()
+			swc := conf.SWCs[int(b>>4)%len(conf.SWCs)]
+			s := &verify.PluginState{Plugin: name, ECU: swc.ECU, SWC: swc.SWC}
+			nports := int(b&0x3) + 1
+			for i := 0; i < nports; i++ {
+				pb := next()
+				dir := core.Provided
+				if pb&1 == 1 {
+					dir = core.Required
+				}
+				pname := string(name) + "p" + string(rune('0'+i))
+				id := core.PluginPortID(pb >> 4)
+				s.Ports = append(s.Ports, core.PluginPortSpec{Name: pname, Direction: dir})
+				s.PIC = append(s.PIC, core.PICEntry{Name: pname, ID: id})
+				lb := next()
+				e := core.PLCEntry{Plugin: id}
+				switch lb & 0x3 {
+				case 0:
+					e.Kind = core.LinkNone
+				case 1:
+					e.Kind = core.LinkVirtual
+					e.Virtual = core.VirtualPortID(lb >> 4)
+				case 2:
+					e.Kind = core.LinkVirtualRemote
+					e.Virtual = core.VirtualPortID(int(lb>>4) % 5)
+					e.Remote = core.PluginPortID(next() >> 4)
+				case 3:
+					e.Kind = core.LinkPeer
+					e.Peer = core.PluginPortID(lb >> 4)
+				}
+				s.PLC = append(s.PLC, e)
+			}
+			if b&0x8 != 0 {
+				s.Requires = append(s.Requires, names[int(next())%len(names)])
+			}
+			return s
+		}
+		nsteps := int(next())%3 + 1
+		for i := 0; i < nsteps; i++ {
+			name := names[i%len(names)]
+			var st verify.Step
+			switch plan.Kind {
+			case verify.PlanDeploy:
+				st = verify.Step{Kind: verify.StepInstall, Plugin: name, New: genState(name)}
+			case verify.PlanUninstall:
+				st = verify.Step{Kind: verify.StepRemove, Plugin: name, Old: genState(name)}
+			case verify.PlanUpgrade:
+				st = verify.Step{Kind: verify.StepSwap, Plugin: name,
+					New: genState(name), Old: genState(name)}
+			}
+			plan.Steps = append(plan.Steps, st)
+		}
+		if next()&1 == 1 {
+			plan.Installed = append(plan.Installed, *genState("Z"))
+		}
+		if next()&1 == 1 {
+			plan.Reserved = append(plan.Reserved, verify.PortReservation{
+				ECU: "E1", SWC: "S1", Owner: "R",
+				IDs: []core.PluginPortID{core.PluginPortID(next() >> 4)},
+			})
+		}
+		err := verify.VerifyPlan(plan)
+		if err == nil {
+			return
+		}
+		var pe *verify.PlanError
+		if !errors.As(err, &pe) {
+			t.Fatalf("rejection is not a *PlanError: %v (%T)", err, err)
+		}
+		switch pe.Invariant {
+		case verify.InvLinkCompat, verify.InvOrphan, verify.InvPortCollision,
+			verify.InvQuiesceBound, verify.InvSafeState:
+		default:
+			t.Fatalf("rejection carries unclassified invariant %q: %v", pe.Invariant, pe)
+		}
+	})
+}

@@ -1,0 +1,399 @@
+package verify_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dynautosar/internal/core"
+	"dynautosar/internal/verify"
+)
+
+// The fixture vehicle: two plug-in SW-Cs, each with a type II mux
+// virtual port (V0) for cross-SW-C links, and E1/S1 additionally with a
+// type III provided port (V3) and required port (V4) for BSW links.
+func testConf() core.VehicleConf {
+	return core.VehicleConf{
+		Vehicle: "VIN-TEST",
+		SWCs: []core.SWCConf{
+			{ECU: "E1", SWC: "S1", VirtualPorts: []core.VirtualPortSpec{
+				{ID: 0, Type: core.TypeII, Direction: core.Provided, Name: "Mux"},
+				{ID: 3, Type: core.TypeIII, Direction: core.Provided, Name: "Out"},
+				{ID: 4, Type: core.TypeIII, Direction: core.Required, Name: "In"},
+			}},
+			{ECU: "E2", SWC: "S2", VirtualPorts: []core.VirtualPortSpec{
+				{ID: 0, Type: core.TypeII, Direction: core.Required, Name: "Mux"},
+			}},
+		},
+	}
+}
+
+func expectPlanErr(t *testing.T, err error, invariant string) *verify.PlanError {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("plan accepted, want %s violation", invariant)
+	}
+	var pe *verify.PlanError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v (%T) is not a *PlanError", err, err)
+	}
+	if pe.Invariant != invariant {
+		t.Fatalf("violated %s (%v), want %s", pe.Invariant, pe, invariant)
+	}
+	return pe
+}
+
+// TestPlanLinkCompatVirtualDirection: a provided plug-in port linked to
+// a required-direction virtual port is a direction mismatch.
+func TestPlanLinkCompatVirtualDirection(t *testing.T) {
+	a := &verify.PluginState{
+		Plugin: "A", ECU: "E1", SWC: "S1",
+		Ports: []core.PluginPortSpec{{Name: "tx", Direction: core.Provided}},
+		PIC:   core.PIC{{Name: "tx", ID: 1}},
+		PLC:   core.PLC{{Kind: core.LinkVirtual, Plugin: 1, Virtual: 4}},
+	}
+	err := verify.VerifyPlan(&verify.Plan{
+		Kind: verify.PlanDeploy, Vehicle: "VIN-TEST", Conf: testConf(),
+		Steps: []verify.Step{{Kind: verify.StepInstall, Plugin: "A", New: a}},
+	})
+	pe := expectPlanErr(t, err, verify.InvLinkCompat)
+	if pe.Step != "install A on E1/S1" {
+		t.Errorf("counterexample step = %q", pe.Step)
+	}
+	if len(pe.Path) != 1 || pe.Path[0] != pe.Step {
+		t.Errorf("counterexample path = %v, want [%q]", pe.Path, pe.Step)
+	}
+}
+
+// TestPlanLinkCompatMuxType: a remote link must go through a type II
+// mux virtual port; a type III port cannot carry the recipient id.
+func TestPlanLinkCompatMuxType(t *testing.T) {
+	a := &verify.PluginState{
+		Plugin: "A", ECU: "E1", SWC: "S1",
+		Ports: []core.PluginPortSpec{{Name: "tx", Direction: core.Provided}},
+		PIC:   core.PIC{{Name: "tx", ID: 1}},
+		PLC:   core.PLC{{Kind: core.LinkVirtualRemote, Plugin: 1, Virtual: 3, Remote: 5}},
+	}
+	err := verify.VerifyPlan(&verify.Plan{
+		Kind: verify.PlanDeploy, Vehicle: "VIN-TEST", Conf: testConf(),
+		Steps: []verify.Step{{Kind: verify.StepInstall, Plugin: "A", New: a}},
+	})
+	pe := expectPlanErr(t, err, verify.InvLinkCompat)
+	if !strings.Contains(pe.Detail, "type II") {
+		t.Errorf("detail %q does not name the mux type", pe.Detail)
+	}
+}
+
+// TestPlanOrphanRemotePort: a remote link whose recipient port id no
+// live (or scheduled) plug-in owns is an orphan.
+func TestPlanOrphanRemotePort(t *testing.T) {
+	a := &verify.PluginState{
+		Plugin: "A", ECU: "E1", SWC: "S1",
+		Ports: []core.PluginPortSpec{{Name: "tx", Direction: core.Provided}},
+		PIC:   core.PIC{{Name: "tx", ID: 1}},
+		PLC:   core.PLC{{Kind: core.LinkVirtualRemote, Plugin: 1, Virtual: 0, Remote: 5}},
+	}
+	err := verify.VerifyPlan(&verify.Plan{
+		Kind: verify.PlanDeploy, Vehicle: "VIN-TEST", Conf: testConf(),
+		Steps: []verify.Step{{Kind: verify.StepInstall, Plugin: "A", New: a}},
+	})
+	pe := expectPlanErr(t, err, verify.InvOrphan)
+	if !strings.Contains(pe.Detail, "remote port") {
+		t.Errorf("detail %q does not name the remote port", pe.Detail)
+	}
+}
+
+// TestPlanOrphanRequires: removing a plug-in that a surviving installed
+// plug-in depends on leaves an orphaned manifest dependency.
+func TestPlanOrphanRequires(t *testing.T) {
+	lib := verify.PluginState{
+		Plugin: "Lib", ECU: "E1", SWC: "S1",
+		Ports: []core.PluginPortSpec{{Name: "api", Direction: core.Provided}},
+		PIC:   core.PIC{{Name: "api", ID: 1}},
+		PLC:   core.PLC{{Kind: core.LinkNone, Plugin: 1}},
+	}
+	app := verify.PluginState{
+		Plugin: "App", ECU: "E1", SWC: "S1",
+		Ports:    []core.PluginPortSpec{{Name: "use", Direction: core.Required}},
+		PIC:      core.PIC{{Name: "use", ID: 2}},
+		PLC:      core.PLC{{Kind: core.LinkNone, Plugin: 2}},
+		Requires: []core.PluginName{"Lib"},
+	}
+	err := verify.VerifyPlan(&verify.Plan{
+		Kind: verify.PlanUninstall, Vehicle: "VIN-TEST", Conf: testConf(),
+		Installed: []verify.PluginState{app},
+		Steps:     []verify.Step{{Kind: verify.StepRemove, Plugin: "Lib", Old: &lib}},
+	})
+	pe := expectPlanErr(t, err, verify.InvOrphan)
+	if !strings.Contains(pe.Detail, "requires") {
+		t.Errorf("detail %q does not name the dependency", pe.Detail)
+	}
+	if pe.Step != "remove Lib from E1/S1" {
+		t.Errorf("counterexample step = %q", pe.Step)
+	}
+}
+
+// TestPlanPortCollisionLive: two different plug-ins claiming the same
+// port id within one SW-C collide.
+func TestPlanPortCollisionLive(t *testing.T) {
+	x := verify.PluginState{
+		Plugin: "X", ECU: "E1", SWC: "S1",
+		PIC: core.PIC{{Name: "a", ID: 1}},
+	}
+	y := &verify.PluginState{
+		Plugin: "Y", ECU: "E1", SWC: "S1",
+		Ports: []core.PluginPortSpec{{Name: "b", Direction: core.Provided}},
+		PIC:   core.PIC{{Name: "b", ID: 1}},
+		PLC:   core.PLC{{Kind: core.LinkNone, Plugin: 1}},
+	}
+	err := verify.VerifyPlan(&verify.Plan{
+		Kind: verify.PlanDeploy, Vehicle: "VIN-TEST", Conf: testConf(),
+		Installed: []verify.PluginState{x},
+		Steps:     []verify.Step{{Kind: verify.StepInstall, Plugin: "Y", New: y}},
+	})
+	pe := expectPlanErr(t, err, verify.InvPortCollision)
+	if !strings.Contains(pe.Detail, "X") || !strings.Contains(pe.Detail, "Y") {
+		t.Errorf("detail %q does not name both claimants", pe.Detail)
+	}
+}
+
+// TestPlanPortCollisionReservation: a concurrent upgrade's port
+// reservation blocks a deploy claiming the same id.
+func TestPlanPortCollisionReservation(t *testing.T) {
+	y := &verify.PluginState{
+		Plugin: "Y", ECU: "E1", SWC: "S1",
+		Ports: []core.PluginPortSpec{{Name: "b", Direction: core.Provided}},
+		PIC:   core.PIC{{Name: "b", ID: 2}},
+		PLC:   core.PLC{{Kind: core.LinkNone, Plugin: 2}},
+	}
+	err := verify.VerifyPlan(&verify.Plan{
+		Kind: verify.PlanDeploy, Vehicle: "VIN-TEST", Conf: testConf(),
+		Reserved: []verify.PortReservation{
+			{ECU: "E1", SWC: "S1", Owner: "Z", IDs: []core.PluginPortID{2}},
+		},
+		Steps: []verify.Step{{Kind: verify.StepInstall, Plugin: "Y", New: y}},
+	})
+	pe := expectPlanErr(t, err, verify.InvPortCollision)
+	if !strings.Contains(pe.Detail, "reservation") {
+		t.Errorf("detail %q does not name the reservation", pe.Detail)
+	}
+}
+
+// bigInDegree builds a plug-in with n required LinkNone ports — n
+// inbound feeds that would pile into the quiesce buffer during a swap.
+func bigInDegree(name core.PluginName, n int) *verify.PluginState {
+	s := &verify.PluginState{Plugin: name, ECU: "E1", SWC: "S1"}
+	for i := 0; i < n; i++ {
+		pname := "p" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		s.Ports = append(s.Ports, core.PluginPortSpec{Name: pname, Direction: core.Required})
+		s.PIC = append(s.PIC, core.PICEntry{Name: pname, ID: core.PluginPortID(i + 1)})
+		s.PLC = append(s.PLC, core.PLCEntry{Kind: core.LinkNone, Plugin: core.PluginPortID(i + 1)})
+	}
+	return s
+}
+
+// TestPlanQuiesceBound: swapping a plug-in whose inbound link degree
+// exceeds MaxQuiesceInDegree is rejected; at the bound it is accepted.
+func TestPlanQuiesceBound(t *testing.T) {
+	newState := func() *verify.PluginState {
+		return &verify.PluginState{
+			Plugin: "Big", ECU: "E1", SWC: "S1",
+			Ports: []core.PluginPortSpec{{Name: "out", Direction: core.Provided}},
+			PIC:   core.PIC{{Name: "out", ID: 100}},
+			PLC:   core.PLC{{Kind: core.LinkNone, Plugin: 100}},
+		}
+	}
+	over := &verify.Plan{
+		Kind: verify.PlanUpgrade, Vehicle: "VIN-TEST", Conf: testConf(),
+		Steps: []verify.Step{{Kind: verify.StepSwap, Plugin: "Big",
+			New: newState(), Old: bigInDegree("Big", verify.MaxQuiesceInDegree+1)}},
+	}
+	pe := expectPlanErr(t, verify.VerifyPlan(over), verify.InvQuiesceBound)
+	if !strings.Contains(pe.Detail, "33") || pe.Step != "swap Big" {
+		t.Errorf("counterexample = %v", pe)
+	}
+
+	at := &verify.Plan{
+		Kind: verify.PlanUpgrade, Vehicle: "VIN-TEST", Conf: testConf(),
+		Steps: []verify.Step{{Kind: verify.StepSwap, Plugin: "Big",
+			New: newState(), Old: bigInDegree("Big", verify.MaxQuiesceInDegree)}},
+	}
+	if err := verify.VerifyPlan(at); err != nil {
+		t.Fatalf("swap at the quiesce bound rejected: %v", err)
+	}
+}
+
+// TestPlanSafeStateSwapWithoutCompensation: a swap step with no
+// compensation package has no rollback target and is structurally
+// unsafe.
+func TestPlanSafeStateSwapWithoutCompensation(t *testing.T) {
+	err := verify.VerifyPlan(&verify.Plan{
+		Kind: verify.PlanUpgrade, Vehicle: "VIN-TEST", Conf: testConf(),
+		Steps: []verify.Step{{Kind: verify.StepSwap, Plugin: "A",
+			New: &verify.PluginState{Plugin: "A", ECU: "E1", SWC: "S1"}}},
+	})
+	pe := expectPlanErr(t, err, verify.InvSafeState)
+	if !strings.Contains(pe.Detail, "compensation") {
+		t.Errorf("detail %q does not name the missing compensation package", pe.Detail)
+	}
+}
+
+// TestPlanRollbackPathChecked: an upgrade whose forward path is clean
+// but whose compensation path reaches a broken intermediate state is
+// rejected, with the counterexample steps labelled "rollback:".
+func TestPlanRollbackPathChecked(t *testing.T) {
+	// old1 peer-links to port id 7, which only new2 owns. Forward the
+	// plan is clean (old1 leaves before anyone looks); rolling back both
+	// swaps reaches {old1, old2}, where the link dangles.
+	old1 := &verify.PluginState{
+		Plugin: "P1", ECU: "E1", SWC: "S1",
+		Ports: []core.PluginPortSpec{{Name: "tx", Direction: core.Provided}},
+		PIC:   core.PIC{{Name: "tx", ID: 1}},
+		PLC:   core.PLC{{Kind: core.LinkPeer, Plugin: 1, Peer: 7}},
+	}
+	new1 := &verify.PluginState{
+		Plugin: "P1", ECU: "E1", SWC: "S1",
+		Ports: []core.PluginPortSpec{{Name: "tx", Direction: core.Provided}},
+		PIC:   core.PIC{{Name: "tx", ID: 1}},
+		PLC:   core.PLC{{Kind: core.LinkNone, Plugin: 1}},
+	}
+	old2 := &verify.PluginState{
+		Plugin: "P2", ECU: "E1", SWC: "S1",
+		Ports: []core.PluginPortSpec{{Name: "rx", Direction: core.Required}},
+		PIC:   core.PIC{{Name: "rx", ID: 8}},
+		PLC:   core.PLC{{Kind: core.LinkNone, Plugin: 8}},
+	}
+	new2 := &verify.PluginState{
+		Plugin: "P2", ECU: "E1", SWC: "S1",
+		Ports: []core.PluginPortSpec{{Name: "rx", Direction: core.Required}},
+		PIC:   core.PIC{{Name: "rx", ID: 7}},
+		PLC:   core.PLC{{Kind: core.LinkNone, Plugin: 7}},
+	}
+	err := verify.VerifyPlan(&verify.Plan{
+		Kind: verify.PlanUpgrade, Vehicle: "VIN-TEST", Conf: testConf(),
+		Steps: []verify.Step{
+			{Kind: verify.StepSwap, Plugin: "P1", New: new1, Old: old1},
+			{Kind: verify.StepSwap, Plugin: "P2", New: new2, Old: old2},
+		},
+	})
+	pe := expectPlanErr(t, err, verify.InvOrphan)
+	want := []string{"rollback: swap P2", "rollback: swap P1"}
+	if len(pe.Path) != len(want) || pe.Path[0] != want[0] || pe.Path[1] != want[1] {
+		t.Errorf("counterexample path = %v, want %v", pe.Path, want)
+	}
+}
+
+// crossSWCPair is the paper-app shape: two plug-ins on different SW-Cs
+// referencing each other's ports through the type II muxes.
+func crossSWCPair() (*verify.PluginState, *verify.PluginState) {
+	a := &verify.PluginState{
+		Plugin: "A", ECU: "E1", SWC: "S1",
+		Ports: []core.PluginPortSpec{{Name: "tx", Direction: core.Provided}},
+		PIC:   core.PIC{{Name: "tx", ID: 1}},
+		PLC:   core.PLC{{Kind: core.LinkVirtualRemote, Plugin: 1, Virtual: 0, Remote: 5}},
+	}
+	b := &verify.PluginState{
+		Plugin: "B", ECU: "E2", SWC: "S2",
+		Ports: []core.PluginPortSpec{{Name: "rx", Direction: core.Required}},
+		PIC:   core.PIC{{Name: "rx", ID: 5}},
+		PLC:   core.PLC{{Kind: core.LinkVirtualRemote, Plugin: 5, Virtual: 0, Remote: 1}},
+	}
+	return a, b
+}
+
+// TestPlanDeployForwardReferenceAccepted: InstallOrder does not order
+// cross-SW-C links, so the first installed plug-in transiently links to
+// one scheduled later in the same plan. That is not an orphan.
+func TestPlanDeployForwardReferenceAccepted(t *testing.T) {
+	a, b := crossSWCPair()
+	err := verify.VerifyPlan(&verify.Plan{
+		Kind: verify.PlanDeploy, Vehicle: "VIN-TEST", Conf: testConf(),
+		Steps: []verify.Step{
+			{Kind: verify.StepInstall, Plugin: "A", New: a},
+			{Kind: verify.StepInstall, Plugin: "B", New: b},
+		},
+	})
+	if err != nil {
+		t.Fatalf("cross-SW-C deploy rejected: %v", err)
+	}
+}
+
+// TestPlanDeployForwardReferenceDirectionStillChecked: the forward
+// reference resolves against the scheduled plug-in, but its direction
+// is still checked — two provided ports cannot be remote-linked.
+func TestPlanDeployForwardReferenceDirectionStillChecked(t *testing.T) {
+	a, b := crossSWCPair()
+	b.Ports[0].Direction = core.Provided
+	b.PLC = core.PLC{{Kind: core.LinkNone, Plugin: 5}}
+	err := verify.VerifyPlan(&verify.Plan{
+		Kind: verify.PlanDeploy, Vehicle: "VIN-TEST", Conf: testConf(),
+		Steps: []verify.Step{
+			{Kind: verify.StepInstall, Plugin: "A", New: a},
+			{Kind: verify.StepInstall, Plugin: "B", New: b},
+		},
+	})
+	pe := expectPlanErr(t, err, verify.InvLinkCompat)
+	if !strings.Contains(pe.Detail, "opposite directions") {
+		t.Errorf("detail %q does not explain the direction rule", pe.Detail)
+	}
+}
+
+// TestPlanUninstallTeardownAccepted: uninstall runs in reverse install
+// order, so a plug-in scheduled for removal later may transiently hold
+// a dangling link to one removed earlier. That is mid-teardown, not an
+// orphan.
+func TestPlanUninstallTeardownAccepted(t *testing.T) {
+	a, b := crossSWCPair()
+	err := verify.VerifyPlan(&verify.Plan{
+		Kind: verify.PlanUninstall, Vehicle: "VIN-TEST", Conf: testConf(),
+		Steps: []verify.Step{
+			{Kind: verify.StepRemove, Plugin: "B", Old: b},
+			{Kind: verify.StepRemove, Plugin: "A", Old: a},
+		},
+	})
+	if err != nil {
+		t.Fatalf("reverse-order uninstall rejected: %v", err)
+	}
+}
+
+// TestPlanErrorFormat: the error string carries the invariant, the
+// step and the arrow-joined counterexample path.
+func TestPlanErrorFormat(t *testing.T) {
+	pe := &verify.PlanError{
+		Invariant: verify.InvOrphan, Vehicle: "VIN-TEST", Step: "remove Lib from E1/S1",
+		Path:   []string{"remove App from E1/S1", "remove Lib from E1/S1"},
+		Detail: "plug-in Gui requires Lib, which is not live in this state",
+	}
+	got := pe.Error()
+	for _, want := range []string{
+		`plan for vehicle "VIN-TEST"`, "violates orphan", "remove Lib from E1/S1",
+		"remove App from E1/S1 -> remove Lib from E1/S1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("error %q missing %q", got, want)
+		}
+	}
+}
+
+// TestPlanUnknownPluginSkipsLinkChecks: a PluginState with nil PLC
+// (installed rows predating the plan) disables its own link checks but
+// its ports still claim ids.
+func TestPlanUnknownPluginSkipsLinkChecks(t *testing.T) {
+	legacy := verify.PluginState{
+		Plugin: "Legacy", ECU: "E1", SWC: "S1",
+		PIC: core.PIC{{Name: "x", ID: 9}},
+		// PLC nil: unknown contexts, no link checks for Legacy itself.
+	}
+	y := &verify.PluginState{
+		Plugin: "Y", ECU: "E1", SWC: "S1",
+		Ports: []core.PluginPortSpec{{Name: "b", Direction: core.Provided}},
+		PIC:   core.PIC{{Name: "b", ID: 9}}, // collides with Legacy
+		PLC:   core.PLC{{Kind: core.LinkNone, Plugin: 9}},
+	}
+	err := verify.VerifyPlan(&verify.Plan{
+		Kind: verify.PlanDeploy, Vehicle: "VIN-TEST", Conf: testConf(),
+		Installed: []verify.PluginState{legacy},
+		Steps:     []verify.Step{{Kind: verify.StepInstall, Plugin: "Y", New: y}},
+	})
+	expectPlanErr(t, err, verify.InvPortCollision)
+}

@@ -1,0 +1,83 @@
+package vm
+
+// Static structure of a program shared by the compiler (compile.go) and
+// the static verifier (internal/verify): basic-block leaders and the
+// operand-stack discipline of every architectural opcode. Keeping both
+// next to the interpreter pins them to the semantics interp.go actually
+// executes — fuse_test.go and the verifier's differential test check the
+// agreement.
+
+// Exported sandbox quotas, the bounds the static verifier proves programs
+// stay within (the lowercase forms in interp.go are the interpreter's).
+const (
+	// MaxStack is the operand stack depth (ErrStackOverflow beyond it).
+	MaxStack = maxStack
+	// MaxFrames bounds the call depth (ErrCallDepth beyond it).
+	MaxFrames = maxFrames
+	// MaxTimers is the number of cyclic timers per plug-in.
+	MaxTimers = maxTimers
+)
+
+// BlockLeaders returns a slice of length len(p.Code)+1 marking every
+// instruction index that starts a basic block: branch and call targets,
+// call return sites and handler entries. Index len(p.Code) may be marked
+// by a call in the final slot. Out-of-range targets are ignored — run
+// Program.Verify first to reject them. The compiler suppresses
+// instruction fusion across leaders; the verifier joins its dataflow
+// facts on them.
+func BlockLeaders(p *Program) []bool {
+	n := len(p.Code)
+	leaders := make([]bool, n+1)
+	for i, ins := range p.Code {
+		switch ins.Op {
+		case OpJmp, OpJz, OpJnz:
+			if a := int(ins.Arg); 0 <= a && a < n {
+				leaders[a] = true
+			}
+		case OpCall:
+			if a := int(ins.Arg); 0 <= a && a < n {
+				leaders[a] = true
+			}
+			leaders[i+1] = true // return site
+		}
+	}
+	for _, h := range p.Handlers {
+		if e := int(h.Entry); 0 <= e && e < n {
+			leaders[e] = true
+		}
+	}
+	return leaders
+}
+
+// StackEffect describes the operand-stack discipline of an architectural
+// opcode exactly as the interpreter enforces it: need is the minimum
+// depth required on entry (ErrStackUnderflow below it), delta the net
+// depth change, and push reports whether the op stores a word above the
+// current top (ErrStackOverflow at depth MaxStack). OpLog peeks without
+// requiring a value and never traps; OpCall and OpRet move frames, not
+// operands. Dynamic traps (division by zero, budget, call depth) are not
+// stack effects.
+func (o Op) StackEffect() (need, delta int, push bool) {
+	switch o {
+	case OpPush, OpLdg, OpPrd, OpArg, OpPort, OpClock:
+		return 0, 1, true
+	case OpPop:
+		return 1, -1, false
+	case OpDup:
+		return 1, 1, true
+	case OpSwap:
+		return 2, 0, false
+	case OpOver:
+		return 2, 1, true
+	case OpNeg, OpAbs, OpNot:
+		return 1, 0, false
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpMin, OpMax,
+		OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return 2, -1, false
+	case OpJz, OpJnz, OpStg, OpPwr, OpTset:
+		return 1, -1, false
+	}
+	// OpNop, OpJmp, OpCall, OpRet, OpHalt, OpTclr, OpLog.
+	return 0, 0, false
+}

@@ -192,19 +192,7 @@ func compileProgram(p *Program, fuse bool) *compiled {
 
 	// Jump targets (and call return sites) may not disappear into the
 	// second slot of a fused pair.
-	target := make([]bool, n+1)
-	for i, ins := range p.Code {
-		switch ins.Op {
-		case OpJmp, OpJz, OpJnz:
-			target[ins.Arg] = true
-		case OpCall:
-			target[ins.Arg] = true
-			target[i+1] = true // return site
-		}
-	}
-	for _, h := range p.Handlers {
-		target[h.Entry] = true
-	}
+	target := BlockLeaders(p)
 
 	for i := 0; i < n; {
 		if fuse && i+3 < n && !target[i+1] && !target[i+2] && !target[i+3] {
