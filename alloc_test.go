@@ -1,0 +1,36 @@
+package dynautosar
+
+import (
+	"testing"
+
+	"dynautosar/internal/sim"
+	"dynautosar/internal/vehicle"
+)
+
+// TestAllocFreeFig3Chain pins the complete Figure 3 signal chain —
+// phone frame through COM, CAN, the plug-in VMs and back to the
+// built-in actuator software — at zero heap allocations per command in
+// steady state. The chain crosses every hot layer: ECM endpoint
+// demux, RTE last-value ports (reused buffers), ISO-TP reassembly
+// (pooled assemblies), OSEK dispatch (pooled activations + pre-bound
+// completion closures) and the fused VM interpreter.
+func TestAllocFreeFig3Chain(t *testing.T) {
+	car, eng := fig3Car(t)
+
+	want := int64(0)
+	send := func() {
+		want = (want+1)%200 - 100
+		car.ECM.HandleEndpointFrame(vehicle.PhoneEndpoint, "Wheels", want)
+		for car.Dynamics.WheelAngle() != want {
+			eng.RunFor(sim.Millisecond)
+		}
+	}
+	// Warm every pool on the path: engine events, OSEK activations,
+	// transport assemblies, RTE last-value buffers.
+	for i := 0; i < 3; i++ {
+		send()
+	}
+	if allocs := testing.AllocsPerRun(100, send); allocs != 0 {
+		t.Errorf("Fig3 signal chain: %v allocs/op in steady state, want 0", allocs)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"dynautosar/internal/server"
 	"dynautosar/internal/sim"
 	"dynautosar/internal/vehicle"
+	"dynautosar/internal/verify"
 	"dynautosar/internal/vm"
 )
 
@@ -684,8 +685,9 @@ func BenchmarkUpgrade(b *testing.B) {
 // --- Figure 3: end-to-end signal chain ----------------------------------------
 
 // fig3Car assembles the model car with both plug-ins installed through
-// the ECM, ready to receive phone messages.
-func fig3Car(b *testing.B) (*vehicle.ModelCar, *sim.Engine) {
+// the ECM, ready to receive phone messages. Shared with the
+// allocation-pin test (alloc_test.go), hence testing.TB.
+func fig3Car(b testing.TB) (*vehicle.ModelCar, *sim.Engine) {
 	b.Helper()
 	eng := sim.NewEngine()
 	car, err := vehicle.NewModelCar(eng, "VIN-BENCH")
@@ -863,8 +865,37 @@ done:
 `
 
 // BenchmarkExtB_VMSumLoop measures interpreted execution of the summing
-// loop with N=1000.
+// loop with N=1000 on the production upload path: the program runs
+// through the certified optimizer (verify.OptimizeProgram — the same
+// gate Store.UploadApp and pluginc -O apply) before the fused
+// interpreter executes it.
 func BenchmarkExtB_VMSumLoop(b *testing.B) {
+	prog, err := vm.Assemble(sumLoopSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, _, err = verify.OptimizeProgram(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := vm.NewInstance(prog, nullHost{}, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := inst.Deliver(0, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(inst.Instructions)/float64(b.N), "vm-instr/op")
+}
+
+// BenchmarkExtB_VMSumLoopUnopt is the same loop without the optimizer —
+// the pre-optimization interpreter baseline, isolating the dataflow
+// passes' contribution from the fusion/hoisting machinery's.
+func BenchmarkExtB_VMSumLoopUnopt(b *testing.B) {
 	prog, err := vm.Assemble(sumLoopSrc)
 	if err != nil {
 		b.Fatal(err)

@@ -13,6 +13,13 @@
 //     server synchronizes on channels, timers and acknowledgements;
 //     a sleep in the pipeline is a latent race dressed as a fix.
 //
+//   - errcodes: the stable API error codes are a wire contract. Every
+//     api.Code* constant must be documented (backticked) in DESIGN.md,
+//     and internal/server non-test code must construct API errors
+//     through api.Errorf with the named constants — raw string
+//     literals spelling a code value and api.Error composite literals
+//     both bypass the single point where codes stay consistent.
+//
 // Usage:
 //
 //	fesvet ./internal/...
@@ -32,6 +39,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -58,9 +66,21 @@ func main() {
 		dirs = append(dirs, expanded...)
 	}
 	fset := token.NewFileSet()
-	var findings []finding
+	root, err := moduleRoot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	codes, err := collectErrorCodes(fset, filepath.Join(root, "internal", "api"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	design, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	findings := errcodesDocs(codes, string(design))
 	for _, dir := range dirs {
-		fs, err := checkDir(fset, dir)
+		fs, err := checkDir(fset, dir, codes)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -121,9 +141,29 @@ func expand(arg string) ([]string, error) {
 	return dirs, err
 }
 
+// moduleRoot walks up from the working directory to the directory
+// holding go.mod, which anchors the repo-level inputs (internal/api,
+// DESIGN.md) regardless of which packages were asked for.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory; run fesvet from inside the repo")
+		}
+		dir = parent
+	}
+}
+
 // checkDir parses every Go file of one directory and applies the
 // analyzers.
-func checkDir(fset *token.FileSet, dir string) ([]finding, error) {
+func checkDir(fset *token.FileSet, dir string, codes []codeDecl) ([]finding, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -142,17 +182,18 @@ func checkDir(fset *token.FileSet, dir string) ([]finding, error) {
 		if err != nil {
 			return nil, err
 		}
-		findings = append(findings, checkFile(fset, file, path)...)
+		findings = append(findings, checkFile(fset, file, path, codes)...)
 	}
 	return findings, nil
 }
 
 // checkFile applies every analyzer that matches the file.
-func checkFile(fset *token.FileSet, file *ast.File, path string) []finding {
+func checkFile(fset *token.FileSet, file *ast.File, path string, codes []codeDecl) []finding {
 	var findings []finding
 	findings = append(findings, deepcopy(fset, file)...)
 	if strings.Contains(filepath.ToSlash(path), "internal/server/") && !strings.HasSuffix(path, "_test.go") {
 		findings = append(findings, sleepban(fset, file)...)
+		findings = append(findings, errcodesServer(fset, file, codes)...)
 	}
 	return findings
 }
@@ -292,6 +333,132 @@ func sleepban(fset *token.FileSet, file *ast.File) []finding {
 				analyzer: "sleepban",
 				msg:      "time.Sleep in internal/server non-test code; synchronize on channels, timers or acknowledgements instead",
 			})
+		}
+		return true
+	})
+	return findings
+}
+
+// codeDecl is one stable error-code constant from internal/api.
+type codeDecl struct {
+	name  string
+	value string
+	pos   token.Position
+}
+
+// collectErrorCodes harvests every const of type ErrorCode declared in
+// the api package. The codes are the wire contract the errcodes
+// analyzer enforces.
+func collectErrorCodes(fset *token.FileSet, apiDir string) ([]codeDecl, error) {
+	entries, err := os.ReadDir(apiDir)
+	if err != nil {
+		return nil, err
+	}
+	var codes []codeDecl
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		path := filepath.Join(apiDir, e.Name())
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 {
+					continue
+				}
+				if id, ok := vs.Type.(*ast.Ident); !ok || id.Name != "ErrorCode" {
+					continue
+				}
+				lit, ok := vs.Values[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				val, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					continue
+				}
+				codes = append(codes, codeDecl{
+					name:  vs.Names[0].Name,
+					value: val,
+					pos:   fset.Position(vs.Names[0].Pos()),
+				})
+			}
+		}
+	}
+	if len(codes) == 0 {
+		return nil, fmt.Errorf("no ErrorCode constants found under %s", apiDir)
+	}
+	return codes, nil
+}
+
+// errcodesDocs checks that every stable code value appears backticked
+// in DESIGN.md — the codes are API surface and undocumented surface is
+// a finding, reported at the constant's declaration.
+func errcodesDocs(codes []codeDecl, design string) []finding {
+	var findings []finding
+	for _, c := range codes {
+		if !strings.Contains(design, "`"+c.value+"`") {
+			findings = append(findings, finding{
+				pos:      c.pos,
+				analyzer: "errcodes",
+				msg:      fmt.Sprintf("stable error code %s (%q) is not documented in DESIGN.md", c.name, c.value),
+			})
+		}
+	}
+	return findings
+}
+
+// errcodesServer enforces the construction discipline inside
+// internal/server: API errors come from api.Errorf with the named
+// constants. A raw string literal spelling a code value re-declares the
+// wire contract in place; an api.Error composite literal skips the one
+// constructor the codes are threaded through.
+func errcodesServer(fset *token.FileSet, file *ast.File, codes []codeDecl) []finding {
+	if len(codes) == 0 {
+		return nil
+	}
+	byValue := make(map[string]string, len(codes))
+	for _, c := range codes {
+		byValue[c.value] = c.name
+	}
+	var findings []finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.ImportSpec:
+			return false // import paths legitimately contain "internal"
+		case *ast.CompositeLit:
+			if sel, ok := e.Type.(*ast.SelectorExpr); ok && sel.Sel.Name == "Error" {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "api" {
+					findings = append(findings, finding{
+						pos:      fset.Position(e.Pos()),
+						analyzer: "errcodes",
+						msg:      "api.Error composite literal; construct API errors with api.Errorf(api.Code…, …)",
+					})
+				}
+			}
+		case *ast.BasicLit:
+			if e.Kind != token.STRING {
+				return true
+			}
+			val, err := strconv.Unquote(e.Value)
+			if err != nil {
+				return true
+			}
+			if name, ok := byValue[val]; ok {
+				findings = append(findings, finding{
+					pos:      fset.Position(e.Pos()),
+					analyzer: "errcodes",
+					msg:      fmt.Sprintf("raw error-code literal %q; use the api.%s constant", val, name),
+				})
+			}
 		}
 		return true
 	})

@@ -182,21 +182,75 @@ func wait() { time.Sleep(time.Second) }`
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := checkFile(fset, file, "internal/batch/wait.go"); len(got) != 0 {
+	if got := checkFile(fset, file, "internal/batch/wait.go", nil); len(got) != 0 {
 		t.Fatalf("sleepban applied outside internal/server: %v", got)
 	}
 	file2, err := parser.ParseFile(fset, "internal/server/wait_test.go", src, parser.SkipObjectResolution)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := checkFile(fset, file2, "internal/server/wait_test.go"); len(got) != 0 {
+	if got := checkFile(fset, file2, "internal/server/wait_test.go", nil); len(got) != 0 {
 		t.Fatalf("sleepban applied to a test file: %v", got)
 	}
 	file3, err := parser.ParseFile(fset, "internal/server/wait.go", src, parser.SkipObjectResolution)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := checkFile(fset, file3, "internal/server/wait.go"); len(got) != 1 {
+	if got := checkFile(fset, file3, "internal/server/wait.go", nil); len(got) != 1 {
 		t.Fatalf("sleepban missed internal/server non-test file: %v", got)
+	}
+}
+
+func testCodes() []codeDecl {
+	return []codeDecl{
+		{name: "CodeNotFound", value: "not_found"},
+		{name: "CodeRolledBack", value: "rollback"},
+	}
+}
+
+func runErrcodes(t *testing.T, src string) []finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "internal/server/x.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return errcodesServer(fset, file, testCodes())
+}
+
+func TestErrcodesFlagsRawCodeLiteral(t *testing.T) {
+	got := runErrcodes(t, `package server
+func f() string { return "not_found" }`)
+	if len(got) != 1 || !strings.Contains(got[0].msg, "api.CodeNotFound") {
+		t.Fatalf("raw code literal not flagged: %v", got)
+	}
+}
+
+func TestErrcodesFlagsErrorCompositeLiteral(t *testing.T) {
+	got := runErrcodes(t, `package server
+import "dynautosar/internal/api"
+func f() error { return &api.Error{Code: api.CodeRolledBack, Message: "m"} }`)
+	if len(got) != 1 || !strings.Contains(got[0].msg, "api.Errorf") {
+		t.Fatalf("api.Error literal not flagged: %v", got)
+	}
+}
+
+func TestErrcodesIgnoresImportsAndOtherStrings(t *testing.T) {
+	got := runErrcodes(t, `package server
+import "dynautosar/internal/api"
+func f() *api.Error { return api.Errorf(api.CodeNotFound, "app not_found_here: %d", 7) }`)
+	if len(got) != 0 {
+		t.Fatalf("unexpected findings: %v", got)
+	}
+}
+
+func TestErrcodesDocs(t *testing.T) {
+	design := "codes: `not_found` is documented here"
+	got := errcodesDocs(testCodes(), design)
+	if len(got) != 1 || !strings.Contains(got[0].msg, "CodeRolledBack") {
+		t.Fatalf("undocumented code not reported: %v", got)
+	}
+	if got := errcodesDocs(testCodes(), design+" and `rollback` too"); len(got) != 0 {
+		t.Fatalf("documented codes reported: %v", got)
 	}
 }

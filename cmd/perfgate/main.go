@@ -13,7 +13,10 @@
 //     whose baseline reports 0 allocs/op must stay at 0, and any
 //     increase fails the gate.
 //   - vm-instr/op (the interpreter's deterministic instruction count)
-//     fails on any increase beyond the regression budget.
+//     is gated strictly: any increase fails. The count is exact, so a
+//     regression here means the bytecode optimizer or the fusion rules
+//     lost ground — e.g. the optimized sum loop sliding back toward its
+//     unoptimized instruction count — not measurement noise.
 //   - ns/op is gated at -max-regress (default 10%) only when the
 //     baseline was recorded on the same CPU model; across machines the
 //     wall-clock comparison is reported but informational, because a
@@ -73,7 +76,11 @@ func cmdRun(args []string) {
 	// cold-start (pools, interner, ring all empty), not the steady state
 	// the baseline pins.
 	benchtime := fs.String("benchtime", "1s", "go test -benchtime value")
-	count := fs.Int("count", 1, "go test -count value")
+	// Best-of-3: parseBench keeps the per-metric minimum across repeats,
+	// which damps scheduler noise on the sub-100ns microbenchmarks enough
+	// for the 10% same-CPU gate to hold (a single sample routinely
+	// jitters past it).
+	count := fs.Int("count", 3, "go test -count value (repeats merge to per-metric minimum)")
 	pkg := fs.String("pkg", ".", "package to benchmark")
 	out := fs.String("out", "", "output JSON path (default stdout)")
 	fs.Parse(args)
@@ -112,6 +119,9 @@ func cmdRun(args []string) {
 }
 
 // parseBench extracts `Benchmark<Name>(-P) iters <value unit>...` lines.
+// A name appearing multiple times (go test -count > 1) merges to the
+// per-metric minimum: the best observed iteration is the least noisy
+// estimate of the code's cost, and both sides of the gate use it.
 func parseBench(out string) File {
 	f := File{
 		GOOS:       runtime.GOOS,
@@ -141,13 +151,23 @@ func parseBench(out string) File {
 				name = name[:i]
 			}
 		}
-		metrics := map[string]float64{}
+		metrics := f.Benchmarks[name]
+		if metrics == nil {
+			metrics = map[string]float64{}
+		}
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				continue
 			}
-			metrics[fields[i+1]] = v
+			unit := fields[i+1]
+			better := func(a, b float64) bool { return a < b }
+			if strings.HasSuffix(unit, "/s") { // throughput: higher is better
+				better = func(a, b float64) bool { return a > b }
+			}
+			if prev, ok := metrics[unit]; !ok || better(v, prev) {
+				metrics[unit] = v
+			}
 		}
 		if len(metrics) > 0 {
 			f.Benchmarks[name] = metrics
@@ -202,8 +222,11 @@ func cmdCompare(args []string) {
 			}
 		}
 		if bi, ok := bm["vm-instr/op"]; ok && bi > 0 {
-			if ni := nm["vm-instr/op"]; ni > bi*(1+*maxRegress) {
-				fail("%s: vm-instr/op grew %.0f -> %.0f", name, bi, ni)
+			// Deterministic: gate strictly, no noise budget. This pins the
+			// dataflow optimizer's instruction reduction on the loop
+			// benchmarks — falling back to the unoptimized count fails.
+			if ni := nm["vm-instr/op"]; ni > bi {
+				fail("%s: vm-instr/op grew %.0f -> %.0f (deterministic count, no budget)", name, bi, ni)
 			}
 		}
 		if bns, ok := bm["ns/op"]; ok && bns > 0 {

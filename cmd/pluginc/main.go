@@ -3,8 +3,12 @@
 // binaries.
 //
 //	pluginc -o op.pvm op.asm        compile
+//	pluginc -O -o op.pvm op.asm     compile with certified optimization
 //	pluginc -d op.pvm               disassemble
 //	pluginc -manifest op.asm        print the derived manifest as JSON
+//	pluginc -dump-cfg op.asm        print basic blocks and the call graph
+//	pluginc -dump-facts op.asm      print dataflow facts (stack intervals,
+//	                                shapes, global liveness, loop costs)
 //
 // Compiled programs are statically verified by default (internal/verify):
 // the abstract interpreter proves every handler respects the VM's stack
@@ -13,6 +17,13 @@
 // counterexample (handler, pc, path) and exits non-zero; -no-verify
 // skips the check for debugging deliberately broken programs — the
 // trusted server runs the same verifier at upload and will refuse them.
+//
+// -O runs the dataflow optimizer (internal/vm/dataflow) under the
+// translation-validation gate: the optimized program must re-verify and
+// be differentially indistinguishable from the source, otherwise
+// pluginc reports the divergence and fails. The trusted server applies
+// the same gated optimization at upload, so -O mainly serves to inspect
+// and ship pre-optimized binaries.
 //
 // The assembly language is documented in internal/vm (Assemble).
 package main
@@ -27,6 +38,7 @@ import (
 	"dynautosar/internal/plugin"
 	"dynautosar/internal/verify"
 	"dynautosar/internal/vm"
+	"dynautosar/internal/vm/dataflow"
 )
 
 func main() {
@@ -38,9 +50,12 @@ func main() {
 	developer := flag.String("developer", "", "developer name recorded in the manifest")
 	external := flag.Bool("external", false, "mark the plug-in as externally communicating")
 	noVerify := flag.Bool("no-verify", false, "skip static bytecode verification (the server will still verify at upload)")
+	optimize := flag.Bool("O", false, "optimize via the dataflow passes, gated by translation validation")
+	dumpCFG := flag.Bool("dump-cfg", false, "print the control-flow and call graph instead of compiling")
+	dumpFacts := flag.Bool("dump-facts", false, "print dataflow analysis facts instead of compiling (after -O passes when combined)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: pluginc [-o out.pvm | -d | -manifest] [-no-verify] <file>")
+		log.Fatal("usage: pluginc [-o out.pvm | -d | -manifest | -dump-cfg | -dump-facts] [-O] [-no-verify] <file>")
 	}
 	input := flag.Arg(0)
 	data, err := os.ReadFile(input)
@@ -65,6 +80,33 @@ func main() {
 		if err := verify.VerifyProgram(prog); err != nil {
 			log.Fatalf("%s: %v", input, err)
 		}
+	}
+	if *optimize {
+		opt, rep, err := verify.OptimizeProgram(prog)
+		if err != nil {
+			log.Fatalf("%s: %v", input, err)
+		}
+		if rep.Stats.Changed() {
+			fmt.Fprintf(os.Stderr,
+				"pluginc: optimized %s: %d -> %d instructions (rotated %d, threaded %d, folded %d, dead stores %d, deleted %d; %d rounds)\n",
+				prog.Name, rep.OrigInstrs, rep.OptInstrs,
+				rep.Stats.Rotated, rep.Stats.Threaded, rep.Stats.Folded,
+				rep.Stats.DeadStores, rep.Stats.Deleted, rep.Stats.Rounds)
+		}
+		prog = opt
+	}
+	if *dumpCFG || *dumpFacts {
+		g, err := dataflow.New(prog)
+		if err != nil {
+			log.Fatalf("%s: %v", input, err)
+		}
+		if *dumpCFG {
+			fmt.Print(dataflow.DumpCFG(g))
+		}
+		if *dumpFacts {
+			fmt.Print(dataflow.DumpFacts(g))
+		}
+		return
 	}
 	if *manifest {
 		bin, err := plugin.FromProgram(prog, plugin.Manifest{

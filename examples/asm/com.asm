@@ -1,0 +1,25 @@
+; The communicator plug-in COM from the paper's section 4, as deployed
+; on the ECM (ECU1). WheelsExt/SpeedExt are fed by the ECM from the
+; smart phone endpoint; the handlers relay the control signals through
+; the provided ports into the type II mux toward ECU2.
+; Same source as internal/vehicle.COMSource.
+.plugin COM 1.0
+.port WheelsExt required
+.port SpeedExt required
+.port WheelsFwd provided
+.port SpeedFwd provided
+.const started "communicator ready"
+
+on_init:
+	PUSH 0
+	LOG started
+	POP
+	RET
+on_message WheelsExt:
+	ARG
+	PWR WheelsFwd
+	RET
+on_message SpeedExt:
+	ARG
+	PWR SpeedFwd
+	RET

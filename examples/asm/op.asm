@@ -1,0 +1,26 @@
+; The operator plug-in OP from the paper's section 4, deployed on ECU2.
+; WheelsIn/SpeedIn receive through the mux; the handlers forward the
+; signals to the underlying software by writing the provided ports,
+; which the PLC binds to the WheelsReq/SpeedReq virtual ports.
+; Same source as internal/vehicle.OPSource.
+.plugin OP 1.0
+.port WheelsIn required
+.port SpeedIn required
+.port WheelsOut provided
+.port SpeedOut provided
+.globals 2
+.const started "operator ready"
+
+on_init:
+	PUSH 0
+	LOG started
+	POP
+	RET
+on_message WheelsIn:
+	ARG
+	PWR WheelsOut
+	RET
+on_message SpeedIn:
+	ARG
+	PWR SpeedOut
+	RET

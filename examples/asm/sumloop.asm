@@ -1,0 +1,30 @@
+; Sums 1..N in a VM loop, written in the guarded-loop shape a naive
+; compiler emits (test at the top, unconditional jump at the bottom).
+; The optimizer rotates the loop, threads the entry jump and lets the
+; interpreter's fusion rules collapse the body — the program behind
+; BenchmarkExtB_VMSumLoop.
+.plugin sum 1.0
+.port n required
+.port out provided
+.globals 2
+on_message n:
+	ARG
+	STG 0
+	PUSH 0
+	STG 1
+loop:
+	LDG 0
+	JZ done
+	LDG 1
+	LDG 0
+	ADD
+	STG 1
+	LDG 0
+	PUSH 1
+	SUB
+	STG 0
+	JMP loop
+done:
+	LDG 1
+	PWR out
+	RET

@@ -42,10 +42,14 @@ type Transport struct {
 	Aborted uint64
 }
 
+// assembly is per-sender reassembly state. Objects stay in the asm map
+// across transfers and their buffers are reused, so steady-state
+// package traffic between a fixed pair of endpoints does not allocate.
 type assembly struct {
-	buf  []byte
-	want int
-	seq  byte
+	buf    []byte
+	want   int
+	seq    byte
+	active bool
 }
 
 const (
@@ -63,6 +67,9 @@ func NewTransport(node *can.Node, txID uint32, extended bool, rxFilter can.Filte
 }
 
 // OnPayload registers a handler for completely reassembled payloads.
+// The payload slice aliases the transport's reassembly buffer and is
+// only valid for the duration of the callback; handlers that keep the
+// bytes must copy.
 func (t *Transport) OnPayload(fn func([]byte, sim.Time)) {
 	t.onPayload = append(t.onPayload, fn)
 }
@@ -153,7 +160,10 @@ func (t *Transport) onFrame(f can.Frame, at sim.Time) {
 			t.Aborted++
 			return
 		}
-		t.deliver(append([]byte(nil), f.Data[1:1+n]...), at)
+		// The frame data is the CAN layer's receive buffer, valid for the
+		// duration of this callback — exactly the OnPayload contract, so
+		// it is handed through without a copy.
+		t.deliver(f.Data[1:1+n], at)
 	case pciFirst:
 		length := int(f.Data[0]&0xF)<<8 | int(f.Data[1])
 		var initial []byte
@@ -171,27 +181,33 @@ func (t *Transport) onFrame(f can.Frame, at sim.Time) {
 			t.Aborted++
 			return
 		}
-		a := &assembly{buf: append([]byte(nil), initial...), want: length, seq: 1}
-		t.asm[f.ID] = a
+		a := t.asm[f.ID]
+		if a == nil {
+			a = &assembly{}
+			t.asm[f.ID] = a
+		}
+		a.buf = append(a.buf[:0], initial...)
+		a.want = length
+		a.seq = 1
+		a.active = true
 	case pciConsec:
 		a, ok := t.asm[f.ID]
-		if !ok {
+		if !ok || !a.active {
 			t.Aborted++
 			return
 		}
 		seq := f.Data[0] & 0xF
 		if seq != a.seq&0xF {
 			// Sequence error: abort the reassembly (ISO-TP behaviour).
-			delete(t.asm, f.ID)
+			a.active = false
 			t.Aborted++
 			return
 		}
 		a.seq++
 		a.buf = append(a.buf, f.Data[1:]...)
 		if len(a.buf) >= a.want {
-			payload := a.buf[:a.want]
-			delete(t.asm, f.ID)
-			t.deliver(payload, at)
+			a.active = false
+			t.deliver(a.buf[:a.want], at)
 		}
 	}
 }

@@ -24,7 +24,7 @@ func transportPair(t *testing.T) (*sim.Engine, *Transport, *Transport) {
 func TestSingleFrame(t *testing.T) {
 	eng, ta, tb := transportPair(t)
 	var got []byte
-	tb.OnPayload(func(p []byte, _ sim.Time) { got = p })
+	tb.OnPayload(func(p []byte, _ sim.Time) { got = append([]byte(nil), p...) })
 	if err := ta.Send([]byte("hello")); err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestMultiFrame(t *testing.T) {
 	payload[0] = 1
 	payload[99] = 2
 	var got []byte
-	tb.OnPayload(func(p []byte, _ sim.Time) { got = p })
+	tb.OnPayload(func(p []byte, _ sim.Time) { got = append([]byte(nil), p...) })
 	if err := ta.Send(payload); err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestEscapeFormLargePayload(t *testing.T) {
 		payload[i] = byte(i * 7)
 	}
 	var got []byte
-	tb.OnPayload(func(p []byte, _ sim.Time) { got = p })
+	tb.OnPayload(func(p []byte, _ sim.Time) { got = append([]byte(nil), p...) })
 	if err := ta.Send(payload); err != nil {
 		t.Fatal(err)
 	}
@@ -73,8 +73,8 @@ func TestEscapeFormLargePayload(t *testing.T) {
 func TestBidirectional(t *testing.T) {
 	eng, ta, tb := transportPair(t)
 	var fromA, fromB []byte
-	tb.OnPayload(func(p []byte, _ sim.Time) { fromA = p })
-	ta.OnPayload(func(p []byte, _ sim.Time) { fromB = p })
+	tb.OnPayload(func(p []byte, _ sim.Time) { fromA = append([]byte(nil), p...) })
+	ta.OnPayload(func(p []byte, _ sim.Time) { fromB = append([]byte(nil), p...) })
 	_ = ta.Send([]byte("to-b"))
 	_ = tb.Send([]byte("to-a"))
 	eng.Run()
@@ -154,7 +154,7 @@ func TestQuickTransportRoundTrip(t *testing.T) {
 		ta := NewTransport(na, 0x600, false, can.Filter{ID: 0x601, Mask: ^uint32(0)})
 		tb := NewTransport(nb, 0x601, false, can.Filter{ID: 0x600, Mask: ^uint32(0)})
 		var got []byte
-		tb.OnPayload(func(p []byte, _ sim.Time) { got = p })
+		tb.OnPayload(func(p []byte, _ sim.Time) { got = append([]byte(nil), p...) })
 		if err := ta.Send(payload); err != nil {
 			return false
 		}

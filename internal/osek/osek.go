@@ -72,12 +72,19 @@ type task struct {
 	activations uint64
 }
 
-// activation is one queued or running job of a task.
+// activation is one queued or running job of a task. Activations are
+// pooled on the kernel (free list) so steady-state scheduling does not
+// allocate: complete is bound once per pooled object, and completing a
+// job returns it to the list.
 type activation struct {
 	t         *task
 	remaining sim.Duration
 	events    EventMask
 	enqueued  sim.Time
+	// complete is the completion callback handed to the engine; bound to
+	// this object once so dispatch does not allocate a closure per slice.
+	complete func()
+	nextFree *activation
 }
 
 // Stats reports aggregate kernel counters.
@@ -112,7 +119,37 @@ type Kernel struct {
 	alarms map[AlarmID]*alarm
 	nextA  AlarmID
 
+	// free is the activation pool; completed jobs return here.
+	free *activation
+
 	stats Stats
+}
+
+// newActivation takes from the pool or allocates, binding the
+// completion callback on first use.
+func (k *Kernel) newActivation(t *task, events EventMask) *activation {
+	a := k.free
+	if a == nil {
+		a = &activation{}
+		a.complete = func() { k.complete(a) }
+	} else {
+		k.free = a.nextFree
+		a.nextFree = nil
+	}
+	a.t = t
+	a.remaining = t.cfg.ExecTime
+	a.events = events
+	a.enqueued = k.Now()
+	return a
+}
+
+// release returns a completed activation to the pool. Callers must not
+// retain a past this point.
+func (k *Kernel) release(a *activation) {
+	a.t = nil
+	a.events = 0
+	a.nextFree = k.free
+	k.free = a
 }
 
 // New creates a kernel named name on the shared engine. OSEK full
@@ -182,7 +219,7 @@ func (k *Kernel) ActivateTask(id TaskID) error {
 		return k.raise(fmt.Errorf("%w: task %q", ErrLimit, t.cfg.Name))
 	}
 	t.pending++
-	k.enqueue(&activation{t: t, remaining: t.cfg.ExecTime, enqueued: k.Now()})
+	k.enqueue(k.newActivation(t, 0))
 	return nil
 }
 
@@ -202,7 +239,7 @@ func (k *Kernel) SetEvent(id TaskID, mask EventMask) error {
 	}
 	got := t.set & t.cfg.WaitMask
 	t.set &^= got
-	k.enqueue(&activation{t: t, remaining: t.cfg.ExecTime, events: got, enqueued: k.Now()})
+	k.enqueue(k.newActivation(t, got))
 	return nil
 }
 
@@ -280,7 +317,7 @@ func (k *Kernel) dispatchNext() {
 	k.ready = k.ready[:len(k.ready)-1]
 	k.running = a
 	k.sliceAt = k.Now()
-	k.complEv = k.eng.After(a.remaining, func() { k.complete(a) })
+	k.complEv = k.eng.After(a.remaining, a.complete)
 	k.havingC = true
 }
 
@@ -304,6 +341,7 @@ func (k *Kernel) complete(a *activation) {
 	if k.postHook != nil {
 		k.postHook(t.id)
 	}
+	k.release(a)
 	k.reschedule()
 }
 

@@ -25,12 +25,15 @@ func (p *PIRTE) ComponentType() vfb.ComponentType {
 	var runnables []vfb.RunnableSpec
 	for _, sp := range p.cfg.SWCPorts {
 		sp := sp
+		// The rendered port name is captured by the data runnable, which
+		// runs per delivery — render it once here, not per message.
+		sname := sp.ID.String()
 		iface := vfb.Interface{
 			Name: fmt.Sprintf("%s-%s", p.cfg.SWC, sp.ID),
 			Kind: vfb.SenderReceiver,
 		}
 		pd := vfb.PortDef{
-			Name:      sp.ID.String(),
+			Name:      sname,
 			Direction: sp.Direction,
 			Iface:     iface,
 		}
@@ -40,12 +43,12 @@ func (p *PIRTE) ComponentType() vfb.ComponentType {
 		ports = append(ports, pd)
 		if sp.Direction == core.Required {
 			runnables = append(runnables, vfb.RunnableSpec{
-				Name:     "on" + sp.ID.String(),
-				OnData:   []string{sp.ID.String()},
+				Name:     "on" + sname,
+				OnData:   []string{sname},
 				Priority: p.cfg.DispatchPriority,
 				Entry: func(rt vfb.Runtime) {
 					for {
-						data, ok := rt.Read(sp.ID.String())
+						data, ok := rt.Read(sname)
 						if !ok {
 							return
 						}
@@ -76,8 +79,18 @@ func (p *PIRTE) Attach(r *rte.RTE) error {
 	if err := r.AddComponent(name, p.ComponentType()); err != nil {
 		return err
 	}
+	// Outbound writes resolve the rendered port name from a table built
+	// once; String() per write would allocate on every outbound message.
+	swcNames := make(map[core.SWCPortID]string, len(p.cfg.SWCPorts))
+	for _, sp := range p.cfg.SWCPorts {
+		swcNames[sp.ID] = sp.ID.String()
+	}
 	p.writeSWC = func(sid core.SWCPortID, data []byte) error {
-		return r.Write(name, sid.String(), data)
+		sname, ok := swcNames[sid]
+		if !ok {
+			sname = sid.String()
+		}
+		return r.Write(name, sname, data)
 	}
 	p.kernel = r.Kernel()
 	p.dispatch = p.kernel.DeclareTask(osek.TaskConfig{

@@ -273,12 +273,14 @@ func (r *RTE) Write(comp, port string, data []byte) error {
 	}
 	r.Writes++
 	key := portKey{comp, port}
-	owned := append([]byte(nil), data...)
+	// No defensive copy: deliver copies into each receiver's own buffer
+	// and Transport.Send copies into frame payloads before returning, so
+	// the caller's slice is never retained.
 	for _, dst := range r.routes[key] {
-		r.deliver(dst, owned)
+		r.deliver(dst, data)
 	}
 	for _, tr := range r.netTx[key] {
-		if err := tr.Send(owned); err != nil {
+		if err := tr.Send(data); err != nil {
 			return fmt.Errorf("rte: network write on %s.%s: %v", comp, port, err)
 		}
 	}
@@ -368,7 +370,10 @@ func (r *RTE) deliver(dst portKey, data []byte) {
 			p.queue = append(p.queue, append([]byte(nil), data...))
 		}
 	} else {
-		p.last = append([]byte(nil), data...)
+		// Last-value semantics: the buffer is reused across deliveries, so
+		// a slice handed out by Read is valid until the next arrival on
+		// the same port (readers run synchronously under the kernel).
+		p.last = append(p.last[:0], data...)
 		p.fresh = true
 	}
 	for _, task := range c.dataTasks[dst.port] {

@@ -171,8 +171,8 @@ func (s *Server) recoverFrom(rec *journal.Recovery) {
 		}
 		op.State = api.StateFailed
 		op.Done = true
-		op.Error = &api.Error{Code: api.CodeInterrupted,
-			Message: "server: operation interrupted by server restart"}
+		op.Error = api.Errorf(api.CodeInterrupted,
+			"server: operation interrupted by server restart")
 		interrupted++
 		final[id] = op
 	}
@@ -283,8 +283,8 @@ func (s *Server) deriveChildOutcome(child *api.Operation) (wasInterrupted bool) 
 		}
 	}
 	child.State = api.StateFailed
-	child.Error = &api.Error{Code: api.CodeInterrupted,
-		Message: "server: operation interrupted by server restart"}
+	child.Error = api.Errorf(api.CodeInterrupted,
+		"server: operation interrupted by server restart")
 	return true
 }
 

@@ -276,7 +276,8 @@ func (s *Store) UploadApp(app App) error {
 		return api.Errorf(api.CodeInvalidArgument, "server: app %q has no binaries", app.Name)
 	}
 	names := make(map[core.PluginName]bool, len(app.Binaries))
-	for _, b := range app.Binaries {
+	optimized := make([]plugin.Binary, len(app.Binaries))
+	for i, b := range app.Binaries {
 		// VerifyBinary subsumes b.Validate(): structural validation plus
 		// the abstract-interpretation proof that no handler can trap on
 		// stack bounds, call depth or control falling off the code.
@@ -287,7 +288,18 @@ func (s *Store) UploadApp(app App) error {
 			return api.Errorf(api.CodeInvalidArgument, "server: app %q has duplicate plug-in %s", app.Name, b.Manifest.Name)
 		}
 		names[b.Manifest.Name] = true
+		// Store the optimized form when the dataflow passes improve the
+		// program AND the translation-validation gate certifies it
+		// (re-verification plus differential execution); any gate failure
+		// falls back to the verified original — optimization is never
+		// allowed to reject an upload.
+		if nb, _, err := verify.OptimizeBinary(b); err == nil {
+			optimized[i] = nb
+		} else {
+			optimized[i] = b
+		}
 	}
+	app.Binaries = optimized
 	models := make(map[string]bool, len(app.Confs))
 	for _, c := range app.Confs {
 		if err := c.Validate(); err != nil {

@@ -1,19 +1,23 @@
 // Package verify is the trusted server's static-analysis layer: it
 // rejects unsafe plug-in bytecode and unsafe reconfiguration plans
-// before either reaches a vehicle. Two engines live here.
+// before either reaches a vehicle, and certifies optimized bytecode
+// against its unoptimized form. Three engines live here.
 //
-// The bytecode verifier (VerifyProgram, VerifyBinary) is an abstract
-// interpreter over internal/vm programs. It partitions the code into
-// basic blocks (the same leader set the VM compiler fuses across, see
-// vm.BlockLeaders) and propagates an interval of possible operand-stack
-// depths to a fixpoint, proving that no execution of any handler can
-// raise ErrStackOverflow or ErrStackUnderflow, that CALL chains are
-// acyclic and within the frame bound, that control cannot run off the
-// end of the code, and that PWR targets only provided-direction ports.
-// Structural properties — jump targets, global slots, port and constant
-// indices — come from Program.Verify, which runs first. A rejected
-// program yields a BytecodeError carrying the handler, the offending
-// instruction and the block path that reaches it.
+// The bytecode verifier (VerifyProgram, VerifyBinary) runs the shared
+// dataflow framework (internal/vm/dataflow) with its stack-interval
+// client: it partitions the code into basic blocks (the same leader set
+// the VM compiler fuses across, see vm.BlockLeaders) and propagates an
+// interval of possible operand-stack depths to a fixpoint, proving that
+// no execution of any handler can raise ErrStackOverflow or
+// ErrStackUnderflow, that CALL chains are acyclic and within the frame
+// bound, that control cannot run off the end of the code, and that PWR
+// targets only provided-direction ports. Structural properties — jump
+// targets, global slots, port and constant indices — come from
+// Program.Verify, which runs first. A rejected program yields a
+// BytecodeError carrying the handler, the offending instruction and the
+// block path that reaches it. This file only renders counterexamples;
+// the abstract interpretation itself lives in the dataflow package,
+// where the optimizer shares it.
 //
 // The plan verifier (VerifyPlan, plan.go) models a deploy, uninstall or
 // live-upgrade plan as a path of intermediate configurations — one step
@@ -21,17 +25,24 @@
 // the configuration invariants at every step, returning a PlanError
 // with the minimal counterexample path on violation.
 //
-// Both engines run at plan or upload time only; nothing here touches
+// The translation validator (OptimizeProgram, validate.go) gates the
+// dataflow optimizer: an optimized program is accepted only if it
+// re-verifies and is differentially indistinguishable from its source
+// on a behavioural battery (traps, traces, globals, budget accounting).
+//
+// All engines run at plan or upload time only; nothing here touches
 // the data plane.
 package verify
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"dynautosar/internal/core"
 	"dynautosar/internal/plugin"
 	"dynautosar/internal/vm"
+	"dynautosar/internal/vm/dataflow"
 )
 
 // BytecodeError is the counterexample of a rejected program: the event
@@ -117,430 +128,101 @@ func VerifyProgram(p *vm.Program) error {
 			}
 		}
 	}
-	a := &analysis{p: p, n: int32(len(p.Code)), results: make(map[int32]*ctxResult)}
-	if err := a.discoverSubroutines(); err != nil {
-		return err
+	g, err := dataflow.New(p)
+	if err != nil {
+		return renderGraphError(p, err)
 	}
-	return a.checkHandlers()
-}
-
-// interval is a set of possible operand-stack depths, relative to the
-// context's entry depth.
-type interval struct{ lo, hi int }
-
-// clamp bounds an interval so the fixpoint iteration terminates; the
-// bounds sit outside the provable range, so a clamped interval always
-// carries a violation with it.
-func (iv interval) clamp() interval {
-	const bound = vm.MaxStack + 2
-	if iv.lo < -bound {
-		iv.lo = -bound
-	}
-	if iv.hi > bound {
-		iv.hi = bound
-	}
-	return iv
-}
-
-func (iv interval) add(d int) interval { return interval{iv.lo + d, iv.hi + d} }
-
-func union(a, b interval) interval {
-	if b.lo < a.lo {
-		a.lo = b.lo
-	}
-	if b.hi > a.hi {
-		a.hi = b.hi
-	}
-	return a
-}
-
-// witness pins a potential violation to an instruction and the path
-// reaching it, for counterexample reconstruction.
-type witness struct {
-	pc  int32
-	op  vm.Op
-	ctx int32 // entry of the context the pc lives in
-	// calls lists the CALL pcs crossed outward-in when the violation
-	// lives in a subroutine of the reporting context.
-	calls []int32
-}
-
-// ctxResult summarizes one analyzed context (a handler body or a
-// subroutine body) in depths relative to its entry.
-type ctxResult struct {
-	entry int32
-	// worstNeed is the operand depth the context requires on entry; 0
-	// means none. needW witnesses the dominating requirement.
-	worstNeed int
-	needW     witness
-	// worstHigh is the highest depth (relative to entry) reached by a
-	// push, valid when hasHigh; highW witnesses it.
-	worstHigh int
-	hasHigh   bool
-	highW     witness
-	// retLo/retHi bound the net depth change over all reachable RETs;
-	// hasRet is false when no RET is reachable (the call never returns).
-	retLo, retHi int
-	hasRet       bool
-	// from maps each visited block head to the head it was first
-	// reached from, for path reconstruction.
-	from map[int32]int32
-}
-
-func (r *ctxResult) noteNeed(need int, w witness) {
-	if need > r.worstNeed {
-		r.worstNeed = need
-		r.needW = w
-	}
-}
-
-func (r *ctxResult) noteHigh(high int, w witness) {
-	if !r.hasHigh || high > r.worstHigh {
-		r.hasHigh = true
-		r.worstHigh = high
-		r.highW = w
-	}
-}
-
-func (r *ctxResult) noteRet(iv interval) {
-	if !r.hasRet {
-		r.hasRet = true
-		r.retLo, r.retHi = iv.lo, iv.hi
-		return
-	}
-	m := union(interval{r.retLo, r.retHi}, iv)
-	r.retLo, r.retHi = m.lo, m.hi
-}
-
-// analysis is one VerifyProgram run.
-type analysis struct {
-	p *vm.Program
-	n int32
-	// subOrder lists reachable subroutine entries, callees before
-	// callers; results caches every analyzed context by entry.
-	subOrder []int32
-	results  map[int32]*ctxResult
-	// chain memoizes the deepest nested call chain rooted at each
-	// subroutine, itself included.
-	chain map[int32]int
-}
-
-// body returns the instruction indices reachable from entry without
-// entering calls (call sites fall through to their return site), and
-// the set of CALL targets seen — the skeleton used for subroutine
-// discovery and recursion checks.
-func (a *analysis) body(entry int32) (pcs []int32, calls []int32) {
-	seen := make(map[int32]bool)
-	stack := []int32{entry}
-	callSeen := make(map[int32]bool)
-	for len(stack) > 0 {
-		pc := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if pc < 0 || pc >= a.n || seen[pc] {
-			continue
-		}
-		seen[pc] = true
-		pcs = append(pcs, pc)
-		ins := a.p.Code[pc]
-		switch ins.Op {
-		case vm.OpJmp:
-			stack = append(stack, ins.Arg)
-		case vm.OpJz, vm.OpJnz:
-			stack = append(stack, ins.Arg, pc+1)
-		case vm.OpCall:
-			if !callSeen[ins.Arg] {
-				callSeen[ins.Arg] = true
-				calls = append(calls, ins.Arg)
-			}
-			stack = append(stack, pc+1)
-		case vm.OpRet, vm.OpHalt:
-		default:
-			stack = append(stack, pc+1)
+	sa := dataflow.NewStackAnalysis(g)
+	// Subroutines first, callees before callers, so every CALL site sees
+	// a cached callee summary; then every handler at entry depth 0.
+	for _, entry := range g.SubOrder {
+		if _, cerr := sa.Context(entry); cerr != nil {
+			return renderContextError(p, cerr, contextName(p, entry))
 		}
 	}
-	return pcs, calls
-}
-
-// discoverSubroutines finds every CALL target reachable from a handler,
-// rejects recursion, orders the targets callees-first and bounds the
-// call-chain depth per handler against vm.MaxFrames.
-func (a *analysis) discoverSubroutines() error {
-	callees := make(map[int32][]int32)
-	const (
-		visiting = 1
-		done     = 2
-	)
-	state := make(map[int32]int)
-	a.chain = make(map[int32]int)
-	var visit func(entry int32, trail []int32) error
-	visit = func(entry int32, trail []int32) error {
-		switch state[entry] {
-		case done:
-			return nil
-		case visiting:
-			cycle := append(append([]int32(nil), trail...), entry)
-			parts := make([]string, len(cycle))
-			for i, e := range cycle {
-				parts[i] = fmt.Sprintf("%d", e)
-			}
-			return &BytecodeError{
-				Program: a.p.Name, Handler: "call graph",
-				PC: entry, Op: vm.OpCall.String(),
-				Reason: fmt.Sprintf("recursive CALL cycle through entries %s; the %d-frame bound would be exhausted",
-					strings.Join(parts, " -> "), vm.MaxFrames),
-			}
-		}
-		state[entry] = visiting
-		_, calls := a.body(entry)
-		callees[entry] = calls
-		depth := 0
-		for _, c := range calls {
-			if err := visit(c, append(trail, entry)); err != nil {
-				return err
-			}
-			if a.chain[c] > depth {
-				depth = a.chain[c]
-			}
-		}
-		state[entry] = done
-		a.chain[entry] = depth + 1
-		a.subOrder = append(a.subOrder, entry)
-		return nil
-	}
-	for _, h := range a.p.Handlers {
-		_, calls := a.body(h.Entry)
-		maxChain := 0
-		for _, c := range calls {
-			if err := visit(c, nil); err != nil {
-				return err
-			}
-			if a.chain[c] > maxChain {
-				maxChain = a.chain[c]
-			}
-		}
-		if maxChain > vm.MaxFrames {
-			return &BytecodeError{
-				Program: a.p.Name, Handler: a.handlerName(h),
-				PC: h.Entry, Op: vm.OpCall.String(),
-				Reason: fmt.Sprintf("call chains nest %d deep, exceeding the frame bound of %d (vm.ErrCallDepth reachable)",
-					maxChain, vm.MaxFrames),
-			}
-		}
-	}
-	return nil
-}
-
-// analyzeContext runs the interval dataflow over one context's blocks,
-// caching the result by entry. Subroutine summaries of every CALL
-// target must already be cached (discoverSubroutines orders them).
-func (a *analysis) analyzeContext(entry int32) (*ctxResult, *BytecodeError) {
-	if r, ok := a.results[entry]; ok {
-		return r, nil
-	}
-	p := a.p
-	res := &ctxResult{entry: entry, from: make(map[int32]int32)}
-	in := map[int32]interval{entry: {0, 0}}
-	queue := []int32{entry}
-	queued := map[int32]bool{entry: true}
-	var fellOff *witness
-
-	edge := func(from, to int32, iv interval) {
-		if to >= a.n {
-			if fellOff == nil {
-				fellOff = &witness{pc: a.n - 1, op: p.Code[a.n-1].Op, ctx: entry}
-			}
-			return
-		}
-		iv = iv.clamp()
-		old, ok := in[to]
-		merged := iv
-		if ok {
-			merged = union(old, iv)
-		}
-		if !ok || merged != old {
-			in[to] = merged
-			if _, seen := res.from[to]; !seen && to != entry {
-				res.from[to] = from
-			}
-			if !queued[to] {
-				queued[to] = true
-				queue = append(queue, to)
-			}
-		}
-	}
-
-	leaders := vm.BlockLeaders(p)
-	for len(queue) > 0 {
-		head := queue[0]
-		queue = queue[1:]
-		queued[head] = false
-		iv := in[head]
-		pc := head
-	walk:
-		for {
-			ins := p.Code[pc]
-			need, delta, push := ins.Op.StackEffect()
-			if need > 0 {
-				res.noteNeed(need-iv.lo, witness{pc: pc, op: ins.Op, ctx: entry})
-			}
-			if push {
-				res.noteHigh(iv.hi+1, witness{pc: pc, op: ins.Op, ctx: entry})
-			}
-			switch ins.Op {
-			case vm.OpJmp:
-				edge(head, ins.Arg, iv)
-				break walk
-			case vm.OpJz, vm.OpJnz:
-				iv = iv.add(delta)
-				edge(head, ins.Arg, iv)
-				edge(head, pc+1, iv)
-				break walk
-			case vm.OpCall:
-				sum := a.results[ins.Arg]
-				if sum == nil {
-					// Unreachable by construction; fail closed.
-					return nil, &BytecodeError{
-						Program: p.Name, Handler: "call graph", PC: pc,
-						Op: ins.Op.String(), Reason: "CALL target was not summarized",
-					}
-				}
-				if sum.worstNeed > 0 {
-					res.noteNeed(sum.worstNeed-iv.lo,
-						witness{pc: sum.needW.pc, op: sum.needW.op, ctx: sum.needW.ctx,
-							calls: append([]int32{pc}, sum.needW.calls...)})
-				}
-				if sum.hasHigh {
-					res.noteHigh(iv.hi+sum.worstHigh,
-						witness{pc: sum.highW.pc, op: sum.highW.op, ctx: sum.highW.ctx,
-							calls: append([]int32{pc}, sum.highW.calls...)})
-				}
-				if sum.hasRet {
-					edge(head, pc+1, interval{iv.lo + sum.retLo, iv.hi + sum.retHi})
-				}
-				break walk
-			case vm.OpRet:
-				res.noteRet(iv)
-				break walk
-			case vm.OpHalt:
-				break walk
-			default:
-				iv = iv.add(delta).clamp()
-				if pc+1 >= a.n {
-					edge(head, pc+1, iv) // records the fall-off
-					break walk
-				}
-				if leaders[pc+1] {
-					edge(head, pc+1, iv)
-					break walk
-				}
-				pc++
-			}
-		}
-	}
-	if fellOff != nil {
-		return nil, &BytecodeError{
-			Program: p.Name, Handler: a.contextName(entry),
-			PC: fellOff.pc, Op: fellOff.op.String(),
-			Reason: "control can run past the end of the code",
-			Path:   a.blockPath(res, fellOff.pc),
-		}
-	}
-	a.results[entry] = res
-	return res, nil
-}
-
-// checkHandlers analyzes every subroutine (callees first), then every
-// handler at absolute entry depth 0, turning summary violations into
-// errors.
-func (a *analysis) checkHandlers() error {
-	for _, entry := range a.subOrder {
-		if _, err := a.analyzeContext(entry); err != nil {
-			return err
-		}
-	}
-	seen := make(map[int32]bool, len(a.p.Handlers))
-	for _, h := range a.p.Handlers {
+	seen := make(map[int32]bool, len(p.Handlers))
+	for _, h := range p.Handlers {
 		if seen[h.Entry] {
 			continue
 		}
 		seen[h.Entry] = true
-		res, err := a.analyzeContext(h.Entry)
-		if err != nil {
-			err.Handler = a.handlerName(h)
-			return err
+		sum, cerr := sa.Context(h.Entry)
+		if cerr != nil {
+			return renderContextError(p, cerr, handlerName(p, h))
 		}
-		if res.worstNeed > 0 {
-			w := res.needW
-			needOp, _, _ := w.op.StackEffect()
+		if sum.WorstNeed > 0 {
+			w := sum.NeedW
+			needOp, _, _ := w.Op.StackEffect()
 			return &BytecodeError{
-				Program: a.p.Name, Handler: a.handlerName(h),
-				PC: w.pc, Op: w.op.String(), Calls: w.calls,
+				Program: p.Name, Handler: handlerName(p, h),
+				PC: w.PC, Op: w.Op.String(), Calls: w.Calls,
 				Reason: fmt.Sprintf("operand stack underflow reachable: %v pops %d value(s) but the stack can hold as few as %d here",
-					w.op, needOp, needOp-res.worstNeed),
-				Path: a.witnessPath(w),
+					w.Op, needOp, needOp-sum.WorstNeed),
+				Path: sa.Path(w),
 			}
 		}
-		if res.hasHigh && res.worstHigh > vm.MaxStack {
-			w := res.highW
+		if sum.HasHigh && sum.WorstHigh > vm.MaxStack {
+			w := sum.HighW
 			return &BytecodeError{
-				Program: a.p.Name, Handler: a.handlerName(h),
-				PC: w.pc, Op: w.op.String(), Calls: w.calls,
+				Program: p.Name, Handler: handlerName(p, h),
+				PC: w.PC, Op: w.Op.String(), Calls: w.Calls,
 				Reason: fmt.Sprintf("operand stack overflow reachable: depth can reach %d, exceeding the bound of %d",
-					res.worstHigh, vm.MaxStack),
-				Path: a.witnessPath(w),
+					sum.WorstHigh, vm.MaxStack),
+				Path: sa.Path(w),
 			}
 		}
 	}
 	return nil
 }
 
-// witnessPath reconstructs the block path to a witness inside the
-// context the witness lives in (the innermost subroutine for
-// call-propagated violations).
-func (a *analysis) witnessPath(w witness) []int32 {
-	if res, ok := a.results[w.ctx]; ok {
-		return a.blockPath(res, w.pc)
+// renderGraphError maps the dataflow package's structural call-graph
+// errors onto the verifier's counterexample format.
+func renderGraphError(p *vm.Program, err error) error {
+	var rec *dataflow.RecursionError
+	if errors.As(err, &rec) {
+		parts := make([]string, len(rec.Cycle))
+		for i, e := range rec.Cycle {
+			parts[i] = fmt.Sprintf("%d", e)
+		}
+		return &BytecodeError{
+			Program: p.Name, Handler: "call graph",
+			PC: rec.Cycle[len(rec.Cycle)-1], Op: vm.OpCall.String(),
+			Reason: fmt.Sprintf("recursive CALL cycle through entries %s; the %d-frame bound would be exhausted",
+				strings.Join(parts, " -> "), vm.MaxFrames),
+		}
 	}
-	return nil
+	var chain *dataflow.ChainDepthError
+	if errors.As(err, &chain) {
+		return &BytecodeError{
+			Program: p.Name, Handler: handlerName(p, chain.Handler),
+			PC: chain.Handler.Entry, Op: vm.OpCall.String(),
+			Reason: fmt.Sprintf("call chains nest %d deep, exceeding the frame bound of %d (vm.ErrCallDepth reachable)",
+				chain.Depth, vm.MaxFrames),
+		}
+	}
+	return err
 }
 
-// blockPath walks the first-predecessor chain from the block containing
-// pc back to the context entry, returning entry-first block heads.
-func (a *analysis) blockPath(res *ctxResult, pc int32) []int32 {
-	// Find the head of the block containing pc: the nearest recorded
-	// head at or below pc whose straight-line walk covers it. The from
-	// map keys every visited head, so scan down from pc.
-	head := pc
-	for head > res.entry {
-		if _, ok := res.from[head]; ok {
-			break
+// renderContextError maps a per-context dataflow failure (control past
+// the end of the code, or the fail-closed unsummarized-CALL case) onto
+// the verifier's counterexample format.
+func renderContextError(p *vm.Program, cerr *dataflow.ContextError, handler string) error {
+	if cerr.Missing {
+		return &BytecodeError{
+			Program: p.Name, Handler: "call graph", PC: cerr.PC,
+			Op: cerr.Op.String(), Reason: "CALL target was not summarized",
 		}
-		if head == res.entry {
-			break
-		}
-		head--
 	}
-	var rev []int32
-	for {
-		rev = append(rev, head)
-		if head == res.entry || len(rev) > len(a.p.Code) {
-			break
-		}
-		prev, ok := res.from[head]
-		if !ok {
-			break
-		}
-		head = prev
+	return &BytecodeError{
+		Program: p.Name, Handler: handler,
+		PC: cerr.PC, Op: cerr.Op.String(),
+		Reason: "control can run past the end of the code",
+		Path:   cerr.Path,
 	}
-	path := make([]int32, len(rev))
-	for i, h := range rev {
-		path[len(rev)-1-i] = h
-	}
-	return path
 }
 
 // handlerName renders a handler for counterexamples.
-func (a *analysis) handlerName(h vm.Handler) string {
+func handlerName(p *vm.Program, h vm.Handler) string {
 	switch h.Kind {
 	case vm.HandlerInit:
 		return "init handler"
@@ -548,8 +230,8 @@ func (a *analysis) handlerName(h vm.Handler) string {
 		if h.Index == -1 {
 			return "catch-all message handler"
 		}
-		if int(h.Index) < len(a.p.Ports) {
-			return fmt.Sprintf("message handler for port %d (%q)", h.Index, a.p.Ports[h.Index].Name)
+		if int(h.Index) < len(p.Ports) {
+			return fmt.Sprintf("message handler for port %d (%q)", h.Index, p.Ports[h.Index].Name)
 		}
 		return fmt.Sprintf("message handler for port %d", h.Index)
 	case vm.HandlerTimer:
@@ -560,10 +242,10 @@ func (a *analysis) handlerName(h vm.Handler) string {
 
 // contextName renders a context entry: the handler declared on it, or a
 // subroutine label.
-func (a *analysis) contextName(entry int32) string {
-	for _, h := range a.p.Handlers {
+func contextName(p *vm.Program, entry int32) string {
+	for _, h := range p.Handlers {
 		if h.Entry == entry {
-			return a.handlerName(h)
+			return handlerName(p, h)
 		}
 	}
 	return fmt.Sprintf("subroutine at pc %d", entry)

@@ -79,6 +79,59 @@ func FuzzVerifyBytecode(f *testing.F) {
 	})
 }
 
+// FuzzOptimize feeds arbitrary bytes through the binary decoder into
+// the certified optimization pipeline. Property: for any program the
+// verifier accepts, OptimizeProgram must succeed — a translation-
+// validation failure means the optimizer miscompiled a verified
+// program, which is a bug in the passes, never an acceptable rejection.
+func FuzzOptimize(f *testing.F) {
+	seed := func(p *vm.Program) {
+		enc, err := vm.EncodeProgram(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	seed(&vm.Program{ // counted sum loop: rotation + fusion fodder
+		Name:     "sum",
+		Ports:    []vm.PortDecl{{Name: "n", Direction: core.Required}},
+		Globals:  2,
+		Handlers: []vm.Handler{{Kind: vm.HandlerMessage, Index: 0, Entry: 0}},
+		Code: []vm.Instr{
+			{Op: vm.OpArg}, {Op: vm.OpStg, Arg: 0},
+			{Op: vm.OpPush}, {Op: vm.OpStg, Arg: 1},
+			{Op: vm.OpLdg}, {Op: vm.OpJz, Arg: 15},
+			{Op: vm.OpLdg, Arg: 1}, {Op: vm.OpLdg}, {Op: vm.OpAdd}, {Op: vm.OpStg, Arg: 1},
+			{Op: vm.OpLdg}, {Op: vm.OpPush, Arg: 1}, {Op: vm.OpSub}, {Op: vm.OpStg},
+			{Op: vm.OpJmp, Arg: 4},
+			{Op: vm.OpLdg, Arg: 1}, {Op: vm.OpPop}, {Op: vm.OpRet},
+		},
+	})
+	seed(&vm.Program{ // constant folding + dead store fodder
+		Name:     "fold",
+		Globals:  1,
+		Handlers: []vm.Handler{{Kind: vm.HandlerInit, Entry: 0}},
+		Code: []vm.Instr{
+			{Op: vm.OpPush, Arg: 6}, {Op: vm.OpPush, Arg: 7}, {Op: vm.OpMul},
+			{Op: vm.OpStg}, {Op: vm.OpPush, Arg: 2}, {Op: vm.OpStg},
+			{Op: vm.OpRet},
+		},
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, err := vm.DecodeProgram(data)
+		if err != nil {
+			return
+		}
+		if err := verify.VerifyProgram(prog); err != nil {
+			return
+		}
+		if _, _, err := verify.OptimizeProgram(prog); err != nil {
+			t.Fatalf("optimizer failed translation validation on a verified program: %v\n%s",
+				err, vm.Disassemble(prog))
+		}
+	})
+}
+
 // FuzzVerifyPlan decodes arbitrary bytes into a small reconfiguration
 // plan — plug-in placements, port assignments, links and step kinds all
 // driven by the input — and checks that the plan verifier always

@@ -1,0 +1,193 @@
+// Translation validation for the bytecode optimizer: rather than trust
+// the dataflow passes, every optimized program is (1) re-verified by
+// the same abstract interpreter that gates uploads and (2) executed
+// differentially against its unoptimized form over a behavioural
+// battery. The battery drives every handler (init, one message handler
+// per declared port, every timer slot) across a spread of input values
+// and budgets, comparing results, host-event traces, exported globals
+// and instruction counts after every activation.
+//
+// The contract checked here matches dataflow.Optimize's: activations
+// that complete within budget must be indistinguishable; an optimized
+// activation may never consume more instructions (so it never
+// budget-faults where the original would not); state after a budget
+// fault itself may differ, and the battery stops comparing a budget
+// tier once either side faults on it.
+//
+// The battery is a seatbelt, not a proof — the soundness argument lives
+// with the passes (internal/vm/dataflow) and the re-verification gate;
+// the repo's differential test suite covers thousands of random
+// programs the same way.
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"dynautosar/internal/plugin"
+	"dynautosar/internal/sim"
+	"dynautosar/internal/vm"
+	"dynautosar/internal/vm/dataflow"
+)
+
+// OptReport summarizes an accepted optimization.
+type OptReport struct {
+	Stats dataflow.Stats
+	// OrigInstrs/OptInstrs are the static code sizes before and after.
+	OrigInstrs, OptInstrs int
+}
+
+// OptimizeProgram is the certified entry point to the optimizer: the
+// input must verify, the optimized output must re-verify, and the two
+// must be differentially indistinguishable under ValidateOptimized.
+// When the optimizer finds nothing to do, the input program itself is
+// returned. On any gate failure the error describes the first
+// divergence and callers fall back to the unoptimized program.
+func OptimizeProgram(p *vm.Program) (*vm.Program, OptReport, error) {
+	rep := OptReport{OrigInstrs: len(p.Code), OptInstrs: len(p.Code)}
+	if err := VerifyProgram(p); err != nil {
+		return nil, rep, err
+	}
+	opt, stats := dataflow.Optimize(p)
+	rep.Stats = stats
+	rep.OptInstrs = len(opt.Code)
+	if !stats.Changed() {
+		return p, rep, nil
+	}
+	if err := VerifyProgram(opt); err != nil {
+		return nil, rep, fmt.Errorf("translation validation: optimized program rejected by verifier: %w", err)
+	}
+	if err := ValidateOptimized(p, opt); err != nil {
+		return nil, rep, err
+	}
+	return opt, rep, nil
+}
+
+// OptimizeBinary runs OptimizeProgram over a packaged binary,
+// re-packaging the optimized program under the original manifest
+// identity. The binary is returned unchanged when nothing improves or
+// any gate fails (with the gate error for the caller to log).
+func OptimizeBinary(b plugin.Binary) (plugin.Binary, OptReport, error) {
+	prog, err := b.Decode()
+	if err != nil {
+		return b, OptReport{}, err
+	}
+	opt, rep, err := OptimizeProgram(prog)
+	if err != nil || !rep.Stats.Changed() {
+		return b, rep, err
+	}
+	nb, err := plugin.FromProgram(opt, b.Manifest)
+	if err != nil {
+		return b, rep, err
+	}
+	return nb, rep, nil
+}
+
+// traceHost records every host interaction for comparison.
+type traceHost struct {
+	events []string
+}
+
+func (h *traceHost) PortWrite(port int, v int64) error {
+	h.events = append(h.events, fmt.Sprintf("pw %d %d", port, v))
+	return nil
+}
+func (h *traceHost) SetTimer(id int, d sim.Duration) {
+	h.events = append(h.events, fmt.Sprintf("set %d %v", id, d))
+}
+func (h *traceHost) ClearTimer(id int) {
+	h.events = append(h.events, fmt.Sprintf("clr %d", id))
+}
+func (h *traceHost) Now() sim.Time { return 0 }
+func (h *traceHost) Log(msg string, v int64) {
+	h.events = append(h.events, fmt.Sprintf("log %q %d", msg, v))
+}
+
+// trapClass folds an activation error to the trap sentinel it wraps, so
+// errors are compared by kind rather than text (trap messages embed
+// pcs, which optimization legitimately moves).
+func trapClass(err error) error {
+	for _, s := range []error{
+		vm.ErrBudget, vm.ErrStackOverflow, vm.ErrStackUnderflow,
+		vm.ErrDivByZero, vm.ErrCallDepth, vm.ErrStopped, vm.ErrNoHandler,
+	} {
+		if errors.Is(err, s) {
+			return s
+		}
+	}
+	return err
+}
+
+// ValidateOptimized differentially executes orig and opt and returns an
+// error describing the first behavioural divergence, or nil when the
+// battery cannot tell them apart.
+func ValidateOptimized(orig, opt *vm.Program) error {
+	if len(opt.Ports) != len(orig.Ports) || opt.Globals != orig.Globals ||
+		len(opt.Handlers) != len(orig.Handlers) {
+		return fmt.Errorf("translation validation: optimized program changed its interface (ports %d->%d, globals %d->%d, handlers %d->%d)",
+			len(orig.Ports), len(opt.Ports), orig.Globals, opt.Globals, len(orig.Handlers), len(opt.Handlers))
+	}
+	values := []int64{0, 1, -1, 2, 7, 255, 1000, -1000, 1<<31 - 1, -(1 << 31)}
+	budgets := []int{vm.DefaultBudget, 5000, 400, 60}
+	for _, budget := range budgets {
+		if err := validateAtBudget(orig, opt, values, budget); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateAtBudget(orig, opt *vm.Program, values []int64, budget int) error {
+	ho, hp := &traceHost{}, &traceHost{}
+	io, err := vm.NewInstance(orig, ho, budget)
+	if err != nil {
+		return err
+	}
+	ip, err := vm.NewInstance(opt, hp, budget)
+	if err != nil {
+		return fmt.Errorf("translation validation: optimized program rejected by instance construction: %w", err)
+	}
+	// compare checks one activation pair; done=true stops this budget
+	// tier (a budget fault forks the states irreconcilably).
+	compare := func(what string, eo, ep error) (done bool, err error) {
+		bo, bp := errors.Is(eo, vm.ErrBudget), errors.Is(ep, vm.ErrBudget)
+		if bp && !bo {
+			return true, fmt.Errorf("translation validation: %s (budget %d): optimized program exhausted the budget but the original did not", what, budget)
+		}
+		if bo || bp {
+			return true, nil
+		}
+		if trapClass(eo) != trapClass(ep) {
+			return true, fmt.Errorf("translation validation: %s (budget %d): result diverged: original %v, optimized %v", what, budget, eo, ep)
+		}
+		if ip.Instructions > io.Instructions {
+			return true, fmt.Errorf("translation validation: %s (budget %d): optimized program executed more instructions (%d > %d)", what, budget, ip.Instructions, io.Instructions)
+		}
+		if fmt.Sprint(ho.events) != fmt.Sprint(hp.events) {
+			return true, fmt.Errorf("translation validation: %s (budget %d): host traces diverged:\n  original:  %v\n  optimized: %v", what, budget, ho.events, hp.events)
+		}
+		go1, go2 := io.ExportGlobals(), ip.ExportGlobals()
+		if fmt.Sprint(go1) != fmt.Sprint(go2) {
+			return true, fmt.Errorf("translation validation: %s (budget %d): globals diverged:\n  original:  %v\n  optimized: %v", what, budget, go1, go2)
+		}
+		return false, nil
+	}
+
+	if done, err := compare("init", io.Init(), ip.Init()); done {
+		return err
+	}
+	for port := range orig.Ports {
+		for _, v := range values {
+			if done, err := compare(fmt.Sprintf("deliver port %d value %d", port, v),
+				io.Deliver(port, v), ip.Deliver(port, v)); done {
+				return err
+			}
+		}
+	}
+	for id := 0; id < vm.MaxTimers; id++ {
+		if done, err := compare(fmt.Sprintf("timer %d", id), io.Timer(id), ip.Timer(id)); done {
+			return err
+		}
+	}
+	return nil
+}

@@ -103,8 +103,33 @@ const (
 	// cGIncI: Ldg x; Push k; Add|Sub; Stg x — g[x] += k (Sub stores -k).
 	cGIncI
 
-	// cPad fills the second slot of a fused pair; it is never executed
-	// (fusion is suppressed when the slot is a jump target).
+	// Hex superinstructions (cost 6): the fused loop backedge the
+	// optimizer's rotation pass exposes. Unlike every rule above, the
+	// fourth constituent (Stg) is impure — legal because a budget expiry
+	// or trap inside any fused instruction now replays its constituents
+	// through the exact architectural interpreter (runSlow) instead of
+	// being suppressed.
+
+	// cGIncJz/cGIncJnz: Ldg x; Push k; Add|Sub; Stg x; Ldg x; Jz/Jnz t —
+	// g[x] += k, then branch on the new value. The 12-bit signed k and
+	// the 20-bit target share arg (k<<20 | t); x sits in b.
+	cGIncJz
+	cGIncJnz
+
+	// Check-free branch variants produced by the budget-hoisting pass:
+	// identical semantics minus the per-block budget comparison. Emitted
+	// only for branches strictly inside a hoisted loop region, whose
+	// whole-iteration cost the loop header's blockCost pre-charges.
+	cJmpN
+	cJzN
+	cJnzN
+	cLdgJzN
+	cLdgJnzN
+	cCmpJzN
+	cCmpJnzN
+
+	// cPad fills the tail slots of a fused group; it is never executed
+	// (fusion is suppressed when any slot is a jump target).
 	cPad
 )
 
@@ -124,6 +149,10 @@ var copNames = [...]string{
 	cSubStg: "SUB.STG", cMulStg: "MUL.STG", cArgStg: "ARG.STG",
 	cArgPwr: "ARG.PWR", cCmpJz: "CMP.JZ",
 	cCmpJnz: "CMP.JNZ", cGAddG: "G.ADD.G", cGIncI: "G.INC.I",
+	cGIncJz: "G.INC.JZ", cGIncJnz: "G.INC.JNZ",
+	cJmpN: "JMP.N", cJzN: "JZ.N", cJnzN: "JNZ.N",
+	cLdgJzN: "LDG.JZ.N", cLdgJnzN: "LDG.JNZ.N",
+	cCmpJzN: "CMP.JZ.N", cCmpJnzN: "CMP.JNZ.N",
 	cPad: "PAD",
 }
 
@@ -157,13 +186,16 @@ func (c cinstr) width() int32 { return int32(c.cost) }
 // compiled is the executable form of a Program.
 type compiled struct {
 	code []cinstr
-	// blockCost[i] is the architectural instruction count of the
-	// straight-line run starting at i, up to and including its first
-	// control transfer. The interpreter checks the budget once per
-	// block (at handler entry and at every control transfer) instead of
-	// once per instruction; a block that no longer fits the remaining
-	// budget switches the loop into per-instruction accounting so the
-	// trap fires at exactly the architectural instruction it always did.
+	// blockCost[i] is the worst-case architectural instruction count of
+	// any run starting at i, up to and including the first *checked*
+	// control transfer — check-free forward branches (budget hoisting)
+	// extend the region, so at a loop header the value covers a whole
+	// iteration. The interpreter checks the budget only at handler entry
+	// and at checked transfers, each time pre-charging blockCost of the
+	// successor; when a region no longer fits the remaining budget the
+	// activation is handed to the exact per-instruction interpreter
+	// (runSlow) so the trap fires at exactly the architectural
+	// instruction it always did.
 	blockCost []int32
 	// O(1) handler entry tables (-1 = no handler). msgEntry has the
 	// catch-all fallback already applied per port.
@@ -195,6 +227,18 @@ func compileProgram(p *Program, fuse bool) *compiled {
 	target := BlockLeaders(p)
 
 	for i := 0; i < n; {
+		if fuse && i+5 < n && !target[i+1] && !target[i+2] && !target[i+3] &&
+			!target[i+4] && !target[i+5] {
+			if sup, ok := fuseHex(p.Code[i], p.Code[i+1], p.Code[i+2],
+				p.Code[i+3], p.Code[i+4], p.Code[i+5]); ok {
+				c.code[i] = sup
+				for j := 1; j < 6; j++ {
+					c.code[i+j] = cinstr{op: cPad, cost: 1}
+				}
+				i += 6
+				continue
+			}
+		}
 		if fuse && i+3 < n && !target[i+1] && !target[i+2] && !target[i+3] {
 			if sup, ok := fuseQuad(p.Code[i], p.Code[i+1], p.Code[i+2], p.Code[i+3]); ok {
 				c.code[i] = sup
@@ -218,17 +262,36 @@ func compileProgram(p *Program, fuse bool) *compiled {
 		i++
 	}
 
-	// Per-block architectural cost, walking backwards so each
-	// instruction sees its successor's remaining block cost.
+	// Budget hoisting: strictly forward branches become check-free.
+	if fuse {
+		hoistChecks(c)
+	}
+
+	// Worst-case cost to the next checked transfer, walking backwards.
+	// Check-free branches only ever point forward (hoistChecks), so every
+	// value this scan needs is already final; a checked transfer
+	// contributes only its own width — its check covers what follows.
 	for i := n - 1; i >= 0; i-- {
 		ci := c.code[i]
 		if ci.op == cPad {
-			continue // unreachable slot; cost belongs to the pair head
+			continue // unreachable slot; cost belongs to the group head
 		}
 		cost := int32(ci.cost)
-		if !endsBlock(ci.op) {
+		switch ci.op {
+		case cJmpN:
+			cost += c.blockCost[ci.arg]
+		case cJzN, cJnzN, cLdgJzN, cLdgJnzN, cCmpJzN, cCmpJnzN:
+			taken := c.blockCost[ci.arg]
+			var fall int32
 			if succ := int32(i) + ci.width(); succ < int32(n) {
-				cost += c.blockCost[succ]
+				fall = c.blockCost[succ]
+			}
+			cost += max(taken, fall)
+		default:
+			if !endsBlock(ci.op) {
+				if succ := int32(i) + ci.width(); succ < int32(n) {
+					cost += c.blockCost[succ]
+				}
 			}
 		}
 		c.blockCost[i] = cost
@@ -275,21 +338,93 @@ func compileProgram(p *Program, fuse bool) *compiled {
 	return c
 }
 
-// endsBlock reports whether the compiled op transfers control (and
-// therefore performs the per-block budget check itself).
+// endsBlock reports whether the compiled op is a checked control
+// transfer: it performs the budget pre-check for its successor itself,
+// so the worst-case-cost scan stops at it. The check-free variants are
+// deliberately absent — control flows through them unchecked, and their
+// cost-to-next-check is accumulated by dedicated cases in the scan.
 func endsBlock(op cop) bool {
 	switch op {
 	case cJmp, cJz, cJnz, cCall, cRet, cHalt,
-		cLdgJz, cLdgJnz, cCmpJz, cCmpJnz:
+		cLdgJz, cLdgJnz, cCmpJz, cCmpJnz, cGIncJz, cGIncJnz:
 		return true
 	}
 	return false
 }
 
-// fuseQuad matches the two four-instruction accumulator rules. Like the
-// pair rules, every constituent before the final Stg is a pure stack
-// operation, so a budget trap that suppresses the whole quad is
-// observationally identical to trapping mid-sequence.
+// hoistChecks rewrites every branch whose taken target lies strictly
+// forward into its check-free variant. Forward branches never close a
+// cycle, so after this pass every CFG cycle still contains a checked
+// transfer (its backedge) and the backward worst-case-cost scan in
+// compileProgram stays a single pass. The effect is loop-level budget
+// hoisting: a loop's interior control flow runs without budget
+// comparisons, and the backedge's single check pre-charges the whole
+// next iteration (blockCost of the header spans the iteration's worst
+// path). Calls, returns and the fused backedges keep their checks.
+func hoistChecks(c *compiled) {
+	n := int32(len(c.code))
+	for i := int32(0); i < n; {
+		ci := c.code[i]
+		if ci.arg > i {
+			switch ci.op {
+			case cJmp:
+				c.code[i].op = cJmpN
+			case cJz:
+				c.code[i].op = cJzN
+			case cJnz:
+				c.code[i].op = cJnzN
+			case cLdgJz:
+				c.code[i].op = cLdgJzN
+			case cLdgJnz:
+				c.code[i].op = cLdgJnzN
+			case cCmpJz:
+				c.code[i].op = cCmpJzN
+			case cCmpJnz:
+				c.code[i].op = cCmpJnzN
+			}
+		}
+		i += ci.width()
+	}
+}
+
+// fuseHex matches the six-instruction counted-loop backedge the
+// optimizer's loop-rotation pass canonicalizes:
+//
+//	Ldg x; Push k; Add|Sub; Stg x; Ldg x; Jz|Jnz t
+//
+// i.e. g[x] += k (Sub adds -k) followed by a branch on the new value.
+// The immediate must fit 12 signed bits and the target 20 bits (every
+// verified program has at most 1<<20 instructions) because they share
+// the arg word.
+func fuseHex(a, b, c, d, e, f Instr) (cinstr, bool) {
+	if a.Op != OpLdg || b.Op != OpPush || (c.Op != OpAdd && c.Op != OpSub) ||
+		d.Op != OpStg || e.Op != OpLdg {
+		return cinstr{}, false
+	}
+	if a.Arg != d.Arg || a.Arg != e.Arg {
+		return cinstr{}, false
+	}
+	if f.Op != OpJz && f.Op != OpJnz {
+		return cinstr{}, false
+	}
+	k := b.Arg
+	if c.Op == OpSub {
+		if k == -k { // math.MinInt32 has no negation
+			return cinstr{}, false
+		}
+		k = -k
+	}
+	if k < -(1<<11) || k >= 1<<11 || f.Arg >= 1<<20 {
+		return cinstr{}, false
+	}
+	op := cGIncJz
+	if f.Op == OpJnz {
+		op = cGIncJnz
+	}
+	return cinstr{op: op, cost: 6, arg: k<<20 | f.Arg, b: uint16(a.Arg)}, true
+}
+
+// fuseQuad matches the two four-instruction accumulator rules.
 func fuseQuad(a, b, c, d Instr) (cinstr, bool) {
 	if a.Op != OpLdg || d.Op != OpStg {
 		return cinstr{}, false
@@ -311,12 +446,11 @@ func fuseQuad(a, b, c, d Instr) (cinstr, bool) {
 	return cinstr{}, false
 }
 
-// fusePair matches one peephole rule. Every rule's first constituent is
-// a pure stack operation — this is a hard requirement: when the budget
-// expires between the halves of a pair the interpreter suppresses the
-// whole pair, which is only equivalent to the unfused execution if the
-// first half touched nothing but the (discarded) operand stack. A
-// Stg;Ldg rule would violate it, which is why there is none.
+// fusePair matches one peephole rule. Rules are free to span impure
+// constituents: a budget expiry or trap inside a fused instruction is
+// replayed through the exact architectural interpreter (runSlow), so
+// equivalence with the unfused execution never depends on which
+// constituents were skipped.
 func fusePair(a, b Instr) (cinstr, bool) {
 	switch a.Op {
 	case OpPush:
@@ -373,60 +507,6 @@ func fusePair(a, b Instr) (cinstr, bool) {
 		}
 	}
 	return cinstr{}, false
-}
-
-// prefixTrap reports the trap the first k architectural constituents of
-// a fused instruction would raise at stack depth sp, for the case where
-// the instruction budget expires mid-instruction: the per-instruction
-// scheme would have executed those k pure constituents first, and a trap
-// one of them raises beats the budget trap.
-func prefixTrap(op cop, k, sp int) error {
-	switch op {
-	case cAddI, cSubI, cMulI, cPushStg, cLdgLdg, cLdgPush,
-		cLdgJz, cLdgJnz, cLdgPwr, cArgStg, cArgPwr:
-		// First constituent pushes one word.
-		if sp >= maxStack {
-			return ErrStackOverflow
-		}
-	case cAddStg, cSubStg, cMulStg, cCmpJz, cCmpJnz:
-		// First constituent is a binary op.
-		if sp < 2 {
-			return ErrStackUnderflow
-		}
-	case cGAddG, cGIncI:
-		// Constituents 1 and 2 push; 3 (Add/Sub) then has depth >= 2.
-		if sp >= maxStack {
-			return ErrStackOverflow
-		}
-		if k >= 2 && sp+1 >= maxStack {
-			return ErrStackOverflow
-		}
-	}
-	return nil
-}
-
-// trapAttempt returns how many architectural constituents of the
-// instruction the per-instruction interpreter would have attempted
-// (counting the trapping one) before raising the trap the fused
-// execution just raised at stack depth sp. The budget and Instructions
-// accounting charges exactly that many instructions, keeping trap
-// statistics identical to the unfused form.
-func trapAttempt(op cop, sp int) int {
-	switch op {
-	case cAddI, cSubI, cMulI:
-		if sp >= maxStack {
-			return 1 // the Push overflowed
-		}
-		return 2 // the Push succeeded, the binary op underflowed
-	case cLdgLdg, cLdgPush, cGAddG, cGIncI:
-		if sp >= maxStack {
-			return 1 // the first push overflowed
-		}
-		return 2 // the second push overflowed
-	}
-	// Every other rule (and every architectural op) traps on its first
-	// constituent.
-	return 1
 }
 
 // compare evaluates an architectural comparison op for the fused

@@ -1,0 +1,251 @@
+package dataflow
+
+import "dynautosar/internal/vm"
+
+// This file is the constant/stack-shape client: it maps operand-stack
+// slots to abstract values (virtual registers), tracking which hold
+// statically known constants. The optimizer's folding rules and the
+// -dump-facts output both read these facts; handler contexts start at
+// absolute depth 0, so slot indices are absolute.
+
+// StackValue is the abstract value of one operand-stack slot.
+type StackValue struct {
+	Known bool
+	K     int64
+}
+
+// Shape is the abstract operand stack at one point: a value per slot,
+// bottom first. Valid is false at points where joining paths disagree
+// on the stack depth (or an opaque call made the depth unknowable); an
+// invalid shape carries no information.
+type Shape struct {
+	Valid bool
+	Vals  []StackValue
+}
+
+// Depth returns the stack depth, or -1 when the shape is invalid.
+func (s Shape) Depth() int {
+	if !s.Valid {
+		return -1
+	}
+	return len(s.Vals)
+}
+
+type shapeFact struct{ s Shape }
+
+func (a shapeFact) Join(other Fact) (Fact, bool) {
+	b := other.(shapeFact)
+	if !a.s.Valid {
+		return a, false
+	}
+	if !b.s.Valid || len(a.s.Vals) != len(b.s.Vals) {
+		return shapeFact{Shape{Valid: false}}, true
+	}
+	changed := false
+	merged := a
+	for i, av := range a.s.Vals {
+		bv := b.s.Vals[i]
+		if av.Known && (!bv.Known || av.K != bv.K) {
+			if !changed {
+				merged = shapeFact{Shape{Valid: true, Vals: append([]StackValue(nil), a.s.Vals...)}}
+				changed = true
+			}
+			merged.s.Vals[i] = StackValue{}
+		}
+	}
+	return merged, changed
+}
+
+// shapeClient needs callee stack summaries to model CALL depth changes.
+type shapeClient struct{ sa *StackAnalysis }
+
+func (c *shapeClient) Transfer(pc int32, ins vm.Instr, f Fact) (Fact, bool) {
+	s := f.(shapeFact).s
+	invalid := shapeFact{Shape{Valid: false}}
+	if !s.Valid {
+		if ins.Op == vm.OpCall {
+			if sum := c.sa.Summaries[ins.Arg]; sum != nil {
+				return invalid, sum.HasRet
+			}
+			return invalid, false
+		}
+		return invalid, true
+	}
+	vals := append([]StackValue(nil), s.Vals...)
+	pop := func() StackValue {
+		if len(vals) == 0 {
+			// Underflow: unreachable on verified input; degrade.
+			return StackValue{}
+		}
+		v := vals[len(vals)-1]
+		vals = vals[:len(vals)-1]
+		return v
+	}
+	push := func(v StackValue) { vals = append(vals, v) }
+	out := func() (Fact, bool) { return shapeFact{Shape{Valid: true, Vals: vals}}, true }
+
+	switch ins.Op {
+	case vm.OpPush:
+		push(StackValue{Known: true, K: int64(ins.Arg)})
+		return out()
+	case vm.OpLdg, vm.OpPrd, vm.OpArg, vm.OpPort, vm.OpClock:
+		push(StackValue{})
+		return out()
+	case vm.OpPop, vm.OpStg, vm.OpPwr, vm.OpTset, vm.OpJz, vm.OpJnz:
+		pop()
+		return out()
+	case vm.OpDup:
+		v := pop()
+		push(v)
+		push(v)
+		return out()
+	case vm.OpSwap:
+		b, a := pop(), pop()
+		push(b)
+		push(a)
+		return out()
+	case vm.OpOver:
+		b, a := pop(), pop()
+		push(a)
+		push(b)
+		push(a)
+		return out()
+	case vm.OpNeg, vm.OpAbs, vm.OpNot:
+		v := pop()
+		if r, ok := foldUnop(ins.Op, v); ok {
+			push(r)
+		} else {
+			push(StackValue{})
+		}
+		return out()
+	case vm.OpAdd, vm.OpSub, vm.OpMul, vm.OpDiv, vm.OpMod, vm.OpMin, vm.OpMax,
+		vm.OpAnd, vm.OpOr, vm.OpXor, vm.OpShl, vm.OpShr,
+		vm.OpEq, vm.OpNe, vm.OpLt, vm.OpLe, vm.OpGt, vm.OpGe:
+		b, a := pop(), pop()
+		if r, ok := foldBinop(ins.Op, a, b); ok {
+			push(r)
+		} else {
+			push(StackValue{})
+		}
+		return out()
+	case vm.OpCall:
+		sum := c.sa.Summaries[ins.Arg]
+		if sum == nil {
+			return invalid, false
+		}
+		// The callee sees (and may consume) our slots; after the call the
+		// depth changed by the return delta and every value is opaque.
+		if !sum.HasRet || sum.RetLo != sum.RetHi {
+			return invalid, sum != nil && sum.HasRet
+		}
+		d := len(vals) + sum.RetLo
+		if d < 0 {
+			return invalid, true
+		}
+		return shapeFact{Shape{Valid: true, Vals: make([]StackValue, d)}}, true
+	case vm.OpRet, vm.OpHalt:
+		return f, false
+	default:
+		// OpNop, OpJmp, OpTclr, OpLog: stack-neutral.
+		return out()
+	}
+}
+
+// foldUnop evaluates a unary operator over an abstract value, following
+// the interpreter's exact semantics.
+func foldUnop(op vm.Op, v StackValue) (StackValue, bool) {
+	if !v.Known {
+		return StackValue{}, false
+	}
+	switch op {
+	case vm.OpNeg:
+		return StackValue{Known: true, K: -v.K}, true
+	case vm.OpAbs:
+		if v.K < 0 {
+			return StackValue{Known: true, K: -v.K}, true
+		}
+		return v, true
+	case vm.OpNot:
+		return StackValue{Known: true, K: ^v.K}, true
+	}
+	return StackValue{}, false
+}
+
+// foldBinop evaluates a binary operator over abstract values (a is the
+// second-from-top operand, b the top), following the interpreter's
+// exact semantics; Div/Mod by a known zero do not fold (they trap).
+func foldBinop(op vm.Op, a, b StackValue) (StackValue, bool) {
+	if !a.Known || !b.Known {
+		return StackValue{}, false
+	}
+	word := func(c bool) (StackValue, bool) {
+		if c {
+			return StackValue{Known: true, K: 1}, true
+		}
+		return StackValue{Known: true, K: 0}, true
+	}
+	switch op {
+	case vm.OpAdd:
+		return StackValue{Known: true, K: a.K + b.K}, true
+	case vm.OpSub:
+		return StackValue{Known: true, K: a.K - b.K}, true
+	case vm.OpMul:
+		return StackValue{Known: true, K: a.K * b.K}, true
+	case vm.OpDiv:
+		if b.K == 0 {
+			return StackValue{}, false
+		}
+		return StackValue{Known: true, K: a.K / b.K}, true
+	case vm.OpMod:
+		if b.K == 0 {
+			return StackValue{}, false
+		}
+		return StackValue{Known: true, K: a.K % b.K}, true
+	case vm.OpMin:
+		if b.K < a.K {
+			return b, true
+		}
+		return a, true
+	case vm.OpMax:
+		if b.K > a.K {
+			return b, true
+		}
+		return a, true
+	case vm.OpAnd:
+		return StackValue{Known: true, K: a.K & b.K}, true
+	case vm.OpOr:
+		return StackValue{Known: true, K: a.K | b.K}, true
+	case vm.OpXor:
+		return StackValue{Known: true, K: a.K ^ b.K}, true
+	case vm.OpShl:
+		return StackValue{Known: true, K: a.K << uint64(b.K&63)}, true
+	case vm.OpShr:
+		return StackValue{Known: true, K: a.K >> uint64(b.K&63)}, true
+	case vm.OpEq:
+		return word(a.K == b.K)
+	case vm.OpNe:
+		return word(a.K != b.K)
+	case vm.OpLt:
+		return word(a.K < b.K)
+	case vm.OpLe:
+		return word(a.K <= b.K)
+	case vm.OpGt:
+		return word(a.K > b.K)
+	case vm.OpGe:
+		return word(a.K >= b.K)
+	}
+	return StackValue{}, false
+}
+
+// Shapes runs the constant/shape analysis over one handler context and
+// returns the shape at each visited block head. The stack analysis
+// supplies callee summaries; entry must be a handler entry (absolute
+// depth 0).
+func (sa *StackAnalysis) Shapes(entry int32) map[int32]Shape {
+	run := sa.Graph.Forward(entry, shapeFact{Shape{Valid: true}}, &shapeClient{sa: sa})
+	out := make(map[int32]Shape, len(run.In))
+	for head, f := range run.In {
+		out[head] = f.(shapeFact).s
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dynautosar/internal/vm"
+)
+
+// DumpCFG renders the program's control-flow structure: basic blocks
+// with their instructions, successors, and the call graph — the
+// debugging surface behind `pluginc -dump-cfg`.
+func DumpCFG(g *Graph) string {
+	var b strings.Builder
+	p := g.Prog
+	fmt.Fprintf(&b, "program %q v%s: %d instructions, %d handlers, %d subroutines\n",
+		p.Name, p.Version, g.N, len(p.Handlers), len(g.SubOrder))
+	for _, h := range p.Handlers {
+		fmt.Fprintf(&b, "handler %v/%d entry=%d\n", h.Kind, h.Index, h.Entry)
+	}
+	for _, e := range g.SubOrder {
+		fmt.Fprintf(&b, "subroutine entry=%d chain=%d callees=%v\n", e, g.Chain[e], g.Callees[e])
+	}
+	for pc := int32(0); pc < g.N; pc++ {
+		if g.Leaders[pc] {
+			fmt.Fprintf(&b, "block %d:\n", pc)
+		}
+		ins := p.Code[pc]
+		fmt.Fprintf(&b, "  %4d  %v", pc, ins.Op)
+		switch ins.Op {
+		case vm.OpJmp, vm.OpJz, vm.OpJnz, vm.OpCall:
+			fmt.Fprintf(&b, " -> %d", ins.Arg)
+		case vm.OpPush, vm.OpLdg, vm.OpStg, vm.OpPrd, vm.OpPwr, vm.OpTset, vm.OpTclr, vm.OpLog:
+			fmt.Fprintf(&b, " %d", ins.Arg)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DumpFacts renders the analysis facts over the program: per-handler
+// stack intervals and shapes at block heads, global liveness, and
+// per-loop static cost — the surface behind `pluginc -dump-facts`.
+func DumpFacts(g *Graph) string {
+	var b strings.Builder
+	p := g.Prog
+	sa := NewStackAnalysis(g)
+	for _, e := range g.Contexts() {
+		if _, cerr := sa.Context(e); cerr != nil {
+			fmt.Fprintf(&b, "context %d: %v\n", e, cerr)
+			return b.String()
+		}
+	}
+	for _, h := range p.Handlers {
+		sum := sa.Summaries[h.Entry]
+		if sum == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "handler %v/%d entry=%d: need=%d high=%d ret=[%d,%d] hasRet=%v\n",
+			h.Kind, h.Index, h.Entry, sum.WorstNeed, sum.WorstHigh, sum.RetLo, sum.RetHi, sum.HasRet)
+		shapes := sa.Shapes(h.Entry)
+		heads := make([]int32, 0, len(shapes))
+		for head := range shapes {
+			heads = append(heads, head)
+		}
+		sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+		for _, head := range heads {
+			s := shapes[head]
+			iv := sum.Run.In[head].(intervalFact).iv
+			fmt.Fprintf(&b, "  block %d: depth=[%d,%d]", head, iv.Lo, iv.Hi)
+			if s.Valid {
+				fmt.Fprintf(&b, " shape=%s", shapeString(s))
+			} else {
+				b.WriteString(" shape=?")
+			}
+			b.WriteByte('\n')
+		}
+	}
+	live := LiveGlobals(g)
+	for pc := int32(0); pc < g.N; pc++ {
+		ins := p.Code[pc]
+		if ins.Op == vm.OpStg {
+			state := "live"
+			if !live[pc].Has(ins.Arg) {
+				state = "dead"
+			}
+			fmt.Fprintf(&b, "store g%d at %d: %s\n", ins.Arg, pc, state)
+		}
+	}
+	for _, lc := range LoopCosts(g) {
+		fmt.Fprintf(&b, "loop header=%d backedge=%d iter-cost=%d\n", lc.Header, lc.Backedge, lc.Cost)
+	}
+	return b.String()
+}
+
+func shapeString(s Shape) string {
+	parts := make([]string, len(s.Vals))
+	for i, v := range s.Vals {
+		if v.Known {
+			parts[i] = fmt.Sprintf("%d", v.K)
+		} else {
+			parts[i] = "?"
+		}
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,158 @@
+package dataflow
+
+import "dynautosar/internal/vm"
+
+// Fact is one lattice element. Implementations are immutable values:
+// Join returns the merged fact and reports whether it differs from the
+// receiver (the fixpoint's change detection). Facts must form a finite
+// lattice (or clamp themselves into one) so iteration terminates.
+type Fact interface {
+	Join(other Fact) (merged Fact, changed bool)
+}
+
+// Client supplies the transfer function of one analysis.
+//
+// Transfer maps the fact holding immediately before the instruction at
+// pc to the fact after it. The engine routes the result:
+//
+//   - OpJmp: flows to the jump target;
+//   - OpJz/OpJnz: the returned (post-pop) fact flows to both the target
+//     and the fall-through;
+//   - OpCall: the returned fact is the post-return state at the return
+//     site, and cont reports whether the callee can return at all (a
+//     client applies its cached callee summary here);
+//   - OpRet/OpHalt: no successor — the client records any exit
+//     observation itself and the returned fact is ignored;
+//   - everything else: flows to pc+1, cont must be true.
+//
+// Transfer must not mutate its input fact: the same value may flow
+// along several edges.
+type Client interface {
+	Transfer(pc int32, ins vm.Instr, f Fact) (out Fact, cont bool)
+}
+
+// Run is the fixpoint of one context: the joined fact at every visited
+// block head, plus the first-predecessor tree for counterexample paths.
+type Run struct {
+	// Entry is the context entry the run was seeded at.
+	Entry int32
+	// In holds the fixpoint fact at each visited block head.
+	In map[int32]Fact
+	// From maps each visited block head to the head it was first reached
+	// from (the entry has no predecessor).
+	From map[int32]int32
+	// FellOff reports that some path runs past the end of the code;
+	// FellOffPC is the final instruction index when it does.
+	FellOff   bool
+	FellOffPC int32
+
+	graph *Graph
+}
+
+// Forward runs the worklist fixpoint over the context rooted at entry:
+// blocks are re-walked until no block-head fact changes. Within a block
+// the engine walks straight-line code instruction by instruction,
+// calling the client's Transfer at each pc with the current fact.
+func (g *Graph) Forward(entry int32, seed Fact, cl Client) *Run {
+	r := &Run{
+		Entry: entry,
+		In:    map[int32]Fact{entry: seed},
+		From:  make(map[int32]int32),
+		graph: g,
+	}
+	queue := []int32{entry}
+	queued := map[int32]bool{entry: true}
+
+	edge := func(from, to int32, f Fact) {
+		if to >= g.N {
+			if !r.FellOff {
+				r.FellOff = true
+				r.FellOffPC = g.N - 1
+			}
+			return
+		}
+		merged, changed := f, true
+		if old, ok := r.In[to]; ok {
+			merged, changed = old.Join(f)
+		}
+		if changed {
+			r.In[to] = merged
+			if _, seen := r.From[to]; !seen && to != entry {
+				r.From[to] = from
+			}
+			if !queued[to] {
+				queued[to] = true
+				queue = append(queue, to)
+			}
+		}
+	}
+
+	for len(queue) > 0 {
+		head := queue[0]
+		queue = queue[1:]
+		queued[head] = false
+		f := r.In[head]
+		pc := head
+	walk:
+		for {
+			ins := g.Prog.Code[pc]
+			out, cont := cl.Transfer(pc, ins, f)
+			switch ins.Op {
+			case vm.OpJmp:
+				edge(head, ins.Arg, out)
+				break walk
+			case vm.OpJz, vm.OpJnz:
+				edge(head, ins.Arg, out)
+				edge(head, pc+1, out)
+				break walk
+			case vm.OpCall:
+				if cont {
+					edge(head, pc+1, out)
+				}
+				break walk
+			case vm.OpRet, vm.OpHalt:
+				break walk
+			default:
+				f = out
+				if pc+1 >= g.N || g.Leaders[pc+1] {
+					edge(head, pc+1, f)
+					break walk
+				}
+				pc++
+			}
+		}
+	}
+	return r
+}
+
+// Path walks the first-predecessor chain from the block containing pc
+// back to the run's entry, returning entry-first block heads — the
+// counterexample path format of the verifier.
+func (r *Run) Path(pc int32) []int32 {
+	// Find the head of the block containing pc: the nearest visited head
+	// at or below pc. The From map keys every visited non-entry head.
+	head := pc
+	for head > r.Entry {
+		if _, ok := r.From[head]; ok {
+			break
+		}
+		head--
+	}
+	var rev []int32
+	for {
+		rev = append(rev, head)
+		if head == r.Entry || len(rev) > len(r.graph.Prog.Code) {
+			break
+		}
+		prev, ok := r.From[head]
+		if !ok {
+			break
+		}
+		head = prev
+	}
+	path := make([]int32, len(rev))
+	for i, h := range rev {
+		path[len(rev)-1-i] = h
+	}
+	return path
+}

@@ -1,0 +1,155 @@
+package dataflow
+
+import "dynautosar/internal/vm"
+
+// This file is the backward global-liveness analysis: which global
+// slots may still be read before being overwritten. The optimizer's
+// dead-store elimination and the -dump-facts output both read it.
+//
+// Observability makes the barriers: an activation's end (RET at frame
+// 0, HALT) exposes every global to the host (ExportGlobals, live
+// upgrade state transfer), and so does any instruction that can abort
+// the activation with a trap or error — DIV/MOD (division by zero) and
+// PWR (host write failure). CALL is opaque: the callee may read any
+// global or trap. At every such barrier all globals are live.
+//
+// Budget exhaustion is deliberately NOT a barrier: it can strike at any
+// instruction, so honoring it would make every global live everywhere
+// and forbid all dead-store elimination. The optimizer's contract
+// (DESIGN.md, translation validation) preserves the semantics of
+// budget-sufficient executions exactly and guarantees the optimized
+// program never executes more instructions than the original; the state
+// at a budget fault is the one behavioural surface allowed to differ.
+
+// GlobalSet is a bitset over global slots.
+type GlobalSet []uint64
+
+func newGlobalSet(n int32) GlobalSet { return make(GlobalSet, (n+63)/64) }
+
+func (s GlobalSet) Has(g int32) bool { return s[g>>6]&(1<<(uint(g)&63)) != 0 }
+func (s GlobalSet) add(g int32)      { s[g>>6] |= 1 << (uint(g) & 63) }
+
+func (s GlobalSet) setAll(n int32) {
+	for i := range s {
+		s[i] = ^uint64(0)
+	}
+	if r := uint(n) & 63; r != 0 && len(s) > 0 {
+		s[len(s)-1] = (1 << r) - 1
+	}
+}
+
+// or merges o into s and reports whether s changed.
+func (s GlobalSet) or(o GlobalSet) bool {
+	changed := false
+	for i, w := range o {
+		if s[i]|w != s[i] {
+			s[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s GlobalSet) clone() GlobalSet { return append(GlobalSet(nil), s...) }
+
+// Count returns the number of live slots.
+func (s GlobalSet) Count() int {
+	n := 0
+	for _, w := range s {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveGlobals computes, for every instruction, the set of global slots
+// live OUT of it (readable before overwritten on some path from its
+// successors). The result indexes by pc; instruction i's store to slot
+// g is dead when !result[i].Has(g).
+func LiveGlobals(g *Graph) []GlobalSet {
+	n := g.N
+	ng := g.Prog.Globals
+	liveOut := make([]GlobalSet, n)
+	liveIn := make([]GlobalSet, n)
+	for i := int32(0); i < n; i++ {
+		liveOut[i] = newGlobalSet(ng)
+		liveIn[i] = newGlobalSet(ng)
+	}
+
+	// Predecessor lists from the successor relation.
+	preds := make([][]int32, n)
+	addPred := func(to, from int32) {
+		if to >= 0 && to < n {
+			preds[to] = append(preds[to], from)
+		}
+	}
+	for i := int32(0); i < n; i++ {
+		switch ins := g.Prog.Code[i]; ins.Op {
+		case vm.OpJmp:
+			addPred(ins.Arg, i)
+		case vm.OpJz, vm.OpJnz:
+			addPred(ins.Arg, i)
+			addPred(i+1, i)
+		case vm.OpRet, vm.OpHalt:
+			// No successor; liveIn is seeded below.
+		default:
+			// OpCall falls through to its return site; the callee's reads
+			// are folded into the CALL's gen set.
+			addPred(i+1, i)
+		}
+	}
+
+	// transfer computes liveIn[i] from liveOut[i].
+	transfer := func(i int32) GlobalSet {
+		ins := g.Prog.Code[i]
+		in := liveOut[i].clone()
+		switch ins.Op {
+		case vm.OpRet, vm.OpHalt:
+			// Activation boundary: every global is observable.
+			in.setAll(ng)
+		case vm.OpDiv, vm.OpMod, vm.OpPwr, vm.OpCall:
+			// May trap/fail (aborting with all globals observable) or, for
+			// CALL, read anything. Conservative: everything live before.
+			in.setAll(ng)
+		case vm.OpStg:
+			// Kill, then no gen.
+			in[ins.Arg>>6] &^= 1 << (uint(ins.Arg) & 63)
+		case vm.OpLdg:
+			in.add(ins.Arg)
+		default:
+			// Falling off the end is rejected by the verifier; treat a
+			// final instruction with an out-of-range successor as a
+			// boundary for robustness.
+			if i+1 >= n {
+				in.setAll(ng)
+			}
+		}
+		return in
+	}
+
+	// Backward worklist to fixpoint. liveOut only grows, transfer is
+	// monotone in liveOut (each instruction's kill set is fixed), so
+	// liveIn only grows and the or() result is the change signal.
+	queue := make([]int32, 0, n)
+	queued := make([]bool, n)
+	for i := n - 1; i >= 0; i-- {
+		queue = append(queue, i)
+		queued[i] = true
+	}
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		queued[i] = false
+		if !liveIn[i].or(transfer(i)) {
+			continue
+		}
+		for _, p := range preds[i] {
+			if liveOut[p].or(liveIn[i]) && !queued[p] {
+				queued[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	return liveOut
+}

@@ -1,0 +1,363 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+
+	"dynautosar/internal/vm"
+)
+
+func mustAssemble(t *testing.T, src string) *vm.Program {
+	t.Helper()
+	p, err := vm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// ops renders the optimized code as a mnemonic string for golden
+// comparisons.
+func ops(p *vm.Program) string {
+	var b strings.Builder
+	for i, ins := range p.Code {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(ins.Op.String())
+	}
+	return b.String()
+}
+
+const sumSrc = `
+.plugin sum 1.0
+.port n required
+.port out provided
+.globals 2
+on_message n:
+	ARG
+	STG 0
+	PUSH 0
+	STG 1
+loop:
+	LDG 0
+	JZ done
+	LDG 1
+	LDG 0
+	ADD
+	STG 1
+	LDG 0
+	PUSH 1
+	SUB
+	STG 0
+	JMP loop
+done:
+	LDG 1
+	PWR out
+	RET
+`
+
+// TestRotateSumLoop pins the rotation pass on the benchmark loop: the
+// backward JMP is replaced by a re-test (LDG; JNZ) at the backedge —
+// the exact shape the vm compiler fuses into its loop superinstruction.
+func TestRotateSumLoop(t *testing.T) {
+	p := mustAssemble(t, sumSrc)
+	opt, st := Optimize(p)
+	if st.Rotated != 1 {
+		t.Fatalf("expected 1 rotation, got stats %+v", st)
+	}
+	want := "ARG STG PUSH STG LDG JZ LDG LDG ADD STG LDG PUSH SUB STG LDG JNZ LDG PWR RET"
+	if got := ops(opt); got != want {
+		t.Fatalf("rotated code mismatch:\n got  %s\n want %s", got, want)
+	}
+	// The backedge must re-test the counter and jump into the body.
+	jnz := opt.Code[15]
+	if jnz.Op != vm.OpJnz || jnz.Arg != 6 {
+		t.Fatalf("backedge = %v %d, want JNZ 6", jnz.Op, jnz.Arg)
+	}
+}
+
+// TestFoldConstants pins binary/unary folding and fold chains.
+func TestFoldConstants(t *testing.T) {
+	p := mustAssemble(t, `
+.plugin fold 1.0
+.port out provided
+.globals 1
+on_init:
+	PUSH 6
+	PUSH 7
+	MUL
+	NEG
+	PUSH 2
+	ADD
+	PWR out
+	RET
+`)
+	opt, st := Optimize(p)
+	if st.Folded < 3 {
+		t.Fatalf("expected >=3 folds, got %+v", st)
+	}
+	if want := "PUSH PWR RET"; ops(opt) != want {
+		t.Fatalf("folded code = %s, want %s", ops(opt), want)
+	}
+	if got := opt.Code[0].Arg; got != -40 {
+		t.Fatalf("folded constant = %d, want -40", got)
+	}
+}
+
+// TestFoldDivByZeroKept pins that division by a known zero does NOT
+// fold: the trap must stay.
+func TestFoldDivByZeroKept(t *testing.T) {
+	p := mustAssemble(t, `
+.plugin divz 1.0
+.globals 1
+on_init:
+	PUSH 6
+	PUSH 0
+	DIV
+	STG 0
+	RET
+`)
+	opt, _ := Optimize(p)
+	found := false
+	for _, ins := range opt.Code {
+		if ins.Op == vm.OpDiv {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("DIV by constant zero was folded away:\n%s", vm.Disassemble(opt))
+	}
+}
+
+// TestBranchSimplification pins PUSH k; JZ/JNZ folding both ways.
+func TestBranchSimplification(t *testing.T) {
+	p := mustAssemble(t, `
+.plugin br 1.0
+.globals 2
+on_init:
+	PUSH 0
+	JZ yes
+	PUSH 1
+	STG 0
+yes:
+	PUSH 1
+	JZ dead
+	PUSH 7
+	STG 1
+	RET
+dead:
+	PUSH 9
+	STG 0
+	RET
+`)
+	opt, st := Optimize(p)
+	if st.Folded < 2 {
+		t.Fatalf("expected >=2 branch folds, got %+v", st)
+	}
+	// Constant branches resolved: the taken JZ collapses (its fall-through
+	// becomes unreachable and is dropped), the untaken one disappears, and
+	// the dead tail is eliminated.
+	if want := "PUSH STG RET"; ops(opt) != want {
+		t.Fatalf("simplified code = %s, want %s\n%s", ops(opt), want, vm.Disassemble(opt))
+	}
+}
+
+// TestDeadStoreElimination pins liveness-based DSE: a store overwritten
+// before any read or barrier becomes a POP and its producer dies.
+func TestDeadStoreElimination(t *testing.T) {
+	p := mustAssemble(t, `
+.plugin dse 1.0
+.globals 1
+on_init:
+	PUSH 1
+	STG 0
+	PUSH 2
+	STG 0
+	RET
+`)
+	opt, st := Optimize(p)
+	if st.DeadStores != 1 {
+		t.Fatalf("expected 1 dead store, got %+v", st)
+	}
+	if want := "PUSH STG RET"; ops(opt) != want {
+		t.Fatalf("code after DSE = %s, want %s", ops(opt), want)
+	}
+	if opt.Code[0].Arg != 2 {
+		t.Fatalf("surviving store writes %d, want 2", opt.Code[0].Arg)
+	}
+}
+
+// TestDeadStoreKeptAcrossBarrier pins the barrier model: a store is NOT
+// dead when a potentially-trapping instruction (DIV) runs before the
+// overwrite, because a trap exposes the global.
+func TestDeadStoreKeptAcrossBarrier(t *testing.T) {
+	p := mustAssemble(t, `
+.plugin dsebar 1.0
+.port in required
+.globals 1
+on_message in:
+	PUSH 1
+	STG 0
+	PUSH 6
+	ARG
+	DIV
+	POP
+	PUSH 2
+	STG 0
+	RET
+`)
+	opt, st := Optimize(p)
+	if st.DeadStores != 0 {
+		t.Fatalf("store before DIV barrier eliminated: %+v\n%s", st, vm.Disassemble(opt))
+	}
+	_ = opt
+}
+
+// TestJumpThreading pins branch-to-branch retargeting.
+func TestJumpThreading(t *testing.T) {
+	p := mustAssemble(t, `
+.plugin thread 1.0
+.port in required
+.globals 1
+on_message in:
+	ARG
+	JZ hop
+	PUSH 1
+	STG 0
+	RET
+hop:
+	JMP end
+end:
+	PUSH 2
+	STG 0
+	RET
+`)
+	opt, st := Optimize(p)
+	if st.Threaded < 1 {
+		t.Fatalf("expected threading, got %+v", st)
+	}
+	for _, ins := range opt.Code {
+		if ins.Op == vm.OpJz && opt.Code[ins.Arg].Op == vm.OpJmp {
+			t.Fatalf("JZ still lands on a JMP:\n%s", vm.Disassemble(opt))
+		}
+	}
+}
+
+// TestPurePopElimination pins producer+POP deletion, including the
+// OpClock exclusion (a host call must not be deleted).
+func TestPurePopElimination(t *testing.T) {
+	p := mustAssemble(t, `
+.plugin pp 1.0
+.globals 1
+on_init:
+	LDG 0
+	POP
+	CLOCK
+	POP
+	PUSH 5
+	STG 0
+	RET
+`)
+	opt, _ := Optimize(p)
+	if want := "CLOCK POP PUSH STG RET"; ops(opt) != want {
+		t.Fatalf("code = %s, want %s", ops(opt), want)
+	}
+}
+
+// TestOptimizeRejectsUnsafe pins the precondition: a program the stack
+// analysis cannot prove safe is returned untouched.
+func TestOptimizeRejectsUnsafe(t *testing.T) {
+	p := &vm.Program{
+		Name:     "unsafe",
+		Globals:  1,
+		Handlers: []vm.Handler{{Kind: vm.HandlerInit, Entry: 0}},
+		Code: []vm.Instr{
+			{Op: vm.OpPop}, // underflow
+			{Op: vm.OpHalt},
+		},
+	}
+	opt, st := Optimize(p)
+	if st.Changed() || opt != p {
+		t.Fatalf("unsafe program was rewritten: %+v", st)
+	}
+}
+
+// TestShapes pins the constant/shape client: known constants propagate
+// to block heads, joins of disagreeing values degrade to unknown.
+func TestShapes(t *testing.T) {
+	p := mustAssemble(t, `
+.plugin shape 1.0
+.port in required
+.globals 1
+on_message in:
+	PUSH 3
+	ARG
+	JZ other
+	PUSH 10
+	JMP join
+other:
+	PUSH 10
+join:
+	ADD
+	STG 0
+	RET
+`)
+	g, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := NewStackAnalysis(g)
+	for _, e := range g.Contexts() {
+		if _, cerr := sa.Context(e); cerr != nil {
+			t.Fatal(cerr)
+		}
+	}
+	shapes := sa.Shapes(p.Handlers[0].Entry)
+	join := int32(6) // the "join" label: PUSH 3 and PUSH 10 on the stack
+	s, ok := shapes[join]
+	if !ok || !s.Valid || s.Depth() != 2 {
+		t.Fatalf("join shape = %+v", s)
+	}
+	if !s.Vals[0].Known || s.Vals[0].K != 3 || !s.Vals[1].Known || s.Vals[1].K != 10 {
+		t.Fatalf("join values = %+v, want [3 10]", s.Vals)
+	}
+}
+
+// TestLoopCosts pins the per-loop WCET on the sum loop: one iteration
+// of the unrotated loop is 11 architectural instructions (LDG JZ LDG
+// LDG ADD STG LDG PUSH SUB STG JMP).
+func TestLoopCosts(t *testing.T) {
+	p := mustAssemble(t, sumSrc)
+	g, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcs := LoopCosts(g)
+	if len(lcs) != 1 {
+		t.Fatalf("loops = %+v, want 1", lcs)
+	}
+	if lcs[0].Header != 4 || lcs[0].Cost != 11 {
+		t.Fatalf("loop = %+v, want header 4 cost 11", lcs[0])
+	}
+}
+
+// TestDumpSmoke keeps the dump surfaces rendering without panicking and
+// carrying the load-bearing lines.
+func TestDumpSmoke(t *testing.T) {
+	p := mustAssemble(t, sumSrc)
+	g, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DumpCFG(g)
+	if !strings.Contains(cfg, "block 4:") {
+		t.Fatalf("DumpCFG missing loop block:\n%s", cfg)
+	}
+	facts := DumpFacts(g)
+	for _, want := range []string{"loop header=4", "iter-cost=11", "store g1", "depth="} {
+		if !strings.Contains(facts, want) {
+			t.Fatalf("DumpFacts missing %q:\n%s", want, facts)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package dataflow
+
+import "dynautosar/internal/vm"
+
+// This file is the stack-depth interval client — the abstract
+// interpretation core the bytecode verifier (internal/verify) renders
+// its counterexamples from. Depths are relative to the context's entry
+// depth; a handler is checked with absolute entry depth 0.
+
+// Interval is a set of possible operand-stack depths.
+type Interval struct{ Lo, Hi int }
+
+// clamp bounds an interval so the fixpoint iteration terminates; the
+// bounds sit outside the provable range, so a clamped interval always
+// carries a violation with it.
+func (iv Interval) clamp() Interval {
+	const bound = vm.MaxStack + 2
+	if iv.Lo < -bound {
+		iv.Lo = -bound
+	}
+	if iv.Hi > bound {
+		iv.Hi = bound
+	}
+	return iv
+}
+
+func (iv Interval) add(d int) Interval { return Interval{iv.Lo + d, iv.Hi + d} }
+
+func unionIv(a, b Interval) Interval {
+	if b.Lo < a.Lo {
+		a.Lo = b.Lo
+	}
+	if b.Hi > a.Hi {
+		a.Hi = b.Hi
+	}
+	return a
+}
+
+// intervalFact adapts Interval to the engine's Fact.
+type intervalFact struct{ iv Interval }
+
+func (a intervalFact) Join(other Fact) (Fact, bool) {
+	m := unionIv(a.iv, other.(intervalFact).iv)
+	return intervalFact{m}, m != a.iv
+}
+
+// Witness pins a potential violation to an instruction and the context
+// it lives in, for counterexample reconstruction.
+type Witness struct {
+	PC  int32
+	Op  vm.Op
+	Ctx int32 // entry of the context the pc lives in
+	// Calls lists the CALL pcs crossed outward-in when the violation
+	// lives in a subroutine of the reporting context.
+	Calls []int32
+}
+
+// StackSummary is the analyzed result of one context (a handler body or
+// a subroutine body), in depths relative to its entry.
+type StackSummary struct {
+	Entry int32
+	// WorstNeed is the operand depth the context requires on entry; 0
+	// means none. NeedW witnesses the dominating requirement.
+	WorstNeed int
+	NeedW     Witness
+	// WorstHigh is the highest depth (relative to entry) reached by a
+	// push, valid when HasHigh; HighW witnesses it.
+	WorstHigh int
+	HasHigh   bool
+	HighW     Witness
+	// RetLo/RetHi bound the net depth change over all reachable RETs;
+	// HasRet is false when no RET is reachable (the call never returns).
+	RetLo, RetHi int
+	HasRet       bool
+	// Run is the engine fixpoint, kept for path reconstruction.
+	Run *Run
+}
+
+func (r *StackSummary) noteNeed(need int, w Witness) {
+	if need > r.WorstNeed {
+		r.WorstNeed = need
+		r.NeedW = w
+	}
+}
+
+func (r *StackSummary) noteHigh(high int, w Witness) {
+	if !r.HasHigh || high > r.WorstHigh {
+		r.HasHigh = true
+		r.WorstHigh = high
+		r.HighW = w
+	}
+}
+
+func (r *StackSummary) noteRet(iv Interval) {
+	if !r.HasRet {
+		r.HasRet = true
+		r.RetLo, r.RetHi = iv.Lo, iv.Hi
+		return
+	}
+	m := unionIv(Interval{r.RetLo, r.RetHi}, iv)
+	r.RetLo, r.RetHi = m.Lo, m.Hi
+}
+
+// ContextError reports a control failure found while analyzing one
+// context: control running past the end of the code, or (fail-closed,
+// unreachable when contexts are analyzed callee-first) a CALL whose
+// target has no cached summary.
+type ContextError struct {
+	Entry   int32
+	PC      int32
+	Op      vm.Op
+	Missing bool // true: unsummarized CALL target; false: fell off the end
+	Path    []int32
+}
+
+func (e *ContextError) Error() string {
+	if e.Missing {
+		return "dataflow: CALL target was not summarized"
+	}
+	return "dataflow: control can run past the end of the code"
+}
+
+// StackAnalysis caches stack summaries per context over one graph.
+type StackAnalysis struct {
+	Graph     *Graph
+	Summaries map[int32]*StackSummary
+}
+
+func NewStackAnalysis(g *Graph) *StackAnalysis {
+	return &StackAnalysis{Graph: g, Summaries: make(map[int32]*StackSummary)}
+}
+
+// stackClient is the engine client recording witnesses into a summary.
+type stackClient struct {
+	sa        *StackAnalysis
+	res       *StackSummary
+	missingPC int32 // -1, or the pc of a CALL with no cached summary
+}
+
+func (c *stackClient) Transfer(pc int32, ins vm.Instr, f Fact) (Fact, bool) {
+	iv := f.(intervalFact).iv
+	entry := c.res.Entry
+	need, delta, push := ins.Op.StackEffect()
+	if need > 0 {
+		c.res.noteNeed(need-iv.Lo, Witness{PC: pc, Op: ins.Op, Ctx: entry})
+	}
+	if push {
+		c.res.noteHigh(iv.Hi+1, Witness{PC: pc, Op: ins.Op, Ctx: entry})
+	}
+	switch ins.Op {
+	case vm.OpCall:
+		sum := c.sa.Summaries[ins.Arg]
+		if sum == nil {
+			if c.missingPC < 0 {
+				c.missingPC = pc
+			}
+			return f, false
+		}
+		if sum.WorstNeed > 0 {
+			c.res.noteNeed(sum.WorstNeed-iv.Lo,
+				Witness{PC: sum.NeedW.PC, Op: sum.NeedW.Op, Ctx: sum.NeedW.Ctx,
+					Calls: append([]int32{pc}, sum.NeedW.Calls...)})
+		}
+		if sum.HasHigh {
+			c.res.noteHigh(iv.Hi+sum.WorstHigh,
+				Witness{PC: sum.HighW.PC, Op: sum.HighW.Op, Ctx: sum.HighW.Ctx,
+					Calls: append([]int32{pc}, sum.HighW.Calls...)})
+		}
+		return intervalFact{Interval{iv.Lo + sum.RetLo, iv.Hi + sum.RetHi}.clamp()}, sum.HasRet
+	case vm.OpRet:
+		c.res.noteRet(iv)
+		return f, false
+	case vm.OpHalt:
+		return f, false
+	default:
+		// Includes OpJmp (delta 0) and OpJz/OpJnz (post-pop fact flows to
+		// both successors).
+		return intervalFact{iv.add(delta).clamp()}, true
+	}
+}
+
+// Context analyzes (or returns the cached summary of) one context.
+// Callee summaries must already be cached — analyze in Graph.Contexts
+// order. A ContextError means the context (and the program) is
+// rejected; its summary is not cached.
+func (sa *StackAnalysis) Context(entry int32) (*StackSummary, *ContextError) {
+	if s, ok := sa.Summaries[entry]; ok {
+		return s, nil
+	}
+	res := &StackSummary{Entry: entry}
+	cl := &stackClient{sa: sa, res: res, missingPC: -1}
+	run := sa.Graph.Forward(entry, intervalFact{Interval{0, 0}}, cl)
+	res.Run = run
+	if cl.missingPC >= 0 {
+		return nil, &ContextError{Entry: entry, PC: cl.missingPC, Op: vm.OpCall, Missing: true}
+	}
+	if run.FellOff {
+		pc := run.FellOffPC
+		return nil, &ContextError{
+			Entry: entry, PC: pc, Op: sa.Graph.Prog.Code[pc].Op,
+			Path: run.Path(pc),
+		}
+	}
+	sa.Summaries[entry] = res
+	return res, nil
+}
+
+// Path reconstructs the block path to a witness inside the context the
+// witness lives in (the innermost subroutine for call-propagated
+// violations). Nil when that context was not analyzed.
+func (sa *StackAnalysis) Path(w Witness) []int32 {
+	if s, ok := sa.Summaries[w.Ctx]; ok {
+		return s.Run.Path(w.PC)
+	}
+	return nil
+}

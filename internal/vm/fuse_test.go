@@ -12,9 +12,9 @@ import (
 // Golden equivalence tests of the superinstruction fusion pass: a fused
 // program must be observationally identical to its unfused form — host
 // calls, globals, return values, trap identity and budget accounting,
-// Instructions statistics included (trapAttempt charges a trapping
-// fused op at exactly the constituent the per-instruction form would
-// have reached).
+// Instructions statistics included (a trapping or budget-straddling
+// fused op is replayed architecturally by runSlow, charging exactly the
+// constituent the per-instruction form would have reached).
 
 // traceHost records every observable host interaction.
 type traceHost struct {
@@ -248,6 +248,81 @@ on_message in:
 	PWR out
 	RET
 `,
+	// The rotated form of sum-loop: the decrement-test-branch backedge
+	// fuses into cGIncJnz (impure constituents, legal since runSlow
+	// replays traps exactly), and the loop body runs check-free.
+	"rotated-sum": `
+.plugin rsum 1.0
+.port n required
+.port out provided
+.globals 2
+on_message n:
+	ARG
+	STG 0
+	PUSH 0
+	STG 1
+	LDG 0
+	JZ done
+body:
+	LDG 1
+	LDG 0
+	ADD
+	STG 1
+	LDG 0
+	PUSH 1
+	SUB
+	STG 0
+	LDG 0
+	JNZ body
+done:
+	LDG 1
+	PWR out
+	RET
+`,
+	// cGIncJz with a forward taken target: count down, exit on zero.
+	"hex-jz-exit": `
+.plugin hjz 1.0
+.port in required
+.port out provided
+.globals 1
+on_message in:
+	ARG
+	STG 0
+loop:
+	LDG 0
+	PUSH 1
+	SUB
+	STG 0
+	LDG 0
+	JZ done
+	JMP loop
+done:
+	PUSH 99
+	PWR out
+	RET
+`,
+	// cGIncJz with a backward target: for value 0 the increment of 0
+	// keeps the global at zero and the loop spins until the budget
+	// trap, pinning exact accounting through the fused backedge.
+	"hex-jz-spin": `
+.plugin hspin 1.0
+.port in required
+.port out provided
+.globals 1
+on_message in:
+	ARG
+	STG 0
+spin:
+	LDG 0
+	PUSH 0
+	ADD
+	STG 0
+	LDG 0
+	JZ spin
+	LDG 0
+	PWR out
+	RET
+`,
 }
 
 func TestFusionEquivalence(t *testing.T) {
@@ -278,7 +353,9 @@ func TestFusionFires(t *testing.T) {
 	for _, ins := range comp.code {
 		counts[ins.op]++
 	}
-	for _, want := range []cop{cGAddG, cGIncI, cLdgJz, cArgStg, cPushStg, cLdgPwr} {
+	// The loop-exit branch jumps forward, so hoisting strips its budget
+	// check: cLdgJzN, not cLdgJz.
+	for _, want := range []cop{cGAddG, cGIncI, cLdgJzN, cArgStg, cPushStg, cLdgPwr} {
 		if counts[want] == 0 {
 			t.Errorf("sum loop compiled without %v (got %v)", want, counts)
 		}
@@ -293,6 +370,64 @@ func TestFusionFires(t *testing.T) {
 	}
 	if !found {
 		t.Error("echo handler compiled without ARG.PWR")
+	}
+
+	rotated := mustAssemble(t, fusionSources["rotated-sum"])
+	found = false
+	for _, ins := range rotated.compiledForm().code {
+		if ins.op == cGIncJnz {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("rotated sum loop compiled without G.INC.JNZ")
+	}
+}
+
+// TestHexFusionDeepStack drives the cGIncJnz backedge at stack depths
+// where its transient +2 headroom overflows at the first or second
+// architectural constituent, pinning the runSlow replay: the trap must
+// land on exactly the constituent the per-instruction scheme reaches.
+func TestHexFusionDeepStack(t *testing.T) {
+	for _, pushes := range []int{254, 255, 256} {
+		code := []Instr{{Op: OpArg}, {Op: OpStg, Arg: 0}}
+		for i := 0; i < pushes; i++ {
+			code = append(code, Instr{Op: OpPush, Arg: 7})
+		}
+		loop := int32(len(code))
+		code = append(code,
+			Instr{Op: OpLdg, Arg: 0},
+			Instr{Op: OpPush, Arg: 1},
+			Instr{Op: OpSub},
+			Instr{Op: OpStg, Arg: 0},
+			Instr{Op: OpLdg, Arg: 0},
+			Instr{Op: OpJnz, Arg: loop},
+			Instr{Op: OpRet},
+		)
+		prog := &Program{
+			Name: "deep", Version: "1.0", Globals: 1,
+			Ports: []PortDecl{
+				{Name: "in", Direction: core.Required},
+				{Name: "out", Direction: core.Provided},
+			},
+			Handlers: []Handler{{Kind: HandlerMessage, Index: 0, Entry: 0}},
+			Code:     code,
+		}
+		if err := prog.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		fusedHex := false
+		for _, ins := range prog.compiledForm().code {
+			if ins.op == cGIncJnz {
+				fusedHex = true
+			}
+		}
+		if !fusedHex {
+			t.Fatalf("pushes=%d: backedge did not fuse into G.INC.JNZ", pushes)
+		}
+		for _, budget := range []int{0, 200, 260, 300, 1000} {
+			runBoth(t, prog, budget, 0, 3, -1)
+		}
 	}
 }
 

@@ -169,14 +169,20 @@ func (in *Instance) Timer(id int) error {
 //
 // The loop is the data plane's innermost ring and is built to dispatch,
 // not to bookkeep: the program counter, stack pointer and the cached
-// top-of-stack value live in locals; common instruction pairs were fused
-// into superinstructions at compile time (one dispatch, no intermediate
-// stack traffic); and the instruction-budget comparison runs once per
-// basic block — each control transfer pre-checks that the whole next
-// block fits the remaining budget, and only when it no longer does is
-// the `careful` per-instruction accounting switched on, which then traps
-// at exactly the architectural instruction the per-instruction scheme
-// would have (fuse_test.go pins this equivalence).
+// top-of-stack value live in locals; common instruction sequences were
+// fused into superinstructions at compile time (one dispatch, no
+// intermediate stack traffic); and the instruction-budget comparison
+// runs only at checked control transfers — each one pre-checks that the
+// worst-case cost to the *next* check (blockCost, which spans whole loop
+// iterations across check-free forward branches) fits the remaining
+// budget. When a pre-check fails, or a fused instruction detects a trap,
+// the activation is handed to runSlow, the exact per-architectural-
+// instruction interpreter, so traps and budget accounting land at
+// exactly the instruction the per-instruction scheme would have chosen
+// (fuse_test.go pins this equivalence). Because a trapping or
+// budget-straddling fused instruction is replayed architecturally
+// rather than reconstructed, fusion rules are free to include impure
+// constituents such as global stores.
 func (in *Instance) run(entry int32, arg int64, port int) error {
 	if in.stopped {
 		return ErrStopped
@@ -189,33 +195,19 @@ func (in *Instance) run(entry int32, arg int64, port int) error {
 	stack := &in.stack
 	budget := in.budget
 
+	if blockCost[entry] > int32(budget) {
+		return in.runSlow(entry, 0, 0, 0, 0, arg, port)
+	}
+
 	pc := entry
 	sp := 0       // logical stack depth; elements below the top sit at stack[1..sp-1]
 	var tos int64 // cached top of stack, authoritative when sp > 0
 	fp := 0
 	steps := 0
-	careful := blockCost[entry] > int32(budget)
 
 	var trap error
 	for {
 		ins := code[pc]
-		if careful && steps+int(ins.cost) > budget {
-			// Architecturally the budget expires after exactly `budget`
-			// executed instructions. The constituents of a fused op before
-			// that point are pure stack ops, so skipping them is
-			// unobservable — except for a trap one of them would have
-			// raised itself, which takes precedence over the budget trap
-			// and is charged at the trapping constituent's position.
-			in.Faults++
-			if k := budget - steps; k > 0 {
-				if pt := prefixTrap(ins.op, k, sp); pt != nil {
-					in.Instructions += uint64(steps + trapAttempt(ins.op, sp))
-					return fmt.Errorf("%w at pc %d (%v)", pt, pc, ins.op)
-				}
-			}
-			in.Instructions += uint64(budget)
-			return fmt.Errorf("%w (after %d instructions)", ErrBudget, budget)
-		}
 		steps += int(ins.cost)
 		next := pc + 1
 		switch ins.op {
@@ -426,7 +418,7 @@ func (in *Instance) run(entry int32, arg int64, port int) error {
 		case cJmp:
 			next = ins.arg
 			if blockCost[next] > int32(budget-steps) {
-				careful = true
+				return in.runSlow(next, sp, tos, fp, steps, arg, port)
 			}
 		case cJz:
 			if sp < 1 {
@@ -440,7 +432,7 @@ func (in *Instance) run(entry int32, arg int64, port int) error {
 				next = ins.arg
 			}
 			if blockCost[next] > int32(budget-steps) {
-				careful = true
+				return in.runSlow(next, sp, tos, fp, steps, arg, port)
 			}
 		case cJnz:
 			if sp < 1 {
@@ -454,7 +446,7 @@ func (in *Instance) run(entry int32, arg int64, port int) error {
 				next = ins.arg
 			}
 			if blockCost[next] > int32(budget-steps) {
-				careful = true
+				return in.runSlow(next, sp, tos, fp, steps, arg, port)
 			}
 		case cCall:
 			if fp >= maxFrames {
@@ -465,7 +457,7 @@ func (in *Instance) run(entry int32, arg int64, port int) error {
 			fp++
 			next = ins.arg
 			if blockCost[next] > int32(budget-steps) {
-				careful = true
+				return in.runSlow(next, sp, tos, fp, steps, arg, port)
 			}
 		case cRet:
 			if fp == 0 {
@@ -475,7 +467,7 @@ func (in *Instance) run(entry int32, arg int64, port int) error {
 			fp--
 			next = in.frames[fp]
 			if blockCost[next] > int32(budget-steps) {
-				careful = true
+				return in.runSlow(next, sp, tos, fp, steps, arg, port)
 			}
 		case cHalt:
 			in.Instructions += uint64(steps)
@@ -635,7 +627,7 @@ func (in *Instance) run(entry int32, arg int64, port int) error {
 				next = pc + 2
 			}
 			if blockCost[next] > int32(budget-steps) {
-				careful = true
+				return in.runSlow(next, sp, tos, fp, steps, arg, port)
 			}
 		case cLdgJnz:
 			if sp >= maxStack {
@@ -648,7 +640,7 @@ func (in *Instance) run(entry int32, arg int64, port int) error {
 				next = pc + 2
 			}
 			if blockCost[next] > int32(budget-steps) {
-				careful = true
+				return in.runSlow(next, sp, tos, fp, steps, arg, port)
 			}
 		case cLdgPwr:
 			if sp >= maxStack {
@@ -724,7 +716,7 @@ func (in *Instance) run(entry int32, arg int64, port int) error {
 				next = pc + 2
 			}
 			if blockCost[next] > int32(budget-steps) {
-				careful = true
+				return in.runSlow(next, sp, tos, fp, steps, arg, port)
 			}
 		case cCmpJnz:
 			if sp < 2 {
@@ -741,7 +733,7 @@ func (in *Instance) run(entry int32, arg int64, port int) error {
 				next = pc + 2
 			}
 			if blockCost[next] > int32(budget-steps) {
-				careful = true
+				return in.runSlow(next, sp, tos, fp, steps, arg, port)
 			}
 		case cGAddG:
 			// Transiently pushes two words architecturally; trap parity
@@ -759,16 +751,498 @@ func (in *Instance) run(entry int32, arg int64, port int) error {
 			}
 			globals[ins.b] += int64(ins.arg)
 			next = pc + 4
+		case cGIncJz:
+			// Ldg x; Push k; Add/Sub; Stg x; Ldg x; Jz t — the transient
+			// depth reaches sp+2, like the quads.
+			if sp+2 > maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			v := globals[ins.b] + int64(ins.arg>>20)
+			globals[ins.b] = v
+			if v == 0 {
+				next = ins.arg & 0xfffff
+			} else {
+				next = pc + 6
+			}
+			if blockCost[next] > int32(budget-steps) {
+				return in.runSlow(next, sp, tos, fp, steps, arg, port)
+			}
+		case cGIncJnz:
+			if sp+2 > maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			v := globals[ins.b] + int64(ins.arg>>20)
+			globals[ins.b] = v
+			if v != 0 {
+				next = ins.arg & 0xfffff
+			} else {
+				next = pc + 6
+			}
+			if blockCost[next] > int32(budget-steps) {
+				return in.runSlow(next, sp, tos, fp, steps, arg, port)
+			}
+
+		// --- check-free branches (budget hoisting) -----------------------
+		//
+		// Forward branches never close a cycle, so the budget check that
+		// admitted this block already pre-charged the worst-case path
+		// through them to the next checked transfer (see blockCost).
+
+		case cJmpN:
+			next = ins.arg
+		case cJzN:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			v := tos
+			sp--
+			tos = stack[sp]
+			if v == 0 {
+				next = ins.arg
+			}
+		case cJnzN:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			v := tos
+			sp--
+			tos = stack[sp]
+			if v != 0 {
+				next = ins.arg
+			}
+		case cLdgJzN:
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			if globals[ins.b] == 0 {
+				next = ins.arg
+			} else {
+				next = pc + 2
+			}
+		case cLdgJnzN:
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			if globals[ins.b] != 0 {
+				next = ins.arg
+			} else {
+				next = pc + 2
+			}
+		case cCmpJzN:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			b := tos
+			sp -= 2
+			a := stack[sp+1]
+			tos = stack[sp]
+			if !compare(Op(ins.b), a, b) {
+				next = ins.arg
+			} else {
+				next = pc + 2
+			}
+		case cCmpJnzN:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			b := tos
+			sp -= 2
+			a := stack[sp+1]
+			tos = stack[sp]
+			if compare(Op(ins.b), a, b) {
+				next = ins.arg
+			} else {
+				next = pc + 2
+			}
 		default: // cPad — unreachable in compiled code; step over
 		}
 		if trap != nil {
-			// Charge only the constituents the per-instruction form would
-			// have attempted; every trap check precedes the case's
-			// mutations, so sp still holds the pre-instruction depth.
-			steps += trapAttempt(ins.op, sp) - int(ins.cost)
+			// Every trap check precedes its case's mutations, so the state
+			// is exactly what it was before the instruction started: replay
+			// it architecturally, which raises the trap at the precise
+			// constituent (and with the precise instruction charge) the
+			// per-instruction scheme would have.
+			return in.runSlow(pc, sp, tos, fp, steps-int(ins.cost), arg, port)
+		}
+		pc = next
+	}
+}
+
+// runSlow finishes an activation in exact per-instruction mode,
+// interpreting the architectural code. The fast loop hands over in two
+// situations:
+//
+//   - a budget pre-check failed, meaning the budget will expire (or a
+//     trap preempt it) before the next check;
+//   - an instruction detected a trap; its checks precede all mutations,
+//     so replaying from the same pc charges the trap at exactly the
+//     architectural constituent the per-instruction scheme traps at.
+//
+// Because this loop IS the per-instruction reference semantics, the
+// fused fast path never reconstructs trap positions or prefix effects —
+// which is what lets superinstructions fuse across impure constituents
+// (cGIncJz stores to a global mid-sequence) and lets blockCost be any
+// sound over-approximation.
+//
+// The trap message formats the opcode through cop, whose low range
+// mirrors the architectural ISA 1:1, so messages match the fast path's.
+func (in *Instance) runSlow(pc int32, sp int, tos int64, fp int, steps int, arg int64, port int) error {
+	code := in.prog.Code
+	globals := in.globals
+	stack := &in.stack
+	budget := in.budget
+
+	var trap error
+	for {
+		if steps >= budget {
+			in.Faults++
+			in.Instructions += uint64(budget)
+			return fmt.Errorf("%w (after %d instructions)", ErrBudget, budget)
+		}
+		ins := code[pc]
+		steps++
+		next := pc + 1
+		switch ins.Op {
+		case OpNop:
+		case OpPush:
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			stack[sp] = tos
+			tos = int64(ins.Arg)
+			sp++
+		case OpPop:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos = stack[sp]
+		case OpDup:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			stack[sp] = tos
+			sp++
+		case OpSwap:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			stack[sp-1], tos = tos, stack[sp-1]
+		case OpOver:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			v := stack[sp-1]
+			stack[sp] = tos
+			tos = v
+			sp++
+		case OpAdd:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos += stack[sp]
+		case OpSub:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos = stack[sp] - tos
+		case OpMul:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos *= stack[sp]
+		case OpDiv:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			if tos == 0 {
+				trap = ErrDivByZero
+				break
+			}
+			sp--
+			tos = stack[sp] / tos
+		case OpMod:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			if tos == 0 {
+				trap = ErrDivByZero
+				break
+			}
+			sp--
+			tos = stack[sp] % tos
+		case OpNeg:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			tos = -tos
+		case OpAbs:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			if tos < 0 {
+				tos = -tos
+			}
+		case OpMin:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			if a := stack[sp]; a < tos {
+				tos = a
+			}
+		case OpMax:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			if a := stack[sp]; a > tos {
+				tos = a
+			}
+		case OpAnd:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos &= stack[sp]
+		case OpOr:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos |= stack[sp]
+		case OpXor:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos ^= stack[sp]
+		case OpNot:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			tos = ^tos
+		case OpShl:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos = stack[sp] << uint64(tos&63)
+		case OpShr:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos = stack[sp] >> uint64(tos&63)
+		case OpEq:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos = boolWord(stack[sp] == tos)
+		case OpNe:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos = boolWord(stack[sp] != tos)
+		case OpLt:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos = boolWord(stack[sp] < tos)
+		case OpLe:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos = boolWord(stack[sp] <= tos)
+		case OpGt:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos = boolWord(stack[sp] > tos)
+		case OpGe:
+			if sp < 2 {
+				trap = ErrStackUnderflow
+				break
+			}
+			sp--
+			tos = boolWord(stack[sp] >= tos)
+		case OpJmp:
+			next = ins.Arg
+		case OpJz:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			v := tos
+			sp--
+			tos = stack[sp]
+			if v == 0 {
+				next = ins.Arg
+			}
+		case OpJnz:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			v := tos
+			sp--
+			tos = stack[sp]
+			if v != 0 {
+				next = ins.Arg
+			}
+		case OpCall:
+			if fp >= maxFrames {
+				trap = ErrCallDepth
+				break
+			}
+			in.frames[fp] = next
+			fp++
+			next = ins.Arg
+		case OpRet:
+			if fp == 0 {
+				in.Instructions += uint64(steps)
+				return nil
+			}
+			fp--
+			next = in.frames[fp]
+		case OpHalt:
+			in.Instructions += uint64(steps)
+			return nil
+		case OpLdg:
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			stack[sp] = tos
+			tos = globals[ins.Arg]
+			sp++
+		case OpStg:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			globals[ins.Arg] = tos
+			sp--
+			tos = stack[sp]
+		case OpPrd:
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			stack[sp] = tos
+			tos = in.lastIn[ins.Arg]
+			sp++
+		case OpPwr:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			v := tos
+			sp--
+			tos = stack[sp]
+			if err := in.host.PortWrite(int(ins.Arg), v); err != nil {
+				in.Instructions += uint64(steps)
+				in.Faults++
+				return fmt.Errorf("vm: port write failed: %w", err)
+			}
+		case OpArg:
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			stack[sp] = tos
+			tos = arg
+			sp++
+		case OpPort:
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			stack[sp] = tos
+			tos = int64(port)
+			sp++
+		case OpTset:
+			if sp < 1 {
+				trap = ErrStackUnderflow
+				break
+			}
+			v := tos
+			sp--
+			tos = stack[sp]
+			if v < 0 {
+				v = 0
+			}
+			in.host.SetTimer(int(ins.Arg), sim.Duration(v))
+		case OpTclr:
+			in.host.ClearTimer(int(ins.Arg))
+		case OpClock:
+			if sp >= maxStack {
+				trap = ErrStackOverflow
+				break
+			}
+			stack[sp] = tos
+			tos = int64(in.host.Now())
+			sp++
+		case OpLog:
+			var v int64
+			if sp > 0 {
+				v = tos
+			}
+			in.host.Log(in.prog.Consts[ins.Arg], v)
+		}
+		if trap != nil {
 			in.Instructions += uint64(steps)
 			in.Faults++
-			return fmt.Errorf("%w at pc %d (%v)", trap, pc, ins.op)
+			return fmt.Errorf("%w at pc %d (%v)", trap, pc, cop(ins.Op))
 		}
 		pc = next
 	}
