@@ -20,6 +20,7 @@
 //	fescli operations wait op-00000001
 //	fescli status VIN123 RemoteControl
 //	fescli health                                 (readiness + recovery counters)
+//	fescli statz                                  (monitoring counters since start)
 //	fescli uninstall alice VIN123 RemoteControl
 //	fescli restore alice VIN123 ECU2
 //	fescli vehicle VIN123
@@ -96,7 +97,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("usage: fescli [-server URL] <adduser|bindvehicle|upload|apps|deploy|upgrade|verify|status|health|uninstall|restore|operations|vehicle|vehicles|paperapp|phone> ...")
+		log.Fatal("usage: fescli [-server URL] <adduser|bindvehicle|upload|apps|deploy|upgrade|verify|status|health|statz|uninstall|restore|operations|vehicle|vehicles|paperapp|phone> ...")
 	}
 	client = api.NewClient(*serverURL, nil)
 	ctx := context.Background()
@@ -154,6 +155,9 @@ func main() {
 	case "health":
 		h, err := client.Health(ctx)
 		show(h, err)
+	case "statz":
+		st, err := client.Statz(ctx)
+		show(st, err)
 	case "operations":
 		operations(ctx, args[1:])
 	case "vehicle":

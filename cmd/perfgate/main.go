@@ -4,6 +4,11 @@
 //
 //	perfgate run  [-bench regex] [-benchtime 1s] [-pkg .] -out new.json
 //	perfgate compare -baseline BENCH_BASELINE.json -new new.json [-max-regress 0.10]
+//	perfgate fleet -baseline BENCH_FLEET.json -new fleet-new.json [-budget 0.5]
+//
+// The fleet mode gates cmd/fleetsim chaos-run reports (fleet-scale
+// latency percentiles) against a committed BENCH_FLEET.json baseline;
+// see fleet.go for its noise rules.
 //
 // It parses standard `go test -bench` output (the same format benchstat
 // consumes; benchstat itself is not vendored, so the comparison is
@@ -59,13 +64,15 @@ func main() {
 		cmdRun(os.Args[2:])
 	case "compare":
 		cmdCompare(os.Args[2:])
+	case "fleet":
+		cmdFleet(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: perfgate run|compare [flags]")
+	fmt.Fprintln(os.Stderr, "usage: perfgate run|compare|fleet [flags]")
 	os.Exit(2)
 }
 

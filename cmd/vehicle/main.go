@@ -59,14 +59,36 @@ func main() {
 		os.Stdout.Write(append(conf, '\n'))
 	}
 
-	conn, err := net.Dial("tcp", *serverAddr)
-	if err != nil {
-		log.Fatalf("dialling trusted server: %v", err)
-	}
-	if err := car.ECM.ConnectServer(conn, car.ID); err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("connected to trusted server at %s", *serverAddr)
+	// The server link reconnects with capped exponential backoff plus
+	// jitter: a fleet dropped by one server restart must spread its
+	// redials instead of stampeding back in lockstep (every vehicle
+	// jitters independently).
+	lost := make(chan struct{}, 1)
+	car.ECM.SetServerCloseHandler(func() {
+		select {
+		case lost <- struct{}{}:
+		default:
+		}
+	})
+	go func() {
+		bo := core.Backoff{Base: 250 * time.Millisecond, Max: 30 * time.Second}
+		for {
+			conn, err := net.Dial("tcp", *serverAddr)
+			if err == nil {
+				if err = car.ECM.ConnectServer(conn, car.ID); err == nil {
+					bo.Reset()
+					log.Printf("connected to trusted server at %s", *serverAddr)
+					<-lost
+					log.Printf("trusted server link lost")
+					continue
+				}
+				conn.Close()
+			}
+			d := bo.Next()
+			log.Printf("trusted server unreachable (%v); retrying in %s", err, d.Round(time.Millisecond))
+			time.Sleep(d)
+		}
+	}()
 
 	// Pump the simulation forever; the ECM injects external work at the
 	// engine's synchronisation points.

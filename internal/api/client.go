@@ -240,6 +240,12 @@ func (t *httpTransport) Health(ctx context.Context) (Health, error) {
 	return h, err
 }
 
+func (t *httpTransport) Statz(ctx context.Context) (Statz, error) {
+	var st Statz
+	err := t.do(ctx, http.MethodGet, "/v1/statz", nil, &st)
+	return st, err
+}
+
 func (t *httpTransport) GetOperation(ctx context.Context, id string) (Operation, error) {
 	var op Operation
 	err := t.do(ctx, http.MethodGet, "/v1/operations/"+url.PathEscape(id), nil, &op)

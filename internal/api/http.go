@@ -32,6 +32,7 @@ import (
 //	POST /v1/verify                   dry-run the static plan verifier -> VerifyReport
 //	GET  /v1/status?vehicle=V&app=A   per-app ack progress
 //	GET  /v1/healthz                  readiness + recovery counters
+//	GET  /v1/statz                    monitoring counters since process start
 //	GET  /v1/operations               list operations (paginated)
 //	GET  /v1/operations/{id}          poll one operation
 //
@@ -115,6 +116,7 @@ func NewHandler(svc DeploymentService, opts *HandlerOptions) http.Handler {
 	mux.HandleFunc("POST /v1/verify", h.verify)
 	mux.HandleFunc("GET /v1/status", h.status)
 	mux.HandleFunc("GET /v1/healthz", h.healthz)
+	mux.HandleFunc("GET /v1/statz", h.statz)
 	mux.HandleFunc("GET /v1/operations", h.listOperations)
 	mux.HandleFunc("GET /v1/operations/{id}", h.getOperation)
 	mux.HandleFunc("/v1/", h.notFound)
@@ -165,10 +167,13 @@ func (h *handler) rateMW(next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		// Readiness probes are exempt: orchestrators gate traffic on
-		// /v1/healthz, and a probe sharing a NAT'd client key with API
-		// traffic must never see a healthy server answer 429.
-		if r.URL.Path != "/v1/healthz" && !h.limiter.allow(h.o.ClientKey(r)) {
+		// Readiness probes and monitoring scrapes are exempt:
+		// orchestrators gate traffic on /v1/healthz, and a probe sharing
+		// a NAT'd client key with API traffic must never see a healthy
+		// server answer 429; /v1/statz is scraped on a fixed interval by
+		// collectors that must keep observing exactly when the server is
+		// saturated enough to rate-limit.
+		if r.URL.Path != "/v1/healthz" && r.URL.Path != "/v1/statz" && !h.limiter.allow(h.o.ClientKey(r)) {
 			h.writeError(w, Errorf(CodeResourceExhausted, "api: rate limit exceeded"))
 			return
 		}
@@ -471,6 +476,15 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.writeJSON(w, http.StatusOK, hl)
+}
+
+func (h *handler) statz(w http.ResponseWriter, r *http.Request) {
+	st, err := h.svc.Statz(r.Context())
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, st)
 }
 
 func (h *handler) listOperations(w http.ResponseWriter, r *http.Request) {

@@ -175,6 +175,36 @@ type Health struct {
 	TornTail bool `json:"tornTail,omitempty"`
 }
 
+// Statz is the GET /v1/statz body: cheap monotonic counters for
+// monitoring and load generators (the fleet simulator's measurement
+// layer reads these instead of poking server internals). All counters
+// are "since process start" — they reset on restart, unlike the
+// journal-backed state behind /v1/healthz.
+type Statz struct {
+	// OpsCreated counts async operations registered (batch children
+	// included); OpsOpen is how many are currently non-terminal.
+	OpsCreated uint64 `json:"opsCreated"`
+	OpsOpen    int    `json:"opsOpen"`
+	// OpsSettled counts terminal operations by outcome: "ok" for
+	// succeeded, the stable error code for failures that carry one,
+	// "failed" for nack-only failures.
+	OpsSettled map[string]uint64 `json:"opsSettled,omitempty"`
+	// PendingAcks is the current depth of the push queue: frames on
+	// vehicle links whose acknowledgement has not arrived.
+	PendingAcks int `json:"pendingAcks"`
+	// VehiclesConnected and PushesSent describe the pusher: live
+	// identified links, and downstream frames written since start.
+	VehiclesConnected int    `json:"vehiclesConnected"`
+	PushesSent        uint64 `json:"pushesSent"`
+	// Journal counters (zero when running memory-only): records
+	// flushed, group commits (write+fsync pairs, the "syncs"), records
+	// since the last snapshot, and the snapshot generation.
+	JournalRecords       uint64 `json:"journalRecords"`
+	JournalCommits       uint64 `json:"journalCommits"`
+	JournalSinceSnapshot int    `json:"journalSinceSnapshot"`
+	JournalGen           uint64 `json:"journalGen"`
+}
+
 // DeploymentService is the transport-agnostic core of the trusted
 // server's public surface: every operation group of paper section 3.2.2
 // (user setup, upload, (re)deployment) plus the async operations
@@ -235,6 +265,9 @@ type DeploymentService interface {
 	Status(ctx context.Context, vehicle core.VehicleID, app core.AppName) (OpStatus, error)
 	// Health reports readiness and the durable-state recovery counters.
 	Health(ctx context.Context) (Health, error)
+	// Statz reports the monitoring counters (operations, pushes,
+	// journal) since process start.
+	Statz(ctx context.Context) (Statz, error)
 	// GetOperation returns one async operation by id.
 	GetOperation(ctx context.Context, id string) (Operation, error)
 	// ListOperations pages through operations, oldest first.

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes capped exponential retry delays with jitter — the
+// reconnect policy of every vehicle link. A fleet whose links die
+// together (a trusted-server restart, a healed partition) must not
+// redial in lockstep: bare exponential backoff keeps the herd
+// synchronized, so every delay is shortened by a random fraction,
+// spreading the retries of thousands of vehicles across the window.
+//
+// The zero value is ready to use with the defaults below. Backoff is
+// not safe for concurrent use; each link owns one.
+type Backoff struct {
+	// Base is the un-jittered first delay; zero defaults to 100ms.
+	Base time.Duration
+	// Max caps the grown (un-jittered) delay; zero defaults to 30s.
+	Max time.Duration
+	// Jitter is the fraction of each delay that is randomized away:
+	// a computed delay d becomes uniform in ((1-Jitter)·d, d]. Zero
+	// defaults to 0.5; values above 1 are clamped to 1.
+	Jitter float64
+	// Rand supplies jitter randomness in [0,1); nil uses math/rand.
+	// Simulations inject a seeded source here so a scenario's retry
+	// timing is a pure function of its seed.
+	Rand func() float64
+
+	attempt int
+}
+
+// Next returns the delay to wait before the upcoming retry and advances
+// the attempt counter: Base, 2·Base, 4·Base, ... capped at Max, each
+// shortened by the jitter fraction.
+func (b *Backoff) Next() time.Duration {
+	base, max, jitter := b.Base, b.Max, b.Jitter
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	if jitter == 0 {
+		jitter = 0.5
+	} else if jitter > 1 {
+		jitter = 1
+	} else if jitter < 0 {
+		jitter = 0
+	}
+	d := base
+	for i := 0; i < b.attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if b.attempt < 62 {
+		b.attempt++
+	}
+	if jitter > 0 {
+		r := rand.Float64
+		if b.Rand != nil {
+			r = b.Rand
+		}
+		d -= time.Duration(jitter * float64(d) * r())
+	}
+	return d
+}
+
+// Reset rewinds to the first attempt; called after a connection has
+// been re-established and proven healthy.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Attempt returns how many delays have been handed out since the last
+// Reset.
+func (b *Backoff) Attempt() int { return b.attempt }

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Without jitter the sequence must double from Base and pin at Max.
+func TestBackoffGrowthAndCap(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second, Jitter: -1}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second,
+		2 * time.Second,
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("attempt %d = %v, want %v", i, got, w)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got != want[0] {
+		t.Fatalf("after Reset = %v, want %v", got, want[0])
+	}
+}
+
+// Jittered delays stay inside ((1-Jitter)·d, d] and a seeded source
+// makes the whole sequence reproducible.
+func TestBackoffJitterBoundsAndDeterminism(t *testing.T) {
+	seq := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Jitter: 0.5, Rand: rng.Float64}
+		var out []time.Duration
+		for i := 0; i < 10; i++ {
+			out = append(out, b.Next())
+		}
+		return out
+	}
+	a, b2 := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b2[i] {
+			t.Fatalf("attempt %d: %v != %v for the same seed", i, a[i], b2[i])
+		}
+	}
+	// Bounds against the un-jittered envelope.
+	env := []time.Duration{100, 200, 400, 800, 1000, 1000, 1000, 1000, 1000, 1000}
+	for i, d := range a {
+		hi := env[i] * time.Millisecond
+		lo := hi / 2
+		if d <= lo || d > hi {
+			t.Fatalf("attempt %d = %v, want in (%v, %v]", i, d, lo, hi)
+		}
+	}
+	if c := seq(43); c[3] == a[3] && c[4] == a[4] && c[5] == a[5] {
+		t.Fatalf("different seeds produced identical tails: %v vs %v", c, a)
+	}
+}
+
+// The zero value must be usable and default-jittered.
+func TestBackoffZeroValue(t *testing.T) {
+	var b Backoff
+	d := b.Next()
+	if d <= 50*time.Millisecond || d > 100*time.Millisecond {
+		t.Fatalf("zero-value first delay = %v, want in (50ms, 100ms]", d)
+	}
+	if b.Attempt() != 1 {
+		t.Fatalf("Attempt = %d, want 1", b.Attempt())
+	}
+}

@@ -71,8 +71,12 @@ type ECM struct {
 
 	mu         sync.Mutex
 	serverConn io.ReadWriteCloser
-	dialer     Dialer
-	endpoints  map[string]io.ReadWriteCloser
+	// serverClosed, when set, runs on the read loop's goroutine after
+	// the trusted-server link dies; the vehicle process uses it to
+	// schedule a reconnect (with backoff — see core.Backoff).
+	serverClosed func()
+	dialer       Dialer
+	endpoints    map[string]io.ReadWriteCloser
 
 	// frameBuf is the reusable type I frame encoder of the distribution
 	// and external-relay paths; both run on the simulation goroutine and
@@ -114,6 +118,17 @@ func (e *ECM) SetLogger(fn func(format string, args ...any)) {
 // SetDialer installs the endpoint dialer.
 func (e *ECM) SetDialer(d Dialer) { e.dialer = d }
 
+// SetServerCloseHandler registers fn to run when the trusted-server
+// link dies (read error or remote close). It fires once per
+// ConnectServer'd link, on the read loop's goroutine — the handler must
+// not block the caller's simulation; dial work belongs on its own
+// goroutine.
+func (e *ECM) SetServerCloseHandler(fn func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.serverClosed = fn
+}
+
 // AddRoute declares that the plug-in SW-C swc on ecu is reached through
 // the given type I provided SW-C port of the ECM.
 func (e *ECM) AddRoute(ecu core.ECUID, swc core.SWCID, via core.SWCPortID) {
@@ -143,6 +158,16 @@ func (e *ECM) serveServer(conn io.ReadWriteCloser) {
 	for {
 		msg, err := core.ReadMessage(conn)
 		if err != nil {
+			e.mu.Lock()
+			fn := e.serverClosed
+			// Only the current link's death counts: a reconnect may
+			// already have replaced serverConn, and the stale loop's
+			// exit must not trigger another redial.
+			stale := e.serverConn != conn
+			e.mu.Unlock()
+			if fn != nil && !stale {
+				fn()
+			}
 			return
 		}
 		e.eng.Inject(func() { e.HandleServerMessage(msg) })

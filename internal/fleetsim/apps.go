@@ -1,0 +1,106 @@
+package fleetsim
+
+import (
+	"fmt"
+
+	"dynautosar/internal/api"
+	"dynautosar/internal/core"
+	"dynautosar/internal/plugin"
+	"dynautosar/internal/vehicle"
+	"dynautosar/internal/vm"
+)
+
+// App names used by the built-in scenarios. FleetNav is the versioned
+// upgradeable family (same plug-in and port names across versions, so
+// an upgrade reuses the installed port ids); Widget is a small
+// independent app for single-vehicle deploy/uninstall traffic.
+const (
+	AppV1     core.AppName = "FleetNav-1"
+	AppV2     core.AppName = "FleetNav-2"
+	AppWidget core.AppName = "Widget-1"
+)
+
+// FleetApps builds the apps the preset scenarios deploy: FleetNav
+// v1/v2 (two plug-ins spanning both model-car SW-Cs) and Widget.
+func FleetApps() ([]api.App, error) {
+	v1, err := fleetNav("1.0", false)
+	if err != nil {
+		return nil, err
+	}
+	v2, err := fleetNav("2.0", true)
+	if err != nil {
+		return nil, err
+	}
+	widget, err := widgetApp()
+	if err != nil {
+		return nil, err
+	}
+	v1.Name, v2.Name = AppV1, AppV2
+	return []api.App{v1, v2, widget}, nil
+}
+
+// fleetNav assembles the two FleetNav plug-ins at a version. v2 gains
+// an extra port on the planner, exercising fresh port-id allocation
+// inside an upgrade.
+func fleetNav(version string, extraPort bool) (api.App, error) {
+	sensor := fmt.Sprintf(".plugin NavSensor %s\n.port poll required\n.port fix provided\non_message poll:\n\tRET\n", version)
+	extra := ""
+	if extraPort {
+		extra = ".port diag provided\n"
+	}
+	planner := fmt.Sprintf(".plugin NavPlanner %s\n.port fix required\n.port route provided\n%son_message fix:\n\tRET\n", version, extra)
+	sBin, err := assemble(sensor)
+	if err != nil {
+		return api.App{}, err
+	}
+	pBin, err := assemble(planner)
+	if err != nil {
+		return api.App{}, err
+	}
+	return api.App{
+		Binaries: []plugin.Binary{sBin, pBin},
+		Confs: []api.SWConf{{Model: "modelcar-v1", Deployments: []api.Deployment{
+			{Plugin: "NavSensor", ECU: vehicle.ECU1, SWC: vehicle.SWC1},
+			{Plugin: "NavPlanner", ECU: vehicle.ECU2, SWC: vehicle.SWC2},
+		}}},
+	}, nil
+}
+
+func widgetApp() (api.App, error) {
+	bin, err := assemble(".plugin Widget 1.0\n.port tick required\n.port tock provided\non_message tick:\n\tRET\n")
+	if err != nil {
+		return api.App{}, err
+	}
+	return api.App{
+		Name:     AppWidget,
+		Binaries: []plugin.Binary{bin},
+		Confs: []api.SWConf{{Model: "modelcar-v1", Deployments: []api.Deployment{
+			{Plugin: "Widget", ECU: vehicle.ECU2, SWC: vehicle.SWC2},
+		}}},
+	}, nil
+}
+
+func assemble(src string) (plugin.Binary, error) {
+	prog, err := vm.Assemble(src)
+	if err != nil {
+		return plugin.Binary{}, err
+	}
+	return plugin.FromProgram(prog, plugin.Manifest{Developer: "fleetsim"})
+}
+
+// fleetConf is the model-car vehicle configuration every simulated
+// vehicle registers with (the same shape cmd/vehicle emits).
+func fleetConf(id core.VehicleID) core.VehicleConf {
+	ecmCfg := vehicle.ECMConfig()
+	swc2Cfg := vehicle.SWC2Config()
+	return core.VehicleConf{
+		Vehicle: id,
+		Model:   "modelcar-v1",
+		SWCs: []core.SWCConf{
+			{ECU: vehicle.ECU1, SWC: vehicle.SWC1, MemoryQuota: ecmCfg.MemoryQuota,
+				MaxPlugins: ecmCfg.MaxPlugins, ECM: true, VirtualPorts: ecmCfg.VirtualPorts},
+			{ECU: vehicle.ECU2, SWC: vehicle.SWC2, MemoryQuota: swc2Cfg.MemoryQuota,
+				MaxPlugins: swc2Cfg.MaxPlugins, VirtualPorts: swc2Cfg.VirtualPorts},
+		},
+	}
+}

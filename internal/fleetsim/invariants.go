@@ -1,0 +1,244 @@
+package fleetsim
+
+import (
+	"fmt"
+
+	"dynautosar/internal/api"
+	"dynautosar/internal/core"
+)
+
+// The invariant checker audits the server's durable state against
+// every vehicle's flash at quiescent points (whenever the last open
+// operation settles, and once more at the end of the run):
+//
+//	I1 every launched operation settles before the real-time limit
+//	   (enforced by the pump; an operation lost to a server crash is
+//	   accounted, not violated).
+//	I2 batch accounting is exact: children match the resolved vehicle
+//	   list, succeeded+failed counts cover every child, and the parent
+//	   state is consistent with them.
+//	I3 port ids are unique per (vehicle, ECU, SW-C) across installed
+//	   rows — two plug-ins sharing a port id would misroute traffic.
+//	I4 server honesty: every acked install row is present on the
+//	   vehicle at the expected version (no lost installations), and
+//	   every flashed plug-in is known to the server (no orphans) —
+//	   except where a failed or crash-interrupted operation legitimately
+//	   left the pair divergent (failed-upgrade compensation, failed
+//	   deploys, work lost with a dying server).
+//	I5 an upgraded family is all-old-or-all-new: a vehicle never holds
+//	   both versions, and a vehicle whose deploy succeeded still holds
+//	   exactly one of them after every crash and recovery.
+//
+// Violations carry enough context to debug from the scenario seed.
+
+// exKey marks a (vehicle, app) pair whose divergence a failed or lost
+// operation explains.
+type exKey struct {
+	vehicle core.VehicleID
+	app     core.AppName
+}
+
+// exemptions builds the divergence allowance from terminal operations:
+// a failed child exempts its (vehicle, app) and upgrade target; a lost
+// operation (crashed server) exempts every pair it addressed.
+func (f *Fleet) exemptions() map[exKey]bool {
+	ex := make(map[exKey]bool)
+	add := func(v core.VehicleID, apps ...core.AppName) {
+		for _, a := range apps {
+			if a != "" {
+				ex[exKey{v, a}] = true
+			}
+		}
+	}
+	for _, t := range f.settledOps {
+		if t.lost || (t.done && t.final.State == api.StateFailed) || !t.done {
+			for _, v := range t.targets {
+				add(v, t.app, t.toApp)
+			}
+		}
+	}
+	for _, cop := range f.childFinal {
+		if cop.State == api.StateFailed {
+			add(cop.Vehicle, cop.App, cop.ToApp)
+		}
+	}
+	return ex
+}
+
+// audit runs the full invariant sweep against the current server.
+func (f *Fleet) audit(label string) {
+	if f.srv == nil || f.closed {
+		return
+	}
+	// Audits are deliberately absent from the trace: *when* quiescence
+	// hits depends on real scheduling, and the trace must stay a pure
+	// function of the seed.
+	f.auditOps()
+	ex := f.exemptions()
+	deployOK := f.deploySucceededVehicles()
+	pairs := f.sc.upgradePairs()
+	store := f.srv.Store()
+	for _, v := range f.vehicles {
+		rows := store.InstalledApps(v.ID)
+		f.auditPorts(v, rows)
+		f.auditHonesty(v, rows, ex)
+		f.auditFamilies(v, rows, pairs, deployOK, label)
+	}
+}
+
+// auditOps checks I2 on every settled batch parent and its sweep of
+// terminal children.
+func (f *Fleet) auditOps() {
+	for _, t := range f.settledOps {
+		if t.lost || !t.done {
+			continue
+		}
+		op := t.final
+		if !op.Done {
+			f.violationf("operation %s settled without Done", op.ID)
+		}
+		if len(op.Children) == 0 {
+			continue
+		}
+		if len(op.Children) != len(op.Vehicles) {
+			f.violationf("batch %s has %d children for %d vehicles", op.ID, len(op.Children), len(op.Vehicles))
+		}
+		if op.VehiclesSucceeded+op.VehiclesFailed != len(op.Children) {
+			f.violationf("batch %s accounting leak: %d succeeded + %d failed != %d children",
+				op.ID, op.VehiclesSucceeded, op.VehiclesFailed, len(op.Children))
+		}
+		failed := op.VehiclesFailed > 0
+		if failed != (op.State == api.StateFailed) {
+			f.violationf("batch %s state %q inconsistent with %d failed children", op.ID, op.State, op.VehiclesFailed)
+		}
+		for _, cid := range op.Children {
+			cop, ok := f.childFinal[cid]
+			if !ok {
+				continue // already reported at sweep time
+			}
+			if !cop.Done || (cop.State != api.StateSucceeded && cop.State != api.StateFailed) {
+				f.violationf("batch %s child %s not terminal at parent settle (state %q)", op.ID, cid, cop.State)
+			}
+			if cop.Parent != op.ID {
+				f.violationf("child %s points at parent %q, expected %s", cid, cop.Parent, op.ID)
+			}
+		}
+	}
+}
+
+// auditPorts checks I3: across every installed row of the vehicle, a
+// (ECU, SW-C, port id) is bound at most once.
+func (f *Fleet) auditPorts(v *SimVehicle, rows []api.InstalledApp) {
+	type portSlot struct {
+		ecu core.ECUID
+		swc core.SWCID
+		id  core.PluginPortID
+	}
+	seen := make(map[portSlot]string)
+	for _, row := range rows {
+		for _, p := range row.Plugins {
+			for _, e := range p.PIC {
+				slot := portSlot{p.ECU, p.SWC, e.ID}
+				holder := fmt.Sprintf("%s/%s", row.App, p.Plugin)
+				if prev, dup := seen[slot]; dup {
+					f.violationf("vehicle %s: port id %d on %s/%s bound by both %s and %s — traffic would misroute",
+						v.ID, e.ID, p.ECU, p.SWC, prev, holder)
+				}
+				seen[slot] = holder
+			}
+		}
+	}
+}
+
+// auditHonesty checks I4 in both directions.
+func (f *Fleet) auditHonesty(v *SimVehicle, rows []api.InstalledApp, ex map[exKey]bool) {
+	known := make(map[plugKey]bool)
+	vehicleExempt := false
+	for _, row := range rows {
+		exempt := ex[exKey{v.ID, row.App}]
+		if exempt {
+			vehicleExempt = true
+		}
+		want := f.appVer[row.App]
+		for _, p := range row.Plugins {
+			key := plugKey{ECU: p.ECU, SWC: p.SWC, Plugin: p.Plugin}
+			known[key] = true
+			if !p.Acked || exempt {
+				continue
+			}
+			got, held := v.plugins[key]
+			if !held {
+				f.violationf("vehicle %s: server says %s/%s acked on %s/%s but the vehicle lost it",
+					v.ID, row.App, p.Plugin, p.ECU, p.SWC)
+				continue
+			}
+			if want != nil && got != want[p.Plugin] {
+				f.violationf("vehicle %s: %s/%s at version %q, server row expects %q",
+					v.ID, row.App, p.Plugin, got, want[p.Plugin])
+			}
+		}
+	}
+	// Orphan direction: anything flashed must be server-known, unless a
+	// failed/lost operation on this vehicle explains leftovers.
+	if vehicleExempt {
+		return
+	}
+	for _, t := range f.settledOps {
+		if t.lost {
+			for _, id := range t.targets {
+				if id == v.ID {
+					return
+				}
+			}
+		}
+	}
+	for key, ver := range v.plugins {
+		if !known[key] {
+			f.violationf("vehicle %s: flashed plug-in %s@%s on %s/%s unknown to the server",
+				v.ID, key.Plugin, ver, key.ECU, key.SWC)
+		}
+	}
+}
+
+// auditFamilies checks I5 on every upgraded app family.
+func (f *Fleet) auditFamilies(v *SimVehicle, rows []api.InstalledApp, pairs [][2]core.AppName, deployOK map[core.VehicleID]map[core.AppName]bool, label string) {
+	present := make(map[core.AppName]bool, len(rows))
+	for _, row := range rows {
+		present[row.App] = true
+	}
+	for _, pair := range pairs {
+		from, to := pair[0], pair[1]
+		if present[from] && present[to] {
+			f.violationf("vehicle %s: both %s and %s installed — duplicated family row", v.ID, from, to)
+		}
+		// A vehicle whose deploy of `from` succeeded must still hold
+		// exactly one version at the final audit: upgrades commit or
+		// roll back, and recovery replays that decision.
+		if label == "final" && deployOK[v.ID][from] && !present[from] && !present[to] {
+			f.violationf("vehicle %s: family %s/%s lost — deploy succeeded but no version remains", v.ID, from, to)
+		}
+	}
+}
+
+// deploySucceededVehicles maps vehicle -> app for every deploy child or
+// single deploy that reached succeeded.
+func (f *Fleet) deploySucceededVehicles() map[core.VehicleID]map[core.AppName]bool {
+	out := make(map[core.VehicleID]map[core.AppName]bool)
+	mark := func(v core.VehicleID, app core.AppName) {
+		if out[v] == nil {
+			out[v] = make(map[core.AppName]bool)
+		}
+		out[v][app] = true
+	}
+	for _, t := range f.settledOps {
+		if t.metric == "deploy" && t.done && !t.lost && len(t.final.Children) == 0 && t.final.State == api.StateSucceeded {
+			mark(t.final.Vehicle, t.final.App)
+		}
+	}
+	for _, cop := range f.childFinal {
+		if cop.Kind == api.OpDeploy && cop.State == api.StateSucceeded {
+			mark(cop.Vehicle, cop.App)
+		}
+	}
+	return out
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package fleetsim
+
+// raceEnabled reports whether the race detector is compiled in;
+// scenario tests scale their fleets down under it.
+const raceEnabled = false

@@ -54,6 +54,7 @@ func (s *Server) newOperation(kind api.OperationKind, user core.UserID, vehicle 
 	}}
 	s.ops[rec.op.ID] = rec
 	s.opOrder = append(s.opOrder, rec.op.ID)
+	s.noteOpCreatedLocked(1)
 	s.journalOpLocked(journal.OpCreatedRec, rec)
 	s.pruneOpsLocked()
 	return rec
@@ -133,6 +134,7 @@ func (s *Server) newBatchOperation(kind, childKind api.OperationKind, user core.
 		prec.op.Children = append(prec.op.Children, cid)
 		children = append(children, batchChild{vehicle: v, opID: cid})
 	}
+	s.noteOpCreatedLocked(1 + len(fleet))
 	// Only the parent is journaled — after the loop, so its snapshot
 	// carries the full children and vehicles lists. Recovery
 	// re-synthesizes the child operations from those (one record instead
@@ -204,6 +206,7 @@ func (s *Server) finishLaunch(opID string, err error) {
 		rec.op.State = api.StateFailed
 		rec.op.Error = api.AsError(err)
 		rec.op.Done = true
+		s.noteOpSettledLocked(rec)
 		s.journalOpLocked(journal.OpSettledRec, rec)
 		s.maybeReleaseClaimLocked(rec)
 		s.noteChildTerminalLocked(rec)
@@ -270,6 +273,7 @@ func (s *Server) completeLocked(rec *opRecord) {
 		rec.op.State = api.StateSucceeded
 	}
 	rec.op.Done = true
+	s.noteOpSettledLocked(rec)
 	s.journalOpLocked(journal.OpSettledRec, rec)
 	s.maybeReleaseClaimLocked(rec)
 	s.noteChildTerminalLocked(rec)
@@ -304,6 +308,7 @@ func (s *Server) noteChildTerminalLocked(rec *opRecord) {
 			prec.op.State = api.StateSucceeded
 		}
 		prec.op.Done = true
+		s.noteOpSettledLocked(prec)
 		s.journalOpLocked(journal.OpSettledRec, prec)
 		// The batch's children just became evictable; let the next
 		// operation creation prune immediately.

@@ -57,6 +57,14 @@ func (p *Pusher) SetDisconnectHandler(fn func(core.VehicleID, uint64)) {
 	p.onDisconnect = fn
 }
 
+// Stats reports the pusher's monitoring counters: currently identified
+// links and downstream frames written since start.
+func (p *Pusher) Stats() (connected int, pushed uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns), p.Pushed
+}
+
 // Epoch returns the registration epoch of the vehicle's current link,
 // 0 when disconnected.
 func (p *Pusher) Epoch(vehicle core.VehicleID) uint64 {

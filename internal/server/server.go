@@ -46,6 +46,11 @@ type Server struct {
 	// completes, so operation creation stays amortized O(1) instead of
 	// rescanning the whole registry per op for the life of the batch.
 	opPruneDefer int
+	// statOpsCreated/statOpsSettled feed GET /v1/statz (see statz.go):
+	// operations registered since process start, and terminal outcomes
+	// bucketed by code.
+	statOpsCreated uint64
+	statOpsSettled map[string]uint64
 
 	// deployMu stripes a per-vehicle critical section over deploy
 	// planning + check-and-record: planning reads the vehicle's free

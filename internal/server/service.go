@@ -125,6 +125,10 @@ func (sv *Service) Health(_ context.Context) (api.Health, error) {
 	return sv.s.Health(), nil
 }
 
+func (sv *Service) Statz(_ context.Context) (api.Statz, error) {
+	return sv.s.Statz(), nil
+}
+
 func (sv *Service) GetOperation(_ context.Context, id string) (api.Operation, error) {
 	op, ok := sv.s.Operation(id)
 	if !ok {

@@ -12,6 +12,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Time is an absolute simulated time in microseconds since simulation
@@ -228,6 +229,48 @@ func (e *Engine) Run() {
 
 // Stop makes the current Run/RunUntil return after the current event.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Next reports the time of the next live scheduled event. The second
+// return is false when the queue is empty. Drivers that interleave
+// simulated time with real goroutines (the fleet simulator's pump) use
+// it to decide whether stepping would advance the clock past a barrier.
+func (e *Engine) Next() (Time, bool) {
+	if ev := e.peek(); ev != nil {
+		return ev.at, true
+	}
+	return 0, false
+}
+
+// AwaitInjected drains externally injected callbacks at the current
+// simulated time, blocking up to timeout of *real* time for the first
+// one when none are queued. It reports whether any callback ran. This
+// is the pump-side counterpart of Inject: a driver that has no due
+// events can park here instead of spinning, and wakes the moment a
+// real-time goroutine (a server socket, a vehicle link) hands work in.
+func (e *Engine) AwaitInjected(timeout time.Duration) bool {
+	ran := false
+	for {
+		select {
+		case fn := <-e.injected:
+			fn()
+			ran = true
+			continue
+		default:
+		}
+		if ran || timeout <= 0 {
+			return ran
+		}
+		t := time.NewTimer(timeout)
+		select {
+		case fn := <-e.injected:
+			t.Stop()
+			fn()
+			ran = true
+		case <-t.C:
+			return false
+		}
+	}
+}
 
 func (e *Engine) peek() *event {
 	for e.queue.Len() > 0 {

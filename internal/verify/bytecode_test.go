@@ -251,7 +251,7 @@ func genProgram(rng *rand.Rand) *vm.Program {
 // legitimate dynamic errors; a stack trap in an accepted program is a
 // soundness bug in the verifier.
 func TestDifferentialNoStackTraps(t *testing.T) {
-	rng := rand.New(rand.NewSource(20260808))
+	rng := rand.New(rand.NewSource(testSeed(t, 20260808)))
 	accepted, rejected := 0, 0
 	for i := 0; i < 4000; i++ {
 		prog := genProgram(rng)

@@ -1,0 +1,22 @@
+package verify_test
+
+import (
+	"flag"
+	"testing"
+)
+
+// seedFlag threads `-seed` through the differential suites (verifier
+// soundness, optimizer translation validation). The default keeps each
+// suite's historical fixed seed so CI stays reproducible; passing -seed
+// explores a fresh program population, and every run logs the effective
+// seed for replay.
+var seedFlag = flag.Int64("seed", 0, "randomized-test seed override (0 keeps each test's default)")
+
+func testSeed(t *testing.T, def int64) int64 {
+	s := *seedFlag
+	if s == 0 {
+		s = def
+	}
+	t.Logf("randomized test seed %d — replay with: go test ./internal/verify -run '^%s$' -seed %d", s, t.Name(), s)
+	return s
+}

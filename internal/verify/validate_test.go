@@ -248,7 +248,7 @@ func diffRun(orig, opt *vm.Program, rng *rand.Rand, budget int) string {
 // budgets. The suite must be non-vacuous: a healthy majority of the
 // population has to actually change under optimization.
 func TestDifferentialOptimizer(t *testing.T) {
-	rng := rand.New(rand.NewSource(20260808))
+	rng := rand.New(rand.NewSource(testSeed(t, 20260808)))
 	changed := 0
 	for i := 0; i < 4000; i++ {
 		prog := genSafeProgram(rng)

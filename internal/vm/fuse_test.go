@@ -484,7 +484,7 @@ func TestFusionRandomPrograms(t *testing.T) {
 		OpJz, OpJnz, OpCall, OpRet, OpLdg, OpStg, OpPrd, OpPwr, OpArg,
 		OpPort, OpClock, OpLog,
 	}
-	r := rand.New(rand.NewSource(7))
+	r := rand.New(rand.NewSource(testSeed(t, 7)))
 	for iter := 0; iter < 400; iter++ {
 		n := 8 + r.Intn(40)
 		code := make([]Instr, n)

@@ -4,10 +4,19 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"dynautosar/internal/core"
 	"dynautosar/internal/sim"
 )
+
+// quickConfig seeds testing/quick's input generator from the package
+// -seed flag (default: clock-derived, as quick itself would do) so a
+// failing property run can be replayed exactly.
+func quickConfig(t *testing.T, maxCount int) *quick.Config {
+	seed := testSeed(t, time.Now().UnixNano())
+	return &quick.Config{MaxCount: maxCount, Rand: rand.New(rand.NewSource(seed))}
+}
 
 // Property test: random straight-line arithmetic programs must produce
 // the same result in the VM as in a direct Go evaluation of the same
@@ -162,7 +171,7 @@ func TestQuickArithmeticAgainstReference(t *testing.T) {
 		want := reference(ops, pushes)
 		return len(h.out) == 1 && h.out[0] == want
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+	if err := quick.Check(f, quickConfig(t, 300)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -197,7 +206,7 @@ func TestQuickEncodeDecodeRandomPrograms(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(f, quickConfig(t, 200)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,22 @@
+package vm
+
+import (
+	"flag"
+	"testing"
+)
+
+// seedFlag threads `-seed` through the package's randomized tests
+// (quick-check arithmetic, encode/decode round-trips, fusion
+// cross-checks). The default keeps each test's historical fixed seed so
+// CI stays reproducible; passing -seed explores a fresh corner of the
+// input space, and every run logs the effective seed for replay.
+var seedFlag = flag.Int64("seed", 0, "randomized-test seed override (0 keeps each test's default)")
+
+func testSeed(t *testing.T, def int64) int64 {
+	s := *seedFlag
+	if s == 0 {
+		s = def
+	}
+	t.Logf("randomized test seed %d — replay with: go test ./internal/vm -run '^%s$' -seed %d", s, t.Name(), s)
+	return s
+}
