@@ -11,6 +11,9 @@
 //	fescli deploy -fleet -model modelcar-v1 alice RemoteControl
 //	fescli upgrade alice VIN123 TripCounter-v1 TripCounter-v2
 //	fescli upgrade -fleet -model modelcar-v1 alice TripCounter-v1 TripCounter-v2
+//	fescli rollout start -waves 1,10%,all alice TripCounter-v1 TripCounter-v2
+//	fescli rollout wait ro-00000001
+//	fescli rollout abort ro-00000001
 //	fescli uninstall -fleet alice RemoteControl VIN123 VIN124
 //	fescli verify alice VIN123 deploy RemoteControl
 //	fescli verify alice VIN123 uninstall RemoteControl
@@ -97,7 +100,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("usage: fescli [-server URL] <adduser|bindvehicle|upload|apps|deploy|upgrade|verify|status|health|statz|uninstall|restore|operations|vehicle|vehicles|paperapp|phone> ...")
+		log.Fatal("usage: fescli [-server URL] <adduser|bindvehicle|upload|apps|deploy|upgrade|rollout|verify|status|health|statz|uninstall|restore|operations|vehicle|vehicles|paperapp|phone> ...")
 	}
 	client = api.NewClient(*serverURL, nil)
 	ctx := context.Background()
@@ -140,6 +143,8 @@ func main() {
 			})
 	case "upgrade":
 		upgrade(ctx, args[1:])
+	case "rollout":
+		rollout(ctx, args[1:])
 	case "verify":
 		verifyCmd(ctx, args[1:])
 	case "restore":
@@ -261,6 +266,106 @@ func upgrade(ctx context.Context, args []string) {
 	}
 	op, err := client.BatchUpgrade(ctx, req)
 	show(op, err)
+}
+
+// rollout drives progressive fleet rollouts:
+//
+//	fescli rollout start [-model M] [-waves 1,10%,all] [-max-failure-rate R]
+//	       [-max-probe-failures N] [-max-ack-p99 MS] <user> <fromApp> <toApp> [vin ...]
+//	fescli rollout status <id>
+//	fescli rollout abort <id>
+//	fescli rollout wait <id>
+//	fescli rollout list
+//
+// Start answers immediately with the rollout resource; wait blocks
+// until it reaches a terminal state and exits non-zero if the fleet
+// rolled back (the error carries the stable rollout_unhealthy or
+// rollout_aborted code).
+func rollout(ctx context.Context, args []string) {
+	if len(args) == 0 {
+		log.Fatal("usage: fescli rollout <start|status ID|abort ID|wait ID|list>")
+	}
+	switch args[0] {
+	case "start":
+		rolloutStart(ctx, args[1:])
+	case "status":
+		need(args, 2, "rollout status <id>")
+		st, err := client.GetRollout(ctx, args[1])
+		show(st, err)
+	case "abort":
+		need(args, 2, "rollout abort <id>")
+		st, err := client.AbortRollout(ctx, args[1])
+		show(st, err)
+	case "wait":
+		need(args, 2, "rollout wait <id>")
+		waitCtx, cancel := context.WithTimeout(ctx, 10*time.Minute)
+		defer cancel()
+		st, err := client.WaitRollout(waitCtx, args[1], 200*time.Millisecond)
+		show(st, err)
+		if st.State != api.RolloutSucceeded {
+			os.Exit(1)
+		}
+	case "list":
+		list, err := client.ListRollouts(ctx, page)
+		show(list, err)
+	default:
+		log.Fatalf("unknown rollout command %q", args[0])
+	}
+}
+
+func rolloutStart(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("rollout start", flag.ExitOnError)
+	model := fs.String("model", "", "with no VINs: select only the user's vehicles of this model")
+	waves := fs.String("waves", "", "comma-separated cumulative wave sizes: counts, percentages or 'all' (default 1,10%,all)")
+	maxFailureRate := fs.Float64("max-failure-rate", 0, "tolerated fraction of failed upgrades per wave, in [0, 1)")
+	maxProbeFailures := fs.Int("max-probe-failures", 0, "tolerated vehicle-side probe rollbacks per wave")
+	maxAckP99 := fs.Float64("max-ack-p99", 0, "p99 settle-latency bound per wave in milliseconds (0 = off)")
+	_ = fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) < 3 {
+		log.Fatal("usage: fescli rollout start [-model M] [-waves 1,10%,all] <user> <fromApp> <toApp> [vin ...]")
+	}
+	req := api.RolloutRequest{
+		User: core.UserID(rest[0]), From: core.AppName(rest[1]), To: core.AppName(rest[2]),
+	}
+	for _, v := range rest[3:] {
+		req.Vehicles = append(req.Vehicles, core.VehicleID(v))
+	}
+	if len(req.Vehicles) == 0 {
+		req.Selector = &api.FleetSelector{Model: *model}
+	} else if *model != "" {
+		log.Fatal("fescli rollout start: -model and explicit VINs are mutually exclusive")
+	}
+	if *waves != "" {
+		for _, part := range strings.Split(*waves, ",") {
+			part = strings.TrimSpace(part)
+			switch {
+			case part == "all":
+				req.Waves = append(req.Waves, api.RolloutWave{Fraction: 1})
+			case strings.HasSuffix(part, "%"):
+				pct, err := strconv.ParseFloat(strings.TrimSuffix(part, "%"), 64)
+				if err != nil {
+					log.Fatalf("bad wave %q: %v", part, err)
+				}
+				req.Waves = append(req.Waves, api.RolloutWave{Fraction: pct / 100})
+			default:
+				n, err := strconv.Atoi(part)
+				if err != nil {
+					log.Fatalf("bad wave %q: %v", part, err)
+				}
+				req.Waves = append(req.Waves, api.RolloutWave{Count: n})
+			}
+		}
+	}
+	if *maxFailureRate != 0 || *maxProbeFailures != 0 || *maxAckP99 != 0 {
+		req.Health = &api.RolloutHealthPolicy{
+			MaxFailureRate:   *maxFailureRate,
+			MaxProbeFailures: *maxProbeFailures,
+			MaxAckP99Millis:  *maxAckP99,
+		}
+	}
+	st, err := client.StartRollout(ctx, req)
+	show(st, err)
 }
 
 // verifyCmd dry-runs an operation through the static plan verifier:

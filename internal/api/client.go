@@ -63,6 +63,30 @@ func (c *Client) WaitOperation(ctx context.Context, id string, interval time.Dur
 	}
 }
 
+// WaitRollout polls a rollout until it reaches a terminal state or the
+// context expires. interval <= 0 uses a 50ms default.
+func (c *Client) WaitRollout(ctx context.Context, id string, interval time.Duration) (RolloutStatus, error) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		st, err := c.GetRollout(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.Done {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, Errorf(CodeUnavailable, "api: waiting for rollout %s: %v", id, ctx.Err())
+		case <-t.C:
+		}
+	}
+}
+
 // httpTransport implements DeploymentService over the /v1 wire
 // protocol.
 type httpTransport struct {
@@ -207,6 +231,30 @@ func (t *httpTransport) BatchUpgrade(ctx context.Context, req BatchUpgradeReques
 	var op Operation
 	err := t.do(ctx, http.MethodPost, "/v1/upgrade:batch", req, &op)
 	return op, err
+}
+
+func (t *httpTransport) StartRollout(ctx context.Context, req RolloutRequest) (RolloutStatus, error) {
+	var st RolloutStatus
+	err := t.do(ctx, http.MethodPost, "/v1/rollout", req, &st)
+	return st, err
+}
+
+func (t *httpTransport) GetRollout(ctx context.Context, id string) (RolloutStatus, error) {
+	var st RolloutStatus
+	err := t.do(ctx, http.MethodGet, "/v1/rollouts/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+func (t *httpTransport) AbortRollout(ctx context.Context, id string) (RolloutStatus, error) {
+	var st RolloutStatus
+	err := t.do(ctx, http.MethodPost, "/v1/rollouts/"+url.PathEscape(id)+":abort", nil, &st)
+	return st, err
+}
+
+func (t *httpTransport) ListRollouts(ctx context.Context, page Page) (RolloutList, error) {
+	var list RolloutList
+	err := t.do(ctx, http.MethodGet, "/v1/rollouts"+pageQuery(page), nil, &list)
+	return list, err
 }
 
 func (t *httpTransport) Uninstall(ctx context.Context, req UninstallRequest) (Operation, error) {

@@ -51,6 +51,17 @@ const (
 	// safe-state reachability). The message carries the minimal
 	// counterexample path; nothing was pushed to the vehicle.
 	CodeUnsafePlan ErrorCode = "unsafe_plan"
+	// CodeRolloutUnhealthy: a progressive rollout's per-wave health gate
+	// tripped — too many failed or vehicle-rolled-back upgrades in the
+	// wave, or the ack-latency bound was exceeded — and the fleet was
+	// automatically downgraded in reverse wave order. Carried as the
+	// rollout's terminal error so clients polling GET /v1/rollouts/{id}
+	// can branch on it.
+	CodeRolloutUnhealthy ErrorCode = "rollout_unhealthy"
+	// CodeRolloutAborted: the operator aborted a progressive rollout
+	// (POST /v1/rollouts/{id}:abort) and the fleet was downgraded. The
+	// rollout's terminal error when no health gate tripped first.
+	CodeRolloutAborted ErrorCode = "rollout_aborted"
 	// CodeInternal: an unexpected server-side failure.
 	CodeInternal ErrorCode = "internal"
 )
@@ -99,7 +110,8 @@ func HTTPStatus(code ErrorCode) int {
 		return http.StatusBadRequest
 	case CodeNotFound:
 		return http.StatusNotFound
-	case CodeAlreadyExists, CodeFailedPrecondition, CodeRolledBack, CodeUnsafePlan:
+	case CodeAlreadyExists, CodeFailedPrecondition, CodeRolledBack, CodeUnsafePlan,
+		CodeRolloutUnhealthy, CodeRolloutAborted:
 		return http.StatusConflict
 	case CodePermissionDenied:
 		return http.StatusForbidden

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -28,6 +29,10 @@ import (
 //	POST /v1/uninstall:batch          start a fleet-wide uninstallation -> parent Operation
 //	POST /v1/upgrade                  start a live in-place upgrade -> Operation
 //	POST /v1/upgrade:batch            start a fleet-wide live upgrade -> parent Operation
+//	POST /v1/rollout                  start a progressive health-gated rollout -> RolloutStatus
+//	GET  /v1/rollouts                 list rollouts (paginated)
+//	GET  /v1/rollouts/{id}            rollout status with per-wave detail
+//	POST /v1/rollouts/{id}:abort      abort a running rollout (fleet rollback)
 //	POST /v1/restore                  start an async ECU restore -> Operation
 //	POST /v1/verify                   dry-run the static plan verifier -> VerifyReport
 //	GET  /v1/status?vehicle=V&app=A   per-app ack progress
@@ -112,6 +117,12 @@ func NewHandler(svc DeploymentService, opts *HandlerOptions) http.Handler {
 	mux.HandleFunc("POST /v1/uninstall:batch", h.batchUninstall)
 	mux.HandleFunc("POST /v1/upgrade", h.upgrade)
 	mux.HandleFunc("POST /v1/upgrade:batch", h.batchUpgrade)
+	mux.HandleFunc("POST /v1/rollout", h.startRollout)
+	mux.HandleFunc("GET /v1/rollouts", h.listRollouts)
+	mux.HandleFunc("GET /v1/rollouts/{id}", h.getRollout)
+	// {id} wildcards span the whole segment, so the :abort verb arrives
+	// inside the path value and is parsed off by the handler.
+	mux.HandleFunc("POST /v1/rollouts/{id}", h.postRollout)
 	mux.HandleFunc("POST /v1/restore", h.restore)
 	mux.HandleFunc("POST /v1/verify", h.verify)
 	mux.HandleFunc("GET /v1/status", h.status)
@@ -411,6 +422,58 @@ func (h *handler) batchUpgrade(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.writeJSON(w, http.StatusAccepted, op)
+}
+
+func (h *handler) startRollout(w http.ResponseWriter, r *http.Request) {
+	var req RolloutRequest
+	if !h.decode(w, r, &req) {
+		return
+	}
+	st, err := h.svc.StartRollout(r.Context(), req)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusAccepted, st)
+}
+
+func (h *handler) listRollouts(w http.ResponseWriter, r *http.Request) {
+	page, err := pageOf(r)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	list, err := h.svc.ListRollouts(r.Context(), page)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, list)
+}
+
+func (h *handler) getRollout(w http.ResponseWriter, r *http.Request) {
+	st, err := h.svc.GetRollout(r.Context(), r.PathValue("id"))
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, st)
+}
+
+// postRollout dispatches the custom verbs of the rollout resource; the
+// only one today is {id}:abort.
+func (h *handler) postRollout(w http.ResponseWriter, r *http.Request) {
+	id, verb, ok := strings.Cut(r.PathValue("id"), ":")
+	if !ok || verb != "abort" || id == "" {
+		h.writeError(w, Errorf(CodeInvalidArgument, "api: POST /v1/rollouts/{id}:abort is the only rollout verb"))
+		return
+	}
+	st, err := h.svc.AbortRollout(r.Context(), id)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusAccepted, st)
 }
 
 func (h *handler) uninstall(w http.ResponseWriter, r *http.Request) {

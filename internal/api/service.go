@@ -86,6 +86,121 @@ type BatchUpgradeRequest struct {
 	To       core.AppName     `json:"to"`
 }
 
+// RolloutWave selects how much of the fleet is cumulatively covered
+// after one wave of a progressive rollout: an absolute vehicle count
+// (Count > 0 wins) or a fraction of the resolved fleet in (0, 1].
+// Resolved boundaries must be strictly increasing and the last wave
+// must cover the whole fleet.
+type RolloutWave struct {
+	Count    int     `json:"count,omitempty"`
+	Fraction float64 `json:"fraction,omitempty"`
+}
+
+// RolloutHealthPolicy is the per-wave promotion gate of a progressive
+// rollout. The zero value is the strictest gate: any failed child
+// upgrade (nack, disconnect, or vehicle-side probe rollback) trips it.
+type RolloutHealthPolicy struct {
+	// MaxFailureRate is the tolerated fraction of failed child upgrades
+	// per wave, in [0, 1).
+	MaxFailureRate float64 `json:"maxFailureRate,omitempty"`
+	// MaxProbeFailures is the tolerated absolute number of vehicle-side
+	// probe rollbacks (children failing with the "rollback" code) per
+	// wave; probe failures are the strongest unhealthy signal, so they
+	// gate separately from the overall rate.
+	MaxProbeFailures int `json:"maxProbeFailures,omitempty"`
+	// MaxAckP99Millis bounds the p99 settle latency of the wave's child
+	// upgrades in milliseconds; 0 disables the latency gate.
+	MaxAckP99Millis float64 `json:"maxAckP99Millis,omitempty"`
+}
+
+// RolloutRequest starts a health-gated progressive rollout: the fleet
+// (explicit vehicle list or selector, exactly one) is bucketed
+// deterministically by hashed vehicle id, split into canary waves, and
+// upgraded From -> To one wave at a time; each wave must pass the
+// health policy before the next launches, and a tripped gate (or an
+// operator abort) downgrades every already-upgraded vehicle in reverse
+// wave order. An empty Waves plan defaults to 1 vehicle -> 10% -> all.
+type RolloutRequest struct {
+	User     core.UserID          `json:"user"`
+	Vehicles []core.VehicleID     `json:"vehicles,omitempty"`
+	Selector *FleetSelector       `json:"selector,omitempty"`
+	From     core.AppName         `json:"from"`
+	To       core.AppName         `json:"to"`
+	Waves    []RolloutWave        `json:"waves,omitempty"`
+	Health   *RolloutHealthPolicy `json:"health,omitempty"`
+}
+
+// RolloutState is the lifecycle state of a progressive rollout.
+type RolloutState string
+
+const (
+	// RolloutRunning: waves are executing or awaiting promotion.
+	RolloutRunning RolloutState = "running"
+	// RolloutRollingBack: the gate tripped or the operator aborted;
+	// already-upgraded vehicles are being downgraded.
+	RolloutRollingBack RolloutState = "rolling_back"
+	// RolloutSucceeded: every wave promoted; the fleet runs the new
+	// version.
+	RolloutSucceeded RolloutState = "succeeded"
+	// RolloutRolledBack: the downgrade completed; Error carries why
+	// ("rollout_unhealthy" or "rollout_aborted").
+	RolloutRolledBack RolloutState = "rolled_back"
+)
+
+// RolloutWaveStatus reports one wave's execution. BatchOp is the batch
+// upgrade parent the wave ran as (its children carry per-vehicle
+// detail); RollbackOp the batch that downgraded the wave, when the
+// rollout rolled back.
+type RolloutWaveStatus struct {
+	// Targets is the number of vehicles in this wave (bucket order).
+	Targets int `json:"targets"`
+	// Started reports that the wave's batch was launched.
+	Started bool `json:"started,omitempty"`
+	// Promoted reports that the wave passed its health gate.
+	Promoted   bool   `json:"promoted,omitempty"`
+	BatchOp    string `json:"batchOp,omitempty"`
+	RollbackOp string `json:"rollbackOp,omitempty"`
+	// Succeeded/Failed count the wave's child upgrades by outcome;
+	// ProbeFailures counts children that failed with the "rollback"
+	// code (vehicle-side health-probe rollbacks), a subset of Failed.
+	Succeeded     int `json:"succeeded,omitempty"`
+	Failed        int `json:"failed,omitempty"`
+	ProbeFailures int `json:"probeFailures,omitempty"`
+	// AckP99Millis is the p99 settle latency of the wave's children.
+	AckP99Millis float64 `json:"ackP99Millis,omitempty"`
+}
+
+// RolloutStatus is the rollout resource: POST /v1/rollout returns one
+// immediately and GET /v1/rollouts/{id} reports wave progress.
+type RolloutStatus struct {
+	ID    string       `json:"id"`
+	User  core.UserID  `json:"user"`
+	From  core.AppName `json:"from"`
+	To    core.AppName `json:"to"`
+	State RolloutState `json:"state"`
+	// Vehicles is the resolved fleet in deterministic bucket order;
+	// waves are contiguous prefixes of it.
+	Vehicles []core.VehicleID    `json:"vehicles,omitempty"`
+	Waves    []RolloutWaveStatus `json:"waves"`
+	// CurrentWave indexes the wave executing (or rolling back); equal
+	// to len(Waves) when every wave promoted.
+	CurrentWave int `json:"currentWave"`
+	// GateReason is why the rollout left the forward path: the tripped
+	// health gate's description, or the operator abort.
+	GateReason string `json:"gateReason,omitempty"`
+	// Error carries the terminal failure code ("rollout_unhealthy" or
+	// "rollout_aborted"); nil while running and on success.
+	Error *Error `json:"error,omitempty"`
+	// Done reports whether the rollout reached a terminal state.
+	Done bool `json:"done"`
+}
+
+// RolloutList is one page of rollouts, oldest first.
+type RolloutList struct {
+	Rollouts      []RolloutStatus `json:"rollouts"`
+	NextPageToken string          `json:"nextPageToken,omitempty"`
+}
+
 // VerifyRequest asks the static plan verifier to dry-run an operation:
 // plan it exactly as Deploy/Uninstall/Upgrade would, walk every
 // intermediate configuration of the reconfiguration path, and report —
@@ -260,6 +375,17 @@ type DeploymentService interface {
 	BatchUninstall(ctx context.Context, req BatchUninstallRequest) (Operation, error)
 	// BatchUpgrade starts an async fleet-wide live upgrade.
 	BatchUpgrade(ctx context.Context, req BatchUpgradeRequest) (Operation, error)
+
+	// StartRollout starts a health-gated progressive rollout and
+	// returns its status resource; waves execute asynchronously.
+	StartRollout(ctx context.Context, req RolloutRequest) (RolloutStatus, error)
+	// GetRollout returns one rollout by id.
+	GetRollout(ctx context.Context, id string) (RolloutStatus, error)
+	// AbortRollout requests a fleet rollback of a running rollout; a
+	// terminal rollout is refused with "failed_precondition".
+	AbortRollout(ctx context.Context, id string) (RolloutStatus, error)
+	// ListRollouts pages through rollouts, oldest first.
+	ListRollouts(ctx context.Context, page Page) (RolloutList, error)
 
 	// Status reports per-app ack progress on a vehicle.
 	Status(ctx context.Context, vehicle core.VehicleID, app core.AppName) (OpStatus, error)

@@ -49,6 +49,22 @@ const (
 	childPollEvery = 5 * time.Millisecond
 )
 
+// trackedRollout follows one launched progressive rollout to its
+// terminal state. Unlike operations, a rollout's state machine is
+// write-ahead journaled, so it survives server crashes: recovery
+// resumes or rolls it back, and the tracker keeps polling the same id
+// across incarnations.
+type trackedRollout struct {
+	id       string
+	launch   time.Time
+	gen      int // server incarnation it was launched against
+	from, to core.AppName
+	targets  []core.VehicleID
+	done     bool
+	lost     bool
+	final    api.RolloutStatus
+}
+
 // trackedOp follows one launched operation to its terminal state.
 type trackedOp struct {
 	id     string
@@ -81,20 +97,27 @@ type Fleet struct {
 	// serverGen bumps on every crash so links and operations can tell
 	// which incarnation they belong to.
 	serverGen int
-	closed    bool
+	// degradedGens marks server incarnations whose journal took a
+	// durability fault (disk full): commit records acknowledged by that
+	// incarnation may never have reached disk, so a later recovery can
+	// legitimately revert work the tracker saw succeed.
+	degradedGens map[int]bool
+	closed       bool
 
 	vehicles []*SimVehicle
 	byID     map[core.VehicleID]*SimVehicle
 	appVer   map[core.AppName]map[core.PluginName]string
 	groups   map[string][]core.VehicleID
 
-	open       map[string]*trackedOp
-	sampled    map[string]*trackedOp
-	settledOps []*trackedOp
-	childFinal map[string]api.Operation
-	wasOpen    bool
-	lastPoll   time.Time
-	lastChild  time.Time
+	open            map[string]*trackedOp
+	openRollouts    map[string]*trackedRollout
+	settledRollouts []*trackedRollout
+	sampled         map[string]*trackedOp
+	settledOps      []*trackedOp
+	childFinal      map[string]api.Operation
+	wasOpen         bool
+	lastPoll        time.Time
+	lastChild       time.Time
 
 	start      time.Time
 	deadline   time.Time
@@ -126,16 +149,18 @@ func Run(sc Scenario, logf func(string, ...any)) (*Result, error) {
 		return nil, err
 	}
 	f := &Fleet{
-		sc:         sc,
-		eng:        sim.NewEngine(),
-		rng:        rand.New(rand.NewSource(sc.Seed)),
-		byID:       make(map[core.VehicleID]*SimVehicle),
-		appVer:     make(map[core.AppName]map[core.PluginName]string),
-		groups:     make(map[string][]core.VehicleID),
-		open:       make(map[string]*trackedOp),
-		sampled:    make(map[string]*trackedOp),
-		childFinal: make(map[string]api.Operation),
-		logf:       logf,
+		sc:           sc,
+		eng:          sim.NewEngine(),
+		rng:          rand.New(rand.NewSource(sc.Seed)),
+		byID:         make(map[core.VehicleID]*SimVehicle),
+		appVer:       make(map[core.AppName]map[core.PluginName]string),
+		groups:       make(map[string][]core.VehicleID),
+		open:         make(map[string]*trackedOp),
+		openRollouts: make(map[string]*trackedRollout),
+		degradedGens: make(map[int]bool),
+		sampled:      make(map[string]*trackedOp),
+		childFinal:   make(map[string]api.Operation),
+		logf:         logf,
 	}
 	if err := f.setup(); err != nil {
 		f.shutdown()
@@ -290,9 +315,36 @@ func (f *Fleet) launch(w WorkItem, targets []core.VehicleID) {
 	case WorkBatchUninstall:
 		op, err := cl.BatchUninstall(ctx, api.BatchUninstallRequest{User: fleetUser, Vehicles: targets, App: w.App})
 		f.finishLaunch(w, op, err, "uninstall")
+	case WorkRollout:
+		st, err := cl.StartRollout(ctx, api.RolloutRequest{
+			User: fleetUser, Vehicles: targets,
+			From: w.App, To: w.ToApp,
+			Waves: w.Waves, Health: w.Health,
+		})
+		if err != nil {
+			f.violationf("launch %s %s -> %s refused: %v", w.Kind, w.App, w.ToApp, err)
+			return
+		}
+		f.tracef("launch rollout %s -> %s over %d vehicles in %d waves", w.App, w.ToApp, len(st.Vehicles), len(st.Waves))
+		f.logf("fleetsim: t=%s launched rollout %s -> %s (%s, %d vehicles, %d waves)",
+			f.vt(), w.App, w.ToApp, st.ID, len(st.Vehicles), len(st.Waves))
+		f.openRollouts[st.ID] = &trackedRollout{
+			id: st.ID, launch: time.Now(), gen: f.serverGen,
+			from: st.From, to: st.To,
+			targets: append([]core.VehicleID(nil), st.Vehicles...),
+		}
+		f.wasOpen = true
+		f.m.launched++
 	default:
 		f.violationf("unknown work kind %q", w.Kind)
 	}
+}
+
+// openWork counts everything the pump still waits on: launched
+// operations and progressive rollouts that have not reached a terminal
+// state.
+func (f *Fleet) openWork() int {
+	return len(f.open) + len(f.openRollouts)
 }
 
 func (f *Fleet) finishLaunch(w WorkItem, op api.Operation, err error, metric string) {
@@ -379,9 +431,82 @@ func (f *Fleet) poll() {
 			}
 		}
 	}
-	if f.wasOpen && len(f.open) == 0 {
+	f.pollRollouts(now)
+	if f.wasOpen && f.openWork() == 0 {
 		f.wasOpen = false
 		f.audit("quiescent")
+	}
+}
+
+// pollRollouts settles tracked rollouts. A rollout is write-ahead
+// journaled before its first wave launches, so unlike plain operations
+// it must survive a crash-restart: vanishing from a journaled server's
+// registry is a violation, and "lost" only applies to memory-only runs.
+func (f *Fleet) pollRollouts(now time.Time) {
+	for id, t := range f.openRollouts {
+		st, ok := f.srv.Rollout(id)
+		switch {
+		case !ok && t.gen < f.serverGen && f.dir == "":
+			t.done, t.lost = true, true
+			f.m.rolloutsLost++
+		case !ok:
+			f.violationf("rollout %s vanished from the registry before settling", id)
+			t.done = true
+		case st.Done:
+			t.done, t.final = true, st
+			f.settleRollout(t, st, now)
+		default:
+			continue
+		}
+		delete(f.openRollouts, id)
+		f.settledRollouts = append(f.settledRollouts, t)
+	}
+}
+
+// settleRollout records a terminal rollout: whole-rollout latency, the
+// promoted-wave tally, and every wave's forward and rollback batch
+// operation harvested into the audit's settled set.
+func (f *Fleet) settleRollout(t *trackedRollout, st api.RolloutStatus, now time.Time) {
+	f.m.settled++
+	f.m.rolloutsSettled++
+	f.m.rollout.record(now.Sub(t.launch))
+	reason := ""
+	if st.State == api.RolloutRolledBack {
+		f.m.rolloutsRolledBack++
+		reason = ": " + st.GateReason
+	}
+	for _, ws := range st.Waves {
+		if ws.Promoted {
+			f.m.wavesPromoted++
+		}
+		f.harvestRolloutOp(ws.BatchOp)
+		f.harvestRolloutOp(ws.RollbackOp)
+	}
+	f.logf("fleetsim: t=%s rollout %s settled %s%s", f.vt(), st.ID, st.State, reason)
+}
+
+// harvestRolloutOp pulls one wave's batch operation into the settled
+// set so the I2 accounting audit covers it and its failed children feed
+// the exemption allowance. Waves run server-side, so an id from an
+// incarnation that died mid-wave may legitimately be gone.
+func (f *Fleet) harvestRolloutOp(id string) {
+	if id == "" || f.srv == nil {
+		return
+	}
+	op, ok := f.srv.Operation(id)
+	if !ok || !op.Done {
+		return
+	}
+	t := &trackedOp{
+		id: id, metric: "upgrade", gen: f.serverGen,
+		app: op.App, toApp: op.ToApp, targets: op.Vehicles,
+		done: true, final: op,
+	}
+	f.settledOps = append(f.settledOps, t)
+	for _, cid := range op.Children {
+		if cop, ok := f.srv.Operation(cid); ok {
+			f.childFinal[cid] = cop
+		}
 	}
 }
 
@@ -424,16 +549,17 @@ func (f *Fleet) pump() {
 		}
 		f.poll()
 		now := f.eng.Now()
-		if len(f.open) == 0 && now >= endT {
+		if f.openWork() == 0 && now >= endT {
 			return
 		}
 		if time.Now().After(f.deadline) {
-			f.violationf("real-time limit %s exceeded with %d operations unsettled", f.sc.RealTimeLimit, len(f.open))
+			f.violationf("real-time limit %s exceeded with %d operations and %d rollouts unsettled",
+				f.sc.RealTimeLimit, len(f.open), len(f.openRollouts))
 			return
 		}
 		at, ok := f.eng.Next()
 		switch {
-		case ok && (at <= endT || len(f.open) > 0):
+		case ok && (at <= endT || f.openWork() > 0):
 			if now < endT && !f.paced(at) {
 				continue // waited out pacing or handled injected work
 			}

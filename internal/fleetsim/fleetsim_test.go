@@ -14,6 +14,11 @@ import (
 // effective seed, and `-seed N` reruns the identical fault schedule.
 var seedFlag = flag.Int64("seed", 0, "scenario seed override (0 derives one from the clock and logs it for replay)")
 
+// soakFlag opts into the long-soak drift run (CI nightly): a stretched
+// soak preset whose quiescent-point audits cross-check /v1/statz
+// against the tracker's accounting throughout.
+var soakFlag = flag.Bool("soak", false, "run the long soak statz-drift test")
+
 func scenarioSeed(t *testing.T) int64 {
 	s := *seedFlag
 	if s == 0 {
@@ -92,6 +97,9 @@ func TestScenarioSoak(t *testing.T) {
 	if rep.Latency["deploy"].Count == 0 || rep.Latency["upgrade"].Count == 0 || rep.Latency["ackRtt"].Count == 0 {
 		t.Errorf("latency distributions incomplete: %+v", rep.Latency)
 	}
+	if rep.Latency["rollout"].Count == 0 {
+		t.Errorf("the soak preset's progressive rollout recorded no latency sample")
+	}
 	st := rep.Statz
 	if st == nil {
 		t.Fatal("report carries no statz snapshot")
@@ -104,6 +112,42 @@ func TestScenarioSoak(t *testing.T) {
 	}
 	if st.PendingAcks != 0 {
 		t.Errorf("%d pushes still awaiting acks at quiescence", st.PendingAcks)
+	}
+}
+
+// TestScenarioSoakDrift is the long-soak drift gate (opt-in via -soak;
+// CI runs it nightly): a stretched soak window with a larger fleet, so
+// the run crosses many quiescent points — at each one the auditor
+// cross-checks /v1/statz against the tracker's accounting, and at the
+// end the counters must balance exactly: nothing open, nothing pending,
+// every created operation carrying a settled outcome.
+func TestScenarioSoakDrift(t *testing.T) {
+	if !*soakFlag {
+		t.Skip("long soak: enable with -soak")
+	}
+	seed := scenarioSeed(t)
+	sc, err := Preset("soak", scaled(2000), seed, 120*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClean(t, res, seed)
+	st := res.Report.Statz
+	if st == nil {
+		t.Fatal("report carries no statz snapshot")
+	}
+	if st.OpsOpen != 0 || st.PendingAcks != 0 {
+		t.Errorf("seed %d: quiescent server still busy: %d ops open, %d acks pending", seed, st.OpsOpen, st.PendingAcks)
+	}
+	var settled uint64
+	for _, n := range st.OpsSettled {
+		settled += n
+	}
+	if settled != st.OpsCreated {
+		t.Errorf("seed %d: statz drifted over the soak: %d created, %d settled outcomes", seed, st.OpsCreated, settled)
 	}
 }
 

@@ -40,7 +40,11 @@ type exKey struct {
 
 // exemptions builds the divergence allowance from terminal operations:
 // a failed child exempts its (vehicle, app) and upgrade target; a lost
-// operation (crashed server) exempts every pair it addressed.
+// operation (crashed server) exempts every pair it addressed; an
+// operation settled by an incarnation whose journal lost durability
+// (disk full) exempts its pairs once a crash crosses that incarnation —
+// its commit records may never have hit disk, so recovery can revert
+// rows the tracker saw succeed.
 func (f *Fleet) exemptions() map[exKey]bool {
 	ex := make(map[exKey]bool)
 	add := func(v core.VehicleID, apps ...core.AppName) {
@@ -51,7 +55,8 @@ func (f *Fleet) exemptions() map[exKey]bool {
 		}
 	}
 	for _, t := range f.settledOps {
-		if t.lost || (t.done && t.final.State == api.StateFailed) || !t.done {
+		lostDurability := t.gen < f.serverGen && f.degradedGens[t.gen]
+		if t.lost || (t.done && t.final.State == api.StateFailed) || !t.done || lostDurability {
 			for _, v := range t.targets {
 				add(v, t.app, t.toApp)
 			}
@@ -60,6 +65,18 @@ func (f *Fleet) exemptions() map[exKey]bool {
 	for _, cop := range f.childFinal {
 		if cop.State == api.StateFailed {
 			add(cop.Vehicle, cop.App, cop.ToApp)
+		}
+	}
+	// A rollout that crossed a server crash may have had wave children
+	// in flight when the process died (an ack applied on the vehicle
+	// whose commit never became durable); recovery converges the fleet
+	// at the store level, so the whole target set is exempted like a
+	// lost operation's.
+	for _, t := range f.settledRollouts {
+		if t.lost || t.gen < f.serverGen {
+			for _, v := range t.targets {
+				add(v, t.from, t.to)
+			}
 		}
 	}
 	return ex
@@ -74,6 +91,7 @@ func (f *Fleet) audit(label string) {
 	// hits depends on real scheduling, and the trace must stay a pure
 	// function of the seed.
 	f.auditOps()
+	f.auditStatz(label)
 	ex := f.exemptions()
 	deployOK := f.deploySucceededVehicles()
 	pairs := f.sc.upgradePairs()
@@ -83,6 +101,30 @@ func (f *Fleet) audit(label string) {
 		f.auditPorts(v, rows)
 		f.auditHonesty(v, rows, ex)
 		f.auditFamilies(v, rows, pairs, deployOK, label)
+	}
+}
+
+// auditStatz cross-checks the server's /v1/statz counters against the
+// tracker's accounting at a quiescent point: with every tracked
+// operation and rollout settled, the registry must hold no open
+// operations and every created operation must have a settled outcome.
+// The counters are in-memory and reset with the process, so the check
+// only binds while the run has not crossed a server crash.
+func (f *Fleet) auditStatz(label string) {
+	if f.m.serverCrashes > 0 || f.m.lostOps > 0 || f.m.rolloutsLost > 0 {
+		return
+	}
+	st := f.srv.Statz()
+	if st.OpsOpen != 0 {
+		f.violationf("statz drift at %s audit: %d operations open with the fleet quiescent", label, st.OpsOpen)
+	}
+	var settled uint64
+	for _, n := range st.OpsSettled {
+		settled += n
+	}
+	if settled != st.OpsCreated {
+		f.violationf("statz drift at %s audit: %d operations created but %d settled outcomes recorded",
+			label, st.OpsCreated, settled)
 	}
 }
 
@@ -193,11 +235,26 @@ func (f *Fleet) auditHonesty(v *SimVehicle, rows []api.InstalledApp, ex map[exKe
 		}
 	}
 	for key, ver := range v.plugins {
-		if !known[key] {
+		if !known[key] && !f.orphanExplained(v.ID, key, ex) {
 			f.violationf("vehicle %s: flashed plug-in %s@%s on %s/%s unknown to the server",
 				v.ID, key.Plugin, ver, key.ECU, key.SWC)
 		}
 	}
+}
+
+// orphanExplained reports whether a flashed-but-unknown plug-in belongs
+// to an app a failed or lost operation exempted on this vehicle. The
+// server row can be gone entirely — a deploy child that failed after
+// some acks applied removes its partial row while the vehicle keeps the
+// acked flash — so the check maps the plug-in back to candidate apps
+// through the scenario catalogue instead of through server rows.
+func (f *Fleet) orphanExplained(vehicle core.VehicleID, key plugKey, ex map[exKey]bool) bool {
+	for app, plugs := range f.appVer {
+		if _, owns := plugs[key.Plugin]; owns && ex[exKey{vehicle, app}] {
+			return true
+		}
+	}
+	return false
 }
 
 // auditFamilies checks I5 on every upgraded app family.

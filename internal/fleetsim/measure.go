@@ -18,10 +18,16 @@ type metrics struct {
 	launchesSkipped            int
 	faults, serverCrashes      int
 	corrupted                  uint64
+	probeNacks                 uint64
 	recoveredRecords           int
 	interruptedOps             int
 
-	deploy, upgrade, uninstall, ackRTT hist
+	rolloutsSettled    int
+	rolloutsRolledBack int
+	rolloutsLost       int
+	wavesPromoted      int
+
+	deploy, upgrade, uninstall, rollout, ackRTT hist
 }
 
 func (m *metrics) lat(metric string) *hist {
@@ -30,6 +36,8 @@ func (m *metrics) lat(metric string) *hist {
 		return &m.upgrade
 	case "uninstall":
 		return &m.uninstall
+	case "rollout":
+		return &m.rollout
 	default:
 		return &m.deploy
 	}
@@ -101,6 +109,11 @@ type Report struct {
 	Throughput map[string]float64      `json:"throughputPerSec"`
 	Latency    map[string]LatencyStats `json:"latency"`
 
+	// Installed counts, per app, the vehicles holding an installed row
+	// at the end of the run — the convergence observable rollout tests
+	// assert all-old/all-new on.
+	Installed map[string]int `json:"installedVehicles,omitempty"`
+
 	Statz *api.Statz `json:"statz,omitempty"`
 
 	Violations []string `json:"violations,omitempty"`
@@ -138,6 +151,7 @@ func (f *Fleet) report() Report {
 			"acks":             acks,
 			"nacks":            nacks,
 			"corruptedFrames":  f.m.corrupted,
+			"probeNacks":       f.m.probeNacks,
 			"opsLaunched":      uint64(f.m.launched),
 			"opsSettled":       uint64(f.m.settled),
 			"opsLostToCrash":   uint64(f.m.lostOps),
@@ -146,6 +160,11 @@ func (f *Fleet) report() Report {
 			"serverCrashes":    uint64(f.m.serverCrashes),
 			"recoveredRecords": uint64(f.m.recoveredRecords),
 			"interruptedOps":   uint64(f.m.interruptedOps),
+
+			"rolloutsSettled":      uint64(f.m.rolloutsSettled),
+			"rolloutsRolledBack":   uint64(f.m.rolloutsRolledBack),
+			"rolloutsLostToCrash":  uint64(f.m.rolloutsLost),
+			"rolloutWavesPromoted": uint64(f.m.wavesPromoted),
 		},
 		Throughput: map[string]float64{
 			"acks": float64(acks) / wall,
@@ -154,9 +173,20 @@ func (f *Fleet) report() Report {
 			"deploy":    f.m.deploy.stats(),
 			"upgrade":   f.m.upgrade.stats(),
 			"uninstall": f.m.uninstall.stats(),
+			"rollout":   f.m.rollout.stats(),
 			"ackRtt":    f.m.ackRTT.stats(),
 		},
 		Violations: f.violations,
+	}
+	if f.srv != nil {
+		installed := make(map[string]int)
+		store := f.srv.Store()
+		for _, v := range f.vehicles {
+			for _, row := range store.InstalledApps(v.ID) {
+				installed[string(row.App)]++
+			}
+		}
+		rep.Installed = installed
 	}
 	// The statz counters come through the same client surface fescli
 	// uses, so the endpoint is exercised end to end.

@@ -1,11 +1,13 @@
 package fleetsim
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"dynautosar/internal/api"
 	"dynautosar/internal/core"
+	"dynautosar/internal/journal"
 	"dynautosar/internal/sim"
 )
 
@@ -57,6 +59,9 @@ const (
 	// WorkDeploy launches one single-vehicle deploy per selected
 	// vehicle (individual operations, not a batch).
 	WorkDeploy WorkKind = "deploy"
+	// WorkRollout upgrades App to ToApp progressively: health-gated
+	// canary waves with automatic fleet rollback when a gate trips.
+	WorkRollout WorkKind = "rollout"
 )
 
 // WorkItem launches one operation (or one operation per vehicle for
@@ -74,6 +79,12 @@ type WorkItem struct {
 	// the same vehicles (deploy something, then uninstall it from the
 	// same sample).
 	Group string
+	// Waves is the wave plan for WorkRollout; empty selects the server's
+	// default canary plan (1 vehicle, 10%, all).
+	Waves []api.RolloutWave
+	// Health is the health-gate policy for WorkRollout; nil selects the
+	// server's strictest (zero) policy.
+	Health *api.RolloutHealthPolicy
 }
 
 // sdur formats a virtual duration for traces and errors.
@@ -219,6 +230,84 @@ func (c VehicleCrash) schedule(f *Fleet) {
 	})
 }
 
+// ProbeFailure makes a random Fraction of the fleet fail its
+// post-upgrade health probes between At and Heal: every MsgUpgrade
+// pushed to an affected vehicle is nacked with a rollback-requesting
+// probe-failure reason, which a rollout's health gate counts against
+// its probe bound. Heal at or before At leaves the fault active for
+// the rest of the run.
+type ProbeFailure struct {
+	At, Heal sim.Duration
+	Fraction float64
+}
+
+func (p ProbeFailure) schedule(f *Fleet) {
+	f.eng.Schedule(sim.Time(p.At), func() {
+		members := f.sample(p.Fraction)
+		f.tracef("probe failures on %d vehicles", len(members))
+		for _, v := range members {
+			f.m.faults++
+			v.probeFail = true
+		}
+		if p.Heal > p.At {
+			f.eng.Schedule(sim.Time(p.Heal), func() {
+				f.tracef("probe failures heal")
+				for _, v := range members {
+					v.probeFail = false
+				}
+			})
+		}
+	})
+}
+
+// JournalFault injects a disk fault into the server's journal between
+// At and Heal. DiskFull fails the next group commit with ENOSPC —
+// sticky by the durability policy: the server refuses further durable
+// mutations and reports degraded health until a crash-restart recovers
+// the acknowledged prefix (pair it with a ServerCrash). SyncDelay adds
+// latency to every fsync instead, stretching the adaptive commit
+// window without losing anything; it heals cleanly at Heal. Forces a
+// journaled server.
+type JournalFault struct {
+	At, Heal sim.Duration
+	DiskFull bool
+	// SyncDelay is the added real latency per fsync while active.
+	SyncDelay time.Duration
+}
+
+func (jf JournalFault) schedule(f *Fleet) {
+	f.eng.Schedule(sim.Time(jf.At), func() {
+		if f.srv == nil || f.srv.Journal() == nil {
+			return
+		}
+		f.tracef("journal fault (diskFull=%v, syncDelay=%s)", jf.DiskFull, jf.SyncDelay)
+		f.m.faults++
+		inj := &journal.FaultInjection{}
+		if jf.DiskFull {
+			inj.WriteErr = func(int) error { return errors.New("write: no space left on device") }
+			// Settle-side records (upgrade commits, acks) are enqueued
+			// without waiting by policy, so work this incarnation reports
+			// as succeeded may never reach disk: mark the generation so
+			// the audit exempts its settled ops after a crash reverts them.
+			f.degradedGens[f.serverGen] = true
+		}
+		if jf.SyncDelay > 0 {
+			d := jf.SyncDelay
+			inj.SyncDelay = func() time.Duration { return d }
+		}
+		f.srv.Journal().SetFault(inj)
+		if jf.Heal > jf.At {
+			f.eng.Schedule(sim.Time(jf.Heal), func() {
+				if f.srv == nil || f.srv.Journal() == nil {
+					return
+				}
+				f.tracef("journal fault heals")
+				f.srv.Journal().SetFault(nil)
+			})
+		}
+	})
+}
+
 // ServerCrash kills the server at At — the journal drops everything
 // after its last group commit, exactly like a power cut — and restarts
 // it from the same journal directory after RestartAfter of virtual
@@ -272,6 +361,9 @@ func (sc Scenario) withDefaults() (Scenario, error) {
 		if _, ok := fa.(ServerCrash); ok {
 			sc.Journal = true
 		}
+		if _, ok := fa.(JournalFault); ok {
+			sc.Journal = true
+		}
 		if p, ok := fa.(Partition); ok && p.Heal > sc.Duration {
 			return sc, fmt.Errorf("fleetsim: partition heals at %s, after the scenario window %s — the cut half would redial forever", sdur(p.Heal), sdur(sc.Duration))
 		}
@@ -283,8 +375,8 @@ func (sc Scenario) withDefaults() (Scenario, error) {
 		if w.At > sc.Duration {
 			return sc, fmt.Errorf("fleetsim: work item at t=%s is outside the scenario window %s", sdur(w.At), sdur(sc.Duration))
 		}
-		if w.Kind == WorkBatchUpgrade && w.ToApp == "" {
-			return sc, fmt.Errorf("fleetsim: upgrade work item needs ToApp")
+		if (w.Kind == WorkBatchUpgrade || w.Kind == WorkRollout) && w.ToApp == "" {
+			return sc, fmt.Errorf("fleetsim: %s work item needs ToApp", w.Kind)
 		}
 	}
 	return sc, nil
@@ -295,7 +387,7 @@ func (sc Scenario) withDefaults() (Scenario, error) {
 func (sc Scenario) upgradePairs() [][2]core.AppName {
 	var pairs [][2]core.AppName
 	for _, w := range sc.Workload {
-		if w.Kind == WorkBatchUpgrade {
+		if w.Kind == WorkBatchUpgrade || w.Kind == WorkRollout {
 			pairs = append(pairs, [2]core.AppName{w.App, w.ToApp})
 		}
 	}
@@ -303,7 +395,7 @@ func (sc Scenario) upgradePairs() [][2]core.AppName {
 }
 
 // Presets names the built-in scenarios, in rough order of violence.
-func Presets() []string { return []string{"soak", "churn", "storm"} }
+func Presets() []string { return []string{"soak", "churn", "rollout", "storm"} }
 
 // Preset builds a named built-in scenario. vehicles, seed and duration
 // override the preset defaults when non-zero.
@@ -323,6 +415,10 @@ func Preset(name string, vehicles int, seed int64, duration sim.Duration) (Scena
 			{At: d / 20, Kind: WorkBatchDeploy, App: AppV1},
 			{At: d * 2 / 5, Kind: WorkBatchUpgrade, App: AppV1, ToApp: AppV2},
 			{At: d * 13 / 20, Kind: WorkDeploy, App: AppWidget, Fraction: 0.05, Group: "widget"},
+			// A progressive canary rollout back to V1; the loose gate
+			// tolerates churn casualties so the waves usually promote.
+			{At: d * 7 / 10, Kind: WorkRollout, App: AppV2, ToApp: AppV1,
+				Health: &api.RolloutHealthPolicy{MaxFailureRate: 0.2, MaxProbeFailures: 2}},
 			{At: d * 17 / 20, Kind: WorkBatchUninstall, App: AppWidget, Group: "widget"},
 		}
 		sc.Faults = []Fault{
@@ -342,6 +438,27 @@ func Preset(name string, vehicles int, seed int64, duration sim.Duration) (Scena
 		sc.Faults = []Fault{
 			Churn{Start: d / 20, Stop: d * 19 / 20, Every: d / 500},
 			Partition{At: d / 8, Heal: d / 2, Fraction: 0.1},
+		}
+		return sc, nil
+	case "rollout":
+		// Progressive-delivery chaos: a healthy rollout promotes wave by
+		// wave under link churn, then a probe-failure window poisons a
+		// second rollout, whose gate must stop it at the canary wave and
+		// roll the fleet back to the known-good version.
+		sc := Scenario{Name: name, Vehicles: 600, Seed: seed, Duration: 24 * sim.Second, Apps: apps}
+		applyOverrides(&sc, vehicles, duration)
+		d := sc.Duration
+		sc.Workload = []WorkItem{
+			{At: d / 12, Kind: WorkBatchDeploy, App: AppV1},
+			{At: d * 3 / 10, Kind: WorkRollout, App: AppV1, ToApp: AppV2,
+				Health: &api.RolloutHealthPolicy{MaxFailureRate: 0.25, MaxProbeFailures: 2}},
+			// The strict zero policy: a single probe nack trips wave 1.
+			{At: d * 7 / 10, Kind: WorkRollout, App: AppV2, ToApp: AppV1},
+		}
+		sc.Faults = []Fault{
+			SlowAcks{Fraction: 0.01, Min: 20 * sim.Millisecond, Max: 200 * sim.Millisecond},
+			Churn{Start: d / 10, Stop: d / 2, Every: d / 60},
+			ProbeFailure{At: d * 13 / 20, Fraction: 1},
 		}
 		return sc, nil
 	case "storm":

@@ -46,8 +46,12 @@ type SimVehicle struct {
 
 	partitioned bool
 	corruptProb float64
-	ackMin      sim.Duration
-	ackMax      sim.Duration
+	// probeFail makes the vehicle fail its post-upgrade health probes:
+	// every MsgUpgrade is nacked with a rollback-requesting reason that
+	// the server settles as CodeRolledBack and rollout gates count.
+	probeFail bool
+	ackMin    sim.Duration
+	ackMax    sim.Duration
 
 	// plugins is the flash state — (ECU, SW-C, plug-in) to version. A
 	// mutation is applied only after the matching ack was successfully
@@ -187,6 +191,13 @@ func (v *SimVehicle) handle(conn net.Conn, msg core.Message, rcv time.Time) {
 		if corrupt {
 			v.f.m.corrupted++
 			if v.send(conn, msg.Nack("bus fault: corrupt frame")) {
+				v.nacks++
+			}
+			return
+		}
+		if v.probeFail && msg.Type == core.MsgUpgrade {
+			v.f.m.probeNacks++
+			if v.send(conn, msg.Nack("rollback: injected probe failure")) {
 				v.nacks++
 			}
 			return

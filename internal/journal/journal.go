@@ -157,9 +157,37 @@ type Journal struct {
 	lastSync      time.Duration
 	snapWG        sync.WaitGroup
 
+	// fault, when set, injects disk failures into the commit path (see
+	// FaultInjection); read by the writer goroutine under mu.
+	fault *FaultInjection
+
 	kick chan struct{}
 	quit chan struct{}
 	done chan struct{}
+}
+
+// FaultInjection simulates a failing or slow disk under the commit
+// path without touching the real file handle: WriteErr, when non-nil
+// and returning an error, fails the segment write before any bytes
+// reach the file (the disk-full shape — ENOSPC surfaces before data
+// lands); SyncErr likewise fails the fsync after the write; SyncDelay
+// stalls each fsync by the returned duration (the slow-disk shape the
+// adaptive commit window absorbs). Either error takes the same sticky
+// degradation path as a real device failure: the segment truncates to
+// the durable watermark, tickets report the error, and the journal
+// refuses further appends until reopened. Used by chaos and recovery
+// tests; nil hooks are free.
+type FaultInjection struct {
+	WriteErr  func(n int) error
+	SyncErr   func() error
+	SyncDelay func() time.Duration
+}
+
+// SetFault installs (or with nil clears) the commit-path fault hooks.
+func (j *Journal) SetFault(f *FaultInjection) {
+	j.mu.Lock()
+	j.fault = f
+	j.mu.Unlock()
 }
 
 func snapshotPath(dir string, gen uint64) string {
@@ -381,7 +409,7 @@ var encodeBufs = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &
 // payload with strings needing escapes, goes through encoding/json.
 // Either way the payload parses back to the same Record.
 func encodeRecord(rec Record) (payload []byte, pooled *[]byte, err error) {
-	if rec.Install != nil && rec.User == nil && rec.Vehicle == nil && rec.App == nil && rec.Op == nil && rec.Upgrade == nil {
+	if rec.Install != nil && rec.User == nil && rec.Vehicle == nil && rec.App == nil && rec.Op == nil && rec.Upgrade == nil && rec.Rollout == nil {
 		if b, bp, ok := encodeInstallRecord(rec); ok {
 			return b, bp, nil
 		}
@@ -689,14 +717,27 @@ func (j *Journal) flush() {
 	buf, b, n := j.buf, j.cur, j.pending
 	j.buf, j.cur, j.pending = nil, nil, 0
 	j.inflight = b
+	fault := j.fault
 	j.mu.Unlock()
 	if b == nil {
 		return
 	}
-	_, err := j.f.Write(buf)
+	var err error
+	if fault != nil && fault.WriteErr != nil {
+		err = fault.WriteErr(len(buf))
+	}
+	if err == nil {
+		_, err = j.f.Write(buf)
+	}
 	if err == nil {
 		start := time.Now()
+		if fault != nil && fault.SyncDelay != nil {
+			time.Sleep(fault.SyncDelay())
+		}
 		err = syncFile(j.f)
+		if err == nil && fault != nil && fault.SyncErr != nil {
+			err = fault.SyncErr()
+		}
 		j.lastSync = time.Since(start)
 	}
 	if err != nil {

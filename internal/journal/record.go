@@ -71,6 +71,30 @@ const (
 	// TypeUpgradeRolledBack: the vehicle rolled back (or the pushes
 	// failed) and the old row stands untouched.
 	TypeUpgradeRolledBack Type = "upgrade_rolled_back"
+
+	// The progressive-rollout state machine. rollout_started is written
+	// (and durable) before the first canary wave launches and fixes the
+	// resolved fleet in bucket order plus the wave boundaries;
+	// wave_promoted marks one health-gated wave boundary passed;
+	// rollout_rolled_back records the decision to downgrade the fleet
+	// before any downgrade push goes out; rollout_done closes the
+	// machine with its terminal state. A crash between records recovers
+	// to the last durable wave boundary: an open rollout resumes
+	// forward only if no vehicle beyond that boundary committed the new
+	// version (a clean boundary), and rolls the fleet back otherwise —
+	// the in-flight wave's health window died with the process.
+
+	// TypeRolloutStarted: a rollout was planned; the record carries the
+	// bucketed fleet and the cumulative wave boundaries.
+	TypeRolloutStarted Type = "rollout_started"
+	// TypeWavePromoted: one wave completed inside its health window.
+	TypeWavePromoted Type = "wave_promoted"
+	// TypeRolloutRolledBack: the health gate tripped or the operator
+	// aborted; the fleet is about to be downgraded in reverse wave
+	// order.
+	TypeRolloutRolledBack Type = "rollout_rolled_back"
+	// TypeRolloutDone: the rollout reached a terminal state.
+	TypeRolloutDone Type = "rollout_done"
 )
 
 // Record is one journaled mutation: the version, the type, and exactly
@@ -87,6 +111,7 @@ type Record struct {
 	Install *InstallChange `json:"install,omitempty"`
 	Op      *OpChange      `json:"op,omitempty"`
 	Upgrade *UpgradeChange `json:"upgrade,omitempty"`
+	Rollout *RolloutChange `json:"rollout,omitempty"`
 }
 
 // UserAdded is the payload of TypeUserAdded.
@@ -188,6 +213,58 @@ func UpgradeRolledBackRec(vehicle core.VehicleID, fromApp, toApp core.AppName, r
 		Upgrade: &UpgradeChange{Vehicle: vehicle, FromApp: fromApp, ToApp: toApp, Reason: reason}}
 }
 
+// RolloutChange is the payload of the rollout record types. Started
+// records carry the identity, the bucketed fleet and the cumulative
+// wave boundaries; wave_promoted carries the wave index; rolled_back
+// the trip reason; done the terminal state.
+type RolloutChange struct {
+	ID       string                   `json:"id"`
+	User     core.UserID              `json:"user,omitempty"`
+	FromApp  core.AppName             `json:"fromApp,omitempty"`
+	ToApp    core.AppName             `json:"toApp,omitempty"`
+	Vehicles []core.VehicleID         `json:"vehicles,omitempty"`
+	Bounds   []int                    `json:"bounds,omitempty"`
+	Health   *api.RolloutHealthPolicy `json:"health,omitempty"`
+	Wave     int                      `json:"wave,omitempty"`
+	Reason   string                   `json:"reason,omitempty"`
+	Final    string                   `json:"final,omitempty"`
+}
+
+// RolloutStartedRec builds a TypeRolloutStarted record fixing the
+// bucketed fleet, the cumulative wave boundaries and the health policy
+// the gates run under (nil for the default, strictest policy).
+func RolloutStartedRec(id string, user core.UserID, fromApp, toApp core.AppName, vehicles []core.VehicleID, bounds []int, health *api.RolloutHealthPolicy) Record {
+	var h *api.RolloutHealthPolicy
+	if health != nil {
+		cp := *health
+		h = &cp
+	}
+	return Record{V: recordVersion, Type: TypeRolloutStarted,
+		Rollout: &RolloutChange{ID: id, User: user, FromApp: fromApp, ToApp: toApp,
+			Vehicles: append([]core.VehicleID(nil), vehicles...),
+			Bounds:   append([]int(nil), bounds...),
+			Health:   h}}
+}
+
+// WavePromotedRec builds a TypeWavePromoted record.
+func WavePromotedRec(id string, wave int) Record {
+	return Record{V: recordVersion, Type: TypeWavePromoted,
+		Rollout: &RolloutChange{ID: id, Wave: wave}}
+}
+
+// RolloutRolledBackRec builds a TypeRolloutRolledBack record.
+func RolloutRolledBackRec(id, reason string) Record {
+	return Record{V: recordVersion, Type: TypeRolloutRolledBack,
+		Rollout: &RolloutChange{ID: id, Reason: reason}}
+}
+
+// RolloutDoneRec builds a TypeRolloutDone record; final is the
+// terminal state ("succeeded" or "rolled_back").
+func RolloutDoneRec(id, final string) Record {
+	return Record{V: recordVersion, Type: TypeRolloutDone,
+		Rollout: &RolloutChange{ID: id, Final: final}}
+}
+
 // OpCreatedRec builds a TypeOpCreated record.
 func OpCreatedRec(op api.Operation) Record {
 	return Record{V: recordVersion, Type: TypeOpCreated, Op: &OpChange{Op: op}}
@@ -214,6 +291,28 @@ type StateImage struct {
 	Installed []api.InstalledApp  `json:"installed"`
 	OpenOps   []api.Operation     `json:"openOps"`
 	OpSeq     uint64              `json:"opSeq"`
+	// Rollouts are the progressive rollouts not yet terminal at
+	// snapshot time, with the log-implied progress folded in;
+	// RolloutSeq carries the rollout-id counter.
+	Rollouts   []RolloutImage `json:"rollouts,omitempty"`
+	RolloutSeq uint64         `json:"rolloutSeq,omitempty"`
+}
+
+// RolloutImage is one open rollout inside a state image: the started
+// record's plan plus the promoted-wave watermark and the rolled-back
+// flag the log tail would otherwise replay.
+type RolloutImage struct {
+	ID       string                   `json:"id"`
+	User     core.UserID              `json:"user"`
+	FromApp  core.AppName             `json:"fromApp"`
+	ToApp    core.AppName             `json:"toApp"`
+	Vehicles []core.VehicleID         `json:"vehicles"`
+	Bounds   []int                    `json:"bounds"`
+	Health   *api.RolloutHealthPolicy `json:"health,omitempty"`
+	// Promoted counts waves durably promoted (0 = none).
+	Promoted   int    `json:"promoted"`
+	RolledBack bool   `json:"rolledBack,omitempty"`
+	Reason     string `json:"reason,omitempty"`
 }
 
 // NewStateImage stamps an empty image with the current version and

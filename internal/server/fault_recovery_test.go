@@ -1,0 +1,83 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	"dynautosar/internal/api"
+	"dynautosar/internal/core"
+	"dynautosar/internal/journal"
+)
+
+// Disk-fault durability policy: when the journal's disk fails (full or
+// erroring), the server refuses new durable mutations, health degrades
+// so orchestrators route away, and a crash in that state recovers
+// cleanly — exactly the acknowledged prefix, no torn tail.
+
+// TestRecoveryCrashWhileDiskFull: mutations acknowledged before the
+// disk filled survive the crash; the mutation the full disk rejected is
+// gone; the reopened server is healthy and writable again.
+func TestRecoveryCrashWhileDiskFull(t *testing.T) {
+	dir := t.TempDir()
+	a := openRecovered(t, dir)
+	if err := a.Store().AddUser("alice"); err != nil {
+		t.Fatal(err)
+	}
+	a.Journal().SetFault(&journal.FaultInjection{
+		WriteErr: func(int) error { return errors.New("write: no space left on device") },
+	})
+	if err := a.Store().AddUser("bob"); err == nil {
+		t.Fatal("durable mutation acknowledged on a full disk")
+	}
+	if h := a.Health(); h.Status != "degraded" || h.JournalError == "" {
+		t.Fatalf("health with a full disk = %+v, want degraded", h)
+	}
+	a.Journal().Crash()
+
+	b := openRecovered(t, dir)
+	defer b.Close()
+	st := b.RecoveryStats()
+	if st.TornTail {
+		t.Fatalf("disk-full crash left a torn tail: %+v", st)
+	}
+	if _, ok := b.Store().User("alice"); !ok {
+		t.Fatal("acknowledged user lost")
+	}
+	if _, ok := b.Store().User("bob"); ok {
+		t.Fatal("rejected mutation resurrected by recovery")
+	}
+	if h := b.Health(); h.Status != "ok" {
+		t.Fatalf("recovered health = %+v", h)
+	}
+	if err := b.Store().AddUser("carol"); err != nil {
+		t.Fatalf("recovered server refuses writes: %v", err)
+	}
+}
+
+// TestRolloutStartRefusedOnFullDisk: a rollout whose write-ahead
+// rollout_started record cannot commit must not launch — the registry
+// keeps no trace of it.
+func TestRolloutStartRefusedOnFullDisk(t *testing.T) {
+	fleet := []core.VehicleID{"VIN-DF1", "VIN-DF2"}
+	dir := t.TempDir()
+	s := openFleetServer(t, dir, fleet)
+	for _, id := range fleet {
+		connectScriptedVehicle(t, s, id, ackAll)
+	}
+	c := newV1Client(t, s)
+	deployCounterFleet(t, s, c, fleet)
+
+	s.Journal().SetFault(&journal.FaultInjection{
+		WriteErr: func(int) error { return errors.New("write: no space left on device") },
+	})
+	_, err := s.StartRollout(api.RolloutRequest{
+		User: "alice", Vehicles: fleet, From: "Counter-v1", To: "Counter-v2",
+	})
+	if err == nil {
+		t.Fatal("rollout started without a durable rollout_started record")
+	}
+	if ids := s.RolloutIDs(); len(ids) != 0 {
+		t.Fatalf("failed rollout left registry entries: %v", ids)
+	}
+	wantApp(t, s, fleet, "Counter-v1", "Counter-v2")
+}

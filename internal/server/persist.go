@@ -1,7 +1,9 @@
 package server
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"dynautosar/internal/api"
@@ -56,6 +58,12 @@ func (s *Server) OpenJournal(dir string) error {
 	s.store.SetJournal(j)
 	s.logf("server: recovered %d users, %d vehicles, %d apps; replayed %d records, %d operations interrupted",
 		len(s.store.users), len(s.store.vehicles), len(s.store.apps), s.recovery.Records, s.recovery.Interrupted)
+	// Resume interrupted rollouts only now that the journal is attached:
+	// the continuations append state-machine records of their own.
+	for _, resume := range s.rolloutResume {
+		go resume()
+	}
+	s.rolloutResume = nil
 	return nil
 }
 
@@ -122,6 +130,11 @@ func (s *Server) recoverFrom(rec *journal.Recovery) {
 		}
 	}
 
+	// rollouts accumulates the rollout state machines seen in the image
+	// and the log tail; rebuilt into the registry (and resumed) below.
+	rollouts := make(map[string]*rolloutReplayState)
+	var maxRolloutSeq uint64
+
 	if img := rec.Image; img != nil {
 		s.store.loadImage(img)
 		maxSeq = img.OpSeq
@@ -129,10 +142,46 @@ func (s *Server) recoverFrom(rec *journal.Recovery) {
 			open[op.ID] = op
 			bump(op.ID)
 		}
+		maxRolloutSeq = img.RolloutSeq
+		for _, ri := range img.Rollouts {
+			rollouts[ri.ID] = &rolloutReplayState{img: ri}
+		}
 		s.recovery.SnapshotTime = time.Unix(img.TakenUnix, 0)
 	}
 	for _, r := range rec.Records {
 		switch r.Type {
+		case journal.TypeRolloutStarted:
+			if r.Rollout == nil {
+				continue
+			}
+			c := r.Rollout
+			rollouts[c.ID] = &rolloutReplayState{img: journal.RolloutImage{
+				ID: c.ID, User: c.User, FromApp: c.FromApp, ToApp: c.ToApp,
+				Vehicles: c.Vehicles, Bounds: c.Bounds, Health: c.Health,
+			}}
+		case journal.TypeWavePromoted:
+			if r.Rollout == nil {
+				continue
+			}
+			if rr := rollouts[r.Rollout.ID]; rr != nil && r.Rollout.Wave > rr.img.Promoted {
+				rr.img.Promoted = r.Rollout.Wave
+			}
+		case journal.TypeRolloutRolledBack:
+			if r.Rollout == nil {
+				continue
+			}
+			if rr := rollouts[r.Rollout.ID]; rr != nil {
+				rr.img.RolledBack = true
+				rr.img.Reason = r.Rollout.Reason
+			}
+		case journal.TypeRolloutDone:
+			if r.Rollout == nil {
+				continue
+			}
+			if rr := rollouts[r.Rollout.ID]; rr != nil {
+				rr.done = true
+				rr.final = r.Rollout.Final
+			}
 		case journal.TypeOpCreated:
 			if r.Op == nil {
 				continue
@@ -246,10 +295,138 @@ func (s *Server) recoverFrom(rec *journal.Recovery) {
 	s.opSeq = maxSeq
 	s.mu.Unlock()
 
+	s.recoverRollouts(rollouts, maxRolloutSeq)
+
 	s.recovery.Journaled = true
 	s.recovery.Records = len(rec.Records)
 	s.recovery.Interrupted = interrupted
 	s.recovery.TornTail = rec.TornTail
+}
+
+// rolloutReplayState is the recovered essence of one rollout's state
+// machine: its identity record plus how far the log says it got.
+type rolloutReplayState struct {
+	img   journal.RolloutImage
+	done  bool
+	final string
+}
+
+// recoverRollouts rebuilds the rollout registry and stages the resume
+// continuations. The policy: a rollout with a durable rollout_done is
+// closed; one with a durable rollout_rolled_back resumes its fleet
+// rollback (idempotent — already-downgraded vehicles are skipped); an
+// open rollout resumes forward from the last promoted wave boundary
+// only if the boundary is clean — no vehicle past it holds a committed
+// To row. A dirty boundary means the crash interrupted a wave whose
+// health window died with the process, so the fleet rolls back.
+func (s *Server) recoverRollouts(rollouts map[string]*rolloutReplayState, maxRolloutSeq uint64) {
+	ids := make([]string, 0, len(rollouts))
+	for id := range rollouts {
+		ids = append(ids, id)
+		if n := rolloutSeqOf(id); n > maxRolloutSeq {
+			maxRolloutSeq = n
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		rr := rollouts[id]
+		bounds := append([]int(nil), rr.img.Bounds...)
+		rec := &rolloutRecord{
+			st: api.RolloutStatus{
+				ID: id, User: rr.img.User, From: rr.img.FromApp, To: rr.img.ToApp,
+				State:    api.RolloutRunning,
+				Vehicles: append([]core.VehicleID(nil), rr.img.Vehicles...),
+				Waves:    waveStatuses(bounds),
+			},
+			bounds:   bounds,
+			promoted: rr.img.Promoted,
+		}
+		if rr.img.Health != nil {
+			rec.health = *rr.img.Health
+		}
+		for w := 0; w < rr.img.Promoted && w < len(rec.st.Waves); w++ {
+			rec.st.Waves[w].Started = true
+			rec.st.Waves[w].Promoted = true
+		}
+		rec.st.CurrentWave = rr.img.Promoted
+		reason := rr.img.Reason
+		code := api.CodeRolloutUnhealthy
+		if strings.Contains(reason, "operator abort") {
+			code = api.CodeRolloutAborted
+		}
+		switch {
+		case rr.done && rr.final == "rolled_back":
+			rec.st.State = api.RolloutRolledBack
+			rec.st.GateReason = reason
+			rec.st.Done = true
+			rec.st.Error = api.Errorf(code, "server: rollout %s rolled back: %s", id, reason)
+		case rr.done:
+			rec.st.State = api.RolloutSucceeded
+			rec.st.CurrentWave = len(bounds)
+			for w := range rec.st.Waves {
+				rec.st.Waves[w].Started = true
+				rec.st.Waves[w].Promoted = true
+			}
+			rec.st.Done = true
+		case rr.img.RolledBack:
+			rec.st.State = api.RolloutRollingBack
+			rec.st.GateReason = reason
+			s.rolloutResume = append(s.rolloutResume, func() {
+				s.rollbackRollout(id, reason, code, true)
+			})
+		default:
+			// Clean-boundary rule: the wave in flight at the crash left
+			// committed To rows exactly when some vehicle past the last
+			// promoted boundary holds one.
+			promotedBound := 0
+			if rr.img.Promoted > 0 && rr.img.Promoted <= len(bounds) {
+				promotedBound = bounds[rr.img.Promoted-1]
+			}
+			dirty := false
+			for _, v := range rr.img.Vehicles[min(promotedBound, len(rr.img.Vehicles)):] {
+				if _, ok := s.store.InstalledApp(v, rr.img.ToApp); ok {
+					dirty = true
+					break
+				}
+			}
+			startWave := rr.img.Promoted
+			if dirty {
+				interruptedReason := fmt.Sprintf(
+					"server restart interrupted wave %d with partial upgrades committed", startWave+1)
+				s.rolloutResume = append(s.rolloutResume, func() {
+					s.rollbackRollout(id, interruptedReason, api.CodeRolloutUnhealthy, false)
+				})
+			} else {
+				s.rolloutResume = append(s.rolloutResume, func() {
+					s.runRollout(id, startWave)
+				})
+			}
+		}
+		s.mu.Lock()
+		s.rollouts[id] = rec
+		s.rolloutOrder = append(s.rolloutOrder, id)
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	s.rolloutSeq = maxRolloutSeq
+	s.mu.Unlock()
+}
+
+// rolloutSeqOf parses the numeric part of a rollout id ("ro-%08d"), 0
+// for foreign ids.
+func rolloutSeqOf(id string) uint64 {
+	if len(id) < 4 || id[:3] != "ro-" {
+		return 0
+	}
+	var n uint64
+	for i := 3; i < len(id); i++ {
+		c := id[i]
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + uint64(c-'0')
+	}
+	return n
 }
 
 // deriveChildOutcome settles one child of an interrupted batch from the
@@ -335,6 +512,26 @@ func (s *Server) stateImage() *journal.StateImage {
 		if rec := s.ops[id]; rec != nil && !rec.op.Done {
 			img.OpenOps = append(img.OpenOps, snapshotOpLocked(rec))
 		}
+	}
+	// Open rollouts ride the snapshot too, so compaction cannot lose a
+	// state machine whose records predate the snapshot point. Terminal
+	// rollouts are history and are left to registry retention.
+	img.RolloutSeq = s.rolloutSeq
+	for _, id := range s.rolloutOrder {
+		rec := s.rollouts[id]
+		if rec == nil || rec.st.Done {
+			continue
+		}
+		health := rec.health
+		img.Rollouts = append(img.Rollouts, journal.RolloutImage{
+			ID: id, User: rec.st.User, FromApp: rec.st.From, ToApp: rec.st.To,
+			Vehicles:   append([]core.VehicleID(nil), rec.st.Vehicles...),
+			Bounds:     append([]int(nil), rec.bounds...),
+			Health:     &health,
+			Promoted:   rec.promoted,
+			RolledBack: rec.st.State == api.RolloutRollingBack,
+			Reason:     rec.st.GateReason,
+		})
 	}
 	s.mu.Unlock()
 	return img

@@ -51,6 +51,14 @@ type Server struct {
 	// bucketed by code.
 	statOpsCreated uint64
 	statOpsSettled map[string]uint64
+	// rollouts is the progressive-rollout registry (see rollout.go).
+	rollouts     map[string]*rolloutRecord
+	rolloutOrder []string
+	rolloutSeq   uint64
+	// rolloutResume holds the continuations of rollouts interrupted by a
+	// restart; recoverFrom fills it and OpenJournal launches them once
+	// the journal is attached.
+	rolloutResume []func()
 
 	// deployMu stripes a per-vehicle critical section over deploy
 	// planning + check-and-record: planning reads the vehicle's free
@@ -97,6 +105,7 @@ func New() *Server {
 		failures:     make(map[string][]string),
 		uninstalling: make(map[string]string),
 		ops:          make(map[string]*opRecord),
+		rollouts:     make(map[string]*rolloutRecord),
 		logf:         func(string, ...any) {},
 	}
 	s.pusher = NewPusher(s.HandleVehicleMessage)

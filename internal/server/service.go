@@ -98,6 +98,29 @@ func (sv *Service) BatchUpgrade(_ context.Context, req api.BatchUpgradeRequest) 
 	return sv.s.BatchUpgradeAsync(req.User, req.Vehicles, req.Selector, req.From, req.To)
 }
 
+func (sv *Service) StartRollout(_ context.Context, req api.RolloutRequest) (api.RolloutStatus, error) {
+	return sv.s.StartRollout(req)
+}
+
+func (sv *Service) GetRollout(_ context.Context, id string) (api.RolloutStatus, error) {
+	return sv.s.GetRollout(id)
+}
+
+func (sv *Service) AbortRollout(_ context.Context, id string) (api.RolloutStatus, error) {
+	return sv.s.AbortRollout(id)
+}
+
+func (sv *Service) ListRollouts(_ context.Context, page api.Page) (api.RolloutList, error) {
+	ids, next := api.Paginate(sv.s.RolloutIDs(), page, func(id string) string { return id })
+	items := make([]api.RolloutStatus, 0, len(ids))
+	for _, id := range ids {
+		if st, ok := sv.s.Rollout(id); ok {
+			items = append(items, st)
+		}
+	}
+	return api.RolloutList{Rollouts: items, NextPageToken: next}, nil
+}
+
 func (sv *Service) Verify(_ context.Context, req api.VerifyRequest) (api.VerifyReport, error) {
 	return sv.s.VerifyOperation(req.User, req.Vehicle, req.Kind, req.App, req.To)
 }

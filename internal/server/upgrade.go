@@ -11,6 +11,7 @@ import (
 	"dynautosar/internal/core"
 	"dynautosar/internal/journal"
 	"dynautosar/internal/plugin"
+	"dynautosar/internal/verify"
 )
 
 // The live-upgrade pipeline: POST /v1/upgrade (and upgrade:batch) plan
@@ -64,6 +65,9 @@ type upgradePlan struct {
 	// plug-ins back when a later plug-in of the same upgrade fails.
 	oldOrder []Deployment
 	oldRaws  map[core.PluginName][]byte
+	// vplan is the verifier model built (and checked) by verifyUpgrade;
+	// rollout start reuses it for the wave-prefix abortability check.
+	vplan *verify.Plan
 }
 
 // UpgradeAsync starts a live in-place upgrade of fromApp to toApp on a

@@ -97,6 +97,10 @@ func (s *Server) verifyUpgrade(vr VehicleRecord, fromApp core.AppName, newApp Ap
 			Old:    contextState(d.Plugin, od.ECU, od.SWC, oldApp, oldCtx[d.Plugin]),
 		})
 	}
+	// Keep the model on the plan: rollout start feeds one representative
+	// model per wave into the fleet-level wave-prefix abortability check
+	// (verify.VerifyWavePrefixes) without re-deriving contexts.
+	plan.vplan = p
 	if err := verify.VerifyPlan(p); err != nil {
 		return unsafePlan(err)
 	}

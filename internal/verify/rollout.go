@@ -1,0 +1,46 @@
+package verify
+
+import "fmt"
+
+// Fleet-level abortability for progressive rollouts: a rollout promotes
+// the fleet wave by wave, and any wave prefix must be abortable — after
+// waves 1..k upgraded, rolling every upgraded vehicle back to the old
+// version must itself be a safe reconfiguration on each of them. The
+// argument decomposes per vehicle: vehicles reconfigure independently
+// (no plan step touches another vehicle, and port reservations are
+// per-vehicle), so the prefix 1..k is abortable exactly when every
+// per-vehicle upgrade plan in waves 1..k has a safe compensation path.
+// VerifyWavePrefixes therefore walks the mirrored (rollback) path of
+// every plan, wave by wave, and rejects the whole rollout with a
+// counterexample naming the first wave and vehicle whose abort would
+// pass through an unsafe intermediate state.
+
+// VerifyWavePrefixes checks that every wave prefix of a planned rollout
+// is abortable: for each wave, each per-vehicle upgrade plan's
+// compensation path (the steps mirrored and reversed, walked from the
+// upgraded state back to the old one) must satisfy the invariant
+// catalogue. Plans must be PlanUpgrade; nil entries (waves whose
+// vehicles need no upgrade) are skipped. Returns nil or the *PlanError
+// of the minimal counterexample, its step labels prefixed with the
+// offending wave.
+func VerifyWavePrefixes(waves [][]*Plan) error {
+	for wi, wave := range waves {
+		for _, p := range wave {
+			if p == nil {
+				continue
+			}
+			if p.Kind != PlanUpgrade {
+				return &PlanError{Invariant: InvSafeState, Vehicle: p.Vehicle,
+					Detail: fmt.Sprintf("wave %d: rollout waves must carry upgrade plans, got %q", wi+1, p.Kind)}
+			}
+			rev := make([]Step, len(p.Steps))
+			for i, st := range p.Steps {
+				rev[len(p.Steps)-1-i] = Step{Kind: st.Kind, Plugin: st.Plugin, New: st.Old, Old: st.New}
+			}
+			if e := p.walkFrom(p.finalState(), rev, fmt.Sprintf("abort wave %d: ", wi+1)); e != nil {
+				return e
+			}
+		}
+	}
+	return nil
+}

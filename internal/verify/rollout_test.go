@@ -1,0 +1,114 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"dynautosar/internal/core"
+	"dynautosar/internal/verify"
+)
+
+// Fleet-level abortability: VerifyWavePrefixes must accept waves whose
+// per-vehicle compensation paths are safe, skip waves with nothing to
+// plan, and reject — naming the wave — a rollout whose abort would pass
+// through a broken intermediate state.
+
+// swapPair builds a self-contained (old, new) state pair for one
+// plug-in: same port, no links, so both the forward and the mirrored
+// path are trivially safe.
+func swapPair(name core.PluginName) (*verify.PluginState, *verify.PluginState) {
+	old := &verify.PluginState{
+		Plugin: name, ECU: "E1", SWC: "S1",
+		Ports: []core.PluginPortSpec{{Name: "tx", Direction: core.Provided}},
+		PIC:   core.PIC{{Name: "tx", ID: 1}},
+		PLC:   core.PLC{{Kind: core.LinkNone, Plugin: 1}},
+	}
+	upgraded := &verify.PluginState{
+		Plugin: name, ECU: "E1", SWC: "S1",
+		Ports: []core.PluginPortSpec{{Name: "tx", Direction: core.Provided}},
+		PIC:   core.PIC{{Name: "tx", ID: 1}},
+		PLC:   core.PLC{{Kind: core.LinkNone, Plugin: 1}},
+	}
+	return old, upgraded
+}
+
+func upgradePlanFor(vehicle core.VehicleID, name core.PluginName) *verify.Plan {
+	old, upgraded := swapPair(name)
+	return &verify.Plan{
+		Kind: verify.PlanUpgrade, Vehicle: vehicle, Conf: testConf(),
+		Steps: []verify.Step{{Kind: verify.StepSwap, Plugin: name, New: upgraded, Old: old}},
+	}
+}
+
+func TestWavePrefixesAccepted(t *testing.T) {
+	waves := [][]*verify.Plan{
+		{upgradePlanFor("VIN-1", "A")},
+		{nil}, // a wave whose vehicles need no upgrade
+		{upgradePlanFor("VIN-2", "A"), upgradePlanFor("VIN-3", "A")},
+	}
+	if err := verify.VerifyWavePrefixes(waves); err != nil {
+		t.Fatalf("safe wave plan rejected: %v", err)
+	}
+	if err := verify.VerifyWavePrefixes(nil); err != nil {
+		t.Fatalf("empty rollout rejected: %v", err)
+	}
+}
+
+func TestWavePrefixesRejectNonUpgradePlan(t *testing.T) {
+	deploy := &verify.Plan{Kind: verify.PlanDeploy, Vehicle: "VIN-1", Conf: testConf()}
+	err := verify.VerifyWavePrefixes([][]*verify.Plan{{deploy}})
+	pe := expectPlanErr(t, err, verify.InvSafeState)
+	if !strings.Contains(pe.Detail, "wave 1") {
+		t.Errorf("detail %q does not name the wave", pe.Detail)
+	}
+}
+
+// TestWavePrefixesRejectUnabortableWave mirrors the rollback-path shape
+// of TestPlanRollbackPathChecked at fleet scope: the forward swaps are
+// clean, but aborting the wave walks through a state where old P1's
+// peer link dangles — the wave prefix is not abortable, so the rollout
+// must be rejected before the first package moves.
+func TestWavePrefixesRejectUnabortableWave(t *testing.T) {
+	old1 := &verify.PluginState{
+		Plugin: "P1", ECU: "E1", SWC: "S1",
+		Ports: []core.PluginPortSpec{{Name: "tx", Direction: core.Provided}},
+		PIC:   core.PIC{{Name: "tx", ID: 1}},
+		PLC:   core.PLC{{Kind: core.LinkPeer, Plugin: 1, Peer: 7}},
+	}
+	new1 := &verify.PluginState{
+		Plugin: "P1", ECU: "E1", SWC: "S1",
+		Ports: []core.PluginPortSpec{{Name: "tx", Direction: core.Provided}},
+		PIC:   core.PIC{{Name: "tx", ID: 1}},
+		PLC:   core.PLC{{Kind: core.LinkNone, Plugin: 1}},
+	}
+	old2 := &verify.PluginState{
+		Plugin: "P2", ECU: "E1", SWC: "S1",
+		Ports: []core.PluginPortSpec{{Name: "rx", Direction: core.Required}},
+		PIC:   core.PIC{{Name: "rx", ID: 2}},
+		PLC:   core.PLC{{Kind: core.LinkNone, Plugin: 2}},
+	}
+	new2 := &verify.PluginState{
+		Plugin: "P2", ECU: "E1", SWC: "S1",
+		Ports: []core.PluginPortSpec{{Name: "rx", Direction: core.Required}},
+		PIC:   core.PIC{{Name: "rx", ID: 7}},
+		PLC:   core.PLC{{Kind: core.LinkNone, Plugin: 2}},
+	}
+	bad := &verify.Plan{
+		Kind: verify.PlanUpgrade, Vehicle: "VIN-BAD", Conf: testConf(),
+		Steps: []verify.Step{
+			{Kind: verify.StepSwap, Plugin: "P1", New: new1, Old: old1},
+			{Kind: verify.StepSwap, Plugin: "P2", New: new2, Old: old2},
+		},
+	}
+	waves := [][]*verify.Plan{
+		{upgradePlanFor("VIN-OK", "A")}, // wave 1 is fine
+		{bad},
+	}
+	err := verify.VerifyWavePrefixes(waves)
+	if err == nil {
+		t.Fatal("unabortable wave accepted")
+	}
+	if !strings.Contains(err.Error(), "abort wave 2: ") {
+		t.Fatalf("counterexample %v does not name wave 2's abort path", err)
+	}
+}
