@@ -159,9 +159,23 @@ func main() {
 		show(st, err)
 	case "health":
 		h, err := client.Health(ctx)
+		if err == nil {
+			printShardLine(h.Shard, h.Role, h.ShardEpoch)
+			for _, f := range h.Replication {
+				fmt.Fprintf(os.Stderr, "# follower %s: lag=%dB resyncs=%d err=%q\n",
+					f.Name, f.LagBytes, f.Resyncs, f.LastError)
+			}
+		}
 		show(h, err)
 	case "statz":
 		st, err := client.Statz(ctx)
+		if err == nil {
+			printShardLine(st.Shard, st.Role, st.ShardEpoch)
+			if st.LastSegmentShipped > 0 || st.ReplLagBytes > 0 {
+				fmt.Fprintf(os.Stderr, "# replication: lag=%dB last-segment-shipped=wal-%016d\n",
+					st.ReplLagBytes, st.LastSegmentShipped)
+			}
+		}
 		show(st, err)
 	case "operations":
 		operations(ctx, args[1:])
@@ -445,6 +459,16 @@ func readJSONFile(path string, v any) {
 
 // show prints a typed response as indented JSON, or the structured API
 // error (with its stable code) and a non-zero exit.
+// printShardLine writes a one-line shard summary to stderr (keeping
+// stdout pure JSON for scripts) when the server reports a shard
+// identity — standalone servers leave the fields empty.
+func printShardLine(shard, role string, epoch uint64) {
+	if shard == "" && role == "" {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "# shard=%s role=%s epoch=%d\n", shard, role, epoch)
+}
+
 func show(v any, err error) {
 	if err != nil {
 		var apiErr *api.Error

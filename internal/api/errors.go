@@ -62,6 +62,13 @@ const (
 	// (POST /v1/rollouts/{id}:abort) and the fleet was downgraded. The
 	// rollout's terminal error when no health gate tripped first.
 	CodeRolloutAborted ErrorCode = "rollout_aborted"
+	// CodeNotLeader: the addressed server is not the current leader of
+	// the vehicle's shard — it is a replication follower (or a deposed
+	// leader). The request itself may be fine; re-resolving the shard's
+	// leader and retrying there succeeds. Clients treat it like
+	// unavailable but with a routing hint: rotate replicas before
+	// backing off.
+	CodeNotLeader ErrorCode = "not_leader"
 	// CodeInternal: an unexpected server-side failure.
 	CodeInternal ErrorCode = "internal"
 )
@@ -119,6 +126,10 @@ func HTTPStatus(code ErrorCode) int {
 		return http.StatusTooManyRequests
 	case CodeUnavailable:
 		return http.StatusServiceUnavailable
+	case CodeNotLeader:
+		// Misdirected Request: right API, wrong server. Unique status so
+		// bare-body responses still round-trip the code.
+		return http.StatusMisdirectedRequest
 	case CodeInterrupted:
 		return http.StatusInternalServerError
 	default:
@@ -142,6 +153,8 @@ func CodeFromHTTPStatus(status int) ErrorCode {
 		return CodeResourceExhausted
 	case http.StatusServiceUnavailable:
 		return CodeUnavailable
+	case http.StatusMisdirectedRequest:
+		return CodeNotLeader
 	default:
 		return CodeInternal
 	}

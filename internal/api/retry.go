@@ -1,0 +1,257 @@
+package api
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+	"time"
+
+	"dynautosar/internal/core"
+)
+
+// The retrying transport: a DeploymentService decorator that absorbs
+// the transient error shapes of a federated control plane — a shard
+// leader dying mid-request (`unavailable`) or a request landing on a
+// follower or deposed leader (`not_leader`) — with capped jittered
+// backoff. Reads are retried as-is; operation-creating calls are made
+// safe to retry by stamping a per-operation idempotency key before the
+// first attempt, so a request whose response was lost to a failover is
+// answered on retry with the originally created operation instead of a
+// duplicate.
+
+// RetryOptions tunes NewRetryClient.
+type RetryOptions struct {
+	// Attempts caps total tries per call (first try included); 0 means
+	// the default (6).
+	Attempts int
+	// Backoff paces the waits between tries; the zero value uses the
+	// core.Backoff defaults (100ms base, 30s cap, 0.5 jitter).
+	Backoff core.Backoff
+	// Sleep, when non-nil, replaces the real wait (tests).
+	Sleep func(context.Context, time.Duration) error
+	// Logf receives one line per retried attempt; nil disables.
+	Logf func(format string, args ...any)
+}
+
+const defaultRetryAttempts = 6
+
+// retryable reports whether err is worth retrying against another (or
+// the same, later) replica.
+func retryable(err error) bool {
+	switch CodeOf(err) {
+	case CodeUnavailable, CodeNotLeader:
+		return true
+	}
+	return false
+}
+
+// retryClient wraps an inner DeploymentService with retry semantics.
+type retryClient struct {
+	inner DeploymentService
+	o     RetryOptions
+	// prefix + seq generate distinct idempotency keys; the random
+	// prefix keeps keys unique across client restarts.
+	prefix string
+	seq    atomic.Uint64
+}
+
+// NewRetryClient wraps svc — typically an httpTransport from NewClient,
+// or a federation router — in the retrying transport and returns it as
+// a Client. Callers may pre-fill IdempotencyKey on op-creating
+// requests; otherwise one is generated per call (not per attempt), so
+// every retry of one logical create carries the same key.
+func NewRetryClient(svc DeploymentService, opts RetryOptions) *Client {
+	if opts.Attempts <= 0 {
+		opts.Attempts = defaultRetryAttempts
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return Errorf(CodeUnavailable, "api: retry wait: %v", ctx.Err())
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	var raw [8]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable; fall back to a
+		// fixed prefix rather than failing client construction.
+		copy(raw[:], "idemkey0")
+	}
+	if u, ok := svc.(*Client); ok {
+		svc = u.DeploymentService
+	}
+	return &Client{DeploymentService: &retryClient{
+		inner: svc, o: opts, prefix: hex.EncodeToString(raw[:]),
+	}}
+}
+
+// nextKey mints a fresh idempotency key.
+func (r *retryClient) nextKey() string {
+	return "idem-" + r.prefix + "-" + itoa(r.seq.Add(1))
+}
+
+func itoa(n uint64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// retry runs fn up to the attempt budget, backing off between tries.
+func retry[T any](ctx context.Context, r *retryClient, what string, fn func() (T, error)) (T, error) {
+	b := r.o.Backoff
+	var out T
+	var err error
+	for attempt := 1; ; attempt++ {
+		out, err = fn()
+		if err == nil || !retryable(err) || attempt >= r.o.Attempts {
+			return out, err
+		}
+		d := b.Next()
+		r.o.Logf("api: %s attempt %d failed (%s), retrying in %s", what, attempt, CodeOf(err), d)
+		if serr := r.o.Sleep(ctx, d); serr != nil {
+			return out, err
+		}
+	}
+}
+
+var _ DeploymentService = (*retryClient)(nil)
+
+func (r *retryClient) CreateUser(ctx context.Context, req CreateUserRequest) (User, error) {
+	return retry(ctx, r, "CreateUser", func() (User, error) { return r.inner.CreateUser(ctx, req) })
+}
+
+func (r *retryClient) GetUser(ctx context.Context, id core.UserID) (User, error) {
+	return retry(ctx, r, "GetUser", func() (User, error) { return r.inner.GetUser(ctx, id) })
+}
+
+func (r *retryClient) BindVehicle(ctx context.Context, req BindVehicleRequest) (VehicleRecord, error) {
+	return retry(ctx, r, "BindVehicle", func() (VehicleRecord, error) { return r.inner.BindVehicle(ctx, req) })
+}
+
+func (r *retryClient) GetVehicle(ctx context.Context, id core.VehicleID) (VehicleDetail, error) {
+	return retry(ctx, r, "GetVehicle", func() (VehicleDetail, error) { return r.inner.GetVehicle(ctx, id) })
+}
+
+func (r *retryClient) ListVehicles(ctx context.Context, page Page) (VehicleList, error) {
+	return retry(ctx, r, "ListVehicles", func() (VehicleList, error) { return r.inner.ListVehicles(ctx, page) })
+}
+
+func (r *retryClient) UploadApp(ctx context.Context, app App) (AppRef, error) {
+	return retry(ctx, r, "UploadApp", func() (AppRef, error) { return r.inner.UploadApp(ctx, app) })
+}
+
+func (r *retryClient) GetApp(ctx context.Context, name core.AppName) (App, error) {
+	return retry(ctx, r, "GetApp", func() (App, error) { return r.inner.GetApp(ctx, name) })
+}
+
+func (r *retryClient) ListApps(ctx context.Context, page Page) (AppList, error) {
+	return retry(ctx, r, "ListApps", func() (AppList, error) { return r.inner.ListApps(ctx, page) })
+}
+
+func (r *retryClient) Deploy(ctx context.Context, req DeployRequest) (Operation, error) {
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = r.nextKey()
+	}
+	return retry(ctx, r, "Deploy", func() (Operation, error) { return r.inner.Deploy(ctx, req) })
+}
+
+func (r *retryClient) BatchDeploy(ctx context.Context, req BatchDeployRequest) (Operation, error) {
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = r.nextKey()
+	}
+	return retry(ctx, r, "BatchDeploy", func() (Operation, error) { return r.inner.BatchDeploy(ctx, req) })
+}
+
+func (r *retryClient) Uninstall(ctx context.Context, req UninstallRequest) (Operation, error) {
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = r.nextKey()
+	}
+	return retry(ctx, r, "Uninstall", func() (Operation, error) { return r.inner.Uninstall(ctx, req) })
+}
+
+func (r *retryClient) BatchUninstall(ctx context.Context, req BatchUninstallRequest) (Operation, error) {
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = r.nextKey()
+	}
+	return retry(ctx, r, "BatchUninstall", func() (Operation, error) { return r.inner.BatchUninstall(ctx, req) })
+}
+
+func (r *retryClient) Upgrade(ctx context.Context, req UpgradeRequest) (Operation, error) {
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = r.nextKey()
+	}
+	return retry(ctx, r, "Upgrade", func() (Operation, error) { return r.inner.Upgrade(ctx, req) })
+}
+
+func (r *retryClient) BatchUpgrade(ctx context.Context, req BatchUpgradeRequest) (Operation, error) {
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = r.nextKey()
+	}
+	return retry(ctx, r, "BatchUpgrade", func() (Operation, error) { return r.inner.BatchUpgrade(ctx, req) })
+}
+
+func (r *retryClient) Restore(ctx context.Context, req RestoreRequest) (Operation, error) {
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = r.nextKey()
+	}
+	return retry(ctx, r, "Restore", func() (Operation, error) { return r.inner.Restore(ctx, req) })
+}
+
+func (r *retryClient) StartRollout(ctx context.Context, req RolloutRequest) (RolloutStatus, error) {
+	// Rollouts have no idempotency key yet; retry only the error shapes
+	// that cannot have created one (the request never reached a leader).
+	return retry(ctx, r, "StartRollout", func() (RolloutStatus, error) { return r.inner.StartRollout(ctx, req) })
+}
+
+func (r *retryClient) GetRollout(ctx context.Context, id string) (RolloutStatus, error) {
+	return retry(ctx, r, "GetRollout", func() (RolloutStatus, error) { return r.inner.GetRollout(ctx, id) })
+}
+
+func (r *retryClient) AbortRollout(ctx context.Context, id string) (RolloutStatus, error) {
+	return retry(ctx, r, "AbortRollout", func() (RolloutStatus, error) { return r.inner.AbortRollout(ctx, id) })
+}
+
+func (r *retryClient) ListRollouts(ctx context.Context, page Page) (RolloutList, error) {
+	return retry(ctx, r, "ListRollouts", func() (RolloutList, error) { return r.inner.ListRollouts(ctx, page) })
+}
+
+func (r *retryClient) Verify(ctx context.Context, req VerifyRequest) (VerifyReport, error) {
+	return retry(ctx, r, "Verify", func() (VerifyReport, error) { return r.inner.Verify(ctx, req) })
+}
+
+func (r *retryClient) Status(ctx context.Context, vehicle core.VehicleID, app core.AppName) (OpStatus, error) {
+	return retry(ctx, r, "Status", func() (OpStatus, error) { return r.inner.Status(ctx, vehicle, app) })
+}
+
+func (r *retryClient) Health(ctx context.Context) (Health, error) {
+	return retry(ctx, r, "Health", func() (Health, error) { return r.inner.Health(ctx) })
+}
+
+func (r *retryClient) Statz(ctx context.Context) (Statz, error) {
+	return retry(ctx, r, "Statz", func() (Statz, error) { return r.inner.Statz(ctx) })
+}
+
+func (r *retryClient) GetOperation(ctx context.Context, id string) (Operation, error) {
+	return retry(ctx, r, "GetOperation", func() (Operation, error) { return r.inner.GetOperation(ctx, id) })
+}
+
+func (r *retryClient) ListOperations(ctx context.Context, page Page) (OperationList, error) {
+	return retry(ctx, r, "ListOperations", func() (OperationList, error) { return r.inner.ListOperations(ctx, page) })
+}

@@ -26,6 +26,11 @@ type DeployRequest struct {
 	User    core.UserID    `json:"user"`
 	Vehicle core.VehicleID `json:"vehicle"`
 	App     core.AppName   `json:"app"`
+	// IdempotencyKey, when non-empty, makes the create idempotent: a
+	// retry carrying the same key returns the originally created
+	// operation instead of creating a second one. Retrying transports
+	// (see NewRetryClient) fill it automatically.
+	IdempotencyKey string `json:"idempotencyKey,omitempty"`
 }
 
 // UninstallRequest asks for app to be removed from vehicle.
@@ -33,6 +38,11 @@ type UninstallRequest struct {
 	User    core.UserID    `json:"user"`
 	Vehicle core.VehicleID `json:"vehicle"`
 	App     core.AppName   `json:"app"`
+	// IdempotencyKey, when non-empty, makes the create idempotent: a
+	// retry carrying the same key returns the originally created
+	// operation instead of creating a second one. Retrying transports
+	// (see NewRetryClient) fill it automatically.
+	IdempotencyKey string `json:"idempotencyKey,omitempty"`
 }
 
 // FleetSelector names a fleet by attributes instead of ids: the
@@ -53,6 +63,11 @@ type BatchDeployRequest struct {
 	Vehicles []core.VehicleID `json:"vehicles,omitempty"`
 	Selector *FleetSelector   `json:"selector,omitempty"`
 	App      core.AppName     `json:"app"`
+	// IdempotencyKey, when non-empty, makes the create idempotent: a
+	// retry carrying the same key returns the originally created
+	// operation instead of creating a second one. Retrying transports
+	// (see NewRetryClient) fill it automatically.
+	IdempotencyKey string `json:"idempotencyKey,omitempty"`
 }
 
 // BatchUninstallRequest asks for app to be removed across a fleet, with
@@ -62,6 +77,11 @@ type BatchUninstallRequest struct {
 	Vehicles []core.VehicleID `json:"vehicles,omitempty"`
 	Selector *FleetSelector   `json:"selector,omitempty"`
 	App      core.AppName     `json:"app"`
+	// IdempotencyKey, when non-empty, makes the create idempotent: a
+	// retry carrying the same key returns the originally created
+	// operation instead of creating a second one. Retrying transports
+	// (see NewRetryClient) fill it automatically.
+	IdempotencyKey string `json:"idempotencyKey,omitempty"`
 }
 
 // UpgradeRequest asks for the installed app From to be live-upgraded in
@@ -73,6 +93,11 @@ type UpgradeRequest struct {
 	Vehicle core.VehicleID `json:"vehicle"`
 	From    core.AppName   `json:"from"`
 	To      core.AppName   `json:"to"`
+	// IdempotencyKey, when non-empty, makes the create idempotent: a
+	// retry carrying the same key returns the originally created
+	// operation instead of creating a second one. Retrying transports
+	// (see NewRetryClient) fill it automatically.
+	IdempotencyKey string `json:"idempotencyKey,omitempty"`
 }
 
 // BatchUpgradeRequest asks for a live upgrade across a fleet, with the
@@ -84,6 +109,11 @@ type BatchUpgradeRequest struct {
 	Selector *FleetSelector   `json:"selector,omitempty"`
 	From     core.AppName     `json:"from"`
 	To       core.AppName     `json:"to"`
+	// IdempotencyKey, when non-empty, makes the create idempotent: a
+	// retry carrying the same key returns the originally created
+	// operation instead of creating a second one. Retrying transports
+	// (see NewRetryClient) fill it automatically.
+	IdempotencyKey string `json:"idempotencyKey,omitempty"`
 }
 
 // RolloutWave selects how much of the fleet is cumulatively covered
@@ -232,6 +262,11 @@ type RestoreRequest struct {
 	User    core.UserID    `json:"user"`
 	Vehicle core.VehicleID `json:"vehicle"`
 	ECU     core.ECUID     `json:"ecu"`
+	// IdempotencyKey, when non-empty, makes the create idempotent: a
+	// retry carrying the same key returns the originally created
+	// operation instead of creating a second one. Retrying transports
+	// (see NewRetryClient) fill it automatically.
+	IdempotencyKey string `json:"idempotencyKey,omitempty"`
 }
 
 // AppRef names a stored application.
@@ -288,6 +323,31 @@ type Health struct {
 	// the expected shape of a crash mid-append, kept visible for
 	// diagnostics.
 	TornTail bool `json:"tornTail,omitempty"`
+
+	// Federation fields (empty on an unsharded server). Shard is the
+	// shard this server belongs to, Role is "leader" or "follower",
+	// ShardEpoch the leadership epoch the current leader serves under.
+	Shard      string `json:"shard,omitempty"`
+	Role       string `json:"role,omitempty"`
+	ShardEpoch uint64 `json:"shardEpoch,omitempty"`
+	// Replication is the leader's per-follower shipping status, nil on
+	// followers and unsharded servers.
+	Replication []FollowerHealth `json:"replication,omitempty"`
+}
+
+// FollowerHealth is one follower's replication position as the leader
+// sees it: how far shipping got, how far the follower confirmed, and
+// the byte lag between the leader's durable watermark and that
+// confirmation.
+type FollowerHealth struct {
+	Name              string `json:"name"`
+	LastShippedGen    uint64 `json:"lastShippedGen"`
+	LastShippedOffset int64  `json:"lastShippedOffset"`
+	AckedGen          uint64 `json:"ackedGen"`
+	AckedOffset       int64  `json:"ackedOffset"`
+	LagBytes          int64  `json:"lagBytes"`
+	Resyncs           uint64 `json:"resyncs"`
+	LastError         string `json:"lastError,omitempty"`
 }
 
 // Statz is the GET /v1/statz body: cheap monotonic counters for
@@ -318,6 +378,15 @@ type Statz struct {
 	JournalCommits       uint64 `json:"journalCommits"`
 	JournalSinceSnapshot int    `json:"journalSinceSnapshot"`
 	JournalGen           uint64 `json:"journalGen"`
+	// Federation counters (zero/empty on an unsharded server): the
+	// shard identity and role, the leadership epoch, the worst
+	// per-follower replication lag in bytes, and the newest segment
+	// generation handed to any follower.
+	Shard              string `json:"shard,omitempty"`
+	Role               string `json:"role,omitempty"`
+	ShardEpoch         uint64 `json:"shardEpoch,omitempty"`
+	ReplLagBytes       int64  `json:"replLagBytes,omitempty"`
+	LastSegmentShipped uint64 `json:"lastSegmentShipped,omitempty"`
 }
 
 // DeploymentService is the transport-agnostic core of the trusted

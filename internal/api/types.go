@@ -280,6 +280,12 @@ type Operation struct {
 	Error *Error `json:"error,omitempty"`
 	// Done reports whether the operation reached a terminal state.
 	Done bool `json:"done"`
+	// IdempotencyKey echoes the key the creating request carried, ""
+	// for none. The server registers each key exactly once — journaled
+	// with the op_created record, so the claim survives crashes and
+	// shard failover — and answers a repeated key with this same
+	// operation instead of creating a duplicate.
+	IdempotencyKey string `json:"idempotencyKey,omitempty"`
 
 	// Batch fields. A batch parent fans out over Vehicles with one child
 	// operation each; a child points back through Parent. The parent's

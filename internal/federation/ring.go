@@ -1,0 +1,114 @@
+// Package federation is the thin front tier of the sharded control
+// plane: it partitions the vehicle space across trusted-server shards
+// by consistent hashing, routes every /v1 request to the owning
+// shard's current leader (rotating replicas on `not_leader`), runs
+// follower nodes that mirror a leader's journal byte for byte, and
+// promotes a follower into a full server when its leader dies — with
+// zero acknowledged state lost, because leaders replicate
+// synchronously before settling durability tickets.
+package federation
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"dynautosar/internal/core"
+)
+
+// defaultVnodes is how many virtual points each shard contributes to
+// the ring; enough that a three-shard ring splits a fleet within a few
+// percent of evenly.
+const defaultVnodes = 64
+
+// Ring is a consistent-hash partition of the vehicle-id space across
+// named shards. It is deterministic in its inputs — every router and
+// simulator instance built from the same shard list computes the same
+// owner for every vehicle — and immutable once built.
+type Ring struct {
+	points []ringPoint
+	shards []string
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// NewRing builds a ring over the given shard names with vnodes virtual
+// points per shard (0 = the default 64). Shard names are deduplicated;
+// order does not matter.
+func NewRing(shards []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	seen := make(map[string]bool, len(shards))
+	r := &Ring{}
+	for _, s := range shards {
+		if s == "" || seen[s] {
+			continue
+		}
+		seen[s] = true
+		r.shards = append(r.shards, s)
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hash64(fmt.Sprintf("%s#%d", s, i)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, k int) bool {
+		a, b := r.points[i], r.points[k]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Tie-break on the name so equal hashes (astronomically rare but
+		// possible) still order deterministically.
+		return a.shard < b.shard
+	})
+	sort.Strings(r.shards)
+	return r
+}
+
+// Shards returns the shard names on the ring, sorted.
+func (r *Ring) Shards() []string { return append([]string(nil), r.shards...) }
+
+// Owner maps a vehicle id to its owning shard ("" on an empty ring):
+// the first ring point clockwise of the vehicle's hash.
+func (r *Ring) Owner(v core.VehicleID) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(string(v))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// Partition splits a vehicle list by owning shard, preserving each
+// shard's relative order.
+func (r *Ring) Partition(vehicles []core.VehicleID) map[string][]core.VehicleID {
+	out := make(map[string][]core.VehicleID)
+	for _, v := range vehicles {
+		s := r.Owner(v)
+		out[s] = append(out[s], v)
+	}
+	return out
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// FNV alone does not avalanche: sequential ids ("VIN-0001",
+	// "VIN-0002", …) land in a narrow band of the ring and pile onto one
+	// shard. A splitmix64-style finalizer spreads them uniformly.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,846 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dynautosar/internal/api"
+	"dynautosar/internal/core"
+)
+
+// Router is the front tier's api.DeploymentService: every request lands
+// on the shard that owns its vehicle (consistent hashing over the
+// ring), fleet-wide requests fan out per shard, and each shard call
+// rotates through the shard's replicas when the addressed server
+// answers `not_leader` or is unreachable — so a shard failover is, from
+// the client's point of view, a brief window of retried requests and
+// nothing else.
+//
+// Entity semantics across shards: users and apps are global (creates
+// fan out everywhere, idempotently), vehicles and their installed rows
+// live only on the owning shard, and a fan-out batch is represented by
+// a router-local "fed-" parent whose children are the per-shard batch
+// parents, addressed by qualified ids ("<shard>/op-000123").
+
+// Replica is one addressable server of a shard.
+type Replica struct {
+	Name string
+	Svc  api.DeploymentService
+}
+
+// Shard is one partition of the control plane: its name on the ring
+// and its replicas (leader + followers, in any order — the router
+// discovers which one leads).
+type Shard struct {
+	Name     string
+	Replicas []Replica
+}
+
+// RouterOptions tunes request routing.
+type RouterOptions struct {
+	// Attempts caps per-call tries across a shard's replicas (0 = two
+	// full rotations).
+	Attempts int
+	// Vnodes is the ring's virtual-node count per shard (0 = default).
+	Vnodes int
+	// Backoff paces the wait after each full fruitless rotation.
+	Backoff core.Backoff
+	// Sleep replaces the real wait (tests); nil uses a timer.
+	Sleep func(context.Context, time.Duration) error
+	// Logf receives routing diagnostics; nil disables.
+	Logf func(format string, args ...any)
+}
+
+// Router implements api.DeploymentService over a set of shards.
+type Router struct {
+	ring   *Ring
+	names  []string // sorted shard names, the deterministic fan-out order
+	byName map[string]*shardState
+	o      RouterOptions
+
+	// fed is the registry of router-local batch parents.
+	fedMu    sync.Mutex
+	fedSeq   uint64
+	fedOps   map[string]*fedOp
+	fedOrder []string
+}
+
+type shardState struct {
+	shard Shard
+	mu    sync.Mutex
+	// leader is the replica index that last answered a call without
+	// `not_leader`; rotation starts there.
+	leader int
+}
+
+// fedOp is a fan-out batch parent: static identity here, live tallies
+// aggregated from the per-shard children at read time.
+type fedOp struct {
+	op api.Operation
+}
+
+// NewRouter builds the front tier over the given shards.
+func NewRouter(shards []Shard, opts RouterOptions) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("federation: router needs at least one shard")
+	}
+	if opts.Attempts <= 0 {
+		n := 0
+		for _, s := range shards {
+			n += len(s.Replicas)
+		}
+		opts.Attempts = 2 * max(n, 1)
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	r := &Router{
+		byName: make(map[string]*shardState, len(shards)),
+		o:      opts,
+		fedOps: make(map[string]*fedOp),
+	}
+	var names []string
+	for i := range shards {
+		s := shards[i]
+		if s.Name == "" || len(s.Replicas) == 0 {
+			return nil, fmt.Errorf("federation: shard %d needs a name and at least one replica", i)
+		}
+		if r.byName[s.Name] != nil {
+			return nil, fmt.Errorf("federation: duplicate shard %q", s.Name)
+		}
+		r.byName[s.Name] = &shardState{shard: s}
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	r.names = names
+	r.ring = NewRing(names, opts.Vnodes)
+	return r, nil
+}
+
+// Ring exposes the router's vehicle→shard partition (simulators and
+// tests share it so everyone agrees on ownership).
+func (r *Router) Ring() *Ring { return r.ring }
+
+// shardFor resolves the owning shard of a vehicle.
+func (r *Router) shardFor(v core.VehicleID) *shardState {
+	return r.byName[r.ring.Owner(v)]
+}
+
+// routable reports whether an error should move the call to another
+// replica: `not_leader` always (the addressed server is a follower or
+// deposed), `unavailable` too — it may be a dead leader's connection
+// error, and probing the siblings is cheap next to returning a
+// spurious failure mid-failover.
+func routable(code api.ErrorCode) bool {
+	return code == api.CodeNotLeader || code == api.CodeUnavailable
+}
+
+// callShard runs fn against a shard, starting at the cached leader and
+// rotating replicas on routable errors, backing off after each full
+// fruitless rotation. On exhaustion it returns the most informative
+// error seen: an application error from a leader beats the `not_leader`
+// chorus of the followers.
+func callShard[T any](ctx context.Context, r *Router, ss *shardState, what string, fn func(api.DeploymentService) (T, error)) (T, error) {
+	n := len(ss.shard.Replicas)
+	ss.mu.Lock()
+	start := ss.leader
+	ss.mu.Unlock()
+	b := r.o.Backoff
+	var out T
+	var err error
+	var lastApp error // last non-not_leader error, the one worth surfacing
+	for try := 0; ; try++ {
+		idx := (start + try) % n
+		out, err = fn(ss.shard.Replicas[idx].Svc)
+		code := api.CodeOf(err)
+		if err == nil || !routable(code) {
+			ss.mu.Lock()
+			ss.leader = idx
+			ss.mu.Unlock()
+			return out, err
+		}
+		if code != api.CodeNotLeader {
+			lastApp = err
+		}
+		if try+1 >= r.o.Attempts {
+			break
+		}
+		r.o.Logf("federation: %s on %s/%s: %s; rotating", what, ss.shard.Name, ss.shard.Replicas[idx].Name, code)
+		if (try+1)%n == 0 {
+			if serr := r.o.Sleep(ctx, b.Next()); serr != nil {
+				break
+			}
+		}
+	}
+	if lastApp != nil {
+		return out, lastApp
+	}
+	return out, err
+}
+
+var _ api.DeploymentService = (*Router)(nil)
+
+// ---- global entities: users and apps exist on every shard ----
+
+// fanOutCreate runs a create on every shard, tolerating already_exists
+// (an earlier partial fan-out); it fails if any shard rejects for a
+// real reason.
+func fanOutCreate[T any](ctx context.Context, r *Router, what string, fn func(api.DeploymentService) (T, error)) (T, error) {
+	var out T
+	var got bool
+	for _, name := range r.names {
+		v, err := callShard(ctx, r, r.byName[name], what, fn)
+		switch {
+		case err == nil:
+			if !got {
+				out, got = v, true
+			}
+		case api.CodeOf(err) == api.CodeAlreadyExists && got:
+			// A later shard already had it; keep the first result.
+		case api.CodeOf(err) == api.CodeAlreadyExists:
+			out, got = v, true // surface the duplicate only if every shard dups
+		default:
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+func (r *Router) CreateUser(ctx context.Context, req api.CreateUserRequest) (api.User, error) {
+	// Re-issue verbatim per shard; a retried half-complete fan-out
+	// converges because already_exists is tolerated.
+	firstErrDup := true
+	var out api.User
+	for _, name := range r.names {
+		u, err := callShard(ctx, r, r.byName[name], "CreateUser", func(svc api.DeploymentService) (api.User, error) {
+			return svc.CreateUser(ctx, req)
+		})
+		if err != nil {
+			if api.CodeOf(err) == api.CodeAlreadyExists {
+				continue
+			}
+			return api.User{}, err
+		}
+		if firstErrDup {
+			out, firstErrDup = u, false
+		}
+	}
+	if firstErrDup {
+		return out, api.Errorf(api.CodeAlreadyExists, "federation: user %q already exists on every shard", req.ID)
+	}
+	return out, nil
+}
+
+func (r *Router) GetUser(ctx context.Context, id core.UserID) (api.User, error) {
+	// The user record is global but its vehicle list is per shard; merge.
+	var out api.User
+	found := false
+	for _, name := range r.names {
+		u, err := callShard(ctx, r, r.byName[name], "GetUser", func(svc api.DeploymentService) (api.User, error) {
+			return svc.GetUser(ctx, id)
+		})
+		if err != nil {
+			if api.CodeOf(err) == api.CodeNotFound {
+				continue
+			}
+			return api.User{}, err
+		}
+		if !found {
+			out, found = u, true
+		} else {
+			out.Vehicles = append(out.Vehicles, u.Vehicles...)
+		}
+	}
+	if !found {
+		return api.User{}, api.Errorf(api.CodeNotFound, "federation: unknown user %q", id)
+	}
+	sort.Slice(out.Vehicles, func(i, k int) bool { return out.Vehicles[i] < out.Vehicles[k] })
+	return out, nil
+}
+
+func (r *Router) UploadApp(ctx context.Context, app api.App) (api.AppRef, error) {
+	return fanOutCreate(ctx, r, "UploadApp", func(svc api.DeploymentService) (api.AppRef, error) {
+		return svc.UploadApp(ctx, app)
+	})
+}
+
+func (r *Router) GetApp(ctx context.Context, name core.AppName) (api.App, error) {
+	return callShard(ctx, r, r.byName[r.names[0]], "GetApp", func(svc api.DeploymentService) (api.App, error) {
+		return svc.GetApp(ctx, name)
+	})
+}
+
+func (r *Router) ListApps(ctx context.Context, page api.Page) (api.AppList, error) {
+	// Apps are replicated to every shard; the first one's list is the
+	// fleet's list.
+	return callShard(ctx, r, r.byName[r.names[0]], "ListApps", func(svc api.DeploymentService) (api.AppList, error) {
+		return svc.ListApps(ctx, page)
+	})
+}
+
+// ---- vehicle-scoped requests route to the owning shard ----
+
+func (r *Router) BindVehicle(ctx context.Context, req api.BindVehicleRequest) (api.VehicleRecord, error) {
+	ss := r.shardFor(req.Conf.Vehicle)
+	return callShard(ctx, r, ss, "BindVehicle", func(svc api.DeploymentService) (api.VehicleRecord, error) {
+		return svc.BindVehicle(ctx, req)
+	})
+}
+
+func (r *Router) GetVehicle(ctx context.Context, id core.VehicleID) (api.VehicleDetail, error) {
+	return callShard(ctx, r, r.shardFor(id), "GetVehicle", func(svc api.DeploymentService) (api.VehicleDetail, error) {
+		return svc.GetVehicle(ctx, id)
+	})
+}
+
+func (r *Router) ListVehicles(ctx context.Context, page api.Page) (api.VehicleList, error) {
+	return listAcrossShards(ctx, r, page,
+		func(svc api.DeploymentService, p api.Page) ([]api.VehicleRecord, string, error) {
+			l, err := svc.ListVehicles(ctx, p)
+			return l.Vehicles, l.NextPageToken, err
+		},
+		func(items []api.VehicleRecord, next string) (api.VehicleList, error) {
+			return api.VehicleList{Vehicles: items, NextPageToken: next}, nil
+		})
+}
+
+// vehicleOp routes one op-creating call to the vehicle's shard and
+// returns the operation under its qualified id, so every id a client
+// sees through the router resolves without shard probing.
+func (r *Router) vehicleOp(ctx context.Context, v core.VehicleID, what string, fn func(svc api.DeploymentService) (api.Operation, error)) (api.Operation, error) {
+	ss := r.shardFor(v)
+	op, err := callShard(ctx, r, ss, what, fn)
+	if err != nil {
+		return api.Operation{}, err
+	}
+	return qualifyOp(ss.shard.Name, op), nil
+}
+
+func (r *Router) Deploy(ctx context.Context, req api.DeployRequest) (api.Operation, error) {
+	return r.vehicleOp(ctx, req.Vehicle, "Deploy", func(svc api.DeploymentService) (api.Operation, error) {
+		return svc.Deploy(ctx, req)
+	})
+}
+
+func (r *Router) Uninstall(ctx context.Context, req api.UninstallRequest) (api.Operation, error) {
+	return r.vehicleOp(ctx, req.Vehicle, "Uninstall", func(svc api.DeploymentService) (api.Operation, error) {
+		return svc.Uninstall(ctx, req)
+	})
+}
+
+func (r *Router) Upgrade(ctx context.Context, req api.UpgradeRequest) (api.Operation, error) {
+	return r.vehicleOp(ctx, req.Vehicle, "Upgrade", func(svc api.DeploymentService) (api.Operation, error) {
+		return svc.Upgrade(ctx, req)
+	})
+}
+
+func (r *Router) Restore(ctx context.Context, req api.RestoreRequest) (api.Operation, error) {
+	return r.vehicleOp(ctx, req.Vehicle, "Restore", func(svc api.DeploymentService) (api.Operation, error) {
+		return svc.Restore(ctx, req)
+	})
+}
+
+func (r *Router) Verify(ctx context.Context, req api.VerifyRequest) (api.VerifyReport, error) {
+	return callShard(ctx, r, r.shardFor(req.Vehicle), "Verify", func(svc api.DeploymentService) (api.VerifyReport, error) {
+		return svc.Verify(ctx, req)
+	})
+}
+
+func (r *Router) Status(ctx context.Context, vehicle core.VehicleID, app core.AppName) (api.OpStatus, error) {
+	return callShard(ctx, r, r.shardFor(vehicle), "Status", func(svc api.DeploymentService) (api.OpStatus, error) {
+		return svc.Status(ctx, vehicle, app)
+	})
+}
+
+// ---- fleet-wide batches fan out per shard under a fed- parent ----
+
+// batchCall abstracts the three batch kinds over their shared fan-out.
+func (r *Router) batchFanOut(ctx context.Context, kind api.OperationKind, user core.UserID,
+	vehicles []core.VehicleID, sel *api.FleetSelector, app, toApp core.AppName, idemKey string,
+	issue func(svc api.DeploymentService, shardVehicles []core.VehicleID, key string) (api.Operation, error),
+) (api.Operation, error) {
+	if len(vehicles) > 0 && sel != nil {
+		return api.Operation{}, api.Errorf(api.CodeInvalidArgument, "federation: batch request names both vehicles and a selector")
+	}
+	// Targets per shard: an explicit list partitions on the ring; a
+	// selector goes to every shard, which resolves its own slice of the
+	// fleet ("matches no vehicles" from some shards is fine as long as
+	// one matched).
+	targets := make(map[string][]core.VehicleID, len(r.names))
+	if len(vehicles) > 0 {
+		for shard, vs := range r.ring.Partition(vehicles) {
+			targets[shard] = vs
+		}
+	} else {
+		for _, name := range r.names {
+			targets[name] = nil
+		}
+	}
+	order := make([]string, 0, len(targets))
+	for _, name := range r.names {
+		if _, ok := targets[name]; ok {
+			order = append(order, name)
+		}
+	}
+	// Single-shard fast path: no fed parent needed, the shard's own
+	// batch parent is the operation (qualified so polls route back).
+	if len(order) == 1 && len(vehicles) > 0 {
+		op, err := callShard(ctx, r, r.byName[order[0]], string(kind), func(svc api.DeploymentService) (api.Operation, error) {
+			return issue(svc, targets[order[0]], idemKey)
+		})
+		if err != nil {
+			return api.Operation{}, err
+		}
+		return qualifyOp(order[0], op), nil
+	}
+
+	var children []string
+	var allVehicles []core.VehicleID
+	var firstErr error
+	matched := 0
+	for _, name := range order {
+		// Derive a per-shard idempotency key, so a retried fan-out
+		// re-binds to the shard parents the first attempt created.
+		key := idemKey
+		if key != "" {
+			key = fmt.Sprintf("%s@%s", idemKey, name)
+		}
+		op, err := callShard(ctx, r, r.byName[name], string(kind), func(svc api.DeploymentService) (api.Operation, error) {
+			return issue(svc, targets[name], key)
+		})
+		if err != nil {
+			if sel != nil && api.CodeOf(err) == api.CodeFailedPrecondition {
+				continue // this shard owns no matching vehicles
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %s: %w", name, err)
+			}
+			// Keep fanning out: a half-placed batch plus a visible error
+			// beats silently orphaning the shards already running. The
+			// fed parent still tracks what did launch.
+			r.o.Logf("federation: %s fan-out to %s failed: %v", kind, name, err)
+			continue
+		}
+		matched++
+		children = append(children, name+"/"+op.ID)
+		allVehicles = append(allVehicles, op.Vehicles...)
+	}
+	if matched == 0 {
+		if firstErr != nil {
+			return api.Operation{}, firstErr
+		}
+		return api.Operation{}, api.Errorf(api.CodeFailedPrecondition, "federation: fleet selector matches no vehicles on any shard")
+	}
+
+	r.fedMu.Lock()
+	r.fedSeq++
+	id := fmt.Sprintf("fed-%08d", r.fedSeq)
+	f := &fedOp{op: api.Operation{
+		ID:             id,
+		Kind:           kind,
+		User:           user,
+		App:            app,
+		ToApp:          toApp,
+		State:          api.StateRunning,
+		Vehicles:       allVehicles,
+		Children:       children,
+		IdempotencyKey: idemKey,
+	}}
+	if firstErr != nil {
+		f.op.Failures = append(f.op.Failures, firstErr.Error())
+	}
+	r.fedOps[id] = f
+	r.fedOrder = append(r.fedOrder, id)
+	snap := f.op
+	r.fedMu.Unlock()
+	return snap, nil
+}
+
+func (r *Router) BatchDeploy(ctx context.Context, req api.BatchDeployRequest) (api.Operation, error) {
+	return r.batchFanOut(ctx, api.OpBatchDeploy, req.User, req.Vehicles, req.Selector, req.App, "", req.IdempotencyKey,
+		func(svc api.DeploymentService, vs []core.VehicleID, key string) (api.Operation, error) {
+			return svc.BatchDeploy(ctx, api.BatchDeployRequest{
+				User: req.User, Vehicles: vs, Selector: req.Selector, App: req.App, IdempotencyKey: key,
+			})
+		})
+}
+
+func (r *Router) BatchUninstall(ctx context.Context, req api.BatchUninstallRequest) (api.Operation, error) {
+	return r.batchFanOut(ctx, api.OpBatchUninstall, req.User, req.Vehicles, req.Selector, req.App, "", req.IdempotencyKey,
+		func(svc api.DeploymentService, vs []core.VehicleID, key string) (api.Operation, error) {
+			return svc.BatchUninstall(ctx, api.BatchUninstallRequest{
+				User: req.User, Vehicles: vs, Selector: req.Selector, App: req.App, IdempotencyKey: key,
+			})
+		})
+}
+
+func (r *Router) BatchUpgrade(ctx context.Context, req api.BatchUpgradeRequest) (api.Operation, error) {
+	return r.batchFanOut(ctx, api.OpBatchUpgrade, req.User, req.Vehicles, req.Selector, req.From, req.To, req.IdempotencyKey,
+		func(svc api.DeploymentService, vs []core.VehicleID, key string) (api.Operation, error) {
+			return svc.BatchUpgrade(ctx, api.BatchUpgradeRequest{
+				User: req.User, Vehicles: vs, Selector: req.Selector, From: req.From, To: req.To, IdempotencyKey: key,
+			})
+		})
+}
+
+// ---- operations: qualified ids, fed- aggregation ----
+
+// qualifyOp rewrites an operation's id references into the router's
+// namespace, so clients can navigate parent/children across the tier.
+func qualifyOp(shard string, op api.Operation) api.Operation {
+	op.ID = shard + "/" + op.ID
+	if op.Parent != "" {
+		op.Parent = shard + "/" + op.Parent
+	}
+	for i, c := range op.Children {
+		op.Children[i] = shard + "/" + c
+	}
+	return op
+}
+
+// splitQualified parses "<shard>/<id>"; ok is false for bare ids.
+func (r *Router) splitQualified(id string) (ss *shardState, rest string, ok bool) {
+	shard, rest, found := strings.Cut(id, "/")
+	if !found {
+		return nil, "", false
+	}
+	ss = r.byName[shard]
+	if ss == nil {
+		return nil, "", false
+	}
+	return ss, rest, true
+}
+
+func (r *Router) GetOperation(ctx context.Context, id string) (api.Operation, error) {
+	if strings.HasPrefix(id, "fed-") {
+		return r.getFedOperation(ctx, id)
+	}
+	if ss, rest, ok := r.splitQualified(id); ok {
+		op, err := callShard(ctx, r, ss, "GetOperation", func(svc api.DeploymentService) (api.Operation, error) {
+			return svc.GetOperation(ctx, rest)
+		})
+		if err != nil {
+			return api.Operation{}, err
+		}
+		return qualifyOp(ss.shard.Name, op), nil
+	}
+	// Bare id: probe shards in order (ops created through the router are
+	// always qualified; this serves hand-typed ids).
+	for _, name := range r.names {
+		op, err := callShard(ctx, r, r.byName[name], "GetOperation", func(svc api.DeploymentService) (api.Operation, error) {
+			return svc.GetOperation(ctx, id)
+		})
+		if err == nil {
+			return qualifyOp(name, op), nil
+		}
+		if api.CodeOf(err) != api.CodeNotFound {
+			return api.Operation{}, err
+		}
+	}
+	return api.Operation{}, api.Errorf(api.CodeNotFound, "federation: unknown operation %q", id)
+}
+
+// getFedOperation aggregates a fan-out parent from its per-shard batch
+// parents: tallies summed, terminal exactly when every child is.
+func (r *Router) getFedOperation(ctx context.Context, id string) (api.Operation, error) {
+	r.fedMu.Lock()
+	f := r.fedOps[id]
+	var snap api.Operation
+	if f != nil {
+		snap = f.op
+		snap.Failures = append([]string(nil), f.op.Failures...)
+		snap.Vehicles = append([]core.VehicleID(nil), f.op.Vehicles...)
+		snap.Children = append([]string(nil), f.op.Children...)
+	}
+	r.fedMu.Unlock()
+	if f == nil {
+		return api.Operation{}, api.Errorf(api.CodeNotFound, "federation: unknown operation %q", id)
+	}
+	allDone := true
+	anyFailed := false
+	for _, cid := range snap.Children {
+		ss, rest, ok := r.splitQualified(cid)
+		if !ok {
+			continue
+		}
+		child, err := callShard(ctx, r, ss, "GetOperation", func(svc api.DeploymentService) (api.Operation, error) {
+			return svc.GetOperation(ctx, rest)
+		})
+		if err != nil {
+			// The shard is mid-failover; report the parent as still
+			// running — the next poll lands on the promoted leader, which
+			// recovered the batch from the replicated journal.
+			allDone = false
+			continue
+		}
+		snap.Total += child.Total
+		snap.Acked += child.Acked
+		snap.VehiclesSucceeded += child.VehiclesSucceeded
+		snap.VehiclesFailed += child.VehiclesFailed
+		if len(child.Failures) > 0 {
+			snap.Failures = append(snap.Failures, child.Failures...)
+		}
+		if !child.Done {
+			allDone = false
+		} else if child.State == api.StateFailed {
+			anyFailed = true
+			if child.Error != nil {
+				snap.Failures = append(snap.Failures, ss.shard.Name+": "+child.Error.Message)
+			}
+		}
+	}
+	if allDone {
+		snap.Done = true
+		if anyFailed || len(snap.Failures) > 0 {
+			snap.State = api.StateFailed
+		} else {
+			snap.State = api.StateSucceeded
+		}
+	} else {
+		snap.State = api.StateRunning
+	}
+	return snap, nil
+}
+
+func (r *Router) ListOperations(ctx context.Context, page api.Page) (api.OperationList, error) {
+	// The fed- registry pages first ("" token), then each shard under a
+	// composite "<shard>|<token>" cursor; shard ops come back qualified.
+	if page.Token == "" || strings.HasPrefix(page.Token, "fed|") {
+		r.fedMu.Lock()
+		ids := append([]string(nil), r.fedOrder...)
+		r.fedMu.Unlock()
+		p := page
+		p.Token = strings.TrimPrefix(p.Token, "fed|")
+		pageIDs, next := api.Paginate(ids, p, func(id string) string { return id })
+		items := make([]api.Operation, 0, len(pageIDs))
+		for _, id := range pageIDs {
+			if op, err := r.getFedOperation(ctx, id); err == nil {
+				items = append(items, op)
+			}
+		}
+		if next != "" {
+			return api.OperationList{Operations: items, NextPageToken: "fed|" + next}, nil
+		}
+		if len(r.names) > 0 {
+			return api.OperationList{Operations: items, NextPageToken: r.names[0] + "|"}, nil
+		}
+		return api.OperationList{Operations: items}, nil
+	}
+	return listAcrossShards(ctx, r, page,
+		func(svc api.DeploymentService, p api.Page) ([]api.Operation, string, error) {
+			l, err := svc.ListOperations(ctx, p)
+			return l.Operations, l.NextPageToken, err
+		},
+		func(items []api.Operation, next string) (api.OperationList, error) {
+			return api.OperationList{Operations: items, NextPageToken: next}, nil
+		})
+}
+
+// ---- rollouts route whole to one shard ----
+
+func (r *Router) StartRollout(ctx context.Context, req api.RolloutRequest) (api.RolloutStatus, error) {
+	// A rollout's wave state machine lives on one server; the front tier
+	// requires its targets to share a shard (split fleet-wide rollouts
+	// per shard at the client, or list vehicles explicitly).
+	if len(req.Vehicles) == 0 {
+		return api.RolloutStatus{}, api.Errorf(api.CodeInvalidArgument,
+			"federation: rollouts need an explicit vehicle list (selectors cannot span shards)")
+	}
+	parts := r.ring.Partition(req.Vehicles)
+	if len(parts) > 1 {
+		shards := make([]string, 0, len(parts))
+		for s := range parts {
+			shards = append(shards, s)
+		}
+		sort.Strings(shards)
+		return api.RolloutStatus{}, api.Errorf(api.CodeInvalidArgument,
+			"federation: rollout vehicles span shards %v; start one rollout per shard", shards)
+	}
+	var name string
+	for s := range parts {
+		name = s
+	}
+	st, err := callShard(ctx, r, r.byName[name], "StartRollout", func(svc api.DeploymentService) (api.RolloutStatus, error) {
+		return svc.StartRollout(ctx, req)
+	})
+	if err != nil {
+		return api.RolloutStatus{}, err
+	}
+	st.ID = name + "/" + st.ID
+	return st, nil
+}
+
+func (r *Router) rolloutByID(ctx context.Context, id, what string, fn func(svc api.DeploymentService, rest string) (api.RolloutStatus, error)) (api.RolloutStatus, error) {
+	if ss, rest, ok := r.splitQualified(id); ok {
+		st, err := callShard(ctx, r, ss, what, func(svc api.DeploymentService) (api.RolloutStatus, error) {
+			return fn(svc, rest)
+		})
+		if err != nil {
+			return api.RolloutStatus{}, err
+		}
+		st.ID = ss.shard.Name + "/" + st.ID
+		return st, nil
+	}
+	for _, name := range r.names {
+		st, err := callShard(ctx, r, r.byName[name], what, func(svc api.DeploymentService) (api.RolloutStatus, error) {
+			return fn(svc, id)
+		})
+		if err == nil {
+			st.ID = name + "/" + st.ID
+			return st, nil
+		}
+		if api.CodeOf(err) != api.CodeNotFound {
+			return api.RolloutStatus{}, err
+		}
+	}
+	return api.RolloutStatus{}, api.Errorf(api.CodeNotFound, "federation: unknown rollout %q", id)
+}
+
+func (r *Router) GetRollout(ctx context.Context, id string) (api.RolloutStatus, error) {
+	return r.rolloutByID(ctx, id, "GetRollout", func(svc api.DeploymentService, rest string) (api.RolloutStatus, error) {
+		return svc.GetRollout(ctx, rest)
+	})
+}
+
+func (r *Router) AbortRollout(ctx context.Context, id string) (api.RolloutStatus, error) {
+	return r.rolloutByID(ctx, id, "AbortRollout", func(svc api.DeploymentService, rest string) (api.RolloutStatus, error) {
+		return svc.AbortRollout(ctx, rest)
+	})
+}
+
+func (r *Router) ListRollouts(ctx context.Context, page api.Page) (api.RolloutList, error) {
+	return listAcrossShards(ctx, r, page,
+		func(svc api.DeploymentService, p api.Page) ([]api.RolloutStatus, string, error) {
+			l, err := svc.ListRollouts(ctx, p)
+			return l.Rollouts, l.NextPageToken, err
+		},
+		func(items []api.RolloutStatus, next string) (api.RolloutList, error) {
+			return api.RolloutList{Rollouts: items, NextPageToken: next}, nil
+		})
+}
+
+// ---- aggregated monitoring ----
+
+func (r *Router) Health(ctx context.Context) (api.Health, error) {
+	out := api.Health{Status: "ok", Shard: "federated", SnapshotAge: -1}
+	for _, name := range r.names {
+		h, err := callShard(ctx, r, r.byName[name], "Health", func(svc api.DeploymentService) (api.Health, error) {
+			return svc.Health(ctx)
+		})
+		if err != nil {
+			out.Status = "degraded"
+			out.JournalError = appendReason(out.JournalError, name+": unreachable: "+err.Error())
+			continue
+		}
+		if h.Status != "ok" {
+			out.Status = "degraded"
+			out.JournalError = appendReason(out.JournalError, name+": "+h.Status)
+		}
+		out.Journal = out.Journal || h.Journal
+		out.RecoveredRecords += h.RecoveredRecords
+		out.InterruptedOperations += h.InterruptedOperations
+		out.TornTail = out.TornTail || h.TornTail
+		out.Replication = append(out.Replication, h.Replication...)
+	}
+	return out, nil
+}
+
+func (r *Router) Statz(ctx context.Context) (api.Statz, error) {
+	out := api.Statz{Shard: "federated", Role: "router"}
+	for _, name := range r.names {
+		st, err := callShard(ctx, r, r.byName[name], "Statz", func(svc api.DeploymentService) (api.Statz, error) {
+			return svc.Statz(ctx)
+		})
+		if err != nil {
+			continue
+		}
+		out.OpsCreated += st.OpsCreated
+		out.OpsOpen += st.OpsOpen
+		out.PendingAcks += st.PendingAcks
+		out.VehiclesConnected += st.VehiclesConnected
+		out.PushesSent += st.PushesSent
+		out.JournalRecords += st.JournalRecords
+		out.JournalCommits += st.JournalCommits
+		out.JournalSinceSnapshot += st.JournalSinceSnapshot
+		for code, n := range st.OpsSettled {
+			if out.OpsSettled == nil {
+				out.OpsSettled = make(map[string]uint64)
+			}
+			out.OpsSettled[code] += n
+		}
+		if st.ReplLagBytes > out.ReplLagBytes {
+			out.ReplLagBytes = st.ReplLagBytes
+		}
+	}
+	return out, nil
+}
+
+func appendReason(have, add string) string {
+	if have == "" {
+		return add
+	}
+	return have + "; " + add
+}
+
+// listAcrossShards walks the shards in name order under a composite
+// "<shard>|<token>" cursor, one shard page per call.
+func listAcrossShards[T, L any](ctx context.Context, r *Router, page api.Page,
+	list func(svc api.DeploymentService, p api.Page) ([]T, string, error),
+	wrap func(items []T, next string) (L, error),
+) (L, error) {
+	var zero L
+	name := r.names[0]
+	inner := ""
+	if page.Token != "" {
+		shard, rest, found := strings.Cut(page.Token, "|")
+		if !found || r.byName[shard] == nil {
+			return zero, api.Errorf(api.CodeInvalidArgument, "federation: malformed page token %q", page.Token)
+		}
+		name, inner = shard, rest
+	}
+	items, next, err := callShard3(ctx, r, r.byName[name], "List", list, api.Page{Size: page.Size, Token: inner})
+	if err != nil {
+		return zero, err
+	}
+	if next != "" {
+		return wrap(items, name+"|"+next)
+	}
+	// This shard is exhausted: point the cursor at the next one.
+	for i, n := range r.names {
+		if n == name && i+1 < len(r.names) {
+			return wrap(items, r.names[i+1]+"|")
+		}
+	}
+	return wrap(items, "")
+}
+
+// callShard3 is callShard for three-valued list calls.
+func callShard3[T any](ctx context.Context, r *Router, ss *shardState, what string,
+	list func(svc api.DeploymentService, p api.Page) ([]T, string, error), p api.Page,
+) ([]T, string, error) {
+	type res struct {
+		items []T
+		next  string
+	}
+	out, err := callShard(ctx, r, ss, what, func(svc api.DeploymentService) (res, error) {
+		items, next, err := list(svc, p)
+		return res{items, next}, err
+	})
+	return out.items, out.next, err
+}

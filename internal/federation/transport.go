@@ -1,0 +1,93 @@
+package federation
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"dynautosar/internal/journal"
+)
+
+// HTTPTransport ships journal chunks to a FollowerNode over its
+// /v1/replicate endpoints; it is the journal.ShipTransport a leader
+// process plugs into its Shipper for each -peers entry. Every request
+// carries a hard timeout so a hung follower degrades into an async
+// resync instead of wedging the leader's commit path.
+type HTTPTransport struct {
+	base string
+	c    *http.Client
+}
+
+var _ journal.ShipTransport = (*HTTPTransport)(nil)
+
+// defaultShipTimeout bounds one replication round trip; generous next
+// to a group commit (microseconds to low milliseconds) because a slow
+// follower only costs latency, never correctness.
+const defaultShipTimeout = 5 * time.Second
+
+// NewHTTPTransport builds a transport for a follower's base URL
+// (e.g. "http://10.0.0.7:8081"); timeout 0 means the default 5s.
+func NewHTTPTransport(base string, timeout time.Duration) *HTTPTransport {
+	if timeout <= 0 {
+		timeout = defaultShipTimeout
+	}
+	return &HTTPTransport{
+		base: base,
+		c:    &http.Client{Timeout: timeout},
+	}
+}
+
+func (t *HTTPTransport) ShipSegment(gen uint64, offset int64, chunk []byte, reset bool) error {
+	url := fmt.Sprintf("%s/v1/replicate/segment?gen=%d&offset=%d&reset=%t", t.base, gen, offset, reset)
+	resp, err := t.c.Post(url, "application/octet-stream", bytes.NewReader(chunk))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode == http.StatusConflict {
+		// The follower's tail does not line up; recover its reported
+		// position into the GapError shape the shipper resyncs on.
+		var gb gapBody
+		if json.Unmarshal(body, &gb) == nil && gb.Gap {
+			return &journal.GapError{Gen: gb.Gen, Size: gb.Size}
+		}
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("federation: ship segment to %s: %s: %s", t.base, resp.Status, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+func (t *HTTPTransport) ShipSnapshot(gen uint64, image []byte) error {
+	url := fmt.Sprintf("%s/v1/replicate/snapshot?gen=%d", t.base, gen)
+	resp, err := t.c.Post(url, "application/octet-stream", bytes.NewReader(image))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("federation: ship snapshot to %s: %s: %s", t.base, resp.Status, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+func (t *HTTPTransport) State() (journal.ReplicaState, error) {
+	resp, err := t.c.Get(t.base + "/v1/replicate/status")
+	if err != nil {
+		return journal.ReplicaState{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return journal.ReplicaState{}, fmt.Errorf("federation: replica status from %s: %s", t.base, resp.Status)
+	}
+	var st journal.ReplicaState
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&st); err != nil {
+		return journal.ReplicaState{}, fmt.Errorf("federation: decoding replica status from %s: %w", t.base, err)
+	}
+	return st, nil
+}

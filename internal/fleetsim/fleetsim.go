@@ -25,6 +25,7 @@ import (
 
 	"dynautosar/internal/api"
 	"dynautosar/internal/core"
+	"dynautosar/internal/federation"
 	"dynautosar/internal/server"
 	"dynautosar/internal/sim"
 )
@@ -55,8 +56,10 @@ const (
 // resumes or rolls it back, and the tracker keeps polling the same id
 // across incarnations.
 type trackedRollout struct {
-	id       string
-	launch   time.Time
+	id     string
+	launch time.Time
+	// shard is the owning shard's index (-1 in single-server runs).
+	shard    int
 	gen      int // server incarnation it was launched against
 	from, to core.AppName
 	targets  []core.VehicleID
@@ -70,9 +73,11 @@ type trackedOp struct {
 	id     string
 	metric string // "deploy" | "upgrade" | "uninstall"
 	launch time.Time
-	gen    int // server incarnation it was launched against
-	app    core.AppName
-	toApp  core.AppName
+	// shard is the owning shard's index (-1 in single-server runs).
+	shard int
+	gen   int // server incarnation it was launched against
+	app   core.AppName
+	toApp core.AppName
 	// targets are the vehicles the operation addressed (for exemption
 	// building when the op is lost to a crash).
 	targets []core.VehicleID
@@ -97,6 +102,11 @@ type Fleet struct {
 	// serverGen bumps on every crash so links and operations can tell
 	// which incarnation they belong to.
 	serverGen int
+	// Federated topology (Scenario.Shards > 1): srv stays nil and every
+	// vehicle, operation and audit is scoped to its ring-owning shard.
+	shards      []*fleetShard
+	ring        *federation.Ring
+	shardByName map[string]int
 	// degradedGens marks server incarnations whose journal took a
 	// durability fault (disk full): commit records acknowledged by that
 	// incarnation may never have reached disk, so a later recovery can
@@ -177,6 +187,9 @@ func Run(sc Scenario, logf func(string, ...any)) (*Result, error) {
 }
 
 func (f *Fleet) setup() error {
+	if f.sc.Shards > 1 {
+		return f.setupShards()
+	}
 	if f.sc.Journal {
 		dir := f.sc.DataDir
 		if dir == "" {
@@ -287,12 +300,32 @@ func (f *Fleet) sample(fraction float64) []*SimVehicle {
 }
 
 func (f *Fleet) launch(w WorkItem, targets []core.VehicleID) {
-	if f.srv == nil {
+	if f.multi() {
+		// Federated topology: one launch per owning shard, in shard
+		// order, so each shard's registry sees a self-contained batch
+		// whose children match its own vehicles (the per-shard I2 audit).
+		for idx, part := range f.partitionTargets(targets) {
+			if len(part) == 0 {
+				continue
+			}
+			f.launchOn(idx, w, part)
+		}
+		return
+	}
+	f.launchOn(-1, w, targets)
+}
+
+// launchOn issues one work item against shard idx (-1 = the
+// single-server topology); a down shard skips its portion exactly like
+// a down single server does.
+func (f *Fleet) launchOn(idx int, w WorkItem, targets []core.VehicleID) {
+	srv := f.serverAt(idx)
+	if srv == nil {
 		f.m.launchesSkipped++
 		f.tracef("launch %s %s skipped: server down", w.Kind, w.App)
 		return
 	}
-	cl := api.NewLocalClient(f.srv.Service())
+	cl := api.NewLocalClient(srv.Service())
 	ctx := context.Background()
 	switch w.Kind {
 	case WorkDeploy:
@@ -303,18 +336,18 @@ func (f *Fleet) launch(w WorkItem, targets []core.VehicleID) {
 				f.violationf("deploy %s on %s refused: %v", w.App, id, err)
 				continue
 			}
-			f.track(op, "deploy")
+			f.track(op, "deploy", idx)
 		}
 		return
 	case WorkBatchDeploy:
 		op, err := cl.BatchDeploy(ctx, api.BatchDeployRequest{User: fleetUser, Vehicles: targets, App: w.App})
-		f.finishLaunch(w, op, err, "deploy")
+		f.finishLaunch(idx, w, op, err, "deploy")
 	case WorkBatchUpgrade:
 		op, err := cl.BatchUpgrade(ctx, api.BatchUpgradeRequest{User: fleetUser, Vehicles: targets, From: w.App, To: w.ToApp})
-		f.finishLaunch(w, op, err, "upgrade")
+		f.finishLaunch(idx, w, op, err, "upgrade")
 	case WorkBatchUninstall:
 		op, err := cl.BatchUninstall(ctx, api.BatchUninstallRequest{User: fleetUser, Vehicles: targets, App: w.App})
-		f.finishLaunch(w, op, err, "uninstall")
+		f.finishLaunch(idx, w, op, err, "uninstall")
 	case WorkRollout:
 		st, err := cl.StartRollout(ctx, api.RolloutRequest{
 			User: fleetUser, Vehicles: targets,
@@ -328,8 +361,8 @@ func (f *Fleet) launch(w WorkItem, targets []core.VehicleID) {
 		f.tracef("launch rollout %s -> %s over %d vehicles in %d waves", w.App, w.ToApp, len(st.Vehicles), len(st.Waves))
 		f.logf("fleetsim: t=%s launched rollout %s -> %s (%s, %d vehicles, %d waves)",
 			f.vt(), w.App, w.ToApp, st.ID, len(st.Vehicles), len(st.Waves))
-		f.openRollouts[st.ID] = &trackedRollout{
-			id: st.ID, launch: time.Now(), gen: f.serverGen,
+		f.openRollouts[f.qkey(idx, st.ID)] = &trackedRollout{
+			id: st.ID, launch: time.Now(), shard: idx, gen: f.genAt(idx),
 			from: st.From, to: st.To,
 			targets: append([]core.VehicleID(nil), st.Vehicles...),
 		}
@@ -347,21 +380,22 @@ func (f *Fleet) openWork() int {
 	return len(f.open) + len(f.openRollouts)
 }
 
-func (f *Fleet) finishLaunch(w WorkItem, op api.Operation, err error, metric string) {
+func (f *Fleet) finishLaunch(idx int, w WorkItem, op api.Operation, err error, metric string) {
 	if err != nil {
 		f.violationf("launch %s %s refused: %v", w.Kind, w.App, err)
 		return
 	}
-	f.tracef("launch %s %s -> %s over %d vehicles", w.Kind, w.App, op.ID, len(op.Vehicles))
-	f.logf("fleetsim: t=%s launched %s %s (%s, %d vehicles)", f.vt(), w.Kind, w.App, op.ID, len(op.Vehicles))
-	f.track(op, metric)
+	f.tracef("launch %s %s -> %s over %d vehicles", w.Kind, w.App, f.qkey(idx, op.ID), len(op.Vehicles))
+	f.logf("fleetsim: t=%s launched %s %s (%s, %d vehicles)", f.vt(), w.Kind, w.App, f.qkey(idx, op.ID), len(op.Vehicles))
+	f.track(op, metric, idx)
 }
 
 // track registers a launched operation and a latency sample of its
-// batch children.
-func (f *Fleet) track(op api.Operation, metric string) {
+// batch children. Map keys are shard-qualified: operation ids are only
+// unique within one shard's registry.
+func (f *Fleet) track(op api.Operation, metric string, idx int) {
 	t := &trackedOp{
-		id: op.ID, metric: metric, launch: time.Now(), gen: f.serverGen,
+		id: op.ID, metric: metric, launch: time.Now(), shard: idx, gen: f.genAt(idx),
 		app: op.App, toApp: op.ToApp,
 	}
 	if len(op.Vehicles) > 0 {
@@ -369,7 +403,7 @@ func (f *Fleet) track(op api.Operation, metric string) {
 	} else if op.Vehicle != "" {
 		t.targets = []core.VehicleID{op.Vehicle}
 	}
-	f.open[op.ID] = t
+	f.open[f.qkey(idx, op.ID)] = t
 	f.wasOpen = true
 	f.m.launched++
 	if n := len(op.Children); n > 0 {
@@ -378,7 +412,7 @@ func (f *Fleet) track(op api.Operation, metric string) {
 			stride = (n + latencySample - 1) / latencySample
 		}
 		for i := 0; i < n; i += stride {
-			f.sampled[op.Children[i]] = &trackedOp{id: op.Children[i], metric: metric, launch: t.launch, gen: t.gen}
+			f.sampled[f.qkey(idx, op.Children[i])] = &trackedOp{id: op.Children[i], metric: metric, launch: t.launch, shard: idx, gen: t.gen}
 		}
 	}
 }
@@ -387,7 +421,7 @@ func (f *Fleet) track(op api.Operation, metric string) {
 // singles, samples child latencies, and fires the quiescence audit
 // when the last open operation settles.
 func (f *Fleet) poll() {
-	if f.srv == nil {
+	if !f.multi() && f.srv == nil {
 		return
 	}
 	now := time.Now()
@@ -395,10 +429,14 @@ func (f *Fleet) poll() {
 		return
 	}
 	f.lastPoll = now
-	for id, t := range f.open {
-		op, ok := f.srv.Operation(id)
+	for key, t := range f.open {
+		srv := f.serverAt(t.shard)
+		if srv == nil {
+			continue // shard down; the promoted journal resolves it
+		}
+		op, ok := srv.Operation(t.id)
 		switch {
-		case !ok && t.gen < f.serverGen:
+		case !ok && t.gen < f.genAt(t.shard):
 			// Created against a previous incarnation and never journaled
 			// before the crash: lost with the process, like work accepted
 			// by a dying server. Its side effects are exempted, not
@@ -406,7 +444,7 @@ func (f *Fleet) poll() {
 			t.done, t.lost = true, true
 			f.m.lostOps++
 		case !ok:
-			f.violationf("operation %s vanished from the registry before settling", id)
+			f.violationf("operation %s vanished from the registry before settling", key)
 			t.done = true
 		case op.Done:
 			t.done, t.final = true, op
@@ -414,20 +452,24 @@ func (f *Fleet) poll() {
 		default:
 			continue
 		}
-		delete(f.open, id)
+		delete(f.open, key)
 		f.settledOps = append(f.settledOps, t)
 	}
 	if now.Sub(f.lastChild) >= childPollEvery {
 		f.lastChild = now
-		for id, t := range f.sampled {
-			op, ok := f.srv.Operation(id)
+		for key, t := range f.sampled {
+			srv := f.serverAt(t.shard)
+			if srv == nil {
+				continue
+			}
+			op, ok := srv.Operation(t.id)
 			if !ok {
-				delete(f.sampled, id)
+				delete(f.sampled, key)
 				continue
 			}
 			if op.Done {
 				f.m.lat(t.metric).record(now.Sub(t.launch))
-				delete(f.sampled, id)
+				delete(f.sampled, key)
 			}
 		}
 	}
@@ -443,14 +485,18 @@ func (f *Fleet) poll() {
 // it must survive a crash-restart: vanishing from a journaled server's
 // registry is a violation, and "lost" only applies to memory-only runs.
 func (f *Fleet) pollRollouts(now time.Time) {
-	for id, t := range f.openRollouts {
-		st, ok := f.srv.Rollout(id)
+	for key, t := range f.openRollouts {
+		srv := f.serverAt(t.shard)
+		if srv == nil {
+			continue // shard down; the promoted journal resumes it
+		}
+		st, ok := srv.Rollout(t.id)
 		switch {
-		case !ok && t.gen < f.serverGen && f.dir == "":
+		case !ok && t.gen < f.genAt(t.shard) && f.dir == "":
 			t.done, t.lost = true, true
 			f.m.rolloutsLost++
 		case !ok:
-			f.violationf("rollout %s vanished from the registry before settling", id)
+			f.violationf("rollout %s vanished from the registry before settling", key)
 			t.done = true
 		case st.Done:
 			t.done, t.final = true, st
@@ -458,7 +504,7 @@ func (f *Fleet) pollRollouts(now time.Time) {
 		default:
 			continue
 		}
-		delete(f.openRollouts, id)
+		delete(f.openRollouts, key)
 		f.settledRollouts = append(f.settledRollouts, t)
 	}
 }
@@ -479,8 +525,8 @@ func (f *Fleet) settleRollout(t *trackedRollout, st api.RolloutStatus, now time.
 		if ws.Promoted {
 			f.m.wavesPromoted++
 		}
-		f.harvestRolloutOp(ws.BatchOp)
-		f.harvestRolloutOp(ws.RollbackOp)
+		f.harvestRolloutOp(t.shard, ws.BatchOp)
+		f.harvestRolloutOp(t.shard, ws.RollbackOp)
 	}
 	f.logf("fleetsim: t=%s rollout %s settled %s%s", f.vt(), st.ID, st.State, reason)
 }
@@ -489,23 +535,24 @@ func (f *Fleet) settleRollout(t *trackedRollout, st api.RolloutStatus, now time.
 // set so the I2 accounting audit covers it and its failed children feed
 // the exemption allowance. Waves run server-side, so an id from an
 // incarnation that died mid-wave may legitimately be gone.
-func (f *Fleet) harvestRolloutOp(id string) {
-	if id == "" || f.srv == nil {
+func (f *Fleet) harvestRolloutOp(idx int, id string) {
+	srv := f.serverAt(idx)
+	if id == "" || srv == nil {
 		return
 	}
-	op, ok := f.srv.Operation(id)
+	op, ok := srv.Operation(id)
 	if !ok || !op.Done {
 		return
 	}
 	t := &trackedOp{
-		id: id, metric: "upgrade", gen: f.serverGen,
+		id: id, metric: "upgrade", shard: idx, gen: f.genAt(idx),
 		app: op.App, toApp: op.ToApp, targets: op.Vehicles,
 		done: true, final: op,
 	}
 	f.settledOps = append(f.settledOps, t)
 	for _, cid := range op.Children {
-		if cop, ok := f.srv.Operation(cid); ok {
-			f.childFinal[cid] = cop
+		if cop, ok := srv.Operation(cid); ok {
+			f.childFinal[f.qkey(idx, cid)] = cop
 		}
 	}
 }
@@ -520,13 +567,15 @@ func (f *Fleet) settleParent(t *trackedOp, op api.Operation, now time.Time) {
 		f.m.lat(t.metric).record(now.Sub(t.launch))
 		return
 	}
+	srv := f.serverAt(t.shard)
 	for _, cid := range op.Children {
-		if st, ok := f.sampled[cid]; ok {
+		key := f.qkey(t.shard, cid)
+		if st, ok := f.sampled[key]; ok {
 			f.m.lat(st.metric).record(now.Sub(st.launch))
-			delete(f.sampled, cid)
+			delete(f.sampled, key)
 		}
-		if cop, ok := f.srv.Operation(cid); ok {
-			f.childFinal[cid] = cop
+		if cop, ok := srv.Operation(cid); ok {
+			f.childFinal[key] = cop
 		} else {
 			f.violationf("batch %s child %s missing at parent settle", op.ID, cid)
 		}
@@ -638,7 +687,7 @@ func (f *Fleet) crashServer() {
 // restartServer brings a fresh incarnation up from the journal
 // directory; vehicles find it on their own backoff redials.
 func (f *Fleet) restartServer() {
-	if f.closed || f.srv != nil {
+	if f.closed || f.srv != nil || f.multi() {
 		return
 	}
 	srv := server.New()
@@ -673,6 +722,7 @@ func (f *Fleet) shutdown() {
 		f.srv.Close()
 		f.srv = nil
 	}
+	f.shutdownShards()
 	if f.ownDir && f.dir != "" {
 		os.RemoveAll(f.dir)
 	}

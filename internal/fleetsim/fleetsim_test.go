@@ -185,6 +185,45 @@ func TestScenarioTraceDeterministic(t *testing.T) {
 	}
 }
 
+// TestShardCrashTraceDeterministic extends the replay contract to the
+// federated topology: a sharded storm — ring assignment, per-shard
+// batches, a shard crash and its promotion — must trace identically
+// from the same seed, so a multi-shard chaos run replays exactly like a
+// single-server one.
+func TestShardCrashTraceDeterministic(t *testing.T) {
+	seed := scenarioSeed(t)
+	run := func(s int64) []string {
+		t.Helper()
+		sc, err := Preset("storm", scaled(300), s, 10*sim.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Speedup = -1 // unpaced: determinism must not depend on pacing
+		res, err := Run(sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireClean(t, res, s)
+		if got := res.Report.Counters["serverCrashes"]; got != 1 {
+			t.Fatalf("seed %d: shard crash never fired (serverCrashes = %d)", s, got)
+		}
+		return res.Trace
+	}
+	a := run(seed)
+	b := run(seed)
+	if !slices.Equal(a, b) {
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: sharded traces diverge at entry %d:\n  run1: %s\n  run2: %s", seed, i, a[i], b[i])
+			}
+		}
+		t.Fatalf("seed %d: sharded trace lengths differ: %d vs %d", seed, len(a), len(b))
+	}
+	if c := run(seed + 1); slices.Equal(a, c) {
+		t.Errorf("seeds %d and %d produced identical sharded traces — the schedule ignores the seed", seed, seed+1)
+	}
+}
+
 // TestPartitionHealReconnect isolates the reconnect-backoff behaviour:
 // a full-fleet partition heals and every vehicle must find its way
 // back, spread by jittered exponential backoff rather than stampeding.

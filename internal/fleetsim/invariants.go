@@ -54,8 +54,12 @@ func (f *Fleet) exemptions() map[exKey]bool {
 			}
 		}
 	}
+	// Synchronous replication makes a shard's replica exactly as durable
+	// as its own journal, so a shard crash earns no broader allowance
+	// than a single-server crash: only lost, failed and unfinished
+	// operations explain divergence.
 	for _, t := range f.settledOps {
-		lostDurability := t.gen < f.serverGen && f.degradedGens[t.gen]
+		lostDurability := t.shard < 0 && t.gen < f.serverGen && f.degradedGens[t.gen]
 		if t.lost || (t.done && t.final.State == api.StateFailed) || !t.done || lostDurability {
 			for _, v := range t.targets {
 				add(v, t.app, t.toApp)
@@ -73,7 +77,7 @@ func (f *Fleet) exemptions() map[exKey]bool {
 	// at the store level, so the whole target set is exempted like a
 	// lost operation's.
 	for _, t := range f.settledRollouts {
-		if t.lost || t.gen < f.serverGen {
+		if t.lost || t.gen < f.genAt(t.shard) {
 			for _, v := range t.targets {
 				add(v, t.from, t.to)
 			}
@@ -82,9 +86,11 @@ func (f *Fleet) exemptions() map[exKey]bool {
 	return ex
 }
 
-// audit runs the full invariant sweep against the current server.
+// audit runs the full invariant sweep against the current topology —
+// the single server, or each live shard's server for the vehicles it
+// owns.
 func (f *Fleet) audit(label string) {
-	if f.srv == nil || f.closed {
+	if f.closed || (!f.multi() && f.srv == nil) {
 		return
 	}
 	// Audits are deliberately absent from the trace: *when* quiescence
@@ -95,9 +101,12 @@ func (f *Fleet) audit(label string) {
 	ex := f.exemptions()
 	deployOK := f.deploySucceededVehicles()
 	pairs := f.sc.upgradePairs()
-	store := f.srv.Store()
 	for _, v := range f.vehicles {
-		rows := store.InstalledApps(v.ID)
+		srv := f.serverAt(v.shardIdx)
+		if srv == nil {
+			continue // shard down; its vehicles audit after promotion
+		}
+		rows := srv.Store().InstalledApps(v.ID)
 		f.auditPorts(v, rows)
 		f.auditHonesty(v, rows, ex)
 		f.auditFamilies(v, rows, pairs, deployOK, label)
@@ -111,20 +120,37 @@ func (f *Fleet) audit(label string) {
 // The counters are in-memory and reset with the process, so the check
 // only binds while the run has not crossed a server crash.
 func (f *Fleet) auditStatz(label string) {
-	if f.m.serverCrashes > 0 || f.m.lostOps > 0 || f.m.rolloutsLost > 0 {
+	if f.m.lostOps > 0 || f.m.rolloutsLost > 0 {
 		return
 	}
-	st := f.srv.Statz()
+	if f.multi() {
+		// Per-shard counters: a shard that ever crashed is excluded (its
+		// counters reset with the promotion), the rest must balance.
+		for _, sh := range f.shards {
+			if sh.everCrashed || sh.srv == nil {
+				continue
+			}
+			f.checkStatz(sh.srv.Statz(), "shard "+sh.name+" ", label)
+		}
+		return
+	}
+	if f.m.serverCrashes > 0 {
+		return
+	}
+	f.checkStatz(f.srv.Statz(), "", label)
+}
+
+func (f *Fleet) checkStatz(st api.Statz, who, label string) {
 	if st.OpsOpen != 0 {
-		f.violationf("statz drift at %s audit: %d operations open with the fleet quiescent", label, st.OpsOpen)
+		f.violationf("%sstatz drift at %s audit: %d operations open with the fleet quiescent", who, label, st.OpsOpen)
 	}
 	var settled uint64
 	for _, n := range st.OpsSettled {
 		settled += n
 	}
 	if settled != st.OpsCreated {
-		f.violationf("statz drift at %s audit: %d operations created but %d settled outcomes recorded",
-			label, st.OpsCreated, settled)
+		f.violationf("%sstatz drift at %s audit: %d operations created but %d settled outcomes recorded",
+			who, label, st.OpsCreated, settled)
 	}
 }
 
@@ -154,7 +180,7 @@ func (f *Fleet) auditOps() {
 			f.violationf("batch %s state %q inconsistent with %d failed children", op.ID, op.State, op.VehiclesFailed)
 		}
 		for _, cid := range op.Children {
-			cop, ok := f.childFinal[cid]
+			cop, ok := f.childFinal[f.qkey(t.shard, cid)]
 			if !ok {
 				continue // already reported at sweep time
 			}

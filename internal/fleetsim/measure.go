@@ -178,24 +178,64 @@ func (f *Fleet) report() Report {
 		},
 		Violations: f.violations,
 	}
-	if f.srv != nil {
-		installed := make(map[string]int)
-		store := f.srv.Store()
-		for _, v := range f.vehicles {
-			for _, row := range store.InstalledApps(v.ID) {
-				installed[string(row.App)]++
-			}
+	installed := make(map[string]int)
+	for _, v := range f.vehicles {
+		srv := f.serverAt(v.shardIdx)
+		if srv == nil {
+			continue
 		}
+		for _, row := range srv.Store().InstalledApps(v.ID) {
+			installed[string(row.App)]++
+		}
+	}
+	if len(installed) > 0 || f.srv != nil || f.multi() {
 		rep.Installed = installed
 	}
 	// The statz counters come through the same client surface fescli
-	// uses, so the endpoint is exercised end to end.
-	if f.srv != nil {
-		cl := api.NewLocalClient(f.srv.Service())
-		if st, err := cl.Statz(context.Background()); err == nil {
-			rep.Statz = &st
-			rep.Throughput["pushes"] = float64(st.PushesSent) / wall
-		}
+	// uses, so the endpoint is exercised end to end. A federated run
+	// reports the sum across live shards, like the router's /v1/statz.
+	if st, ok := f.statzSnapshot(); ok {
+		rep.Statz = &st
+		rep.Throughput["pushes"] = float64(st.PushesSent) / wall
 	}
 	return rep
+}
+
+// statzSnapshot fetches /v1/statz through the typed client: the single
+// server's, or the field-wise sum over every live shard.
+func (f *Fleet) statzSnapshot() (api.Statz, bool) {
+	ctx := context.Background()
+	if !f.multi() {
+		if f.srv == nil {
+			return api.Statz{}, false
+		}
+		st, err := api.NewLocalClient(f.srv.Service()).Statz(ctx)
+		return st, err == nil
+	}
+	var sum api.Statz
+	sum.OpsSettled = make(map[string]uint64)
+	any := false
+	for _, sh := range f.shards {
+		if sh.srv == nil {
+			continue
+		}
+		st, err := api.NewLocalClient(sh.srv.Service()).Statz(ctx)
+		if err != nil {
+			continue
+		}
+		any = true
+		sum.OpsCreated += st.OpsCreated
+		sum.OpsOpen += st.OpsOpen
+		sum.PendingAcks += st.PendingAcks
+		sum.VehiclesConnected += st.VehiclesConnected
+		sum.PushesSent += st.PushesSent
+		sum.JournalRecords += st.JournalRecords
+		sum.JournalCommits += st.JournalCommits
+		sum.JournalSinceSnapshot += st.JournalSinceSnapshot
+		for k, n := range st.OpsSettled {
+			sum.OpsSettled[k] += n
+		}
+	}
+	sum.Shard = "federated"
+	return sum, any
 }

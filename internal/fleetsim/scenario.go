@@ -31,6 +31,11 @@ type Scenario struct {
 	Speedup int
 	// Journal forces a durable server even without a ServerCrash fault.
 	Journal bool
+	// Shards > 1 runs a federated control plane: that many leader
+	// servers partition the fleet by consistent hashing, each journaling
+	// to its own directory and replicating synchronously into a follower
+	// replica that a ShardCrash fault can promote. Always journaled.
+	Shards int
 	// DataDir is the journal directory; empty selects a fresh temporary
 	// directory that is removed when the run ends.
 	DataDir string
@@ -329,6 +334,34 @@ func (c ServerCrash) schedule(f *Fleet) {
 	})
 }
 
+// ShardCrash kills one shard's leader at At — the journal freezes at
+// its last group commit, exactly like ServerCrash — and promotes the
+// shard's synchronously-replicated follower after PromoteAfter of
+// virtual downtime. The shard's vehicles land on the promoted leader on
+// their own backoff redials; acknowledged state survives byte for byte
+// because commits ship to the replica before their durability tickets
+// settle. Requires Shards > 1; the shard choice is a fixed index, so
+// the fault schedule stays a pure function of the seed.
+type ShardCrash struct {
+	At sim.Duration
+	// Shard indexes the shard to kill (0-based).
+	Shard int
+	// PromoteAfter is the virtual downtime before the follower is
+	// promoted (default 2s).
+	PromoteAfter sim.Duration
+}
+
+func (c ShardCrash) schedule(f *Fleet) {
+	promote := c.PromoteAfter
+	if promote <= 0 {
+		promote = 2 * sim.Second
+	}
+	f.eng.Schedule(sim.Time(c.At), func() {
+		f.crashShard(c.Shard)
+		f.eng.After(promote, func() { f.promoteShard(c.Shard) })
+	})
+}
+
 func (sc Scenario) withDefaults() (Scenario, error) {
 	if sc.Name == "" {
 		sc.Name = "custom"
@@ -357,12 +390,29 @@ func (sc Scenario) withDefaults() (Scenario, error) {
 	if sc.RealTimeLimit <= 0 {
 		sc.RealTimeLimit = 10 * time.Minute
 	}
+	if sc.Shards > 1 {
+		sc.Journal = true // replication rides the journal's commit path
+	}
 	for _, fa := range sc.Faults {
 		if _, ok := fa.(ServerCrash); ok {
 			sc.Journal = true
+			if sc.Shards > 1 {
+				return sc, fmt.Errorf("fleetsim: ServerCrash targets the single-server topology; use ShardCrash with Shards > 1")
+			}
 		}
 		if _, ok := fa.(JournalFault); ok {
 			sc.Journal = true
+			if sc.Shards > 1 {
+				return sc, fmt.Errorf("fleetsim: JournalFault targets the single-server topology")
+			}
+		}
+		if c, ok := fa.(ShardCrash); ok {
+			if sc.Shards <= 1 {
+				return sc, fmt.Errorf("fleetsim: ShardCrash needs Shards > 1")
+			}
+			if c.Shard < 0 || c.Shard >= sc.Shards {
+				return sc, fmt.Errorf("fleetsim: ShardCrash shard %d out of range (%d shards)", c.Shard, sc.Shards)
+			}
 		}
 		if p, ok := fa.(Partition); ok && p.Heal > sc.Duration {
 			return sc, fmt.Errorf("fleetsim: partition heals at %s, after the scenario window %s — the cut half would redial forever", sdur(p.Heal), sdur(sc.Duration))
@@ -406,9 +456,11 @@ func Preset(name string, vehicles int, seed int64, duration sim.Duration) (Scena
 	}
 	switch name {
 	case "soak":
-		// Steady-state health: light churn and a few stragglers under a
+		// Steady-state health on the federated topology: three shards
+		// replicating synchronously (the bench baseline carries the
+		// replication overhead), light churn and a few stragglers under a
 		// deploy → upgrade → widget → uninstall lifecycle.
-		sc := Scenario{Name: name, Vehicles: 500, Seed: seed, Duration: 30 * sim.Second, Apps: apps}
+		sc := Scenario{Name: name, Vehicles: 500, Seed: seed, Duration: 30 * sim.Second, Apps: apps, Shards: 3}
 		applyOverrides(&sc, vehicles, duration)
 		d := sc.Duration
 		sc.Workload = []WorkItem{
@@ -462,10 +514,11 @@ func Preset(name string, vehicles int, seed int64, duration sim.Duration) (Scena
 		}
 		return sc, nil
 	case "storm":
-		// Everything at once: churn, corrupt buses going bus-off, a
-		// partition landing mid-upgrade, vehicle reboots and a server
-		// crash-restart, with stragglers dragging every batch out.
-		sc := Scenario{Name: name, Vehicles: 10000, Seed: seed, Duration: 45 * sim.Second, Apps: apps}
+		// Everything at once on the federated topology: churn, corrupt
+		// buses going bus-off, a partition landing mid-upgrade, vehicle
+		// reboots and a shard leader killed mid-batch with its follower
+		// promoted, stragglers dragging every batch out.
+		sc := Scenario{Name: name, Vehicles: 10000, Seed: seed, Duration: 45 * sim.Second, Apps: apps, Shards: 3}
 		applyOverrides(&sc, vehicles, duration)
 		d := sc.Duration
 		sc.Workload = []WorkItem{
@@ -480,7 +533,7 @@ func Preset(name string, vehicles int, seed int64, duration sim.Duration) (Scena
 			BusFault{At: d * 3 / 10, Heal: d / 2, Fraction: 0.05, BusOff: true},
 			Partition{At: d * 11 / 25, Heal: d * 3 / 5, Fraction: 0.2},
 			VehicleCrash{At: d * 27 / 50, Fraction: 0.1},
-			ServerCrash{At: d * 7 / 10, RestartAfter: 2 * sim.Second},
+			ShardCrash{At: d * 7 / 10, Shard: 1, PromoteAfter: 2 * sim.Second},
 		}
 		return sc, nil
 	}

@@ -1,0 +1,259 @@
+package fleetsim
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dynautosar/internal/api"
+	"dynautosar/internal/core"
+	"dynautosar/internal/federation"
+	"dynautosar/internal/journal"
+	"dynautosar/internal/server"
+)
+
+// fleetShard is one shard of a federated control plane inside the
+// simulator: a leader server journaling to its own directory and
+// replicating synchronously — through the real Shipper/Replica path —
+// into a follower replica directory that a ShardCrash fault promotes.
+// All fields are pump-owned, like the rest of the Fleet.
+type fleetShard struct {
+	idx  int
+	name string
+	srv  *server.Server // nil while crashed (between kill and promote)
+	// gen counts this shard's crash generations, like Fleet.serverGen
+	// does for the single-server topology.
+	gen int
+	// everCrashed excludes this shard from statz cross-checks: its
+	// in-memory counters reset with the promotion.
+	everCrashed bool
+	promoted    bool
+
+	dir     string // leader journal directory
+	replDir string // follower replica directory
+	replica *journal.Replica
+	shipper *journal.Shipper
+}
+
+// multi reports whether the run is a federated (multi-shard) topology.
+func (f *Fleet) multi() bool { return len(f.shards) > 0 }
+
+// shardIdxOf maps a vehicle to its owning shard's index via the same
+// consistent-hash ring the federation router uses (-1 in single-server
+// runs).
+func (f *Fleet) shardIdxOf(id core.VehicleID) int {
+	if !f.multi() {
+		return -1
+	}
+	return f.shardByName[f.ring.Owner(id)]
+}
+
+// serverAt returns shard idx's live server; idx -1 addresses the
+// single-server topology. nil while that incarnation is down.
+func (f *Fleet) serverAt(idx int) *server.Server {
+	if idx < 0 {
+		return f.srv
+	}
+	return f.shards[idx].srv
+}
+
+// genAt returns the crash generation of shard idx (-1 = single server).
+func (f *Fleet) genAt(idx int) int {
+	if idx < 0 {
+		return f.serverGen
+	}
+	return f.shards[idx].gen
+}
+
+// qkey qualifies a per-shard operation id for tracker maps: operation
+// ids are only unique within one shard's registry, so map keys carry
+// the shard name.
+func (f *Fleet) qkey(idx int, id string) string {
+	if idx < 0 {
+		return id
+	}
+	return f.shards[idx].name + "/" + id
+}
+
+// setupShards builds the federated topology: one leader+replica pair
+// per shard under a common root directory, user and apps uploaded to
+// every shard, each vehicle bound only to its ring owner.
+func (f *Fleet) setupShards() error {
+	root := f.sc.DataDir
+	if root == "" {
+		var err error
+		root, err = os.MkdirTemp("", "fleetsim-shards-")
+		if err != nil {
+			return err
+		}
+		f.ownDir = true
+	}
+	f.dir = root
+	names := make([]string, f.sc.Shards)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+	}
+	f.ring = federation.NewRing(names, 0)
+	f.shardByName = make(map[string]int, len(names))
+	ctx := context.Background()
+	for i, name := range names {
+		f.shardByName[name] = i
+		sh := &fleetShard{
+			idx: i, name: name,
+			dir:     filepath.Join(root, name, "leader"),
+			replDir: filepath.Join(root, name, "replica"),
+		}
+		if err := os.MkdirAll(sh.dir, 0o755); err != nil {
+			return err
+		}
+		srv := server.New()
+		srv.SetShard(name)
+		if err := srv.OpenJournal(sh.dir); err != nil {
+			return fmt.Errorf("shard %s: %w", name, err)
+		}
+		if err := srv.BecomeLeader("boot"); err != nil {
+			return fmt.Errorf("shard %s: %w", name, err)
+		}
+		replica, err := journal.OpenReplica(sh.replDir, nil)
+		if err != nil {
+			return fmt.Errorf("shard %s replica: %w", name, err)
+		}
+		sh.replica = replica
+		shipper, err := srv.StartReplication(
+			[]journal.Follower{{Name: name + "-follower", T: journal.LocalTransport{R: replica}}},
+			journal.ShipperOptions{Synchronous: true},
+		)
+		if err != nil {
+			return fmt.Errorf("shard %s replication: %w", name, err)
+		}
+		sh.shipper = shipper
+		sh.srv = srv
+		f.shards = append(f.shards, sh)
+
+		cl := api.NewLocalClient(srv.Service())
+		if _, err := cl.CreateUser(ctx, api.CreateUserRequest{ID: fleetUser}); err != nil {
+			return err
+		}
+		for _, app := range f.sc.Apps {
+			if _, err := cl.UploadApp(ctx, app); err != nil {
+				return fmt.Errorf("shard %s: upload %s: %w", name, app.Name, err)
+			}
+		}
+	}
+	for _, app := range f.sc.Apps {
+		vers := make(map[core.PluginName]string, len(app.Binaries))
+		for _, b := range app.Binaries {
+			vers[b.Manifest.Name] = b.Manifest.Version
+		}
+		f.appVer[app.Name] = vers
+	}
+	for i := 0; i < f.sc.Vehicles; i++ {
+		id := core.VehicleID(fmt.Sprintf("VIN-F-%05d", i))
+		idx := f.shardIdxOf(id)
+		cl := api.NewLocalClient(f.shards[idx].srv.Service())
+		if _, err := cl.BindVehicle(ctx, api.BindVehicleRequest{Owner: fleetUser, Conf: fleetConf(id)}); err != nil {
+			return fmt.Errorf("bind %s: %w", id, err)
+		}
+		v := newSimVehicle(f, i, id)
+		v.shardIdx = idx
+		f.vehicles = append(f.vehicles, v)
+		f.byID[id] = v
+	}
+	return nil
+}
+
+// crashShard kills shard idx's leader exactly like a power cut: the
+// journal freezes at its last group commit, the shipper stops, and
+// every vehicle link into the dying pusher collapses. The replica keeps
+// whatever was acknowledged — synchronous shipping means every settled
+// durability ticket already reached it.
+func (f *Fleet) crashShard(idx int) {
+	sh := f.shards[idx]
+	if sh.srv == nil {
+		return
+	}
+	f.tracef("shard %s crash", sh.name)
+	f.logf("fleetsim: t=%s shard %s crash (gen %d)", f.vt(), sh.name, sh.gen)
+	f.m.faults++
+	f.m.serverCrashes++
+	sh.everCrashed = true
+	old := sh.srv
+	oldGen := sh.gen
+	sh.srv = nil
+	sh.gen++
+	if jn := old.Journal(); jn != nil {
+		jn.Crash()
+	}
+	if sh.shipper != nil {
+		sh.shipper.Close()
+		sh.shipper = nil
+	}
+	old.Pusher().CloseAll()
+	for _, v := range f.vehicles {
+		if v.shardIdx == idx && v.conn != nil && v.srvGen == oldGen {
+			v.dropLink()
+		}
+	}
+}
+
+// promoteShard recovers shard idx from its replica directory — the
+// failover path: a fresh server opens the replicated journal, settles
+// interrupted operations from it, claims a higher leadership epoch, and
+// takes over the shard's vehicles as they redial on backoff.
+func (f *Fleet) promoteShard(idx int) {
+	if f.closed {
+		return
+	}
+	sh := f.shards[idx]
+	if sh.srv != nil {
+		return
+	}
+	if sh.replica != nil {
+		sh.replica.Close()
+	}
+	srv := server.New()
+	srv.SetShard(sh.name)
+	if err := srv.OpenJournal(sh.replDir); err != nil {
+		f.violationf("shard %s promotion failed: %v", sh.name, err)
+		return
+	}
+	if err := srv.BecomeLeader("promoted"); err != nil {
+		f.violationf("shard %s promotion failed to claim epoch: %v", sh.name, err)
+		srv.Close()
+		return
+	}
+	h := srv.Health()
+	f.m.recoveredRecords += h.RecoveredRecords
+	f.m.interruptedOps += h.InterruptedOperations
+	sh.srv = srv
+	sh.promoted = true
+	f.tracef("shard %s promoted", sh.name)
+	f.logf("fleetsim: t=%s shard %s follower promoted (gen %d, %d records recovered, %d operations interrupted)",
+		f.vt(), sh.name, sh.gen, h.RecoveredRecords, h.InterruptedOperations)
+}
+
+// shutdownShards tears the federated topology down.
+func (f *Fleet) shutdownShards() {
+	for _, sh := range f.shards {
+		if sh.srv != nil {
+			sh.srv.Close()
+			sh.srv = nil
+		}
+		if sh.replica != nil && !sh.promoted {
+			sh.replica.Close()
+		}
+	}
+}
+
+// partitionTargets splits a workload target list by owning shard,
+// preserving order within each shard; returned slices are indexed by
+// shard and may be empty.
+func (f *Fleet) partitionTargets(targets []core.VehicleID) [][]core.VehicleID {
+	out := make([][]core.VehicleID, len(f.shards))
+	for _, id := range targets {
+		idx := f.shardIdxOf(id)
+		out[idx] = append(out[idx], id)
+	}
+	return out
+}

@@ -36,6 +36,9 @@ type SimVehicle struct {
 	rng *rand.Rand
 
 	conn net.Conn // nil while offline
+	// shardIdx is the vehicle's ring-owning shard (-1 in single-server
+	// runs): the only server this vehicle ever dials.
+	shardIdx int
 	// srvGen records which server incarnation the link was dialled into,
 	// so a crash can sweep links that raced its CloseAll.
 	srvGen int
@@ -64,7 +67,7 @@ type SimVehicle struct {
 
 func newSimVehicle(f *Fleet, idx int, id core.VehicleID) *SimVehicle {
 	v := &SimVehicle{
-		f: f, idx: idx, ID: id,
+		f: f, idx: idx, ID: id, shardIdx: -1,
 		rng:      rand.New(rand.NewSource(f.sc.Seed ^ int64(uint64(idx+1)*0x9E3779B97F4A7C15))),
 		inflight: make(map[sim.EventID]struct{}),
 		ackMin:   f.sc.AckMin,
@@ -82,12 +85,13 @@ func (v *SimVehicle) connect() {
 	if f.closed || v.conn != nil {
 		return
 	}
-	if v.partitioned || f.srv == nil {
+	srv := f.serverAt(v.shardIdx)
+	if v.partitioned || srv == nil {
 		v.scheduleRetry()
 		return
 	}
 	vehicleSide, serverSide := net.Pipe()
-	go f.srv.Pusher().ServeConn(serverSide)
+	go srv.Pusher().ServeConn(serverSide)
 	hello := core.Message{Type: core.MsgHello, Payload: []byte(v.ID)}
 	if err := core.WriteMessage(vehicleSide, hello); err != nil {
 		vehicleSide.Close()
@@ -95,7 +99,7 @@ func (v *SimVehicle) connect() {
 		return
 	}
 	v.conn = vehicleSide
-	v.srvGen = f.serverGen
+	v.srvGen = f.genAt(v.shardIdx)
 	v.bo.Reset()
 	v.connects++
 	go v.readLoop(vehicleSide)

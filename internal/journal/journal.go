@@ -161,6 +161,13 @@ type Journal struct {
 	// FaultInjection); read by the writer goroutine under mu.
 	fault *FaultInjection
 
+	// tap observes durable events for replication (see replicate.go);
+	// read by the writer goroutine under mu. durablePub mirrors the
+	// writer-owned durable watermark under mu so Shippers can bound
+	// catch-up reads to synced bytes.
+	tap        Tap
+	durablePub int64
+
 	kick chan struct{}
 	quit chan struct{}
 	done chan struct{}
@@ -188,6 +195,23 @@ func (j *Journal) SetFault(f *FaultInjection) {
 	j.mu.Lock()
 	j.fault = f
 	j.mu.Unlock()
+}
+
+// SetTap installs (or with nil clears) the replication tap. Events
+// before the call are not replayed — a shipper starting mid-life runs a
+// catch-up pass over the directory first (see Shipper.resync).
+func (j *Journal) SetTap(t Tap) {
+	j.mu.Lock()
+	j.tap = t
+	j.mu.Unlock()
+}
+
+// durableState reports the current segment generation and how many of
+// its bytes are known synced; safe from any goroutine.
+func (j *Journal) durableState() (gen uint64, off int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.gen, j.durablePub
 }
 
 func snapshotPath(dir string, gen uint64) string {
@@ -297,7 +321,7 @@ func Open(dir string, opts Options) (*Journal, *Recovery, error) {
 
 	j := &Journal{
 		dir: dir, opts: opts, f: f, gen: appendGen, snapGen: snapGen,
-		durable: appendDurable,
+		durable: appendDurable, durablePub: appendDurable,
 		// A large recovered tail compacts at the first opportunity.
 		sinceSnapshot: replayed,
 		kick:          make(chan struct{}, 1),
@@ -757,12 +781,22 @@ func (j *Journal) flush() {
 		j.err = err
 		j.mu.Unlock()
 	} else {
+		off := j.durable
 		j.durable += int64(len(buf))
 		j.mu.Lock()
 		j.sinceSnapshot += n
 		j.appended += uint64(n)
 		j.flushes++
+		j.durablePub = j.durable
+		gen, tap := j.gen, j.tap
 		j.mu.Unlock()
+		// The tap runs before tickets settle: in synchronous-replication
+		// mode nothing is acknowledged to a caller until the followers
+		// hold it too. The chunk slice is only valid for the duration of
+		// the call.
+		if tap != nil {
+			tap.Committed(gen, off, buf)
+		}
 	}
 	b.err = err
 	close(b.done)
@@ -826,6 +860,7 @@ func (j *Journal) rotate() (uint64, error) {
 	j.mu.Lock()
 	j.gen = next
 	j.sinceSnapshot = 0
+	j.durablePub = 0
 	j.mu.Unlock()
 	old.Close()
 	return next, nil
@@ -899,6 +934,12 @@ func (j *Journal) writeSnapshot(gen uint64, source func() *StateImage, onWriter 
 		}
 	}
 	syncDir(j.dir)
+	j.mu.Lock()
+	tap := j.tap
+	j.mu.Unlock()
+	if tap != nil {
+		tap.Snapshotted(gen, raw)
+	}
 	j.opts.Logf("journal: snapshot generation %d (%d bytes)", gen, len(raw))
 	return nil
 }

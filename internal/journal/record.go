@@ -95,6 +95,16 @@ const (
 	TypeRolloutRolledBack Type = "rollout_rolled_back"
 	// TypeRolloutDone: the rollout reached a terminal state.
 	TypeRolloutDone Type = "rollout_done"
+
+	// TypeShardEpoch: a server took leadership of a shard. Written as
+	// the first record of every leader incarnation — boot, restart or
+	// follower promotion — with a strictly increasing epoch, so a
+	// replicated journal carries the shard's complete leadership
+	// history and recovery always knows the highest epoch ever granted.
+	// Vehicle-connection leases are scoped to the epoch: a promoted
+	// leader's pushes travel under the new epoch and a deposed leader's
+	// stale pushes can never settle bookkeeping on the successor.
+	TypeShardEpoch Type = "shard_epoch"
 )
 
 // Record is one journaled mutation: the version, the type, and exactly
@@ -112,6 +122,22 @@ type Record struct {
 	Op      *OpChange      `json:"op,omitempty"`
 	Upgrade *UpgradeChange `json:"upgrade,omitempty"`
 	Rollout *RolloutChange `json:"rollout,omitempty"`
+	Epoch   *ShardEpoch    `json:"epoch,omitempty"`
+}
+
+// ShardEpoch is the payload of TypeShardEpoch: which shard, which
+// leadership epoch, and why it was taken ("boot", "restart",
+// "promoted").
+type ShardEpoch struct {
+	Shard  string `json:"shard"`
+	Epoch  uint64 `json:"epoch"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// ShardEpochRec builds a TypeShardEpoch record.
+func ShardEpochRec(shard string, epoch uint64, reason string) Record {
+	return Record{V: recordVersion, Type: TypeShardEpoch,
+		Epoch: &ShardEpoch{Shard: shard, Epoch: epoch, Reason: reason}}
 }
 
 // UserAdded is the payload of TypeUserAdded.
@@ -290,12 +316,25 @@ type StateImage struct {
 	Apps      []api.App           `json:"apps"`
 	Installed []api.InstalledApp  `json:"installed"`
 	OpenOps   []api.Operation     `json:"openOps"`
-	OpSeq     uint64              `json:"opSeq"`
+	// SettledOps are the terminal operations still inside the registry's
+	// retention window at snapshot time. They ride the image so a restart
+	// — or a follower promoted from the replicated journal — keeps their
+	// real outcomes and idempotency-key bindings: a client retrying a key
+	// across a failover gets its original operation back instead of
+	// creating a duplicate.
+	SettledOps []api.Operation `json:"settledOps,omitempty"`
+	OpSeq      uint64          `json:"opSeq"`
 	// Rollouts are the progressive rollouts not yet terminal at
 	// snapshot time, with the log-implied progress folded in;
 	// RolloutSeq carries the rollout-id counter.
 	Rollouts   []RolloutImage `json:"rollouts,omitempty"`
 	RolloutSeq uint64         `json:"rolloutSeq,omitempty"`
+	// Shard and ShardEpoch carry the owning shard's identity and the
+	// highest leadership epoch granted at snapshot time, so a promoted
+	// follower recovering from a compacted journal still mints a higher
+	// epoch than every predecessor.
+	Shard      string `json:"shard,omitempty"`
+	ShardEpoch uint64 `json:"shardEpoch,omitempty"`
 }
 
 // RolloutImage is one open rollout inside a state image: the started

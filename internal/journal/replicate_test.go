@@ -1,0 +1,295 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"dynautosar/internal/api"
+	"dynautosar/internal/core"
+)
+
+// newLeaderWithFollower wires a journal to one local replica through a
+// synchronous shipper — the production failover topology, in-process.
+func newLeaderWithFollower(t *testing.T, opts Options) (*Journal, *Replica, *Shipper) {
+	t.Helper()
+	j, _ := mustOpen(t, t.TempDir(), opts)
+	r, err := OpenReplica(t.TempDir(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewShipper(j, []Follower{{Name: "f1", T: LocalTransport{R: r}}},
+		ShipperOptions{Synchronous: true, Logf: t.Logf})
+	j.SetTap(s)
+	t.Cleanup(func() { s.Close() })
+	return j, r, s
+}
+
+// waitConverged polls until the replica's durable position matches the
+// leader's durable watermark (same generation, same byte size).
+func waitConverged(t *testing.T, j *Journal, r *Replica) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		gen, off := j.durableState()
+		st := r.State()
+		if st.Gen == gen && st.Size == off && st.Err == "" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never converged: leader gen %d off %d, replica %+v", gen, off, st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func appendUsers(t *testing.T, j *Journal, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		if err := j.Append(UserAddedRec(core.UserID(fmt.Sprintf("u%03d", i)))).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestReplicaGapArithmetic pins the positional protocol's edge rules: a
+// chunk past the tail is a *GapError, a stale generation is absorbed, a
+// partial overlap is trimmed rather than rewritten.
+func TestReplicaGapArithmetic(t *testing.T) {
+	r, err := OpenReplica(t.TempDir(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.ApplySegment(0, 0, []byte("abcdef"), false); err != nil {
+		t.Fatal(err)
+	}
+	// Hole: offset beyond the tail must demand a resync.
+	var gap *GapError
+	if err := r.ApplySegment(0, 100, []byte("x"), false); !errors.As(err, &gap) {
+		t.Fatalf("offset past tail: got %v, want *GapError", err)
+	}
+	if gap.Gen != 0 || gap.Size != 6 {
+		t.Fatalf("gap position = %+v, want gen 0 size 6", gap)
+	}
+	// A new generation must start at byte zero.
+	if err := r.ApplySegment(3, 50, []byte("x"), false); !errors.As(err, &gap) {
+		t.Fatalf("new gen at nonzero offset: got %v, want *GapError", err)
+	}
+	// Duplicate and overlapping chunks are absorbed.
+	if err := r.ApplySegment(0, 0, []byte("abcd"), false); err != nil {
+		t.Fatalf("duplicate chunk: %v", err)
+	}
+	if err := r.ApplySegment(0, 4, []byte("efGHI"), false); err != nil {
+		t.Fatalf("overlapping chunk: %v", err)
+	}
+	if st := r.State(); st.Size != 9 {
+		t.Fatalf("size after overlap trim = %d, want 9", st.Size)
+	}
+	// Stale generation after a rotation is a no-op, not an error.
+	if err := r.ApplySegment(1, 0, []byte("new gen"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplySegment(0, 9, []byte("late"), false); err != nil {
+		t.Fatalf("stale-gen chunk: %v", err)
+	}
+	if st := r.State(); st.Gen != 1 || st.Size != 7 {
+		t.Fatalf("state after stale chunk = %+v, want gen 1 size 7", st)
+	}
+}
+
+// TestReplicaTornSegmentMidShip crashes the follower mid-apply — its
+// segment holds a torn frame — and verifies the shipper's resync heals
+// the tail and a promotion of the replica directory recovers every
+// leader record with no torn tail.
+func TestReplicaTornSegmentMidShip(t *testing.T) {
+	ldir, rdir := t.TempDir(), t.TempDir()
+	j, _ := mustOpen(t, ldir, Options{})
+	appendUsers(t, j, 0, 8)
+	gen, off := j.durableState()
+	leaderBytes, err := os.ReadFile(walPath(ldir, gen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderBytes = leaderBytes[:off]
+
+	// The follower dies mid-apply: only a torn prefix of the stream made
+	// it to its disk, ending inside a frame.
+	r, err := OpenReplica(rdir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplySegment(gen, 0, leaderBytes[:len(leaderBytes)/2+3], false); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	// Reopened after the crash, the replica resumes at the torn size; the
+	// next live chunk lands past it, so the shipper must resync with
+	// reset=true and rewrite the segment from byte zero.
+	r2, err := OpenReplica(rdir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r2.State(); st.Size != int64(len(leaderBytes)/2+3) {
+		t.Fatalf("reopened replica size = %d, want the torn %d", st.Size, len(leaderBytes)/2+3)
+	}
+	var gap *GapError
+	if err := r2.ApplySegment(gen, off, []byte("next-commit"), false); !errors.As(err, &gap) {
+		t.Fatalf("live chunk on torn tail: got %v, want *GapError", err)
+	}
+	s := NewShipper(j, []Follower{{Name: "f1", T: LocalTransport{R: r2}}},
+		ShipperOptions{Synchronous: true, Logf: t.Logf})
+	j.SetTap(s)
+	defer s.Close()
+	appendUsers(t, j, 8, 4)
+	waitConverged(t, j, r2)
+
+	wantGen, wantOff := j.durableState()
+	got, err := os.ReadFile(walPath(rdir, wantGen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(walPath(ldir, wantGen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:wantOff], want[:wantOff]) {
+		t.Fatal("replica segment diverged from the leader's durable prefix after resync")
+	}
+
+	// Promotion: the healed directory recovers every record cleanly.
+	j.Crash()
+	r2.Close()
+	p, rec := mustOpen(t, rdir, Options{})
+	defer p.Close()
+	if rec.TornTail {
+		t.Fatal("promoted replica reported a torn tail after resync healed it")
+	}
+	if got := userIDs(rec.Records); len(got) != 12 || got[0] != "u000" || got[11] != "u011" {
+		t.Fatalf("promoted replica replayed users %v, want u000..u011", got)
+	}
+}
+
+// TestFollowerBehindSnapshotGenerations detaches the follower while the
+// leader compacts twice — two whole snapshot generations ahead — and
+// verifies the catch-up resync installs the newest snapshot, retires the
+// follower's stale files, and promotion recovers the full state.
+func TestFollowerBehindSnapshotGenerations(t *testing.T) {
+	ldir, rdir := t.TempDir(), t.TempDir()
+	j, _ := mustOpen(t, ldir, Options{SnapshotEvery: -1})
+	j.SetSnapshotSource(func() *StateImage {
+		return &StateImage{Users: []api.User{{ID: "snap-user"}}}
+	})
+
+	// The follower sees generation 0 only.
+	r, err := OpenReplica(rdir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewShipper(j, []Follower{{Name: "f1", T: LocalTransport{R: r}}},
+		ShipperOptions{Synchronous: true, Logf: t.Logf})
+	j.SetTap(s)
+	appendUsers(t, j, 0, 4)
+	waitConverged(t, j, r)
+	s.Close()
+	j.SetTap(nil)
+
+	// Two compactions while detached: the leader is now >1 snapshot
+	// generation ahead and generation 0's segment is gone.
+	appendUsers(t, j, 4, 4)
+	if err := j.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	appendUsers(t, j, 8, 4)
+	if err := j.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	appendUsers(t, j, 12, 4)
+	if st := j.Stats(); st.Gen < 2 {
+		t.Fatalf("leader gen = %d, want >= 2 after two compactions", st.Gen)
+	}
+
+	// Reattach: the initial resync must carry the newest snapshot and the
+	// live segment; stale follower files are retired.
+	s2 := NewShipper(j, []Follower{{Name: "f1", T: LocalTransport{R: r}}},
+		ShipperOptions{Synchronous: true, Logf: t.Logf})
+	j.SetTap(s2)
+	defer s2.Close()
+	waitConverged(t, j, r)
+	lead := j.Stats()
+	if st := r.State(); st.SnapGen != lead.Gen {
+		t.Fatalf("replica snapGen = %d, want the leader's %d", st.SnapGen, lead.Gen)
+	}
+	snaps, wals, err := scanDir(rdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range snaps {
+		if g < lead.Gen {
+			t.Fatalf("stale snapshot gen %d survived catch-up", g)
+		}
+	}
+	for _, g := range wals {
+		if g < lead.Gen {
+			t.Fatalf("stale segment gen %d survived catch-up", g)
+		}
+	}
+
+	j.Crash()
+	p, rec := mustOpen(t, rdir, Options{})
+	defer p.Close()
+	if rec.Image == nil || len(rec.Image.Users) == 0 {
+		t.Fatal("promoted replica recovered no snapshot image")
+	}
+	if got := userIDs(rec.Records); len(got) != 4 || got[0] != "u012" {
+		t.Fatalf("promoted replica tail = %v, want u012..u015", got)
+	}
+}
+
+// TestFollowerStickyENOSPC starves the follower's disk with the sticky
+// write fault: the leader must keep committing (a dead follower never
+// wedges the control plane), replication health must surface the error,
+// and healing the disk must converge the follower without a restart.
+func TestFollowerStickyENOSPC(t *testing.T) {
+	j, r, s := newLeaderWithFollower(t, Options{})
+	appendUsers(t, j, 0, 3)
+	waitConverged(t, j, r)
+
+	r.SetFault(&FaultInjection{WriteErr: func(int) error {
+		return errors.New("write: no space left on device")
+	}})
+	// Every commit still settles: the shipper demotes the follower to
+	// async resync instead of blocking the leader's writer.
+	appendUsers(t, j, 3, 5)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sts := s.Status()
+		if len(sts) == 1 && sts[0].LastError != "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower error never surfaced in Status: %+v", sts)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Heal the disk: the retry loop must converge the follower on its own.
+	r.SetFault(nil)
+	waitConverged(t, j, r)
+	sts := s.Status()
+	if sts[0].LagBytes != 0 || sts[0].Resyncs == 0 {
+		t.Fatalf("healed follower status = %+v, want zero lag after at least one resync", sts[0])
+	}
+
+	j.Crash()
+	r.Close()
+	p, rec := mustOpen(t, r.Dir(), Options{})
+	defer p.Close()
+	if got := userIDs(rec.Records); len(got) != 8 {
+		t.Fatalf("promoted replica replayed %d users, want all 8", len(got))
+	}
+}

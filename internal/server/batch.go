@@ -68,6 +68,10 @@ func (s *Server) resolveFleet(user core.UserID, vehicles []core.VehicleID, sel *
 // problems (offline, incompatible, already installed, foreign owner)
 // fail that vehicle's child without aborting the rest.
 func (s *Server) BatchDeployAsync(user core.UserID, vehicles []core.VehicleID, sel *api.FleetSelector, appName core.AppName) (api.Operation, error) {
+	return s.batchDeployAsyncIdem("", user, vehicles, sel, appName)
+}
+
+func (s *Server) batchDeployAsyncIdem(idemKey string, user core.UserID, vehicles []core.VehicleID, sel *api.FleetSelector, appName core.AppName) (api.Operation, error) {
 	if !s.store.HasApp(appName) {
 		return api.Operation{}, api.Errorf(api.CodeNotFound, "server: unknown app %s", appName)
 	}
@@ -75,7 +79,7 @@ func (s *Server) BatchDeployAsync(user core.UserID, vehicles []core.VehicleID, s
 	if err != nil {
 		return api.Operation{}, err
 	}
-	parentID, children := s.newBatchOperation(api.OpBatchDeploy, api.OpDeploy, user, appName, "", fleet)
+	parentID, children := s.newBatchOperation(api.OpBatchDeploy, api.OpDeploy, user, appName, "", fleet, idemKey)
 	go func() {
 		cache := &planCache{}
 		// inflight bounds the per-batch commit-wait/push goroutines the
@@ -133,6 +137,10 @@ func (s *Server) deployChild(c batchChild, user core.UserID, appName core.AppNam
 // parent/child semantics; each child runs the full uninstall pipeline
 // (dependency supervision, per-vehicle claim, reverse-order pushes).
 func (s *Server) BatchUninstallAsync(user core.UserID, vehicles []core.VehicleID, sel *api.FleetSelector, appName core.AppName) (api.Operation, error) {
+	return s.batchUninstallAsyncIdem("", user, vehicles, sel, appName)
+}
+
+func (s *Server) batchUninstallAsyncIdem(idemKey string, user core.UserID, vehicles []core.VehicleID, sel *api.FleetSelector, appName core.AppName) (api.Operation, error) {
 	if !s.store.HasApp(appName) {
 		return api.Operation{}, api.Errorf(api.CodeNotFound, "server: unknown app %s", appName)
 	}
@@ -140,7 +148,7 @@ func (s *Server) BatchUninstallAsync(user core.UserID, vehicles []core.VehicleID
 	if err != nil {
 		return api.Operation{}, err
 	}
-	parentID, children := s.newBatchOperation(api.OpBatchUninstall, api.OpUninstall, user, appName, "", fleet)
+	parentID, children := s.newBatchOperation(api.OpBatchUninstall, api.OpUninstall, user, appName, "", fleet, idemKey)
 	go func() {
 		s.runBatch(children, func(c batchChild) {
 			s.finishLaunch(c.opID, s.uninstall(c.opID, user, c.vehicle, appName))

@@ -386,7 +386,7 @@ func TestBatchPlanReuse(t *testing.T) {
 
 	cache := &planCache{}
 	for i, id := range ids {
-		opRec := s.newOperation(api.OpDeploy, "alice", id, "RemoteControl", "", "")
+		opRec := s.newOperation(api.OpDeploy, "alice", id, "RemoteControl", "", "", "")
 		if err := s.deployWith(opRec.op.ID, "alice", id, "RemoteControl", cache); err != nil {
 			t.Fatalf("deploy %d: %v", i, err)
 		}
@@ -404,7 +404,7 @@ func TestBatchPlanReuse(t *testing.T) {
 	s.Store().RecordInstallation(&InstalledApp{App: "Other", Vehicle: "VIN-USED",
 		Plugins: []InstalledPlugin{{Plugin: "X", ECU: app.Confs[0].Deployments[1].ECU,
 			SWC: app.Confs[0].Deployments[1].SWC, PIC: core.PIC{{Name: "a", ID: 0}}, Acked: true}}})
-	opRec := s.newOperation(api.OpDeploy, "alice", "VIN-USED", "RemoteControl", "", "")
+	opRec := s.newOperation(api.OpDeploy, "alice", "VIN-USED", "RemoteControl", "", "", "")
 	if err := s.deployWith(opRec.op.ID, "alice", "VIN-USED", "RemoteControl", cache); err != nil {
 		t.Fatal(err)
 	}

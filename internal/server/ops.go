@@ -37,20 +37,24 @@ type opRecord struct {
 var opRetention = 4096
 
 // newOperation registers a fresh pending operation; toApp is the
-// upgrade target ("" for every other kind).
-func (s *Server) newOperation(kind api.OperationKind, user core.UserID, vehicle core.VehicleID, app, toApp core.AppName, ecu core.ECUID) *opRecord {
+// upgrade target ("" for every other kind), idemKey the client's
+// idempotency key ("" for none) — carried on the operation itself so
+// the op_created record persists the key→operation binding atomically
+// with the creation it protects.
+func (s *Server) newOperation(kind api.OperationKind, user core.UserID, vehicle core.VehicleID, app, toApp core.AppName, ecu core.ECUID, idemKey string) *opRecord {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.opSeq++
 	rec := &opRecord{op: api.Operation{
-		ID:      fmt.Sprintf("op-%08d", s.opSeq),
-		Kind:    kind,
-		User:    user,
-		Vehicle: vehicle,
-		App:     app,
-		ToApp:   toApp,
-		ECU:     ecu,
-		State:   api.StatePending,
+		ID:             fmt.Sprintf("op-%08d", s.opSeq),
+		Kind:           kind,
+		User:           user,
+		Vehicle:        vehicle,
+		App:            app,
+		ToApp:          toApp,
+		ECU:            ecu,
+		State:          api.StatePending,
+		IdempotencyKey: idemKey,
 	}}
 	s.ops[rec.op.ID] = rec
 	s.opOrder = append(s.opOrder, rec.op.ID)
@@ -99,20 +103,21 @@ type batchChild struct {
 // child per vehicle, all under one lock so no reader ever observes a
 // half-built batch. The parent needs no launch step of its own: it
 // completes when its last child reaches a terminal state.
-func (s *Server) newBatchOperation(kind, childKind api.OperationKind, user core.UserID, app, toApp core.AppName, fleet []core.VehicleID) (parentID string, children []batchChild) {
+func (s *Server) newBatchOperation(kind, childKind api.OperationKind, user core.UserID, app, toApp core.AppName, fleet []core.VehicleID, idemKey string) (parentID string, children []batchChild) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.opSeq++
 	parentID = fmt.Sprintf("op-%08d", s.opSeq)
 	prec := &opRecord{
 		op: api.Operation{
-			ID:       parentID,
-			Kind:     kind,
-			User:     user,
-			App:      app,
-			ToApp:    toApp,
-			State:    api.StateRunning,
-			Vehicles: append([]core.VehicleID(nil), fleet...),
+			ID:             parentID,
+			Kind:           kind,
+			User:           user,
+			App:            app,
+			ToApp:          toApp,
+			State:          api.StateRunning,
+			Vehicles:       append([]core.VehicleID(nil), fleet...),
+			IdempotencyKey: idemKey,
 		},
 		launched:     true,
 		openChildren: len(fleet),
@@ -159,6 +164,9 @@ func (s *Server) pruneOpsLocked() {
 	for _, id := range s.opOrder {
 		if excess > 0 {
 			if rec := s.ops[id]; rec == nil || s.evictableLocked(rec) {
+				if rec != nil && rec.op.IdempotencyKey != "" {
+					delete(s.idem, rec.op.IdempotencyKey)
+				}
 				delete(s.ops, id)
 				excess--
 				continue

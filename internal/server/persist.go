@@ -72,6 +72,7 @@ func (s *Server) OpenJournal(dir string) error {
 // empty tail instead of relying on crash recovery) and the journal is
 // flushed and closed. Safe to call on a memory-only server.
 func (s *Server) Close() error {
+	s.pushCancel()
 	s.pusher.CloseAll()
 	if s.jn == nil {
 		return nil
@@ -79,7 +80,16 @@ func (s *Server) Close() error {
 	if err := s.jn.Snapshot(); err != nil {
 		s.logf("server: final snapshot: %v", err)
 	}
-	return s.jn.Close()
+	err := s.jn.Close()
+	s.mu.Lock()
+	sh := s.shipper
+	s.mu.Unlock()
+	if sh != nil {
+		// After the journal is closed nothing new can commit; draining the
+		// shipper last lets every durable byte reach the followers.
+		sh.Close()
+	}
+	return err
 }
 
 // Journal exposes the attached journal (nil when memory-only); tests
@@ -98,6 +108,8 @@ func (s *Server) Health() api.Health {
 		TornTail:              s.recovery.TornTail,
 		SnapshotAge:           -1,
 	}
+	h.Shard, h.Role, h.ShardEpoch = s.ShardInfo()
+	h.Replication = s.replicationHealth()
 	if s.jn == nil {
 		return h
 	}
@@ -137,9 +149,22 @@ func (s *Server) recoverFrom(rec *journal.Recovery) {
 
 	if img := rec.Image; img != nil {
 		s.store.loadImage(img)
+		// Shard identity rides the snapshot: a follower promoted from a
+		// replicated journal recovers the dead leader's shard name and
+		// highest epoch, which BecomeLeader then surpasses.
+		if img.Shard != "" && s.shardID == "" {
+			s.shardID = img.Shard
+		}
+		if img.ShardEpoch > s.shardEpoch {
+			s.shardEpoch = img.ShardEpoch
+		}
 		maxSeq = img.OpSeq
 		for _, op := range img.OpenOps {
 			open[op.ID] = op
+			bump(op.ID)
+		}
+		for _, op := range img.SettledOps {
+			settled[op.ID] = op
 			bump(op.ID)
 		}
 		maxRolloutSeq = img.RolloutSeq
@@ -202,6 +227,16 @@ func (s *Server) recoverFrom(rec *journal.Recovery) {
 			bump(op.ID)
 			delete(open, op.ID)
 			settled[op.ID] = op
+		case journal.TypeShardEpoch:
+			if r.Epoch == nil {
+				continue
+			}
+			if r.Epoch.Shard != "" && s.shardID == "" {
+				s.shardID = r.Epoch.Shard
+			}
+			if r.Epoch.Epoch > s.shardEpoch {
+				s.shardEpoch = r.Epoch.Epoch
+			}
 		default:
 			s.store.applyRecord(r)
 		}
@@ -291,6 +326,12 @@ func (s *Server) recoverFrom(rec *journal.Recovery) {
 		op := final[id]
 		s.ops[id] = &opRecord{op: op, launched: true, parent: op.Parent}
 		s.opOrder = append(s.opOrder, id)
+		// Rebind the idempotency key, so a client retrying a create across
+		// the restart (or across a shard failover onto this server) gets
+		// the recovered operation instead of a duplicate.
+		if op.IdempotencyKey != "" {
+			s.idem[op.IdempotencyKey] = settledClaim(id)
+		}
 	}
 	s.opSeq = maxSeq
 	s.mu.Unlock()
@@ -507,9 +548,17 @@ func (s *Server) stateImage() *journal.StateImage {
 	img := journal.NewStateImage()
 	s.store.imageInto(img)
 	s.mu.Lock()
+	img.Shard = s.shardID
+	img.ShardEpoch = s.shardEpoch
 	img.OpSeq = s.opSeq
 	for _, id := range s.opOrder {
-		if rec := s.ops[id]; rec != nil && !rec.op.Done {
+		rec := s.ops[id]
+		if rec == nil {
+			continue
+		}
+		if rec.op.Done {
+			img.SettledOps = append(img.SettledOps, snapshotOpLocked(rec))
+		} else {
 			img.OpenOps = append(img.OpenOps, snapshotOpLocked(rec))
 		}
 	}

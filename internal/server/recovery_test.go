@@ -235,7 +235,7 @@ func TestRecoveryMidBatchCrash(t *testing.T) {
 		t.Fatalf("health after crash recovery = %+v", h)
 	}
 	// New operation ids continue after the journaled ones.
-	if seq := opSeqOf(op.ID); b.newOperation(api.OpDeploy, "alice", "VIN-C-0", "RemoteControl", "", "").op.ID <= op.ID {
+	if seq := opSeqOf(op.ID); b.newOperation(api.OpDeploy, "alice", "VIN-C-0", "RemoteControl", "", "", "").op.ID <= op.ID {
 		t.Fatalf("operation ids did not advance past %d", seq)
 	}
 }

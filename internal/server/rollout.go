@@ -429,7 +429,7 @@ func (s *Server) runRollout(id string, startWave int) {
 // and returns its health window: per-child outcome counts, probe
 // rollbacks and the p99 launch-to-settle latency.
 func (s *Server) runRolloutWave(id string, wave int, user core.UserID, from, to core.AppName, targets []core.VehicleID) api.RolloutWaveStatus {
-	parentID, children := s.newBatchOperation(api.OpBatchUpgrade, api.OpUpgrade, user, from, to, targets)
+	parentID, children := s.newBatchOperation(api.OpBatchUpgrade, api.OpUpgrade, user, from, to, targets, "")
 	s.mu.Lock()
 	if rec := s.rollouts[id]; rec != nil {
 		rec.st.Waves[wave].Started = true
@@ -572,7 +572,7 @@ func (s *Server) rollbackRollout(id, reason string, code api.ErrorCode, resumed 
 		if len(targets) == 0 {
 			continue
 		}
-		parentID, children := s.newBatchOperation(api.OpBatchUpgrade, api.OpUpgrade, user, to, from, targets)
+		parentID, children := s.newBatchOperation(api.OpBatchUpgrade, api.OpUpgrade, user, to, from, targets, "")
 		s.mu.Lock()
 		if rec := s.rollouts[id]; rec != nil {
 			rec.st.Waves[wave].RollbackOp = parentID

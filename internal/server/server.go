@@ -1,8 +1,10 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"dynautosar/internal/api"
 	"dynautosar/internal/core"
@@ -59,6 +61,20 @@ type Server struct {
 	// restart; recoverFrom fills it and OpenJournal launches them once
 	// the journal is attached.
 	rolloutResume []func()
+	// idem maps idempotency keys to the operations they created, so a
+	// client retry of a create whose response was lost (crash, failover)
+	// is answered with the original operation instead of a duplicate.
+	// Bindings are journaled with the op_created records they ride and
+	// rebuilt by recovery (see shard.go).
+	idem map[string]*idemClaim
+	// shardID/shardRole/shardEpoch are the server's federated-control-
+	// plane identity (see shard.go): which shard it serves, whether it is
+	// that shard's replication leader, and its leadership epoch — bumped
+	// and journaled on every (re)assumption of leadership so a deposed
+	// leader's stale writes are recognizable.
+	shardID    string
+	shardRole  string
+	shardEpoch uint64
 
 	// deployMu stripes a per-vehicle critical section over deploy
 	// planning + check-and-record: planning reads the vehicle's free
@@ -68,6 +84,17 @@ type Server struct {
 	// the store's vehicle hash, so batch workers on different vehicles
 	// rarely meet.
 	deployMu [installedShardCount]sync.Mutex
+
+	// shipper, when set, replicates the journal to follower peers;
+	// healthz and statz surface its per-follower lag (see shard.go).
+	shipper *journal.Shipper
+
+	// ackWait overrides the ack-collection deadline of the upgrade
+	// pipeline (0 = the upgradeAckTimeout default); pushCtx is canceled
+	// by Close so no collect loop outlives the server.
+	ackWait    time.Duration
+	pushCtx    context.Context
+	pushCancel context.CancelFunc
 
 	logf func(format string, args ...any)
 }
@@ -106,8 +133,10 @@ func New() *Server {
 		uninstalling: make(map[string]string),
 		ops:          make(map[string]*opRecord),
 		rollouts:     make(map[string]*rolloutRecord),
+		idem:         make(map[string]*idemClaim),
 		logf:         func(string, ...any) {},
 	}
+	s.pushCtx, s.pushCancel = context.WithCancel(context.Background())
 	s.pusher = NewPusher(s.HandleVehicleMessage)
 	s.pusher.SetDisconnectHandler(s.handleVehicleDisconnect)
 	return s
@@ -207,7 +236,7 @@ func (s *Server) Deploy(user core.UserID, vehicleID core.VehicleID, appName core
 	if err := s.precheckDeploy(user, vehicleID, appName); err != nil {
 		return err
 	}
-	rec := s.newOperation(api.OpDeploy, user, vehicleID, appName, "", "")
+	rec := s.newOperation(api.OpDeploy, user, vehicleID, appName, "", "", "")
 	err := s.deploy(rec.op.ID, user, vehicleID, appName)
 	s.finishLaunch(rec.op.ID, err)
 	return err
@@ -217,10 +246,17 @@ func (s *Server) Deploy(user core.UserID, vehicleID core.VehicleID, appName core
 // runs the deployment pipeline in the background; progress is reported
 // through the returned operation.
 func (s *Server) DeployAsync(user core.UserID, vehicleID core.VehicleID, appName core.AppName) (api.Operation, error) {
+	return s.deployAsyncIdem("", user, vehicleID, appName)
+}
+
+// deployAsyncIdem is DeployAsync with the operation's idempotency key
+// threaded through to creation (so the key is journaled atomically with
+// the op_created record); the Service adapter is the keyed caller.
+func (s *Server) deployAsyncIdem(idemKey string, user core.UserID, vehicleID core.VehicleID, appName core.AppName) (api.Operation, error) {
 	if err := s.precheckDeploy(user, vehicleID, appName); err != nil {
 		return api.Operation{}, err
 	}
-	rec := s.newOperation(api.OpDeploy, user, vehicleID, appName, "", "")
+	rec := s.newOperation(api.OpDeploy, user, vehicleID, appName, "", "", idemKey)
 	id := rec.op.ID
 	go func() {
 		s.finishLaunch(id, s.deploy(id, user, vehicleID, appName))
@@ -458,7 +494,7 @@ func (s *Server) Uninstall(user core.UserID, vehicleID core.VehicleID, appName c
 	if err := s.precheckUninstall(user, vehicleID, appName); err != nil {
 		return err
 	}
-	rec := s.newOperation(api.OpUninstall, user, vehicleID, appName, "", "")
+	rec := s.newOperation(api.OpUninstall, user, vehicleID, appName, "", "", "")
 	err := s.uninstall(rec.op.ID, user, vehicleID, appName)
 	s.finishLaunch(rec.op.ID, err)
 	return err
@@ -466,10 +502,14 @@ func (s *Server) Uninstall(user core.UserID, vehicleID core.VehicleID, appName c
 
 // UninstallAsync is the operation-returning variant of Uninstall.
 func (s *Server) UninstallAsync(user core.UserID, vehicleID core.VehicleID, appName core.AppName) (api.Operation, error) {
+	return s.uninstallAsyncIdem("", user, vehicleID, appName)
+}
+
+func (s *Server) uninstallAsyncIdem(idemKey string, user core.UserID, vehicleID core.VehicleID, appName core.AppName) (api.Operation, error) {
 	if err := s.precheckUninstall(user, vehicleID, appName); err != nil {
 		return api.Operation{}, err
 	}
-	rec := s.newOperation(api.OpUninstall, user, vehicleID, appName, "", "")
+	rec := s.newOperation(api.OpUninstall, user, vehicleID, appName, "", "", idemKey)
 	id := rec.op.ID
 	go func() {
 		s.finishLaunch(id, s.uninstall(id, user, vehicleID, appName))
@@ -557,7 +597,7 @@ func (s *Server) Restore(user core.UserID, vehicleID core.VehicleID, replaced co
 	if err := s.precheckRestore(user, vehicleID); err != nil {
 		return 0, err
 	}
-	rec := s.newOperation(api.OpRestore, user, vehicleID, "", "", replaced)
+	rec := s.newOperation(api.OpRestore, user, vehicleID, "", "", replaced, "")
 	n, err := s.restore(rec.op.ID, user, vehicleID, replaced)
 	s.finishLaunch(rec.op.ID, err)
 	return n, err
@@ -566,10 +606,14 @@ func (s *Server) Restore(user core.UserID, vehicleID core.VehicleID, replaced co
 // RestoreAsync is the operation-returning variant of Restore; the
 // number of re-installed plug-ins appears as the operation's Total.
 func (s *Server) RestoreAsync(user core.UserID, vehicleID core.VehicleID, replaced core.ECUID) (api.Operation, error) {
+	return s.restoreAsyncIdem("", user, vehicleID, replaced)
+}
+
+func (s *Server) restoreAsyncIdem(idemKey string, user core.UserID, vehicleID core.VehicleID, replaced core.ECUID) (api.Operation, error) {
 	if err := s.precheckRestore(user, vehicleID); err != nil {
 		return api.Operation{}, err
 	}
-	rec := s.newOperation(api.OpRestore, user, vehicleID, "", "", replaced)
+	rec := s.newOperation(api.OpRestore, user, vehicleID, "", "", replaced, idemKey)
 	id := rec.op.ID
 	go func() {
 		_, err := s.restore(id, user, vehicleID, replaced)

@@ -82,20 +82,31 @@ func (sv *Service) ListApps(_ context.Context, page api.Page) (api.AppList, erro
 	return api.AppList{Apps: items, NextPageToken: next}, nil
 }
 
+// Deploy and every other operation-creating method below run through
+// the idempotency gate: a repeated IdempotencyKey returns the original
+// operation instead of double-creating (see shard.go).
 func (sv *Service) Deploy(_ context.Context, req api.DeployRequest) (api.Operation, error) {
-	return sv.s.DeployAsync(req.User, req.Vehicle, req.App)
+	return sv.s.runIdempotent(req.IdempotencyKey, func(key string) (api.Operation, error) {
+		return sv.s.deployAsyncIdem(key, req.User, req.Vehicle, req.App)
+	})
 }
 
 func (sv *Service) Uninstall(_ context.Context, req api.UninstallRequest) (api.Operation, error) {
-	return sv.s.UninstallAsync(req.User, req.Vehicle, req.App)
+	return sv.s.runIdempotent(req.IdempotencyKey, func(key string) (api.Operation, error) {
+		return sv.s.uninstallAsyncIdem(key, req.User, req.Vehicle, req.App)
+	})
 }
 
 func (sv *Service) Upgrade(_ context.Context, req api.UpgradeRequest) (api.Operation, error) {
-	return sv.s.UpgradeAsync(req.User, req.Vehicle, req.From, req.To)
+	return sv.s.runIdempotent(req.IdempotencyKey, func(key string) (api.Operation, error) {
+		return sv.s.upgradeAsyncIdem(key, req.User, req.Vehicle, req.From, req.To)
+	})
 }
 
 func (sv *Service) BatchUpgrade(_ context.Context, req api.BatchUpgradeRequest) (api.Operation, error) {
-	return sv.s.BatchUpgradeAsync(req.User, req.Vehicles, req.Selector, req.From, req.To)
+	return sv.s.runIdempotent(req.IdempotencyKey, func(key string) (api.Operation, error) {
+		return sv.s.batchUpgradeAsyncIdem(key, req.User, req.Vehicles, req.Selector, req.From, req.To)
+	})
 }
 
 func (sv *Service) StartRollout(_ context.Context, req api.RolloutRequest) (api.RolloutStatus, error) {
@@ -126,15 +137,21 @@ func (sv *Service) Verify(_ context.Context, req api.VerifyRequest) (api.VerifyR
 }
 
 func (sv *Service) Restore(_ context.Context, req api.RestoreRequest) (api.Operation, error) {
-	return sv.s.RestoreAsync(req.User, req.Vehicle, req.ECU)
+	return sv.s.runIdempotent(req.IdempotencyKey, func(key string) (api.Operation, error) {
+		return sv.s.restoreAsyncIdem(key, req.User, req.Vehicle, req.ECU)
+	})
 }
 
 func (sv *Service) BatchDeploy(_ context.Context, req api.BatchDeployRequest) (api.Operation, error) {
-	return sv.s.BatchDeployAsync(req.User, req.Vehicles, req.Selector, req.App)
+	return sv.s.runIdempotent(req.IdempotencyKey, func(key string) (api.Operation, error) {
+		return sv.s.batchDeployAsyncIdem(key, req.User, req.Vehicles, req.Selector, req.App)
+	})
 }
 
 func (sv *Service) BatchUninstall(_ context.Context, req api.BatchUninstallRequest) (api.Operation, error) {
-	return sv.s.BatchUninstallAsync(req.User, req.Vehicles, req.Selector, req.App)
+	return sv.s.runIdempotent(req.IdempotencyKey, func(key string) (api.Operation, error) {
+		return sv.s.batchUninstallAsyncIdem(key, req.User, req.Vehicles, req.Selector, req.App)
+	})
 }
 
 func (sv *Service) Status(_ context.Context, vehicle core.VehicleID, app core.AppName) (api.OpStatus, error) {

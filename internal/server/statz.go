@@ -65,5 +65,23 @@ func (s *Server) Statz() api.Statz {
 		st.JournalSinceSnapshot = js.SinceSnapshot
 		st.JournalGen = js.Gen
 	}
+	st.Shard, st.Role, st.ShardEpoch = s.ShardInfo()
+	// Replication lag aggregates across followers: the worst byte lag
+	// and the oldest segment fully shipped anywhere, so one scrape says
+	// whether a failover right now would lose acknowledged writes (it
+	// cannot, in synchronous mode — lag stays at zero between commits).
+	s.mu.Lock()
+	sh := s.shipper
+	s.mu.Unlock()
+	if sh != nil {
+		for _, f := range sh.Status() {
+			if f.LagBytes > st.ReplLagBytes {
+				st.ReplLagBytes = f.LagBytes
+			}
+			if st.LastSegmentShipped == 0 || f.LastShippedGen < st.LastSegmentShipped {
+				st.LastSegmentShipped = f.LastShippedGen
+			}
+		}
+	}
 	return st
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strings"
@@ -75,10 +76,14 @@ type upgradePlan struct {
 // the background and the operation settles as the vehicle acknowledges
 // each plug-in swap.
 func (s *Server) UpgradeAsync(user core.UserID, vehicleID core.VehicleID, fromApp, toApp core.AppName) (api.Operation, error) {
+	return s.upgradeAsyncIdem("", user, vehicleID, fromApp, toApp)
+}
+
+func (s *Server) upgradeAsyncIdem(idemKey string, user core.UserID, vehicleID core.VehicleID, fromApp, toApp core.AppName) (api.Operation, error) {
 	if err := s.precheckUpgrade(user, vehicleID, fromApp, toApp); err != nil {
 		return api.Operation{}, err
 	}
-	rec := s.newOperation(api.OpUpgrade, user, vehicleID, fromApp, toApp, "")
+	rec := s.newOperation(api.OpUpgrade, user, vehicleID, fromApp, toApp, "", idemKey)
 	id := rec.op.ID
 	go func() {
 		s.finishLaunch(id, s.upgrade(id, user, vehicleID, fromApp, toApp, nil))
@@ -92,7 +97,7 @@ func (s *Server) Upgrade(user core.UserID, vehicleID core.VehicleID, fromApp, to
 	if err := s.precheckUpgrade(user, vehicleID, fromApp, toApp); err != nil {
 		return err
 	}
-	rec := s.newOperation(api.OpUpgrade, user, vehicleID, fromApp, toApp, "")
+	rec := s.newOperation(api.OpUpgrade, user, vehicleID, fromApp, toApp, "", "")
 	err := s.upgrade(rec.op.ID, user, vehicleID, fromApp, toApp, nil)
 	s.finishLaunch(rec.op.ID, err)
 	return err
@@ -101,6 +106,10 @@ func (s *Server) Upgrade(user core.UserID, vehicleID core.VehicleID, fromApp, to
 // BatchUpgradeAsync starts a fleet-wide live upgrade with the batch
 // engine's parent/child semantics and plan reuse.
 func (s *Server) BatchUpgradeAsync(user core.UserID, vehicles []core.VehicleID, sel *api.FleetSelector, fromApp, toApp core.AppName) (api.Operation, error) {
+	return s.batchUpgradeAsyncIdem("", user, vehicles, sel, fromApp, toApp)
+}
+
+func (s *Server) batchUpgradeAsyncIdem(idemKey string, user core.UserID, vehicles []core.VehicleID, sel *api.FleetSelector, fromApp, toApp core.AppName) (api.Operation, error) {
 	if !s.store.HasApp(fromApp) {
 		return api.Operation{}, api.Errorf(api.CodeNotFound, "server: unknown app %s", fromApp)
 	}
@@ -114,7 +123,7 @@ func (s *Server) BatchUpgradeAsync(user core.UserID, vehicles []core.VehicleID, 
 	if err != nil {
 		return api.Operation{}, err
 	}
-	parentID, children := s.newBatchOperation(api.OpBatchUpgrade, api.OpUpgrade, user, fromApp, toApp, fleet)
+	parentID, children := s.newBatchOperation(api.OpBatchUpgrade, api.OpUpgrade, user, fromApp, toApp, fleet, idemKey)
 	go func() {
 		cache := &planCache{}
 		// An upgrade child blocks through its vehicle's swap round trip
@@ -451,17 +460,20 @@ func (s *Server) upgrade(opID string, user core.UserID, vehicleID core.VehicleID
 		s.logf("server: pushed {%d, '%s', %s, upgrade} to %s", core.MsgUpgrade, d.Plugin, d.ECU, vehicleID)
 	}
 
-	// Collect the outcomes of everything that made it onto the wire.
+	// Collect the outcomes of everything that made it onto the wire,
+	// bounded by the configurable ack deadline and by server shutdown
+	// (pushCtx), so a silent vehicle or a dying shard leader cannot
+	// wedge a batch worker forever.
 	outcomes := make(map[core.PluginName]string, pushed)
-	timeout := time.NewTimer(upgradeAckTimeout)
-	defer timeout.Stop()
+	ctx, cancel := context.WithTimeout(s.pushCtx, s.ackWaitTimeout())
+	defer cancel()
 	timedOut := false
 collect:
 	for i := 0; i < pushed; i++ {
 		select {
 		case out := <-notify:
 			outcomes[out.plugin] = out.failure
-		case <-timeout.C:
+		case <-ctx.Done():
 			timedOut = true
 			break collect
 		}
@@ -575,15 +587,15 @@ func (s *Server) compensate(vehicleID core.VehicleID, fromApp, toApp core.AppNam
 	}
 	// Drain the outcomes so the downgrade completed before the claim is
 	// released; failures are logged, not escalated.
-	timeout := time.NewTimer(upgradeAckTimeout)
-	defer timeout.Stop()
+	ctx, cancel := context.WithTimeout(s.pushCtx, s.ackWaitTimeout())
+	defer cancel()
 	for i := 0; i < pushed; i++ {
 		select {
 		case out := <-notify:
 			if out.failure != "" {
 				s.logf("server: compensation of %s on %s: %s", out.plugin, vehicleID, out.failure)
 			}
-		case <-timeout.C:
+		case <-ctx.Done():
 			s.logf("server: compensation on %s timed out", vehicleID)
 			return
 		}
